@@ -1,0 +1,43 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every benchmark regenerates the data behind one paper figure or table,
+saves the rendered rows under ``benchmarks/results/`` and asserts the
+paper's qualitative shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+and inspect ``benchmarks/results/*.txt`` afterwards.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one experiment's rendered output to results/<name>.txt."""
+
+    def _save(name: str, lines: "list[str]") -> str:
+        text = "\n".join(lines) + "\n"
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+        return text
+
+    return _save
+
+
+def fmt_row(cells, widths):
+    """Fixed-width row renderer for the saved tables."""
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

@@ -1,0 +1,74 @@
+"""Ablation: allreduce algorithm choice (ring vs tree vs hierarchical).
+
+Elan rides on collective communication; this sweep shows why the
+throughput model assumes ring allreduce for gradient-sized messages
+(bandwidth-bound) and where the alternatives win: trees for tiny
+latency-bound messages, the two-level hierarchy once rings span nodes
+with an expensive per-hop cost.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import (
+    RESNET50,
+    best_algorithm,
+    hierarchical_allreduce_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from repro.perfmodel.calibration import (
+    EVAL_ALLREDUCE_HOP_LATENCY,
+    EVAL_INTER_NODE_BANDWIDTH,
+    INTRA_NODE_BUS_BANDWIDTH,
+)
+
+KB, MB = 1024, 1024**2
+SIZES = [4 * KB, 256 * KB, 4 * MB, 104 * MB]  # up to a ResNet-50 gradient
+WORKERS = [8, 32, 128]
+
+
+def sweep():
+    rows = []
+    for workers in WORKERS:
+        for size in SIZES:
+            ring = ring_allreduce_time(
+                workers, size, EVAL_INTER_NODE_BANDWIDTH,
+                EVAL_ALLREDUCE_HOP_LATENCY,
+            )
+            tree = tree_allreduce_time(
+                workers, size, EVAL_INTER_NODE_BANDWIDTH,
+                EVAL_ALLREDUCE_HOP_LATENCY,
+            )
+            hier = hierarchical_allreduce_time(
+                workers, size,
+                intra_bandwidth=INTRA_NODE_BUS_BANDWIDTH,
+                inter_bandwidth=EVAL_INTER_NODE_BANDWIDTH,
+                hop_latency=EVAL_ALLREDUCE_HOP_LATENCY,
+            )
+            rows.append((workers, size, ring, tree, hier))
+    return rows
+
+
+def test_ablation_collectives(benchmark, save_result):
+    rows = benchmark(sweep)
+
+    widths = (8, 10, 11, 11, 11)
+    lines = [fmt_row(("Workers", "Size", "Ring (s)", "Tree (s)", "Hier (s)"),
+                     widths)]
+    for workers, size, ring, tree, hier in rows:
+        label = f"{size // KB}KB" if size < MB else f"{size // MB}MB"
+        lines.append(fmt_row(
+            (workers, label, f"{ring:.4f}", f"{tree:.4f}", f"{hier:.4f}"),
+            widths,
+        ))
+    save_result("ablation_collectives", lines)
+
+    by_key = {(w, s): (r, t, h) for w, s, r, t, h in rows}
+    # Tiny messages on big rings: tree wins over ring.
+    ring, tree, _h = by_key[(128, 4 * KB)]
+    assert tree < ring
+    # Gradient-sized messages in one node: ring wins over tree.
+    assert best_algorithm(8, 104 * MB, INTRA_NODE_BUS_BANDWIDTH) == "ring"
+    # Cross-node gradient allreduce: the hierarchy beats the flat ring.
+    ring, _tree, hier = by_key[(128, 104 * MB)]
+    assert hier < ring

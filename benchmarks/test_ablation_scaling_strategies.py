@@ -1,0 +1,75 @@
+"""Ablation: strong vs weak vs hybrid scaling on a 16 -> 64 scale-out.
+
+The trade-off hybrid scaling navigates (§III): after quadrupling the
+workers of a ResNet-50 job mid-training,
+
+* **strong** keeps batch 512 — algorithm-transparent but the extra GPUs
+  mostly idle (strong scaling is far past its optimum at 64 workers);
+* **weak, fixed LR** jumps to batch 2048 — fast, but the unscaled LR
+  costs accuracy (Fig. 5's Default);
+* **weak, abrupt LR** scales the LR in one step — recovers most accuracy
+  but risks the sharp-change penalty;
+* **hybrid** (weak + progressive linear scaling) gets the throughput AND
+  keeps the accuracy.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import (
+    RESNET50,
+    RESNET50_IMAGENET,
+    AccuracyModel,
+    LrPolicy,
+    ThroughputModel,
+)
+from repro.perfmodel.throughput import EVAL_CLUSTER
+
+OLD_WORKERS, NEW_WORKERS = 16, 64
+BASE_BATCH = 512
+
+
+def evaluate_strategies():
+    throughput = ThroughputModel(RESNET50, EVAL_CLUSTER)
+    accuracy = AccuracyModel(RESNET50_IMAGENET)
+    before = throughput.throughput(OLD_WORKERS, BASE_BATCH)
+    strategies = {
+        "strong (TBS 512)": (BASE_BATCH, LrPolicy.PROGRESSIVE_LINEAR),
+        "weak, fixed LR": (BASE_BATCH * 4, LrPolicy.FIXED),
+        "weak, abrupt LR": (BASE_BATCH * 4, LrPolicy.LINEAR_ABRUPT),
+        "hybrid (weak + progressive)": (
+            BASE_BATCH * 4, LrPolicy.PROGRESSIVE_LINEAR,
+        ),
+    }
+    rows = {}
+    for name, (batch, policy) in strategies.items():
+        tp = throughput.throughput(NEW_WORKERS, batch)
+        final = accuracy.final_accuracy(batch, policy)
+        rows[name] = (tp / before, final)
+    return rows
+
+
+def test_ablation_scaling_strategies(benchmark, save_result):
+    rows = benchmark(evaluate_strategies)
+
+    widths = (28, 12, 12)
+    lines = [fmt_row(("Strategy", "Speedup", "Final top-1"), widths)]
+    for name, (speedup, final) in rows.items():
+        lines.append(fmt_row(
+            (name, f"{speedup:.2f}x", f"{final:.2%}"), widths
+        ))
+    save_result("ablation_scaling_strategies", lines)
+
+    strong_speed, strong_acc = rows["strong (TBS 512)"]
+    fixed_speed, fixed_acc = rows["weak, fixed LR"]
+    abrupt_speed, abrupt_acc = rows["weak, abrupt LR"]
+    hybrid_speed, hybrid_acc = rows["hybrid (weak + progressive)"]
+
+    # Weak scaling (any LR) is much faster than strong at 4x workers.
+    assert hybrid_speed > 1.5 * strong_speed
+    assert fixed_speed == hybrid_speed  # same compute, LR doesn't change it
+    # Strong scaling is perfectly algorithm-transparent.
+    assert strong_acc == hybrid_acc or strong_acc >= hybrid_acc - 1e-9
+    # Fixed LR pays a visible accuracy cost; abrupt recovers most of it;
+    # progressive recovers it fully (batch 2048 < the critical batch).
+    assert fixed_acc < hybrid_acc - 0.02
+    assert fixed_acc < abrupt_acc < hybrid_acc + 1e-12

@@ -1,0 +1,78 @@
+"""Extension: transient capacity (spot instances, §VI-C's cloud remark).
+
+The same workload on a cluster whose capacity swings 96 <-> 48 GPUs every
+six hours: static scheduling suffers preemption kills at each dip, while
+elastic jobs shrink in place and re-expand — no evictions, much lower
+completion times.
+"""
+
+from conftest import fmt_row
+
+from repro.scheduling import (
+    ClusterSimulator,
+    ElanCosts,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    generate_trace,
+)
+
+CHURN = [
+    (hour * 3600.0, 96 if (hour // 6) % 2 == 0 else 48)
+    for hour in range(0, 72, 6)
+]
+
+
+def run_both():
+    trace = generate_trace(num_jobs=60, seed=77)
+    out = {}
+    for policy in (FifoPolicy(), ElasticFifoPolicy()):
+        out[policy.name] = ClusterSimulator(
+            trace, policy, total_gpus=96,
+            capacity_profile=CHURN, costs=ElanCosts(),
+        ).run()
+    return out
+
+
+def test_ablation_spot_capacity(benchmark, save_result):
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    widths = (8, 12, 12, 10, 9)
+    lines = [fmt_row(("Policy", "JCT (s)", "JPT (s)", "Evictions",
+                      "Adjusts"), widths)]
+    for name, result in results.items():
+        lines.append(fmt_row(
+            (name, f"{result.average_jct:.0f}", f"{result.average_jpt:.0f}",
+             result.evictions, result.adjustments),
+            widths,
+        ))
+    save_result("ablation_spot_capacity", lines)
+
+    static, elastic = results["fifo"], results["e-fifo"]
+    assert elastic.evictions == 0  # shrink-in-place absorbs every dip
+    assert static.evictions >= 1  # static pays preemption kills
+    assert elastic.average_jct < 0.7 * static.average_jct
+
+
+def test_capacity_planning_savings(benchmark, save_result):
+    """Extension: GPUs needed for the same JCT target, static vs elastic."""
+    from repro.scheduling import capacity_sweep, elasticity_hardware_savings
+
+    def compute():
+        trace = generate_trace(num_jobs=60, seed=5)
+        static_at_96 = capacity_sweep(trace, FifoPolicy(), [96])[0]
+        savings = elasticity_hardware_savings(
+            trace, FifoPolicy(), ElasticFifoPolicy(),
+            static_at_96.average_jct, [48, 64, 96, 128],
+        )
+        return static_at_96, savings
+
+    static_at_96, savings = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        f"target: average JCT <= {static_at_96.average_jct:.0f} s "
+        f"(what static FIFO delivers on 96 GPUs)",
+        f"GPUs needed: fifo={savings['fifo']}  e-fifo={savings['e-fifo']}",
+    ]
+    save_result("ablation_capacity_planning", lines)
+
+    assert savings["fifo"] == 96
+    assert savings["e-fifo"] is not None and savings["e-fifo"] <= 64

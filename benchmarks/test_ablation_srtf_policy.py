@@ -1,0 +1,61 @@
+"""Extension: SRTF-ordered elastic scheduling vs the paper's E-FIFO.
+
+The paper leaves "a more complicated scheduling policy" to future work;
+this benchmark evaluates one — elastic SRTF (admission and marginal-gain
+allocation biased toward jobs closest to completion) — on the same traces
+as Fig. 20.  Expected: a further average-JCT reduction at roughly equal
+makespan (SRTF trades fairness, not efficiency).
+"""
+
+from conftest import fmt_row
+
+from repro.scheduling import (
+    ClusterSimulator,
+    ElanCosts,
+    ElasticFifoPolicy,
+    ElasticSrtfPolicy,
+    generate_trace,
+)
+
+SEEDS = (1, 2, 3)
+GPUS = 128
+
+
+def run_both():
+    metrics = {}
+    for policy_cls in (ElasticFifoPolicy, ElasticSrtfPolicy):
+        jcts, jpts, makespans = [], [], []
+        for seed in SEEDS:
+            trace = generate_trace(seed=seed)
+            result = ClusterSimulator(
+                trace, policy_cls(), total_gpus=GPUS, costs=ElanCosts()
+            ).run()
+            jcts.append(result.average_jct)
+            jpts.append(result.average_jpt)
+            makespans.append(result.makespan)
+        metrics[policy_cls().name] = (
+            sum(jpts) / len(jpts),
+            sum(jcts) / len(jcts),
+            sum(makespans) / len(makespans),
+        )
+    return metrics
+
+
+def test_ablation_srtf_policy(benchmark, save_result):
+    metrics = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    widths = (8, 12, 12, 14)
+    lines = [fmt_row(("Policy", "JPT (s)", "JCT (s)", "Makespan (s)"), widths)]
+    for name, (jpt, jct, makespan) in metrics.items():
+        lines.append(fmt_row(
+            (name, f"{jpt:.0f}", f"{jct:.0f}", f"{makespan:.0f}"), widths
+        ))
+    fifo_jct = metrics["e-fifo"][1]
+    srtf_jct = metrics["e-srtf"][1]
+    lines.append(f"e-srtf JCT vs e-fifo: -{1 - srtf_jct / fifo_jct:.0%}")
+    save_result("ablation_srtf_policy", lines)
+
+    # SRTF further reduces average JCT ...
+    assert srtf_jct < 0.90 * fifo_jct
+    # ... without sacrificing overall efficiency (makespan within 5%).
+    assert metrics["e-srtf"][2] < 1.05 * metrics["e-fifo"][2]

@@ -1,0 +1,44 @@
+"""Fig. 4: training throughput under weak scaling (5 models x per-worker
+batches).
+
+Paper shape: throughput grows (near-)linearly with workers, and the slope
+increases with the per-worker batch size.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import MODEL_ZOO, ThroughputModel
+
+WORKERS = [1, 2, 4, 8, 16, 32, 64]
+PER_WORKER_BATCHES = [16, 32, 64]
+
+
+def build_curves():
+    curves = {}
+    for name, spec in MODEL_ZOO.items():
+        model = ThroughputModel(spec)
+        for batch in PER_WORKER_BATCHES:
+            curves[(name, batch)] = model.weak_scaling_curve(batch, WORKERS)
+    return curves
+
+
+def test_fig04_weak_scaling(benchmark, save_result):
+    curves = benchmark(build_curves)
+
+    widths = (14, 6) + (9,) * len(WORKERS)
+    lines = [fmt_row(("Model", "b/wkr") + tuple(WORKERS), widths)]
+    for (name, batch), curve in curves.items():
+        lines.append(fmt_row(
+            (name, batch) + tuple(f"{tp:.0f}" for _n, tp in curve), widths,
+        ))
+    save_result("fig04_weak_scaling", lines)
+
+    for (name, batch), curve in curves.items():
+        tps = [tp for _n, tp in curve]
+        # Monotone growth throughout the plotted range.
+        assert tps == sorted(tps), f"{name}@{batch}: not monotone"
+    for name in MODEL_ZOO:
+        # Slope grows with the per-worker batch (obs. 2 of §III-1):
+        # compare throughput at 32 workers across batch sizes.
+        at32 = [dict(curves[(name, b)])[32] for b in PER_WORKER_BATCHES]
+        assert at32 == sorted(at32), f"{name}: slope not growing with batch"

@@ -1,0 +1,86 @@
+"""Fig. 5: accuracy vs total batch size, Default vs Hybrid.
+
+Two independent reproductions:
+
+1. **Real training** — the numpy trainer runs the fixed-epoch experiment
+   from scratch (the MobileNet-v2/Cifar100 analog on a synthetic task):
+   the Default (fixed-LR) curve decays with batch size; the Hybrid curve
+   (progressive linear scaling) holds it, dipping only at the extreme.
+2. **Calibrated model** — the analytic convergence model evaluated at the
+   paper's exact batch range 2^5..2^12.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import MOBILENETV2_CIFAR100, AccuracyModel, LrPolicy
+from repro.training import make_classification, train_single
+
+REAL_BATCHES = [32, 128, 512, 2048, 4096]
+MODEL_BATCHES = [2**k for k in range(5, 13)]
+
+
+def run_real_experiment():
+    dataset = make_classification(train_size=8192, test_size=2048, seed=1)
+    results = {}
+    for batch in REAL_BATCHES:
+        default = train_single(
+            dataset, batch, epochs=15, base_lr=0.01, lr_scaling="fixed", seed=2
+        )
+        hybrid = train_single(
+            dataset, batch, epochs=15, base_lr=0.01,
+            lr_scaling="progressive", seed=2,
+        )
+        results[batch] = (default.test_accuracy, hybrid.test_accuracy)
+    return results
+
+
+def test_fig05_real_training(benchmark, save_result):
+    results = benchmark.pedantic(run_real_experiment, rounds=1, iterations=1)
+
+    widths = (8, 10, 10)
+    lines = [fmt_row(("TBS", "Default", "Hybrid"), widths)]
+    for batch, (default, hybrid) in results.items():
+        lines.append(fmt_row(
+            (batch, f"{default:.3f}", f"{hybrid:.3f}"), widths
+        ))
+    save_result("fig05_accuracy_vs_batch_real", lines)
+
+    defaults = [results[b][0] for b in REAL_BATCHES]
+    hybrids = [results[b][1] for b in REAL_BATCHES]
+    # Default decays monotonically and collapses at the extreme.
+    assert defaults == sorted(defaults, reverse=True)
+    assert defaults[-1] < defaults[0] - 0.2
+    # Hybrid holds accuracy within a few points of the small-batch run.
+    assert min(hybrids) > defaults[0] - 0.08
+    # Hybrid beats Default at every enlarged batch.
+    for batch in REAL_BATCHES[1:]:
+        assert results[batch][1] > results[batch][0]
+
+
+def test_fig05_calibrated_model(benchmark, save_result):
+    model = AccuracyModel(MOBILENETV2_CIFAR100)
+
+    def evaluate():
+        return {
+            batch: (
+                model.final_accuracy(batch, LrPolicy.FIXED),
+                model.final_accuracy(batch, LrPolicy.PROGRESSIVE_LINEAR),
+            )
+            for batch in MODEL_BATCHES
+        }
+
+    results = benchmark(evaluate)
+    widths = (8, 10, 10)
+    lines = [fmt_row(("TBS", "Default", "Hybrid"), widths)]
+    for batch, (default, hybrid) in results.items():
+        lines.append(fmt_row((batch, f"{default:.3f}", f"{hybrid:.3f}"), widths))
+    save_result("fig05_accuracy_vs_batch_model", lines)
+
+    base = results[32][1]
+    # Hybrid flat through 2^11, dips at 2^12 (paper: "still goes down when
+    # the total batch size is too large (2^12)").
+    for batch in MODEL_BATCHES[:-1]:
+        assert abs(results[batch][1] - base) < 1e-6
+    assert results[4096][1] < base - 0.005
+    defaults = [results[b][0] for b in MODEL_BATCHES]
+    assert defaults == sorted(defaults, reverse=True)

@@ -1,0 +1,31 @@
+"""Fig. 8: bandwidth of P2P / SHM / NET across message sizes.
+
+Paper shape: P2P > SHM > NET at every size; all saturate for large
+messages.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import bandwidth_sweep, verify_figure8_ordering
+from repro.topology import Transport
+
+
+def test_fig08_bandwidth(benchmark, save_result):
+    sweep = benchmark(bandwidth_sweep)
+
+    sizes = [size for size, _bw in sweep[Transport.P2P]]
+    widths = (12, 12, 12, 12)
+    lines = [fmt_row(("Size", "P2P GB/s", "SHM GB/s", "NET GB/s"), widths)]
+    for index, size in enumerate(sizes):
+        row = [f"{size / 1024:.0f}KB" if size < 1024**2 else f"{size / 1024**2:.0f}MB"]
+        for transport in (Transport.P2P, Transport.SHM, Transport.NET):
+            row.append(f"{sweep[transport][index][1] / 1e9:.2f}")
+        lines.append(fmt_row(row, widths))
+    save_result("fig08_bandwidth", lines)
+
+    assert verify_figure8_ordering(sweep)
+    for transport, points in sweep.items():
+        bws = [bw for _s, bw in points]
+        assert bws == sorted(bws), f"{transport}: not monotone in size"
+        # Saturation: the largest message achieves >90% of the curve max.
+        assert bws[-1] > 0.9 * max(bws)

@@ -1,0 +1,56 @@
+"""Fig. 9: the topology example — E and F join {A, B, C, D}.
+
+A, B share a PCIe switch; C sits on the other socket of the same node; D
+is on a second node.  New worker E lands next to C, F next to D.  The
+planner must pick C -> E and D -> F and run both replications in
+parallel, exactly the example the paper walks through.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import RESNET50
+from repro.replication import SimulatedReplicationExecutor, plan_replication
+from repro.topology import BandwidthProfile, build_cluster, gpu_by_name
+
+
+def build_plan():
+    cluster = build_cluster(2)
+    layout = {
+        "A": "node0/gpu0",  # switch0, socket0
+        "B": "node0/gpu1",  # same switch as A
+        "C": "node0/gpu4",  # socket1 of node0
+        "D": "node1/gpu0",  # second node
+        "E": "node0/gpu5",  # same switch as C
+        "F": "node1/gpu4",  # same node as D, other socket
+    }
+    gpus = {k: gpu_by_name(cluster, v) for k, v in layout.items()}
+    existing = [gpus[k] for k in "ABCD"]
+    new = [gpus[k] for k in "EF"]
+    plan = plan_replication(
+        existing, new, RESNET50.gpu_state_bytes, RESNET50.cpu_state_bytes
+    )
+    return gpus, plan
+
+
+def test_fig09_replication_plan(benchmark, save_result):
+    gpus, plan = benchmark(build_plan)
+    timeline = SimulatedReplicationExecutor().execute(plan)
+
+    lines = [fmt_row(("Transfer", "Level", "Transport", "Time(ms)"),
+                     (34, 6, 10, 9))]
+    for record in timeline.records:
+        t = record.transfer
+        lines.append(fmt_row(
+            (t.describe().split(" [")[0], t.level.name, t.transport.value,
+             f"{record.duration * 1e3:.1f}"),
+            (34, 6, 10, 9),
+        ))
+    lines.append(f"rounds: {len(plan.rounds)}  "
+                 f"makespan: {timeline.makespan * 1e3:.1f} ms")
+    save_result("fig09_replication_plan", lines)
+
+    by_target = {t.target.name: t.source.name for t in plan.transfers}
+    assert by_target[gpus["E"].name] == gpus["C"].name  # E fetches from C
+    assert by_target[gpus["F"].name] == gpus["D"].name  # F fetches from D
+    assert len(plan.rounds) == 1  # the two replications run in parallel
+    assert timeline.concurrent_pairs() == 1

@@ -1,0 +1,38 @@
+"""Figs. 10/11: the Shutdown-Restart timeline and its phase breakdown.
+
+Paper shape: the long start + initialization phases dominate the S&R
+timeline — the observation that motivates the asynchronous coordination
+mechanism.
+"""
+
+from conftest import fmt_row
+
+from repro.baselines import ShutdownRestartModel
+from repro.perfmodel import RESNET50
+
+PHASE_ORDER = ["coordinate", "checkpoint", "shutdown", "start", "init", "load"]
+
+
+def test_fig11_sr_breakdown(benchmark, save_result):
+    model = ShutdownRestartModel(seed=0)
+    timing = benchmark(
+        lambda: ShutdownRestartModel(seed=0).adjustment_time(
+            "scale_out", RESNET50, 8, 16
+        )
+    )
+    timing = model.adjustment_time("scale_out", RESNET50, 8, 16)
+
+    widths = (12, 10, 8)
+    lines = [fmt_row(("Phase", "Time (s)", "Share"), widths)]
+    for phase in PHASE_ORDER:
+        seconds = timing.phases.get(phase, 0.0)
+        lines.append(fmt_row(
+            (phase, f"{seconds:.2f}", f"{seconds / timing.total:.0%}"), widths
+        ))
+    lines.append(fmt_row(("total", f"{timing.total:.2f}", "100%"), widths))
+    save_result("fig11_sr_breakdown", lines)
+
+    startup = timing.phases["start"] + timing.phases["init"]
+    assert startup > 0.6 * timing.total  # start+init dominate
+    assert timing.phases["checkpoint"] > timing.phases["coordinate"]
+    assert set(timing.phases) == set(PHASE_ORDER)

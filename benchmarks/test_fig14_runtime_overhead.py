@@ -1,0 +1,38 @@
+"""Fig. 14: Elan's runtime overhead when no adjustments happen.
+
+Paper shape: below 3 per mille for all 5 models on 2-64 workers.
+"""
+
+from conftest import fmt_row
+
+from repro.baselines import runtime_overhead_fraction
+from repro.perfmodel import MODEL_ZOO
+
+WORKERS = [2, 4, 8, 16, 32, 64]
+
+
+def compute_overheads():
+    return {
+        (name, workers): runtime_overhead_fraction(spec, workers)
+        for name, spec in MODEL_ZOO.items()
+        for workers in WORKERS
+    }
+
+
+def test_fig14_runtime_overhead(benchmark, save_result):
+    overheads = benchmark(compute_overheads)
+
+    widths = (14,) + (9,) * len(WORKERS)
+    lines = [fmt_row(("Model",) + tuple(f"{n}wkr" for n in WORKERS), widths)]
+    for name in MODEL_ZOO:
+        lines.append(fmt_row(
+            (name,) + tuple(
+                f"{overheads[(name, n)] * 1000:.2f}‰" for n in WORKERS
+            ),
+            widths,
+        ))
+    save_result("fig14_runtime_overhead", lines)
+
+    for key, overhead in overheads.items():
+        assert overhead < 0.003, f"{key}: overhead {overhead:.4f} >= 3 per mille"
+        assert overhead > 0.0

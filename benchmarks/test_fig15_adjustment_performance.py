@@ -1,0 +1,64 @@
+"""Fig. 15: migration / scale-in / scale-out latency, Elan vs S&R.
+
+Paper shape: Elan completes every adjustment in about a second; S&R is
+~4x slower on migration and one to two orders of magnitude slower on
+scaling (start + restart sit on its critical path).
+"""
+
+from conftest import fmt_row
+
+from repro.baselines import ElanAdjustmentModel, ShutdownRestartModel
+from repro.perfmodel import MODEL_LABELS
+
+#: (kind, M -> N) scales in the style of the paper's Fig. 15 panels.
+CASES = {
+    "migration": [(4, 4), (8, 8), (16, 16)],
+    "scale_in": [(8, 4), (16, 8), (32, 16)],
+    "scale_out": [(4, 8), (8, 16), (16, 32)],
+}
+REPEATS = 5
+
+
+def run_measurements():
+    rows = []
+    for kind, scales in CASES.items():
+        for old, new in scales:
+            for label, spec in MODEL_LABELS.items():
+                elan_times, sr_times = [], []
+                for seed in range(REPEATS):
+                    elan_times.append(
+                        ElanAdjustmentModel(seed=seed).adjustment_time(
+                            kind, spec, old, new
+                        ).total
+                    )
+                    sr_times.append(
+                        ShutdownRestartModel(seed=seed).adjustment_time(
+                            kind, spec, old, new
+                        ).total
+                    )
+                elan = sum(elan_times) / REPEATS
+                sr = sum(sr_times) / REPEATS
+                rows.append((kind, f"{old}->{new}", label, elan, sr, sr / elan))
+    return rows
+
+
+def test_fig15_adjustment_performance(benchmark, save_result):
+    rows = benchmark.pedantic(run_measurements, rounds=1, iterations=1)
+
+    widths = (10, 8, 5, 9, 9, 8)
+    lines = [fmt_row(
+        ("Case", "Scale", "Model", "Elan(s)", "S&R(s)", "Ratio"), widths
+    )]
+    for kind, scale, label, elan, sr, ratio in rows:
+        lines.append(fmt_row(
+            (kind, scale, label, f"{elan:.2f}", f"{sr:.2f}", f"{ratio:.0f}x"),
+            widths,
+        ))
+    save_result("fig15_adjustment_performance", lines)
+
+    for kind, scale, label, elan, sr, ratio in rows:
+        assert elan < 1.5, f"{kind}/{scale}/{label}: Elan {elan:.2f}s not ~1s"
+        if kind == "migration":
+            assert 2.0 < ratio < 10.0, f"migration ratio {ratio:.1f}"
+        else:
+            assert 10.0 < ratio < 150.0, f"{kind} ratio {ratio:.1f}"

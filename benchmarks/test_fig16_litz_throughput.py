@@ -1,0 +1,45 @@
+"""Fig. 16: relative training throughput of Litz versus Elan.
+
+Paper shape: Litz runs far below Elan for every model (context switches
+swap GPU contexts through CPU memory); the loss exceeds 90% on
+Transformer; more workers recover a little thanks to local gradient
+aggregation.
+"""
+
+from conftest import fmt_row
+
+from repro.baselines import LITZ_2, LITZ_4, LitzModel
+from repro.perfmodel import MODEL_ZOO, TRANSFORMER
+
+WORKERS = [2, 4, 8, 16, 32, 64]
+
+
+def compute_relative():
+    relative = {}
+    for name, spec in MODEL_ZOO.items():
+        for config, tag in ((LITZ_2, "Litz-2"), (LITZ_4, "Litz-4")):
+            model = LitzModel(spec, config)
+            relative[(name, tag)] = [
+                model.relative_throughput(n) for n in WORKERS
+            ]
+    return relative
+
+
+def test_fig16_litz_throughput(benchmark, save_result):
+    relative = benchmark(compute_relative)
+
+    widths = (14, 8) + (7,) * len(WORKERS)
+    lines = [fmt_row(("Model", "Variant") + tuple(WORKERS), widths)]
+    for (name, tag), values in relative.items():
+        lines.append(fmt_row(
+            (name, tag) + tuple(f"{v:.2f}" for v in values), widths
+        ))
+    save_result("fig16_litz_throughput", lines)
+
+    for (name, tag), values in relative.items():
+        assert max(values) < 0.45, f"{name}/{tag}: Litz too fast"
+        # Mild recovery (or at worst flatness) with more workers.
+        assert values[-1] >= values[0] - 1e-9, f"{name}/{tag}: got worse"
+    # Transformer with Litz-4 loses more than 90% (paper's callout).
+    transformer = LitzModel(TRANSFORMER, LITZ_4)
+    assert transformer.relative_throughput(2) < 0.11

@@ -1,0 +1,46 @@
+"""Fig. 17: ResNet-50 strong-scaling curves at batches 512/1024/2048 on
+the evaluation cluster — the curves that guided the paper's choice of
+16/32/64 workers for the elastic-training experiment.
+
+Paper shape: each batch's curve flattens (diminishing gains) around one
+worker per 32 samples; larger batches keep scaling further right.
+"""
+
+from conftest import fmt_row
+
+from repro.perfmodel import RESNET50, ThroughputModel
+from repro.perfmodel.throughput import EVAL_CLUSTER
+
+WORKERS = [4, 8, 16, 32, 64, 128]
+BATCHES = [512, 1024, 2048]
+
+
+def build_curves():
+    model = ThroughputModel(RESNET50, EVAL_CLUSTER)
+    return {
+        batch: model.strong_scaling_curve(batch, WORKERS) for batch in BATCHES
+    }
+
+
+def test_fig17_resnet_strong_scaling(benchmark, save_result):
+    curves = benchmark(build_curves)
+
+    widths = (6,) + (9,) * len(WORKERS)
+    lines = [fmt_row(("TBS",) + tuple(WORKERS), widths)]
+    for batch, curve in curves.items():
+        tps = dict(curve)
+        lines.append(fmt_row(
+            (batch,) + tuple(f"{tps.get(n, float('nan')):.0f}" for n in WORKERS),
+            widths,
+        ))
+    save_result("fig17_resnet_strong_scaling", lines)
+
+    tp = {batch: dict(curve) for batch, curve in curves.items()}
+    # The paper's chosen configuration extracts most of each curve's value:
+    # doubling workers beyond the chosen point buys little or hurts.
+    for batch, chosen in ((512, 16), (1024, 32), (2048, 64)):
+        gain_beyond = tp[batch][chosen * 2] / tp[batch][chosen]
+        assert gain_beyond < 1.25, f"TBS {batch}: {gain_beyond:.2f}x beyond plan"
+    # Larger batches scale further: throughput at 64 workers grows with TBS.
+    at64 = [tp[batch][64] for batch in BATCHES]
+    assert at64 == sorted(at64)

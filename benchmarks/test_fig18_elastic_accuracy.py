@@ -1,0 +1,43 @@
+"""Fig. 18: top-1 accuracy of static vs elastic ResNet-50 training.
+
+Paper shape: 512 (16) reaches 75.89%; 512-2048 (Elastic) reaches 75.87%
+— the hybrid scaling mechanism keeps model performance through two
+batch-size doublings.
+"""
+
+import pytest
+from conftest import fmt_row
+
+from repro.core import ElasticTrainingExperiment
+
+
+def build_runs():
+    experiment = ElasticTrainingExperiment(seed=0)
+    return experiment.static_baseline(), experiment.elastic()
+
+
+def test_fig18_elastic_accuracy(benchmark, save_result):
+    static, elastic = benchmark(build_runs)
+
+    epochs = list(range(0, 91, 10))
+    widths = (8, 12, 12)
+    lines = [fmt_row(("Epoch", static.label, elastic.label), (8, 12, 18))]
+    for epoch in epochs:
+        lines.append(fmt_row(
+            (
+                epoch,
+                f"{static.accuracy_model.accuracy_at_epoch(epoch, static.accuracy_penalty):.4f}",
+                f"{elastic.accuracy_model.accuracy_at_epoch(epoch, elastic.accuracy_penalty):.4f}",
+            ),
+            (8, 12, 18),
+        ))
+    lines.append(
+        f"final: static {static.final_accuracy:.4f} "
+        f"elastic {elastic.final_accuracy:.4f} "
+        f"(paper: 0.7589 vs 0.7587)"
+    )
+    save_result("fig18_elastic_accuracy", lines)
+
+    assert static.final_accuracy == pytest.approx(0.7589, abs=0.005)
+    assert abs(static.final_accuracy - elastic.final_accuracy) < 0.002
+

@@ -1,0 +1,78 @@
+"""Fig. 20: JPT / JCT / makespan under FIFO, BF, E-FIFO, E-BF.
+
+Paper shape (3 simulation runs): elasticity reduces job pending time by
+43%+, job completion time by 25%+ and makespan by 21%+ relative to the
+static policies.
+"""
+
+from conftest import fmt_row
+
+from repro.scheduling import (
+    BackfillPolicy,
+    ClusterSimulator,
+    ElanCosts,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    generate_trace,
+    summarize,
+)
+
+SEEDS = (1, 2, 3)
+GPUS = 128
+
+
+def run_all():
+    summaries = {}
+    for policy_cls in (FifoPolicy, BackfillPolicy, ElasticFifoPolicy,
+                       ElasticBackfillPolicy):
+        results = []
+        for seed in SEEDS:
+            trace = generate_trace(seed=seed)
+            results.append(
+                ClusterSimulator(
+                    trace, policy_cls(), total_gpus=GPUS, costs=ElanCosts()
+                ).run()
+            )
+        summaries[policy_cls().name] = summarize(results)
+    return summaries
+
+
+def test_fig20_scheduling_metrics(benchmark, save_result):
+    summaries = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    widths = (8, 16, 16, 18)
+    lines = [fmt_row(("Policy", "JPT (s)", "JCT (s)", "Makespan (s)"), widths)]
+    for name, summary in summaries.items():
+        lines.append(fmt_row(
+            (
+                name,
+                f"{summary['jpt_mean']:.0f}±{summary['jpt_std']:.0f}",
+                f"{summary['jct_mean']:.0f}±{summary['jct_std']:.0f}",
+                f"{summary['makespan_mean']:.0f}±{summary['makespan_std']:.0f}",
+            ),
+            widths,
+        ))
+    for static, elastic in (("fifo", "e-fifo"), ("bf", "e-bf")):
+        jpt = 1 - summaries[elastic]["jpt_mean"] / summaries[static]["jpt_mean"]
+        jct = 1 - summaries[elastic]["jct_mean"] / summaries[static]["jct_mean"]
+        mksp = 1 - (
+            summaries[elastic]["makespan_mean"]
+            / summaries[static]["makespan_mean"]
+        )
+        lines.append(
+            f"{elastic} vs {static}: JPT -{jpt:.0%}  JCT -{jct:.0%}  "
+            f"makespan -{mksp:.0%}"
+        )
+    save_result("fig20_scheduling_metrics", lines)
+
+    for static, elastic in (("fifo", "e-fifo"), ("bf", "e-bf")):
+        assert summaries[elastic]["jpt_mean"] < (
+            0.57 * summaries[static]["jpt_mean"]
+        ), "JPT reduction below 43%"
+        assert summaries[elastic]["jct_mean"] < (
+            0.80 * summaries[static]["jct_mean"]
+        ), "JCT reduction below 20%"
+        assert summaries[elastic]["makespan_mean"] < (
+            0.90 * summaries[static]["makespan_mean"]
+        ), "makespan reduction below 10%"

@@ -1,0 +1,32 @@
+"""Table I: the DL models used for the scaling-strategy analysis."""
+
+from conftest import fmt_row
+
+from repro.perfmodel import MODEL_ZOO
+
+
+def test_table1_model_zoo(benchmark, save_result):
+    def build():
+        return [
+            (
+                spec.name,
+                spec.family,
+                spec.domain,
+                f"{spec.parameters / 1e6:.0f}M",
+                spec.dataset,
+            )
+            for spec in MODEL_ZOO.values()
+        ]
+
+    rows = benchmark(build)
+    widths = (14, 10, 6, 8, 10)
+    lines = [fmt_row(("Model", "Type", "Domain", "#Params", "Dataset"), widths)]
+    lines += [fmt_row(row, widths) for row in rows]
+    save_result("table1_model_zoo", lines)
+
+    assert len(rows) == 5
+    by_name = {row[0]: row for row in rows}
+    assert by_name["VGG-19"][3] == "143M"
+    assert by_name["MobileNet-v2"][3] == "3M"
+    assert by_name["Seq2Seq"][3] == "45M"
+    assert by_name["Transformer"][3] == "47M"

@@ -1,0 +1,77 @@
+"""Elastic cluster scheduling (paper §VI-C) on a synthetic two-day trace.
+
+Replays the same trace under the static policies (FIFO, Backfill) and
+their elastic variants (E-FIFO, E-BF), then re-runs the elastic policy
+under the three elasticity systems (Ideal / Elan / S&R) — reproducing the
+shapes of Figs. 20, 21 and 22.
+
+Run:  python examples/elastic_scheduling.py
+"""
+
+from repro.scheduling import (
+    BackfillPolicy,
+    ClusterSimulator,
+    ElanCosts,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    IdealCosts,
+    ShutdownRestartCosts,
+    generate_trace,
+)
+
+GPUS = 128
+
+
+def main():
+    trace = generate_trace(seed=42)
+    print(f"trace: {len(trace)} jobs over two days on {GPUS} GPUs\n")
+
+    print("=== Fig. 20: static vs elastic policies ===")
+    print(f"{'policy':8s} {'JPT (s)':>10s} {'JCT (s)':>10s} "
+          f"{'makespan (s)':>13s} {'util':>6s} {'adjusts':>8s}")
+    results = {}
+    for policy in (FifoPolicy(), BackfillPolicy(), ElasticFifoPolicy(),
+                   ElasticBackfillPolicy()):
+        result = ClusterSimulator(
+            trace, policy, total_gpus=GPUS, costs=ElanCosts()
+        ).run()
+        results[policy.name] = result
+        print(
+            f"{policy.name:8s} {result.average_jpt:10.0f} "
+            f"{result.average_jct:10.0f} {result.makespan:13.0f} "
+            f"{result.average_utilization():6.0%} {result.adjustments:8d}"
+        )
+    for static, elastic in (("fifo", "e-fifo"), ("bf", "e-bf")):
+        s, e = results[static], results[elastic]
+        print(
+            f"  {elastic} vs {static}: "
+            f"JPT -{1 - e.average_jpt / s.average_jpt:.0%}, "
+            f"JCT -{1 - e.average_jct / s.average_jct:.0%}, "
+            f"makespan -{1 - e.makespan / s.makespan:.0%}"
+        )
+
+    print("\n=== Fig. 21: utilization through the busiest day ===")
+    static_series = dict(results["fifo"].utilization_series(4 * 3600))
+    elastic_series = dict(results["e-fifo"].utilization_series(4 * 3600))
+    print(f"{'hour':>5s} {'static':>8s} {'elastic':>8s}")
+    for t in sorted(static_series)[:12]:
+        print(f"{t / 3600:5.0f} {static_series[t]:8.0%} "
+              f"{elastic_series.get(t, 0.0):8.0%}")
+
+    print("\n=== Fig. 22: the same elastic policy under three systems ===")
+    print(f"{'system':8s} {'avg JCT (s)':>12s} {'vs ideal':>9s}")
+    baseline = None
+    for costs in (IdealCosts(), ElanCosts(), ShutdownRestartCosts()):
+        result = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=GPUS, costs=costs
+        ).run()
+        if baseline is None:
+            baseline = result.average_jct
+        print(f"{costs.name:8s} {result.average_jct:12.0f} "
+              f"{result.average_jct / baseline - 1:+9.1%}")
+    print("(paper: Elan ~ ideal; S&R ~ +6% JCT)")
+
+
+if __name__ == "__main__":
+    main()

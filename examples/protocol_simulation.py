@@ -1,0 +1,63 @@
+"""The Elan control plane on simulated time (paper Figs. 10 vs 12).
+
+Runs the *real* application-master class inside the discrete-event
+simulator: a ResNet-50 job iterates at its calibrated speed while 8 new
+workers start and initialize with jitter; the adjustment commits at the
+first coordination boundary after the last report.  Prints the resulting
+timeline, the throughput step, and the cross-validation against the
+closed-form adjustment model.
+
+Run:  python examples/protocol_simulation.py
+"""
+
+from repro.baselines import ElanAdjustmentModel, ShutdownRestartModel
+from repro.coordination import SimulatedElasticJob
+from repro.perfmodel import RESNET50
+from repro.reporting import render_table, series_chart
+
+
+def main():
+    job = SimulatedElasticJob(RESNET50, workers=8, total_batch_size=256, seed=1)
+    job.at(10.0, lambda: job.request_scale_out(8))
+    job.run(until=180.0)
+    (adjustment,) = job.adjustments
+
+    print("=== simulated scale-out 8 -> 16 (ResNet-50, batch 256) ===")
+    for line in render_table(
+        ("event", "t (s)"),
+        [
+            ("scheduler requests +8 workers", f"{adjustment.request_time:.2f}"),
+            ("last new worker reports", f"{adjustment.commit_time:.2f}"),
+            ("commit: replicate + adjust", f"{adjustment.commit_time:.2f}"),
+            ("training resumes on 16 workers", f"{adjustment.resume_time:.2f}"),
+        ],
+    ):
+        print(line)
+    print(
+        f"\niterations completed while the new workers started: "
+        f"{adjustment.iterations_during_startup} "
+        f"(start+init hidden off the critical path)"
+    )
+    print(f"training pause: {adjustment.pause:.3f} s")
+
+    closed = ElanAdjustmentModel(seed=1).adjustment_time(
+        "scale_out", RESNET50, 8, 16
+    ).total
+    sr = ShutdownRestartModel(seed=1).adjustment_time(
+        "scale_out", RESNET50, 8, 16
+    ).total
+    print(f"closed-form model:  {closed:.3f} s (cross-validation)")
+    print(f"S&R would pause:    {sr:.2f} s")
+
+    print("\nthroughput over time (samples/s, 10 s buckets):")
+    buckets = []
+    for start in range(0, 180, 10):
+        buckets.append(
+            (start, job.effective_throughput(start, start + 10))
+        )
+    for line in series_chart(buckets, height=7, width=56):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

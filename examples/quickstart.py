@@ -1,0 +1,62 @@
+"""Quickstart: elastic training with the Table III API.
+
+Starts a 2-worker data-parallel job on the live threaded runtime, then —
+while training keeps running — scales out to 4 workers, scales back in,
+and finally migrates the whole job onto fresh workers.  Every adjustment
+follows the paper's 5-step procedure: request, report, coordinate,
+replicate, adjust.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.coordination import params_consistent
+from repro.core import ElasticJob, WeakScalingPolicy
+from repro.training import make_classification
+
+
+def main():
+    dataset = make_classification(train_size=2048, test_size=512, seed=7)
+    job = ElasticJob(
+        dataset,
+        workers=2,
+        total_batch_size=64,
+        base_lr=0.02,
+        scaling_policy=WeakScalingPolicy(ramp_iterations=20),
+        seed=7,
+    )
+    print("starting a 2-worker elastic job ...")
+    with job:
+        job.wait_until_iteration(30)
+        print(f"  status: {job.status()}")
+
+        print("scaling out to 4 workers (training continues meanwhile) ...")
+        new_ids = job.scale_out(2)
+        job.wait_for_adjustments(1)
+        print(f"  new workers {new_ids} joined: {job.status()}")
+
+        job.wait_until_iteration(job.status()["iteration"] + 30)
+        print("scaling in by 1 worker ...")
+        removed = job.scale_in(1)
+        job.wait_for_adjustments(2)
+        print(f"  removed {removed}: {job.status()}")
+
+        print("migrating the job onto fresh workers ...")
+        migrated = job.migrate()
+        job.wait_for_adjustments(3)
+        print(f"  now running on {migrated}: {job.status()}")
+        job.wait_until_iteration(job.status()["iteration"] + 30)
+
+    contexts = job.runtime.final_contexts()
+    print(f"replicas consistent: {params_consistent(contexts)}")
+    print(f"test accuracy after elastic training: {job.evaluate():.3f}")
+    print("adjustments committed:")
+    for plan in job.history:
+        print(
+            f"  {plan.kind.value:9s} at iteration {plan.commit_iteration:4d} "
+            f"-> group {plan.group}, batch {plan.total_batch_size}, "
+            f"strategy {plan.strategy}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Straggler mitigation with elasticity (paper §VII's first use case).
+
+Synchronous data-parallel training runs at its slowest worker's pace.
+This demo injects a straggler into a live 4-worker job, watches the
+iteration rate collapse, detects the slow worker by its relative lag, and
+uses Elan's sub-second scale-in to kick it out — training speed recovers
+immediately and no state is lost.
+
+Run:  python examples/straggler_mitigation.py
+"""
+
+import time
+
+from repro.coordination import ElasticRuntime
+from repro.training import make_classification
+
+
+def iteration_rate(runtime, span=0.5):
+    """Measured job progress in iterations/second over ``span`` seconds."""
+    start = runtime.snapshot()["iteration"]
+    time.sleep(span)
+    return (runtime.snapshot()["iteration"] - start) / span
+
+
+def main():
+    dataset = make_classification(train_size=2048, test_size=512, seed=13)
+    runtime = ElasticRuntime(
+        dataset, initial_workers=4, total_batch_size=64, base_lr=0.02, seed=13
+    )
+    runtime.start()
+    healthy = iteration_rate(runtime)
+    print(f"healthy job: {healthy:.0f} iterations/s on {runtime.am.group}")
+
+    print("\ninjecting a straggler: w2 now takes an extra 20 ms per iteration")
+    runtime.iteration_delays["w2"] = 0.02
+    degraded = iteration_rate(runtime)
+    print(f"degraded job: {degraded:.0f} iterations/s "
+          f"(-{1 - degraded / healthy:.0%}) — lockstep pays the slowest pace")
+
+    # Detection from real timings: the runtime's telemetry records each
+    # worker's compute time (iteration start to allreduce entry), which
+    # isolates the straggler that the lockstep barrier otherwise hides.
+    stragglers = runtime.telemetry.detect_stragglers(factor=2.0)
+    print(f"\ntelemetry per-worker compute (ms): "
+          + ", ".join(f"{w}={t * 1e3:.1f}"
+                      for w, t in sorted(runtime.telemetry.summary().items())))
+    assert stragglers, "telemetry failed to flag the slow worker"
+    straggler = stragglers[0]
+    print(f"\nmitigating: scale-in of {straggler} "
+          f"(sub-second, shutdown-free for the survivors)")
+    runtime.scale_in(worker_ids=[straggler])
+    runtime.wait_for_adjustments(1)
+    recovered = iteration_rate(runtime)
+    print(f"recovered job: {recovered:.0f} iterations/s on {runtime.am.group}")
+
+    runtime.stop()
+    print(f"\nfinal accuracy (training never lost a sample): "
+          f"{runtime.evaluate():.3f}")
+
+
+if __name__ == "__main__":
+    main()

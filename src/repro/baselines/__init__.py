@@ -1,0 +1,33 @@
+"""Baseline systems the paper compares against: S&R and Litz (§VI-A)."""
+
+from .litz import (
+    CONTEXT_EXPANSION,
+    LITZ_2,
+    LITZ_4,
+    LitzConfig,
+    LitzModel,
+    SWAP_BANDWIDTH,
+    SWAP_OVERHEAD,
+)
+from .shutdown_restart import ShutdownRestartJob
+from .timing import (
+    AdjustmentTiming,
+    ElanAdjustmentModel,
+    ShutdownRestartModel,
+    runtime_overhead_fraction,
+)
+
+__all__ = [
+    "AdjustmentTiming",
+    "CONTEXT_EXPANSION",
+    "ElanAdjustmentModel",
+    "LITZ_2",
+    "LITZ_4",
+    "LitzConfig",
+    "LitzModel",
+    "SWAP_BANDWIDTH",
+    "SWAP_OVERHEAD",
+    "ShutdownRestartJob",
+    "ShutdownRestartModel",
+    "runtime_overhead_fraction",
+]

@@ -1,0 +1,110 @@
+"""The Litz baseline: programming-model elasticity via executor
+multiplexing (paper §VI-A, Fig. 16).
+
+Litz achieves elasticity by over-decomposing the job into many *executors*
+and context-switching several of them on each shared GPU worker.  Because
+GPU memory is limited, every executor switch moves the outgoing context
+(parameters, optimizer state, workspace) out to CPU memory and the
+incoming one in — and that CPU<->GPU traffic is what destroys training
+throughput (the paper measures >90% loss on Transformer).
+
+Following the paper we also implement *local gradient aggregation*:
+executors on one worker aggregate locally, so only one allreduce crosses
+workers per iteration regardless of the executor count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..perfmodel.models import ModelSpec
+from ..perfmodel.throughput import PAPER_CLUSTER, ClusterSpec, ThroughputModel
+
+#: Effective CPU<->GPU copy bandwidth for context swaps, bytes/s.  Context
+#: state lives in pageable host memory (executors are scheduled
+#: dynamically, so pinning everything is not possible) — roughly 2.5 GB/s
+#: on PCIe 3.0, well under the pinned-copy peak.
+SWAP_BANDWIDTH = 2.5e9
+
+#: Fixed per-switch overhead: allocator churn, stream sync, framework
+#: context rebuild (seconds).
+SWAP_OVERHEAD = 0.1
+
+#: The executor context includes workspace/activation buffers beyond the
+#: parameter+optimizer state.
+CONTEXT_EXPANSION = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class LitzConfig:
+    """One Litz deployment variant (the paper runs Litz-2 and Litz-4)."""
+
+    executors_per_worker: int
+    per_executor_batch: int = 32
+
+    def __post_init__(self):
+        if self.executors_per_worker < 1:
+            raise ValueError("need at least one executor per worker")
+        if self.per_executor_batch < 1:
+            raise ValueError("per-executor batch must be >= 1")
+
+
+LITZ_2 = LitzConfig(executors_per_worker=2)
+LITZ_4 = LitzConfig(executors_per_worker=4)
+
+
+class LitzModel:
+    """Throughput of Litz executor multiplexing on the paper's testbed."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        config: LitzConfig,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+    ):
+        self.model = model
+        self.config = config
+        self.cluster = cluster
+        self._throughput_model = ThroughputModel(model, cluster)
+
+    def context_switch_time(self) -> float:
+        """Seconds to swap one executor context out and the next one in."""
+        context_bytes = CONTEXT_EXPANSION * self.model.gpu_state_bytes
+        return SWAP_OVERHEAD + 2.0 * context_bytes / SWAP_BANDWIDTH
+
+    def iteration_time(self, workers: int) -> float:
+        """One synchronous iteration: every executor runs once per worker,
+        locally aggregated, then one cross-worker allreduce."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        executors = self.config.executors_per_worker
+        per_executor = self._throughput_model.compute_time(
+            self.config.per_executor_batch
+        )
+        sequential = executors * (self.context_switch_time() + per_executor)
+        # Local aggregation leaves a single allreduce among workers; the
+        # long swap-bound iteration hides most of it, same overlap window
+        # rule as the Elan model.
+        comm = self._throughput_model.allreduce_time(workers)
+        window = self.cluster.overlap_window_fraction * sequential
+        return sequential + max(0.0, comm - window)
+
+    def throughput(self, workers: int) -> float:
+        """Samples per second across the whole job."""
+        samples = (
+            workers
+            * self.config.executors_per_worker
+            * self.config.per_executor_batch
+        )
+        return samples / self.iteration_time(workers)
+
+    def relative_throughput(self, workers: int) -> float:
+        """Litz throughput over Elan's at the same per-GPU sample load
+        (the Fig. 16 metric)."""
+        per_worker_batch = (
+            self.config.executors_per_worker * self.config.per_executor_batch
+        )
+        elan = self._throughput_model.throughput(
+            workers, workers * per_worker_batch
+        )
+        return self.throughput(workers) / elan

@@ -1,0 +1,171 @@
+"""The live Shutdown-Restart baseline (paper §VI-A "S&R").
+
+The most common elasticity practice (Gandiva, Optimus): on an adjustment,
+checkpoint all training state to shared storage, shut every worker down,
+restart the job with the new resource configuration and load the
+checkpoint.  This implementation actually does all of that against the
+numpy substrate — real serialization through the in-memory shared
+filesystem, real teardown of the replica objects, real reload — so its
+data-consistency behaviour can be compared against Elan's runtime
+(state-wise they must agree; time-wise S&R pays the Fig. 11 phases).
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from ..replication import SharedStorage
+from ..training.dataloader import SerialLoader
+from ..training.datasets import Dataset
+from ..training.nn import (
+    accuracy,
+    average_gradients,
+    init_mlp,
+    loss_and_gradients,
+)
+from ..training.optim import MomentumSGD
+from ..training.state import RuntimeInfo, TrainingState
+
+
+class ShutdownRestartJob:
+    """A data-parallel training job with checkpoint-based elasticity.
+
+    The job is driven synchronously by the caller (there is no async
+    coordination to exploit — that is the point of the baseline):
+    ``train(n)`` runs n iterations, ``adjust(workers)`` performs the full
+    checkpoint / shutdown / restart / load cycle.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        workers: int,
+        total_batch_size: int,
+        base_lr: float = 0.05,
+        hidden_dim: int = 32,
+        momentum: float = 0.9,
+        storage: "SharedStorage | None" = None,
+        seed: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if total_batch_size < workers:
+            raise ValueError("total batch smaller than the worker count")
+        self.dataset = dataset
+        self.base_lr = base_lr
+        self.hidden_dim = hidden_dim
+        self.momentum = momentum
+        self.storage = storage or SharedStorage()
+        self.seed = seed
+        self.checkpoints = 0
+        self.restarts = 0
+        self._alive = True
+        self.workers = workers
+        self.total_batch_size = total_batch_size
+        # One canonical replica: in data-parallel training every worker
+        # holds identical state, so the baseline tracks it once and splits
+        # micro-batches the same way the real workers would.
+        self._params = init_mlp(
+            dataset.input_dim, hidden_dim, dataset.num_classes, seed=seed
+        )
+        self._optimizer = MomentumSGD(lr=base_lr, momentum=momentum)
+        self._loader = SerialLoader(dataset.train_size, seed=seed)
+        self._info = RuntimeInfo(
+            learning_rate=base_lr, total_batch_size=total_batch_size
+        )
+
+    @property
+    def iteration(self) -> int:
+        """Completed iterations."""
+        return self._info.iteration
+
+    @property
+    def checkpoint_path(self) -> str:
+        """Where this job checkpoints on the shared filesystem."""
+        return f"sr/job-{self.seed}/checkpoint"
+
+    def train(self, iterations: int) -> "list[float]":
+        """Run ``iterations`` synchronous data-parallel iterations."""
+        if not self._alive:
+            raise RuntimeError("job is shut down; restart() first")
+        per_worker = max(1, self.total_batch_size // self.workers)
+        losses = []
+        for _ in range(iterations):
+            slices = self._loader.next_iteration(self.workers, per_worker)
+            grads, batch_losses = [], []
+            for indices in slices:
+                if len(indices) == 0:
+                    continue
+                loss, grad = loss_and_gradients(
+                    self._params,
+                    self.dataset.train_x[indices],
+                    self.dataset.train_y[indices],
+                )
+                grads.append(grad)
+                batch_losses.append(loss)
+            self._optimizer.step(self._params, average_gradients(grads))
+            losses.append(float(np.mean(batch_losses)))
+            self._info.iteration += 1
+            self._info.epoch = self._loader.epoch
+        return losses
+
+    # -- the S&R adjustment cycle (Fig. 10 timeline) ----------------------------
+
+    def checkpoint(self) -> int:
+        """Dump the full training state to shared storage; returns bytes."""
+        state = TrainingState(
+            model=self._params,
+            optimizer=self._optimizer.state_dict(),
+            loader=self._loader.state_dict(),
+            comm_group=[f"w{i}" for i in range(self.workers)],
+            runtime=self._info,
+        )
+        self.checkpoints += 1
+        return self.storage.save(self.checkpoint_path, state)
+
+    def shutdown(self) -> None:
+        """Tear down every worker: all in-memory state is discarded."""
+        self._alive = False
+        self._params = None
+        self._optimizer = None
+        self._loader = None
+
+    def restart(self, workers: int) -> None:
+        """Cold-start with a new worker count and load the checkpoint."""
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not self.storage.exists(self.checkpoint_path):
+            raise RuntimeError("no checkpoint to restart from")
+        state = self.storage.load(self.checkpoint_path)
+        self._params = state.model
+        self._optimizer = MomentumSGD(lr=self.base_lr, momentum=self.momentum)
+        self._optimizer.load_state_dict(state.optimizer)
+        self._loader = SerialLoader(self.dataset.train_size, seed=self.seed)
+        self._loader.load_state_dict(state.loader)
+        self._loader.repartition(workers)
+        self._info = state.runtime
+        self.workers = workers
+        self._alive = True
+        self.restarts += 1
+
+    def adjust(self, workers: int) -> None:
+        """The full S&R cycle: checkpoint -> shutdown -> restart+load."""
+        self.checkpoint()
+        self.shutdown()
+        self.restart(workers)
+
+    # -- observation ----------------------------------------------------------------
+
+    def evaluate(self) -> float:
+        """Test accuracy of the current model."""
+        if not self._alive:
+            raise RuntimeError("job is shut down")
+        return accuracy(self._params, self.dataset.test_x, self.dataset.test_y)
+
+    def params(self) -> dict:
+        """The current model parameters (canonical replica)."""
+        if not self._alive:
+            raise RuntimeError("job is shut down")
+        return self._params

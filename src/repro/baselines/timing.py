@@ -1,0 +1,193 @@
+"""Adjustment-latency models: Elan vs Shutdown-Restart (Figs. 10, 11, 15).
+
+Both models produce per-phase time breakdowns for the three adjustment
+kinds.  The decisive structural difference (paper §V-B, §VI-A2):
+
+* **Elan** — new workers start and initialize *off* the critical path
+  (asynchronous coordination); the training pause is only replication +
+  communication-group reconstruction + data repartition.  Replication is
+  IO-free and topology-aware.
+* **S&R** — checkpoint, shutdown and cold restart of *every* worker are
+  all on the critical path for scaling; only for migration can the new
+  workers' start be overlapped (the old workers are discarded anyway), so
+  there the gap shrinks to the IO-vs-IO-free difference (~4x) while for
+  scaling in/out it is 10-80x.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+import numpy as np
+
+from ..perfmodel import calibration
+from ..perfmodel.models import ModelSpec
+from ..replication import (
+    checkpoint_load_cost,
+    checkpoint_write_cost,
+    plan_migration,
+    plan_replication,
+)
+from ..topology import BandwidthProfile, TopologyNode, cluster_for_gpu_count
+
+
+@dataclasses.dataclass(frozen=True)
+class AdjustmentTiming:
+    """Per-phase breakdown of one resource adjustment."""
+
+    kind: str  # "migration" / "scale_in" / "scale_out"
+    system: str  # "elan" / "sr"
+    phases: typing.Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """End-to-end adjustment time (the Fig. 15 metric)."""
+        return sum(self.phases.values())
+
+
+def _placed_gpus(
+    old_workers: int, new_workers: int, kind: str
+) -> typing.Tuple["list[TopologyNode]", "list[TopologyNode]"]:
+    """Tree-order GPU placement for an adjustment's old and new workers.
+
+    Migration places the new workers on entirely fresh nodes (the usual
+    reason to migrate); scale-out packs them after the old ones.
+    """
+    if kind == "migration":
+        _cluster, gpus = cluster_for_gpu_count(old_workers + new_workers)
+        return gpus[:old_workers], gpus[old_workers : old_workers + new_workers]
+    total = max(old_workers, new_workers)
+    _cluster, gpus = cluster_for_gpu_count(total)
+    return gpus[:old_workers], gpus[old_workers:new_workers]
+
+
+class ElanAdjustmentModel:
+    """Critical-path time of an Elan adjustment."""
+
+    def __init__(
+        self,
+        profile: "BandwidthProfile | None" = None,
+        seed: int = 0,
+    ):
+        self.profile = profile or BandwidthProfile()
+        self.rng = np.random.default_rng(seed)
+
+    def _jitter(self) -> float:
+        return float(self.rng.normal(1.0, 0.04))
+
+    def adjustment_time(
+        self, kind: str, model: ModelSpec, old_workers: int, new_workers: int
+    ) -> AdjustmentTiming:
+        """Breakdown for one adjustment of ``kind``."""
+        if kind not in ("migration", "scale_in", "scale_out"):
+            raise ValueError(f"unknown adjustment kind {kind!r}")
+        old_gpus, new_gpus = _placed_gpus(old_workers, new_workers, kind)
+        phases = {
+            "coordinate": calibration.COORDINATION_RTT,
+            "group_reconstruct": calibration.GROUP_RECONSTRUCT_TIME * self._jitter(),
+            "repartition": calibration.DATA_REPARTITION_TIME,
+        }
+        if kind == "scale_in":
+            replication = 0.0  # survivors already hold the state (§IV-1)
+        elif kind == "migration":
+            # Chaining lets freshly replicated workers fan the state out,
+            # so a whole-job move is not bottlenecked on one source NIC.
+            plan = plan_migration(
+                old_gpus, new_gpus, model.gpu_state_bytes, model.cpu_state_bytes
+            )
+            chained = plan_replication(
+                old_gpus, new_gpus, model.gpu_state_bytes,
+                model.cpu_state_bytes, allow_chaining=True,
+            )
+            replication = min(
+                plan.estimated_time(self.profile),
+                chained.estimated_time(self.profile),
+            )
+        else:
+            plan = plan_replication(
+                old_gpus, new_gpus, model.gpu_state_bytes,
+                model.cpu_state_bytes, allow_chaining=True,
+            )
+            replication = plan.estimated_time(self.profile)
+        phases["replication"] = replication * self._jitter()
+        # Start + init of new workers happen in parallel with training and
+        # are NOT in the breakdown: that is the asynchronous coordination
+        # mechanism's whole point.
+        return AdjustmentTiming(kind=kind, system="elan", phases=phases)
+
+
+class ShutdownRestartModel:
+    """Critical-path time of an S&R adjustment (the Fig. 10 timeline)."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    def _startup(self, workers: int) -> typing.Tuple[float, float]:
+        """Max-over-workers start and init time (all must be up)."""
+        mean_start = calibration.WORKER_START_TIME
+        mean_init = calibration.WORKER_INIT_TIME
+        # Expected max of n Gaussians grows ~ sigma * sqrt(2 ln n).
+        tail = calibration.WORKER_STARTUP_JITTER * math.sqrt(
+            2.0 * math.log(max(2, workers))
+        )
+        noise = float(self.rng.normal(1.0, 0.03))
+        return mean_start * noise, (mean_init + tail) * noise
+
+    def adjustment_time(
+        self, kind: str, model: ModelSpec, old_workers: int, new_workers: int
+    ) -> AdjustmentTiming:
+        """Breakdown for one adjustment of ``kind``."""
+        if kind not in ("migration", "scale_in", "scale_out"):
+            raise ValueError(f"unknown adjustment kind {kind!r}")
+        write = checkpoint_write_cost(
+            model.gpu_state_bytes, model.cpu_state_bytes
+        ).total
+        # All restarted workers load from the shared FS concurrently;
+        # mild bandwidth contention grows with the reader count.
+        readers = max(1, new_workers)
+        load = checkpoint_load_cost(
+            model.gpu_state_bytes, model.cpu_state_bytes
+        ).total * (1.0 + 0.05 * (readers - 1))
+        phases = {
+            "coordinate": calibration.COORDINATION_RTT,
+            "checkpoint": write * float(self.rng.normal(1.0, 0.05)),
+        }
+        if kind == "migration":
+            # New workers were started during training (S&R can use the
+            # async feature here because old workers are discarded): only
+            # checkpoint + load remain on the critical path.
+            phases["load"] = load
+        else:
+            start, init = self._startup(new_workers)
+            phases["shutdown"] = calibration.WORKER_SHUTDOWN_TIME
+            phases["start"] = start
+            phases["init"] = init
+            phases["load"] = load
+        return AdjustmentTiming(kind=kind, system="sr", phases=phases)
+
+
+def runtime_overhead_fraction(
+    model: ModelSpec,
+    workers: int,
+    total_batch_size: "int | None" = None,
+    coordination_interval: int = 1,
+) -> float:
+    """Fig. 14: wasted-time fraction of Elan's coordination when no
+    adjustments happen.
+
+    One coordination is a tiny non-blocking AM round trip; the AM serves
+    more workers with mildly growing latency.  The fraction is the
+    per-iteration coordination cost over the iteration time.
+    """
+    from ..perfmodel.throughput import ThroughputModel
+
+    if total_batch_size is None:
+        total_batch_size = 32 * workers
+    throughput_model = ThroughputModel(model)
+    iteration = throughput_model.iteration_time(workers, total_batch_size)
+    coordination = calibration.COORDINATION_BLOCKING_COST * (
+        1.0 + 0.05 * math.log2(max(1, workers))
+    )
+    return coordination / (iteration * coordination_interval)

@@ -1,0 +1,305 @@
+"""Command-line interface to the Elan reproduction.
+
+Subcommands (also installed as the ``repro-elan`` console script)::
+
+    python -m repro.cli models                          # Table I
+    python -m repro.cli scaling --model ResNet-50       # Figs. 3/4 curves
+    python -m repro.cli adjust --kind scale_out --old-workers 8 --new-workers 16
+    python -m repro.cli elastic-training                # Fig. 18/19, Table IV
+    python -m repro.cli schedule --policy e-fifo        # §VI-C metrics
+    python -m repro.cli demo                            # live elastic job
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+
+def _print_table(headers, rows, widths):
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_models(_args) -> int:
+    """Print Table I."""
+    from .perfmodel import MODEL_ZOO
+
+    rows = [
+        (s.name, s.family, s.domain, f"{s.parameters / 1e6:.0f}M", s.dataset)
+        for s in MODEL_ZOO.values()
+    ]
+    _print_table(("Model", "Type", "Domain", "#Params", "Dataset"),
+                 rows, (14, 10, 7, 8, 10))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    """Print strong- and weak-scaling curves for one model."""
+    from .perfmodel import ThroughputModel, get_model
+    from .perfmodel.throughput import EVAL_CLUSTER, PAPER_CLUSTER
+
+    cluster = EVAL_CLUSTER if args.cluster == "eval" else PAPER_CLUSTER
+    model = ThroughputModel(get_model(args.model), cluster)
+    workers = [1, 2, 4, 8, 16, 32, 64, 128]
+    print(f"strong scaling ({args.model}, {args.cluster} cluster), samples/s:")
+    rows = []
+    for batch in (256, 512, 1024, 2048):
+        curve = dict(model.strong_scaling_curve(batch, workers))
+        rows.append((batch,) + tuple(
+            f"{curve[n]:.0f}" if n in curve else "-" for n in workers
+        ))
+    _print_table(("TBS",) + tuple(workers), rows, (6,) + (8,) * len(workers))
+    print("\nweak scaling, samples/s:")
+    rows = []
+    for batch in (16, 32, 64):
+        curve = dict(model.weak_scaling_curve(batch, workers))
+        rows.append((batch,) + tuple(f"{curve[n]:.0f}" for n in workers))
+    _print_table(("b/wkr",) + tuple(workers), rows, (6,) + (8,) * len(workers))
+    print(f"\noptimal workers: "
+          + ", ".join(f"TBS {b}: {model.optimal_workers(b)}"
+                      for b in (256, 512, 1024, 2048)))
+    return 0
+
+
+def cmd_adjust(args) -> int:
+    """Compare Elan vs S&R for one resource adjustment."""
+    from .baselines import ElanAdjustmentModel, ShutdownRestartModel
+    from .perfmodel import get_model
+
+    model = get_model(args.model)
+    elan = ElanAdjustmentModel(seed=args.seed).adjustment_time(
+        args.kind, model, args.old_workers, args.new_workers
+    )
+    sr = ShutdownRestartModel(seed=args.seed).adjustment_time(
+        args.kind, model, args.old_workers, args.new_workers
+    )
+    print(f"{args.kind} {args.old_workers} -> {args.new_workers} "
+          f"({model.name}):")
+    for timing, label in ((elan, "Elan"), (sr, "S&R")):
+        phases = ", ".join(f"{k}={v:.2f}s" for k, v in timing.phases.items())
+        print(f"  {label:5s} total {timing.total:6.2f}s  ({phases})")
+    print(f"  speedup: {sr.total / elan.total:.1f}x")
+    return 0
+
+
+def cmd_elastic_training(_args) -> int:
+    """Replay the §VI-B experiment (Fig. 18/19, Table IV)."""
+    from .core import ElasticTrainingExperiment
+
+    experiment = ElasticTrainingExperiment(seed=0)
+    static, fixed, elastic = experiment.all_configurations()
+    rows = [
+        (run.label, f"{run.total_time:.0f}s", f"{run.final_accuracy:.2%}",
+         str([p.workers for p in run.phases]))
+        for run in (static, fixed, elastic)
+    ]
+    _print_table(("Config", "Total", "Final top-1", "Workers"),
+                 rows, (22, 9, 12, 14))
+    print("\ntime to solution:")
+    rows = []
+    for target in (0.745, 0.75, 0.755):
+        ts = static.time_to_accuracy(target)
+        te = elastic.time_to_accuracy(target)
+        rows.append((f"{target:.1%}", f"{ts:.0f}s", f"{te:.0f}s",
+                     f"{ts / te:.3f}x"))
+    _print_table(("Target", "Static", "Elastic", "Speedup"),
+                 rows, (8, 10, 10, 9))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    """Run the scheduling simulation under one policy."""
+    from .scheduling import (
+        BackfillPolicy,
+        ClusterSimulator,
+        ElanCosts,
+        ElasticBackfillPolicy,
+        ElasticFifoPolicy,
+        ElasticSrtfPolicy,
+        FifoPolicy,
+        IdealCosts,
+        ShutdownRestartCosts,
+        generate_trace,
+    )
+
+    policies = {
+        "fifo": FifoPolicy,
+        "bf": BackfillPolicy,
+        "e-fifo": ElasticFifoPolicy,
+        "e-bf": ElasticBackfillPolicy,
+        "e-srtf": ElasticSrtfPolicy,
+    }
+    costs = {
+        "ideal": IdealCosts,
+        "elan": ElanCosts,
+        "sr": ShutdownRestartCosts,
+    }
+    trace = generate_trace(num_jobs=args.jobs, seed=args.seed)
+    result = ClusterSimulator(
+        trace, policies[args.policy](), total_gpus=args.gpus,
+        costs=costs[args.system](),
+    ).run()
+    print(f"policy={args.policy} system={args.system} jobs={len(trace)} "
+          f"gpus={args.gpus} seed={args.seed}")
+    print(f"  average JPT : {result.average_jpt:10.0f} s")
+    print(f"  average JCT : {result.average_jct:10.0f} s")
+    print(f"  makespan    : {result.makespan:10.0f} s")
+    print(f"  utilization : {result.average_utilization():10.0%}")
+    print(f"  adjustments : {result.adjustments:10d}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Generate a trace and save it, or summarize a saved one."""
+    from .scheduling import generate_trace, load_trace, save_trace
+
+    if args.load:
+        jobs = load_trace(args.load)
+        source = args.load
+    else:
+        jobs = generate_trace(num_jobs=args.jobs, seed=args.seed)
+        source = f"generated (seed={args.seed})"
+        if args.save:
+            save_trace(jobs, args.save)
+            print(f"saved {len(jobs)} jobs to {args.save}")
+    requested = sum(j.req_res for j in jobs)
+    print(f"trace: {len(jobs)} jobs, {source}")
+    print(f"  span          : {jobs[-1].submit_time - jobs[0].submit_time:,.0f} s")
+    print(f"  total req_res : {requested} workers")
+    print(f"  models        : "
+          + ", ".join(sorted({j.model.name for j in jobs})))
+    return 0
+
+
+def cmd_capacity(args) -> int:
+    """Capacity planning: GPUs needed to hit a JCT target."""
+    from .scheduling import (
+        ElasticFifoPolicy,
+        FifoPolicy,
+        capacity_sweep,
+        elasticity_hardware_savings,
+        generate_trace,
+    )
+
+    trace = generate_trace(num_jobs=args.jobs, seed=args.seed)
+    sizes = [int(s) for s in args.gpus.split(",")]
+    print(f"sweep over {sizes} GPUs ({len(trace)} jobs, seed {args.seed}):")
+    rows = []
+    for point in capacity_sweep(trace, FifoPolicy(), sizes):
+        rows.append(("fifo", point.gpus, f"{point.average_jct:.0f}",
+                     f"{point.utilization:.0%}"))
+    for point in capacity_sweep(trace, ElasticFifoPolicy(), sizes):
+        rows.append(("e-fifo", point.gpus, f"{point.average_jct:.0f}",
+                     f"{point.utilization:.0%}"))
+    _print_table(("Policy", "GPUs", "Avg JCT (s)", "Util"),
+                 rows, (8, 6, 12, 6))
+    if args.jct_target:
+        savings = elasticity_hardware_savings(
+            trace, FifoPolicy(), ElasticFifoPolicy(),
+            args.jct_target, sizes,
+        )
+        print(f"\nGPUs needed for JCT <= {args.jct_target:.0f}s: "
+              f"fifo={savings['fifo']}, e-fifo={savings['e-fifo']}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Run a short live elastic-training demo."""
+    from .coordination import params_consistent
+    from .core import ElasticJob, WeakScalingPolicy
+    from .training import make_classification
+
+    dataset = make_classification(train_size=1024, test_size=256, seed=args.seed)
+    with ElasticJob(
+        dataset, workers=2, total_batch_size=64, base_lr=0.02,
+        scaling_policy=WeakScalingPolicy(ramp_iterations=10), seed=args.seed,
+    ) as job:
+        job.wait_until_iteration(20)
+        print(f"running: {job.status()}")
+        job.scale_out(2)
+        job.wait_for_adjustments(1)
+        print(f"scaled out: {job.status()}")
+        job.wait_until_iteration(job.status()["iteration"] + 20)
+    consistent = params_consistent(job.runtime.final_contexts())
+    print(f"replicas consistent: {consistent}; accuracy {job.evaluate():.3f}")
+    return 0 if consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-elan",
+        description="Reproduction of Elan (ICDCS 2020): elastic DL training.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="print the Table I model zoo")
+
+    scaling = sub.add_parser("scaling", help="strong/weak scaling curves")
+    scaling.add_argument("--model", default="ResNet-50")
+    scaling.add_argument("--cluster", choices=("paper", "eval"),
+                         default="paper")
+
+    adjust = sub.add_parser("adjust", help="Elan vs S&R adjustment timing")
+    adjust.add_argument("--kind", default="scale_out",
+                        choices=("scale_out", "scale_in", "migration"))
+    adjust.add_argument("--model", default="ResNet-50")
+    adjust.add_argument("--old-workers", type=int, default=8)
+    adjust.add_argument("--new-workers", type=int, default=16)
+    adjust.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("elastic-training",
+                   help="the §VI-B experiment (Table IV)")
+
+    schedule = sub.add_parser("schedule", help="scheduling simulation")
+    schedule.add_argument("--policy", default="e-fifo",
+                          choices=("fifo", "bf", "e-fifo", "e-bf", "e-srtf"))
+    schedule.add_argument("--system", default="elan",
+                          choices=("ideal", "elan", "sr"))
+    schedule.add_argument("--jobs", type=int, default=210)
+    schedule.add_argument("--gpus", type=int, default=128)
+    schedule.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="generate/save/summarize traces")
+    trace.add_argument("--jobs", type=int, default=210)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--save", help="write the generated trace here")
+    trace.add_argument("--load", help="summarize this saved trace instead")
+
+    capacity = sub.add_parser("capacity", help="capacity-planning sweep")
+    capacity.add_argument("--jobs", type=int, default=60)
+    capacity.add_argument("--seed", type=int, default=0)
+    capacity.add_argument("--gpus", default="64,96,128,160",
+                          help="comma-separated cluster sizes")
+    capacity.add_argument("--jct-target", type=float, default=None)
+
+    demo = sub.add_parser("demo", help="live elastic-training demo")
+    demo.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_HANDLERS = {
+    "models": cmd_models,
+    "scaling": cmd_scaling,
+    "adjust": cmd_adjust,
+    "elastic-training": cmd_elastic_training,
+    "schedule": cmd_schedule,
+    "trace": cmd_trace,
+    "capacity": cmd_capacity,
+    "demo": cmd_demo,
+}
+
+
+def main(argv: "typing.Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Elan's control plane: AM, protocol, store, hooks, live runtime (§II, §V)."""
+
+from .collective import Collective, CollectiveAborted
+from .dessim import SimulatedAdjustment, SimulatedElasticJob
+from .hooks import Hook, HookRegistry
+from .master import (
+    AdjustmentKind,
+    AdjustmentRequest,
+    ApplicationMaster,
+    Directive,
+    DirectiveKind,
+    MasterState,
+)
+from .messages import (
+    DeduplicatingInbox,
+    FaultyChannel,
+    Message,
+    MessageFactory,
+    MessageType,
+    ReliableSender,
+)
+from .ring import RingCollective, flatten_params, unflatten_params
+from .runtime import (
+    ElasticRuntime,
+    GroupPlan,
+    WorkerContext,
+    params_consistent,
+)
+from .store import CasConflict, KeyValueStore
+from .telemetry import RuntimeTelemetry, TelemetryEvent
+
+__all__ = [
+    "AdjustmentKind",
+    "AdjustmentRequest",
+    "ApplicationMaster",
+    "CasConflict",
+    "Collective",
+    "CollectiveAborted",
+    "DeduplicatingInbox",
+    "Directive",
+    "DirectiveKind",
+    "ElasticRuntime",
+    "FaultyChannel",
+    "GroupPlan",
+    "Hook",
+    "HookRegistry",
+    "KeyValueStore",
+    "MasterState",
+    "Message",
+    "RingCollective",
+    "RuntimeTelemetry",
+    "SimulatedAdjustment",
+    "SimulatedElasticJob",
+    "TelemetryEvent",
+    "MessageFactory",
+    "MessageType",
+    "ReliableSender",
+    "WorkerContext",
+    "flatten_params",
+    "params_consistent",
+    "unflatten_params",
+]

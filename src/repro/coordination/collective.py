@@ -1,0 +1,94 @@
+"""In-process collective communication for the live runtime.
+
+Data-parallel training synchronizes via allreduce (paper Fig. 7).  The
+live runtime's workers are threads, so the collective is a generation-
+stamped barrier: every member of the current communication group deposits
+its gradients; the last arrival computes the mean and releases everyone.
+After a resource adjustment the group is *reconstructed* — a new
+:class:`Collective` with the new member set (step 5 of Fig. 2).
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+from ..training.nn import Params, average_gradients
+
+
+class CollectiveAborted(Exception):
+    """Raised in waiters when the collective is torn down mid-round."""
+
+
+class Collective:
+    """A reusable allreduce barrier over a fixed member set."""
+
+    def __init__(self, generation: int, members: typing.Sequence[str],
+                 timeout: float = 30.0):
+        if not members:
+            raise ValueError("a collective needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate member ids")
+        self.generation = generation
+        self.members = tuple(members)
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self._slots: typing.Dict[str, "Params | None"] = {}
+        self._round = 0
+        self._result: "Params | None" = None
+        self._aborted = False
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    def allreduce(self, member_id: str, grads: "Params | None") -> "Params | None":
+        """Deposit gradients and receive the group mean.
+
+        ``grads`` may be ``None`` for a member whose micro-batch was empty
+        (epoch tail); such members still synchronize but contribute
+        nothing.  Returns ``None`` only in the degenerate case where every
+        member was empty.
+        """
+        if member_id not in self.members:
+            raise KeyError(f"{member_id!r} is not in generation {self.generation}")
+        with self._cond:
+            if self._aborted:
+                raise CollectiveAborted(f"generation {self.generation} aborted")
+            if member_id in self._slots:
+                raise RuntimeError(
+                    f"{member_id!r} deposited twice in one round"
+                )
+            my_round = self._round
+            self._slots[member_id] = grads
+            if len(self._slots) == self.size:
+                contributions = [g for g in self._slots.values() if g is not None]
+                self._result = (
+                    average_gradients(contributions) if contributions else None
+                )
+                self._slots = {}
+                self._round += 1
+                self._cond.notify_all()
+            else:
+                while self._round == my_round and not self._aborted:
+                    if not self._cond.wait(timeout=self.timeout):
+                        raise RuntimeError(
+                            f"allreduce timed out in generation "
+                            f"{self.generation} round {my_round}"
+                        )
+                # Only fail if the round truly never completed: when the
+                # round advanced before (or concurrently with) the abort,
+                # the update was committed by the other members and this
+                # member must apply it too, or replicas would diverge.
+                if self._round == my_round and self._aborted:
+                    raise CollectiveAborted(
+                        f"generation {self.generation} aborted"
+                    )
+            return self._result
+
+    def abort(self) -> None:
+        """Wake every waiter with :class:`CollectiveAborted` (teardown)."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()

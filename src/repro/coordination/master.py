@@ -1,0 +1,255 @@
+"""The application master (AM): Elan's per-job control plane (§II, §V-B).
+
+The AM offers the resource-adjustment service to the scheduler and
+coordinates workers through the 5-step procedure of Fig. 2:
+
+1. the scheduler *requests* an adjustment (and launches new workers);
+2. new workers *report* after start + initialization;
+3. existing workers *coordinate* at iteration boundaries; the adjustment
+   commits at the first coordination point after every new worker has
+   reported — existing workers never wait or shut down (the asynchronous
+   coordination mechanism);
+4. state replication and 5. state adjustment are executed by the runtime
+   at the commit point the AM chose.
+
+The AM is deliberately transport-free pure logic: the live threaded
+runtime calls it under a lock, the discrete-event experiments drive it
+with simulated time, and both get identical decisions.  Every transition
+is persisted to a :class:`~repro.coordination.store.KeyValueStore`
+(the etcd stand-in) so a failed AM can be recovered (§V-D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from .store import KeyValueStore
+
+
+class AdjustmentKind(enum.Enum):
+    """The three resource adjustments Elan supports."""
+
+    SCALE_OUT = "scale_out"
+    SCALE_IN = "scale_in"
+    MIGRATION = "migration"
+
+
+class DirectiveKind(enum.Enum):
+    """What a coordinating worker is told to do."""
+
+    CONTINUE = "continue"
+    ADJUST = "adjust"
+
+
+class MasterState(enum.Enum):
+    """AM state machine (persisted to the store)."""
+
+    RUNNING = "running"
+    WAITING_REPORTS = "waiting_reports"
+    COMMIT_SCHEDULED = "commit_scheduled"
+
+
+@dataclasses.dataclass(frozen=True)
+class AdjustmentRequest:
+    """A scheduler request (step 1 of Fig. 2)."""
+
+    kind: AdjustmentKind
+    add_workers: typing.Tuple[str, ...] = ()
+    remove_workers: typing.Tuple[str, ...] = ()
+
+    def validate(self, current_group: typing.Sequence[str]) -> None:
+        """Reject structurally impossible requests early."""
+        current = set(current_group)
+        if self.kind is AdjustmentKind.SCALE_OUT:
+            if not self.add_workers or self.remove_workers:
+                raise ValueError("scale-out must only add workers")
+        elif self.kind is AdjustmentKind.SCALE_IN:
+            if not self.remove_workers or self.add_workers:
+                raise ValueError("scale-in must only remove workers")
+            if set(self.remove_workers) >= current:
+                raise ValueError("scale-in cannot remove every worker")
+        else:  # MIGRATION
+            if not self.add_workers or not self.remove_workers:
+                raise ValueError("migration must both add and remove workers")
+        if set(self.add_workers) & current:
+            raise ValueError("cannot add workers already in the group")
+        missing = set(self.remove_workers) - current
+        if missing:
+            raise ValueError(f"cannot remove unknown workers: {sorted(missing)}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Directive:
+    """The AM's answer to one coordinate call."""
+
+    kind: DirectiveKind
+    adjustment: "AdjustmentRequest | None" = None
+    new_group: typing.Tuple[str, ...] = ()
+    commit_iteration: int = -1
+
+
+class ApplicationMaster:
+    """Pure-logic AM; thread safety is the caller's concern."""
+
+    def __init__(
+        self,
+        job_id: str,
+        workers: typing.Sequence[str],
+        store: "KeyValueStore | None" = None,
+        coordination_interval: int = 1,
+    ):
+        if not workers:
+            raise ValueError("a job needs at least one worker")
+        if coordination_interval < 1:
+            raise ValueError("coordination_interval must be >= 1")
+        self.job_id = job_id
+        self.store = store or KeyValueStore()
+        self.coordination_interval = coordination_interval
+        self.state = MasterState.RUNNING
+        self.group: typing.Tuple[str, ...] = tuple(workers)
+        self.pending: "AdjustmentRequest | None" = None
+        self.reported: set = set()
+        self.commit_iteration = -1
+        self.latest_iteration = 0
+        self.coordinations = 0
+        self.adjustments_committed = 0
+        self._persist()
+
+    # -- service API offered to the scheduler (Table III) --------------------
+
+    def request_adjustment(self, request: AdjustmentRequest) -> bool:
+        """Step 1: accept an adjustment unless one is already in flight."""
+        if self.pending is not None:
+            return False
+        request.validate(self.group)
+        self.pending = request
+        self.reported = set()
+        if request.add_workers:
+            self.state = MasterState.WAITING_REPORTS
+        else:
+            # Scale-in needs no reports: commit at the next boundary.
+            self._schedule_commit()
+        self._persist()
+        return True
+
+    # -- worker-facing protocol ----------------------------------------------
+
+    def worker_report(self, worker_id: str) -> None:
+        """Step 2: a new worker finished start + init and is ready to join."""
+        if self.pending is None or worker_id not in self.pending.add_workers:
+            return  # stale or unknown report; ignore (idempotent)
+        self.reported.add(worker_id)
+        if self.state is MasterState.WAITING_REPORTS and self.reported >= set(
+            self.pending.add_workers
+        ):
+            self._schedule_commit()
+        self._persist()
+
+    def coordinate(self, worker_id: str, iteration: int) -> Directive:
+        """Step 3: an existing worker checks in at an iteration boundary.
+
+        Non-blocking: if an adjustment is committed for this boundary the
+        worker is told to adjust; otherwise — including while new workers
+        are still starting — it is told to continue immediately.  This is
+        the asynchronous coordination mechanism: stragglers among the new
+        workers never stall training, "the adjustment is left for future
+        coordination".
+        """
+        if worker_id not in self.group:
+            raise KeyError(f"{worker_id!r} is not in the current group")
+        self.coordinations += 1
+        self.latest_iteration = max(self.latest_iteration, iteration)
+        if (
+            self.state is MasterState.COMMIT_SCHEDULED
+            and iteration >= self.commit_iteration
+        ):
+            return self._commit_directive()
+        return Directive(kind=DirectiveKind.CONTINUE)
+
+    # -- internals -------------------------------------------------------------
+
+    def _schedule_commit(self) -> None:
+        interval = self.coordination_interval
+        next_boundary = (self.latest_iteration // interval + 1) * interval
+        self.commit_iteration = next_boundary
+        self.state = MasterState.COMMIT_SCHEDULED
+
+    def _commit_directive(self) -> Directive:
+        request = self.pending
+        assert request is not None
+        if request.kind is AdjustmentKind.MIGRATION:
+            new_group = tuple(request.add_workers)
+        else:
+            survivors = [w for w in self.group if w not in request.remove_workers]
+            new_group = tuple(survivors) + tuple(request.add_workers)
+        return Directive(
+            kind=DirectiveKind.ADJUST,
+            adjustment=request,
+            new_group=new_group,
+            commit_iteration=self.commit_iteration,
+        )
+
+    def finish_adjustment(self) -> None:
+        """Called by the runtime once steps 4-5 completed at the commit."""
+        directive = self._commit_directive()
+        self.group = directive.new_group
+        self.pending = None
+        self.reported = set()
+        self.commit_iteration = -1
+        self.state = MasterState.RUNNING
+        self.adjustments_committed += 1
+        self._persist()
+
+    # -- fault tolerance (§V-D) --------------------------------------------------
+
+    def _persist(self) -> None:
+        self.store.put(
+            f"elan/{self.job_id}/am",
+            {
+                "state": self.state.value,
+                "group": list(self.group),
+                "pending": None
+                if self.pending is None
+                else {
+                    "kind": self.pending.kind.value,
+                    "add": list(self.pending.add_workers),
+                    "remove": list(self.pending.remove_workers),
+                },
+                "reported": sorted(self.reported),
+                "commit_iteration": self.commit_iteration,
+                "latest_iteration": self.latest_iteration,
+                "coordination_interval": self.coordination_interval,
+                "adjustments_committed": self.adjustments_committed,
+            },
+        )
+
+    @classmethod
+    def recover(cls, job_id: str, store: KeyValueStore) -> "ApplicationMaster":
+        """Rebuild a failed AM from its persisted state machine."""
+        snapshot = store.get(f"elan/{job_id}/am")
+        if snapshot is None:
+            raise KeyError(f"no persisted AM state for job {job_id!r}")
+        master = cls.__new__(cls)
+        master.job_id = job_id
+        master.store = store
+        master.coordination_interval = snapshot["coordination_interval"]
+        master.state = MasterState(snapshot["state"])
+        master.group = tuple(snapshot["group"])
+        pending = snapshot["pending"]
+        master.pending = (
+            None
+            if pending is None
+            else AdjustmentRequest(
+                kind=AdjustmentKind(pending["kind"]),
+                add_workers=tuple(pending["add"]),
+                remove_workers=tuple(pending["remove"]),
+            )
+        )
+        master.reported = set(snapshot["reported"])
+        master.commit_iteration = snapshot["commit_iteration"]
+        master.latest_iteration = snapshot["latest_iteration"]
+        master.coordinations = 0
+        master.adjustments_committed = snapshot["adjustments_committed"]
+        return master

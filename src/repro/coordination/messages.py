@@ -1,0 +1,137 @@
+"""Message protocol between the application master and workers (§V-D).
+
+Every message carries a unique ID; receivers deduplicate by ID and senders
+resend on timeout — the paper's fault-tolerance recipe ("we tag every
+message with a unique ID and resend it in case of timeout").  The channel
+abstraction supports injectable delivery faults (drops, duplicates) so the
+resend/dedup logic is actually exercised by tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing
+
+
+class MessageType(enum.Enum):
+    """Protocol message kinds (paper Fig. 2 steps and Table III calls)."""
+
+    ADJUSTMENT_REQUEST = "adjustment_request"  # scheduler -> AM   (step 1)
+    WORKER_REPORT = "worker_report"  # new worker -> AM            (step 2)
+    COORDINATE = "coordinate"  # existing worker -> AM             (step 3)
+    DIRECTIVE = "directive"  # AM -> worker (continue / adjust)
+    ACK = "ack"
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One protocol message.
+
+    ``msg_id`` is globally unique per logical message; a retransmission
+    reuses the ID so receivers can deduplicate.
+    """
+
+    msg_id: int
+    msg_type: MessageType
+    sender: str
+    payload: dict
+
+    def duplicate(self) -> "Message":
+        """A retransmission of this message (same ID on purpose)."""
+        return self
+
+
+class MessageFactory:
+    """Allocates unique message IDs."""
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+
+    def make(self, msg_type: MessageType, sender: str, payload: dict) -> Message:
+        """Create a new uniquely-identified message."""
+        return Message(
+            msg_id=next(self._ids),
+            msg_type=msg_type,
+            sender=sender,
+            payload=dict(payload),
+        )
+
+
+class DeduplicatingInbox:
+    """Receiver-side dedup by message ID."""
+
+    def __init__(self):
+        self._seen: set = set()
+        self.duplicates_dropped = 0
+
+    def accept(self, message: Message) -> bool:
+        """True if the message is new; False (and counted) if a duplicate."""
+        if message.msg_id in self._seen:
+            self.duplicates_dropped += 1
+            return False
+        self._seen.add(message.msg_id)
+        return True
+
+
+class FaultyChannel:
+    """A lossy channel with deterministic fault injection.
+
+    ``drop_every`` drops each n-th send (simulating loss so that the
+    sender's resend path runs); ``duplicate_every`` delivers each n-th
+    send twice (so the receiver's dedup path runs).
+    """
+
+    def __init__(
+        self,
+        deliver: typing.Callable[[Message], None],
+        drop_every: int = 0,
+        duplicate_every: int = 0,
+    ):
+        self._deliver = deliver
+        self.drop_every = drop_every
+        self.duplicate_every = duplicate_every
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+
+    def send(self, message: Message) -> bool:
+        """Send through the channel; returns False if the send was dropped."""
+        self.sent += 1
+        if self.drop_every and self.sent % self.drop_every == 0:
+            self.dropped += 1
+            return False
+        self._deliver(message)
+        if self.duplicate_every and self.sent % self.duplicate_every == 0:
+            self.duplicated += 1
+            self._deliver(message.duplicate())
+        return True
+
+
+class ReliableSender:
+    """Send-with-retry over a possibly lossy channel.
+
+    Mirrors the paper's timeout-resend: the caller supplies an
+    acknowledgement predicate; the sender retries (same message ID) until
+    acknowledged or the attempt budget is exhausted.
+    """
+
+    def __init__(self, channel: FaultyChannel, max_attempts: int = 5):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.channel = channel
+        self.max_attempts = max_attempts
+        self.retries = 0
+
+    def send(
+        self, message: Message, acknowledged: typing.Callable[[], bool]
+    ) -> bool:
+        """Deliver ``message``, retrying until ``acknowledged()`` is true."""
+        for attempt in range(self.max_attempts):
+            self.channel.send(message)
+            if acknowledged():
+                if attempt > 0:
+                    self.retries += attempt
+                return True
+        return False

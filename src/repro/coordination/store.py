@@ -1,0 +1,94 @@
+"""A versioned key-value store with watches — the etcd stand-in (§V-D).
+
+The paper deploys Elan on Kubernetes and persists the application master's
+state machine on etcd.  This in-memory store provides the subset of etcd
+semantics that requires: versioned puts, compare-and-swap, and watch
+callbacks, so AM fail-over can be implemented and tested faithfully.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+
+class CasConflict(Exception):
+    """Raised when a compare-and-swap loses a race."""
+
+
+class KeyValueStore:
+    """Thread-safe versioned KV store with prefix watches."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._data: typing.Dict[str, tuple] = {}  # key -> (value, version)
+        self._watches: typing.List[tuple] = []  # (prefix, callback)
+
+    def put(self, key: str, value: object) -> int:
+        """Store ``value``; returns the new version (monotone per key)."""
+        with self._lock:
+            _old, version = self._data.get(key, (None, 0))
+            new_version = version + 1
+            self._data[key] = (value, new_version)
+            watchers = [cb for prefix, cb in self._watches if key.startswith(prefix)]
+        for callback in watchers:
+            callback(key, value, new_version)
+        return new_version
+
+    def get(self, key: str, default: object = None) -> object:
+        """Current value of ``key`` (or ``default``)."""
+        with self._lock:
+            value, _version = self._data.get(key, (default, 0))
+            return value
+
+    def version(self, key: str) -> int:
+        """Current version of ``key`` (0 if absent)."""
+        with self._lock:
+            _value, version = self._data.get(key, (None, 0))
+            return version
+
+    def compare_and_swap(
+        self, key: str, expected_version: int, value: object
+    ) -> int:
+        """Atomically update ``key`` iff its version matches.
+
+        Raises :class:`CasConflict` on mismatch — callers (a recovering AM
+        replica) must re-read and retry.
+        """
+        with self._lock:
+            _old, version = self._data.get(key, (None, 0))
+            if version != expected_version:
+                raise CasConflict(
+                    f"{key!r}: expected version {expected_version}, found {version}"
+                )
+            new_version = version + 1
+            self._data[key] = (value, new_version)
+            watchers = [cb for prefix, cb in self._watches if key.startswith(prefix)]
+        for callback in watchers:
+            callback(key, value, new_version)
+        return new_version
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it existed."""
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def watch(
+        self, prefix: str, callback: typing.Callable[[str, object, int], None]
+    ) -> typing.Callable[[], None]:
+        """Register a callback for puts under ``prefix``; returns a canceller."""
+        entry = (prefix, callback)
+        with self._lock:
+            self._watches.append(entry)
+
+        def cancel() -> None:
+            with self._lock:
+                if entry in self._watches:
+                    self._watches.remove(entry)
+
+        return cancel
+
+    def keys(self, prefix: str = "") -> "list[str]":
+        """All keys under ``prefix``, sorted."""
+        with self._lock:
+            return sorted(k for k in self._data if k.startswith(prefix))

@@ -1,0 +1,108 @@
+"""Runtime observability: per-worker timings, events, straggler detection.
+
+Synchronous data-parallel training hides stragglers inside the allreduce
+barrier — every member's *iteration* time equals the slowest member's.
+The telemetry therefore records each worker's **compute** time (iteration
+start to allreduce entry), which isolates the slow worker, plus a
+structured event log of adjustments and failures.  The straggler-
+mitigation example uses :meth:`RuntimeTelemetry.detect_stragglers` to
+pick its victim instead of cheating.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import statistics
+import threading
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryEvent:
+    """One control-plane happening (adjustment, failure, recovery)."""
+
+    wall_time: float
+    kind: str
+    detail: dict
+
+
+class RuntimeTelemetry:
+    """Thread-safe collector of per-worker timings and events."""
+
+    def __init__(self, window: int = 256):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._lock = threading.Lock()
+        self._compute_times: typing.Dict[str, collections.deque] = {}
+        self.events: typing.List[TelemetryEvent] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def record_compute(self, worker_id: str, seconds: float) -> None:
+        """Record one iteration's compute duration for a worker."""
+        with self._lock:
+            buffer = self._compute_times.get(worker_id)
+            if buffer is None:
+                buffer = collections.deque(maxlen=self.window)
+                self._compute_times[worker_id] = buffer
+            buffer.append(seconds)
+
+    def record_event(self, wall_time: float, kind: str, **detail) -> None:
+        """Append a control-plane event to the log."""
+        with self._lock:
+            self.events.append(
+                TelemetryEvent(wall_time=wall_time, kind=kind, detail=detail)
+            )
+
+    def forget_worker(self, worker_id: str) -> None:
+        """Drop a departed worker's samples."""
+        with self._lock:
+            self._compute_times.pop(worker_id, None)
+
+    # -- queries ----------------------------------------------------------------
+
+    def mean_compute_time(self, worker_id: str) -> "float | None":
+        """Windowed mean compute time of one worker (None if no samples)."""
+        with self._lock:
+            buffer = self._compute_times.get(worker_id)
+            if not buffer:
+                return None
+            return statistics.fmean(buffer)
+
+    def summary(self) -> "dict[str, float]":
+        """{worker: mean compute seconds} for every observed worker."""
+        with self._lock:
+            return {
+                worker: statistics.fmean(buffer)
+                for worker, buffer in self._compute_times.items()
+                if buffer
+            }
+
+    def detect_stragglers(
+        self, factor: float = 2.0, min_samples: int = 5
+    ) -> "list[str]":
+        """Workers whose mean compute time exceeds ``factor`` x the group
+        median — the signal a mitigation policy acts on."""
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        with self._lock:
+            means = {
+                worker: statistics.fmean(buffer)
+                for worker, buffer in self._compute_times.items()
+                if len(buffer) >= min_samples
+            }
+        if len(means) < 2:
+            return []
+        median = statistics.median(means.values())
+        if median <= 0:
+            return []
+        return sorted(
+            worker for worker, mean in means.items() if mean > factor * median
+        )
+
+    def events_of_kind(self, kind: str) -> "list[TelemetryEvent]":
+        """All events of one kind, in order."""
+        with self._lock:
+            return [e for e in self.events if e.kind == kind]

@@ -1,0 +1,66 @@
+"""The paper's headline algorithms: hybrid scaling, progressive LR, AdaBatch."""
+
+from .adabatch import AdaBatchSchedule, BatchPhase, doubling_schedule
+from .elastic_training import (
+    ElasticTrainingExperiment,
+    PhaseExecution,
+    TrainingTimeline,
+)
+from .lr_schedules import (
+    ConstantLr,
+    CosineDecay,
+    LrSchedule,
+    ScaledSchedule,
+    StepDecay,
+    WarmupSchedule,
+)
+from .hybrid_scaling import (
+    HybridScalingPolicy,
+    ScalingDecision,
+    ScalingPolicy,
+    StrongScalingPolicy,
+    WeakScalingPolicy,
+)
+from .progressive_lr import (
+    DEFAULT_RAMP_ITERATIONS,
+    LrRamp,
+    ramp_for_scale,
+    ramp_from_runtime_info,
+    ramp_to_runtime_info,
+)
+
+__all__ = [
+    "AdaBatchSchedule",
+    "BatchPhase",
+    "ConstantLr",
+    "CosineDecay",
+    "DEFAULT_RAMP_ITERATIONS",
+    "ElasticJob",
+    "ElasticTrainingExperiment",
+    "PhaseExecution",
+    "TrainingTimeline",
+    "HybridScalingPolicy",
+    "LrRamp",
+    "LrSchedule",
+    "ScaledSchedule",
+    "StepDecay",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "StrongScalingPolicy",
+    "WarmupSchedule",
+    "WeakScalingPolicy",
+    "doubling_schedule",
+    "ramp_for_scale",
+    "ramp_from_runtime_info",
+    "ramp_to_runtime_info",
+]
+
+
+def __getattr__(name: str):
+    """Lazy import of :class:`ElasticJob` to break the core <-> coordination
+    import cycle (the facade wraps the runtime, which uses core policies)."""
+    if name == "ElasticJob":
+        from .api import ElasticJob
+
+        return ElasticJob
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

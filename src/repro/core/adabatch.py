@@ -1,0 +1,102 @@
+"""The AdaBatch dynamic-batch-size schedule (paper §VI-B workload).
+
+AdaBatch trains with a small batch at first and doubles it at intervals.
+The paper's adaptation for ResNet-50/ImageNet: start at 512, double every
+30 epochs, stop after 90 — so batch sizes 512/1024/2048 — doubling the
+learning rate alongside (finished in 100 iterations by the progressive
+rule).  The schedule is the *algorithm-side* driver of elasticity: Elan's
+job is to feed it the right amount of hardware at each phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..perfmodel.throughput import ThroughputModel
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchPhase:
+    """One constant-batch segment of an AdaBatch schedule."""
+
+    start_epoch: int
+    end_epoch: int
+    total_batch_size: int
+    lr_scale: float  # cumulative LR multiplier vs the initial LR
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaBatchSchedule:
+    """A dynamic batch-size schedule with matched LR scaling."""
+
+    phases: typing.Tuple[BatchPhase, ...]
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError("schedule needs at least one phase")
+        for prev, nxt in zip(self.phases, self.phases[1:]):
+            if nxt.start_epoch != prev.end_epoch:
+                raise ValueError("phases must be contiguous")
+
+    @property
+    def total_epochs(self) -> int:
+        """Epochs covered by the whole schedule."""
+        return self.phases[-1].end_epoch
+
+    def phase_at(self, epoch: float) -> BatchPhase:
+        """The phase active at ``epoch``."""
+        if epoch < 0 or epoch >= self.total_epochs:
+            raise ValueError(f"epoch {epoch} outside [0, {self.total_epochs})")
+        for phase in self.phases:
+            if phase.start_epoch <= epoch < phase.end_epoch:
+                return phase
+        raise AssertionError("unreachable: contiguous phases cover the range")
+
+    def batch_at(self, epoch: float) -> int:
+        """Total batch size at ``epoch``."""
+        return self.phase_at(epoch).total_batch_size
+
+    def worker_plan(
+        self,
+        throughput_model: ThroughputModel,
+        per_worker_batch: int = 32,
+        max_workers: "int | None" = None,
+    ) -> "list[int]":
+        """Workers to request in each phase.
+
+        The paper is "guided by the strong scaling curves" (Fig. 17) and
+        lands on a fixed per-worker batch of 32 (16@512, 32@1024, 64@2048);
+        we follow the same rule, optionally clamping to the strong-scaling
+        optimum so resources are never knowingly wasted.
+        """
+        plan = []
+        for phase in self.phases:
+            workers = max(1, phase.total_batch_size // per_worker_batch)
+            optimal = throughput_model.optimal_workers(phase.total_batch_size)
+            workers = min(workers, max(1, optimal))
+            if max_workers is not None:
+                workers = min(workers, max_workers)
+            plan.append(workers)
+        return plan
+
+
+def doubling_schedule(
+    initial_batch: int = 512,
+    epochs_per_phase: int = 30,
+    num_phases: int = 3,
+) -> AdaBatchSchedule:
+    """The paper's §VI-B schedule: double the batch (and LR) every phase."""
+    if initial_batch < 1 or epochs_per_phase < 1 or num_phases < 1:
+        raise ValueError("schedule parameters must be positive")
+    phases = []
+    for index in range(num_phases):
+        phases.append(
+            BatchPhase(
+                start_epoch=index * epochs_per_phase,
+                end_epoch=(index + 1) * epochs_per_phase,
+                total_batch_size=initial_batch * 2**index,
+                lr_scale=float(2**index),
+            )
+        )
+    return AdaBatchSchedule(phases=tuple(phases))

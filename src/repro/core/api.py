@@ -1,0 +1,140 @@
+"""The public Elan API surface (paper §V-A, Table III).
+
+Table III lists three API groups; this module maps each onto the
+reproduction:
+
+=====================  =======================================================
+Paper API              Here
+=====================  =======================================================
+Service API            :meth:`ElasticJob.adjust_resource` — called by the
+(AdjustResource)       scheduler to scale out/in or migrate a running job.
+RegisterHook           :meth:`ElasticJob.register_hook` — add framework or
+                       user state to what replication carries.
+Coordinate             invoked internally by every worker at iteration
+                       boundaries; :attr:`ElasticJob.coordination_interval`
+                       sets how often (the elasticity/efficiency knob of
+                       §V-B).
+=====================  =======================================================
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..coordination.hooks import Hook
+from ..coordination.master import AdjustmentKind
+from ..coordination.runtime import ElasticRuntime, GroupPlan
+from ..training.datasets import Dataset
+from .hybrid_scaling import ScalingPolicy
+
+
+class ElasticJob:
+    """A running elastic training job with the Table III API."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        workers: int = 2,
+        total_batch_size: int = 64,
+        base_lr: float = 0.05,
+        scaling_policy: "ScalingPolicy | None" = None,
+        coordination_interval: int = 1,
+        **runtime_kwargs: object,
+    ):
+        self.runtime = ElasticRuntime(
+            dataset,
+            initial_workers=workers,
+            total_batch_size=total_batch_size,
+            base_lr=base_lr,
+            scaling_policy=scaling_policy,
+            coordination_interval=coordination_interval,
+            **runtime_kwargs,
+        )
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ElasticJob":
+        """Launch the job's workers; returns self for chaining."""
+        self.runtime.start()
+        self._started = True
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop training at the next coordination boundary."""
+        self.runtime.stop(timeout=timeout)
+
+    def __enter__(self) -> "ElasticJob":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- Service API (scheduler-facing) -----------------------------------------
+
+    def adjust_resource(
+        self,
+        kind: AdjustmentKind,
+        count: "int | None" = None,
+        worker_ids: "list[str] | None" = None,
+    ) -> "list[str]":
+        """The Table III service call: request a resource adjustment.
+
+        Returns the worker ids affected (new ids for scale-out/migration,
+        removed ids for scale-in).  Non-blocking: training continues while
+        new workers start; the adjustment commits at a later coordination
+        point (§V-B).
+        """
+        if kind is AdjustmentKind.SCALE_OUT:
+            if count is None:
+                raise ValueError("scale-out needs a worker count")
+            return self.runtime.scale_out(count)
+        if kind is AdjustmentKind.SCALE_IN:
+            return self.runtime.scale_in(count=count or 1, worker_ids=worker_ids)
+        return self.runtime.migrate(count=count)
+
+    def scale_out(self, count: int) -> "list[str]":
+        """Convenience for ``adjust_resource(SCALE_OUT, count)``."""
+        return self.runtime.scale_out(count)
+
+    def scale_in(self, count: int = 1) -> "list[str]":
+        """Convenience for ``adjust_resource(SCALE_IN, count)``."""
+        return self.runtime.scale_in(count=count)
+
+    def migrate(self) -> "list[str]":
+        """Convenience for ``adjust_resource(MIGRATION)``."""
+        return self.runtime.migrate()
+
+    # -- RegisterHook -----------------------------------------------------------
+
+    def register_hook(self, hook: Hook) -> None:
+        """Attach extra state to replication (framework integration point)."""
+        self.runtime.register_hook(hook)
+
+    # -- observation ---------------------------------------------------------------
+
+    @property
+    def coordination_interval(self) -> int:
+        """Iterations between Coordinate calls (elasticity granularity)."""
+        return self.runtime.coordination_interval
+
+    def status(self) -> dict:
+        """Current group/iteration/batch/learning-rate snapshot."""
+        return self.runtime.snapshot()
+
+    def wait_for_adjustments(self, count: int, timeout: float = 30.0) -> bool:
+        """Block until ``count`` adjustments have committed."""
+        return self.runtime.wait_for_adjustments(count, timeout=timeout)
+
+    def wait_until_iteration(self, iteration: int, timeout: float = 30.0) -> bool:
+        """Block until the job completed ``iteration`` iterations."""
+        return self.runtime.wait_until_iteration(iteration, timeout=timeout)
+
+    def evaluate(self) -> float:
+        """Test accuracy of the job's model (call after stop)."""
+        return self.runtime.evaluate()
+
+    @property
+    def history(self) -> typing.List[GroupPlan]:
+        """Committed adjustments, oldest first."""
+        return self.runtime.history

@@ -1,0 +1,224 @@
+"""The §VI-B elastic-training experiment: AdaBatch + Elan on ResNet-50.
+
+Combines the throughput model (epoch durations per configuration), the
+convergence model (accuracy per epoch, with the hybrid scaling mechanism
+protecting model performance) and the adjustment-cost models into the
+timelines behind Fig. 18 (accuracy), Fig. 19 (training efficiency) and
+Table IV (time to solution).
+
+Three configurations, exactly as the paper defines them:
+
+* ``512 (16)`` — static: batch 512 on 16 workers for all 90 epochs
+  (the accuracy and static-training baseline);
+* ``512-2048 (64)`` — AdaBatch batch sizes but on a *fixed* 64 workers
+  (shows that dynamic batch sizes without elasticity waste resources);
+* ``512-2048 (Elastic)`` — AdaBatch with Elan scaling 16 -> 32 -> 64
+  workers at the phase boundaries (guided by the Fig. 17 curves).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..baselines.timing import ElanAdjustmentModel
+from ..perfmodel.convergence import RESNET50_IMAGENET, AccuracyModel, LrPolicy
+from ..perfmodel.models import RESNET50, ModelSpec
+from ..perfmodel.throughput import EVAL_CLUSTER, ClusterSpec, ThroughputModel
+from .adabatch import AdaBatchSchedule, doubling_schedule
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseExecution:
+    """One constant-configuration segment of a run's timeline."""
+
+    start_epoch: float
+    end_epoch: float
+    total_batch_size: int
+    workers: int
+    start_time: float
+    end_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainingTimeline:
+    """A full simulated run."""
+
+    label: str
+    phases: typing.Tuple[PhaseExecution, ...]
+    final_accuracy: float
+    accuracy_model: AccuracyModel
+    accuracy_penalty: float
+
+    @property
+    def total_time(self) -> float:
+        """Wall time of the whole schedule."""
+        return self.phases[-1].end_time
+
+    def time_at_epoch(self, epoch: float) -> float:
+        """Wall time at which ``epoch`` epochs are complete."""
+        if epoch < 0:
+            raise ValueError("epoch must be >= 0")
+        for phase in self.phases:
+            if epoch <= phase.end_epoch:
+                fraction = (epoch - phase.start_epoch) / (
+                    phase.end_epoch - phase.start_epoch
+                )
+                return phase.start_time + fraction * (
+                    phase.end_time - phase.start_time
+                )
+        return self.total_time
+
+    def accuracy_at_time(self, time: float) -> float:
+        """Top-1 accuracy reached by wall time ``time`` (Fig. 19's axes)."""
+        low, high = 0.0, self.phases[-1].end_epoch
+        for _ in range(50):
+            mid = (low + high) / 2
+            if self.time_at_epoch(mid) <= time:
+                low = mid
+            else:
+                high = mid
+        return self.accuracy_model.accuracy_at_epoch(
+            low, penalty=self.accuracy_penalty
+        )
+
+    def time_to_accuracy(self, target: float) -> float:
+        """Table IV's time to solution; raises if never reached."""
+        epoch = self.accuracy_model.epoch_reaching(
+            target, penalty=self.accuracy_penalty
+        )
+        return self.time_at_epoch(epoch)
+
+
+class ElasticTrainingExperiment:
+    """Builds the three §VI-B configurations."""
+
+    def __init__(
+        self,
+        model: ModelSpec = RESNET50,
+        schedule: "AdaBatchSchedule | None" = None,
+        cluster: "ClusterSpec | None" = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.schedule = schedule or doubling_schedule()
+        # The experiment ran on the paper's 1080Ti evaluation cluster,
+        # whose cross-node scaling is much weaker than the §III analysis
+        # testbed — this is what bounds the elastic speedup near 20-30%.
+        self.throughput = ThroughputModel(model, cluster or EVAL_CLUSTER)
+        self.accuracy = AccuracyModel(RESNET50_IMAGENET)
+        self.adjustment_model = ElanAdjustmentModel(seed=seed)
+
+    def _build(
+        self,
+        label: str,
+        phases: typing.Sequence[typing.Tuple[int, int, int, int]],
+        lr_policy: LrPolicy,
+        max_batch: int,
+        adjustment_cost: bool,
+    ) -> TrainingTimeline:
+        """phases: (start_epoch, end_epoch, batch, workers)."""
+        built = []
+        clock = 0.0
+        previous_workers: "int | None" = None
+        for start, end, batch, workers in phases:
+            if adjustment_cost and previous_workers is not None and (
+                workers != previous_workers
+            ):
+                kind = "scale_out" if workers > previous_workers else "scale_in"
+                clock += self.adjustment_model.adjustment_time(
+                    kind, self.model, previous_workers, workers
+                ).total
+            epoch_time = self.throughput.epoch_time(workers, batch)
+            built.append(
+                PhaseExecution(
+                    start_epoch=start,
+                    end_epoch=end,
+                    total_batch_size=batch,
+                    workers=workers,
+                    start_time=clock,
+                    end_time=clock + (end - start) * epoch_time,
+                )
+            )
+            clock = built[-1].end_time
+            previous_workers = workers
+        penalty = self.accuracy.final_accuracy_penalty(max_batch, lr_policy)
+        final = self.accuracy.accuracy_at_epoch(
+            self.schedule.total_epochs, penalty=penalty
+        )
+        return TrainingTimeline(
+            label=label,
+            phases=tuple(built),
+            final_accuracy=final,
+            accuracy_model=self.accuracy,
+            accuracy_penalty=penalty,
+        )
+
+    def static_baseline(self, workers: int = 16) -> TrainingTimeline:
+        """512 (16): fixed batch, fixed workers, all epochs."""
+        batch = self.schedule.phases[0].total_batch_size
+        end = self.schedule.total_epochs
+        return self._build(
+            f"{batch} ({workers})",
+            [(0, end, batch, workers)],
+            lr_policy=LrPolicy.PROGRESSIVE_LINEAR,
+            max_batch=batch,
+            adjustment_cost=False,
+        )
+
+    def dynamic_fixed_resources(self, workers: int = 64) -> TrainingTimeline:
+        """512-2048 (64): AdaBatch batches on a fixed allocation."""
+        phases = [
+            (p.start_epoch, p.end_epoch, p.total_batch_size, workers)
+            for p in self.schedule.phases
+        ]
+        max_batch = max(p.total_batch_size for p in self.schedule.phases)
+        first, last = (
+            self.schedule.phases[0].total_batch_size,
+            max_batch,
+        )
+        return self._build(
+            f"{first}-{last} ({workers})",
+            phases,
+            lr_policy=LrPolicy.PROGRESSIVE_LINEAR,
+            max_batch=max_batch,
+            adjustment_cost=False,
+        )
+
+    def elastic(
+        self,
+        per_worker_batch: int = 32,
+        worker_plan: "typing.Sequence[int] | None" = None,
+    ) -> TrainingTimeline:
+        """512-2048 (Elastic): Elan scales workers with each batch phase.
+
+        The default plan follows the paper exactly — one worker per 32
+        samples of batch (16 @ 512, 32 @ 1024, 64 @ 2048), the choice
+        "guided by the strong scaling curves shown in Figure 17".
+        """
+        if worker_plan is None:
+            worker_plan = [
+                min(64, max(1, p.total_batch_size // per_worker_batch))
+                for p in self.schedule.phases
+            ]
+        phases = [
+            (p.start_epoch, p.end_epoch, p.total_batch_size, workers)
+            for p, workers in zip(self.schedule.phases, worker_plan)
+        ]
+        max_batch = max(p.total_batch_size for p in self.schedule.phases)
+        first = self.schedule.phases[0].total_batch_size
+        return self._build(
+            f"{first}-{max_batch} (Elastic)",
+            phases,
+            lr_policy=LrPolicy.PROGRESSIVE_LINEAR,
+            max_batch=max_batch,
+            adjustment_cost=True,
+        )
+
+    def all_configurations(self) -> "list[TrainingTimeline]":
+        """The three Fig. 18/19 configurations."""
+        return [
+            self.static_baseline(),
+            self.dynamic_fixed_resources(),
+            self.elastic(),
+        ]

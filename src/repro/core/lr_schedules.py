@@ -1,0 +1,177 @@
+"""Learning-rate schedules and their composition with elastic scaling.
+
+The paper's experiments run standard recipes — ResNet-50's step decay
+(x0.1 at epochs 30/60, "hyperparameters from the official scripts of
+Pytorch") and warmup (§VII cites the warmup scheme as a scaling
+solution).  Elastic training must compose those schedules with the
+progressive linear scaling rule: after a batch change by ``k`` the whole
+*remaining* schedule is scaled by ``k``, reached through the ramp.
+
+:class:`ScaledSchedule` implements exactly that composition:
+
+    lr(t) = base_schedule(t) * ramp_factor(t)
+
+where ``ramp_factor`` moves linearly from the pre-adjustment scale to the
+new cumulative scale over T iterations — so a decay step landing *inside*
+a ramp still takes effect, and repeated adjustments compound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+
+class LrSchedule:
+    """Interface: learning rate as a function of the iteration index."""
+
+    def lr_at(self, iteration: int) -> float:
+        """The base learning rate at ``iteration``."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConstantLr(LrSchedule):
+    """A flat learning rate."""
+
+    value: float
+
+    def __post_init__(self):
+        if self.value <= 0:
+            raise ValueError("learning rate must be positive")
+
+    def lr_at(self, iteration: int) -> float:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class StepDecay(LrSchedule):
+    """Multiply by ``factor`` at each milestone (ResNet-50's recipe)."""
+
+    base_lr: float
+    milestones: typing.Tuple[int, ...]
+    factor: float = 0.1
+
+    def __post_init__(self):
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if not 0 < self.factor < 1:
+            raise ValueError("factor must be in (0, 1)")
+        if list(self.milestones) != sorted(set(self.milestones)):
+            raise ValueError("milestones must be strictly increasing")
+
+    def lr_at(self, iteration: int) -> float:
+        decays = sum(1 for m in self.milestones if iteration >= m)
+        return self.base_lr * self.factor**decays
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmupSchedule(LrSchedule):
+    """Linear warmup from ``start_lr`` into an inner schedule."""
+
+    inner: LrSchedule
+    warmup_iterations: int
+    start_lr: float = 0.0
+
+    def __post_init__(self):
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+        if self.start_lr < 0:
+            raise ValueError("start_lr must be >= 0")
+
+    def lr_at(self, iteration: int) -> float:
+        if iteration >= self.warmup_iterations or self.warmup_iterations == 0:
+            return self.inner.lr_at(iteration)
+        target = self.inner.lr_at(self.warmup_iterations)
+        fraction = iteration / self.warmup_iterations
+        return self.start_lr + fraction * (target - self.start_lr)
+
+
+@dataclasses.dataclass(frozen=True)
+class CosineDecay(LrSchedule):
+    """Cosine annealing from ``base_lr`` to ``final_lr``."""
+
+    base_lr: float
+    total_iterations: int
+    final_lr: float = 0.0
+
+    def __post_init__(self):
+        if self.base_lr <= 0 or self.total_iterations < 1:
+            raise ValueError("base_lr and total_iterations must be positive")
+        if not 0 <= self.final_lr <= self.base_lr:
+            raise ValueError("final_lr must be in [0, base_lr]")
+
+    def lr_at(self, iteration: int) -> float:
+        progress = min(1.0, max(0, iteration) / self.total_iterations)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.final_lr + (self.base_lr - self.final_lr) * cosine
+
+
+@dataclasses.dataclass(frozen=True)
+class _RampSegment:
+    start: int
+    length: int
+    from_scale: float
+    to_scale: float
+
+    def scale_at(self, iteration: int) -> float:
+        if iteration < self.start:
+            return self.from_scale
+        if self.length == 0 or iteration >= self.start + self.length:
+            return self.to_scale
+        fraction = (iteration - self.start) / self.length
+        return self.from_scale + fraction * (self.to_scale - self.from_scale)
+
+
+class ScaledSchedule(LrSchedule):
+    """A base schedule under a sequence of progressive batch-scale ramps.
+
+    Each :meth:`add_scale` call records that the total batch changed by
+    ``k`` at ``iteration``; the cumulative scale ramps to its new value
+    over ``ramp_iterations``.  Earlier ramps stay in effect, so repeated
+    elastic adjustments compound exactly as Eq. 1 demands.
+    """
+
+    def __init__(self, base: LrSchedule):
+        self.base = base
+        self._segments: typing.List[_RampSegment] = []
+        self._current_scale = 1.0
+
+    @property
+    def cumulative_scale(self) -> float:
+        """The product of all applied batch-scale factors."""
+        return self._current_scale
+
+    def add_scale(
+        self, factor: float, iteration: int, ramp_iterations: int = 100
+    ) -> None:
+        """Record a batch change by ``factor`` starting at ``iteration``."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        if ramp_iterations < 0:
+            raise ValueError("ramp_iterations must be >= 0")
+        if self._segments and iteration < self._segments[-1].start:
+            raise ValueError("scale changes must be recorded in order")
+        new_scale = self._current_scale * factor
+        self._segments.append(
+            _RampSegment(
+                start=iteration,
+                length=0 if factor == 1.0 else ramp_iterations,
+                from_scale=self._current_scale,
+                to_scale=new_scale,
+            )
+        )
+        self._current_scale = new_scale
+
+    def scale_at(self, iteration: int) -> float:
+        """The effective batch-scale multiplier at ``iteration``."""
+        scale = 1.0
+        for segment in self._segments:
+            if iteration < segment.start:
+                break
+            scale = segment.scale_at(iteration)
+        return scale
+
+    def lr_at(self, iteration: int) -> float:
+        return self.base.lr_at(iteration) * self.scale_at(iteration)

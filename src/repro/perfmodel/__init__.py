@@ -1,0 +1,78 @@
+"""Analytic performance models calibrated to the paper's testbed.
+
+Covers the system view (§III-1: strong/weak-scaling throughput, Figs. 3/4/17),
+the transport bandwidths (Fig. 8), and the algorithm view (§III-2:
+batch-size/accuracy trade-off, Figs. 5/18, Table IV).
+"""
+
+from . import calibration
+from .bandwidth import DEFAULT_SIZES, bandwidth_sweep, verify_figure8_ordering
+from .collectives import (
+    best_algorithm,
+    hierarchical_allreduce_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+from .convergence import (
+    MOBILENETV2_CIFAR100,
+    RESNET50_IMAGENET,
+    AccuracyModel,
+    ConvergenceSpec,
+    LrPhase,
+    LrPolicy,
+)
+from .models import (
+    MOBILENET_V2,
+    MODEL_LABELS,
+    MODEL_ZOO,
+    RESNET50,
+    SEQ2SEQ,
+    TRANSFORMER,
+    VGG19,
+    ModelSpec,
+    get_model,
+)
+from .memory import (
+    ACTIVATION_BYTES_PER_SAMPLE,
+    GPU_MEMORY_BYTES,
+    fits,
+    max_batch_per_worker,
+    memory_footprint,
+    min_workers_for_batch,
+)
+from .throughput import EVAL_CLUSTER, PAPER_CLUSTER, ClusterSpec, ThroughputModel
+
+__all__ = [
+    "ACTIVATION_BYTES_PER_SAMPLE",
+    "AccuracyModel",
+    "ClusterSpec",
+    "ConvergenceSpec",
+    "DEFAULT_SIZES",
+    "EVAL_CLUSTER",
+    "GPU_MEMORY_BYTES",
+    "LrPhase",
+    "LrPolicy",
+    "MOBILENETV2_CIFAR100",
+    "MOBILENET_V2",
+    "MODEL_LABELS",
+    "MODEL_ZOO",
+    "PAPER_CLUSTER",
+    "RESNET50",
+    "RESNET50_IMAGENET",
+    "SEQ2SEQ",
+    "TRANSFORMER",
+    "ThroughputModel",
+    "VGG19",
+    "bandwidth_sweep",
+    "best_algorithm",
+    "calibration",
+    "fits",
+    "hierarchical_allreduce_time",
+    "max_batch_per_worker",
+    "memory_footprint",
+    "min_workers_for_batch",
+    "ring_allreduce_time",
+    "tree_allreduce_time",
+    "get_model",
+    "verify_figure8_ordering",
+]

@@ -1,0 +1,49 @@
+"""Bandwidth-vs-message-size sweeps (paper Fig. 8).
+
+The paper measures the bandwidth of the three GPU-to-GPU transports —
+peer-to-peer DMA (P2P), CPU shared-memory staging (SHM) and the 56 Gbps
+InfiniBand network (NET) — across message sizes, finding P2P > SHM > NET
+everywhere.  This module regenerates that sweep from the calibrated
+:class:`~repro.topology.links.BandwidthProfile`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..topology.links import BandwidthProfile, Transport
+
+#: Message sizes the sweep reports, in bytes: 4 KB .. 1 GB, x4 steps —
+#: the range Fig. 8 plots.
+DEFAULT_SIZES = tuple(4 * 1024 * (4**i) for i in range(10))
+
+
+def bandwidth_sweep(
+    profile: "BandwidthProfile | None" = None,
+    sizes: typing.Sequence[int] = DEFAULT_SIZES,
+) -> "dict[Transport, list[tuple[int, float]]]":
+    """Effective bandwidth of each transport at each message size.
+
+    Returns ``{transport: [(size_bytes, bandwidth_bytes_per_s), ...]}``.
+    """
+    profile = profile or BandwidthProfile()
+    return {
+        transport: [
+            (size, profile.spec(transport).effective_bandwidth(size))
+            for size in sizes
+        ]
+        for transport in Transport
+    }
+
+
+def verify_figure8_ordering(
+    sweep: "dict[Transport, list[tuple[int, float]]] | None" = None,
+) -> bool:
+    """Check the paper's Fig. 8 invariant: P2P > SHM > NET at every size."""
+    sweep = sweep or bandwidth_sweep()
+    p2p = dict(sweep[Transport.P2P])
+    shm = dict(sweep[Transport.SHM])
+    net = dict(sweep[Transport.NET])
+    return all(
+        p2p[size] > shm[size] > net[size] for size in p2p
+    )

@@ -1,0 +1,95 @@
+"""Analytic models of collective-communication algorithms.
+
+Elan targets data-parallel training with collective communication; the
+choice of allreduce algorithm shapes the strong/weak scaling curves the
+hybrid scaling mechanism reads.  Three standard algorithms are modelled
+(latency `a` per step, bandwidth `B`, message `S`, workers `N`):
+
+* **ring** — 2(N-1) steps moving S/N each: t = 2(N-1)a + 2S(N-1)/(NB).
+  Bandwidth-optimal; latency grows linearly with the ring.
+* **tree** (binomial reduce + broadcast) — 2·ceil(log2 N) steps moving the
+  full S: t = 2a·log2(N) + 2S·log2(N)/B.  Latency-optimal for small
+  messages; wastes bandwidth on large ones.
+* **hierarchical** — intra-node ring, inter-node ring over node leaders,
+  intra-node broadcast: the standard multi-node layout that avoids
+  dragging every rank's traffic over the network.
+
+An ablation benchmark compares them; the throughput model's built-in ring
+assumption matches the paper's NCCL-era setting.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import calibration
+
+
+def ring_allreduce_time(
+    workers: int,
+    size: int,
+    bandwidth: float,
+    hop_latency: float = calibration.ALLREDUCE_HOP_LATENCY,
+) -> float:
+    """Ring allreduce: bandwidth-optimal, latency linear in ring length."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return 0.0
+    steps = 2 * (workers - 1)
+    volume = 2.0 * (workers - 1) / workers * size
+    return steps * hop_latency + volume / bandwidth
+
+
+def tree_allreduce_time(
+    workers: int,
+    size: int,
+    bandwidth: float,
+    hop_latency: float = calibration.ALLREDUCE_HOP_LATENCY,
+) -> float:
+    """Binomial-tree reduce + broadcast: log-latency, full-size transfers."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return 0.0
+    depth = math.ceil(math.log2(workers))
+    return 2 * depth * (hop_latency + size / bandwidth)
+
+
+def hierarchical_allreduce_time(
+    workers: int,
+    size: int,
+    intra_bandwidth: float = calibration.INTRA_NODE_BUS_BANDWIDTH,
+    inter_bandwidth: float = calibration.INTER_NODE_BUS_BANDWIDTH,
+    gpus_per_node: int = calibration.GPUS_PER_NODE,
+    hop_latency: float = calibration.ALLREDUCE_HOP_LATENCY,
+) -> float:
+    """Two-level allreduce: intra-node rings + one inter-node ring.
+
+    Phase 1: each node ring-reduces locally; phase 2: node leaders
+    ring-allreduce over the network; phase 3: leaders broadcast locally.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return 0.0
+    local = min(workers, gpus_per_node)
+    nodes = math.ceil(workers / gpus_per_node)
+    intra_reduce = ring_allreduce_time(
+        local, size, intra_bandwidth, hop_latency
+    ) / 2.0  # reduce only (half of an allreduce's volume/steps)
+    inter = ring_allreduce_time(nodes, size, inter_bandwidth, hop_latency)
+    intra_broadcast = intra_reduce
+    return intra_reduce + inter + intra_broadcast
+
+
+def best_algorithm(
+    workers: int,
+    size: int,
+    bandwidth: float,
+    hop_latency: float = calibration.ALLREDUCE_HOP_LATENCY,
+) -> str:
+    """Which flat algorithm wins for this (workers, size) point."""
+    ring = ring_allreduce_time(workers, size, bandwidth, hop_latency)
+    tree = tree_allreduce_time(workers, size, bandwidth, hop_latency)
+    return "ring" if ring <= tree else "tree"

@@ -1,0 +1,189 @@
+"""Accuracy/convergence model (paper §III-2, Figs. 5, 18, Table IV).
+
+Real large-scale convergence behaviour cannot be re-measured here (no GPU
+cluster, no ImageNet), so this module provides a *calibrated parametric
+model* of the two phenomena the paper's algorithm view rests on:
+
+1. **Epoch-wise accuracy trajectories** — a piecewise-exponential learning
+   curve with step learning-rate decays, calibrated so a 90-epoch ResNet-50
+   ImageNet run lands at 75.9% top-1 with the 74.5/75/75.5% targets crossed
+   in the final LR phase, consistent with paper Fig. 18 / Table IV.
+2. **Large-batch generalization penalty** — final accuracy degrades with
+   the total batch size (paper Fig. 5 "Default"); scaling the learning rate
+   linearly with the batch recovers most of it, and ramping that change
+   progressively (the paper's progressive linear scaling rule) recovers it
+   up to a critical batch size beyond which accuracy drops again (Fig. 5
+   "Hybrid" dips at 2^12).
+
+The *mechanical* version of phenomenon 2 — fewer optimizer updates at a
+fixed epoch budget — is additionally reproduced from scratch by the real
+numpy trainer in :mod:`repro.training.sgd`; this module is the analytic
+counterpart used for ImageNet-scale timelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+import typing
+
+
+class LrPolicy(enum.Enum):
+    """How the learning rate follows batch-size changes."""
+
+    #: Keep the original learning rate regardless of batch size
+    #: (paper Fig. 5 "Default").
+    FIXED = "fixed"
+    #: Scale the LR linearly with batch size, applied as a step change.
+    LINEAR_ABRUPT = "linear_abrupt"
+    #: Linear scaling applied progressively over T iterations — the paper's
+    #: progressive linear scaling rule (Fig. 5 "Hybrid").
+    PROGRESSIVE_LINEAR = "progressive_linear"
+
+
+@dataclasses.dataclass(frozen=True)
+class LrPhase:
+    """One constant-LR segment of a step schedule."""
+
+    start_epoch: float
+    end_epoch: float
+    ceiling: float  # accuracy this phase converges toward, in [0, 1]
+    tau: float  # epochs to close ~63% of the remaining gap
+
+
+@dataclasses.dataclass(frozen=True)
+class ConvergenceSpec:
+    """Calibration of one (model, dataset) accuracy trajectory."""
+
+    name: str
+    phases: typing.Tuple[LrPhase, ...]
+    initial_accuracy: float
+    base_total_batch: int  # batch size the trajectory was calibrated at
+    #: Accuracy lost per doubling of total batch when the LR is NOT scaled.
+    fixed_lr_penalty_per_doubling: float
+    #: Largest total batch at which linear LR scaling fully preserves
+    #: accuracy (the paper observes degradation beyond ~2^11 on Cifar100).
+    critical_total_batch: int
+    #: Quadratic penalty coefficient beyond the critical batch
+    #: (accuracy lost ~ coeff * doublings_past_critical^2).
+    beyond_critical_penalty: float
+    #: Extra penalty for changing the LR abruptly instead of progressively
+    #: (sharp changes "may lead the model to divergence", §III-3).
+    abrupt_change_penalty: float
+
+
+#: ResNet-50 / ImageNet, 90-epoch step schedule (decay x0.1 at 30 and 60).
+#: Calibrated to paper §VI-B: final top-1 75.89% at TBS 512; targets
+#: 74.5/75/75.5% crossed at roughly epochs 70/72/76 (back-solved from the
+#: paper's Table IV times and its 16-worker throughput).
+RESNET50_IMAGENET = ConvergenceSpec(
+    name="ResNet-50/ImageNet",
+    phases=(
+        LrPhase(start_epoch=0.0, end_epoch=30.0, ceiling=0.62, tau=6.0),
+        LrPhase(start_epoch=30.0, end_epoch=60.0, ceiling=0.725, tau=9.0),
+        LrPhase(start_epoch=60.0, end_epoch=90.0, ceiling=0.7605, tau=7.0),
+    ),
+    initial_accuracy=0.001,  # 1/1000 classes
+    base_total_batch=512,
+    fixed_lr_penalty_per_doubling=0.012,
+    critical_total_batch=4096,
+    beyond_critical_penalty=0.008,
+    abrupt_change_penalty=0.006,
+)
+
+#: MobileNet-v2 / Cifar100 (paper Fig. 5), 200-epoch cosine-ish schedule
+#: collapsed to a single phase; calibrated to ~74% top-1 at TBS 32 with
+#: visible decay per doubling under a fixed LR and a Hybrid dip at 2^12.
+MOBILENETV2_CIFAR100 = ConvergenceSpec(
+    name="MobileNet-v2/Cifar100",
+    phases=(LrPhase(start_epoch=0.0, end_epoch=200.0, ceiling=0.745, tau=35.0),),
+    initial_accuracy=0.01,  # 1/100 classes
+    base_total_batch=32,
+    fixed_lr_penalty_per_doubling=0.014,
+    critical_total_batch=2048,
+    beyond_critical_penalty=0.010,
+    abrupt_change_penalty=0.008,
+)
+
+
+class AccuracyModel:
+    """Evaluate accuracy trajectories and batch-size penalties."""
+
+    def __init__(self, spec: ConvergenceSpec):
+        self.spec = spec
+
+    # -- batch-size penalty (algorithm view, Fig. 5) -------------------------
+
+    def final_accuracy_penalty(
+        self, total_batch_size: int, policy: LrPolicy
+    ) -> float:
+        """Accuracy lost (fraction in [0,1]) at ``total_batch_size``.
+
+        Relative to training at the spec's base batch size.  Batches at or
+        below the base incur no penalty under any policy.
+        """
+        spec = self.spec
+        if total_batch_size <= 0:
+            raise ValueError(f"batch size must be positive, got {total_batch_size}")
+        doublings = math.log2(total_batch_size / spec.base_total_batch)
+        if doublings <= 0:
+            return 0.0
+        if policy is LrPolicy.FIXED:
+            return spec.fixed_lr_penalty_per_doubling * doublings
+        # Linear LR scaling recovers the penalty up to the critical batch.
+        past_critical = math.log2(
+            max(1.0, total_batch_size / spec.critical_total_batch)
+        )
+        penalty = spec.beyond_critical_penalty * past_critical**2
+        if policy is LrPolicy.LINEAR_ABRUPT:
+            penalty += spec.abrupt_change_penalty * min(doublings, 1.0)
+        return penalty
+
+    def final_accuracy(
+        self, total_batch_size: int, policy: LrPolicy
+    ) -> float:
+        """Final accuracy after the full schedule at one total batch size."""
+        end = self.spec.phases[-1].end_epoch
+        base = self.accuracy_at_epoch(end)
+        return max(0.0, base - self.final_accuracy_penalty(total_batch_size, policy))
+
+    # -- trajectory (system x algorithm views, Fig. 18) ----------------------
+
+    def accuracy_at_epoch(self, epoch: float, penalty: float = 0.0) -> float:
+        """Top-1 accuracy after ``epoch`` epochs of the step schedule.
+
+        ``penalty`` shifts every phase ceiling down by a constant — how the
+        large-batch generalization gap manifests over a whole run.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        accuracy = self.spec.initial_accuracy
+        for phase in self.spec.phases:
+            if epoch <= phase.start_epoch:
+                break
+            ceiling = max(0.0, phase.ceiling - penalty)
+            span = min(epoch, phase.end_epoch) - phase.start_epoch
+            accuracy = ceiling - (ceiling - accuracy) * math.exp(-span / phase.tau)
+        return accuracy
+
+    def epoch_reaching(self, target_accuracy: float, penalty: float = 0.0) -> float:
+        """First (fractional) epoch at which the trajectory hits ``target``.
+
+        Raises ``ValueError`` if the schedule never reaches the target —
+        callers use this to detect that a batch-size policy broke the model.
+        """
+        end = self.spec.phases[-1].end_epoch
+        if self.accuracy_at_epoch(end, penalty) < target_accuracy:
+            raise ValueError(
+                f"{self.spec.name} never reaches {target_accuracy:.2%} "
+                f"(final {self.accuracy_at_epoch(end, penalty):.2%})"
+            )
+        low, high = 0.0, end
+        for _ in range(60):  # bisection to ~1e-16 epoch resolution
+            mid = (low + high) / 2
+            if self.accuracy_at_epoch(mid, penalty) >= target_accuracy:
+                high = mid
+            else:
+                low = mid
+        return high

@@ -1,0 +1,104 @@
+"""GPU memory-footprint model.
+
+The paper's scheduling experiment sets each job's ``min_res`` so that
+"the model can fit in GPU memory with min_res workers" (§VI-C): a fixed
+total batch split over too few workers overflows each GPU with
+activations.  This module models the footprint —
+
+    footprint(b) = framework overhead + parameters + gradients
+                   + optimizer state + b * activation bytes per sample
+
+— and derives the largest per-worker batch and the smallest worker count
+that fit on the testbed's 11 GB GeForce 1080Ti.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .models import ModelSpec
+
+#: GeForce 1080Ti device memory (public spec).
+GPU_MEMORY_BYTES = 11 * 1024**3
+
+#: CUDA context + framework workspace (cuDNN handles, allocator slack).
+FRAMEWORK_OVERHEAD_BYTES = int(1.0 * 1024**3)
+
+#: Per-sample activation footprints (fp32 training, standard input sizes:
+#: 224x224 crops for the CNNs, typical sequence lengths for the NLP
+#: models).  Derived from layer-size sums of the published architectures.
+ACTIVATION_BYTES_PER_SAMPLE = {
+    "ResNet-50": 120 * 1024**2,
+    "VGG-19": 150 * 1024**2,
+    "MobileNet-v2": 25 * 1024**2,
+    "Seq2Seq": 40 * 1024**2,
+    "Transformer": 60 * 1024**2,
+}
+
+
+def activation_bytes(model: ModelSpec, batch_per_worker: float) -> int:
+    """Activation memory for one worker's micro-batch."""
+    if batch_per_worker < 0:
+        raise ValueError("batch must be non-negative")
+    per_sample = ACTIVATION_BYTES_PER_SAMPLE.get(model.name)
+    if per_sample is None:
+        raise KeyError(f"no activation calibration for {model.name!r}")
+    return int(batch_per_worker * per_sample)
+
+
+def memory_footprint(model: ModelSpec, batch_per_worker: float) -> int:
+    """Total GPU bytes one worker needs at this micro-batch."""
+    gradients = model.param_bytes  # one gradient per parameter
+    return (
+        FRAMEWORK_OVERHEAD_BYTES
+        + model.gpu_state_bytes  # params + optimizer (Table II)
+        + gradients
+        + activation_bytes(model, batch_per_worker)
+    )
+
+
+def max_batch_per_worker(
+    model: ModelSpec, gpu_memory: int = GPU_MEMORY_BYTES
+) -> int:
+    """Largest micro-batch that fits on one GPU."""
+    fixed = memory_footprint(model, 0)
+    if fixed >= gpu_memory:
+        raise ValueError(
+            f"{model.name} does not fit on a {gpu_memory / 1024**3:.0f} GB GPU "
+            "even at batch 0"
+        )
+    per_sample = ACTIVATION_BYTES_PER_SAMPLE[model.name]
+    return max(1, (gpu_memory - fixed) // per_sample)
+
+
+def min_workers_for_batch(
+    model: ModelSpec, total_batch_size: int, gpu_memory: int = GPU_MEMORY_BYTES
+) -> int:
+    """Smallest worker count whose per-worker share fits in GPU memory —
+    the paper's min_res rule."""
+    if total_batch_size < 1:
+        raise ValueError("total batch must be >= 1")
+    fixed = memory_footprint(model, 0)
+    if fixed >= gpu_memory:
+        raise ValueError(
+            f"{model.name} does not fit on a {gpu_memory / 1024**3:.0f} GB GPU"
+        )
+    activation_budget = gpu_memory - fixed
+    per_sample = ACTIVATION_BYTES_PER_SAMPLE[model.name]
+    # Exact minimality: workers * budget must cover the whole batch's
+    # activations (per-worker micro-batches may be fractional shares).
+    return max(
+        1, math.ceil(total_batch_size * per_sample / activation_budget)
+    )
+
+
+def fits(
+    model: ModelSpec,
+    workers: int,
+    total_batch_size: int,
+    gpu_memory: int = GPU_MEMORY_BYTES,
+) -> bool:
+    """Whether (workers, total batch) is memory-feasible."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return memory_footprint(model, total_batch_size / workers) <= gpu_memory

@@ -1,0 +1,143 @@
+"""The model zoo of paper Table I.
+
+Each entry records the model's architectural scale (parameter count, FLOPs
+per training sample) and the sizes of its training state (paper Table II:
+model parameters and optimizer state on GPU; data-loading and runtime state
+on CPU).  Parameter counts come from Table I; FLOPs per sample are the
+standard published figures (forward+backward ~= 3x forward).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from . import calibration
+
+BYTES_PER_PARAM = 4  # fp32
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one deep-learning model (paper Table I)."""
+
+    name: str
+    family: str  # CNN / RNN / Attention
+    domain: str  # CV / NLP
+    parameters: int  # number of trainable parameters
+    dataset: str
+    dataset_size: int  # training samples
+    flops_per_sample: float  # forward+backward FLOPs for one sample
+    #: Per-worker batch size at which the GPU reaches half its max
+    #: efficiency; smaller values mean the model saturates the GPU easily.
+    saturation_batch: float
+    #: Momentum-SGD keeps one extra fp32 buffer per parameter.
+    optimizer_slots: int = 1
+
+    @property
+    def param_bytes(self) -> int:
+        """Size of the fp32 parameter tensor in bytes."""
+        return self.parameters * BYTES_PER_PARAM
+
+    @property
+    def optimizer_bytes(self) -> int:
+        """Size of the optimizer state (momentum buffers) in bytes."""
+        return self.parameters * BYTES_PER_PARAM * self.optimizer_slots
+
+    @property
+    def gpu_state_bytes(self) -> int:
+        """Bytes of training state resident in GPU memory (Table II)."""
+        return self.param_bytes + self.optimizer_bytes
+
+    @property
+    def cpu_state_bytes(self) -> int:
+        """Bytes of CPU-resident state: data-loader offset, RNG, epoch and
+        iteration counters, hyperparameters (Table II: 'quite small')."""
+        return 4096
+
+    @property
+    def gradient_bytes(self) -> int:
+        """Bytes all-reduced per iteration (one fp32 gradient per param)."""
+        return self.parameters * BYTES_PER_PARAM
+
+
+#: Paper Table I (parameter counts as printed; ResNet-50 = 26M standard).
+RESNET50 = ModelSpec(
+    name="ResNet-50",
+    family="CNN",
+    domain="CV",
+    parameters=26_000_000,
+    dataset="ImageNet",
+    dataset_size=calibration.IMAGENET_TRAIN_SIZE,
+    flops_per_sample=12.4e9,  # ~4.1 GFLOPs forward x3
+    saturation_batch=12.0,
+)
+
+VGG19 = ModelSpec(
+    name="VGG-19",
+    family="CNN",
+    domain="CV",
+    parameters=143_000_000,
+    dataset="ImageNet",
+    dataset_size=calibration.IMAGENET_TRAIN_SIZE,
+    flops_per_sample=59.0e9,  # ~19.6 GFLOPs forward x3
+    saturation_batch=8.0,
+)
+
+MOBILENET_V2 = ModelSpec(
+    name="MobileNet-v2",
+    family="CNN",
+    domain="CV",
+    parameters=3_000_000,
+    dataset="ImageNet",
+    dataset_size=calibration.IMAGENET_TRAIN_SIZE,
+    flops_per_sample=0.96e9,  # ~0.32 GFLOPs forward x3
+    saturation_batch=48.0,  # tiny kernels need large batches to fill the GPU
+)
+
+SEQ2SEQ = ModelSpec(
+    name="Seq2Seq",
+    family="RNN",
+    domain="NLP",
+    parameters=45_000_000,
+    dataset="Tatoeba",
+    dataset_size=900_000,
+    flops_per_sample=5.4e9,  # 45M params x ~40 tokens x2 x3 / sequence
+    saturation_batch=32.0,  # RNNs are launch-bound; need big batches
+)
+
+TRANSFORMER = ModelSpec(
+    name="Transformer",
+    family="Attention",
+    domain="NLP",
+    parameters=47_000_000,
+    dataset="WMT'16",
+    dataset_size=4_500_000,
+    flops_per_sample=8.5e9,
+    saturation_batch=24.0,
+)
+
+#: The five Table I models in the paper's A-E labelling (Fig. 15).
+MODEL_ZOO: typing.Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (RESNET50, VGG19, MOBILENET_V2, SEQ2SEQ, TRANSFORMER)
+}
+
+#: Fig. 15 denotes models by letters A-E.
+MODEL_LABELS = {
+    "A": RESNET50,
+    "B": VGG19,
+    "C": MOBILENET_V2,
+    "D": SEQ2SEQ,
+    "E": TRANSFORMER,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a Table I model by name (case-insensitive)."""
+    for key, spec in MODEL_ZOO.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(
+        f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+    )

@@ -1,0 +1,158 @@
+"""Analytic throughput model for data-parallel training (paper §III-1).
+
+Reproduces the system-view observations behind Figures 3, 4 and 17:
+
+* **strong scaling** (fixed total batch size) — throughput rises, peaks and
+  falls as workers are added, and the peak moves right for larger total
+  batch sizes;
+* **weak scaling** (fixed per-worker batch) — throughput grows nearly
+  linearly, with a slope that increases with the per-worker batch.
+
+The iteration time of ``N`` workers with per-worker batch ``b`` is modelled
+as
+
+    t_iter = t_compute(b) + max(0, t_allreduce(N) - eta * t_compute(b))
+
+``t_compute`` uses an efficiency curve ``eff(b) = eff_max * b / (b + b_sat)``
+— small batches underutilize the GPU (launch-bound kernels).  ``t_allreduce``
+is the standard ring model (bandwidth term with an intra-node/InfiniBand
+hierarchy, plus a per-hop software/sync cost that grows with ring length).
+The ``max(0, ...)`` term models DDP's bucket overlap: up to ``eta`` of the
+compute time can hide communication.  Under weak scaling the compute window
+is wide, communication stays hidden and throughput grows near-linearly;
+under strong scaling the shrinking per-worker batch both raises the exposed
+communication and runs into the efficiency floor, so throughput peaks and
+falls — and the peak moves right with larger total batch, exactly the two
+observations of §III-1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from . import calibration
+from .models import ModelSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Compute/communication constants of the testbed."""
+
+    gpu_peak_flops: float = calibration.GPU_PEAK_FLOPS
+    gpu_max_efficiency: float = calibration.GPU_MAX_EFFICIENCY
+    iteration_overhead: float = calibration.ITERATION_OVERHEAD
+    intra_node_bandwidth: float = calibration.INTRA_NODE_BUS_BANDWIDTH
+    inter_node_bandwidth: float = calibration.INTER_NODE_BUS_BANDWIDTH
+    hop_latency: float = calibration.ALLREDUCE_HOP_LATENCY
+    overlap_window_fraction: float = calibration.OVERLAP_WINDOW_FRACTION
+    gpus_per_node: int = calibration.GPUS_PER_NODE
+
+
+#: The §III analysis testbed (8x V100 servers): healthy scaling.
+PAPER_CLUSTER = ClusterSpec()
+
+#: The §VI evaluation testbed (8x 1080Ti servers, one shared 56 Gbps HCA):
+#: the modest cross-node scaling behind Table IV's 20% speedup and the
+#: "512-2048 (64) is hard to obtain a speedup" observation.
+EVAL_CLUSTER = ClusterSpec(
+    inter_node_bandwidth=calibration.EVAL_INTER_NODE_BANDWIDTH,
+    hop_latency=calibration.EVAL_ALLREDUCE_HOP_LATENCY,
+)
+
+
+class ThroughputModel:
+    """Throughput of one Table I model on one cluster shape."""
+
+    def __init__(self, model: ModelSpec, cluster: ClusterSpec = PAPER_CLUSTER):
+        self.model = model
+        self.cluster = cluster
+
+    # -- components ---------------------------------------------------------
+
+    def compute_time(self, batch_per_worker: float) -> float:
+        """Seconds of forward+backward for one worker's micro-batch."""
+        if batch_per_worker <= 0:
+            raise ValueError(f"batch per worker must be > 0, got {batch_per_worker}")
+        c = self.cluster
+        efficiency = c.gpu_max_efficiency * batch_per_worker / (
+            batch_per_worker + self.model.saturation_batch
+        )
+        flops = batch_per_worker * self.model.flops_per_sample
+        return c.iteration_overhead + flops / (c.gpu_peak_flops * efficiency)
+
+    def allreduce_time(self, workers: int) -> float:
+        """Seconds to ring-allreduce one gradient set across ``workers``."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            return 0.0
+        c = self.cluster
+        size = self.model.gradient_bytes
+        bandwidth = (
+            c.intra_node_bandwidth
+            if workers <= c.gpus_per_node
+            else c.inter_node_bandwidth
+        )
+        volume = 2.0 * (workers - 1) / workers * size
+        return volume / bandwidth + 2.0 * (workers - 1) * c.hop_latency
+
+    def iteration_time(self, workers: int, total_batch_size: float) -> float:
+        """Seconds for one synchronous training iteration."""
+        if total_batch_size < workers:
+            raise ValueError(
+                f"total batch {total_batch_size} smaller than {workers} workers"
+            )
+        batch = total_batch_size / workers
+        compute = self.compute_time(batch)
+        comm = self.allreduce_time(workers)
+        window = self.cluster.overlap_window_fraction * compute
+        exposed = max(0.0, comm - window)
+        return compute + exposed
+
+    def throughput(self, workers: int, total_batch_size: float) -> float:
+        """Training throughput in samples/second."""
+        return total_batch_size / self.iteration_time(workers, total_batch_size)
+
+    # -- scaling curves (Fig. 3 / Fig. 4 / Fig. 17) ---------------------------
+
+    def strong_scaling_curve(
+        self, total_batch_size: int, worker_counts: typing.Sequence[int]
+    ) -> "list[tuple[int, float]]":
+        """(workers, throughput) under strong scaling at one total batch."""
+        return [
+            (n, self.throughput(n, total_batch_size))
+            for n in worker_counts
+            if total_batch_size >= n
+        ]
+
+    def weak_scaling_curve(
+        self, batch_per_worker: int, worker_counts: typing.Sequence[int]
+    ) -> "list[tuple[int, float]]":
+        """(workers, throughput) under weak scaling at one per-worker batch."""
+        return [
+            (n, self.throughput(n, n * batch_per_worker)) for n in worker_counts
+        ]
+
+    def optimal_workers(self, total_batch_size: int, max_workers: int = 1024) -> int:
+        """N_opt: the worker count maximizing strong-scaling throughput.
+
+        This is the quantity Algorithm 1 (hybrid scaling, line 10) queries.
+        The search is exhaustive over ``1..min(max_workers, total_batch)``
+        because the curve is cheap to evaluate and not guaranteed unimodal
+        at the intra/inter-node bandwidth boundary.
+        """
+        if total_batch_size < 1:
+            raise ValueError(f"total batch must be >= 1, got {total_batch_size}")
+        limit = min(max_workers, int(total_batch_size))
+        best_n, best_tp = 1, 0.0
+        for n in range(1, limit + 1):
+            tp = self.throughput(n, total_batch_size)
+            if tp > best_tp:
+                best_n, best_tp = n, tp
+        return best_n
+
+    def epoch_time(self, workers: int, total_batch_size: float) -> float:
+        """Seconds for one pass over the model's dataset."""
+        iterations = self.model.dataset_size / total_batch_size
+        return iterations * self.iteration_time(workers, total_batch_size)

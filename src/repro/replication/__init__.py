@@ -1,0 +1,43 @@
+"""Concurrent IO-free state replication (paper §IV) and its baseline.
+
+The planner turns topology into transfer assignments and contention-free
+rounds; the executors run plans either on the discrete-event kernel (for
+timed experiments) or live in memory (for the threaded runtime); the
+checkpoint module models and implements the storage-based baseline.
+"""
+
+from .checkpoint import (
+    CheckpointCost,
+    SharedStorage,
+    checkpoint_load_cost,
+    checkpoint_write_cost,
+)
+from .executor import (
+    LiveReplicator,
+    ReplicationTimeline,
+    SimulatedReplicationExecutor,
+    TransferRecord,
+)
+from .planner import (
+    ETHERNET_BANDWIDTH,
+    ReplicationPlan,
+    Transfer,
+    plan_migration,
+    plan_replication,
+)
+
+__all__ = [
+    "CheckpointCost",
+    "ETHERNET_BANDWIDTH",
+    "LiveReplicator",
+    "ReplicationPlan",
+    "ReplicationTimeline",
+    "SharedStorage",
+    "SimulatedReplicationExecutor",
+    "Transfer",
+    "TransferRecord",
+    "checkpoint_load_cost",
+    "checkpoint_write_cost",
+    "plan_migration",
+    "plan_replication",
+]

@@ -1,0 +1,202 @@
+"""Planning concurrent IO-free state replication (paper §IV-3).
+
+Given the topology positions of the existing workers (each holding one
+identical replica of the full training state, §IV-1) and of the new
+workers, the planner:
+
+1. selects for **each** new worker its *nearest* existing neighbor —
+   nearest meaning the highest-bandwidth transport, P2P > SHM > NET;
+2. groups the resulting transfers into **concurrency rounds**: transfers
+   whose physical paths share no link (and no endpoint GPU) run in
+   parallel, contending transfers — "typically when replications traverse
+   L3" — run in turn.
+
+The plan is deterministic for a given topology so that tests, the cost
+model and the discrete-event executor all agree on what happens.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..topology import (
+    BEST_TRANSPORT,
+    BandwidthProfile,
+    LinkLevel,
+    TopologyNode,
+    Transport,
+    link_level,
+    path_resources,
+)
+
+#: Ethernet bandwidth used for the (small) CPU-state replication that is
+#: overlapped with the GPU transfer (§IV-3: "even we use web socket").
+ETHERNET_BANDWIDTH = 125.0e6  # 1,000 Mb/s from the paper's testbed
+
+#: Fixed software overhead of establishing one replication stream, seconds.
+TRANSFER_SETUP_TIME = 5e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class Transfer:
+    """One source -> target state replication."""
+
+    source: TopologyNode
+    target: TopologyNode
+    level: LinkLevel
+    transport: Transport
+    resources: frozenset
+    gpu_bytes: int
+    cpu_bytes: int
+
+    def duration(self, profile: BandwidthProfile) -> float:
+        """Wall time of this transfer: GPU state over the chosen transport,
+        CPU state overlapped over Ethernet (whichever finishes last)."""
+        gpu_time = profile.spec(self.transport).transfer_time(self.gpu_bytes)
+        cpu_time = self.cpu_bytes / ETHERNET_BANDWIDTH
+        return TRANSFER_SETUP_TIME + max(gpu_time, cpu_time)
+
+    def describe(self) -> str:
+        """Human-readable one-liner (used by examples and logs)."""
+        return (
+            f"{self.source.name} -> {self.target.name} "
+            f"[{self.level.name}/{self.transport.value}]"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplicationPlan:
+    """A set of transfers scheduled into contention-free rounds."""
+
+    transfers: typing.Tuple[Transfer, ...]
+    rounds: typing.Tuple[typing.Tuple[Transfer, ...], ...]
+
+    def estimated_time(self, profile: BandwidthProfile) -> float:
+        """Makespan: rounds run serially, transfers within a round overlap."""
+        return sum(
+            max((t.duration(profile) for t in round_), default=0.0)
+            for round_ in self.rounds
+        )
+
+    @property
+    def max_concurrency(self) -> int:
+        """Largest number of simultaneous transfers in any round."""
+        return max((len(round_) for round_ in self.rounds), default=0)
+
+
+def _transfer_claims(transfer: Transfer) -> frozenset:
+    """Everything a transfer occupies: path links plus both endpoint GPUs.
+
+    Endpoint GPUs are claims too — one source can feed only one new worker
+    at a time, which is why the paper selects "one neighbor for each new
+    worker rather than one for them all".
+    """
+    return transfer.resources | {
+        f"gpu:{transfer.source.name}",
+        f"gpu:{transfer.target.name}",
+    }
+
+
+def plan_replication(
+    existing: typing.Sequence[TopologyNode],
+    new: typing.Sequence[TopologyNode],
+    gpu_bytes: int,
+    cpu_bytes: int,
+    allow_chaining: bool = False,
+) -> ReplicationPlan:
+    """Build the replication plan for adding ``new`` workers.
+
+    ``allow_chaining`` enables an extension beyond the paper: a new worker
+    that already received the state in an earlier round may serve as a
+    source in later rounds, increasing fan-out for large scale-outs.
+    """
+    if not existing:
+        raise ValueError("at least one existing worker must hold the state")
+    overlap = {gpu.name for gpu in existing} & {gpu.name for gpu in new}
+    if overlap:
+        raise ValueError(f"workers cannot be both existing and new: {overlap}")
+
+    # Deterministic order: serve closest-to-the-cluster first by name.
+    pending = sorted(new, key=lambda gpu: gpu.name)
+    originals = list(existing)
+    chained_sources: typing.List[TopologyNode] = []
+    load: typing.Dict[str, int] = {gpu.name: 0 for gpu in existing}
+    transfers: typing.List[Transfer] = []
+
+    def selection_key(target, gpu):
+        # Nearest neighbor, but spread ties across sources: the paper
+        # selects "one neighbor for each new worker rather than one for
+        # them all" precisely so replications can proceed concurrently.
+        return (int(link_level(target, gpu)), load.get(gpu.name, 0), gpu.name)
+
+    for target in pending:
+        source = min(originals, key=lambda gpu: selection_key(target, gpu))
+        if chained_sources:
+            # A chained source only starts serving a round after it was
+            # itself served, so it must be *strictly closer* than every
+            # original source to be worth the wait (e.g. a local P2P copy
+            # instead of another cross-network transfer).
+            candidate = min(
+                chained_sources, key=lambda gpu: selection_key(target, gpu)
+            )
+            if int(link_level(target, candidate)) < int(
+                link_level(target, source)
+            ):
+                source = candidate
+        load[source.name] = load.get(source.name, 0) + 1
+        level = link_level(source, target)
+        transfers.append(
+            Transfer(
+                source=source,
+                target=target,
+                level=level,
+                transport=BEST_TRANSPORT[level],
+                resources=path_resources(source, target),
+                gpu_bytes=gpu_bytes,
+                cpu_bytes=cpu_bytes,
+            )
+        )
+        if allow_chaining:
+            chained_sources.append(target)
+
+    # Greedy list scheduling into contention-free rounds.  When chaining,
+    # a transfer sourced from a new worker must wait for the round after
+    # that worker received the state.
+    rounds: typing.List[typing.List[Transfer]] = []
+    earliest_source_round = {gpu.name: 0 for gpu in existing}
+    for transfer in sorted(transfers, key=lambda t: (int(t.level), t.target.name)):
+        claims = _transfer_claims(transfer)
+        start = earliest_source_round.get(transfer.source.name, 0)
+        placed = False
+        for index in range(start, len(rounds)):
+            round_claims = frozenset().union(
+                *(_transfer_claims(t) for t in rounds[index])
+            )
+            if not claims & round_claims:
+                rounds[index].append(transfer)
+                earliest_source_round[transfer.target.name] = index + 1
+                placed = True
+                break
+        if not placed:
+            rounds.append([transfer])
+            earliest_source_round[transfer.target.name] = len(rounds)
+    return ReplicationPlan(
+        transfers=tuple(transfers),
+        rounds=tuple(tuple(r) for r in rounds),
+    )
+
+
+def plan_migration(
+    old_workers: typing.Sequence[TopologyNode],
+    new_workers: typing.Sequence[TopologyNode],
+    gpu_bytes: int,
+    cpu_bytes: int,
+) -> ReplicationPlan:
+    """Plan a migration: the job moves entirely onto ``new_workers``.
+
+    Replication-wise this is identical to a scale-out onto the new set —
+    every new worker fetches the state from its nearest old worker; the
+    old workers are released afterwards by the coordination layer.
+    """
+    return plan_replication(old_workers, new_workers, gpu_bytes, cpu_bytes)

@@ -1,0 +1,127 @@
+"""Terminal rendering helpers for experiment output.
+
+Pure-text charts and tables used by the examples, the CLI and the
+benchmark result files — no plotting dependency, diff-friendly output.
+"""
+
+from __future__ import annotations
+
+import typing
+
+Number = typing.Union[int, float]
+
+
+def render_table(
+    headers: typing.Sequence[str],
+    rows: typing.Sequence[typing.Sequence[object]],
+) -> "list[str]":
+    """Fixed-width table with a header rule; column widths auto-fit."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(line[i]) for line in cells) for i in range(columns)
+    ]
+    def fmt(line):
+        return "  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip()
+
+    out = [fmt(cells[0]), "-" * (sum(widths) + 2 * (columns - 1))]
+    out.extend(fmt(line) for line in cells[1:])
+    return out
+
+
+def bar_chart(
+    items: typing.Sequence[typing.Tuple[str, Number]],
+    width: int = 40,
+    unit: str = "",
+) -> "list[str]":
+    """Horizontal bars scaled to the largest value."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not items:
+        return []
+    peak = max(value for _label, value in items)
+    label_width = max(len(label) for label, _v in items)
+    lines = []
+    for label, value in items:
+        if value < 0:
+            raise ValueError(f"bar values must be >= 0, got {value}")
+        bar = "#" * (0 if peak == 0 else max(
+            1 if value > 0 else 0, round(value / peak * width)
+        ))
+        lines.append(
+            f"{label.ljust(label_width)}  {bar} {value:g}{unit}"
+        )
+    return lines
+
+
+def sparkline(values: typing.Sequence[Number]) -> str:
+    """One-line trend of a series (8 levels)."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#"
+    low, high = min(values), max(values)
+    if high == low:
+        return glyphs[4] * len(values)
+    span = high - low
+    return "".join(
+        glyphs[min(7, int((v - low) / span * 7.999))] for v in values
+    )
+
+
+def series_chart(
+    points: typing.Sequence[typing.Tuple[Number, Number]],
+    height: int = 8,
+    width: int = 60,
+) -> "list[str]":
+    """A step-plot of (x, y) points on a character grid.
+
+    The x-range is resampled to ``width`` columns (last-value-carried-
+    forward); the y-range maps to ``height`` rows with axis labels.
+    """
+    if height < 2 or width < 2:
+        raise ValueError("height and width must be >= 2")
+    if not points:
+        return []
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    y_span = (y_high - y_low) or 1.0
+    x_span = (x_high - x_low) or 1.0
+    ordered = sorted(points)
+    resampled = []
+    index = 0
+    for column in range(width):
+        x = x_low + column / (width - 1) * x_span
+        while index + 1 < len(ordered) and ordered[index + 1][0] <= x:
+            index += 1
+        resampled.append(ordered[index][1])
+    grid = [[" "] * width for _ in range(height)]
+    for column, y in enumerate(resampled):
+        row = int((y - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = "*"
+    label_width = max(len(f"{y_high:g}"), len(f"{y_low:g}"))
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(
+        " " * label_width + " +" + "-" * width
+    )
+    lines.append(
+        " " * label_width + f"  {x_low:g}".ljust(width // 2)
+        + f"{x_high:g}".rjust(width // 2)
+    )
+    return lines

@@ -1,0 +1,59 @@
+"""Elastic DL job scheduling: trace, policies, simulator, metrics (§VI-C)."""
+
+from .costs import (
+    AdjustmentCostModel,
+    ElanCosts,
+    IdealCosts,
+    ShutdownRestartCosts,
+)
+from .job import PER_WORKER_BATCH, JobExecution, JobSpec
+from .metrics import ScheduleResult, UtilizationPoint, summarize
+from .planning import (
+    CapacityPoint,
+    capacity_sweep,
+    elasticity_hardware_savings,
+    required_gpus,
+)
+from .policies import (
+    BackfillPolicy,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+)
+from .priority import PriorityElasticPolicy
+from .simulator import ClusterSimulator
+from .srtf import ElasticSrtfPolicy
+from .trace import TWO_DAYS, generate_trace
+from .traceio import load_trace, save_trace, trace_from_dicts, trace_to_dicts
+
+__all__ = [
+    "AdjustmentCostModel",
+    "BackfillPolicy",
+    "CapacityPoint",
+    "ClusterSimulator",
+    "ElanCosts",
+    "ElasticBackfillPolicy",
+    "ElasticFifoPolicy",
+    "ElasticSrtfPolicy",
+    "FifoPolicy",
+    "IdealCosts",
+    "JobExecution",
+    "JobSpec",
+    "PER_WORKER_BATCH",
+    "PriorityElasticPolicy",
+    "ScheduleResult",
+    "SchedulingPolicy",
+    "ShutdownRestartCosts",
+    "TWO_DAYS",
+    "UtilizationPoint",
+    "capacity_sweep",
+    "elasticity_hardware_savings",
+    "generate_trace",
+    "load_trace",
+    "required_gpus",
+    "save_trace",
+    "trace_from_dicts",
+    "trace_to_dicts",
+    "summarize",
+]

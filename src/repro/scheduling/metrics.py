@@ -1,0 +1,111 @@
+"""Scheduling metrics: JPT, JCT, makespan, GPU utilization (§VI-C)."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from .job import JobExecution
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilizationPoint:
+    """Cluster occupancy right after one scheduling event."""
+
+    time: float
+    busy: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleResult:
+    """Everything one simulation run produced."""
+
+    policy: str
+    system: str
+    total_gpus: int
+    executions: typing.List[JobExecution]
+    utilization: typing.List[UtilizationPoint]
+    adjustments: int
+    evictions: int = 0
+
+    def _finished(self) -> "list[JobExecution]":
+        unfinished = [e for e in self.executions if not e.done]
+        if unfinished:
+            raise RuntimeError(
+                f"{len(unfinished)} jobs never finished under {self.policy}"
+            )
+        return self.executions
+
+    @property
+    def average_jpt(self) -> float:
+        """Mean job pending time: start - submit."""
+        jobs = self._finished()
+        return float(np.mean([e.start_time - e.spec.submit_time for e in jobs]))
+
+    @property
+    def average_jct(self) -> float:
+        """Mean job completion time: completion - submit."""
+        jobs = self._finished()
+        return float(
+            np.mean([e.completion_time - e.spec.submit_time for e in jobs])
+        )
+
+    @property
+    def makespan(self) -> float:
+        """Last completion minus first submission (the paper uses makespan
+        as an indication of resource utilization)."""
+        jobs = self._finished()
+        first = min(e.spec.submit_time for e in jobs)
+        last = max(e.completion_time for e in jobs)
+        return last - first
+
+    def average_utilization(self) -> float:
+        """Time-averaged fraction of busy GPUs over the makespan."""
+        if len(self.utilization) < 2:
+            return 0.0
+        busy_time = 0.0
+        for current, nxt in zip(self.utilization, self.utilization[1:]):
+            busy_time += current.busy * (nxt.time - current.time)
+        span = self.utilization[-1].time - self.utilization[0].time
+        if span <= 0:
+            return 0.0
+        return busy_time / (span * self.total_gpus)
+
+    def utilization_series(
+        self, resolution: float = 600.0
+    ) -> "list[tuple[float, float]]":
+        """Resampled (time, fraction busy) series for plotting (Fig. 21)."""
+        if not self.utilization:
+            return []
+        points = self.utilization
+        start, end = points[0].time, points[-1].time
+        series = []
+        index = 0
+        t = start
+        while t <= end:
+            while index + 1 < len(points) and points[index + 1].time <= t:
+                index += 1
+            series.append((t, points[index].busy / self.total_gpus))
+            t += resolution
+        return series
+
+
+def summarize(results: typing.Sequence[ScheduleResult]) -> dict:
+    """Aggregate repeated runs: mean and std of each headline metric."""
+    if not results:
+        raise ValueError("no results to summarize")
+    jpts = [r.average_jpt for r in results]
+    jcts = [r.average_jct for r in results]
+    spans = [r.makespan for r in results]
+    return {
+        "policy": results[0].policy,
+        "system": results[0].system,
+        "jpt_mean": float(np.mean(jpts)),
+        "jpt_std": float(np.std(jpts)),
+        "jct_mean": float(np.mean(jcts)),
+        "jct_std": float(np.std(jcts)),
+        "makespan_mean": float(np.mean(spans)),
+        "makespan_std": float(np.std(spans)),
+    }

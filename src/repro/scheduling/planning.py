@@ -1,0 +1,99 @@
+"""Capacity planning: what-if sweeps over the scheduling simulator.
+
+Answers the operator questions the paper's §VI-C motivates — how many
+GPUs does a workload need under each policy to hit a completion-time
+target, and what does elasticity save in hardware?  Each sweep replays
+one trace across cluster sizes and reports the smallest cluster meeting
+the target.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .costs import AdjustmentCostModel, ElanCosts
+from .job import JobSpec
+from .metrics import ScheduleResult
+from .policies import SchedulingPolicy
+from .simulator import ClusterSimulator
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacityPoint:
+    """One cluster size's outcome in a sweep."""
+
+    gpus: int
+    average_jct: float
+    average_jpt: float
+    makespan: float
+    utilization: float
+
+
+def capacity_sweep(
+    trace: typing.Sequence[JobSpec],
+    policy: SchedulingPolicy,
+    gpu_counts: typing.Sequence[int],
+    costs: "AdjustmentCostModel | None" = None,
+) -> "list[CapacityPoint]":
+    """Replay ``trace`` under ``policy`` at each cluster size."""
+    if not gpu_counts:
+        raise ValueError("no cluster sizes to sweep")
+    points = []
+    for gpus in sorted(set(gpu_counts)):
+        result: ScheduleResult = ClusterSimulator(
+            trace, policy, total_gpus=gpus, costs=costs or ElanCosts()
+        ).run()
+        points.append(
+            CapacityPoint(
+                gpus=gpus,
+                average_jct=result.average_jct,
+                average_jpt=result.average_jpt,
+                makespan=result.makespan,
+                utilization=result.average_utilization(),
+            )
+        )
+    return points
+
+
+def required_gpus(
+    trace: typing.Sequence[JobSpec],
+    policy: SchedulingPolicy,
+    jct_target: float,
+    gpu_counts: typing.Sequence[int],
+    costs: "AdjustmentCostModel | None" = None,
+) -> "int | None":
+    """Smallest swept cluster whose average JCT meets ``jct_target``.
+
+    Returns ``None`` if even the largest swept cluster misses the target.
+    """
+    if jct_target <= 0:
+        raise ValueError("jct_target must be positive")
+    feasible = [
+        point.gpus
+        for point in capacity_sweep(trace, policy, gpu_counts, costs)
+        if point.average_jct <= jct_target
+    ]
+    return min(feasible) if feasible else None
+
+
+def elasticity_hardware_savings(
+    trace: typing.Sequence[JobSpec],
+    static_policy: SchedulingPolicy,
+    elastic_policy: SchedulingPolicy,
+    jct_target: float,
+    gpu_counts: typing.Sequence[int],
+) -> "dict[str, int | None]":
+    """GPUs each policy needs for the same JCT target.
+
+    The headline operator's number: elasticity typically reaches the same
+    service level on a visibly smaller cluster.
+    """
+    return {
+        static_policy.name: required_gpus(
+            trace, static_policy, jct_target, gpu_counts
+        ),
+        elastic_policy.name: required_gpus(
+            trace, elastic_policy, jct_target, gpu_counts
+        ),
+    }

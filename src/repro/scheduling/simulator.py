@@ -1,0 +1,215 @@
+"""The cluster scheduling simulator (paper §VI-C "Simulation").
+
+An exact event-driven simulator: between events every running job accrues
+work at its model-derived throughput; events are job arrivals and job
+completions, and every event triggers the scheduling policy.  Allocation
+changes on a running job are charged the per-system adjustment downtime
+(Elan / S&R / Ideal) — the mechanism behind the Fig. 22 comparison — and
+steady-state throughput is scaled by the per-system runtime overhead.
+
+The paper's simulator is likewise trace-driven with measured throughputs,
+runtime overheads and adjustment costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .costs import AdjustmentCostModel, IdealCosts
+from .job import JobExecution, JobSpec
+from .metrics import ScheduleResult, UtilizationPoint
+from .policies import SchedulingPolicy
+
+_EPSILON = 1e-6
+
+
+class ClusterSimulator:
+    """Simulate one policy executing one trace on one cluster."""
+
+    def __init__(
+        self,
+        jobs: typing.Sequence[JobSpec],
+        policy: SchedulingPolicy,
+        total_gpus: int = 128,
+        costs: "AdjustmentCostModel | None" = None,
+        capacity_profile: "typing.Sequence[tuple] | None" = None,
+    ):
+        """``capacity_profile`` models transient capacity (spot instances,
+        over-subscription, §VI-C): a step function as sorted
+        ``(time, gpus)`` points; before the first point the capacity is
+        ``total_gpus``.  When capacity drops below current usage, elastic
+        jobs are shrunk by their policy; if usage still exceeds capacity
+        (static policies cannot shrink), the newest-started jobs are
+        preempted back to the queue (progress preserved — checkpoint-on-
+        preempt) and counted in ``evictions``."""
+        if total_gpus < 1:
+            raise ValueError("total_gpus must be >= 1")
+        self.capacity_profile = sorted(capacity_profile or [])
+        for _t, gpus in self.capacity_profile:
+            if gpus < 1:
+                raise ValueError("capacity must stay >= 1")
+        oversized = [
+            j.job_id for j in jobs
+            if (j.min_res if policy.elastic else j.req_res) > total_gpus
+        ]
+        if oversized:
+            raise ValueError(f"jobs can never fit: {oversized}")
+        self.jobs = sorted(jobs, key=lambda j: j.submit_time)
+        self.policy = policy
+        self.total_gpus = total_gpus
+        self.costs = costs or IdealCosts()
+        self.adjustments = 0
+        self.evictions = 0
+
+    def run(self) -> ScheduleResult:
+        """Execute the trace to completion and return the metrics."""
+        executions = {job.job_id: JobExecution(spec=job) for job in self.jobs}
+        arrivals = list(self.jobs)  # sorted by submit time
+        queue: "list[JobExecution]" = []
+        running: "list[JobExecution]" = []
+        utilization: "list[UtilizationPoint]" = []
+        now = self.jobs[0].submit_time if self.jobs else 0.0
+        arrival_index = 0
+
+        def advance_to(target: float) -> None:
+            nonlocal now
+            for job in running:
+                effective_start = max(now, job.paused_until)
+                if effective_start >= target or job.workers <= 0:
+                    continue
+                rate = job.spec.throughput(job.workers) * (
+                    self.costs.overhead_factor(job.spec.model, job.workers)
+                )
+                job.work_done += (target - effective_start) * rate
+            now = target
+
+        def busy_gpus() -> int:
+            return sum(job.workers for job in running)
+
+        def record_utilization() -> None:
+            point = UtilizationPoint(time=now, busy=busy_gpus())
+            if utilization and utilization[-1].time == now:
+                utilization[-1] = point
+            else:
+                utilization.append(point)
+
+        def complete_finished() -> None:
+            for job in list(running):
+                if job.remaining_work <= _EPSILON * job.spec.work:
+                    job.completion_time = now
+                    job.workers = 0
+                    running.remove(job)
+
+        def apply_allocation(target: "dict[str, int]") -> None:
+            for job in list(queue):
+                workers = target.get(job.spec.job_id, 0)
+                if workers > 0:
+                    job.workers = workers
+                    job.start_time = now if job.start_time is None else job.start_time
+                    queue.remove(job)
+                    running.append(job)
+            for job in running:
+                workers = target.get(job.spec.job_id, job.workers)
+                if workers != job.workers:
+                    downtime = self.costs.downtime(
+                        job.spec.model, job.workers, workers
+                    )
+                    job.paused_until = max(job.paused_until, now + downtime)
+                    job.workers = workers
+                    job.adjustments += 1
+                    self.adjustments += 1
+            limit = max(self.total_gpus,
+                        max((g for _t, g in self.capacity_profile),
+                            default=self.total_gpus))
+            overcommit = sum(job.workers for job in running)
+            if overcommit > limit:
+                raise RuntimeError(
+                    f"policy {self.policy.name} overcommitted: "
+                    f"{overcommit} > {limit}"
+                )
+
+        def capacity_at(when: float) -> int:
+            capacity = self.total_gpus
+            for change_time, gpus in self.capacity_profile:
+                if change_time <= when:
+                    capacity = gpus
+                else:
+                    break
+            return capacity
+
+        def evict_to_fit(capacity: int) -> None:
+            # Newest-started first: the classic spot-preemption order.
+            for job in sorted(
+                running,
+                key=lambda j: (j.start_time or 0.0),
+                reverse=True,
+            ):
+                if sum(j.workers for j in running) <= capacity:
+                    return
+                job.workers = 0
+                running.remove(job)
+                # Re-queue in submit order so FIFO semantics survive.
+                queue.append(job)
+                queue.sort(key=lambda j: j.spec.submit_time)
+                self.evictions += 1
+
+        def next_event_time() -> float:
+            candidates = []
+            if arrival_index < len(arrivals):
+                candidates.append(arrivals[arrival_index].submit_time)
+            for change_time, _gpus in self.capacity_profile:
+                if change_time > now + _EPSILON:
+                    candidates.append(change_time)
+                    break
+            for job in running:
+                eta = self._eta_with_overhead(job, now)
+                if eta < float("inf"):
+                    candidates.append(eta)
+            return min(candidates) if candidates else float("inf")
+
+        while arrival_index < len(arrivals) or running or queue:
+            target = next_event_time()
+            if target == float("inf"):
+                if queue and not running:
+                    raise RuntimeError(
+                        f"policy {self.policy.name} deadlocked with "
+                        f"{len(queue)} queued jobs and an empty cluster"
+                    )
+                break
+            advance_to(max(now, target))
+            while (
+                arrival_index < len(arrivals)
+                and arrivals[arrival_index].submit_time <= now + _EPSILON
+            ):
+                queue.append(executions[arrivals[arrival_index].job_id])
+                arrival_index += 1
+            complete_finished()
+            capacity = capacity_at(now)
+            apply_allocation(
+                self.policy.allocate(now, queue, running, capacity)
+            )
+            evict_to_fit(capacity)
+            record_utilization()
+
+        return ScheduleResult(
+            policy=self.policy.name,
+            system=self.costs.name,
+            total_gpus=self.total_gpus,
+            executions=list(executions.values()),
+            utilization=utilization,
+            adjustments=self.adjustments,
+            evictions=self.evictions,
+        )
+
+    def _eta_with_overhead(self, job: JobExecution, now: float) -> float:
+        """Completion estimate including the system's runtime overhead."""
+        if job.done or not job.running:
+            return float("inf")
+        rate = job.spec.throughput(job.workers) * self.costs.overhead_factor(
+            job.spec.model, job.workers
+        )
+        if rate <= 0:
+            return float("inf")
+        start = max(now, job.paused_until)
+        return start + job.remaining_work / rate

@@ -1,0 +1,78 @@
+"""Trace serialization: save/load scheduling traces as JSON.
+
+Lets users pin a generated trace to disk (for exact cross-run
+comparisons, sharing, or hand-editing) and replay external traces through
+the simulator, as long as each job names a Table I model.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from ..perfmodel.models import get_model
+from .job import JobSpec
+
+
+def trace_to_dicts(jobs: typing.Sequence[JobSpec]) -> "list[dict]":
+    """Plain-dict form of a trace (stable key order for diffs)."""
+    return [
+        {
+            "job_id": job.job_id,
+            "model": job.model.name,
+            "submit_time": job.submit_time,
+            "work": job.work,
+            "req_res": job.req_res,
+            "min_res": job.min_res,
+            "max_res": job.max_res,
+            "priority": job.priority,
+        }
+        for job in jobs
+    ]
+
+
+def trace_from_dicts(records: typing.Sequence[dict]) -> "list[JobSpec]":
+    """Rebuild a trace; validates resource bounds and model names."""
+    jobs = []
+    for record in records:
+        missing = {
+            "job_id", "model", "submit_time", "work",
+            "req_res", "min_res", "max_res",
+        } - set(record)
+        if missing:
+            raise ValueError(
+                f"trace record {record.get('job_id', '?')!r} is missing "
+                f"fields: {sorted(missing)}"
+            )
+        jobs.append(
+            JobSpec(
+                job_id=record["job_id"],
+                model=get_model(record["model"]),
+                submit_time=float(record["submit_time"]),
+                work=float(record["work"]),
+                req_res=int(record["req_res"]),
+                min_res=int(record["min_res"]),
+                max_res=int(record["max_res"]),
+                priority=int(record.get("priority", 0)),
+            )
+        )
+    jobs.sort(key=lambda j: j.submit_time)
+    return jobs
+
+
+def save_trace(jobs: typing.Sequence[JobSpec], path: "str | pathlib.Path") -> None:
+    """Write a trace to a JSON file."""
+    payload = {"format": "repro-elan-trace-v1", "jobs": trace_to_dicts(jobs)}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_trace(path: "str | pathlib.Path") -> "list[JobSpec]":
+    """Read a trace from a JSON file written by :func:`save_trace`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro-elan-trace-v1":
+        raise ValueError(
+            f"{path}: not a repro-elan trace "
+            f"(format={payload.get('format')!r})"
+        )
+    return trace_from_dicts(payload["jobs"])

@@ -1,0 +1,47 @@
+"""Hardware topology model: devices, link levels, bandwidths, builders.
+
+Implements the device model of paper §IV: the four link levels L1-L4, the
+three transports (P2P/SHM/NET) with their Fig. 8 bandwidth ordering, the
+topology tree used for nearest-neighbor selection, and path-resource sets
+used for contention detection during concurrent replication.
+"""
+
+from .builder import (
+    PAPER_SERVER,
+    ServerSpec,
+    build_cluster,
+    build_node,
+    cluster_for_gpu_count,
+    gpu_by_name,
+    gpus_of,
+)
+from .links import BEST_TRANSPORT, BandwidthProfile, LinkLevel, LinkSpec, Transport
+from .tree import (
+    DeviceKind,
+    TopologyNode,
+    link_level,
+    lowest_common_ancestor,
+    nearest_neighbor,
+    path_resources,
+)
+
+__all__ = [
+    "BEST_TRANSPORT",
+    "BandwidthProfile",
+    "DeviceKind",
+    "LinkLevel",
+    "LinkSpec",
+    "PAPER_SERVER",
+    "ServerSpec",
+    "TopologyNode",
+    "Transport",
+    "build_cluster",
+    "build_node",
+    "cluster_for_gpu_count",
+    "gpu_by_name",
+    "gpus_of",
+    "link_level",
+    "lowest_common_ancestor",
+    "nearest_neighbor",
+    "path_resources",
+]

@@ -1,0 +1,107 @@
+"""Builders for standard cluster topologies.
+
+The paper's testbed (§VI-A) is a production cluster of up to 8 servers, each
+with 2 × 20-core Intel Silver 4114 CPUs and 8 GeForce 1080Ti GPUs, connected
+by 56 Gbps InfiniBand and sharing a Lustre filesystem.  Each socket hosts two
+PCIe switches with two GPUs each, the common balanced layout for an 8-GPU
+PCIe box (and the one that makes the paper's Fig. 9 example expressible:
+same-switch pairs at L1, cross-switch pairs at L2, cross-socket at L3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .tree import DeviceKind, TopologyNode
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerSpec:
+    """Shape of one server in the cluster."""
+
+    sockets: int = 2
+    switches_per_socket: int = 2
+    gpus_per_switch: int = 2
+
+    @property
+    def gpus_per_node(self) -> int:
+        """Total GPUs in one server of this shape."""
+        return self.sockets * self.switches_per_socket * self.gpus_per_switch
+
+
+#: The paper's 8-GPU server: 2 sockets x 2 switches x 2 GPUs.
+PAPER_SERVER = ServerSpec()
+
+
+def build_node(
+    name: str,
+    spec: ServerSpec = PAPER_SERVER,
+    parent: "TopologyNode | None" = None,
+) -> TopologyNode:
+    """Build one server's topology subtree.
+
+    GPU names are ``<node>/gpu<k>`` with ``k`` counted across the whole
+    node, so ``node0/gpu0`` and ``node0/gpu1`` share a switch.
+    """
+    node = TopologyNode(DeviceKind.NODE, name, parent=parent)
+    gpu_index = 0
+    for socket_i in range(spec.sockets):
+        socket = TopologyNode(
+            DeviceKind.SOCKET, f"{name}/socket{socket_i}", parent=node
+        )
+        for switch_i in range(spec.switches_per_socket):
+            switch = TopologyNode(
+                DeviceKind.PCIE_SWITCH,
+                f"{name}/socket{socket_i}/switch{switch_i}",
+                parent=socket,
+            )
+            for _ in range(spec.gpus_per_switch):
+                TopologyNode(
+                    DeviceKind.GPU, f"{name}/gpu{gpu_index}", parent=switch
+                )
+                gpu_index += 1
+    return node
+
+
+def build_cluster(
+    num_nodes: int,
+    spec: ServerSpec = PAPER_SERVER,
+    name: str = "cluster",
+) -> TopologyNode:
+    """Build a cluster of ``num_nodes`` identical servers."""
+    if num_nodes < 1:
+        raise ValueError(f"a cluster needs at least one node, got {num_nodes}")
+    cluster = TopologyNode(DeviceKind.CLUSTER, name)
+    for node_i in range(num_nodes):
+        build_node(f"node{node_i}", spec=spec, parent=cluster)
+    return cluster
+
+
+def gpus_of(cluster: TopologyNode) -> "list[TopologyNode]":
+    """All GPU vertices of ``cluster`` in deterministic tree order."""
+    return list(cluster.iter_gpus())
+
+
+def gpu_by_name(cluster: TopologyNode, name: str) -> TopologyNode:
+    """Look up a GPU vertex by its full name (e.g. ``node0/gpu3``)."""
+    found = cluster.find(name)
+    if found.kind is not DeviceKind.GPU:
+        raise KeyError(f"{name!r} names a {found.kind.value}, not a GPU")
+    return found
+
+
+def cluster_for_gpu_count(
+    num_gpus: int, spec: ServerSpec = PAPER_SERVER
+) -> typing.Tuple[TopologyNode, "list[TopologyNode]"]:
+    """Smallest cluster of ``spec`` servers holding ``num_gpus`` GPUs.
+
+    Returns the cluster root and the first ``num_gpus`` GPUs in tree order
+    (the natural packing a scheduler would use).
+    """
+    if num_gpus < 1:
+        raise ValueError(f"need at least one GPU, got {num_gpus}")
+    per_node = spec.gpus_per_node
+    num_nodes = -(-num_gpus // per_node)  # ceil division
+    cluster = build_cluster(num_nodes, spec=spec)
+    return cluster, gpus_of(cluster)[:num_gpus]

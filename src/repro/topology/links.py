@@ -1,0 +1,107 @@
+"""Link levels, transports and the bandwidth model (paper §IV-2, Fig. 8, 9).
+
+The paper distinguishes four *link levels* between two GPUs:
+
+* **L1** — the path traverses only PCIe switches;
+* **L2** — the path traverses a PCIe host bridge;
+* **L3** — the path traverses a socket-level link (e.g. QPI);
+* **L4** — the path traverses the network.
+
+and three *transports*:
+
+* **P2P** — GPU peer-to-peer DMA, only possible on L1;
+* **SHM** — staging through CPU shared memory, used on L2 and L3;
+* **NET** — the 56 Gbps InfiniBand network (RDMA), the only option on L4.
+
+The paper's Figure 8 shows P2P > SHM > NET at every message size.  We model
+effective bandwidth with the standard latency/bandwidth (alpha-beta) form
+
+    effective(size) = peak * size / (size + peak * latency)
+
+which saturates to ``peak`` for large messages and is latency-bound for
+small ones — the same shape as Figure 8.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class LinkLevel(enum.IntEnum):
+    """Topological distance class between two GPUs (paper Fig. 9)."""
+
+    L1 = 1  # same PCIe switch
+    L2 = 2  # same socket, traverses the PCIe host bridge
+    L3 = 3  # same node, traverses QPI
+    L4 = 4  # different nodes, traverses the network
+
+
+class Transport(enum.Enum):
+    """Physical mechanism used to move bytes between two GPUs."""
+
+    P2P = "p2p"
+    SHM = "shm"
+    NET = "net"
+
+
+#: The best (highest-bandwidth) transport available at each link level.
+#: P2P is only enabled on L1; L2 and L3 must stage through shared memory;
+#: L4 can only use the network (paper §IV-2).
+BEST_TRANSPORT = {
+    LinkLevel.L1: Transport.P2P,
+    LinkLevel.L2: Transport.SHM,
+    LinkLevel.L3: Transport.SHM,
+    LinkLevel.L4: Transport.NET,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkSpec:
+    """Peak bandwidth and base latency of one transport."""
+
+    peak_bandwidth: float  # bytes / second
+    latency: float  # seconds per message
+
+    def effective_bandwidth(self, size: float) -> float:
+        """Effective bandwidth (bytes/s) for a message of ``size`` bytes."""
+        if size <= 0:
+            return 0.0
+        return self.peak_bandwidth * size / (size + self.peak_bandwidth * self.latency)
+
+    def transfer_time(self, size: float) -> float:
+        """Seconds needed to move ``size`` bytes over this link."""
+        if size < 0:
+            raise ValueError(f"negative transfer size {size}")
+        return self.latency + size / self.peak_bandwidth
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthProfile:
+    """The full transport bandwidth table of a cluster.
+
+    Defaults are calibrated to the paper's testbed: PCIe 3.0 x16 peer-to-peer
+    through a switch (~12.5 GB/s raw, ~10 GB/s effective), host-staged shared
+    memory copies (~6 GB/s), and 56 Gbps FDR InfiniBand (~7 GB/s raw, ~5 GB/s
+    effective with RDMA).  The ordering P2P > SHM > NET matches Figure 8.
+    """
+
+    p2p: LinkSpec = LinkSpec(peak_bandwidth=10.0e9, latency=10e-6)
+    shm: LinkSpec = LinkSpec(peak_bandwidth=6.0e9, latency=25e-6)
+    net: LinkSpec = LinkSpec(peak_bandwidth=5.0e9, latency=65e-6)
+
+    def spec(self, transport: Transport) -> LinkSpec:
+        """The :class:`LinkSpec` of ``transport``."""
+        return {
+            Transport.P2P: self.p2p,
+            Transport.SHM: self.shm,
+            Transport.NET: self.net,
+        }[transport]
+
+    def for_level(self, level: LinkLevel) -> LinkSpec:
+        """The spec of the best transport available at ``level``."""
+        return self.spec(BEST_TRANSPORT[level])
+
+    def transfer_time(self, level: LinkLevel, size: float) -> float:
+        """Seconds to move ``size`` bytes between GPUs at ``level``."""
+        return self.for_level(level).transfer_time(size)

@@ -1,0 +1,172 @@
+"""The device topology tree (paper §IV, Fig. 9).
+
+A cluster is modelled as a tree::
+
+    CLUSTER -> NODE -> SOCKET -> PCIE_SWITCH -> GPU
+
+The *link level* between two GPUs is determined by the kind of their lowest
+common ancestor:
+
+* same PCIe switch            -> L1  (P2P)
+* same socket, other switch   -> L2  (traverses the host bridge; SHM)
+* same node, other socket     -> L3  (traverses QPI; SHM)
+* different node              -> L4  (network; NET/RDMA)
+
+Besides link-level queries, the tree answers two questions the replication
+planner needs: which *physical shared resources* a GPU-to-GPU path occupies
+(for contention detection, §IV-3) and which existing GPU is *nearest* to a
+new one (neighbor selection).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from .links import LinkLevel
+
+
+class DeviceKind(enum.Enum):
+    """Kinds of vertices in the topology tree."""
+
+    CLUSTER = "cluster"
+    NODE = "node"
+    SOCKET = "socket"
+    PCIE_SWITCH = "pcie_switch"
+    GPU = "gpu"
+
+
+#: Link level implied by each lowest-common-ancestor kind.
+_LCA_LEVEL = {
+    DeviceKind.PCIE_SWITCH: LinkLevel.L1,
+    DeviceKind.SOCKET: LinkLevel.L2,
+    DeviceKind.NODE: LinkLevel.L3,
+    DeviceKind.CLUSTER: LinkLevel.L4,
+}
+
+
+class TopologyNode:
+    """One vertex of the topology tree."""
+
+    def __init__(
+        self,
+        kind: DeviceKind,
+        name: str,
+        parent: "TopologyNode | None" = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.parent = parent
+        self.children: list[TopologyNode] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    @property
+    def depth(self) -> int:
+        """Number of edges to the root."""
+        node, hops = self, 0
+        while node.parent is not None:
+            node, hops = node.parent, hops + 1
+        return hops
+
+    def ancestors(self) -> "list[TopologyNode]":
+        """Path from this node up to (and including) the root."""
+        path, node = [], self
+        while node is not None:
+            path.append(node)
+            node = node.parent
+        return path
+
+    def iter_gpus(self) -> "typing.Iterator[TopologyNode]":
+        """Yield every GPU vertex in this subtree, in tree order."""
+        if self.kind is DeviceKind.GPU:
+            yield self
+            return
+        for child in self.children:
+            yield from child.iter_gpus()
+
+    def find(self, name: str) -> "TopologyNode":
+        """Find the unique descendant (or self) named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            try:
+                return child.find(name)
+            except KeyError:
+                continue
+        raise KeyError(f"no topology node named {name!r} under {self.name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind.value} {self.name}>"
+
+
+def lowest_common_ancestor(a: TopologyNode, b: TopologyNode) -> TopologyNode:
+    """The deepest vertex that is an ancestor of both ``a`` and ``b``."""
+    ancestors_a = a.ancestors()
+    ids_a = {id(node): node for node in ancestors_a}
+    for node in b.ancestors():
+        if id(node) in ids_a:
+            return node
+    raise ValueError(
+        f"{a.name!r} and {b.name!r} are not in the same topology tree"
+    )
+
+
+def link_level(a: TopologyNode, b: TopologyNode) -> LinkLevel:
+    """Link level between two distinct GPUs (paper Fig. 9 classification)."""
+    if a.kind is not DeviceKind.GPU or b.kind is not DeviceKind.GPU:
+        raise ValueError("link_level is defined between GPU vertices")
+    if a is b:
+        raise ValueError(f"link_level of {a.name!r} with itself is undefined")
+    lca = lowest_common_ancestor(a, b)
+    return _LCA_LEVEL[lca.kind]
+
+
+def path_resources(a: TopologyNode, b: TopologyNode) -> frozenset:
+    """Names of the shared physical links a transfer ``a`` -> ``b`` occupies.
+
+    Used for contention detection: two concurrent replications whose
+    resource sets intersect must run in turn (paper §IV-3, "typically when
+    replications traverse L3").  The sets are:
+
+    * L1 — the shared PCIe switch;
+    * L2 — both switch uplinks and the socket's host bridge;
+    * L3 — the above plus the node's QPI link;
+    * L4 — each endpoint's socket-to-NIC path and node NIC.
+    """
+    level = link_level(a, b)
+    by_kind_a = {node.kind: node for node in a.ancestors()}
+    by_kind_b = {node.kind: node for node in b.ancestors()}
+    resources: set = set()
+    if level is LinkLevel.L1:
+        resources.add(f"switch:{by_kind_a[DeviceKind.PCIE_SWITCH].name}")
+    elif level is LinkLevel.L2:
+        resources.add(f"switch:{by_kind_a[DeviceKind.PCIE_SWITCH].name}")
+        resources.add(f"switch:{by_kind_b[DeviceKind.PCIE_SWITCH].name}")
+        resources.add(f"hostbridge:{by_kind_a[DeviceKind.SOCKET].name}")
+    elif level is LinkLevel.L3:
+        resources.add(f"switch:{by_kind_a[DeviceKind.PCIE_SWITCH].name}")
+        resources.add(f"switch:{by_kind_b[DeviceKind.PCIE_SWITCH].name}")
+        resources.add(f"hostbridge:{by_kind_a[DeviceKind.SOCKET].name}")
+        resources.add(f"hostbridge:{by_kind_b[DeviceKind.SOCKET].name}")
+        resources.add(f"qpi:{by_kind_a[DeviceKind.NODE].name}")
+    else:  # L4
+        resources.add(f"nic:{by_kind_a[DeviceKind.NODE].name}")
+        resources.add(f"nic:{by_kind_b[DeviceKind.NODE].name}")
+    return frozenset(resources)
+
+
+def nearest_neighbor(
+    target: TopologyNode, candidates: typing.Sequence[TopologyNode]
+) -> TopologyNode:
+    """The candidate GPU closest to ``target`` (lowest link level).
+
+    Ties are broken by name so the choice is deterministic — the planner
+    relies on this to build reproducible replication plans.
+    """
+    if not candidates:
+        raise ValueError("no candidate GPUs to choose a neighbor from")
+    return min(
+        candidates,
+        key=lambda gpu: (int(link_level(target, gpu)), gpu.name),
+    )

@@ -1,0 +1,115 @@
+"""Tests for the adjustment-latency models (Figs. 10/11/14/15)."""
+
+import pytest
+
+from repro.baselines import (
+    ElanAdjustmentModel,
+    ShutdownRestartModel,
+    runtime_overhead_fraction,
+)
+from repro.perfmodel import MODEL_ZOO, RESNET50, VGG19
+
+
+@pytest.fixture
+def elan():
+    return ElanAdjustmentModel(seed=0)
+
+
+@pytest.fixture
+def sr():
+    return ShutdownRestartModel(seed=0)
+
+
+class TestElanModel:
+    def test_all_adjustments_around_one_second(self, elan):
+        """The paper's headline: ~1s for every kind, scale and model."""
+        for kind, old, new in (
+            ("migration", 8, 8),
+            ("scale_in", 16, 8),
+            ("scale_out", 8, 16),
+            ("scale_out", 16, 32),
+        ):
+            for spec in MODEL_ZOO.values():
+                total = elan.adjustment_time(kind, spec, old, new).total
+                assert total < 1.5, f"{kind}/{spec.name}: {total:.2f}s"
+
+    def test_scale_in_needs_no_replication(self, elan):
+        timing = elan.adjustment_time("scale_in", RESNET50, 16, 8)
+        assert timing.phases["replication"] == 0.0
+
+    def test_start_and_init_absent_from_critical_path(self, elan):
+        """The asynchronous coordination mechanism hides start + init."""
+        timing = elan.adjustment_time("scale_out", RESNET50, 8, 16)
+        assert "start" not in timing.phases
+        assert "init" not in timing.phases
+
+    def test_unknown_kind_rejected(self, elan):
+        with pytest.raises(ValueError):
+            elan.adjustment_time("resize", RESNET50, 8, 16)
+
+
+class TestShutdownRestartModel:
+    def test_start_init_dominate_scaling(self, sr):
+        """Fig. 11: start + initialization are the bulk of the timeline."""
+        timing = sr.adjustment_time("scale_out", RESNET50, 8, 16)
+        startup = timing.phases["start"] + timing.phases["init"]
+        assert startup > 0.6 * timing.total
+
+    def test_migration_skips_restart(self, sr):
+        """S&R migration benefits from async start (old workers are
+        discarded), so only checkpoint + load remain."""
+        timing = sr.adjustment_time("migration", RESNET50, 8, 8)
+        assert "start" not in timing.phases
+        assert "shutdown" not in timing.phases
+
+    def test_load_contention_grows_with_readers(self, sr):
+        few = sr.adjustment_time("scale_out", VGG19, 8, 9).phases["load"]
+        many = ShutdownRestartModel(seed=0).adjustment_time(
+            "scale_out", VGG19, 8, 64
+        ).phases["load"]
+        assert many > few
+
+
+class TestFig15Ratios:
+    """The paper's comparison: ~4x on migration, 10-80x on scaling."""
+
+    @pytest.mark.parametrize("spec", list(MODEL_ZOO.values()),
+                             ids=lambda s: s.name)
+    def test_migration_ratio_moderate(self, elan, sr, spec):
+        e = elan.adjustment_time("migration", spec, 8, 8).total
+        s = sr.adjustment_time("migration", spec, 8, 8).total
+        assert 2.0 < s / e < 8.0
+
+    @pytest.mark.parametrize("spec", list(MODEL_ZOO.values()),
+                             ids=lambda s: s.name)
+    def test_scale_out_ratio_order_of_magnitude(self, elan, sr, spec):
+        e = elan.adjustment_time("scale_out", spec, 8, 16).total
+        s = sr.adjustment_time("scale_out", spec, 8, 16).total
+        assert 10.0 < s / e < 150.0
+
+    def test_scaling_gap_much_larger_than_migration_gap(self, elan, sr):
+        """The async mechanism only helps where restart is on the critical
+        path — scaling, not migration."""
+        migration = (
+            sr.adjustment_time("migration", RESNET50, 8, 8).total
+            / elan.adjustment_time("migration", RESNET50, 8, 8).total
+        )
+        scaling = (
+            sr.adjustment_time("scale_out", RESNET50, 8, 16).total
+            / elan.adjustment_time("scale_out", RESNET50, 8, 16).total
+        )
+        assert scaling > 5 * migration
+
+
+class TestFig14Overhead:
+    @pytest.mark.parametrize("spec", list(MODEL_ZOO.values()),
+                             ids=lambda s: s.name)
+    @pytest.mark.parametrize("workers", [2, 8, 16, 64])
+    def test_overhead_below_three_per_mille(self, spec, workers):
+        """Fig. 14: runtime overhead < 3 per mille everywhere."""
+        assert runtime_overhead_fraction(spec, workers) < 0.003
+
+    def test_interval_divides_overhead(self):
+        every = runtime_overhead_fraction(RESNET50, 8, coordination_interval=1)
+        sparse = runtime_overhead_fraction(RESNET50, 8, coordination_interval=10)
+        assert sparse == pytest.approx(every / 10)

@@ -1,0 +1,107 @@
+"""Live AM fail-over (§V-D): the job survives losing its master."""
+
+import pytest
+
+from repro.coordination import ElasticRuntime, params_consistent
+from repro.training import make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=111)
+
+
+class TestAmFailover:
+    def test_training_unaffected(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=1)
+        runtime.start()
+        assert runtime.wait_until_iteration(5)
+        runtime.crash_and_recover_am()
+        before = runtime.snapshot()["iteration"]
+        assert runtime.wait_until_iteration(before + 10)
+        runtime.stop()
+        assert params_consistent(runtime.final_contexts())
+
+    def test_inflight_adjustment_survives_failover(self, dataset):
+        """The AM dies after a scale-out was requested but before the new
+        workers reported; the recovered AM completes it."""
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=32,
+            startup_delay=0.4, seed=2,
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(3)
+        runtime.scale_out(2)
+        runtime.crash_and_recover_am()  # mid-adjustment
+        assert runtime.wait_for_adjustments(1, timeout=15)
+        runtime.stop()
+        assert len(runtime.am.group) == 4
+        assert params_consistent(runtime.final_contexts())
+
+    def test_repeated_failovers(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=3)
+        runtime.start()
+        for _ in range(3):
+            assert runtime.wait_until_iteration(
+                runtime.snapshot()["iteration"] + 3
+            )
+            runtime.crash_and_recover_am()
+        runtime.scale_in(1)
+        assert runtime.wait_for_adjustments(1)
+        runtime.stop()
+        assert len(runtime.am.group) == 1
+
+    def test_failover_recorded_in_telemetry(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=4)
+        runtime.start()
+        runtime.wait_until_iteration(2)
+        runtime.crash_and_recover_am()
+        runtime.stop()
+        events = runtime.telemetry.events_of_kind("am_failover")
+        assert len(events) == 1
+        assert events[0].detail["job_id"] == "job0"
+
+
+class TestFailoverBoundaryInvariant:
+    """Regression: a recovered AM must not schedule commits in the past.
+
+    The persisted snapshot carries a stale ``latest_iteration`` (it is
+    only written on protocol transitions); an adjustment requested right
+    after fail-over used to land its commit boundary behind the workers,
+    splitting the group across generations mid-allreduce (a 30 s hang).
+    """
+
+    def test_commit_after_failover_is_in_the_future(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=5)
+        runtime.start()
+        assert runtime.wait_until_iteration(12)
+        runtime.crash_and_recover_am()
+        at_request = runtime.snapshot()["iteration"]
+        runtime.scale_in(1)  # immediately, before any coordination
+        assert runtime.wait_for_adjustments(1, timeout=10)
+        runtime.stop(timeout=10)
+        plan = runtime.history[0]
+        assert plan.commit_iteration >= at_request
+        # Nobody got stranded in an abandoned collective.
+        for worker in runtime._workers.values():
+            assert not worker.thread.is_alive()
+        assert not runtime.worker_failures
+
+    def test_repeated_failover_scale_in_never_stalls(self, dataset):
+        import time as _time
+
+        for attempt in range(3):
+            runtime = ElasticRuntime(dataset, initial_workers=2,
+                                     total_batch_size=32, seed=6 + attempt)
+            runtime.start()
+            assert runtime.wait_until_iteration(5)
+            runtime.crash_and_recover_am()
+            runtime.scale_in(1)
+            assert runtime.wait_for_adjustments(1, timeout=10)
+            started = _time.monotonic()
+            runtime.stop(timeout=10)
+            assert _time.monotonic() - started < 5.0, "stop stalled"

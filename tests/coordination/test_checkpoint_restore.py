@@ -1,0 +1,128 @@
+"""Tests for job-level checkpoint/restore and gradient accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.coordination import ElasticRuntime, params_consistent
+from repro.replication import SharedStorage
+from repro.training import make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=71)
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_resumes_identically(self, dataset):
+        storage = SharedStorage()
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=1)
+        runtime.start()
+        assert runtime.wait_until_iteration(10)
+        runtime.stop()
+        saved_iteration = runtime.final_contexts()[0].runtime_info.iteration
+        runtime.checkpoint(storage)
+
+        restored = ElasticRuntime.restore(dataset, storage, seed=1)
+        context = restored._workers["w0"].context
+        assert context.runtime_info.iteration == saved_iteration
+        original = runtime.final_contexts()[0]
+        for name in original.params:
+            assert np.array_equal(original.params[name], context.params[name])
+
+        restored.start()
+        assert restored.wait_until_iteration(saved_iteration + 10)
+        restored.stop()
+        assert params_consistent(restored.final_contexts())
+
+    def test_restore_with_different_worker_count(self, dataset):
+        """A checkpoint resumes on any allocation — the S&R capability,
+        available as a last resort."""
+        storage = SharedStorage()
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=2)
+        runtime.start()
+        runtime.wait_until_iteration(5)
+        runtime.stop()
+        runtime.checkpoint(storage)
+
+        restored = ElasticRuntime.restore(dataset, storage, workers=4, seed=2)
+        assert len(restored.am.group) == 4
+        # Strong scaling: total batch preserved, micro-batches shrink.
+        context = restored._workers["w0"].context
+        assert context.runtime_info.total_batch_size == 32
+        assert context.per_worker_batch == 8
+        restored.start()
+        assert restored.wait_until_iteration(
+            context.runtime_info.iteration + 5
+        )
+        restored.stop()
+
+    def test_checkpoint_requires_quiescence(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=3)
+        runtime.start()
+        runtime.wait_until_iteration(2)
+        with pytest.raises(RuntimeError, match="quiescent"):
+            runtime.checkpoint(SharedStorage())
+        runtime.stop()
+
+    def test_restore_missing_checkpoint_raises(self, dataset):
+        with pytest.raises(KeyError):
+            ElasticRuntime.restore(dataset, SharedStorage())
+
+
+class TestGradientAccumulation:
+    def test_accumulated_matches_monolithic(self, dataset):
+        """Splitting each worker's share into micro-chunks is invisible:
+        the accumulated run matches a single-process replay exactly."""
+        from repro.training import (
+            MomentumSGD,
+            SerialLoader,
+            init_mlp,
+            loss_and_gradients,
+        )
+
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=32,
+            seed=4, max_micro_batch=4,
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(15)
+        runtime.stop()
+        context = runtime.final_contexts()[0]
+        iterations = context.runtime_info.iteration
+
+        params = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=4)
+        optimizer = MomentumSGD(lr=0.05)
+        loader = SerialLoader(dataset.train_size, seed=4)
+        for _ in range(iterations):
+            (indices,) = loader.next_iteration(1, 32)
+            if len(indices) == 0:
+                continue
+            _loss, grads = loss_and_gradients(
+                params, dataset.train_x[indices], dataset.train_y[indices]
+            )
+            optimizer.step(params, grads)
+        for name in params:
+            assert np.allclose(
+                params[name], context.params[name], atol=1e-10
+            )
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            ElasticRuntime(dataset, max_micro_batch=0)
+
+    def test_accumulation_with_scale_out(self, dataset):
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=64,
+            seed=5, max_micro_batch=8,
+        )
+        runtime.start()
+        runtime.wait_until_iteration(3)
+        runtime.scale_out(2)
+        assert runtime.wait_for_adjustments(1)
+        assert runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 5)
+        runtime.stop()
+        assert params_consistent(runtime.final_contexts())

@@ -1,0 +1,278 @@
+"""Tests for messages, the KV store, collectives and hooks."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coordination import (
+    CasConflict,
+    Collective,
+    CollectiveAborted,
+    DeduplicatingInbox,
+    FaultyChannel,
+    Hook,
+    HookRegistry,
+    KeyValueStore,
+    MessageFactory,
+    MessageType,
+    ReliableSender,
+)
+
+
+class TestMessages:
+    def test_unique_ids(self):
+        factory = MessageFactory()
+        ids = {
+            factory.make(MessageType.COORDINATE, "w0", {}).msg_id
+            for _ in range(100)
+        }
+        assert len(ids) == 100
+
+    def test_duplicate_keeps_id(self):
+        msg = MessageFactory().make(MessageType.ACK, "am", {})
+        assert msg.duplicate().msg_id == msg.msg_id
+
+    def test_inbox_deduplicates(self):
+        inbox = DeduplicatingInbox()
+        msg = MessageFactory().make(MessageType.WORKER_REPORT, "w4", {})
+        assert inbox.accept(msg)
+        assert not inbox.accept(msg.duplicate())
+        assert inbox.duplicates_dropped == 1
+
+    def test_channel_drops_every_nth(self):
+        delivered = []
+        channel = FaultyChannel(delivered.append, drop_every=2)
+        factory = MessageFactory()
+        for _ in range(4):
+            channel.send(factory.make(MessageType.COORDINATE, "w0", {}))
+        assert len(delivered) == 2
+        assert channel.dropped == 2
+
+    def test_channel_duplicates_every_nth(self):
+        delivered = []
+        channel = FaultyChannel(delivered.append, duplicate_every=3)
+        factory = MessageFactory()
+        for _ in range(3):
+            channel.send(factory.make(MessageType.COORDINATE, "w0", {}))
+        assert len(delivered) == 4  # 3 sends + 1 duplicate
+
+    def test_reliable_sender_retries_through_loss(self):
+        """§V-D: unique IDs + resend on timeout survive a lossy channel."""
+        inbox = DeduplicatingInbox()
+        received = []
+
+        def deliver(msg):
+            if inbox.accept(msg):
+                received.append(msg)
+
+        channel = FaultyChannel(deliver, drop_every=2)
+        sender = ReliableSender(channel, max_attempts=5)
+        factory = MessageFactory()
+        for i in range(10):
+            msg = factory.make(MessageType.WORKER_REPORT, "w4", {"seq": i})
+            assert sender.send(
+                msg, acknowledged=lambda m=msg: any(
+                    r.msg_id == m.msg_id for r in received
+                )
+            )
+        assert len(received) == 10  # exactly once despite drops
+
+    def test_reliable_sender_gives_up(self):
+        channel = FaultyChannel(lambda m: None, drop_every=1)  # drops all
+        sender = ReliableSender(channel, max_attempts=3)
+        msg = MessageFactory().make(MessageType.ACK, "am", {})
+        assert not sender.send(msg, acknowledged=lambda: False)
+
+    def test_sender_validates_attempts(self):
+        with pytest.raises(ValueError):
+            ReliableSender(FaultyChannel(lambda m: None), max_attempts=0)
+
+
+class TestKeyValueStore:
+    def test_put_get_roundtrip(self):
+        store = KeyValueStore()
+        store.put("a/b", {"x": 1})
+        assert store.get("a/b") == {"x": 1}
+
+    def test_get_default(self):
+        assert KeyValueStore().get("missing", default=7) == 7
+
+    def test_versions_monotone(self):
+        store = KeyValueStore()
+        assert store.put("k", 1) == 1
+        assert store.put("k", 2) == 2
+        assert store.version("k") == 2
+
+    def test_cas_succeeds_on_match(self):
+        store = KeyValueStore()
+        version = store.put("k", "old")
+        store.compare_and_swap("k", version, "new")
+        assert store.get("k") == "new"
+
+    def test_cas_conflict(self):
+        store = KeyValueStore()
+        store.put("k", "v1")
+        store.put("k", "v2")
+        with pytest.raises(CasConflict):
+            store.compare_and_swap("k", 1, "stale")
+
+    def test_watch_fires_on_prefix(self):
+        store = KeyValueStore()
+        events = []
+        store.watch("jobs/", lambda k, v, ver: events.append((k, v)))
+        store.put("jobs/1", "a")
+        store.put("other/2", "b")
+        assert events == [("jobs/1", "a")]
+
+    def test_watch_cancel(self):
+        store = KeyValueStore()
+        events = []
+        cancel = store.watch("", lambda k, v, ver: events.append(k))
+        store.put("x", 1)
+        cancel()
+        store.put("y", 2)
+        assert events == ["x"]
+
+    def test_delete(self):
+        store = KeyValueStore()
+        store.put("k", 1)
+        assert store.delete("k")
+        assert not store.delete("k")
+        assert store.get("k") is None
+
+    def test_keys_by_prefix(self):
+        store = KeyValueStore()
+        for key in ("a/1", "a/2", "b/1"):
+            store.put(key, None)
+        assert store.keys("a/") == ["a/1", "a/2"]
+
+
+class TestCollective:
+    def test_allreduce_averages(self):
+        collective = Collective(0, ["a", "b"])
+        results = {}
+
+        def member(name, value):
+            results[name] = collective.allreduce(name, {"g": np.array([value])})
+
+        threads = [
+            threading.Thread(target=member, args=("a", 1.0)),
+            threading.Thread(target=member, args=("b", 3.0)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert np.allclose(results["a"]["g"], [2.0])
+        assert np.allclose(results["b"]["g"], [2.0])
+
+    def test_multiple_rounds(self):
+        collective = Collective(0, ["a", "b"])
+        sums = []
+
+        def member(name, values):
+            for v in values:
+                out = collective.allreduce(name, {"g": np.array([v])})
+                if name == "a":
+                    sums.append(float(out["g"][0]))
+
+        ta = threading.Thread(target=member, args=("a", [1.0, 10.0]))
+        tb = threading.Thread(target=member, args=("b", [3.0, 20.0]))
+        ta.start(); tb.start(); ta.join(5); tb.join(5)
+        assert sums == [2.0, 15.0]
+
+    def test_none_contributions_skipped(self):
+        collective = Collective(0, ["a", "b"])
+        results = {}
+
+        def member(name, grads):
+            results[name] = collective.allreduce(name, grads)
+
+        ta = threading.Thread(target=member, args=("a", {"g": np.array([4.0])}))
+        tb = threading.Thread(target=member, args=("b", None))
+        ta.start(); tb.start(); ta.join(5); tb.join(5)
+        assert np.allclose(results["b"]["g"], [4.0])
+
+    def test_non_member_rejected(self):
+        with pytest.raises(KeyError):
+            Collective(0, ["a"]).allreduce("zz", None)
+
+    def test_single_member_immediate(self):
+        collective = Collective(0, ["solo"])
+        out = collective.allreduce("solo", {"g": np.array([5.0])})
+        assert np.allclose(out["g"], [5.0])
+
+    def test_abort_wakes_waiters(self):
+        collective = Collective(0, ["a", "b"])
+        failures = []
+
+        def member():
+            try:
+                collective.allreduce("a", None)
+            except CollectiveAborted:
+                failures.append(True)
+
+        thread = threading.Thread(target=member)
+        thread.start()
+        collective.abort()
+        thread.join(timeout=5)
+        assert failures == [True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Collective(0, [])
+        with pytest.raises(ValueError):
+            Collective(0, ["a", "a"])
+
+
+class TestHooks:
+    class Ctx:
+        def __init__(self):
+            self.model = {"w": 1.0}
+            self.extra = None
+
+    def test_capture_restore_roundtrip(self):
+        registry = HookRegistry()
+        registry.register(Hook(
+            "model",
+            capture=lambda c: dict(c.model),
+            restore=lambda c, s: c.model.update(s),
+        ))
+        source, target = self.Ctx(), self.Ctx()
+        source.model["w"] = 42.0
+        registry.restore_all(target, registry.capture_all(source))
+        assert target.model["w"] == 42.0
+
+    def test_user_hook_rides_along(self):
+        """Table III: arbitrary user state joins replication via hooks."""
+        registry = HookRegistry()
+        registry.register(Hook(
+            "extra",
+            capture=lambda c: c.extra,
+            restore=lambda c, s: setattr(c, "extra", s),
+        ))
+        source, target = self.Ctx(), self.Ctx()
+        source.extra = {"ema": [1, 2, 3]}
+        registry.restore_all(target, registry.capture_all(source))
+        assert target.extra == {"ema": [1, 2, 3]}
+
+    def test_missing_state_rejected(self):
+        registry = HookRegistry()
+        registry.register(Hook("a", lambda c: 1, lambda c, s: None))
+        with pytest.raises(KeyError):
+            registry.restore_all(self.Ctx(), {})
+
+    def test_unregister(self):
+        registry = HookRegistry()
+        registry.register(Hook("a", lambda c: 1, lambda c, s: None))
+        registry.unregister("a")
+        assert registry.names == []
+        with pytest.raises(KeyError):
+            registry.unregister("a")
+
+    def test_reregister_replaces(self):
+        registry = HookRegistry()
+        registry.register(Hook("a", lambda c: 1, lambda c, s: None))
+        registry.register(Hook("a", lambda c: 2, lambda c, s: None))
+        assert registry.capture_all(self.Ctx()) == {"a": 2}

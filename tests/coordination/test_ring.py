@@ -1,0 +1,228 @@
+"""Tests for the chunked ring-allreduce (the real collective algorithm)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coordination import (
+    Collective,
+    CollectiveAborted,
+    ElasticRuntime,
+    RingCollective,
+    flatten_params,
+    params_consistent,
+    unflatten_params,
+)
+from repro.training import init_mlp, make_classification
+
+
+def make_grads(seed, shapes=None):
+    rng = np.random.default_rng(seed)
+    shapes = shapes or {"w1": (4, 3), "b1": (3,), "w2": (3, 2)}
+    return {name: rng.standard_normal(shape) for name, shape in shapes.items()}
+
+
+def template_factory():
+    return {name: np.zeros_like(a) for name, a in make_grads(0).items()}
+
+
+def run_ring(member_grads, generation=0, rounds=1):
+    """Run all members concurrently; returns {member: [results per round]}."""
+    members = sorted(member_grads)
+    ring = RingCollective(generation, members, template_factory)
+    results = {m: [] for m in members}
+    errors = []
+
+    def body(member):
+        try:
+            for round_grads in member_grads[member]:
+                results[member].append(ring.allreduce(member, round_grads))
+        except Exception as exc:  # pragma: no cover - surfaced via errors
+            errors.append(exc)
+
+    threads = [threading.Thread(target=body, args=(m,)) for m in members]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not errors, errors
+    return results
+
+
+class TestFlattening:
+    def test_roundtrip(self):
+        grads = make_grads(1)
+        flat = flatten_params(grads)
+        rebuilt = unflatten_params(flat, grads)
+        for name in grads:
+            assert np.allclose(rebuilt[name], grads[name])
+
+    def test_deterministic_name_order(self):
+        grads = make_grads(2)
+        reversed_dict = dict(reversed(list(grads.items())))
+        assert np.array_equal(flatten_params(grads), flatten_params(reversed_dict))
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("size", [2, 3, 4, 7])
+    def test_matches_explicit_mean(self, size):
+        member_grads = {f"m{i}": [make_grads(i)] for i in range(size)}
+        results = run_ring(member_grads)
+        expected = {
+            name: np.mean(
+                [member_grads[f"m{i}"][0][name] for i in range(size)], axis=0
+            )
+            for name in make_grads(0)
+        }
+        for member, (result,) in results.items():
+            for name in expected:
+                assert np.allclose(result[name], expected[name], atol=1e-12), (
+                    f"{member}/{name}"
+                )
+
+    def test_matches_rendezvous_collective(self):
+        """The ring and the rendezvous collective compute the same mean."""
+        member_grads = {f"m{i}": [make_grads(10 + i)] for i in range(4)}
+        ring_results = run_ring(member_grads)
+
+        rendezvous = Collective(0, sorted(member_grads))
+        rv_results = {}
+
+        def body(member):
+            rv_results[member] = rendezvous.allreduce(
+                member, member_grads[member][0]
+            )
+
+        threads = [
+            threading.Thread(target=body, args=(m,)) for m in member_grads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        for member in member_grads:
+            for name in ring_results[member][0]:
+                assert np.allclose(
+                    ring_results[member][0][name],
+                    rv_results[member][name],
+                    atol=1e-12,
+                )
+
+    def test_multiple_rounds_do_not_interfere(self):
+        member_grads = {
+            f"m{i}": [make_grads(20 + i), make_grads(30 + i)] for i in range(3)
+        }
+        results = run_ring(member_grads)
+        for round_index in range(2):
+            reference = results["m0"][round_index]
+            for member in member_grads:
+                for name in reference:
+                    assert np.allclose(
+                        results[member][round_index][name], reference[name]
+                    )
+
+    def test_empty_contributions_excluded_from_mean(self):
+        """A member with an empty micro-batch contributes nothing; the
+        divisor is the number of real contributors."""
+        member_grads = {
+            "m0": [make_grads(40)],
+            "m1": [None],
+            "m2": [make_grads(41)],
+        }
+        results = run_ring(member_grads)
+        expected = {
+            name: (member_grads["m0"][0][name] + member_grads["m2"][0][name]) / 2
+            for name in make_grads(0)
+        }
+        for member in member_grads:
+            for name in expected:
+                assert np.allclose(
+                    results[member][0][name], expected[name], atol=1e-12
+                )
+
+    def test_all_empty_returns_none(self):
+        member_grads = {"m0": [None], "m1": [None]}
+        results = run_ring(member_grads)
+        assert results["m0"] == [None]
+        assert results["m1"] == [None]
+
+    def test_single_member_identity(self):
+        ring = RingCollective(0, ["solo"], template_factory)
+        grads = make_grads(5)
+        out = ring.allreduce("solo", grads)
+        for name in grads:
+            assert np.array_equal(out[name], grads[name])
+
+    def test_non_member_rejected(self):
+        ring = RingCollective(0, ["a"], template_factory)
+        with pytest.raises(KeyError):
+            ring.allreduce("b", None)
+
+    def test_abort_wakes_waiters(self):
+        ring = RingCollective(0, ["a", "b"], template_factory)
+        failures = []
+
+        def body():
+            try:
+                ring.allreduce("a", make_grads(1))
+            except CollectiveAborted:
+                failures.append(True)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        ring.abort()
+        thread.join(timeout=5)
+        assert failures == [True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingCollective(0, [], template_factory)
+        with pytest.raises(ValueError):
+            RingCollective(0, ["a", "a"], template_factory)
+
+
+class TestRingBackendInRuntime:
+    def test_elastic_run_on_ring_backend(self):
+        """The full elastic runtime works on the real ring-allreduce and
+        produces consistent replicas across an adjustment."""
+        dataset = make_classification(train_size=256, test_size=64, seed=6)
+        runtime = ElasticRuntime(
+            dataset, initial_workers=3, total_batch_size=48,
+            collective_backend="ring", seed=6,
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(5)
+        runtime.scale_out(1)
+        assert runtime.wait_for_adjustments(1)
+        assert runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 5)
+        runtime.stop()
+        contexts = runtime.final_contexts()
+        assert len(contexts) == 4
+        assert params_consistent(contexts)
+
+    def test_ring_and_rendezvous_trajectories_match(self):
+        """Same job on both backends: bit-compatible parameter means give
+        numerically indistinguishable trajectories."""
+        dataset = make_classification(train_size=256, test_size=64, seed=7)
+        finals = {}
+        for backend in ("rendezvous", "ring"):
+            runtime = ElasticRuntime(
+                dataset, initial_workers=2, total_batch_size=32,
+                collective_backend=backend, seed=7,
+            )
+            runtime.start()
+            assert runtime.wait_until_iteration(20)
+            runtime.stop()
+            context = runtime.final_contexts()[0]
+            finals[backend] = (
+                context.runtime_info.iteration,
+                {k: v.copy() for k, v in context.params.items()},
+            )
+        iters = min(finals["ring"][0], finals["rendezvous"][0])
+        assert iters >= 20  # both made comparable progress
+
+    def test_unknown_backend_rejected(self):
+        dataset = make_classification(train_size=64, test_size=16, seed=8)
+        with pytest.raises(ValueError):
+            ElasticRuntime(dataset, collective_backend="nccl")

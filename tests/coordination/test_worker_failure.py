@@ -1,0 +1,127 @@
+"""Tests for worker-crash handling and checkpoint-free recovery.
+
+Extension beyond the paper's §V-D (which covers AM failures): because
+every worker holds the full state replica, worker crashes lose no state —
+survivors rewind the in-flight iteration, regroup, and continue.
+"""
+
+import time
+
+import pytest
+
+from repro.coordination import ElasticRuntime, params_consistent
+from repro.training import make_classification
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=31)
+
+
+def crash_one_worker(runtime, victim, at_iteration=None):
+    at = at_iteration or (runtime.snapshot()["iteration"] + 3)
+    runtime.failure_injections[victim] = at
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if victim in runtime.worker_failures:
+            return
+        time.sleep(0.005)
+    raise AssertionError("injected crash never fired")
+
+
+class TestCrashDetection:
+    def test_crash_is_recorded(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=1)
+        runtime.start()
+        crash_one_worker(runtime, "w1")
+        assert isinstance(runtime.worker_failures["w1"], RuntimeError)
+        runtime.stop()
+
+    def test_survivors_do_not_hang(self, dataset):
+        """The crashed worker aborts the collective so peers unblock
+        instead of waiting out the allreduce timeout."""
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=2)
+        runtime.start()
+        crash_one_worker(runtime, "w0")
+        for worker_id in ("w1", "w2"):
+            thread = runtime._workers[worker_id].thread
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), f"{worker_id} hung after the crash"
+
+
+class TestRecovery:
+    def test_training_resumes_without_state_loss(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=3)
+        runtime.start()
+        crash_one_worker(runtime, "w2")
+        removed = runtime.recover_from_failure()
+        assert removed == ["w2"]
+        assert runtime.am.group == ("w0", "w1")
+        before = runtime.snapshot()["iteration"]
+        assert runtime.wait_until_iteration(before + 10)
+        runtime.stop()
+        contexts = runtime.final_contexts()
+        assert len(contexts) == 2
+        assert params_consistent(contexts)
+
+    def test_interrupted_batch_is_reissued(self, dataset):
+        """The loader rewind: the batch in flight at the crash is consumed
+        again after recovery — exactly-once per epoch still holds."""
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=4)
+        runtime.start()
+        crash_one_worker(runtime, "w1")
+        runtime.recover_from_failure()
+        runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 3)
+        runtime.stop()  # quiesce before inspecting loader state
+        # Survivor loader position must equal iteration * batch consumed
+        # (modulo epoch wrap): position tracks completed iterations only —
+        # the batch in flight at the crash was rewound, not skipped.
+        context = runtime._workers["w0"].context
+        iterations = context.runtime_info.iteration
+        expected_position = (iterations * 32) % dataset.train_size
+        assert context.loader.state_dict()["position"] == expected_position
+
+    def test_recovery_without_failures_is_noop(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=5)
+        runtime.start()
+        assert runtime.recover_from_failure() == []
+        runtime.stop()
+
+    def test_recovered_job_can_scale_again(self, dataset):
+        """Elasticity still works after a recovery (fresh generation)."""
+        runtime = ElasticRuntime(dataset, initial_workers=3,
+                                 total_batch_size=48, seed=6)
+        runtime.start()
+        crash_one_worker(runtime, "w1")
+        runtime.recover_from_failure()
+        runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 3)
+        runtime.scale_out(2)
+        assert runtime.wait_for_adjustments(1)
+        runtime.stop()
+        assert len(runtime.am.group) == 4
+        assert params_consistent(runtime.final_contexts())
+
+    def test_total_loss_rejected(self, dataset):
+        runtime = ElasticRuntime(dataset, initial_workers=1,
+                                 total_batch_size=16, seed=7)
+        runtime.start()
+        crash_one_worker(runtime, "w0")
+        with pytest.raises(RuntimeError, match="checkpoint"):
+            runtime.recover_from_failure()
+
+    def test_gpu_released_by_crashed_worker(self, dataset):
+        from repro.topology import build_cluster
+
+        runtime = ElasticRuntime(dataset, initial_workers=2,
+                                 total_batch_size=32, seed=8,
+                                 cluster=build_cluster(1))
+        runtime.start()
+        crash_one_worker(runtime, "w1")
+        runtime.recover_from_failure()
+        runtime.stop()
+        assert len(runtime._free_gpus) == 7

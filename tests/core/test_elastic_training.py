@@ -1,0 +1,135 @@
+"""Tests for the AdaBatch schedule and the §VI-B experiment timelines."""
+
+import pytest
+
+from repro.core import (
+    AdaBatchSchedule,
+    BatchPhase,
+    ElasticTrainingExperiment,
+    doubling_schedule,
+)
+from repro.perfmodel import RESNET50, ThroughputModel
+
+
+class TestAdaBatchSchedule:
+    def test_paper_schedule(self):
+        schedule = doubling_schedule()
+        assert schedule.total_epochs == 90
+        assert [p.total_batch_size for p in schedule.phases] == [512, 1024, 2048]
+        assert [p.lr_scale for p in schedule.phases] == [1.0, 2.0, 4.0]
+
+    def test_batch_at_epoch(self):
+        schedule = doubling_schedule()
+        assert schedule.batch_at(0) == 512
+        assert schedule.batch_at(29.9) == 512
+        assert schedule.batch_at(30) == 1024
+        assert schedule.batch_at(89) == 2048
+
+    def test_epoch_out_of_range(self):
+        schedule = doubling_schedule()
+        with pytest.raises(ValueError):
+            schedule.batch_at(90)
+        with pytest.raises(ValueError):
+            schedule.batch_at(-1)
+
+    def test_phases_must_be_contiguous(self):
+        with pytest.raises(ValueError):
+            AdaBatchSchedule(phases=(
+                BatchPhase(0, 30, 512, 1.0),
+                BatchPhase(40, 60, 1024, 2.0),
+            ))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AdaBatchSchedule(phases=())
+
+    def test_worker_plan_monotone(self):
+        plan = doubling_schedule().worker_plan(ThroughputModel(RESNET50))
+        assert plan == sorted(plan)
+        assert plan[0] >= 1
+
+
+class TestExperimentTimelines:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return ElasticTrainingExperiment(seed=0)
+
+    @pytest.fixture(scope="class")
+    def runs(self, experiment):
+        static, fixed, elastic = experiment.all_configurations()
+        return static, fixed, elastic
+
+    def test_paper_worker_plan(self, runs):
+        """16 @ 512, 32 @ 1024, 64 @ 2048 — the Fig. 17-guided plan."""
+        _static, _fixed, elastic = runs
+        assert [p.workers for p in elastic.phases] == [16, 32, 64]
+
+    def test_final_accuracy_preserved(self, runs):
+        """Fig. 18: elastic matches static within ~0.1% (75.87 vs 75.89)."""
+        static, _fixed, elastic = runs
+        assert static.final_accuracy == pytest.approx(0.759, abs=0.005)
+        assert abs(static.final_accuracy - elastic.final_accuracy) < 0.002
+
+    def test_table4_static_absolute_times(self, runs):
+        """Static time-to-solution lands near the paper's 45k-49k seconds."""
+        static, _fixed, _elastic = runs
+        for target, paper_time in ((0.745, 45073), (0.75, 45824), (0.755, 48829)):
+            measured = static.time_to_accuracy(target)
+            assert measured == pytest.approx(paper_time, rel=0.15)
+
+    def test_table4_elastic_speedup_about_20_percent(self, runs):
+        """The headline: elastic training ~20% faster to solution."""
+        static, _fixed, elastic = runs
+        for target in (0.745, 0.75, 0.755):
+            speedup = static.time_to_accuracy(target) / elastic.time_to_accuracy(
+                target
+            )
+            assert 1.15 < speedup < 1.45
+
+    def test_speedup_grows_with_target_accuracy(self, runs):
+        """Paper: 'elastic training tends to give a higher speedup for a
+        higher target accuracy'."""
+        static, _fixed, elastic = runs
+        speedups = [
+            static.time_to_accuracy(t) / elastic.time_to_accuracy(t)
+            for t in (0.745, 0.75, 0.755)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_fixed_64_gets_no_speedup(self, runs):
+        """Paper: dynamic batches on fixed 64 workers are 'hard to obtain
+        a speedup' — resources are underutilized at small batches, so
+        elasticity is *necessary*."""
+        static, fixed, _elastic = runs
+        for target in (0.745, 0.75, 0.755):
+            speedup = static.time_to_accuracy(target) / fixed.time_to_accuracy(
+                target
+            )
+            assert speedup < 1.05
+
+    def test_elastic_pays_adjustment_costs(self, experiment):
+        """Phase boundaries include the (sub-second) Elan adjustments."""
+        elastic = experiment.elastic()
+        for prev, nxt in zip(elastic.phases, elastic.phases[1:]):
+            assert nxt.start_time > prev.end_time  # gap = adjustment
+
+    def test_time_at_epoch_monotone(self, runs):
+        _static, _fixed, elastic = runs
+        times = [elastic.time_at_epoch(e) for e in range(0, 91, 10)]
+        assert times == sorted(times)
+        assert elastic.time_at_epoch(90) == pytest.approx(elastic.total_time)
+
+    def test_accuracy_at_time_reaches_final(self, runs):
+        _static, _fixed, elastic = runs
+        assert elastic.accuracy_at_time(elastic.total_time) == pytest.approx(
+            elastic.final_accuracy, abs=1e-3
+        )
+
+    def test_unreachable_target_raises(self, runs):
+        static, _fixed, _elastic = runs
+        with pytest.raises(ValueError):
+            static.time_to_accuracy(0.99)
+
+    def test_custom_worker_plan(self, experiment):
+        run = experiment.elastic(worker_plan=[8, 16, 32])
+        assert [p.workers for p in run.phases] == [8, 16, 32]

@@ -1,0 +1,117 @@
+"""Tests for LR schedules and their composition with elastic scaling."""
+
+import pytest
+
+from repro.core.lr_schedules import (
+    ConstantLr,
+    CosineDecay,
+    ScaledSchedule,
+    StepDecay,
+    WarmupSchedule,
+)
+
+
+class TestStepDecay:
+    def test_resnet_recipe(self):
+        """x0.1 at the 30- and 60-epoch milestones (in iterations)."""
+        schedule = StepDecay(base_lr=0.2, milestones=(3000, 6000))
+        assert schedule.lr_at(0) == pytest.approx(0.2)
+        assert schedule.lr_at(2999) == pytest.approx(0.2)
+        assert schedule.lr_at(3000) == pytest.approx(0.02)
+        assert schedule.lr_at(6000) == pytest.approx(0.002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(base_lr=0.0, milestones=(10,))
+        with pytest.raises(ValueError):
+            StepDecay(base_lr=0.1, milestones=(10,), factor=1.5)
+        with pytest.raises(ValueError):
+            StepDecay(base_lr=0.1, milestones=(20, 10))
+
+
+class TestWarmup:
+    def test_linear_rise_then_inner(self):
+        schedule = WarmupSchedule(ConstantLr(0.4), warmup_iterations=100)
+        assert schedule.lr_at(0) == pytest.approx(0.0)
+        assert schedule.lr_at(50) == pytest.approx(0.2)
+        assert schedule.lr_at(100) == pytest.approx(0.4)
+        assert schedule.lr_at(5000) == pytest.approx(0.4)
+
+    def test_zero_warmup_passthrough(self):
+        schedule = WarmupSchedule(ConstantLr(0.1), warmup_iterations=0)
+        assert schedule.lr_at(0) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupSchedule(ConstantLr(0.1), warmup_iterations=-1)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        schedule = CosineDecay(base_lr=1.0, total_iterations=100, final_lr=0.1)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(100) == pytest.approx(0.1)
+        assert schedule.lr_at(50) == pytest.approx(0.55)
+
+    def test_monotone_decreasing(self):
+        schedule = CosineDecay(base_lr=1.0, total_iterations=50)
+        values = [schedule.lr_at(t) for t in range(60)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CosineDecay(base_lr=1.0, total_iterations=0)
+        with pytest.raises(ValueError):
+            CosineDecay(base_lr=0.5, total_iterations=10, final_lr=0.6)
+
+
+class TestScaledSchedule:
+    def test_single_ramp_matches_eq3(self):
+        schedule = ScaledSchedule(ConstantLr(0.1))
+        schedule.add_scale(2.0, iteration=100, ramp_iterations=50)
+        assert schedule.lr_at(99) == pytest.approx(0.1)
+        assert schedule.lr_at(125) == pytest.approx(0.15)
+        assert schedule.lr_at(150) == pytest.approx(0.2)
+
+    def test_ramps_compound(self):
+        """Two doublings -> cumulative x4, exactly as Eq. 1 demands."""
+        schedule = ScaledSchedule(ConstantLr(0.1))
+        schedule.add_scale(2.0, iteration=100, ramp_iterations=10)
+        schedule.add_scale(2.0, iteration=500, ramp_iterations=10)
+        assert schedule.cumulative_scale == pytest.approx(4.0)
+        assert schedule.lr_at(300) == pytest.approx(0.2)
+        assert schedule.lr_at(1000) == pytest.approx(0.4)
+
+    def test_decay_inside_a_ramp_still_applies(self):
+        """A milestone decay landing mid-ramp multiplies through: the
+        composition is schedule(t) * scale(t), not either alone."""
+        base = StepDecay(base_lr=0.2, milestones=(110,))
+        schedule = ScaledSchedule(base)
+        schedule.add_scale(2.0, iteration=100, ramp_iterations=20)
+        # At t=110: decay fired (0.02) and the ramp is halfway (x1.5).
+        assert schedule.lr_at(110) == pytest.approx(0.02 * 1.5)
+        assert schedule.lr_at(200) == pytest.approx(0.02 * 2.0)
+
+    def test_scale_down_on_scale_in(self):
+        schedule = ScaledSchedule(ConstantLr(0.4))
+        schedule.add_scale(0.5, iteration=10, ramp_iterations=10)
+        assert schedule.lr_at(30) == pytest.approx(0.2)
+
+    def test_unit_scale_is_instant(self):
+        schedule = ScaledSchedule(ConstantLr(0.1))
+        schedule.add_scale(1.0, iteration=10, ramp_iterations=100)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+        assert schedule.lr_at(11) == pytest.approx(0.1)
+
+    def test_out_of_order_rejected(self):
+        schedule = ScaledSchedule(ConstantLr(0.1))
+        schedule.add_scale(2.0, iteration=100)
+        with pytest.raises(ValueError):
+            schedule.add_scale(2.0, iteration=50)
+
+    def test_validation(self):
+        schedule = ScaledSchedule(ConstantLr(0.1))
+        with pytest.raises(ValueError):
+            schedule.add_scale(0.0, iteration=0)
+        with pytest.raises(ValueError):
+            schedule.add_scale(2.0, iteration=0, ramp_iterations=-1)

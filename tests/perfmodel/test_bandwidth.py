@@ -1,0 +1,35 @@
+"""Tests for the Fig. 8 bandwidth sweep."""
+
+from repro.perfmodel import DEFAULT_SIZES, bandwidth_sweep, verify_figure8_ordering
+from repro.topology import BandwidthProfile, LinkSpec, Transport
+
+
+class TestBandwidthSweep:
+    def test_covers_all_transports_and_sizes(self):
+        sweep = bandwidth_sweep()
+        assert set(sweep) == set(Transport)
+        for points in sweep.values():
+            assert [size for size, _bw in points] == list(DEFAULT_SIZES)
+
+    def test_figure8_ordering_holds(self):
+        assert verify_figure8_ordering()
+
+    def test_each_curve_monotone_in_size(self):
+        for points in bandwidth_sweep().values():
+            bws = [bw for _size, bw in points]
+            assert bws == sorted(bws)
+
+    def test_saturation_near_peak_at_1gb(self):
+        profile = BandwidthProfile()
+        sweep = bandwidth_sweep(profile)
+        for transport, points in sweep.items():
+            peak = profile.spec(transport).peak_bandwidth
+            assert points[-1][1] > 0.9 * peak
+
+    def test_ordering_check_detects_violations(self):
+        """A profile with SHM faster than P2P must fail the invariant."""
+        broken = BandwidthProfile(
+            p2p=LinkSpec(peak_bandwidth=1e9, latency=10e-6),
+            shm=LinkSpec(peak_bandwidth=9e9, latency=10e-6),
+        )
+        assert not verify_figure8_ordering(bandwidth_sweep(broken))

@@ -1,0 +1,102 @@
+"""Tests for the collective-algorithm cost models."""
+
+import pytest
+
+from repro.perfmodel import (
+    best_algorithm,
+    hierarchical_allreduce_time,
+    ring_allreduce_time,
+    tree_allreduce_time,
+)
+
+KB, MB = 1024, 1024**2
+BANDWIDTH = 8e9
+LATENCY = 30e-6
+
+
+class TestRing:
+    def test_single_worker_free(self):
+        assert ring_allreduce_time(1, 100 * MB, BANDWIDTH) == 0.0
+
+    def test_monotone_in_size(self):
+        times = [
+            ring_allreduce_time(8, s, BANDWIDTH, LATENCY)
+            for s in (KB, MB, 100 * MB)
+        ]
+        assert times == sorted(times)
+
+    def test_bandwidth_term_saturates_with_workers(self):
+        """2(N-1)/N -> 2: the per-byte cost stops growing for large rings."""
+        big = ring_allreduce_time(64, 100 * MB, BANDWIDTH, hop_latency=0.0)
+        huge = ring_allreduce_time(1024, 100 * MB, BANDWIDTH, hop_latency=0.0)
+        assert huge < 1.02 * big
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(0, MB, BANDWIDTH)
+
+
+class TestTree:
+    def test_log_depth(self):
+        t8 = tree_allreduce_time(8, MB, BANDWIDTH, LATENCY)
+        t64 = tree_allreduce_time(64, MB, BANDWIDTH, LATENCY)
+        assert t64 == pytest.approx(t8 * 2, rel=1e-9)  # log2 64 = 2 * log2 8
+
+    def test_single_worker_free(self):
+        assert tree_allreduce_time(1, MB, BANDWIDTH) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_allreduce_time(0, MB, BANDWIDTH)
+
+
+class TestAlgorithmCrossover:
+    def test_tree_wins_small_messages_large_rings(self):
+        """Latency-bound regime: log steps beat 2(N-1) steps."""
+        assert best_algorithm(256, 4 * KB, BANDWIDTH, LATENCY) == "tree"
+
+    def test_ring_wins_large_messages(self):
+        """Bandwidth-bound regime: moving S/N per step beats moving S."""
+        assert best_algorithm(16, 100 * MB, BANDWIDTH, LATENCY) == "ring"
+
+    def test_crossover_exists(self):
+        """Sweeping the size at fixed ring length crosses from tree to ring."""
+        sizes = [2**k for k in range(10, 30)]
+        winners = [best_algorithm(64, s, BANDWIDTH, LATENCY) for s in sizes]
+        assert winners[0] == "tree"
+        assert winners[-1] == "ring"
+        # Single crossover: once ring wins it keeps winning.
+        first_ring = winners.index("ring")
+        assert all(w == "ring" for w in winners[first_ring:])
+
+
+class TestHierarchical:
+    def test_beats_flat_ring_across_nodes(self):
+        """A flat 64-rank ring pays the per-hop cost 126 times; the
+        two-level layout pays it 2x7 times locally plus 14 times over the
+        network — at the evaluation cluster's per-hop cost the hierarchy
+        wins clearly."""
+        size = 100 * MB
+        hop = 2e-3  # EVAL_ALLREDUCE_HOP_LATENCY
+        flat = ring_allreduce_time(64, size, 1.2e9, hop)
+        hier = hierarchical_allreduce_time(
+            64, size, intra_bandwidth=8e9, inter_bandwidth=1.2e9,
+            hop_latency=hop,
+        )
+        assert hier < 0.8 * flat
+
+    def test_reduces_to_local_ring_inside_one_node(self):
+        size = 10 * MB
+        hier = hierarchical_allreduce_time(
+            8, size, intra_bandwidth=8e9, inter_bandwidth=1.2e9,
+            hop_latency=LATENCY,
+        )
+        local = ring_allreduce_time(8, size, 8e9, LATENCY)
+        assert hier == pytest.approx(local, rel=0.01)
+
+    def test_single_worker_free(self):
+        assert hierarchical_allreduce_time(1, MB) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_allreduce_time(0, MB)

@@ -1,0 +1,122 @@
+"""Tests for the convergence/accuracy model (paper §III-2, Figs. 5/18)."""
+
+import pytest
+
+from repro.perfmodel import (
+    MOBILENETV2_CIFAR100,
+    RESNET50_IMAGENET,
+    AccuracyModel,
+    LrPolicy,
+)
+
+
+@pytest.fixture
+def resnet():
+    return AccuracyModel(RESNET50_IMAGENET)
+
+
+@pytest.fixture
+def mobilenet():
+    return AccuracyModel(MOBILENETV2_CIFAR100)
+
+
+class TestTrajectory:
+    def test_final_accuracy_matches_paper(self, resnet):
+        """Paper §VI-B: 512 (16) reaches 75.89% top-1 after 90 epochs."""
+        assert resnet.accuracy_at_epoch(90) == pytest.approx(0.7589, abs=0.005)
+
+    def test_monotone_in_epochs(self, resnet):
+        accs = [resnet.accuracy_at_epoch(e) for e in range(0, 91, 5)]
+        assert accs == sorted(accs)
+
+    def test_lr_decay_phases_visible(self, resnet):
+        """Accuracy improves sharply right after each LR decay."""
+        before_decay = resnet.accuracy_at_epoch(60) - resnet.accuracy_at_epoch(55)
+        after_decay = resnet.accuracy_at_epoch(65) - resnet.accuracy_at_epoch(60)
+        assert after_decay > before_decay
+
+    def test_negative_epoch_rejected(self, resnet):
+        with pytest.raises(ValueError):
+            resnet.accuracy_at_epoch(-1)
+
+    def test_starts_near_chance(self, resnet):
+        assert resnet.accuracy_at_epoch(0) == pytest.approx(0.001)
+
+
+class TestEpochReaching:
+    def test_targets_in_final_phase(self, resnet):
+        """74.5/75/75.5% are reached between the last decay and epoch 90."""
+        for target in (0.745, 0.75, 0.755):
+            epoch = resnet.epoch_reaching(target)
+            assert 60 < epoch < 90
+
+    def test_ordered_by_target(self, resnet):
+        epochs = [resnet.epoch_reaching(t) for t in (0.745, 0.75, 0.755)]
+        assert epochs == sorted(epochs)
+
+    def test_unreachable_target_raises(self, resnet):
+        with pytest.raises(ValueError):
+            resnet.epoch_reaching(0.99)
+
+    def test_penalty_delays_target(self, resnet):
+        assert resnet.epoch_reaching(0.745, penalty=0.005) > resnet.epoch_reaching(
+            0.745
+        )
+
+    def test_inverse_of_accuracy_at_epoch(self, resnet):
+        epoch = resnet.epoch_reaching(0.75)
+        assert resnet.accuracy_at_epoch(epoch) == pytest.approx(0.75, abs=1e-6)
+
+
+class TestBatchSizePenalty:
+    """Paper Fig. 5: Default decays with TBS; Hybrid holds until 2^12."""
+
+    def test_no_penalty_at_or_below_base(self, mobilenet):
+        for policy in LrPolicy:
+            assert mobilenet.final_accuracy_penalty(32, policy) == 0.0
+            assert mobilenet.final_accuracy_penalty(16, policy) == 0.0
+
+    def test_default_decays_per_doubling(self, mobilenet):
+        accs = [
+            mobilenet.final_accuracy(2**k, LrPolicy.FIXED) for k in range(5, 13)
+        ]
+        assert accs == sorted(accs, reverse=True)
+        assert accs[0] - accs[-1] > 0.05  # clearly visible decay
+
+    def test_hybrid_flat_until_critical(self, mobilenet):
+        base = mobilenet.final_accuracy(32, LrPolicy.PROGRESSIVE_LINEAR)
+        for k in range(5, 12):  # up to 2^11 = critical
+            acc = mobilenet.final_accuracy(2**k, LrPolicy.PROGRESSIVE_LINEAR)
+            assert acc == pytest.approx(base, abs=1e-9)
+
+    def test_hybrid_dips_beyond_critical(self, mobilenet):
+        """Fig. 5: accuracy 'still goes down when the TBS is too large (2^12)'."""
+        base = mobilenet.final_accuracy(32, LrPolicy.PROGRESSIVE_LINEAR)
+        at_4096 = mobilenet.final_accuracy(4096, LrPolicy.PROGRESSIVE_LINEAR)
+        assert at_4096 < base - 0.005
+
+    def test_hybrid_beats_default_at_every_large_batch(self, mobilenet):
+        for k in range(6, 13):
+            hybrid = mobilenet.final_accuracy(2**k, LrPolicy.PROGRESSIVE_LINEAR)
+            default = mobilenet.final_accuracy(2**k, LrPolicy.FIXED)
+            assert hybrid > default
+
+    def test_abrupt_lr_change_worse_than_progressive(self, mobilenet):
+        """§III-3: a sharp LR change risks divergence; the progressive rule
+        exists to avoid that cost."""
+        abrupt = mobilenet.final_accuracy(1024, LrPolicy.LINEAR_ABRUPT)
+        progressive = mobilenet.final_accuracy(1024, LrPolicy.PROGRESSIVE_LINEAR)
+        assert abrupt < progressive
+
+    def test_invalid_batch_rejected(self, mobilenet):
+        with pytest.raises(ValueError):
+            mobilenet.final_accuracy_penalty(0, LrPolicy.FIXED)
+
+
+class TestHybridKeepsResnetAccuracy:
+    """Paper Fig. 18: elastic 512-2048 lands within 0.02% of static 512."""
+
+    def test_elastic_final_accuracy_close_to_static(self, resnet):
+        static = resnet.final_accuracy(512, LrPolicy.PROGRESSIVE_LINEAR)
+        elastic = resnet.final_accuracy(2048, LrPolicy.PROGRESSIVE_LINEAR)
+        assert abs(static - elastic) < 0.002

@@ -1,0 +1,92 @@
+"""Tests for the GPU memory-footprint model (the min_res rule)."""
+
+import pytest
+
+from repro.perfmodel import (
+    GPU_MEMORY_BYTES,
+    MODEL_ZOO,
+    RESNET50,
+    VGG19,
+    fits,
+    max_batch_per_worker,
+    memory_footprint,
+    min_workers_for_batch,
+)
+from repro.perfmodel.models import ModelSpec
+
+
+class TestFootprint:
+    def test_grows_with_batch(self):
+        assert memory_footprint(RESNET50, 64) > memory_footprint(RESNET50, 8)
+
+    def test_includes_fixed_parts_at_batch_zero(self):
+        fixed = memory_footprint(RESNET50, 0)
+        assert fixed > RESNET50.gpu_state_bytes  # + gradients + framework
+
+    def test_larger_models_bigger_fixed_cost(self):
+        assert memory_footprint(VGG19, 0) > memory_footprint(RESNET50, 0)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(ValueError):
+            memory_footprint(RESNET50, -1)
+
+    def test_unknown_model_rejected(self):
+        fake = ModelSpec(
+            name="GhostNet", family="CNN", domain="CV", parameters=1_000,
+            dataset="none", dataset_size=1, flops_per_sample=1e6,
+            saturation_batch=8.0,
+        )
+        with pytest.raises(KeyError):
+            memory_footprint(fake, 1)
+
+
+class TestMaxBatch:
+    @pytest.mark.parametrize("spec", list(MODEL_ZOO.values()),
+                             ids=lambda s: s.name)
+    def test_max_batch_fits_exactly(self, spec):
+        limit = max_batch_per_worker(spec)
+        assert fits(spec, 1, limit)
+        assert not fits(spec, 1, limit + 2)
+
+    def test_small_models_fit_bigger_batches(self):
+        assert (
+            max_batch_per_worker(MODEL_ZOO["MobileNet-v2"])
+            > max_batch_per_worker(VGG19)
+        )
+
+    def test_tiny_gpu_rejected(self):
+        with pytest.raises(ValueError):
+            max_batch_per_worker(VGG19, gpu_memory=1024**3)
+
+    def test_paper_batches_fit_on_the_testbed(self):
+        """The §VI-B configuration (batch 32 per worker) must be feasible
+        on the 11 GB 1080Ti for every Table I model."""
+        for spec in MODEL_ZOO.values():
+            assert max_batch_per_worker(spec) >= 32
+
+
+class TestMinWorkers:
+    def test_min_workers_rule(self):
+        """min_res workers must fit the total batch (paper §VI-C)."""
+        for spec in MODEL_ZOO.values():
+            for batch in (256, 1024, 4096):
+                workers = min_workers_for_batch(spec, batch)
+                assert fits(spec, workers, batch)
+                if workers > 1:
+                    assert not fits(spec, workers - 1, batch)
+
+    def test_monotone_in_batch(self):
+        counts = [
+            min_workers_for_batch(RESNET50, batch)
+            for batch in (128, 512, 2048, 8192)
+        ]
+        assert counts == sorted(counts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_workers_for_batch(RESNET50, 0)
+        with pytest.raises(ValueError):
+            fits(RESNET50, 0, 128)
+
+    def test_default_memory_is_1080ti(self):
+        assert GPU_MEMORY_BYTES == 11 * 1024**3

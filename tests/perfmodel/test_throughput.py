@@ -1,0 +1,158 @@
+"""Tests that the throughput model reproduces the §III-1 observations."""
+
+import pytest
+
+from repro.perfmodel import (
+    MODEL_ZOO,
+    RESNET50,
+    ThroughputModel,
+    get_model,
+)
+
+WORKERS = [2, 4, 8, 16, 32, 64, 128]
+
+
+@pytest.fixture
+def resnet_model():
+    return ThroughputModel(RESNET50)
+
+
+class TestModelZoo:
+    def test_table1_has_five_models(self):
+        assert len(MODEL_ZOO) == 5
+
+    def test_table1_parameter_counts(self):
+        assert MODEL_ZOO["VGG-19"].parameters == 143_000_000
+        assert MODEL_ZOO["MobileNet-v2"].parameters == 3_000_000
+        assert MODEL_ZOO["Seq2Seq"].parameters == 45_000_000
+        assert MODEL_ZOO["Transformer"].parameters == 47_000_000
+
+    def test_gpu_state_includes_optimizer(self):
+        spec = MODEL_ZOO["ResNet-50"]
+        assert spec.gpu_state_bytes == spec.param_bytes + spec.optimizer_bytes
+        assert spec.gpu_state_bytes > spec.cpu_state_bytes  # Table II
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("resnet-50") is RESNET50
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_model("AlexNet")
+
+
+class TestComputeTime:
+    def test_monotone_in_batch(self, resnet_model):
+        times = [resnet_model.compute_time(b) for b in (1, 8, 32, 128)]
+        assert times == sorted(times)
+
+    def test_per_sample_time_decreases_with_batch(self, resnet_model):
+        """Larger batches use the GPU more efficiently (§III-1 obs. 2)."""
+        per_sample_small = resnet_model.compute_time(4) / 4
+        per_sample_large = resnet_model.compute_time(64) / 64
+        assert per_sample_large < per_sample_small
+
+    def test_zero_batch_rejected(self, resnet_model):
+        with pytest.raises(ValueError):
+            resnet_model.compute_time(0)
+
+
+class TestAllreduce:
+    def test_single_worker_free(self, resnet_model):
+        assert resnet_model.allreduce_time(1) == 0.0
+
+    def test_monotone_in_workers(self, resnet_model):
+        times = [resnet_model.allreduce_time(n) for n in (2, 4, 8, 16, 64)]
+        assert times == sorted(times)
+
+    def test_crossing_node_boundary_costs_more(self, resnet_model):
+        """9 workers span two nodes and drop to InfiniBand bandwidth."""
+        intra = resnet_model.allreduce_time(8)
+        inter = resnet_model.allreduce_time(9)
+        assert inter > intra * 1.2
+
+    def test_invalid_workers_rejected(self, resnet_model):
+        with pytest.raises(ValueError):
+            resnet_model.allreduce_time(0)
+
+
+class TestStrongScaling:
+    """Paper Fig. 3: throughput increases then decreases."""
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_rises_then_falls(self, name):
+        model = ThroughputModel(get_model(name))
+        curve = [tp for _n, tp in model.strong_scaling_curve(512, WORKERS)]
+        peak = curve.index(max(curve))
+        assert peak > 0, f"{name}: no initial rise"
+        assert peak < len(curve) - 1, f"{name}: no eventual decline"
+        # Rising before the peak, falling after it.
+        assert all(curve[i] < curve[i + 1] for i in range(peak))
+        assert all(curve[i] > curve[i + 1] for i in range(peak, len(curve) - 1))
+
+    def test_optimal_workers_grows_with_batch(self, resnet_model):
+        """§III-1 obs. 2: the optimum moves right with larger total batch."""
+        opts = [
+            resnet_model.optimal_workers(tbs, max_workers=256)
+            for tbs in (256, 512, 1024, 2048)
+        ]
+        assert opts == sorted(opts)
+        assert opts[0] < opts[-1]
+
+    def test_optimal_workers_in_practical_range(self, resnet_model):
+        """Fig. 17 guided the paper to 16/32/64 workers at 512/1024/2048."""
+        assert 8 <= resnet_model.optimal_workers(512) <= 48
+        assert 32 <= resnet_model.optimal_workers(2048) <= 96
+
+    def test_optimal_workers_validates_input(self, resnet_model):
+        with pytest.raises(ValueError):
+            resnet_model.optimal_workers(0)
+
+    def test_batch_smaller_than_workers_rejected(self, resnet_model):
+        with pytest.raises(ValueError):
+            resnet_model.iteration_time(64, 32)
+
+
+class TestWeakScaling:
+    """Paper Fig. 4: near-linear growth, slope grows with per-worker batch."""
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_monotone_increasing(self, name):
+        model = ThroughputModel(get_model(name))
+        curve = [tp for _n, tp in model.weak_scaling_curve(32, WORKERS[:-1])]
+        assert curve == sorted(curve)
+
+    def test_near_linear_up_to_64_workers(self, resnet_model):
+        curve = dict(resnet_model.weak_scaling_curve(32, [1, 64]))
+        efficiency = curve[64] / (64 * curve[1])
+        assert efficiency > 0.8
+
+    def test_slope_grows_with_per_worker_batch(self, resnet_model):
+        """§III-1 obs. 2, second aspect."""
+        slopes = []
+        for batch in (16, 32, 64):
+            curve = dict(resnet_model.weak_scaling_curve(batch, [8, 32]))
+            slopes.append((curve[32] - curve[8]) / 24)
+        assert slopes == sorted(slopes)
+        assert slopes[0] < slopes[-1]
+
+
+class TestElasticConfiguration:
+    """The §VI-B configuration: 16@512, 32@1024, 64@2048."""
+
+    def test_each_phase_faster_than_previous(self, resnet_model):
+        tp1 = resnet_model.throughput(16, 512)
+        tp2 = resnet_model.throughput(32, 1024)
+        tp3 = resnet_model.throughput(64, 2048)
+        assert tp1 < tp2 < tp3
+
+    def test_fixed_64_workers_underutilized_at_small_batch(self, resnet_model):
+        """§VI-B: 512-2048 (64) wastes resources at batch 512."""
+        fixed_64 = resnet_model.throughput(64, 512)
+        elastic_16 = resnet_model.throughput(16, 512)
+        # 64 workers on batch 512 are barely better (or worse) than 16.
+        assert fixed_64 < 1.3 * elastic_16
+
+    def test_epoch_time_uses_dataset_size(self, resnet_model):
+        epoch = resnet_model.epoch_time(16, 512)
+        iters = RESNET50.dataset_size / 512
+        assert epoch == pytest.approx(iters * resnet_model.iteration_time(16, 512))

@@ -1,0 +1,99 @@
+"""Property-based tests: convergence and memory models."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.perfmodel import (
+    MOBILENETV2_CIFAR100,
+    MODEL_ZOO,
+    RESNET50_IMAGENET,
+    AccuracyModel,
+    LrPolicy,
+    fits,
+    get_model,
+    max_batch_per_worker,
+    memory_footprint,
+    min_workers_for_batch,
+)
+
+specs = st.sampled_from([RESNET50_IMAGENET, MOBILENETV2_CIFAR100])
+model_names = st.sampled_from(sorted(MODEL_ZOO))
+policies = st.sampled_from(list(LrPolicy))
+
+
+class TestConvergenceProperties:
+    @given(spec=specs, e1=st.floats(0, 90), e2=st.floats(0, 90))
+    @settings(max_examples=150)
+    def test_trajectory_monotone(self, spec, e1, e2):
+        model = AccuracyModel(spec)
+        lo, hi = sorted((e1, e2))
+        assume(hi <= spec.phases[-1].end_epoch)
+        assert model.accuracy_at_epoch(lo) <= model.accuracy_at_epoch(hi) + 1e-12
+
+    @given(spec=specs, epoch=st.floats(0, 90), penalty=st.floats(0, 0.1))
+    @settings(max_examples=100)
+    def test_accuracy_bounded(self, spec, epoch, penalty):
+        model = AccuracyModel(spec)
+        assume(epoch <= spec.phases[-1].end_epoch)
+        accuracy = model.accuracy_at_epoch(epoch, penalty=penalty)
+        assert 0.0 <= accuracy <= 1.0
+
+    @given(spec=specs, batch_exp=st.integers(5, 14), policy=policies)
+    @settings(max_examples=150)
+    def test_penalty_nonnegative_and_policy_ordered(self, spec, batch_exp, policy):
+        model = AccuracyModel(spec)
+        batch = 2**batch_exp
+        penalty = model.final_accuracy_penalty(batch, policy)
+        assert penalty >= 0.0
+        # Progressive linear scaling never does worse than the others.
+        progressive = model.final_accuracy_penalty(
+            batch, LrPolicy.PROGRESSIVE_LINEAR
+        )
+        assert progressive <= penalty + 1e-12
+
+    @given(spec=specs, b1=st.integers(5, 14), b2=st.integers(5, 14))
+    @settings(max_examples=100)
+    def test_fixed_lr_penalty_monotone_in_batch(self, spec, b1, b2):
+        model = AccuracyModel(spec)
+        lo, hi = sorted((2**b1, 2**b2))
+        assert model.final_accuracy_penalty(
+            lo, LrPolicy.FIXED
+        ) <= model.final_accuracy_penalty(hi, LrPolicy.FIXED) + 1e-12
+
+    @given(spec=specs, target=st.floats(0.2, 0.7))
+    @settings(max_examples=80)
+    def test_epoch_reaching_is_consistent(self, spec, target):
+        model = AccuracyModel(spec)
+        end = spec.phases[-1].end_epoch
+        assume(model.accuracy_at_epoch(end) >= target)
+        epoch = model.epoch_reaching(target)
+        assert model.accuracy_at_epoch(epoch) >= target - 1e-9
+        if epoch > 0.01:
+            assert model.accuracy_at_epoch(epoch - 0.01) <= target + 1e-9
+
+
+class TestMemoryProperties:
+    @given(name=model_names, b1=st.integers(0, 256), b2=st.integers(0, 256))
+    @settings(max_examples=100)
+    def test_footprint_monotone_in_batch(self, name, b1, b2):
+        model = get_model(name)
+        lo, hi = sorted((b1, b2))
+        assert memory_footprint(model, lo) <= memory_footprint(model, hi)
+
+    @given(name=model_names, batch_exp=st.integers(5, 14))
+    @settings(max_examples=100)
+    def test_min_workers_is_minimal_and_feasible(self, name, batch_exp):
+        model = get_model(name)
+        batch = 2**batch_exp
+        workers = min_workers_for_batch(model, batch)
+        assert fits(model, workers, batch)
+        if workers > 1:
+            assert not fits(model, workers - 1, batch)
+
+    @given(name=model_names, workers=st.integers(1, 64))
+    @settings(max_examples=80)
+    def test_max_batch_boundary(self, name, workers):
+        model = get_model(name)
+        limit = max_batch_per_worker(model)
+        assert fits(model, workers, workers * limit)
+        assert not fits(model, workers, workers * (limit + 2))

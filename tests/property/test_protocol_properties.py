@@ -1,0 +1,150 @@
+"""Property-based tests: coordination protocol and the KV store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coordination import (
+    AdjustmentKind,
+    AdjustmentRequest,
+    ApplicationMaster,
+    DeduplicatingInbox,
+    DirectiveKind,
+    FaultyChannel,
+    KeyValueStore,
+    MessageFactory,
+    MessageType,
+    ReliableSender,
+)
+
+
+class TestAmProperties:
+    @given(
+        group_size=st.integers(1, 8),
+        add=st.integers(1, 4),
+        interval=st.integers(1, 8),
+        coordinate_rounds=st.integers(0, 6),
+        report_order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_commit_always_at_future_boundary(
+        self, group_size, add, interval, coordinate_rounds, report_order
+    ):
+        """Whatever the interleaving of coordinations and reports, the
+        commit lands on a boundary strictly after the last coordinated
+        iteration — the invariant that keeps lockstep workers agreeing."""
+        workers = [f"w{i}" for i in range(group_size)]
+        am = ApplicationMaster("job", workers, coordination_interval=interval)
+        new_workers = [f"n{i}" for i in range(add)]
+        am.request_adjustment(
+            AdjustmentRequest(AdjustmentKind.SCALE_OUT,
+                              add_workers=tuple(new_workers))
+        )
+        latest = 0
+        pending_reports = list(new_workers)
+        report_order.shuffle(pending_reports)
+        # Phase A: new workers still starting — every coordination must
+        # say CONTINUE (the asynchronous guarantee), training never waits.
+        for round_index in range(coordinate_rounds):
+            iteration = round_index * interval
+            for worker in workers:
+                directive = am.coordinate(worker, iteration)
+                assert directive.kind is DirectiveKind.CONTINUE
+            latest = iteration
+        # Phase B: every report arrives (in arbitrary order).
+        for report in pending_reports:
+            am.worker_report(report)
+        assert am.commit_iteration > latest
+        assert am.commit_iteration % interval == 0
+        # Every worker sees ADJUST at that boundary.
+        for worker in workers:
+            directive = am.coordinate(worker, am.commit_iteration)
+            assert directive.kind is DirectiveKind.ADJUST
+            assert set(new_workers) <= set(directive.new_group)
+
+    @given(
+        group_size=st.integers(2, 8),
+        remove=st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_in_group_algebra(self, group_size, remove):
+        if remove >= group_size:
+            remove = group_size - 1
+        workers = [f"w{i}" for i in range(group_size)]
+        am = ApplicationMaster("job", workers)
+        victims = tuple(workers[:remove])
+        am.request_adjustment(
+            AdjustmentRequest(AdjustmentKind.SCALE_IN, remove_workers=victims)
+        )
+        directive = am.coordinate(workers[-1], am.commit_iteration)
+        assert set(directive.new_group) == set(workers) - set(victims)
+        assert len(directive.new_group) == group_size - remove
+
+
+class TestReliableDeliveryProperties:
+    @given(
+        # drop_every=1 is a blackhole no retry can beat; exclude it.
+        drop_every=st.sampled_from([0, 2, 3, 4, 5]),
+        duplicate_every=st.integers(0, 5),
+        messages=st.integers(1, 30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_once_under_arbitrary_faults(
+        self, drop_every, duplicate_every, messages
+    ):
+        inbox = DeduplicatingInbox()
+        received = []
+
+        def deliver(message):
+            if inbox.accept(message):
+                received.append(message)
+
+        channel = FaultyChannel(
+            deliver, drop_every=drop_every, duplicate_every=duplicate_every
+        )
+        sender = ReliableSender(channel, max_attempts=10)
+        factory = MessageFactory()
+        for i in range(messages):
+            message = factory.make(MessageType.COORDINATE, "w0", {"seq": i})
+            assert sender.send(
+                message,
+                acknowledged=lambda m=message: any(
+                    r.msg_id == m.msg_id for r in received
+                ),
+            )
+        assert len(received) == messages
+        assert len({m.msg_id for m in received}) == messages
+
+
+class TestStoreProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_store_matches_reference_dict(self, operations):
+        store = KeyValueStore()
+        reference = {}
+        for op, key, value in operations:
+            if op == "put":
+                store.put(key, value)
+                reference[key] = value
+            else:
+                store.delete(key)
+                reference.pop(key, None)
+        for key in ("a", "b", "c"):
+            assert store.get(key) == reference.get(key)
+        assert store.keys() == sorted(reference)
+
+    @given(puts=st.integers(1, 20))
+    @settings(max_examples=40)
+    def test_version_counts_puts(self, puts):
+        store = KeyValueStore()
+        for i in range(puts):
+            assert store.put("k", i) == i + 1
+        assert store.version("k") == puts

@@ -1,0 +1,110 @@
+"""Property-based tests: replication planning over arbitrary topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication import plan_replication
+from repro.replication.planner import _transfer_claims
+from repro.topology import (
+    BandwidthProfile,
+    ServerSpec,
+    build_cluster,
+    gpus_of,
+    link_level,
+)
+
+MB = 1024**2
+
+cluster_shapes = st.builds(
+    ServerSpec,
+    sockets=st.integers(1, 2),
+    switches_per_socket=st.integers(1, 3),
+    gpus_per_switch=st.integers(1, 3),
+)
+
+
+@st.composite
+def replication_scenarios(draw):
+    spec = draw(cluster_shapes)
+    nodes = draw(st.integers(1, 3))
+    cluster = build_cluster(nodes, spec=spec)
+    gpus = gpus_of(cluster)
+    total = len(gpus)
+    num_existing = draw(st.integers(1, max(1, total - 1)))
+    num_new = draw(st.integers(0, total - num_existing))
+    indices = draw(st.permutations(range(total)))
+    existing = [gpus[i] for i in indices[:num_existing]]
+    new = [gpus[i] for i in indices[num_existing : num_existing + num_new]]
+    chaining = draw(st.booleans())
+    return existing, new, chaining
+
+
+class TestPlannerProperties:
+    @given(scenario=replication_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_every_new_worker_served_exactly_once(self, scenario):
+        existing, new, chaining = scenario
+        plan = plan_replication(existing, new, 100 * MB, 4096,
+                                allow_chaining=chaining)
+        targets = sorted(t.target.name for t in plan.transfers)
+        assert targets == sorted(g.name for g in new)
+
+    @given(scenario=replication_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_rounds_are_contention_free(self, scenario):
+        existing, new, chaining = scenario
+        plan = plan_replication(existing, new, 100 * MB, 4096,
+                                allow_chaining=chaining)
+        for round_ in plan.rounds:
+            claimed = set()
+            for transfer in round_:
+                claims = _transfer_claims(transfer)
+                assert not claims & claimed
+                claimed |= claims
+
+    @given(scenario=replication_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_source_is_never_farther_than_any_existing_worker(self, scenario):
+        """Nearest-neighbor: the chosen source's link level is minimal
+        among all workers that could have supplied the state."""
+        existing, new, chaining = scenario
+        if chaining:
+            return  # with chaining the candidate set grows dynamically
+        plan = plan_replication(existing, new, 100 * MB, 4096)
+        for transfer in plan.transfers:
+            best = min(
+                int(link_level(transfer.target, source)) for source in existing
+            )
+            assert int(transfer.level) == best
+
+    @given(scenario=replication_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_chaining_never_slower(self, scenario):
+        existing, new, _chaining = scenario
+        profile = BandwidthProfile()
+        plain = plan_replication(existing, new, 100 * MB, 4096)
+        chained = plan_replication(existing, new, 100 * MB, 4096,
+                                   allow_chaining=True)
+        # Chaining adds sources, so rounds can only shrink or stay equal.
+        assert len(chained.rounds) <= len(plain.rounds)
+        assert (
+            chained.estimated_time(profile)
+            <= plain.estimated_time(profile) + 1e-9
+        )
+
+    @given(scenario=replication_scenarios())
+    @settings(max_examples=80, deadline=None)
+    def test_estimated_time_nonnegative_and_bounded(self, scenario):
+        existing, new, chaining = scenario
+        profile = BandwidthProfile()
+        plan = plan_replication(existing, new, 100 * MB, 4096,
+                                allow_chaining=chaining)
+        estimate = plan.estimated_time(profile)
+        assert estimate >= 0.0
+        if new:
+            # Never worse than strictly serial transfers over the slowest
+            # transport.
+            worst = len(new) * (
+                profile.net.transfer_time(100 * MB) + 0.01
+            )
+            assert estimate <= worst

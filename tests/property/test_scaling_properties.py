@@ -1,0 +1,151 @@
+"""Property-based tests: hybrid scaling, progressive LR, throughput model."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import HybridScalingPolicy, LrRamp, ramp_for_scale
+from repro.perfmodel import MODEL_ZOO, ThroughputModel, get_model
+
+model_names = st.sampled_from(sorted(MODEL_ZOO))
+
+
+class TestProgressiveLrProperties:
+    @given(
+        base=st.floats(1e-4, 1.0),
+        scale=st.floats(0.1, 16.0),
+        start=st.integers(0, 10_000),
+        length=st.integers(0, 1000),
+        t=st.integers(0, 20_000),
+    )
+    @settings(max_examples=200)
+    def test_lr_always_between_base_and_target(self, base, scale, start, length, t):
+        ramp = ramp_for_scale(base, scale, start, length)
+        lr = ramp.lr_at(t)
+        low, high = sorted((ramp.base_lr, ramp.target_lr))
+        assert low - 1e-12 <= lr <= high + 1e-12
+
+    @given(
+        base=st.floats(1e-4, 1.0),
+        scale=st.floats(1.0, 16.0),
+        length=st.integers(1, 500),
+    )
+    @settings(max_examples=100)
+    def test_monotone_when_scaling_up(self, base, scale, length):
+        ramp = ramp_for_scale(base, scale, 0, length)
+        values = [ramp.lr_at(t) for t in range(length + 10)]
+        assert all(a <= b + 1e-15 for a, b in zip(values, values[1:]))
+
+    @given(
+        base=st.floats(1e-4, 1.0),
+        scale=st.floats(0.1, 16.0),
+        start=st.integers(0, 1000),
+        length=st.integers(0, 500),
+    )
+    @settings(max_examples=100)
+    def test_reaches_exact_target(self, base, scale, start, length):
+        ramp = ramp_for_scale(base, scale, start, length)
+        assert ramp.lr_at(start + length) == ramp.target_lr
+        assert ramp.lr_at(start + length + 10**6) == ramp.target_lr
+
+
+class TestHybridScalingProperties:
+    @given(
+        name=model_names,
+        old=st.integers(1, 32),
+        factor=st.integers(1, 8),
+        batch_exp=st.integers(6, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_never_shrinks_on_scale_out(self, name, old, factor, batch_exp):
+        new = old * factor
+        batch = 2**batch_exp
+        assume(batch >= old)
+        policy = HybridScalingPolicy(ThroughputModel(get_model(name)))
+        new_batch, _strategy = policy.get_total_batch_size(old, new, batch)
+        assert new_batch >= batch
+
+    @given(
+        name=model_names,
+        old=st.integers(1, 32),
+        factor=st.integers(2, 8),
+        batch_exp=st.integers(6, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_growth_bounded_by_worker_growth(self, name, old, factor, batch_exp):
+        """The mechanism never scales the batch MORE than weak scaling
+        would — weak scaling is its upper bound (Algorithm 1 line 15)."""
+        new = old * factor
+        batch = 2**batch_exp
+        assume(batch >= old)
+        policy = HybridScalingPolicy(ThroughputModel(get_model(name)))
+        new_batch, _strategy = policy.get_total_batch_size(old, new, batch)
+        assert new_batch <= batch * factor
+
+    @given(
+        name=model_names,
+        old=st.integers(2, 32),
+        batch_exp=st.integers(6, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_in_never_changes_batch(self, name, old, batch_exp):
+        batch = 2**batch_exp
+        assume(batch >= old)
+        policy = HybridScalingPolicy(ThroughputModel(get_model(name)))
+        new_batch, strategy = policy.get_total_batch_size(old, old // 2, batch)
+        assert new_batch == batch
+        assert strategy == "strong"
+
+    @given(
+        name=model_names,
+        old=st.integers(1, 16),
+        factor=st.integers(2, 4),
+        batch_exp=st.integers(7, 11),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chosen_batch_is_power_of_two_multiple_or_weak(self, name, old, factor, batch_exp):
+        """Alg. 1 doubles k, so the result is batch * 2^i, except the
+        weak-scaling fallback which is batch * (new/old)."""
+        new = old * factor
+        batch = 2**batch_exp
+        assume(batch >= old)
+        policy = HybridScalingPolicy(ThroughputModel(get_model(name)))
+        new_batch, strategy = policy.get_total_batch_size(old, new, batch)
+        ratio = new_batch / batch
+        if strategy in ("strong", "hybrid"):
+            assert math.log2(ratio) == int(math.log2(ratio))
+        else:
+            assert new_batch == max(new, int(round(batch * new / old)))
+
+
+class TestThroughputModelProperties:
+    @given(
+        name=model_names,
+        workers=st.integers(1, 128),
+        batch_exp=st.integers(5, 13),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_throughput_positive_and_finite(self, name, workers, batch_exp):
+        batch = 2**batch_exp
+        assume(batch >= workers)
+        model = ThroughputModel(get_model(name))
+        tp = model.throughput(workers, batch)
+        assert 0 < tp < 1e9
+
+    @given(name=model_names, workers=st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_more_batch_per_worker_more_throughput(self, name, workers):
+        """Larger per-worker batches always help (§III-1 obs. 2)."""
+        model = ThroughputModel(get_model(name))
+        small = model.throughput(workers, workers * 16)
+        large = model.throughput(workers, workers * 64)
+        assert large > small
+
+    @given(name=model_names, batch_exp=st.integers(6, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_workers_within_bounds(self, name, batch_exp):
+        batch = 2**batch_exp
+        model = ThroughputModel(get_model(name))
+        optimal = model.optimal_workers(batch, max_workers=256)
+        assert 1 <= optimal <= min(256, batch)

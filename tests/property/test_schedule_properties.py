@@ -1,0 +1,100 @@
+"""Property-based tests: LR schedules and the scaled-schedule composition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lr_schedules import (
+    ConstantLr,
+    CosineDecay,
+    ScaledSchedule,
+    StepDecay,
+    WarmupSchedule,
+)
+
+
+@st.composite
+def base_schedules(draw):
+    kind = draw(st.sampled_from(["constant", "step", "cosine", "warmup"]))
+    base_lr = draw(st.floats(1e-4, 1.0))
+    if kind == "constant":
+        return ConstantLr(base_lr)
+    if kind == "step":
+        milestones = tuple(sorted(draw(
+            st.sets(st.integers(1, 5000), min_size=0, max_size=4)
+        )))
+        return StepDecay(base_lr=base_lr, milestones=milestones)
+    if kind == "cosine":
+        return CosineDecay(base_lr=base_lr,
+                           total_iterations=draw(st.integers(1, 5000)))
+    return WarmupSchedule(ConstantLr(base_lr),
+                          warmup_iterations=draw(st.integers(0, 200)))
+
+
+@st.composite
+def scale_events(draw):
+    count = draw(st.integers(0, 4))
+    events = []
+    iteration = 0
+    for _ in range(count):
+        iteration += draw(st.integers(0, 1000))
+        factor = draw(st.sampled_from([0.5, 1.0, 2.0, 4.0]))
+        ramp = draw(st.integers(0, 200))
+        events.append((factor, iteration, ramp))
+    return events
+
+
+class TestBaseScheduleProperties:
+    @given(schedule=base_schedules(), t=st.integers(0, 10_000))
+    @settings(max_examples=150)
+    def test_lr_positive_and_bounded(self, schedule, t):
+        lr = schedule.lr_at(t)
+        assert 0.0 <= lr <= 1.0 + 1e-12
+
+    @given(schedule=base_schedules(), t1=st.integers(0, 10_000),
+           t2=st.integers(0, 10_000))
+    @settings(max_examples=100)
+    def test_decay_schedules_never_increase_after_warmup(self, schedule, t1, t2):
+        warmup = getattr(schedule, "warmup_iterations", 0)
+        lo, hi = sorted((t1, t2))
+        if lo < warmup:
+            return
+        assert schedule.lr_at(hi) <= schedule.lr_at(lo) + 1e-12
+
+
+class TestScaledScheduleProperties:
+    @given(base=base_schedules(), events=scale_events(),
+           t=st.integers(0, 12_000))
+    @settings(max_examples=150)
+    def test_scale_bounded_by_extreme_cumulative_factors(self, base, events, t):
+        schedule = ScaledSchedule(base)
+        cumulative = [1.0]
+        for factor, iteration, ramp in events:
+            schedule.add_scale(factor, iteration, ramp)
+            cumulative.append(cumulative[-1] * factor)
+        scale = schedule.scale_at(t)
+        assert min(cumulative) - 1e-12 <= scale <= max(cumulative) + 1e-12
+
+    @given(base=base_schedules(), events=scale_events())
+    @settings(max_examples=100)
+    def test_final_scale_is_product_of_factors(self, base, events):
+        schedule = ScaledSchedule(base)
+        product = 1.0
+        last = 0
+        for factor, iteration, ramp in events:
+            schedule.add_scale(factor, iteration, ramp)
+            product *= factor
+            last = iteration + ramp
+        assert schedule.scale_at(last + 10_000) == pytest.approx(product)
+        assert schedule.cumulative_scale == pytest.approx(product)
+
+    @given(base=base_schedules(), events=scale_events(),
+           t=st.integers(0, 12_000))
+    @settings(max_examples=100)
+    def test_composition_is_product(self, base, events, t):
+        schedule = ScaledSchedule(base)
+        for factor, iteration, ramp in events:
+            schedule.add_scale(factor, iteration, ramp)
+        assert schedule.lr_at(t) == pytest.approx(
+            base.lr_at(t) * schedule.scale_at(t)
+        )

@@ -1,0 +1,171 @@
+"""Tests for the concurrent IO-free replication planner (paper §IV-3)."""
+
+import pytest
+
+from repro.replication import plan_migration, plan_replication
+from repro.topology import (
+    BandwidthProfile,
+    LinkLevel,
+    Transport,
+    build_cluster,
+    gpu_by_name,
+    gpus_of,
+)
+
+MB = 1024**2
+GPU_BYTES = 200 * MB  # ResNet-50-ish params + momentum
+CPU_BYTES = 4096
+
+
+@pytest.fixture
+def cluster():
+    return build_cluster(2)
+
+
+def gpu(cluster, name):
+    return gpu_by_name(cluster, name)
+
+
+class TestNeighborSelection:
+    def test_each_new_worker_gets_nearest_source(self, cluster):
+        """Paper Fig. 9: E (next to C) fetches from C; F (node1) from D."""
+        existing = [gpu(cluster, n) for n in
+                    ("node0/gpu0", "node0/gpu1", "node0/gpu4", "node1/gpu0")]
+        new = [gpu(cluster, "node0/gpu5"), gpu(cluster, "node1/gpu4")]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        by_target = {t.target.name: t for t in plan.transfers}
+        assert by_target["node0/gpu5"].source.name == "node0/gpu4"
+        assert by_target["node1/gpu4"].source.name == "node1/gpu0"
+
+    def test_figure9_transfers_run_concurrently(self, cluster):
+        """The two Fig. 9 replications proceed in parallel (one round)."""
+        existing = [gpu(cluster, n) for n in
+                    ("node0/gpu0", "node0/gpu1", "node0/gpu4", "node1/gpu0")]
+        new = [gpu(cluster, "node0/gpu5"), gpu(cluster, "node1/gpu4")]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        assert len(plan.rounds) == 1
+        assert plan.max_concurrency == 2
+
+    def test_transport_follows_level(self, cluster):
+        existing = [gpu(cluster, "node0/gpu0")]
+        new = [gpu(cluster, "node0/gpu1"),  # L1
+               gpu(cluster, "node0/gpu2"),  # L2
+               gpu(cluster, "node0/gpu4"),  # L3
+               gpu(cluster, "node1/gpu0")]  # L4
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        transports = {t.target.name: t.transport for t in plan.transfers}
+        assert transports["node0/gpu1"] is Transport.P2P
+        assert transports["node0/gpu2"] is Transport.SHM
+        assert transports["node0/gpu4"] is Transport.SHM
+        assert transports["node1/gpu0"] is Transport.NET
+
+
+class TestContention:
+    def test_shared_source_serializes(self, cluster):
+        """Two new workers nearest to the same source take turns."""
+        existing = [gpu(cluster, "node0/gpu0")]
+        new = [gpu(cluster, "node0/gpu1"), gpu(cluster, "node0/gpu2")]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        assert len(plan.rounds) == 2
+
+    def test_l3_crossings_run_in_turn(self, cluster):
+        """Paper §IV-3: replications that traverse L3 (QPI) contend."""
+        existing = [gpu(cluster, "node0/gpu0"), gpu(cluster, "node0/gpu2")]
+        new = [gpu(cluster, "node0/gpu4"), gpu(cluster, "node0/gpu6")]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        # Both transfers cross the node0 QPI link -> two rounds.
+        assert len(plan.rounds) == 2
+
+    def test_disjoint_l1_transfers_parallel(self, cluster):
+        existing = [gpu(cluster, "node0/gpu0"), gpu(cluster, "node0/gpu2")]
+        new = [gpu(cluster, "node0/gpu1"), gpu(cluster, "node0/gpu3")]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        assert len(plan.rounds) == 1
+
+    def test_chaining_increases_fanout(self):
+        """Extension: with chaining, a replicated worker becomes a source,
+        halving the rounds of a large scale-out from one seed."""
+        cluster = build_cluster(1)
+        gpus = gpus_of(cluster)
+        existing, new = [gpus[0]], gpus[1:8]
+        serial = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        chained = plan_replication(
+            existing, new, GPU_BYTES, CPU_BYTES, allow_chaining=True
+        )
+        assert len(chained.rounds) < len(serial.rounds)
+        profile = BandwidthProfile()
+        assert chained.estimated_time(profile) < serial.estimated_time(profile)
+
+
+class TestPlanProperties:
+    def test_every_new_worker_covered_exactly_once(self, cluster):
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[4:12]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        targets = [t.target.name for t in plan.transfers]
+        assert sorted(targets) == sorted(g.name for g in new)
+
+    def test_sources_only_from_existing_without_chaining(self, cluster):
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[4:12]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        existing_names = {g.name for g in existing}
+        assert all(t.source.name in existing_names for t in plan.transfers)
+
+    def test_rounds_partition_transfers(self, cluster):
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[4:10]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        in_rounds = [t for round_ in plan.rounds for t in round_]
+        assert sorted(t.target.name for t in in_rounds) == sorted(
+            t.target.name for t in plan.transfers
+        )
+
+    def test_no_round_has_conflicting_claims(self, cluster):
+        from repro.replication.planner import _transfer_claims
+
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[4:12]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        for round_ in plan.rounds:
+            seen = set()
+            for transfer in round_:
+                claims = _transfer_claims(transfer)
+                assert not claims & seen
+                seen |= claims
+
+    def test_estimated_time_subsecond_for_resnet_scale(self, cluster):
+        """The paper's headline: replication completes in ~1s."""
+        existing = gpus_of(cluster)[:8]
+        new = gpus_of(cluster)[8:16]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        assert plan.estimated_time(BandwidthProfile()) < 1.0
+
+    def test_empty_new_set_is_empty_plan(self, cluster):
+        plan = plan_replication(gpus_of(cluster)[:2], [], GPU_BYTES, CPU_BYTES)
+        assert plan.transfers == ()
+        assert plan.estimated_time(BandwidthProfile()) == 0.0
+
+    def test_validation(self, cluster):
+        gpus = gpus_of(cluster)
+        with pytest.raises(ValueError):
+            plan_replication([], gpus[:2], GPU_BYTES, CPU_BYTES)
+        with pytest.raises(ValueError):
+            plan_replication(gpus[:2], gpus[1:3], GPU_BYTES, CPU_BYTES)
+
+
+class TestMigration:
+    def test_migration_covers_all_new_workers(self, cluster):
+        old = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[8:12]
+        plan = plan_migration(old, new, GPU_BYTES, CPU_BYTES)
+        assert sorted(t.target.name for t in plan.transfers) == sorted(
+            g.name for g in new
+        )
+
+    def test_cross_node_migration_uses_net(self, cluster):
+        old = [gpu_by_name(cluster, "node0/gpu0")]
+        new = [gpu_by_name(cluster, "node1/gpu0")]
+        plan = plan_migration(old, new, GPU_BYTES, CPU_BYTES)
+        assert plan.transfers[0].transport is Transport.NET
+        assert plan.transfers[0].level is LinkLevel.L4

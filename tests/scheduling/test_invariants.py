@@ -1,0 +1,98 @@
+"""Cross-policy invariants of the scheduling simulator.
+
+Work conservation, capacity respect, causality and determinism must hold
+for every policy x cost-model combination on every trace.
+"""
+
+import pytest
+
+from repro.scheduling import (
+    BackfillPolicy,
+    ClusterSimulator,
+    ElanCosts,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    ElasticSrtfPolicy,
+    FifoPolicy,
+    IdealCosts,
+    PriorityElasticPolicy,
+    ShutdownRestartCosts,
+    generate_trace,
+)
+
+ALL_POLICIES = [
+    FifoPolicy,
+    BackfillPolicy,
+    ElasticFifoPolicy,
+    ElasticBackfillPolicy,
+    ElasticSrtfPolicy,
+    PriorityElasticPolicy,
+]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(num_jobs=50, seed=17)
+
+
+@pytest.fixture(scope="module", params=ALL_POLICIES, ids=lambda p: p().name)
+def result(request, trace):
+    return ClusterSimulator(
+        trace, request.param(), total_gpus=64, costs=ElanCosts()
+    ).run()
+
+
+class TestUniversalInvariants:
+    def test_every_job_completes(self, result):
+        assert all(e.done for e in result.executions)
+
+    def test_all_work_processed(self, result, trace):
+        for execution in result.executions:
+            assert execution.work_done >= execution.spec.work * (1 - 1e-5)
+
+    def test_capacity_never_exceeded(self, result):
+        assert max(p.busy for p in result.utilization) <= result.total_gpus
+
+    def test_causality(self, result):
+        for execution in result.executions:
+            assert execution.start_time >= execution.spec.submit_time
+            assert execution.completion_time > execution.start_time
+
+    def test_elastic_bounds_respected(self, result):
+        """No allocation outside [min_res, max_res] ever produced a
+        completion (static policies use req_res which is inside)."""
+        for execution in result.executions:
+            assert execution.workers == 0  # released at completion
+
+    def test_makespan_at_least_work_over_capacity(self, result, trace):
+        total_gpu_seconds = sum(
+            job.work / job.throughput(job.req_res) * job.req_res
+            for job in trace
+        )
+        assert result.makespan >= total_gpu_seconds / result.total_gpus * 0.5
+
+
+class TestDeterminism:
+    def test_same_inputs_same_outputs(self, trace):
+        runs = [
+            ClusterSimulator(
+                trace, ElasticFifoPolicy(), total_gpus=64,
+                costs=ElanCosts(seed=0),
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].average_jct == runs[1].average_jct
+        assert runs[0].makespan == runs[1].makespan
+        assert runs[0].adjustments == runs[1].adjustments
+
+
+class TestCostModelOrdering:
+    def test_downtime_ordering_ideal_elan_sr(self, trace):
+        """More expensive elasticity can only slow the same schedule."""
+        jcts = {}
+        for costs in (IdealCosts(), ElanCosts(seed=1),
+                      ShutdownRestartCosts(seed=1)):
+            jcts[costs.name] = ClusterSimulator(
+                trace, ElasticFifoPolicy(), total_gpus=64, costs=costs
+            ).run().average_jct
+        assert jcts["ideal"] <= jcts["elan"] <= jcts["sr"]

@@ -1,0 +1,118 @@
+"""Tests for the scheduling job model and trace generation."""
+
+import pytest
+
+from repro.perfmodel import RESNET50
+from repro.scheduling import JobExecution, JobSpec, generate_trace
+
+
+def make_job(**overrides):
+    defaults = dict(
+        job_id="j0",
+        model=RESNET50,
+        submit_time=0.0,
+        work=1_000_000.0,
+        req_res=8,
+        min_res=2,
+        max_res=32,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_resource_bounds_validated(self):
+        with pytest.raises(ValueError):
+            make_job(min_res=10)  # min > req
+        with pytest.raises(ValueError):
+            make_job(max_res=4)  # max < req
+        with pytest.raises(ValueError):
+            make_job(work=0.0)
+
+    def test_throughput_monotone_in_practical_range(self):
+        job = make_job()
+        tps = [job.throughput(n) for n in (1, 2, 4, 8, 16)]
+        assert tps == sorted(tps)
+
+    def test_zero_workers_zero_throughput(self):
+        assert make_job().throughput(0) == 0.0
+
+    def test_marginal_gain_decreases(self):
+        """Diminishing returns — what the allocation rule exploits.
+        MobileNet saturates quickly (tiny kernels, comm-bound)."""
+        from repro.perfmodel import MOBILENET_V2
+
+        job = make_job(model=MOBILENET_V2)
+        assert job.marginal_gain(4) > 2 * job.marginal_gain(40)
+
+    def test_duration_at_shrinks_with_workers(self):
+        job = make_job()
+        assert job.duration_at(16) < job.duration_at(4)
+
+
+class TestJobExecution:
+    def test_work_accrual(self):
+        execution = JobExecution(spec=make_job(), workers=8)
+        rate = execution.spec.throughput(8)
+        execution.advance(0.0, 10.0)
+        assert execution.work_done == pytest.approx(10.0 * rate)
+
+    def test_pause_blocks_accrual(self):
+        execution = JobExecution(spec=make_job(), workers=8, paused_until=5.0)
+        rate = execution.spec.throughput(8)
+        execution.advance(0.0, 10.0)
+        assert execution.work_done == pytest.approx(5.0 * rate)
+
+    def test_eta_accounts_for_pause(self):
+        execution = JobExecution(spec=make_job(), workers=8, paused_until=100.0)
+        eta = execution.eta(0.0)
+        assert eta > 100.0
+
+    def test_idle_job_never_finishes(self):
+        execution = JobExecution(spec=make_job(), workers=0)
+        assert execution.eta(0.0) == float("inf")
+
+    def test_time_backwards_rejected(self):
+        execution = JobExecution(spec=make_job(), workers=4)
+        with pytest.raises(ValueError):
+            execution.advance(10.0, 5.0)
+
+
+class TestTrace:
+    def test_deterministic_by_seed(self):
+        a = generate_trace(num_jobs=30, seed=9)
+        b = generate_trace(num_jobs=30, seed=9)
+        assert [(j.job_id, j.submit_time, j.work) for j in a] == [
+            (j.job_id, j.submit_time, j.work) for j in b
+        ]
+
+    def test_job_count_and_ordering(self):
+        trace = generate_trace(num_jobs=50, seed=1)
+        assert len(trace) == 50
+        submits = [j.submit_time for j in trace]
+        assert submits == sorted(submits)
+
+    def test_resource_bounds_sane(self):
+        for job in generate_trace(num_jobs=60, seed=2):
+            assert 1 <= job.min_res <= job.req_res <= job.max_res <= 64
+
+    def test_durations_in_range(self):
+        """Service demands span minutes to hours on the requested size."""
+        for job in generate_trace(num_jobs=60, seed=3):
+            duration = job.duration_at(job.req_res)
+            assert 10 * 60 <= duration <= 12 * 3600 + 1
+
+    def test_models_drawn_from_table1(self):
+        names = {job.model.name for job in generate_trace(num_jobs=80, seed=4)}
+        assert len(names) >= 3  # several Table I models appear
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(num_jobs=0)
+
+    def test_arrivals_diurnal(self):
+        """Daytime hours receive more arrivals than night hours."""
+        trace = generate_trace(num_jobs=400, seed=5)
+        day = sum(1 for j in trace if 9 <= (j.submit_time / 3600) % 24 < 21)
+        night = len(trace) - day
+        assert day > 1.2 * night

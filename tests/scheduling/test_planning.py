@@ -1,0 +1,75 @@
+"""Tests for the capacity-planning what-if sweeps."""
+
+import pytest
+
+from repro.scheduling import (
+    CapacityPoint,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    capacity_sweep,
+    elasticity_hardware_savings,
+    generate_trace,
+    required_gpus,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(num_jobs=50, seed=23)
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    return capacity_sweep(trace, FifoPolicy(), [64, 96, 128])
+
+
+class TestCapacitySweep:
+    def test_sorted_and_deduplicated(self, trace):
+        points = capacity_sweep(trace, FifoPolicy(), [128, 64, 128])
+        assert [p.gpus for p in points] == [64, 128]
+
+    def test_more_gpus_never_hurt_jct(self, sweep):
+        jcts = [p.average_jct for p in sweep]
+        assert jcts == sorted(jcts, reverse=True)
+
+    def test_utilization_falls_with_size(self, sweep):
+        utils = [p.utilization for p in sweep]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_empty_sweep_rejected(self, trace):
+        with pytest.raises(ValueError):
+            capacity_sweep(trace, FifoPolicy(), [])
+
+    def test_point_fields(self, sweep):
+        point = sweep[0]
+        assert isinstance(point, CapacityPoint)
+        assert point.average_jpt >= 0
+        assert point.makespan > 0
+
+
+class TestRequiredGpus:
+    def test_finds_smallest_feasible(self, trace, sweep):
+        target = sweep[1].average_jct  # achievable at the middle size
+        needed = required_gpus(trace, FifoPolicy(), target, [64, 96, 128])
+        assert needed == 96
+
+    def test_infeasible_returns_none(self, trace):
+        assert required_gpus(trace, FifoPolicy(), 1.0, [64, 128]) is None
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError):
+            required_gpus(trace, FifoPolicy(), 0.0, [64])
+
+
+class TestHardwareSavings:
+    def test_elasticity_needs_fewer_gpus(self, trace):
+        """The operator's headline: same service level, smaller cluster."""
+        static_sweep = capacity_sweep(trace, FifoPolicy(), [96])
+        target = static_sweep[0].average_jct  # what FIFO@96 delivers
+        savings = elasticity_hardware_savings(
+            trace, FifoPolicy(), ElasticFifoPolicy(), target,
+            [48, 64, 96, 128],
+        )
+        assert savings["fifo"] == 96
+        assert savings["e-fifo"] is not None
+        assert savings["e-fifo"] < savings["fifo"]

@@ -1,0 +1,101 @@
+"""Tests for the priority/preemption scheduling extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel import RESNET50
+from repro.scheduling import (
+    ClusterSimulator,
+    JobExecution,
+    JobSpec,
+    PriorityElasticPolicy,
+)
+
+
+def job(job_id, submit, work, req, priority=0, min_res=None, max_res=None):
+    return JobSpec(
+        job_id=job_id,
+        model=RESNET50,
+        submit_time=submit,
+        work=work,
+        req_res=req,
+        min_res=min_res if min_res is not None else max(1, req // 4),
+        max_res=max_res if max_res is not None else req * 2,
+        priority=priority,
+    )
+
+
+class TestAllocation:
+    def test_high_priority_reaches_req_before_gains_flow(self):
+        policy = PriorityElasticPolicy()
+        low = JobExecution(spec=job("low", 0.0, 1e7, 16, priority=0), workers=16)
+        high = JobExecution(spec=job("high", 1.0, 1e7, 16, priority=5))
+        allocation = policy.allocate(1.0, [high], [low], total_gpus=24)
+        # 24 GPUs: high gets its full req (16); low shrinks toward min.
+        assert allocation["high"] == 16
+        assert allocation["low"] == 8
+
+    def test_equal_priority_fifo_order(self):
+        policy = PriorityElasticPolicy()
+        first = JobExecution(spec=job("first", 0.0, 1e7, 16))
+        second = JobExecution(spec=job("second", 5.0, 1e7, 16))
+        allocation = policy.allocate(5.0, [first, second], [], total_gpus=20)
+        assert allocation["first"] >= allocation["second"]
+
+    def test_leftovers_distributed_by_marginal_gain(self):
+        policy = PriorityElasticPolicy()
+        solo = JobExecution(spec=job("solo", 0.0, 1e7, 8, max_res=32))
+        allocation = policy.allocate(0.0, [solo], [], total_gpus=32)
+        assert allocation["solo"] == 32  # req guaranteed, then gains
+
+
+class TestPreemptionEndToEnd:
+    def test_arrival_of_high_priority_shrinks_low(self):
+        """A late high-priority job preempts (shrinks) the running
+        low-priority one instead of pending behind it."""
+        trace = [
+            job("low", 0.0, 3e7, 24, priority=0, min_res=4, max_res=32),
+            job("high", 1000.0, 5e6, 24, priority=9, min_res=4, max_res=32),
+        ]
+        result = ClusterSimulator(
+            trace, PriorityElasticPolicy(), total_gpus=32
+        ).run()
+        by_id = {e.spec.job_id: e for e in result.executions}
+        # The high-priority job started immediately on arrival.
+        assert by_id["high"].start_time == pytest.approx(1000.0, abs=1.0)
+        # And the low-priority job was adjusted (shrunk) at least once.
+        assert by_id["low"].adjustments >= 1
+        assert all(e.done for e in result.executions)
+
+    def test_priority_zero_behaves_like_elastic_fifo(self):
+        from repro.scheduling import ElasticFifoPolicy, generate_trace
+
+        trace = generate_trace(num_jobs=30, seed=9)  # all priority 0
+        fifo = ClusterSimulator(trace, ElasticFifoPolicy(), total_gpus=64).run()
+        prio = ClusterSimulator(
+            trace, PriorityElasticPolicy(), total_gpus=64
+        ).run()
+        # Not identical (the guarantee pass orders differently), but the
+        # aggregate outcome stays in the same ballpark.
+        assert prio.average_jct < 1.3 * fifo.average_jct
+
+
+class TestPriorityField:
+    def test_default_zero(self):
+        assert job("j", 0.0, 1.0, 4).priority == 0
+
+    def test_roundtrips_through_traceio(self, tmp_path):
+        from repro.scheduling import load_trace, save_trace
+
+        spec = job("vip", 0.0, 1e6, 8, priority=7)
+        path = tmp_path / "trace.json"
+        save_trace([spec], path)
+        (loaded,) = load_trace(path)
+        assert loaded.priority == 7
+
+    def test_spec_copy_with_priority(self):
+        spec = job("j", 0.0, 1e6, 8)
+        promoted = dataclasses.replace(spec, priority=3)
+        assert promoted.priority == 3
+        assert promoted.req_res == spec.req_res

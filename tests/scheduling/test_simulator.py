@@ -1,0 +1,206 @@
+"""Tests for policies + the cluster simulator (§VI-C behaviour)."""
+
+import pytest
+
+from repro.perfmodel import MOBILENET_V2, RESNET50
+from repro.scheduling import (
+    BackfillPolicy,
+    ClusterSimulator,
+    ElanCosts,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    FifoPolicy,
+    IdealCosts,
+    JobExecution,
+    JobSpec,
+    ShutdownRestartCosts,
+    generate_trace,
+    summarize,
+)
+
+
+def job(job_id, submit, work, req, min_res=None, max_res=None, model=RESNET50):
+    return JobSpec(
+        job_id=job_id,
+        model=model,
+        submit_time=submit,
+        work=work,
+        req_res=req,
+        min_res=min_res if min_res is not None else max(1, req // 4),
+        max_res=max_res if max_res is not None else req * 4,
+    )
+
+
+class TestStaticPolicies:
+    def test_fifo_runs_everything_to_completion(self):
+        trace = [job(f"j{i}", i * 10.0, 1e6, 4) for i in range(5)]
+        result = ClusterSimulator(trace, FifoPolicy(), total_gpus=8).run()
+        assert all(e.done for e in result.executions)
+
+    def test_fifo_head_blocks_queue(self):
+        # j0 occupies the cluster; j1 (too big) blocks small j2.
+        trace = [
+            job("j0", 0.0, 5e6, 8),
+            job("j1", 1.0, 1e5, 8),
+            job("j2", 2.0, 1e5, 1),
+        ]
+        result = ClusterSimulator(trace, FifoPolicy(), total_gpus=8).run()
+        by_id = {e.spec.job_id: e for e in result.executions}
+        assert by_id["j2"].start_time >= by_id["j1"].start_time
+
+    def test_backfill_lets_small_job_jump(self):
+        # Same trace: j2 is short enough to finish before j1's reservation.
+        trace = [
+            job("j0", 0.0, 5e6, 8),
+            job("j1", 1.0, 1e5, 8),
+            job("j2", 2.0, 1e4, 1, min_res=1, max_res=1),
+        ]
+        fifo = ClusterSimulator(trace, FifoPolicy(), total_gpus=9).run()
+        backfill = ClusterSimulator(trace, BackfillPolicy(), total_gpus=9).run()
+        fifo_j2 = {e.spec.job_id: e for e in fifo.executions}["j2"]
+        bf_j2 = {e.spec.job_id: e for e in backfill.executions}["j2"]
+        assert bf_j2.start_time < fifo_j2.start_time
+
+    def test_static_jobs_keep_req_res(self):
+        trace = [job("j0", 0.0, 1e6, 4)]
+        result = ClusterSimulator(trace, FifoPolicy(), total_gpus=8).run()
+        assert result.adjustments == 0
+
+    def test_oversized_job_rejected(self):
+        trace = [job("j0", 0.0, 1e6, 16)]
+        with pytest.raises(ValueError):
+            ClusterSimulator(trace, FifoPolicy(), total_gpus=8)
+
+
+class TestElasticPolicies:
+    def test_admits_on_min_res(self):
+        """A job that cannot get req_res still starts at min_res."""
+        trace = [
+            job("big", 0.0, 5e6, 8, min_res=2),
+            job("late", 1.0, 1e5, 8, min_res=2),
+        ]
+        result = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=8
+        ).run()
+        late = {e.spec.job_id: e for e in result.executions}["late"]
+        assert late.start_time == pytest.approx(1.0, abs=1e-6)
+
+    def test_expands_to_use_free_gpus(self):
+        """A lone job scales out toward max_res when the cluster idles."""
+        trace = [job("solo", 0.0, 1e7, 4, max_res=16)]
+        result = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=32
+        ).run()
+        solo = result.executions[0]
+        # Finished faster than a static run at req_res would have.
+        static_duration = solo.spec.duration_at(4)
+        assert solo.completion_time < 0.8 * static_duration
+
+    def test_respects_max_res(self):
+        trace = [job("capped", 0.0, 1e6, 4, max_res=6)]
+        simulator = ClusterSimulator(trace, ElasticFifoPolicy(), total_gpus=64)
+        result = simulator.run()
+        assert max(p.busy for p in result.utilization) <= 6
+
+    def test_allocator_follows_marginal_gains(self):
+        """With ResNet and MobileNet competing, the extra GPUs flow to
+        whoever currently gains more — MobileNet's gains decay fast, so
+        ResNet ends up with the larger share."""
+        trace = [
+            job("res", 0.0, 5e7, 4, min_res=2, max_res=64, model=RESNET50),
+            job("mob", 0.0, 5e7, 4, min_res=2, max_res=64, model=MOBILENET_V2),
+        ]
+        simulator = ClusterSimulator(trace, ElasticFifoPolicy(), total_gpus=64)
+        allocation = simulator.policy.allocate(
+            0.0,
+            [],
+            [JobExecution(spec=s, workers=s.min_res) for s in trace],
+            64,
+        )
+        assert allocation["res"] + allocation["mob"] == 64
+        assert allocation["res"] > allocation["mob"]
+
+    def test_elastic_never_overcommits(self):
+        trace = generate_trace(num_jobs=40, seed=7)
+        result = ClusterSimulator(
+            trace, ElasticBackfillPolicy(), total_gpus=64
+        ).run()
+        assert max(p.busy for p in result.utilization) <= 64
+
+    def test_adjustment_downtime_charged(self):
+        """Under S&R costs the same trace takes longer than under Ideal."""
+        trace = generate_trace(num_jobs=40, seed=8)
+        ideal = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=64, costs=IdealCosts()
+        ).run()
+        sr = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=64,
+            costs=ShutdownRestartCosts(),
+        ).run()
+        assert sr.average_jct > ideal.average_jct
+
+
+class TestPaperHeadlines:
+    """Fig. 20/22 shapes on a reduced trace (3 seeds would be a bench)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        trace = generate_trace(num_jobs=80, seed=1)
+        out = {}
+        for policy in (FifoPolicy(), BackfillPolicy(), ElasticFifoPolicy(),
+                       ElasticBackfillPolicy()):
+            out[policy.name] = ClusterSimulator(
+                trace, policy, total_gpus=64, costs=ElanCosts()
+            ).run()
+        return out
+
+    def test_elasticity_cuts_pending_time(self, results):
+        assert results["e-fifo"].average_jpt < 0.57 * results["fifo"].average_jpt
+        assert results["e-bf"].average_jpt < 0.57 * results["bf"].average_jpt
+
+    def test_elasticity_cuts_completion_time(self, results):
+        assert results["e-fifo"].average_jct < 0.85 * results["fifo"].average_jct
+
+    def test_elasticity_cuts_makespan(self, results):
+        assert results["e-fifo"].makespan < results["fifo"].makespan
+
+    def test_elasticity_raises_utilization(self, results):
+        assert (
+            results["e-fifo"].average_utilization()
+            > results["fifo"].average_utilization()
+        )
+
+    def test_elan_close_to_ideal_sr_behind(self):
+        """Fig. 22: Elan ~ Ideal; S&R visibly worse."""
+        trace = generate_trace(num_jobs=80, seed=2)
+        jcts = {}
+        for costs in (IdealCosts(), ElanCosts(), ShutdownRestartCosts()):
+            jcts[costs.name] = ClusterSimulator(
+                trace, ElasticFifoPolicy(), total_gpus=64, costs=costs
+            ).run().average_jct
+        assert jcts["elan"] < 1.02 * jcts["ideal"]
+        assert jcts["sr"] > jcts["elan"]
+
+
+class TestMetrics:
+    def test_summarize_aggregates(self):
+        trace = generate_trace(num_jobs=30, seed=3)
+        results = [
+            ClusterSimulator(trace, FifoPolicy(), total_gpus=64).run()
+            for _ in range(2)
+        ]
+        summary = summarize(results)
+        assert summary["policy"] == "fifo"
+        assert summary["jpt_std"] == pytest.approx(0.0, abs=1e-9)
+        assert summary["jct_mean"] > 0
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_utilization_series_resamples(self):
+        trace = generate_trace(num_jobs=30, seed=4)
+        result = ClusterSimulator(trace, FifoPolicy(), total_gpus=64).run()
+        series = result.utilization_series(resolution=3600.0)
+        assert len(series) > 10
+        assert all(0.0 <= frac <= 1.0 for _t, frac in series)

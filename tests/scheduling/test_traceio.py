@@ -1,0 +1,72 @@
+"""Tests for trace JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.scheduling import (
+    ClusterSimulator,
+    FifoPolicy,
+    generate_trace,
+    load_trace,
+    save_trace,
+    trace_from_dicts,
+    trace_to_dicts,
+)
+
+
+class TestRoundtrip:
+    def test_file_roundtrip_preserves_trace(self, tmp_path):
+        trace = generate_trace(num_jobs=25, seed=6)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert trace_to_dicts(loaded) == trace_to_dicts(trace)
+
+    def test_replay_is_identical(self, tmp_path):
+        """Simulating a reloaded trace gives bit-identical metrics."""
+        trace = generate_trace(num_jobs=25, seed=7)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        original = ClusterSimulator(trace, FifoPolicy(), total_gpus=64).run()
+        replayed = ClusterSimulator(
+            load_trace(path), FifoPolicy(), total_gpus=64
+        ).run()
+        assert replayed.average_jct == original.average_jct
+        assert replayed.makespan == original.makespan
+
+    def test_loaded_jobs_sorted_by_submit(self, tmp_path):
+        trace = generate_trace(num_jobs=10, seed=8)
+        records = trace_to_dicts(trace)
+        records.reverse()  # scramble on disk
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(
+            {"format": "repro-elan-trace-v1", "jobs": records}
+        ))
+        loaded = load_trace(path)
+        submits = [j.submit_time for j in loaded]
+        assert submits == sorted(submits)
+
+
+class TestValidation:
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            trace_from_dicts([{"job_id": "x", "model": "ResNet-50"}])
+
+    def test_unknown_model_rejected(self):
+        record = trace_to_dicts(generate_trace(num_jobs=1, seed=0))[0]
+        record["model"] = "AlexNet"
+        with pytest.raises(KeyError):
+            trace_from_dicts([record])
+
+    def test_bad_bounds_rejected(self):
+        record = trace_to_dicts(generate_trace(num_jobs=1, seed=0))[0]
+        record["min_res"] = record["max_res"] + 1
+        with pytest.raises(ValueError):
+            trace_from_dicts([record])
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "slurm", "jobs": []}))
+        with pytest.raises(ValueError, match="not a repro-elan trace"):
+            load_trace(path)

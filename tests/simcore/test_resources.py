@@ -1,0 +1,192 @@
+"""Unit tests for Resource, Store and Container primitives."""
+
+import pytest
+
+from repro.simcore import Container, Resource, Simulator, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_serializes_access(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(name):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", sim.now))
+                yield sim.timeout(2.0)
+                log.append((name, "out", sim.now))
+
+        sim.process(user("a"))
+        sim.process(user("b"))
+        sim.run()
+        assert log == [
+            ("a", "in", 0.0),
+            ("a", "out", 2.0),
+            ("b", "in", 2.0),
+            ("b", "out", 4.0),
+        ]
+
+    def test_capacity_two_allows_concurrency(self, sim):
+        res = Resource(sim, capacity=2)
+        done_times = []
+
+        def user():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(2.0)
+                done_times.append(sim.now)
+
+        for _ in range(4):
+            sim.process(user())
+        sim.run()
+        assert done_times == [2.0, 2.0, 4.0, 4.0]
+
+    def test_priority_order(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+
+        def user(name, priority, delay):
+            yield sim.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+
+        sim.process(holder())
+        sim.process(user("low", priority=5, delay=0.1))
+        sim.process(user("high", priority=1, delay=0.2))
+        sim.run()
+        assert order == ["high", "low"]
+
+    def test_cancel_queued_request(self, sim):
+        res = Resource(sim, capacity=1)
+        first = res.request()
+        second = res.request()
+        assert res.count == 1
+        assert res.queued == 1
+        res.release(second)  # cancel before grant
+        assert res.queued == 0
+        res.release(first)
+        assert res.count == 0
+
+    def test_count_and_queued_tracking(self, sim):
+        res = Resource(sim, capacity=2)
+        reqs = [res.request() for _ in range(3)]
+        assert res.count == 2
+        assert res.queued == 1
+        res.release(reqs[0])
+        assert res.count == 2  # third request was granted
+        assert res.queued == 0
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("msg")
+        got = store.get()
+        assert got.triggered
+        sim.run()
+        assert got.value == "msg"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, sim.now))
+
+        def producer():
+            yield sim.timeout(3.0)
+            store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert results == [("late", 3.0)]
+
+    def test_fifo_ordering(self, sim):
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        values = []
+
+        def consumer():
+            for _ in range(3):
+                values.append((yield store.get()))
+
+        sim.run(until=sim.process(consumer()))
+        assert values == [1, 2, 3]
+
+    def test_len_counts_buffered_items(self, sim):
+        store = Store(sim)
+        assert len(store) == 0
+        store.put("a")
+        store.put("b")
+        assert len(store) == 2
+
+
+class TestContainer:
+    def test_init_validation(self, sim):
+        with pytest.raises(ValueError):
+            Container(sim, init=-1.0)
+        with pytest.raises(ValueError):
+            Container(sim, init=5.0, capacity=2.0)
+
+    def test_get_blocks_until_enough(self, sim):
+        pool = Container(sim, init=1.0)
+        results = []
+
+        def consumer():
+            yield pool.get(3.0)
+            results.append(sim.now)
+
+        def producer():
+            yield sim.timeout(2.0)
+            pool.put(2.0)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert results == [2.0]
+        assert pool.level == 0.0
+
+    def test_put_clamped_at_capacity(self, sim):
+        pool = Container(sim, init=0.0, capacity=10.0)
+        pool.put(25.0)
+        assert pool.level == 10.0
+
+    def test_negative_amounts_rejected(self, sim):
+        pool = Container(sim, init=1.0)
+        with pytest.raises(ValueError):
+            pool.put(-1.0)
+        with pytest.raises(ValueError):
+            pool.get(-1.0)
+
+    def test_fifo_gets(self, sim):
+        pool = Container(sim, init=0.0)
+        order = []
+
+        def consumer(name, amount):
+            yield pool.get(amount)
+            order.append(name)
+
+        sim.process(consumer("big", 5.0))
+        sim.process(consumer("small", 1.0))
+        pool.put(6.0)
+        sim.run()
+        assert order == ["big", "small"]  # FIFO, no overtaking

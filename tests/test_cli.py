@@ -1,0 +1,86 @@
+"""Tests for the repro-elan command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "--policy", "lottery"])
+
+
+class TestCommands:
+    def test_models_prints_table1(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "VGG-19" in out and "143M" in out
+        assert "Transformer" in out
+
+    def test_scaling_prints_curves(self, capsys):
+        assert main(["scaling", "--model", "MobileNet-v2"]) == 0
+        out = capsys.readouterr().out
+        assert "strong scaling" in out
+        assert "weak scaling" in out
+        assert "optimal workers" in out
+
+    def test_scaling_eval_cluster(self, capsys):
+        assert main(["scaling", "--cluster", "eval"]) == 0
+        assert "eval cluster" in capsys.readouterr().out
+
+    def test_adjust_reports_speedup(self, capsys):
+        assert main([
+            "adjust", "--kind", "scale_out",
+            "--old-workers", "4", "--new-workers", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Elan" in out and "S&R" in out and "speedup" in out
+
+    def test_elastic_training_prints_table4(self, capsys):
+        assert main(["elastic-training"]) == 0
+        out = capsys.readouterr().out
+        assert "512 (16)" in out
+        assert "time to solution" in out
+
+    def test_schedule_runs_small_trace(self, capsys):
+        assert main([
+            "schedule", "--policy", "e-fifo", "--jobs", "25",
+            "--gpus", "64", "--seed", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "average JCT" in out
+        assert "utilization" in out
+
+    def test_demo_runs_live_job(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas consistent: True" in out
+
+
+class TestTraceAndCapacityCommands:
+    def test_trace_generate_and_save(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--jobs", "20", "--seed", "4",
+                     "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "20 jobs" in out
+        assert path.exists()
+
+    def test_trace_load_summarizes(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        main(["trace", "--jobs", "15", "--seed", "4", "--save", str(path)])
+        capsys.readouterr()
+        assert main(["trace", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "15 jobs" in out
+
+    def test_capacity_sweep_prints_table(self, capsys):
+        assert main(["capacity", "--jobs", "25", "--gpus", "48,96",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "e-fifo" in out and "Avg JCT" in out

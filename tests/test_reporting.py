@@ -1,0 +1,88 @@
+"""Tests for the terminal rendering helpers."""
+
+import pytest
+
+from repro.reporting import bar_chart, render_table, series_chart, sparkline
+
+
+class TestRenderTable:
+    def test_aligns_columns(self):
+        lines = render_table(("a", "bb"), [("x", 1), ("yyyy", 22)])
+        assert lines[0].startswith("a")
+        assert "22" in lines[-1]
+        # All data lines at least as wide as the widest cell arrangement.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("a", "b"), [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        lines = render_table(("a",), [])
+        assert len(lines) == 2  # header + rule
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        lines = bar_chart([("x", 10), ("y", 5)], width=10)
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values_no_bar(self):
+        lines = bar_chart([("x", 0), ("y", 2)], width=4)
+        assert "#" not in lines[0]
+
+    def test_small_nonzero_gets_a_tick(self):
+        lines = bar_chart([("tiny", 1), ("big", 1000)], width=10)
+        assert lines[0].count("#") == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([("x", -1)])
+
+    def test_empty(self):
+        assert bar_chart([]) == []
+
+    def test_unit_suffix(self):
+        lines = bar_chart([("x", 3)], width=5, unit="s")
+        assert lines[0].endswith("3s")
+
+
+class TestSparkline:
+    def test_length_matches_series(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series_is_mid_glyph(self):
+        assert set(sparkline([5, 5, 5])) == {"="}
+
+    def test_monotone_series_uses_rising_glyphs(self):
+        glyphs = " .:-=+*#"
+        line = sparkline(list(range(8)))
+        assert [glyphs.index(c) for c in line] == sorted(
+            glyphs.index(c) for c in line
+        )
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestSeriesChart:
+    def test_shape(self):
+        lines = series_chart([(0, 0), (1, 1), (2, 4)], height=4, width=20)
+        assert len(lines) == 6  # 4 rows + axis + labels
+        assert all("|" in line for line in lines[:4])
+
+    def test_extremes_plotted(self):
+        lines = series_chart([(0, 0), (10, 100)], height=5, width=10)
+        assert "*" in lines[0]  # max in the top row
+        assert "*" in lines[4]  # min in the bottom row
+
+    def test_labels_show_range(self):
+        lines = series_chart([(0, 2), (5, 8)], height=3, width=12)
+        assert "8" in lines[0]
+        assert "2" in lines[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_chart([(0, 0)], height=1)
+        assert series_chart([]) == []

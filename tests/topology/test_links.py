@@ -1,0 +1,81 @@
+"""Unit tests for the link/bandwidth model (paper Fig. 8)."""
+
+import pytest
+
+from repro.topology import (
+    BEST_TRANSPORT,
+    BandwidthProfile,
+    LinkLevel,
+    LinkSpec,
+    Transport,
+)
+
+KB, MB, GB = 1024, 1024**2, 1024**3
+
+
+@pytest.fixture
+def profile():
+    return BandwidthProfile()
+
+
+class TestLinkSpec:
+    def test_effective_bandwidth_saturates_at_peak(self):
+        spec = LinkSpec(peak_bandwidth=10e9, latency=10e-6)
+        assert spec.effective_bandwidth(10 * GB) == pytest.approx(10e9, rel=0.01)
+
+    def test_effective_bandwidth_latency_bound_for_small(self):
+        spec = LinkSpec(peak_bandwidth=10e9, latency=10e-6)
+        assert spec.effective_bandwidth(1 * KB) < 0.05 * spec.peak_bandwidth
+
+    def test_effective_bandwidth_monotone_in_size(self):
+        spec = LinkSpec(peak_bandwidth=10e9, latency=10e-6)
+        sizes = [KB, 64 * KB, MB, 64 * MB, GB]
+        bws = [spec.effective_bandwidth(s) for s in sizes]
+        assert bws == sorted(bws)
+
+    def test_zero_size_zero_bandwidth(self):
+        spec = LinkSpec(peak_bandwidth=10e9, latency=10e-6)
+        assert spec.effective_bandwidth(0) == 0.0
+
+    def test_transfer_time_linear_plus_latency(self):
+        spec = LinkSpec(peak_bandwidth=1e9, latency=1e-3)
+        assert spec.transfer_time(1e9) == pytest.approx(1.001)
+
+    def test_negative_size_rejected(self):
+        spec = LinkSpec(peak_bandwidth=1e9, latency=0.0)
+        with pytest.raises(ValueError):
+            spec.transfer_time(-1)
+
+
+class TestBandwidthProfile:
+    def test_figure8_ordering_p2p_shm_net(self, profile):
+        """Fig. 8: P2P > SHM > NET at every message size."""
+        for size in (64 * KB, MB, 16 * MB, 256 * MB, GB):
+            p2p = profile.p2p.effective_bandwidth(size)
+            shm = profile.shm.effective_bandwidth(size)
+            net = profile.net.effective_bandwidth(size)
+            assert p2p > shm > net, f"ordering violated at size {size}"
+
+    def test_best_transport_per_level(self):
+        assert BEST_TRANSPORT[LinkLevel.L1] is Transport.P2P
+        assert BEST_TRANSPORT[LinkLevel.L2] is Transport.SHM
+        assert BEST_TRANSPORT[LinkLevel.L3] is Transport.SHM
+        assert BEST_TRANSPORT[LinkLevel.L4] is Transport.NET
+
+    def test_transfer_time_ordering_by_level(self, profile):
+        """Closer levels move the same payload faster."""
+        size = 100 * MB
+        times = [profile.transfer_time(level, size) for level in LinkLevel]
+        assert times[0] < times[1] == times[2] < times[3]
+
+    def test_spec_lookup(self, profile):
+        assert profile.spec(Transport.P2P) is profile.p2p
+        assert profile.spec(Transport.SHM) is profile.shm
+        assert profile.spec(Transport.NET) is profile.net
+
+    def test_resnet50_replication_is_subsecond(self, profile):
+        """Sanity: a ResNet-50 state (~100MB params + optimizer) replicates
+        in well under a second over P2P — consistent with the paper's ~1s
+        end-to-end adjustment figure."""
+        state_bytes = 2 * 102 * MB  # params + momentum
+        assert profile.transfer_time(LinkLevel.L1, state_bytes) < 0.5

@@ -1,0 +1,196 @@
+"""Unit tests for the topology tree and link-level classification."""
+
+import pytest
+
+from repro.topology import (
+    DeviceKind,
+    LinkLevel,
+    ServerSpec,
+    build_cluster,
+    cluster_for_gpu_count,
+    gpu_by_name,
+    gpus_of,
+    link_level,
+    lowest_common_ancestor,
+    nearest_neighbor,
+    path_resources,
+)
+
+
+@pytest.fixture
+def cluster():
+    """Two paper-shaped servers: 2 sockets x 2 switches x 2 GPUs each."""
+    return build_cluster(2)
+
+
+class TestBuilder:
+    def test_gpu_count(self, cluster):
+        assert len(gpus_of(cluster)) == 16
+
+    def test_gpu_names_are_unique(self, cluster):
+        names = [gpu.name for gpu in gpus_of(cluster)]
+        assert len(set(names)) == len(names)
+
+    def test_tree_shape(self, cluster):
+        assert cluster.kind is DeviceKind.CLUSTER
+        nodes = cluster.children
+        assert all(n.kind is DeviceKind.NODE for n in nodes)
+        sockets = nodes[0].children
+        assert len(sockets) == 2
+        switches = sockets[0].children
+        assert len(switches) == 2
+        assert all(len(sw.children) == 2 for sw in switches)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(0)
+
+    def test_custom_server_spec(self):
+        spec = ServerSpec(sockets=1, switches_per_socket=1, gpus_per_switch=4)
+        cluster = build_cluster(1, spec=spec)
+        assert len(gpus_of(cluster)) == 4
+        gpus = gpus_of(cluster)
+        assert link_level(gpus[0], gpus[3]) is LinkLevel.L1
+
+    def test_cluster_for_gpu_count_rounds_up(self):
+        cluster, gpus = cluster_for_gpu_count(12)
+        assert len(gpus) == 12
+        assert len(cluster.children) == 2  # 12 GPUs need 2 x 8-GPU nodes
+
+    def test_cluster_for_gpu_count_validates(self):
+        with pytest.raises(ValueError):
+            cluster_for_gpu_count(0)
+
+    def test_gpu_by_name(self, cluster):
+        gpu = gpu_by_name(cluster, "node1/gpu5")
+        assert gpu.kind is DeviceKind.GPU
+        assert gpu.name == "node1/gpu5"
+
+    def test_gpu_by_name_rejects_non_gpu(self, cluster):
+        with pytest.raises(KeyError):
+            gpu_by_name(cluster, "node0/socket0")
+
+    def test_find_missing_raises(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.find("node9/gpu0")
+
+
+class TestLinkLevel:
+    """GPU layout per node: gpu0,1 | switch0; gpu2,3 | switch1 (socket0);
+    gpu4,5 | switch2; gpu6,7 | switch3 (socket1)."""
+
+    def test_same_switch_is_l1(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu1")
+        assert link_level(a, b) is LinkLevel.L1
+
+    def test_same_socket_other_switch_is_l2(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu2")
+        assert link_level(a, b) is LinkLevel.L2
+
+    def test_cross_socket_is_l3(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu4")
+        assert link_level(a, b) is LinkLevel.L3
+
+    def test_cross_node_is_l4(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node1/gpu0")
+        assert link_level(a, b) is LinkLevel.L4
+
+    def test_symmetric(self, cluster):
+        gpus = gpus_of(cluster)
+        for a in gpus[:4]:
+            for b in gpus[4:8]:
+                assert link_level(a, b) == link_level(b, a)
+
+    def test_self_level_undefined(self, cluster):
+        gpu = gpu_by_name(cluster, "node0/gpu0")
+        with pytest.raises(ValueError):
+            link_level(gpu, gpu)
+
+    def test_non_gpu_rejected(self, cluster):
+        gpu = gpu_by_name(cluster, "node0/gpu0")
+        socket = cluster.find("node0/socket0")
+        with pytest.raises(ValueError):
+            link_level(gpu, socket)
+
+    def test_lca_across_trees_rejected(self):
+        a = gpus_of(build_cluster(1))[0]
+        b = gpus_of(build_cluster(1))[0]
+        with pytest.raises(ValueError):
+            lowest_common_ancestor(a, b)
+
+
+class TestPathResources:
+    def test_l1_uses_only_shared_switch(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu1")
+        resources = path_resources(a, b)
+        assert resources == {"switch:node0/socket0/switch0"}
+
+    def test_l3_paths_share_qpi(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu4")
+        c = gpu_by_name(cluster, "node0/gpu2")
+        d = gpu_by_name(cluster, "node0/gpu6")
+        # Two cross-socket transfers in the same node contend on QPI.
+        assert path_resources(a, b) & path_resources(c, d)
+
+    def test_disjoint_l1_paths_do_not_contend(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu1")
+        c = gpu_by_name(cluster, "node0/gpu2")
+        d = gpu_by_name(cluster, "node0/gpu3")
+        assert not path_resources(a, b) & path_resources(c, d)
+
+    def test_l4_uses_nics(self, cluster):
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node1/gpu0")
+        assert path_resources(a, b) == {"nic:node0", "nic:node1"}
+
+    def test_l4_transfers_between_disjoint_node_pairs_ok(self):
+        cluster = build_cluster(4)
+        a, b = gpu_by_name(cluster, "node0/gpu0"), gpu_by_name(cluster, "node1/gpu0")
+        c, d = gpu_by_name(cluster, "node2/gpu0"), gpu_by_name(cluster, "node3/gpu0")
+        assert not path_resources(a, b) & path_resources(c, d)
+
+
+class TestNearestNeighbor:
+    def test_prefers_lowest_level(self, cluster):
+        new = gpu_by_name(cluster, "node0/gpu1")
+        candidates = [
+            gpu_by_name(cluster, "node0/gpu0"),  # L1
+            gpu_by_name(cluster, "node0/gpu4"),  # L3
+            gpu_by_name(cluster, "node1/gpu0"),  # L4
+        ]
+        assert nearest_neighbor(new, candidates).name == "node0/gpu0"
+
+    def test_paper_figure9_example(self):
+        """Fig. 9: E is closest to C (same socket), F closest to D (same node)."""
+        cluster = build_cluster(2)
+        # Existing workers A,B on node0 switch0; C on node0 socket1;
+        # D on node1.  New workers: E next to C's socket, F elsewhere node1.
+        a = gpu_by_name(cluster, "node0/gpu0")
+        b = gpu_by_name(cluster, "node0/gpu1")
+        c = gpu_by_name(cluster, "node0/gpu4")
+        d = gpu_by_name(cluster, "node1/gpu0")
+        e = gpu_by_name(cluster, "node0/gpu5")  # same switch as C
+        f = gpu_by_name(cluster, "node1/gpu4")  # same node as D
+        existing = [a, b, c, d]
+        assert nearest_neighbor(e, existing) is c
+        assert nearest_neighbor(f, existing) is d
+
+    def test_tie_break_is_deterministic(self, cluster):
+        new = gpu_by_name(cluster, "node0/gpu2")
+        # gpu0 and gpu1 are both L2 from gpu2; name order picks gpu0.
+        candidates = [
+            gpu_by_name(cluster, "node0/gpu1"),
+            gpu_by_name(cluster, "node0/gpu0"),
+        ]
+        assert nearest_neighbor(new, candidates).name == "node0/gpu0"
+
+    def test_empty_candidates_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            nearest_neighbor(gpus_of(cluster)[0], [])

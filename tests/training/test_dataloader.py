@@ -1,0 +1,173 @@
+"""Tests for the serial and chunk-based loading semantics (paper §V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.training import ChunkLoader, SerialLoader
+
+
+def drain_epoch(loader, num_workers, batch_per_worker):
+    """Collect every index the loader yields for one full epoch."""
+    start_epoch = loader.epoch
+    seen = []
+    while loader.epoch == start_epoch:
+        for part in loader.next_iteration(num_workers, batch_per_worker):
+            seen.extend(part.tolist())
+    return seen
+
+
+class TestSerialLoader:
+    def test_epoch_covers_dataset_exactly_once(self):
+        loader = SerialLoader(100, seed=1)
+        seen = drain_epoch(loader, num_workers=4, batch_per_worker=8)
+        assert sorted(seen) == list(range(100))
+
+    def test_remaining_is_contiguous_single_integer(self):
+        """§V-C: loader state is a single position integer."""
+        loader = SerialLoader(100, seed=1)
+        loader.next_iteration(4, 8)
+        assert loader.state_dict() == {"epoch": 0, "position": 32}
+        assert loader.remaining_in_epoch == 68
+
+    def test_partial_last_batch_split_evenly(self):
+        loader = SerialLoader(10, seed=0)
+        parts = loader.next_iteration(4, 2)  # consumes 8
+        assert [len(p) for p in parts] == [2, 2, 2, 2]
+        parts = loader.next_iteration(4, 2)  # only 2 remain
+        assert sum(len(p) for p in parts) == 2
+        assert loader.epoch == 1
+
+    def test_repartition_is_free_and_keeps_coverage(self):
+        """After an elastic adjustment the remaining data is still exactly
+        the contiguous tail of the epoch."""
+        loader = SerialLoader(96, seed=2)
+        seen = []
+        for _ in range(3):
+            for part in loader.next_iteration(4, 4):
+                seen.extend(part.tolist())
+        loader.repartition(6)  # scale out 4 -> 6 workers
+        while loader.epoch == 0:
+            for part in loader.next_iteration(6, 4):
+                seen.extend(part.tolist())
+        assert sorted(seen) == list(range(96))
+
+    def test_shuffle_differs_by_epoch(self):
+        loader = SerialLoader(50, seed=3)
+        first = drain_epoch(loader, 1, 50)
+        second = drain_epoch(loader, 1, 50)
+        assert first != second
+        assert sorted(first) == sorted(second)
+
+    def test_no_shuffle_is_sequential(self):
+        loader = SerialLoader(10, shuffle=False)
+        (batch,) = loader.next_iteration(1, 4)
+        assert batch.tolist() == [0, 1, 2, 3]
+
+    def test_state_roundtrip(self):
+        loader = SerialLoader(64, seed=4)
+        loader.next_iteration(2, 8)
+        state = loader.state_dict()
+        other = SerialLoader(64, seed=4)
+        other.load_state_dict(state)
+        a = loader.next_iteration(2, 8)
+        b = other.next_iteration(2, 8)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_state_is_tiny(self):
+        assert SerialLoader(10**9).state_size_bytes() == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SerialLoader(0)
+        loader = SerialLoader(10)
+        with pytest.raises(ValueError):
+            loader.next_iteration(0, 4)
+        with pytest.raises(ValueError):
+            loader.repartition(0)
+
+
+class TestChunkLoader:
+    def test_epoch_covers_dataset_exactly_once(self):
+        loader = ChunkLoader(100, chunk_size=16, num_workers=4, seed=1)
+        seen = drain_epoch(loader, num_workers=4, batch_per_worker=8)
+        assert sorted(seen) == list(range(100))
+
+    def test_remaining_is_fragmented(self):
+        """After some consumption, leftovers span multiple chunks — the
+        fragmentation Fig. 13 illustrates."""
+        loader = ChunkLoader(128, chunk_size=16, num_workers=4, seed=0)
+        loader.next_iteration(4, 4)
+        partially_consumed = [
+            c for c, used in loader.consumed.items() if 0 < used < 16
+        ]
+        assert len(partially_consumed) >= 2
+
+    def test_state_is_record_table(self):
+        loader = ChunkLoader(1024, chunk_size=16, num_workers=4)
+        state = loader.state_dict()
+        assert len(state["consumed"]) == 64
+        assert loader.state_size_bytes() > SerialLoader(1024).state_size_bytes()
+
+    def test_repartition_preserves_coverage(self):
+        loader = ChunkLoader(96, chunk_size=8, num_workers=4, seed=2)
+        seen = []
+        for _ in range(2):
+            for part in loader.next_iteration(4, 4):
+                seen.extend(part.tolist())
+        loader.repartition(6)
+        while loader.epoch == 0:
+            for part in loader.next_iteration(6, 4):
+                seen.extend(part.tolist())
+        assert sorted(seen) == list(range(96))
+
+    def test_repartition_balances_remaining(self):
+        loader = ChunkLoader(64, chunk_size=8, num_workers=2, seed=0)
+        loader.next_iteration(2, 8)
+        loader.repartition(4)
+        remaining_per_rank = [
+            sum(loader._remaining_of(c) for c in chunks)
+            for chunks in loader.ownership.values()
+        ]
+        assert max(remaining_per_rank) - min(remaining_per_rank) <= 8
+
+    def test_wrong_worker_count_rejected(self):
+        loader = ChunkLoader(64, chunk_size=8, num_workers=2)
+        with pytest.raises(ValueError):
+            loader.next_iteration(3, 4)
+
+    def test_dry_ranks_get_empty_batches(self):
+        loader = ChunkLoader(20, chunk_size=10, num_workers=4, seed=0)
+        parts = loader.next_iteration(4, 4)
+        # 2 chunks across 4 ranks: at least one rank has no chunk at all.
+        assert any(len(p) == 0 for p in parts)
+
+    def test_state_roundtrip(self):
+        loader = ChunkLoader(64, chunk_size=8, num_workers=2, seed=5)
+        loader.next_iteration(2, 4)
+        state = loader.state_dict()
+        other = ChunkLoader(64, chunk_size=8, num_workers=2, seed=5)
+        other.load_state_dict(state)
+        a = loader.next_iteration(2, 4)
+        b = other.next_iteration(2, 4)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkLoader(0)
+        with pytest.raises(ValueError):
+            ChunkLoader(10, chunk_size=0)
+
+
+class TestSemanticComparison:
+    """The §V-C claim: serial state is a single integer, chunk state is a
+    table whose size grows with the dataset."""
+
+    def test_serial_state_constant_in_dataset_size(self):
+        small = SerialLoader(1000).state_size_bytes()
+        large = SerialLoader(10**8).state_size_bytes()
+        assert small == large
+
+    def test_chunk_state_grows_with_dataset_size(self):
+        small = ChunkLoader(10_000, chunk_size=256).state_size_bytes()
+        large = ChunkLoader(1_000_000, chunk_size=256).state_size_bytes()
+        assert large > 10 * small

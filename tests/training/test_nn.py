@@ -1,0 +1,152 @@
+"""Unit tests for the numpy neural-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.training import (
+    accuracy,
+    average_gradients,
+    clone_params,
+    forward,
+    init_mlp,
+    loss_and_gradients,
+    make_classification,
+    param_bytes,
+    params_allclose,
+    softmax,
+)
+
+
+@pytest.fixture
+def dataset():
+    return make_classification(train_size=512, test_size=128, seed=7)
+
+
+@pytest.fixture
+def params(dataset):
+    return init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=1)
+
+
+class TestInit:
+    def test_deterministic_by_seed(self, dataset):
+        a = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=5)
+        b = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=5)
+        assert params_allclose(a, b)
+
+    def test_different_seeds_differ(self, dataset):
+        a = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=5)
+        b = init_mlp(dataset.input_dim, 32, dataset.num_classes, seed=6)
+        assert not params_allclose(a, b)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            init_mlp(0, 8, 4)
+
+
+class TestForwardBackward:
+    def test_logit_shape(self, params, dataset):
+        logits, hidden = forward(params, dataset.train_x[:10])
+        assert logits.shape == (10, dataset.num_classes)
+        assert hidden.shape == (10, 32)
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).standard_normal((5, 7))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 0.0], [0.0, 1000.0]]))
+        assert np.isfinite(probs).all()
+
+    def test_empty_batch_rejected(self, params, dataset):
+        with pytest.raises(ValueError):
+            loss_and_gradients(params, dataset.train_x[:0], dataset.train_y[:0])
+
+    def test_gradients_match_finite_differences(self, dataset):
+        """Numerical gradient check on a tiny network."""
+        small = init_mlp(4, 3, 2, seed=0)
+        x = dataset.train_x[:8, :4]
+        y = dataset.train_y[:8] % 2
+        _loss, grads = loss_and_gradients(small, x, y)
+        eps = 1e-6
+        for name in small:
+            flat = small[name].reshape(-1)
+            for idx in range(0, flat.size, max(1, flat.size // 5)):
+                original = flat[idx]
+                flat[idx] = original + eps
+                loss_plus, _ = loss_and_gradients(small, x, y)
+                flat[idx] = original - eps
+                loss_minus, _ = loss_and_gradients(small, x, y)
+                flat[idx] = original
+                numeric = (loss_plus - loss_minus) / (2 * eps)
+                analytic = grads[name].reshape(-1)[idx]
+                assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    def test_gradient_is_mean_over_batch(self, params, dataset):
+        """Doubling the batch by duplication leaves the gradient unchanged."""
+        x, y = dataset.train_x[:16], dataset.train_y[:16]
+        _l1, g1 = loss_and_gradients(params, x, y)
+        _l2, g2 = loss_and_gradients(
+            params, np.concatenate([x, x]), np.concatenate([y, y])
+        )
+        assert params_allclose(g1, g2, atol=1e-12)
+
+
+class TestHelpers:
+    def test_clone_is_independent(self, params):
+        cloned = clone_params(params)
+        cloned["w1"][0, 0] += 1.0
+        assert params["w1"][0, 0] != cloned["w1"][0, 0]
+
+    def test_param_bytes_counts_all(self, params):
+        assert param_bytes(params) == sum(a.nbytes for a in params.values())
+
+    def test_params_allclose_detects_key_mismatch(self, params):
+        other = {k: v for k, v in params.items() if k != "b2"}
+        assert not params_allclose(params, other)
+
+    def test_average_gradients_is_elementwise_mean(self, params, dataset):
+        _l, g1 = loss_and_gradients(params, dataset.train_x[:8], dataset.train_y[:8])
+        _l, g2 = loss_and_gradients(params, dataset.train_x[8:16], dataset.train_y[8:16])
+        avg = average_gradients([g1, g2])
+        for name in g1:
+            assert np.allclose(avg[name], (g1[name] + g2[name]) / 2)
+
+    def test_average_gradients_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_gradients([])
+
+    def test_accuracy_bounds(self, params, dataset):
+        acc = accuracy(params, dataset.test_x, dataset.test_y)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestDataset:
+    def test_shapes(self, dataset):
+        assert dataset.train_size == 512
+        assert dataset.input_dim == 32
+        assert len(dataset.test_x) == 128
+
+    def test_deterministic_by_seed(self):
+        a = make_classification(train_size=64, test_size=16, seed=3)
+        b = make_classification(train_size=64, test_size=16, seed=3)
+        assert np.array_equal(a.train_x, b.train_x)
+        assert np.array_equal(a.train_y, b.train_y)
+
+    def test_labels_in_range(self, dataset):
+        assert dataset.train_y.min() >= 0
+        assert dataset.train_y.max() < dataset.num_classes
+
+    def test_learnable(self, dataset):
+        """The teacher task is learnable well above chance."""
+        from repro.training import train_single
+
+        result = train_single(dataset, 32, epochs=10, base_lr=0.01, seed=0)
+        assert result.test_accuracy > 3.0 / dataset.num_classes
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            make_classification(train_size=0)
+        with pytest.raises(ValueError):
+            make_classification(label_noise=1.5)
