@@ -2,6 +2,7 @@
 
 from .collective import Collective, CollectiveAborted
 from .dessim import SimulatedAdjustment, SimulatedElasticJob
+from .faults import ExponentialBackoff, FaultPlan, LeaseExpired, SilentCrash
 from .hooks import Hook, HookRegistry
 from .master import (
     AdjustmentKind,
@@ -10,6 +11,7 @@ from .master import (
     Directive,
     DirectiveKind,
     MasterState,
+    StaleEpochError,
 )
 from .messages import (
     DeduplicatingInbox,
@@ -26,7 +28,14 @@ from .runtime import (
     WorkerContext,
     params_consistent,
 )
-from .store import CasConflict, KeyValueStore
+from .store import (
+    TOMBSTONE,
+    CasConflict,
+    KeyValueStore,
+    LeaseRevoked,
+    RetryingStore,
+    StoreUnavailable,
+)
 from .telemetry import RuntimeTelemetry, TelemetryEvent
 
 __all__ = [
@@ -40,18 +49,27 @@ __all__ = [
     "Directive",
     "DirectiveKind",
     "ElasticRuntime",
+    "ExponentialBackoff",
+    "FaultPlan",
     "FaultyChannel",
     "GroupPlan",
     "Hook",
     "HookRegistry",
     "KeyValueStore",
+    "LeaseExpired",
+    "LeaseRevoked",
     "MasterState",
     "Message",
+    "RetryingStore",
     "RingCollective",
     "RuntimeTelemetry",
+    "SilentCrash",
     "SimulatedAdjustment",
     "SimulatedElasticJob",
+    "StaleEpochError",
+    "StoreUnavailable",
     "TelemetryEvent",
+    "TOMBSTONE",
     "MessageFactory",
     "MessageType",
     "ReliableSender",

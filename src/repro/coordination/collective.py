@@ -87,6 +87,18 @@ class Collective:
                     )
             return self._result
 
+    def laggards(self) -> typing.Tuple[str, ...]:
+        """Members the current round is still waiting on.
+
+        Empty when no round is in progress.  The supervisor uses this to
+        tell a hung member (never deposited) from its healthy peers
+        (deposited, blocked waiting on the hung one).
+        """
+        with self._cond:
+            if not self._slots:
+                return ()
+            return tuple(m for m in self.members if m not in self._slots)
+
     def abort(self) -> None:
         """Wake every waiter with :class:`CollectiveAborted` (teardown)."""
         with self._cond:

@@ -22,12 +22,14 @@ from ..perfmodel.models import ModelSpec
 from ..perfmodel.throughput import ClusterSpec, PAPER_CLUSTER, ThroughputModel
 from ..replication import plan_migration, plan_replication
 from ..topology import BandwidthProfile, TopologyNode, cluster_for_gpu_count
+from .faults import FaultPlan
 from .master import (
     AdjustmentKind,
     AdjustmentRequest,
     ApplicationMaster,
     DirectiveKind,
 )
+from .store import KeyValueStore
 from ..simcore import Simulator
 
 
@@ -64,6 +66,9 @@ class SimulatedElasticJob:
         cluster: ClusterSpec = PAPER_CLUSTER,
         profile: "BandwidthProfile | None" = None,
         seed: int = 0,
+        lease_ttl: "float | None" = None,
+        supervision_interval: "float | None" = None,
+        fault_plan: "FaultPlan | None" = None,
     ):
         self.sim = Simulator()
         self.model = model
@@ -81,15 +86,48 @@ class SimulatedElasticJob:
         self._running = True
         self._actions: typing.List = []
 
+        # -- supervision twin (mirrors ElasticRuntime's live supervisor) --
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        self.lease_ttl = lease_ttl
+        self.supervision_interval = supervision_interval or (
+            lease_ttl / 4.0 if lease_ttl else 1.0
+        )
+        self.fault_plan = fault_plan
+        #: The etcd stand-in, ticking on *simulated* time: lease deadlines
+        #: and outage windows are measured in sim seconds.
+        self.store = KeyValueStore(clock=lambda: self.sim.now)
+        if fault_plan is not None and fault_plan.store_outages:
+            self.store.set_outages(fault_plan.store_outages)
+        #: (worker_id, detection latency in sim seconds) per detection.
+        self.detections: typing.List[tuple] = []
+        #: (removed worker ids, MTTR in sim seconds) per auto-recovery.
+        self.recoveries: typing.List[tuple] = []
+        self._dead: typing.Set[str] = set()
+        self._forced_expiries_done: typing.Set[str] = set()
+        self._am_crash_fired = False
+
         worker_ids = [f"w{i}" for i in range(workers)]
         self.am = ApplicationMaster(
-            "sim-job", worker_ids, coordination_interval=coordination_interval
+            "sim-job", worker_ids, store=self.store,
+            coordination_interval=coordination_interval,
         )
         _cluster, gpus = cluster_for_gpu_count(workers + 64)
         self._gpu_pool = list(gpus)
         for worker_id in worker_ids:
             self._worker_gpus[worker_id] = self._gpu_pool.pop(0)
+            self._publish_lease(worker_id)
         self._trainer = self.sim.process(self._training_loop(), name="trainer")
+        if self._supervision_enabled:
+            self.sim.process(self._supervise_loop(), name="supervisor")
+
+    @property
+    def _supervision_enabled(self) -> bool:
+        plan = self.fault_plan
+        return self.lease_ttl is not None or (
+            plan is not None
+            and (plan.am_crash_iteration is not None or plan.lease_expiries)
+        )
 
     # -- the lockstep training group -------------------------------------------
 
@@ -102,9 +140,19 @@ class SimulatedElasticJob:
 
     def _training_loop(self):
         while self._running:
+            if self._group_stalled():
+                # A dead (or fenced-out) member never contributes to the
+                # allreduce: the lockstep group blocks — and, crucially,
+                # the blocked survivors stop heartbeating too.  Progress
+                # resumes only once the supervisor repairs the group.
+                yield self.sim.timeout(self.supervision_interval)
+                continue
             yield self.sim.timeout(self._iteration_time())
+            if self._group_stalled():
+                continue  # a member died mid-iteration; the round aborts
             self.iteration += 1
             self.iterations_by_time.append((self.sim.now, self.iteration))
+            self._heartbeat()
             if self.iteration % self.coordination_interval != 0:
                 continue
             directive = None
@@ -112,6 +160,104 @@ class SimulatedElasticJob:
                 directive = self.am.coordinate(worker_id, self.iteration)
             if directive.kind is DirectiveKind.ADJUST:
                 yield from self._commit(directive)
+
+    # -- leases & supervision (the live supervisor's simulated twin) -----------
+
+    def _lease_key(self, worker_id: str) -> str:
+        return f"elan/{self.am.job_id}/lease/{worker_id}"
+
+    @property
+    def _lease_prefix(self) -> str:
+        return f"elan/{self.am.job_id}/lease/"
+
+    def _publish_lease(self, worker_id: str) -> None:
+        if self.lease_ttl is not None:
+            self.store.lease(self._lease_key(worker_id), "alive", self.lease_ttl)
+
+    def _worker_dead(self, worker_id: str) -> bool:
+        """True once the fault plan has killed (or fenced out) the worker."""
+        if worker_id in self._dead:
+            return True
+        plan = self.fault_plan
+        if plan is not None and plan.crashes_by(worker_id, self.iteration):
+            return True
+        return self.store.lease_revoked(self._lease_key(worker_id))
+
+    def _group_stalled(self) -> bool:
+        return any(self._worker_dead(w) for w in self.am.group)
+
+    def _heartbeat(self) -> None:
+        """Per-iteration lease renewal by every live group member."""
+        if self.lease_ttl is None:
+            return
+        for worker_id in self.am.group:
+            if not self._worker_dead(worker_id):
+                self.store.keep_alive(self._lease_key(worker_id), self.lease_ttl)
+
+    def _supervise_loop(self):
+        while self._running:
+            yield self.sim.timeout(self.supervision_interval)
+            plan = self.fault_plan
+            now = self.sim.now
+            if plan is not None:
+                if (
+                    plan.am_crash_iteration is not None
+                    and not self._am_crash_fired
+                    and self.iteration >= plan.am_crash_iteration
+                ):
+                    self._am_crash_fired = True
+                    self.am = ApplicationMaster.recover(
+                        self.am.job_id, self.store
+                    )
+                for key in plan.due_lease_expiries(now):
+                    if key in self._forced_expiries_done:
+                        continue
+                    if self.store.lease_deadline(key) is None:
+                        continue
+                    self._forced_expiries_done.add(key)
+                    self.store.force_expire(key)
+            if self.lease_ttl is None:
+                continue
+            victims = []
+            for key in self.store.expired_keys(self._lease_prefix):
+                worker_id = key.rsplit("/", 1)[-1]
+                if worker_id not in self.am.group:
+                    self.store.delete(key)  # orphan lease; reap
+                    continue
+                # Expiry alone is ambiguous (blocked survivors lapse
+                # too): condemn only plan-certified deaths and forced
+                # revocations — the sim analogue of the live
+                # thread-dead / revoked criteria.
+                if self._worker_dead(worker_id):
+                    deadline = self.store.lease_deadline(key)
+                    self.detections.append(
+                        (worker_id, max(0.0, now - deadline))
+                    )
+                    victims.append(worker_id)
+            if victims:
+                yield from self._recover(victims, detected_at=now)
+
+    def _recover(self, victims: typing.List[str], detected_at: float):
+        """Group surgery: evict the victims, resume the survivors."""
+        survivors = tuple(w for w in self.am.group if w not in victims)
+        if not survivors:
+            raise RuntimeError(
+                "every worker crashed; recovery needs a checkpoint"
+            )
+        yield self.sim.timeout(
+            calibration.GROUP_RECONSTRUCT_TIME
+            + calibration.DATA_REPARTITION_TIME
+        )
+        self._dead.update(victims)
+        self.am.group = survivors
+        self.am._persist()
+        for worker_id in victims:
+            self.store.delete(self._lease_key(worker_id))
+            self._gpu_pool.insert(0, self._worker_gpus.pop(worker_id))
+        for worker_id in survivors:
+            self.store.delete(self._lease_key(worker_id))
+            self._publish_lease(worker_id)
+        self.recoveries.append((list(victims), self.sim.now - detected_at))
 
     def _commit(self, directive):
         request = directive.adjustment
@@ -123,6 +269,10 @@ class SimulatedElasticJob:
         self.am.finish_adjustment()
         for worker_id in request.remove_workers:
             self._gpu_pool.insert(0, self._worker_gpus.pop(worker_id))
+            if self.lease_ttl is not None:
+                self.store.delete(self._lease_key(worker_id))
+        for worker_id in request.add_workers:
+            self._publish_lease(worker_id)
         self.adjustments.append(
             SimulatedAdjustment(
                 kind=request.kind,

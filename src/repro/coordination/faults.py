@@ -1,0 +1,157 @@
+"""Deterministic fault injection and degradation primitives.
+
+The supervision layer (leases, fencing, automatic recovery) is only
+credible if the failure matrix it defends against is drivable from
+tests.  A :class:`FaultPlan` declares, up front and deterministically,
+every fault one run should suffer — worker crashes (loud or silent),
+control-plane message loss, forced lease expiries, store outages,
+replication transfer failures, an AM crash — and is threaded through the
+live runtime, the discrete-event simulator and the replication executor
+so all three harnesses replay the same scenario.
+
+:class:`ExponentialBackoff` is the shared degradation policy: bounded
+exponential delays with an injectable sleeper, so retry loops are
+testable without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from .messages import FaultyChannel, Message
+
+
+class LeaseExpired(RuntimeError):
+    """Recorded as a worker's cause of death when its lease lapses.
+
+    Raised nowhere: the supervisor *assigns* it to a worker whose
+    heartbeat stopped (crash, hang, or forced expiry) so the recovery
+    path treats lease-detected deaths exactly like loud crashes.
+    """
+
+
+class SilentCrash(BaseException):
+    """Kills a worker thread without tripping the failure handler.
+
+    Models a ``kill -9``/machine loss: the thread vanishes without
+    recording its own death or aborting the collective, so the *only*
+    way the system can notice is the lease expiring.  Derives from
+    ``BaseException`` on purpose — the runtime's crash handler catches
+    ``Exception``-like failures loudly; this must slip past it.
+    """
+
+
+class ExponentialBackoff:
+    """Bounded exponential backoff with an injectable sleeper.
+
+    ``delay(attempt)`` is pure (``base * factor**attempt``, capped at
+    ``max_delay``); ``wait(attempt)`` additionally sleeps through the
+    injected ``sleeper`` and keeps totals for assertions.
+    """
+
+    def __init__(
+        self,
+        base: float = 0.001,
+        factor: float = 2.0,
+        max_delay: float = 0.1,
+        sleeper: typing.Callable[[float], None] = time.sleep,
+    ):
+        if base <= 0 or factor < 1 or max_delay < base:
+            raise ValueError("need base > 0, factor >= 1, max_delay >= base")
+        self.base = base
+        self.factor = factor
+        self.max_delay = max_delay
+        self.sleeper = sleeper
+        self.waits = 0
+        self.total_delay = 0.0
+
+    def delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (0-based), bounded."""
+        return min(self.max_delay, self.base * self.factor ** max(0, attempt))
+
+    def wait(self, attempt: int) -> float:
+        """Sleep out the delay for ``attempt``; returns the delay used."""
+        delay = self.delay(attempt)
+        self.waits += 1
+        self.total_delay += delay
+        self.sleeper(delay)
+        return delay
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete, deterministic failure schedule.
+
+    Every field is optional; an empty plan injects nothing.  Times are
+    on the clock of whichever harness consumes the plan (wall clock for
+    the live runtime, simulated seconds for dessim).
+    """
+
+    #: worker id -> iteration at which its thread raises (a loud crash).
+    worker_crashes: typing.Mapping[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: worker id -> iteration at which its thread vanishes without a
+    #: trace (detectable only by lease expiry).
+    silent_crashes: typing.Mapping[str, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: drop each n-th control-plane message (0 = lossless).
+    drop_every: int = 0
+    #: deliver each n-th control-plane message twice (0 = no dupes).
+    duplicate_every: int = 0
+    #: lease key -> time at which it is forcibly revoked (fencing a
+    #: worker out even though it is healthy).
+    lease_expiries: typing.Mapping[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+    #: make the next n store operations raise ``StoreUnavailable``
+    #: (an op-count outage: deterministic, clock-free).
+    store_outage_ops: int = 0
+    #: (start, end) clock windows during which every store op fails.
+    store_outages: typing.Tuple[typing.Tuple[float, float], ...] = ()
+    #: replication transfer index (plan order) -> how many times it
+    #: fails before succeeding.
+    transfer_failures: typing.Mapping[int, int] = dataclasses.field(
+        default_factory=dict
+    )
+    #: crash and recover the AM once training reaches this iteration.
+    am_crash_iteration: "int | None" = None
+
+    # -- consumption helpers --------------------------------------------------
+
+    def crash_iteration(self, worker_id: str) -> "int | None":
+        """Iteration of the worker's loud crash, if one is scheduled."""
+        return self.worker_crashes.get(worker_id)
+
+    def silent_crash_iteration(self, worker_id: str) -> "int | None":
+        """Iteration of the worker's silent crash, if one is scheduled."""
+        return self.silent_crashes.get(worker_id)
+
+    def crashes_by(self, worker_id: str, iteration: int) -> bool:
+        """True once ``worker_id`` should be dead (loud or silent)."""
+        for schedule in (self.worker_crashes, self.silent_crashes):
+            at = schedule.get(worker_id)
+            if at is not None and iteration >= at:
+                return True
+        return False
+
+    def channel(
+        self, deliver: typing.Callable[[Message], None]
+    ) -> FaultyChannel:
+        """A control-plane channel afflicted with this plan's loss/dupes."""
+        return FaultyChannel(
+            deliver,
+            drop_every=self.drop_every,
+            duplicate_every=self.duplicate_every,
+        )
+
+    def due_lease_expiries(self, now: float) -> "list[str]":
+        """Lease keys whose forced expiry time has been reached."""
+        return [key for key, when in self.lease_expiries.items() if now >= when]
+
+    def transfer_failure_count(self, index: int) -> int:
+        """How many times replication transfer ``index`` must fail."""
+        return int(self.transfer_failures.get(index, 0))

@@ -25,7 +25,20 @@ import dataclasses
 import enum
 import typing
 
-from .store import KeyValueStore
+from .store import CasConflict, KeyValueStore
+
+
+class StaleEpochError(RuntimeError):
+    """Raised when a fenced-off AM incarnation tries to act.
+
+    Every AM incarnation (initial launch and each recovery) acquires a
+    strictly increasing *fencing epoch* via CAS on the store.  An
+    incarnation whose epoch is no longer current — it crashed, a
+    replacement recovered, but the old process is still running — is
+    *stale*: its directives must be rejected and its writes refused, or a
+    zombie master could double-commit an adjustment the new master is
+    also driving.
+    """
 
 
 class AdjustmentKind(enum.Enum):
@@ -82,12 +95,17 @@ class AdjustmentRequest:
 
 @dataclasses.dataclass(frozen=True)
 class Directive:
-    """The AM's answer to one coordinate call."""
+    """The AM's answer to one coordinate call.
+
+    Carries the issuing AM's fencing ``epoch`` so receivers can reject
+    directives from a master that has since been superseded.
+    """
 
     kind: DirectiveKind
     adjustment: "AdjustmentRequest | None" = None
     new_group: typing.Tuple[str, ...] = ()
     commit_iteration: int = -1
+    epoch: int = 0
 
 
 class ApplicationMaster:
@@ -115,12 +133,44 @@ class ApplicationMaster:
         self.latest_iteration = 0
         self.coordinations = 0
         self.adjustments_committed = 0
+        self.epoch = self._acquire_epoch(self.store, job_id)
+        self._persisted_iteration = 0
         self._persist()
+
+    # -- fencing (§V-D hardening) ---------------------------------------------
+
+    @staticmethod
+    def _acquire_epoch(store: KeyValueStore, job_id: str) -> int:
+        """Claim leadership: CAS the job's epoch counter one step higher.
+
+        Losing the CAS means another incarnation claimed concurrently;
+        re-read and try again — the loop terminates because every loser
+        observes a strictly larger version.
+        """
+        key = f"elan/{job_id}/am/epoch"
+        while True:
+            current = store.get(key, 0)
+            version = store.version(key)
+            try:
+                store.compare_and_swap(key, version, current + 1)
+            except CasConflict:
+                continue
+            return current + 1
+
+    def _check_fenced(self) -> None:
+        """Refuse to act if a newer incarnation holds the epoch."""
+        current = self.store.get(f"elan/{self.job_id}/am/epoch", 0)
+        if current != self.epoch:
+            raise StaleEpochError(
+                f"AM epoch {self.epoch} for job {self.job_id!r} has been "
+                f"superseded by epoch {current}"
+            )
 
     # -- service API offered to the scheduler (Table III) --------------------
 
     def request_adjustment(self, request: AdjustmentRequest) -> bool:
         """Step 1: accept an adjustment unless one is already in flight."""
+        self._check_fenced()
         if self.pending is not None:
             return False
         request.validate(self.group)
@@ -138,6 +188,7 @@ class ApplicationMaster:
 
     def worker_report(self, worker_id: str) -> None:
         """Step 2: a new worker finished start + init and is ready to join."""
+        self._check_fenced()
         if self.pending is None or worker_id not in self.pending.add_workers:
             return  # stale or unknown report; ignore (idempotent)
         self.reported.add(worker_id)
@@ -157,6 +208,7 @@ class ApplicationMaster:
         workers never stall training, "the adjustment is left for future
         coordination".
         """
+        self._check_fenced()
         if worker_id not in self.group:
             raise KeyError(f"{worker_id!r} is not in the current group")
         self.coordinations += 1
@@ -166,7 +218,16 @@ class ApplicationMaster:
             and iteration >= self.commit_iteration
         ):
             return self._commit_directive()
-        return Directive(kind=DirectiveKind.CONTINUE)
+        # Keep the persisted iteration view fresh enough that a recovered
+        # AM never schedules a commit in the workers' past — but only one
+        # write per boundary (the first worker to mention it), so the hot
+        # path stays a dict insert, not a write per coordination.
+        if (
+            self.latest_iteration - self._persisted_iteration
+            >= self.coordination_interval
+        ):
+            self._persist()
+        return Directive(kind=DirectiveKind.CONTINUE, epoch=self.epoch)
 
     # -- internals -------------------------------------------------------------
 
@@ -189,10 +250,12 @@ class ApplicationMaster:
             adjustment=request,
             new_group=new_group,
             commit_iteration=self.commit_iteration,
+            epoch=self.epoch,
         )
 
     def finish_adjustment(self) -> None:
         """Called by the runtime once steps 4-5 completed at the commit."""
+        self._check_fenced()
         directive = self._commit_directive()
         self.group = directive.new_group
         self.pending = None
@@ -205,9 +268,11 @@ class ApplicationMaster:
     # -- fault tolerance (§V-D) --------------------------------------------------
 
     def _persist(self) -> None:
+        self._persisted_iteration = self.latest_iteration
         self.store.put(
             f"elan/{self.job_id}/am",
             {
+                "epoch": self.epoch,
                 "state": self.state.value,
                 "group": list(self.group),
                 "pending": None
@@ -227,13 +292,19 @@ class ApplicationMaster:
 
     @classmethod
     def recover(cls, job_id: str, store: KeyValueStore) -> "ApplicationMaster":
-        """Rebuild a failed AM from its persisted state machine."""
+        """Rebuild a failed AM from its persisted state machine.
+
+        The replacement claims a fresh (strictly higher) fencing epoch
+        first, so the dead incarnation — should it turn out to be merely
+        slow — is locked out before any recovered state is acted on.
+        """
         snapshot = store.get(f"elan/{job_id}/am")
         if snapshot is None:
             raise KeyError(f"no persisted AM state for job {job_id!r}")
         master = cls.__new__(cls)
         master.job_id = job_id
         master.store = store
+        master.epoch = cls._acquire_epoch(store, job_id)
         master.coordination_interval = snapshot["coordination_interval"]
         master.state = MasterState(snapshot["state"])
         master.group = tuple(snapshot["group"])
@@ -252,4 +323,6 @@ class ApplicationMaster:
         master.latest_iteration = snapshot["latest_iteration"]
         master.coordinations = 0
         master.adjustments_committed = snapshot["adjustments_committed"]
+        master._persisted_iteration = snapshot["latest_iteration"]
+        master._persist()  # re-stamp the snapshot with the new epoch
         return master

@@ -22,6 +22,7 @@ class MessageType(enum.Enum):
     WORKER_REPORT = "worker_report"  # new worker -> AM            (step 2)
     COORDINATE = "coordinate"  # existing worker -> AM             (step 3)
     DIRECTIVE = "directive"  # AM -> worker (continue / adjust)
+    HEARTBEAT = "heartbeat"  # worker -> store (lease keep-alive)
     ACK = "ack"
 
 
@@ -114,14 +115,25 @@ class ReliableSender:
 
     Mirrors the paper's timeout-resend: the caller supplies an
     acknowledgement predicate; the sender retries (same message ID) until
-    acknowledged or the attempt budget is exhausted.
+    acknowledged or the attempt budget is exhausted.  Every re-attempt is
+    counted in ``retries`` — including those of sends that ultimately
+    give up — and an optional backoff policy (duck-typed: anything with
+    ``wait(attempt)``, e.g. :class:`~repro.coordination.faults.
+    ExponentialBackoff`) spaces the resends out instead of hammering the
+    channel.
     """
 
-    def __init__(self, channel: FaultyChannel, max_attempts: int = 5):
+    def __init__(
+        self,
+        channel: FaultyChannel,
+        max_attempts: int = 5,
+        backoff: "typing.Any | None" = None,
+    ):
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.channel = channel
         self.max_attempts = max_attempts
+        self.backoff = backoff
         self.retries = 0
 
     def send(
@@ -129,9 +141,11 @@ class ReliableSender:
     ) -> bool:
         """Deliver ``message``, retrying until ``acknowledged()`` is true."""
         for attempt in range(self.max_attempts):
+            if attempt > 0:
+                self.retries += 1
+                if self.backoff is not None:
+                    self.backoff.wait(attempt - 1)
             self.channel.send(message)
             if acknowledged():
-                if attempt > 0:
-                    self.retries += attempt
                 return True
         return False

@@ -83,6 +83,18 @@ class RingCollective:
             self._aborted = True
             self._cond.notify_all()
 
+    def laggards(self) -> typing.Tuple[str, ...]:
+        """Members that have not yet entered the round their peers are in.
+
+        Empty when every member is at the same round (no ring traffic in
+        flight, or everyone equally blocked).
+        """
+        with self._cond:
+            lo = min(self._round.values())
+            if all(r == lo for r in self._round.values()):
+                return ()
+            return tuple(m for m in self.members if self._round[m] == lo)
+
     def _post(self, key: tuple, value: np.ndarray) -> None:
         with self._cond:
             self._mailbox[key] = value

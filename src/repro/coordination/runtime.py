@@ -49,6 +49,7 @@ from ..training.architectures import Architecture, mlp_architecture
 from ..training.optim import MomentumSGD
 from ..training.state import RuntimeInfo, TrainingState
 from .collective import Collective, CollectiveAborted
+from .faults import ExponentialBackoff, FaultPlan, LeaseExpired, SilentCrash
 from .hooks import Hook, HookRegistry
 from .ring import RingCollective
 from .master import (
@@ -57,8 +58,14 @@ from .master import (
     ApplicationMaster,
     Directive,
     DirectiveKind,
+    StaleEpochError,
 )
-from .store import KeyValueStore
+from .store import (
+    KeyValueStore,
+    LeaseRevoked,
+    RetryingStore,
+    StoreUnavailable,
+)
 from .telemetry import RuntimeTelemetry
 
 
@@ -135,6 +142,10 @@ class ElasticRuntime:
         iteration_delays: "typing.Dict[str, float] | None" = None,
         max_micro_batch: "int | None" = None,
         architecture: "Architecture | None" = None,
+        lease_ttl: "float | None" = None,
+        supervision_interval: "float | None" = None,
+        auto_recover: bool = True,
+        fault_plan: "FaultPlan | None" = None,
     ):
         if initial_workers < 1:
             raise ValueError("initial_workers must be >= 1")
@@ -161,6 +172,12 @@ class ElasticRuntime:
             raise ValueError("max_micro_batch must be >= 1")
         self.max_micro_batch = max_micro_batch
         self.store = store or KeyValueStore()
+        #: Store facade with bounded-backoff retry: the AM state machine,
+        #: lease traffic and fail-over reads ride out injected outages.
+        self.reliable_store = RetryingStore(
+            self.store,
+            backoff=ExponentialBackoff(base=0.002, max_delay=0.05),
+        )
         #: Fault injection: extra seconds of compute per iteration, keyed
         #: by worker id.  Mutable at runtime — tests and the straggler-
         #: mitigation example use it to slow one worker mid-training.
@@ -168,8 +185,38 @@ class ElasticRuntime:
         #: Fault injection: worker id -> iteration at which its thread
         #: raises (simulating a worker crash).
         self.failure_injections: typing.Dict[str, int] = {}
+        #: Fault injection: worker id -> iteration at which its thread
+        #: vanishes without recording anything (a kill -9 stand-in; only
+        #: the lease supervisor can notice).
+        self.silent_crash_injections: typing.Dict[str, int] = {}
         #: Crashed workers: worker id -> the exception that killed it.
         self.worker_failures: typing.Dict[str, BaseException] = {}
+        # -- supervision (lease-based failure detection, §V-D extended) --
+        if lease_ttl is not None and lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
+        self.lease_ttl = lease_ttl
+        self.supervision_interval = supervision_interval or (
+            lease_ttl / 4.0 if lease_ttl else 0.05
+        )
+        self.auto_recover = auto_recover
+        #: An expired lease whose thread is still alive is only treated
+        #: as a hang after this many TTLs — healthy lockstep peers stop
+        #: heartbeating too while blocked on a dead member, and must not
+        #: be condemned with it.
+        self.hang_grace_factor = 4.0
+        self.fault_plan = fault_plan
+        self._supervisor_thread: "threading.Thread | None" = None
+        self._supervisor_stop = threading.Event()
+        self._recovering = False
+        self._am_crash_fired = False
+        self._forced_expiries_done: typing.Set[str] = set()
+        if fault_plan is not None:
+            self.failure_injections.update(fault_plan.worker_crashes)
+            self.silent_crash_injections.update(fault_plan.silent_crashes)
+            if fault_plan.store_outage_ops:
+                self.store.fail_next(fault_plan.store_outage_ops)
+            if fault_plan.store_outages:
+                self.store.set_outages(fault_plan.store_outages)
         self.replicator = LiveReplicator()
         self.telemetry = RuntimeTelemetry()
         self.hooks = HookRegistry()
@@ -203,7 +250,7 @@ class ElasticRuntime:
         self.am = ApplicationMaster(
             job_id="job0",
             workers=worker_ids,
-            store=self.store,
+            store=self.reliable_store,
             coordination_interval=coordination_interval,
         )
         collective = self._make_collective(0, worker_ids)
@@ -291,10 +338,24 @@ class ElasticRuntime:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> None:
-        """Launch every worker thread."""
+        """Launch every worker thread (and the supervisor, if enabled)."""
         for worker in self._workers.values():
             if worker.thread is None:
                 self._spawn(worker)
+        if self._supervision_enabled and self._supervisor_thread is None:
+            self._supervisor_thread = threading.Thread(
+                target=self._supervise_loop, name="elan-supervisor",
+                daemon=True,
+            )
+            self._supervisor_thread.start()
+
+    @property
+    def _supervision_enabled(self) -> bool:
+        plan = self.fault_plan
+        return self.lease_ttl is not None or (
+            plan is not None
+            and (plan.am_crash_iteration is not None or plan.lease_expiries)
+        )
 
     def _spawn(self, worker: _Worker) -> None:
         worker.thread = threading.Thread(
@@ -305,6 +366,7 @@ class ElasticRuntime:
 
     def stop(self, timeout: float = 30.0) -> None:
         """Stop training at the next coordination boundary and join."""
+        self._supervisor_stop.set()
         with self._lock:
             self._stop_requested = True
             # Unblock any new workers still waiting to join.
@@ -315,6 +377,10 @@ class ElasticRuntime:
         for worker in list(self._workers.values()):
             if worker.thread is not None:
                 worker.thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self._supervisor_thread is not None:
+            self._supervisor_thread.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
 
     # -- the service API offered to the scheduler (Table III) --------------------
 
@@ -385,7 +451,7 @@ class ElasticRuntime:
         """
         with self._lock:
             job_id = self.am.job_id
-            self.am = ApplicationMaster.recover(job_id, self.store)
+            self.am = ApplicationMaster.recover(job_id, self.reliable_store)
             # The persisted snapshot's iteration view is stale (it is only
             # written on protocol transitions, not every coordination).  A
             # recovered AM must first learn where training actually is, or
@@ -404,7 +470,193 @@ class ElasticRuntime:
                 )
             self.telemetry.record_event(
                 time.time(), "am_failover", job_id=job_id,
-                state=self.am.state.value,
+                state=self.am.state.value, epoch=self.am.epoch,
+            )
+
+    def _validate_directive(self, directive: Directive) -> None:
+        """Worker-side fencing: refuse directives from a superseded AM.
+
+        A directive minted by epoch ``e`` is only obeyed while ``e`` is
+        still the current epoch — a zombie master's decisions (captured
+        before it was fenced off) can never commit an adjustment twice.
+        """
+        current = self.am.epoch
+        if directive.epoch < current:
+            self.telemetry.record_event(
+                time.time(), "stale_directive_rejected",
+                directive_epoch=directive.epoch, current_epoch=current,
+            )
+            raise StaleEpochError(
+                f"directive from epoch {directive.epoch} rejected; "
+                f"current epoch is {current}"
+            )
+
+    # -- supervision: leases, detection, automatic recovery ----------------------
+
+    def _lease_key(self, worker_id: str) -> str:
+        return f"elan/{self.am.job_id}/lease/{worker_id}"
+
+    @property
+    def _lease_prefix(self) -> str:
+        return f"elan/{self.am.job_id}/lease/"
+
+    def _publish_lease(self, worker_id: str) -> None:
+        """Establish (or revive) a worker's TTL lease; best-effort."""
+        if self.lease_ttl is None:
+            return
+        try:
+            self.reliable_store.lease(
+                self._lease_key(worker_id), "alive", self.lease_ttl
+            )
+        except (StoreUnavailable, LeaseRevoked):
+            pass
+
+    def _renew_lease(self, worker_id: str) -> bool:
+        """Heartbeat: refresh the worker's lease.
+
+        Returns False only when the lease was revoked (the worker has
+        been fenced out and must stop).  A store outage is *not* a
+        reason to die — renewal degrades to best-effort and the TTL
+        absorbs the gap.
+        """
+        if self.lease_ttl is None:
+            return True
+        key = self._lease_key(worker_id)
+        try:
+            if self.reliable_store.keep_alive(key, self.lease_ttl):
+                return True
+            # No live lease (e.g. the publish raced an outage): try to
+            # (re-)establish one.  Only an explicit revocation is fatal.
+            self.reliable_store.lease(key, "alive", self.lease_ttl)
+            return True
+        except LeaseRevoked:
+            return False
+        except StoreUnavailable:
+            return True
+
+    def _supervise_loop(self) -> None:
+        while not self._supervisor_stop.wait(self.supervision_interval):
+            try:
+                self._supervise_once()
+            except StoreUnavailable:
+                continue  # outage outlasted the retry budget; next tick
+
+    def _supervise_once(self) -> None:
+        """One detect->decide->recover scan of the supervisor."""
+        plan = self.fault_plan
+        now = self.store.clock()
+        if plan is not None:
+            if (
+                plan.am_crash_iteration is not None
+                and not self._am_crash_fired
+                and self.snapshot()["iteration"] >= plan.am_crash_iteration
+            ):
+                self._am_crash_fired = True
+                self.crash_and_recover_am()
+            for key in plan.due_lease_expiries(now):
+                if key in self._forced_expiries_done:
+                    continue
+                if self.store.lease_deadline(key) is None:
+                    continue  # lease not published yet; retry next tick
+                self._forced_expiries_done.add(key)
+                self.store.force_expire(key)
+        if self.lease_ttl is not None:
+            self._detect_expired_leases(now)
+        if self.auto_recover:
+            self._maybe_recover()
+
+    def _detect_expired_leases(self, now: float) -> None:
+        """Classify every expired lease and condemn the true culprits.
+
+        A lapsed lease alone is not proof of death: lockstep peers
+        blocked in an allreduce on a dead member stop heartbeating too.
+        A worker is condemned only if
+
+        * its thread is dead (crash, silent or loud), or
+        * its lease was forcibly revoked (it has been fenced out), or
+        * the expiry has outlasted the hang grace period *and* the
+          collective names it as the member everyone is waiting on
+          (falling back to the stalest deadline when the collective
+          cannot tell — that worker stopped heartbeating first).
+        """
+        expired = self.reliable_store.expired_keys(self._lease_prefix)
+        detected = []
+        with self._lock:
+            if self._stop_requested or self._recovering:
+                return
+            hang_grace = (
+                self.lease_ttl * self.hang_grace_factor
+                if self.lease_ttl is not None
+                else float("inf")
+            )
+            suspects: typing.List[tuple] = []  # (deadline, worker, key)
+            for key in expired:
+                worker_id = key.rsplit("/", 1)[-1]
+                if worker_id not in self.am.group:
+                    # Orphan lease of a departed worker: reap it.
+                    try:
+                        self.store.delete(key)
+                    except StoreUnavailable:
+                        pass
+                    continue
+                if worker_id in self.worker_failures:
+                    continue
+                handle = self._workers.get(worker_id)
+                if handle is None or handle.context is None:
+                    continue
+                deadline = self.store.lease_deadline(key)
+                thread_dead = (
+                    handle.thread is not None and not handle.thread.is_alive()
+                )
+                if thread_dead or self.store.lease_revoked(key):
+                    cause = "fenced" if not thread_dead else "lease_expired"
+                    detected.append(self._condemn(
+                        handle, deadline, now, cause
+                    ))
+                elif deadline is not None and now - deadline > hang_grace:
+                    suspects.append((deadline, worker_id, handle))
+            if suspects and not detected:
+                # Everyone over grace is either hung or blocked on the
+                # hung one; ask the collective who never showed up.
+                suspects.sort()
+                context = suspects[0][2].context
+                laggards = context.collective.laggards()
+                culprits = [
+                    s for s in suspects if s[1] in laggards
+                ] or suspects[:1]
+                for deadline, _worker_id, handle in culprits:
+                    detected.append(self._condemn(
+                        handle, deadline, now, "hang"
+                    ))
+        for worker_id, latency, cause in detected:
+            self.telemetry.record_detection(worker_id, latency, cause=cause)
+
+    def _condemn(self, handle: _Worker, deadline, now: float, cause: str):
+        # Caller holds the runtime lock.
+        worker_id = handle.worker_id
+        latency = 0.0 if deadline is None else max(0.0, now - deadline)
+        self.worker_failures[worker_id] = LeaseExpired(
+            f"lease for {worker_id!r} expired ({cause}; deadline "
+            f"{deadline}, noticed {now})"
+        )
+        # Tear the collective down so lockstep peers blocked on the dead
+        # worker's contribution unwind instead of waiting out the
+        # allreduce timeout.
+        handle.context.collective.abort()
+        return worker_id, latency, cause
+
+    def _maybe_recover(self) -> None:
+        with self._lock:
+            if not self.worker_failures or self._stop_requested:
+                return
+        started = time.perf_counter()
+        try:
+            removed = self.recover_from_failure()
+        except RuntimeError:
+            return  # e.g. every worker died; only a checkpoint can help
+        if removed:
+            self.telemetry.record_recovery(
+                removed, time.perf_counter() - started
             )
 
     # -- worker-failure recovery (extension beyond the paper's §V-D) ------------
@@ -424,13 +676,30 @@ class ElasticRuntime:
             failed = set(self.worker_failures)
             if not failed:
                 return []
+            # Freeze lease-based detection while the group is in surgery:
+            # survivors stop heartbeating between teardown and respawn,
+            # and the supervisor must not mistake that for death.
+            self._recovering = True
             survivors = tuple(
                 w for w in self.am.group if w not in failed
             )
             if not survivors:
+                self._recovering = False
                 raise RuntimeError(
                     "every worker crashed; recovery needs a checkpoint"
                 )
+        try:
+            return self._recover_locked(failed, survivors, join_timeout)
+        finally:
+            with self._lock:
+                self._recovering = False
+
+    def _recover_locked(
+        self,
+        failed: set,
+        survivors: typing.Tuple[str, ...],
+        join_timeout: float,
+    ) -> "list[str]":
         # Let the aborted threads finish unwinding before regrouping.
         for worker_id in list(self.am.group):
             thread = self._workers[worker_id].thread
@@ -470,6 +739,17 @@ class ElasticRuntime:
             self.am.group = survivors
             self.am._persist()
             removed = sorted(failed)
+            if self.lease_ttl is not None:
+                # Reap the dead workers' leases (clearing any revocation)
+                # and give survivors a fresh TTL so the pause between
+                # teardown and respawn cannot read as another failure.
+                for worker_id in removed:
+                    try:
+                        self.reliable_store.delete(self._lease_key(worker_id))
+                    except StoreUnavailable:
+                        pass
+                for worker_id in survivors:
+                    self._publish_lease(worker_id)
         for worker_id in survivors:
             self._spawn(self._workers[worker_id])
         return removed
@@ -619,6 +899,7 @@ class ElasticRuntime:
             if worker.context is None:
                 return  # cancelled (stop before the adjustment committed)
         context = worker.context
+        self._publish_lease(context.worker_id)
         try:
             while True:
                 action = self._maybe_coordinate(worker, context)
@@ -626,6 +907,11 @@ class ElasticRuntime:
                     return
                 self._train_one_iteration(worker, context)
         except CollectiveAborted:
+            return
+        except SilentCrash:
+            # A kill -9 stand-in: the thread vanishes without recording
+            # its death or aborting the collective — its peers block and
+            # only the lease supervisor can notice.
             return
         except BaseException as exc:
             # A crashed worker must not leave its peers hanging in the
@@ -679,6 +965,7 @@ class ElasticRuntime:
                     return "exit"
                 return "continue"
             directive = self.am.coordinate(context.worker_id, iteration)
+            self._validate_directive(directive)
             if directive.kind is DirectiveKind.ADJUST:
                 plan = self._execute_commit(context, directive)
                 return self._adopt(worker, context, plan)
@@ -709,6 +996,14 @@ class ElasticRuntime:
                 f"injected crash of {context.worker_id} at iteration "
                 f"{info.iteration}"
             )
+        silent_at = self.silent_crash_injections.get(context.worker_id)
+        if silent_at is not None and info.iteration >= silent_at:
+            raise SilentCrash(context.worker_id)
+        if not self._renew_lease(context.worker_id):
+            # The lease was revoked: this worker has been fenced out of
+            # the job.  Fail-stop immediately — acting without a live
+            # lease could race the recovery that is evicting us.
+            raise SilentCrash(context.worker_id)
         compute_started = time.perf_counter()
         delay = self.iteration_delays.get(context.worker_id, 0.0)
         if delay > 0:

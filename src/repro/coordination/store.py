@@ -1,36 +1,105 @@
-"""A versioned key-value store with watches — the etcd stand-in (§V-D).
+"""A versioned key-value store with watches and leases — the etcd
+stand-in (§V-D).
 
 The paper deploys Elan on Kubernetes and persists the application master's
 state machine on etcd.  This in-memory store provides the subset of etcd
-semantics that requires: versioned puts, compare-and-swap, and watch
-callbacks, so AM fail-over can be implemented and tested faithfully.
+semantics that requires: versioned puts, compare-and-swap, watch
+callbacks, and TTL leases, so AM fail-over, fencing and lease-based
+failure detection can be implemented and tested faithfully.
+
+Per-key versions are **monotone across deletes**: a delete bumps the
+version (and notifies watchers with :data:`TOMBSTONE`) instead of
+resetting it, so a delete + re-put can never resurrect a version number
+and let a stale ``compare_and_swap`` succeed (the ABA hazard).
+
+The clock used for leases is injectable — the live runtime keeps the
+default monotonic wall clock while the discrete-event simulator plugs in
+its simulated ``now`` — and availability faults (op-count or clock-window
+outages) can be injected for degradation tests.  :class:`RetryingStore`
+is the degradation policy: it wraps a store and retries unavailable
+operations under bounded exponential backoff.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import typing
+
+from .faults import ExponentialBackoff
+
+#: Sentinel delivered to watchers when a key is deleted.
+TOMBSTONE: typing.Any = object()
 
 
 class CasConflict(Exception):
     """Raised when a compare-and-swap loses a race."""
 
 
-class KeyValueStore:
-    """Thread-safe versioned KV store with prefix watches."""
+class StoreUnavailable(Exception):
+    """Raised by store operations during an injected outage."""
 
-    def __init__(self):
+
+class LeaseRevoked(RuntimeError):
+    """Raised when re-leasing a key whose lease was forcibly revoked."""
+
+
+class KeyValueStore:
+    """Thread-safe versioned KV store with prefix watches and leases."""
+
+    def __init__(self, clock: "typing.Callable[[], float] | None" = None):
         self._lock = threading.Lock()
-        self._data: typing.Dict[str, tuple] = {}  # key -> (value, version)
+        self.clock = clock or time.monotonic
+        self._data: typing.Dict[str, object] = {}
+        #: Per-key version counters; never reset, survive deletes.
+        self._versions: typing.Dict[str, int] = {}
         self._watches: typing.List[tuple] = []  # (prefix, callback)
+        #: Lease deadlines (absolute clock times) for leased keys.
+        self._deadlines: typing.Dict[str, float] = {}
+        #: Leases revoked by force_expire; keep_alive cannot revive them.
+        self._revoked: typing.Set[str] = set()
+        self._outage_ops = 0
+        self._outage_windows: typing.Tuple[typing.Tuple[float, float], ...] = ()
+
+    # -- fault injection -------------------------------------------------------
+
+    def fail_next(self, count: int) -> None:
+        """Make the next ``count`` operations raise StoreUnavailable."""
+        with self._lock:
+            self._outage_ops = max(0, int(count))
+
+    def set_outages(
+        self, windows: typing.Sequence[typing.Tuple[float, float]]
+    ) -> None:
+        """Fail every operation whose clock time falls in a window."""
+        with self._lock:
+            self._outage_windows = tuple(
+                (float(start), float(end)) for start, end in windows
+            )
+
+    def _check_available(self) -> None:
+        # Caller holds the lock.
+        if self._outage_ops > 0:
+            self._outage_ops -= 1
+            raise StoreUnavailable("injected op-count outage")
+        if self._outage_windows:
+            now = self.clock()
+            for start, end in self._outage_windows:
+                if start <= now < end:
+                    raise StoreUnavailable(
+                        f"injected outage window [{start}, {end}) at {now}"
+                    )
+
+    # -- core operations -------------------------------------------------------
 
     def put(self, key: str, value: object) -> int:
         """Store ``value``; returns the new version (monotone per key)."""
         with self._lock:
-            _old, version = self._data.get(key, (None, 0))
-            new_version = version + 1
-            self._data[key] = (value, new_version)
-            watchers = [cb for prefix, cb in self._watches if key.startswith(prefix)]
+            self._check_available()
+            new_version = self._versions.get(key, 0) + 1
+            self._versions[key] = new_version
+            self._data[key] = value
+            watchers = self._watchers_of(key)
         for callback in watchers:
             callback(key, value, new_version)
         return new_version
@@ -38,14 +107,13 @@ class KeyValueStore:
     def get(self, key: str, default: object = None) -> object:
         """Current value of ``key`` (or ``default``)."""
         with self._lock:
-            value, _version = self._data.get(key, (default, 0))
-            return value
+            self._check_available()
+            return self._data.get(key, default)
 
     def version(self, key: str) -> int:
-        """Current version of ``key`` (0 if absent)."""
+        """Current version of ``key`` (0 if never written)."""
         with self._lock:
-            _value, version = self._data.get(key, (None, 0))
-            return version
+            return self._versions.get(key, 0)
 
     def compare_and_swap(
         self, key: str, expected_version: int, value: object
@@ -53,30 +121,58 @@ class KeyValueStore:
         """Atomically update ``key`` iff its version matches.
 
         Raises :class:`CasConflict` on mismatch — callers (a recovering AM
-        replica) must re-read and retry.
+        replica) must re-read and retry.  Because versions are monotone
+        across deletes, a CAS taken before a delete + re-put can never
+        sneak through.
         """
         with self._lock:
-            _old, version = self._data.get(key, (None, 0))
+            self._check_available()
+            version = self._versions.get(key, 0)
             if version != expected_version:
                 raise CasConflict(
                     f"{key!r}: expected version {expected_version}, found {version}"
                 )
             new_version = version + 1
-            self._data[key] = (value, new_version)
-            watchers = [cb for prefix, cb in self._watches if key.startswith(prefix)]
+            self._versions[key] = new_version
+            self._data[key] = value
+            watchers = self._watchers_of(key)
         for callback in watchers:
             callback(key, value, new_version)
         return new_version
 
     def delete(self, key: str) -> bool:
-        """Remove ``key``; True if it existed."""
+        """Remove ``key``; True if it existed.
+
+        The key's version is bumped (not reset) and watchers are notified
+        with :data:`TOMBSTONE`, so observers can distinguish deletion from
+        silence and stale CAS attempts keep failing after a re-put.
+        """
         with self._lock:
-            return self._data.pop(key, None) is not None
+            self._check_available()
+            existed = key in self._data
+            if not existed:
+                return False
+            del self._data[key]
+            self._deadlines.pop(key, None)
+            self._revoked.discard(key)
+            new_version = self._versions.get(key, 0) + 1
+            self._versions[key] = new_version
+            watchers = self._watchers_of(key)
+        for callback in watchers:
+            callback(key, TOMBSTONE, new_version)
+        return True
+
+    def _watchers_of(self, key: str) -> "list":
+        return [cb for prefix, cb in self._watches if key.startswith(prefix)]
 
     def watch(
         self, prefix: str, callback: typing.Callable[[str, object, int], None]
     ) -> typing.Callable[[], None]:
-        """Register a callback for puts under ``prefix``; returns a canceller."""
+        """Register a callback for puts/deletes under ``prefix``.
+
+        Deletions deliver :data:`TOMBSTONE` as the value.  Returns a
+        canceller.
+        """
         entry = (prefix, callback)
         with self._lock:
             self._watches.append(entry)
@@ -89,6 +185,168 @@ class KeyValueStore:
         return cancel
 
     def keys(self, prefix: str = "") -> "list[str]":
-        """All keys under ``prefix``, sorted."""
+        """All live keys under ``prefix``, sorted."""
         with self._lock:
+            self._check_available()
             return sorted(k for k in self._data if k.startswith(prefix))
+
+    # -- leases (heartbeat substrate for failure detection) --------------------
+
+    def lease(self, key: str, value: object, ttl: float) -> int:
+        """Put ``key`` with a TTL; it is considered dead once the deadline
+        passes without a :meth:`keep_alive`.  Returns the new version.
+
+        Re-leasing an expired (but not revoked) key revives it — the
+        holder came back before the supervisor acted.
+        """
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        with self._lock:
+            self._check_available()
+            if key in self._revoked:
+                raise LeaseRevoked(
+                    f"lease {key!r} was revoked; delete it before re-leasing"
+                )
+            new_version = self._versions.get(key, 0) + 1
+            self._versions[key] = new_version
+            self._data[key] = value
+            self._deadlines[key] = self.clock() + ttl
+            watchers = self._watchers_of(key)
+        for callback in watchers:
+            callback(key, value, new_version)
+        return new_version
+
+    def keep_alive(self, key: str, ttl: float) -> bool:
+        """Refresh ``key``'s lease deadline; the heartbeat.
+
+        Returns False — without reviving anything — if the key holds no
+        lease or the lease was forcibly revoked (the holder has been
+        fenced out and must stop).
+        """
+        if ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {ttl}")
+        with self._lock:
+            self._check_available()
+            if key not in self._deadlines or key in self._revoked:
+                return False
+            self._deadlines[key] = self.clock() + ttl
+            return True
+
+    def lease_deadline(self, key: str) -> "float | None":
+        """Absolute expiry time of ``key``'s lease (None if unleased)."""
+        with self._lock:
+            return self._deadlines.get(key)
+
+    def lease_revoked(self, key: str) -> bool:
+        """True if ``key``'s lease was forcibly revoked (fenced out)."""
+        with self._lock:
+            return key in self._revoked
+
+    def expired_keys(self, prefix: str = "") -> "list[str]":
+        """Leased keys under ``prefix`` whose deadline has passed, sorted.
+
+        Expired keys stay readable until a supervisor reaps them with
+        :meth:`delete` — detection and reaction are separate steps.
+        """
+        with self._lock:
+            self._check_available()
+            now = self.clock()
+            return sorted(
+                key
+                for key, deadline in self._deadlines.items()
+                if key.startswith(prefix) and deadline <= now
+            )
+
+    def force_expire(self, key: str, at: "float | None" = None) -> None:
+        """Revoke ``key``'s lease (fault injection / administrative fence).
+
+        The deadline is moved to ``at`` (default: now) and subsequent
+        :meth:`keep_alive` calls fail, so the holder cannot revive it.
+        """
+        with self._lock:
+            if key not in self._deadlines:
+                return
+            self._deadlines[key] = self.clock() if at is None else float(at)
+            self._revoked.add(key)
+
+
+class RetryingStore:
+    """A store proxy that rides out outages with bounded backoff.
+
+    Wraps any :class:`KeyValueStore` and retries operations that raise
+    :class:`StoreUnavailable`, sleeping between attempts through the
+    backoff's injectable sleeper.  Exhausting the attempt budget
+    re-raises — degradation is bounded, not silent.
+    """
+
+    def __init__(
+        self,
+        store: KeyValueStore,
+        max_attempts: int = 8,
+        backoff: "ExponentialBackoff | None" = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store
+        self.max_attempts = max_attempts
+        self.backoff = backoff or ExponentialBackoff()
+        self.retries = 0
+
+    @property
+    def clock(self) -> typing.Callable[[], float]:
+        """The underlying store's clock."""
+        return self.store.clock
+
+    def _retry(self, operation: typing.Callable[[], typing.Any]) -> typing.Any:
+        for attempt in range(self.max_attempts):
+            try:
+                return operation()
+            except StoreUnavailable:
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                self.retries += 1
+                self.backoff.wait(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def put(self, key: str, value: object) -> int:
+        return self._retry(lambda: self.store.put(key, value))
+
+    def get(self, key: str, default: object = None) -> object:
+        return self._retry(lambda: self.store.get(key, default))
+
+    def version(self, key: str) -> int:
+        return self.store.version(key)
+
+    def compare_and_swap(
+        self, key: str, expected_version: int, value: object
+    ) -> int:
+        return self._retry(
+            lambda: self.store.compare_and_swap(key, expected_version, value)
+        )
+
+    def delete(self, key: str) -> bool:
+        return self._retry(lambda: self.store.delete(key))
+
+    def watch(self, prefix, callback):
+        return self.store.watch(prefix, callback)
+
+    def keys(self, prefix: str = "") -> "list[str]":
+        return self._retry(lambda: self.store.keys(prefix))
+
+    def lease(self, key: str, value: object, ttl: float) -> int:
+        return self._retry(lambda: self.store.lease(key, value, ttl))
+
+    def keep_alive(self, key: str, ttl: float) -> bool:
+        return self._retry(lambda: self.store.keep_alive(key, ttl))
+
+    def lease_deadline(self, key: str) -> "float | None":
+        return self.store.lease_deadline(key)
+
+    def lease_revoked(self, key: str) -> bool:
+        return self.store.lease_revoked(key)
+
+    def expired_keys(self, prefix: str = "") -> "list[str]":
+        return self._retry(lambda: self.store.expired_keys(prefix))
+
+    def force_expire(self, key: str, at: "float | None" = None) -> None:
+        self.store.force_expire(key, at)

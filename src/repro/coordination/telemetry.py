@@ -15,6 +15,7 @@ import collections
 import dataclasses
 import statistics
 import threading
+import time
 import typing
 
 
@@ -37,6 +38,11 @@ class RuntimeTelemetry:
         self._lock = threading.Lock()
         self._compute_times: typing.Dict[str, collections.deque] = {}
         self.events: typing.List[TelemetryEvent] = []
+        #: Seconds between a worker's lease deadline passing and the
+        #: supervisor noticing (the detect half of detect->recover).
+        self.detection_latencies: typing.List[float] = []
+        #: Seconds from failure detection to training restored (MTTR).
+        self.mttr_samples: typing.List[float] = []
 
     # -- recording ------------------------------------------------------------
 
@@ -55,6 +61,30 @@ class RuntimeTelemetry:
             self.events.append(
                 TelemetryEvent(wall_time=wall_time, kind=kind, detail=detail)
             )
+
+    def record_detection(
+        self, worker_id: str, latency: float, cause: str = "lease_expired"
+    ) -> None:
+        """Record that a worker failure was detected ``latency`` seconds
+        after it became detectable (its lease deadline)."""
+        with self._lock:
+            self.detection_latencies.append(latency)
+            self.events.append(TelemetryEvent(
+                wall_time=time.time(), kind="failure_detected",
+                detail={"worker": worker_id, "latency": latency,
+                        "cause": cause},
+            ))
+
+    def record_recovery(
+        self, removed: typing.Sequence[str], mttr: float
+    ) -> None:
+        """Record one completed automatic recovery and its repair time."""
+        with self._lock:
+            self.mttr_samples.append(mttr)
+            self.events.append(TelemetryEvent(
+                wall_time=time.time(), kind="recovery",
+                detail={"removed": list(removed), "mttr": mttr},
+            ))
 
     def forget_worker(self, worker_id: str) -> None:
         """Drop a departed worker's samples."""
@@ -101,6 +131,20 @@ class RuntimeTelemetry:
         return sorted(
             worker for worker, mean in means.items() if mean > factor * median
         )
+
+    def mean_detection_latency(self) -> "float | None":
+        """Mean detect-half latency (None before any detection)."""
+        with self._lock:
+            if not self.detection_latencies:
+                return None
+            return statistics.fmean(self.detection_latencies)
+
+    def mean_mttr(self) -> "float | None":
+        """Mean time to repair (None before any recovery)."""
+        with self._lock:
+            if not self.mttr_samples:
+                return None
+            return statistics.fmean(self.mttr_samples)
 
     def events_of_kind(self, kind: str) -> "list[TelemetryEvent]":
         """All events of one kind, in order."""

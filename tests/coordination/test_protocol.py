@@ -6,17 +6,22 @@ import numpy as np
 import pytest
 
 from repro.coordination import (
+    TOMBSTONE,
     CasConflict,
     Collective,
     CollectiveAborted,
     DeduplicatingInbox,
+    ExponentialBackoff,
     FaultyChannel,
     Hook,
     HookRegistry,
     KeyValueStore,
+    LeaseRevoked,
     MessageFactory,
     MessageType,
     ReliableSender,
+    RetryingStore,
+    StoreUnavailable,
 )
 
 
@@ -88,6 +93,27 @@ class TestMessages:
         with pytest.raises(ValueError):
             ReliableSender(FaultyChannel(lambda m: None), max_attempts=0)
 
+    def test_sender_counts_retries_of_abandoned_sends(self):
+        """Every re-attempt counts, even when the send ultimately fails —
+        a sender that only counted successful deliveries under-reported
+        exactly the pathological channels the counter exists to expose."""
+        channel = FaultyChannel(lambda m: None, drop_every=1)  # drops all
+        sender = ReliableSender(channel, max_attempts=4)
+        msg = MessageFactory().make(MessageType.ACK, "am", {})
+        assert not sender.send(msg, acknowledged=lambda: False)
+        assert sender.retries == 3  # attempts 2, 3 and 4
+
+    def test_sender_backoff_spaces_resends(self):
+        sleeps = []
+        backoff = ExponentialBackoff(
+            base=0.01, factor=2.0, max_delay=1.0, sleeper=sleeps.append
+        )
+        channel = FaultyChannel(lambda m: None, drop_every=1)
+        sender = ReliableSender(channel, max_attempts=4, backoff=backoff)
+        msg = MessageFactory().make(MessageType.HEARTBEAT, "w0", {})
+        sender.send(msg, acknowledged=lambda: False)
+        assert sleeps == [0.01, 0.02, 0.04]  # exponential, per re-attempt
+
 
 class TestKeyValueStore:
     def test_put_get_roundtrip(self):
@@ -146,6 +172,150 @@ class TestKeyValueStore:
         for key in ("a/1", "a/2", "b/1"):
             store.put(key, None)
         assert store.keys("a/") == ["a/1", "a/2"]
+
+    def test_delete_does_not_reset_versions(self):
+        """ABA regression: a CAS taken before a delete + re-put must keep
+        failing — versions are monotone across the key's whole history."""
+        store = KeyValueStore()
+        version = store.put("k", "original")
+        store.delete("k")
+        assert store.put("k", "impostor") > version + 1
+        with pytest.raises(CasConflict):
+            store.compare_and_swap("k", version, "stale write")
+
+    def test_delete_notifies_watchers_with_tombstone(self):
+        store = KeyValueStore()
+        events = []
+        store.watch("jobs/", lambda k, v, ver: events.append((k, v, ver)))
+        v1 = store.put("jobs/1", "a")
+        store.delete("jobs/1")
+        assert events[0] == ("jobs/1", "a", v1)
+        key, value, version = events[1]
+        assert key == "jobs/1" and value is TOMBSTONE and version == v1 + 1
+
+
+class TestLeases:
+    def _store(self):
+        clock = {"now": 0.0}
+        store = KeyValueStore(clock=lambda: clock["now"])
+        return store, clock
+
+    def test_lease_expires_without_keep_alive(self):
+        store, clock = self._store()
+        store.lease("l/w0", "alive", ttl=5.0)
+        assert store.expired_keys("l/") == []
+        clock["now"] = 5.0
+        assert store.expired_keys("l/") == ["l/w0"]
+
+    def test_keep_alive_extends_deadline(self):
+        store, clock = self._store()
+        store.lease("l/w0", "alive", ttl=5.0)
+        clock["now"] = 4.0
+        assert store.keep_alive("l/w0", ttl=5.0)
+        clock["now"] = 8.0
+        assert store.expired_keys("l/") == []
+        assert store.lease_deadline("l/w0") == 9.0
+
+    def test_keep_alive_without_lease_is_refused(self):
+        store, _clock = self._store()
+        assert not store.keep_alive("l/ghost", ttl=1.0)
+
+    def test_expired_lease_can_be_revived(self):
+        """The holder coming back before the supervisor acts is fine."""
+        store, clock = self._store()
+        store.lease("l/w0", "alive", ttl=1.0)
+        clock["now"] = 2.0
+        assert store.expired_keys("l/") == ["l/w0"]
+        store.lease("l/w0", "alive", ttl=1.0)
+        assert store.expired_keys("l/") == []
+
+    def test_force_expire_revokes(self):
+        """A revoked lease cannot be revived by its holder: keep_alive
+        and re-lease both refuse — the holder has been fenced out."""
+        store, clock = self._store()
+        store.lease("l/w0", "alive", ttl=10.0)
+        store.force_expire("l/w0")
+        assert store.expired_keys("l/") == ["l/w0"]
+        assert store.lease_revoked("l/w0")
+        assert not store.keep_alive("l/w0", ttl=10.0)
+        with pytest.raises(LeaseRevoked):
+            store.lease("l/w0", "alive", ttl=10.0)
+
+    def test_delete_clears_revocation(self):
+        store, _clock = self._store()
+        store.lease("l/w0", "alive", ttl=10.0)
+        store.force_expire("l/w0")
+        store.delete("l/w0")
+        assert not store.lease_revoked("l/w0")
+        store.lease("l/w0", "alive", ttl=10.0)  # a fresh holder may lease
+
+    def test_lease_validates_ttl(self):
+        store, _clock = self._store()
+        with pytest.raises(ValueError):
+            store.lease("l/w0", "alive", ttl=0.0)
+        with pytest.raises(ValueError):
+            store.keep_alive("l/w0", ttl=-1.0)
+
+
+class TestStoreOutages:
+    def test_op_count_outage(self):
+        store = KeyValueStore()
+        store.put("k", 1)
+        store.fail_next(2)
+        with pytest.raises(StoreUnavailable):
+            store.get("k")
+        with pytest.raises(StoreUnavailable):
+            store.put("k", 2)
+        assert store.get("k") == 1  # the outage has passed
+
+    def test_clock_window_outage(self):
+        clock = {"now": 0.0}
+        store = KeyValueStore(clock=lambda: clock["now"])
+        store.set_outages([(5.0, 10.0)])
+        store.put("k", 1)
+        clock["now"] = 7.0
+        with pytest.raises(StoreUnavailable):
+            store.get("k")
+        clock["now"] = 10.0
+        assert store.get("k") == 1
+
+    def test_retrying_store_rides_out_outage(self):
+        store = KeyValueStore()
+        store.put("k", "v")
+        store.fail_next(3)
+        sleeps = []
+        retrying = RetryingStore(
+            store,
+            max_attempts=8,
+            backoff=ExponentialBackoff(base=0.01, sleeper=sleeps.append),
+        )
+        assert retrying.get("k") == "v"
+        assert retrying.retries == 3
+        assert sleeps == [0.01, 0.02, 0.04]
+
+    def test_retrying_store_bounded(self):
+        """Exhausting the budget re-raises: degradation is not silent."""
+        store = KeyValueStore()
+        store.fail_next(10)
+        retrying = RetryingStore(
+            store,
+            max_attempts=3,
+            backoff=ExponentialBackoff(sleeper=lambda _s: None),
+        )
+        with pytest.raises(StoreUnavailable):
+            retrying.get("k")
+        assert retrying.retries == 2
+
+    def test_retrying_store_does_not_retry_revocation(self):
+        """LeaseRevoked is a permanent verdict, not an outage — burning
+        the retry budget on it would only delay the fail-stop."""
+        store = KeyValueStore()
+        store.lease("l/w0", "alive", ttl=10.0)
+        store.force_expire("l/w0")
+        retrying = RetryingStore(store)
+        with pytest.raises(LeaseRevoked):
+            retrying.lease("l/w0", "alive", ttl=10.0)
+        assert retrying.retries == 0
 
 
 class TestCollective:
