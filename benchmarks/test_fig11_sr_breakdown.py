@@ -3,36 +3,67 @@
 Paper shape: the long start + initialization phases dominate the S&R
 timeline — the observation that motivates the asynchronous coordination
 mechanism.
+
+The breakdown is built through the tracing layer: the S&R phase
+sequence is replayed as consecutive ``sr.<phase>`` spans on a
+retrospective tracer, and the table/assertions are derived from the
+trace — the same pipeline a recorded live trace would flow through.
 """
 
 from conftest import fmt_row
 
 from repro.baselines import ShutdownRestartModel
+from repro.observability import Tracer
 from repro.perfmodel import RESNET50
 
 PHASE_ORDER = ["coordinate", "checkpoint", "shutdown", "start", "init", "load"]
 
 
+def trace_sr_timeline(timing) -> Tracer:
+    """Replay the S&R phase sequence as consecutive ``sr.<phase>`` spans."""
+    tracer = Tracer(process="sr-breakdown")
+    cursor = 0.0
+    for phase in PHASE_ORDER:
+        seconds = timing.phases.get(phase, 0.0)
+        tracer.add_span(f"sr.{phase}", cursor, cursor + seconds,
+                        track="sr", cat="adjust")
+        cursor += seconds
+    return tracer
+
+
 def test_fig11_sr_breakdown(benchmark, save_result):
     model = ShutdownRestartModel(seed=0)
-    timing = benchmark(
+    benchmark(
         lambda: ShutdownRestartModel(seed=0).adjustment_time(
             "scale_out", RESNET50, 8, 16
         )
     )
     timing = model.adjustment_time("scale_out", RESNET50, 8, 16)
+    tracer = trace_sr_timeline(timing)
+
+    durations = {
+        span.name.removeprefix("sr."): span.duration
+        for span in tracer.spans()
+    }
+    total = sum(durations.values())
 
     widths = (12, 10, 8)
     lines = [fmt_row(("Phase", "Time (s)", "Share"), widths)]
     for phase in PHASE_ORDER:
-        seconds = timing.phases.get(phase, 0.0)
+        seconds = durations[phase]
         lines.append(fmt_row(
-            (phase, f"{seconds:.2f}", f"{seconds / timing.total:.0%}"), widths
+            (phase, f"{seconds:.2f}", f"{seconds / total:.0%}"), widths
         ))
-    lines.append(fmt_row(("total", f"{timing.total:.2f}", "100%"), widths))
+    lines.append(fmt_row(("total", f"{total:.2f}", "100%"), widths))
     save_result("fig11_sr_breakdown", lines)
 
-    startup = timing.phases["start"] + timing.phases["init"]
-    assert startup > 0.6 * timing.total  # start+init dominate
-    assert timing.phases["checkpoint"] > timing.phases["coordinate"]
-    assert set(timing.phases) == set(PHASE_ORDER)
+    # The trace reproduces the model's timing exactly ...
+    assert abs(total - timing.total) < 1e-9
+    spans = sorted(tracer.spans(), key=lambda s: s.start)
+    for earlier, later in zip(spans, spans[1:]):
+        assert abs(later.start - earlier.end) < 1e-9  # contiguous phases
+    # ... and shows the paper's shape: start+init dominate.
+    startup = durations["start"] + durations["init"]
+    assert startup > 0.6 * total
+    assert durations["checkpoint"] > durations["coordinate"]
+    assert set(durations) == set(PHASE_ORDER)

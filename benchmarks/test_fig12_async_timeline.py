@@ -1,91 +1,99 @@
-"""Fig. 12: the asynchronous coordination timeline, simulated on the DES.
+"""Fig. 12: the asynchronous coordination timeline, from the trace.
 
-Reconstructs the paper's Fig. 10-vs-Fig. 12 contrast on the event kernel:
-a ResNet-50 job iterates while two new workers start and initialize;
-under Elan the adjustment commits at the first coordination boundary
-after the last report (start/init entirely off the critical path), under
-S&R the whole job stops for checkpoint + restart.  The benchmark verifies
-the training-loss-of-time accounting of both systems.
+Reconstructs the paper's Fig. 10-vs-Fig. 12 contrast on the DES twin of
+the control plane (`SimulatedElasticJob`, which drives the *real*
+ApplicationMaster): a ResNet-50 job iterates while new workers start and
+initialize; under Elan the adjustment commits at the first coordination
+boundary after the last report (start/init entirely off the critical
+path), under S&R the whole job stops for checkpoint + restart.
+
+Every number in the table — worker startup windows, overlapped
+iterations, commit point, training pause — is derived from the job's
+trace (``adjust.request`` / ``worker.start_init`` / ``worker.report`` /
+``adjust.commit`` / ``iteration`` events), not from ad-hoc timers: the
+figure is exactly what Perfetto would show for the exported file.
 """
 
 from conftest import fmt_row
 
-from repro.baselines import ElanAdjustmentModel, ShutdownRestartModel
-from repro.perfmodel import RESNET50, ThroughputModel
-from repro.perfmodel.calibration import (
-    WORKER_INIT_TIME,
-    WORKER_START_TIME,
-)
-from repro.simcore import Simulator
+from repro.baselines import ShutdownRestartModel
+from repro.coordination import SimulatedElasticJob
+from repro.perfmodel import RESNET50
 
 OLD_WORKERS, NEW_WORKERS = 8, 16
 BATCH = 512
+REQUEST_AT = 5.0
 
 
-def simulate_elan_timeline():
+def simulate_elan_job() -> SimulatedElasticJob:
     """DES run: training iterations vs new-worker startup in parallel."""
-    sim = Simulator()
-    throughput = ThroughputModel(RESNET50)
-    iteration_time = throughput.iteration_time(OLD_WORKERS, BATCH)
-    events = []
-    reports = []
-    adjustment = {"commit": None, "resume": None}
-    pause = ElanAdjustmentModel(seed=0).adjustment_time(
-        "scale_out", RESNET50, OLD_WORKERS, NEW_WORKERS
-    ).total
-
-    def new_worker(worker_id, start_jitter):
-        yield sim.timeout(WORKER_START_TIME + start_jitter)
-        events.append((sim.now, f"{worker_id} started"))
-        yield sim.timeout(WORKER_INIT_TIME)
-        events.append((sim.now, f"{worker_id} reported"))
-        reports.append(sim.now)
-
-    def training():
-        iterations = 0
-        while adjustment["resume"] is None:
-            yield sim.timeout(iteration_time)
-            iterations += 1
-            # Coordinate every iteration: commit once all reported.
-            if len(reports) == 2 and adjustment["commit"] is None:
-                adjustment["commit"] = sim.now
-                events.append((sim.now, "commit: replicate + adjust"))
-                yield sim.timeout(pause)
-                adjustment["resume"] = sim.now
-                events.append((sim.now, "training resumed on 16 workers"))
-        return iterations
-
-    sim.process(new_worker("worker A", 0.0))
-    sim.process(new_worker("worker B", 2.5))  # a straggling starter
-    trainer = sim.process(training())
-    iterations = sim.run(until=trainer)
-    return events, iterations, adjustment, pause
+    job = SimulatedElasticJob(
+        RESNET50, workers=OLD_WORKERS, total_batch_size=BATCH, seed=0
+    )
+    job.at(REQUEST_AT, lambda: job.request_scale_out(
+        NEW_WORKERS - OLD_WORKERS
+    ))
+    job.run(until=400.0)
+    return job
 
 
 def test_fig12_async_timeline(benchmark, save_result):
-    events, iterations, adjustment, pause = benchmark.pedantic(
-        simulate_elan_timeline, rounds=1, iterations=1
-    )
+    job = benchmark.pedantic(simulate_elan_job, rounds=1, iterations=1)
+    tracer = job.tracer
     sr_total = ShutdownRestartModel(seed=0).adjustment_time(
         "scale_out", RESNET50, OLD_WORKERS, NEW_WORKERS
     ).total
 
-    widths = (10, 40)
-    lines = [fmt_row(("t (s)", "event"), widths)]
+    # -- reconstruct the timeline purely from trace events --------------------
+    (request,) = tracer.instants("adjust.request")
+    startups = sorted(tracer.spans("worker.start_init"),
+                      key=lambda s: s.end)
+    reports = tracer.instants("worker.report")
+    (commit,) = tracer.spans("adjust.commit")
+    iterations = tracer.spans("iteration")
+    overlapped = [
+        s for s in iterations if request.start <= s.end <= commit.start
+    ]
+
+    events = [(request.start, "scale-out 8 -> 16 requested")]
+    for span in startups:
+        events.append(
+            (span.end, f"{span.args['worker']} started + initialized "
+                       f"({span.duration:.1f}s)")
+        )
+    events.append((commit.start, "commit: replicate + adjust"))
+    events.append(
+        (commit.end, f"training resumed on {commit.args['new_workers']} "
+                     f"workers")
+    )
+
+    widths = (10, 44)
+    lines = [fmt_row(("t (s)", "event (from trace)"), widths)]
     for when, what in sorted(events):
         lines.append(fmt_row((f"{when:.2f}", what), widths))
     lines.append(
-        f"iterations completed while workers started: {iterations - 1}"
+        f"iterations completed while workers started: {len(overlapped)}"
     )
-    lines.append(f"training pause (Elan): {pause:.2f} s")
+    lines.append(f"training pause (Elan): {commit.duration:.2f} s")
     lines.append(f"training pause (S&R would be): {sr_total:.2f} s")
     save_result("fig12_async_timeline", lines)
 
     # Training made real progress during the ~25s of start+init.
-    assert iterations > 50
-    # The commit waited for the straggling starter (no partial commits).
-    last_report = max(t for t, what in events if "reported" in what)
-    assert adjustment["commit"] >= last_report
-    # And the actual pause is two orders of magnitude below S&R's.
-    assert pause < 1.0
-    assert sr_total > 20 * pause
+    assert len(overlapped) > 50
+    # Every new worker reported before the commit (no partial commits) ...
+    assert len(startups) == len(reports) == NEW_WORKERS - OLD_WORKERS
+    last_report = max(i.start for i in reports)
+    assert commit.start >= last_report
+    # ... and the commit sub-phases tile the pause.
+    (replicate,) = tracer.spans("commit.replicate")
+    (reconfigure,) = tracer.spans("commit.reconfigure")
+    assert abs(
+        replicate.duration + reconfigure.duration - commit.duration
+    ) < 1e-9
+    # The actual pause is two orders of magnitude below S&R's.
+    assert commit.duration < 1.0
+    assert sr_total > 20 * commit.duration
+    # The trace agrees with the job's own measured adjustment record.
+    (adjustment,) = job.adjustments
+    assert abs(adjustment.pause - commit.duration) < 1e-9
+    assert abs(adjustment.commit_time - commit.start) < 1e-9

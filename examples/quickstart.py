@@ -7,7 +7,13 @@ follows the paper's 5-step procedure: request, report, coordinate,
 replicate, adjust.
 
 Run:  python examples/quickstart.py
+
+Set ``ELAN_TRACE=/path/to/trace.json`` to export a Chrome-format trace
+of the run (open it in https://ui.perfetto.dev); see
+docs/OBSERVABILITY.md.
 """
+
+import os
 
 from repro.coordination import params_consistent
 from repro.core import ElasticJob, WeakScalingPolicy
@@ -56,6 +62,12 @@ def main():
             f"-> group {plan.group}, batch {plan.total_batch_size}, "
             f"strategy {plan.strategy}"
         )
+
+    trace_path = os.environ.get("ELAN_TRACE")
+    if trace_path:
+        tracer = job.runtime.tracer
+        tracer.export(trace_path)
+        print(f"trace: {len(tracer.to_events())} events -> {trace_path}")
 
 
 if __name__ == "__main__":

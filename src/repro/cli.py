@@ -8,6 +8,7 @@ Subcommands (also installed as the ``repro-elan`` console script)::
     python -m repro.cli elastic-training                # Fig. 18/19, Table IV
     python -m repro.cli schedule --policy e-fifo        # §VI-C metrics
     python -m repro.cli demo                            # live elastic job
+    python -m repro.cli tracing demo trace.json         # record a trace
 """
 
 from __future__ import annotations
@@ -208,6 +209,58 @@ def cmd_capacity(args) -> int:
     return 0
 
 
+def cmd_tracing(args) -> int:
+    """Produce, summarize, or validate Chrome-format trace files."""
+    from .observability import (
+        load_trace_events,
+        summarize_events,
+        validate_events,
+    )
+
+    if args.action == "demo":
+        from .core import ElasticJob, WeakScalingPolicy
+        from .training import make_classification
+
+        dataset = make_classification(
+            train_size=512, test_size=128, seed=args.seed
+        )
+        with ElasticJob(
+            dataset, workers=2, total_batch_size=64, base_lr=0.02,
+            scaling_policy=WeakScalingPolicy(ramp_iterations=5),
+            seed=args.seed,
+        ) as job:
+            job.wait_until_iteration(10)
+            job.scale_out(2)
+            job.wait_for_adjustments(1)
+            job.wait_until_iteration(job.status()["iteration"] + 10)
+        tracer = job.runtime.tracer
+        tracer.export(args.path)
+        print(f"wrote {len(tracer.to_events())} events to {args.path}")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
+
+    events = load_trace_events(args.path)
+    if args.action == "validate":
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print(f"OK: {len(events)} events, Chrome trace-event format")
+        return 0
+
+    # summarize
+    rows = [
+        (name, count, f"{total:.4f}", f"{mean * 1e3:.3f}", f"{peak * 1e3:.3f}")
+        for name, count, total, mean, peak in summarize_events(events)
+    ]
+    _print_table(
+        ("Span", "Count", "Total (s)", "Mean (ms)", "Max (ms)"),
+        rows, (24, 7, 11, 11, 11),
+    )
+    return 0
+
+
 def cmd_demo(args) -> int:
     """Run a short live elastic-training demo."""
     from .coordination import params_consistent
@@ -278,6 +331,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="comma-separated cluster sizes")
     capacity.add_argument("--jct-target", type=float, default=None)
 
+    tracing = sub.add_parser(
+        "tracing", help="record/summarize/validate Chrome trace files"
+    )
+    tracing.add_argument("action", choices=("demo", "summarize", "validate"))
+    tracing.add_argument("path", help="trace file to write (demo) or read")
+    tracing.add_argument("--seed", type=int, default=0)
+
     demo = sub.add_parser("demo", help="live elastic-training demo")
     demo.add_argument("--seed", type=int, default=0)
     return parser
@@ -291,6 +351,7 @@ _HANDLERS = {
     "schedule": cmd_schedule,
     "trace": cmd_trace,
     "capacity": cmd_capacity,
+    "tracing": cmd_tracing,
     "demo": cmd_demo,
 }
 

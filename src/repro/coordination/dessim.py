@@ -17,6 +17,7 @@ import typing
 
 import numpy as np
 
+from ..observability import Tracer
 from ..perfmodel import calibration
 from ..perfmodel.models import ModelSpec
 from ..perfmodel.throughput import ClusterSpec, PAPER_CLUSTER, ThroughputModel
@@ -30,6 +31,7 @@ from .master import (
     DirectiveKind,
 )
 from .store import KeyValueStore
+from .telemetry import RuntimeTelemetry
 from ..simcore import Simulator
 
 
@@ -69,8 +71,18 @@ class SimulatedElasticJob:
         lease_ttl: "float | None" = None,
         supervision_interval: "float | None" = None,
         fault_plan: "FaultPlan | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         self.sim = Simulator()
+        #: Span recorder on *simulated* time — the same span taxonomy the
+        #: live runtime emits on wall time (docs/OBSERVABILITY.md).  An
+        #: externally supplied tracer must read this job's ``sim.now``.
+        self.tracer = tracer or Tracer(
+            clock=lambda: self.sim.now, process="elan-dessim"
+        )
+        #: Event log / metrics twin, stamped with simulated time so
+        #: replays are deterministic.
+        self.telemetry = RuntimeTelemetry(clock=lambda: self.sim.now)
         self.model = model
         self.throughput = ThroughputModel(model, cluster)
         self.profile = profile or BandwidthProfile()
@@ -111,6 +123,7 @@ class SimulatedElasticJob:
         self.am = ApplicationMaster(
             "sim-job", worker_ids, store=self.store,
             coordination_interval=coordination_interval,
+            tracer=self.tracer,
         )
         _cluster, gpus = cluster_for_gpu_count(workers + 64)
         self._gpu_pool = list(gpus)
@@ -147,10 +160,15 @@ class SimulatedElasticJob:
                 # resumes only once the supervisor repairs the group.
                 yield self.sim.timeout(self.supervision_interval)
                 continue
+            iteration_started = self.sim.now
             yield self.sim.timeout(self._iteration_time())
             if self._group_stalled():
                 continue  # a member died mid-iteration; the round aborts
             self.iteration += 1
+            self.tracer.add_span(
+                "iteration", iteration_started, self.sim.now,
+                track="trainer", cat="train", iteration=self.iteration,
+            )
             self.iterations_by_time.append((self.sim.now, self.iteration))
             self._heartbeat()
             if self.iteration % self.coordination_interval != 0:
@@ -207,7 +225,11 @@ class SimulatedElasticJob:
                 ):
                     self._am_crash_fired = True
                     self.am = ApplicationMaster.recover(
-                        self.am.job_id, self.store
+                        self.am.job_id, self.store, tracer=self.tracer
+                    )
+                    self.tracer.instant(
+                        "am.failover", track="am", cat="am",
+                        epoch=self.am.epoch,
                     )
                 for key in plan.due_lease_expiries(now):
                     if key in self._forced_expiries_done:
@@ -230,8 +252,13 @@ class SimulatedElasticJob:
                 # thread-dead / revoked criteria.
                 if self._worker_dead(worker_id):
                     deadline = self.store.lease_deadline(key)
-                    self.detections.append(
-                        (worker_id, max(0.0, now - deadline))
+                    latency = max(0.0, now - deadline)
+                    self.detections.append((worker_id, latency))
+                    self.telemetry.record_detection(worker_id, latency)
+                    self.tracer.instant(
+                        "failure.detected", track="supervisor",
+                        cat="failure", worker=worker_id, latency=latency,
+                        cause="lease_expired",
                     )
                     victims.append(worker_id)
             if victims:
@@ -257,13 +284,34 @@ class SimulatedElasticJob:
         for worker_id in survivors:
             self.store.delete(self._lease_key(worker_id))
             self._publish_lease(worker_id)
-        self.recoveries.append((list(victims), self.sim.now - detected_at))
+        mttr = self.sim.now - detected_at
+        self.recoveries.append((list(victims), mttr))
+        self.telemetry.record_recovery(victims, mttr)
+        self.tracer.add_span(
+            "recover", detected_at, self.sim.now,
+            track="supervisor", cat="failure", removed=list(victims),
+        )
+        self.telemetry.metrics.gauge("workers").set(len(survivors))
 
     def _commit(self, directive):
         request = directive.adjustment
         commit_time = self.sim.now
-        pause = self._pause_duration(request)
-        yield self.sim.timeout(pause)
+        old_size = len(self.am.group)
+        replicate_pause, reconfigure_pause = self._pause_components(request)
+        # Step 4 (state replication), then step 5 (group reconstruction +
+        # data repartition) — the same sub-span split the live commit
+        # records, so phase breakdowns line up across harnesses.
+        yield self.sim.timeout(replicate_pause)
+        self.tracer.add_span(
+            "commit.replicate", commit_time, self.sim.now,
+            track="am", cat="adjust", targets=len(request.add_workers),
+        )
+        reconfigure_started = self.sim.now
+        yield self.sim.timeout(reconfigure_pause)
+        self.tracer.add_span(
+            "commit.reconfigure", reconfigure_started, self.sim.now,
+            track="am", cat="adjust",
+        )
         startup_iters = self._iterations_since(self._pending_request_time)
         old_group = self.am.group
         self.am.finish_adjustment()
@@ -273,6 +321,21 @@ class SimulatedElasticJob:
                 self.store.delete(self._lease_key(worker_id))
         for worker_id in request.add_workers:
             self._publish_lease(worker_id)
+        self.tracer.add_span(
+            "adjust.commit", commit_time, self.sim.now,
+            track="am", cat="adjust", kind=request.kind.value,
+            commit_iteration=directive.commit_iteration,
+            old_workers=old_size, new_workers=len(self.am.group),
+        )
+        metrics = self.telemetry.metrics
+        metrics.histogram("commit_seconds").observe(self.sim.now - commit_time)
+        metrics.counter(f"adjustments.{request.kind.value}").inc()
+        metrics.gauge("workers").set(len(self.am.group))
+        self.telemetry.record_event(
+            None, "adjustment", adjustment_kind=request.kind.value,
+            commit_iteration=directive.commit_iteration,
+            old_group=list(old_group), new_group=list(self.am.group),
+        )
         self.adjustments.append(
             SimulatedAdjustment(
                 kind=request.kind,
@@ -284,13 +347,14 @@ class SimulatedElasticJob:
         )
         self._pending_request_time = None
 
-    def _pause_duration(self, request: AdjustmentRequest) -> float:
+    def _pause_components(self, request: AdjustmentRequest) -> "tuple[float, float]":
+        """The commit pause split into (replicate, reconfigure) seconds."""
         fixed = (
             calibration.GROUP_RECONSTRUCT_TIME
             + calibration.DATA_REPARTITION_TIME
         )
         if request.kind is AdjustmentKind.SCALE_IN:
-            return fixed
+            return 0.0, fixed
         sources = [self._worker_gpus[w] for w in self.am.group]
         targets = [self._worker_gpus[w] for w in request.add_workers]
         if request.kind is AdjustmentKind.MIGRATION:
@@ -302,12 +366,16 @@ class SimulatedElasticJob:
                 sources, targets, self.model.gpu_state_bytes,
                 self.model.cpu_state_bytes, allow_chaining=True,
             ).estimated_time(self.profile)
-            return fixed + min(plain, chained)
+            return min(plain, chained), fixed
         plan = plan_replication(
             sources, targets, self.model.gpu_state_bytes,
             self.model.cpu_state_bytes, allow_chaining=True,
         )
-        return fixed + plan.estimated_time(self.profile)
+        return plan.estimated_time(self.profile), fixed
+
+    def _pause_duration(self, request: AdjustmentRequest) -> float:
+        """Total commit pause (kept for cost-model cross-validation)."""
+        return sum(self._pause_components(request))
 
     def _iterations_since(self, when: "float | None") -> int:
         if when is None:
@@ -320,7 +388,15 @@ class SimulatedElasticJob:
         start = calibration.WORKER_START_TIME
         init = calibration.WORKER_INIT_TIME
         jitter = abs(float(self.rng.normal(0, calibration.WORKER_STARTUP_JITTER)))
+        started = self.sim.now
         yield self.sim.timeout(start + init + jitter)
+        self.tracer.add_span(
+            "worker.start_init", started, self.sim.now,
+            track=worker_id, cat="adjust", worker=worker_id,
+        )
+        self.tracer.instant(
+            "worker.report", track=worker_id, cat="adjust", worker=worker_id
+        )
         self.am.worker_report(worker_id)
 
     def request_scale_out(self, count: int):
@@ -335,6 +411,10 @@ class SimulatedElasticJob:
         )
         if not accepted:
             raise RuntimeError("an adjustment is already in flight")
+        self.tracer.instant(
+            "adjust.request", track="am", cat="adjust",
+            kind="scale_out", workers=new_ids,
+        )
         self._pending_request_time = self.sim.now
         for worker_id in new_ids:
             self.sim.process(self._new_worker_process(worker_id))
@@ -346,6 +426,10 @@ class SimulatedElasticJob:
             AdjustmentRequest(AdjustmentKind.SCALE_IN, remove_workers=victims)
         ):
             raise RuntimeError("an adjustment is already in flight")
+        self.tracer.instant(
+            "adjust.request", track="am", cat="adjust",
+            kind="scale_in", workers=list(victims),
+        )
         self._pending_request_time = self.sim.now
 
     def at(self, when: float, action: typing.Callable[[], None]) -> None:

@@ -117,6 +117,7 @@ class ApplicationMaster:
         workers: typing.Sequence[str],
         store: "KeyValueStore | None" = None,
         coordination_interval: int = 1,
+        tracer: "typing.Any | None" = None,
     ):
         if not workers:
             raise ValueError("a job needs at least one worker")
@@ -125,6 +126,10 @@ class ApplicationMaster:
         self.job_id = job_id
         self.store = store or KeyValueStore()
         self.coordination_interval = coordination_interval
+        #: Optional span recorder; both the live runtime and the DES twin
+        #: hand theirs in, so AM transitions land on either timeline.
+        self.tracer = tracer
+        self._directive_span = None
         self.state = MasterState.RUNNING
         self.group: typing.Tuple[str, ...] = tuple(workers)
         self.pending: "AdjustmentRequest | None" = None
@@ -136,6 +141,10 @@ class ApplicationMaster:
         self.epoch = self._acquire_epoch(self.store, job_id)
         self._persisted_iteration = 0
         self._persist()
+
+    def _instant(self, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, track="am", cat="am", **args)
 
     # -- fencing (§V-D hardening) ---------------------------------------------
 
@@ -176,6 +185,11 @@ class ApplicationMaster:
         request.validate(self.group)
         self.pending = request
         self.reported = set()
+        self._instant(
+            "am.request", kind=request.kind.value,
+            add=list(request.add_workers),
+            remove=list(request.remove_workers),
+        )
         if request.add_workers:
             self.state = MasterState.WAITING_REPORTS
         else:
@@ -192,6 +206,7 @@ class ApplicationMaster:
         if self.pending is None or worker_id not in self.pending.add_workers:
             return  # stale or unknown report; ignore (idempotent)
         self.reported.add(worker_id)
+        self._instant("am.report", worker=worker_id)
         if self.state is MasterState.WAITING_REPORTS and self.reported >= set(
             self.pending.add_workers
         ):
@@ -236,10 +251,19 @@ class ApplicationMaster:
         next_boundary = (self.latest_iteration // interval + 1) * interval
         self.commit_iteration = next_boundary
         self.state = MasterState.COMMIT_SCHEDULED
+        self._instant("am.commit_scheduled", commit_iteration=next_boundary)
 
     def _commit_directive(self) -> Directive:
         request = self.pending
         assert request is not None
+        # Directive issue -> ack as one span: opened the first time an
+        # ADJUST directive is minted, closed by finish_adjustment.
+        if self.tracer is not None and self._directive_span is None:
+            self._directive_span = self.tracer.begin(
+                "am.directive", track="am", cat="am",
+                kind=request.kind.value,
+                commit_iteration=self.commit_iteration, epoch=self.epoch,
+            )
         if request.kind is AdjustmentKind.MIGRATION:
             new_group = tuple(request.add_workers)
         else:
@@ -263,6 +287,11 @@ class ApplicationMaster:
         self.commit_iteration = -1
         self.state = MasterState.RUNNING
         self.adjustments_committed += 1
+        if self.tracer is not None and self._directive_span is not None:
+            self.tracer.end(
+                self._directive_span, group_size=len(self.group)
+            )
+            self._directive_span = None
         self._persist()
 
     # -- fault tolerance (§V-D) --------------------------------------------------
@@ -291,7 +320,10 @@ class ApplicationMaster:
         )
 
     @classmethod
-    def recover(cls, job_id: str, store: KeyValueStore) -> "ApplicationMaster":
+    def recover(
+        cls, job_id: str, store: KeyValueStore,
+        tracer: "typing.Any | None" = None,
+    ) -> "ApplicationMaster":
         """Rebuild a failed AM from its persisted state machine.
 
         The replacement claims a fresh (strictly higher) fencing epoch
@@ -304,6 +336,8 @@ class ApplicationMaster:
         master = cls.__new__(cls)
         master.job_id = job_id
         master.store = store
+        master.tracer = tracer
+        master._directive_span = None
         master.epoch = cls._acquire_epoch(store, job_id)
         master.coordination_interval = snapshot["coordination_interval"]
         master.state = MasterState(snapshot["state"])

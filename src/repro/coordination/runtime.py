@@ -36,6 +36,7 @@ import typing
 import numpy as np
 
 from ..core.hybrid_scaling import ScalingPolicy, StrongScalingPolicy
+from ..observability import Tracer
 from ..core.progressive_lr import (
     LrRamp,
     ramp_from_runtime_info,
@@ -146,6 +147,7 @@ class ElasticRuntime:
         supervision_interval: "float | None" = None,
         auto_recover: bool = True,
         fault_plan: "FaultPlan | None" = None,
+        tracer: "Tracer | None" = None,
     ):
         if initial_workers < 1:
             raise ValueError("initial_workers must be >= 1")
@@ -218,7 +220,14 @@ class ElasticRuntime:
             if fault_plan.store_outages:
                 self.store.set_outages(fault_plan.store_outages)
         self.replicator = LiveReplicator()
-        self.telemetry = RuntimeTelemetry()
+        #: Span recorder on wall time; the DES twin records the same span
+        #: taxonomy on simulated time (docs/OBSERVABILITY.md).
+        self.tracer = tracer or Tracer(process="elan-live")
+        # Event timestamps ride the same clock the supervisor reads for
+        # leases, so live logs and dessim replays are uniform.
+        self.telemetry = RuntimeTelemetry(clock=self.store.clock)
+        self.metrics = self.telemetry.metrics
+        self.metrics.gauge("workers").set(initial_workers)
         self.hooks = HookRegistry()
         self._register_default_hooks()
 
@@ -252,6 +261,7 @@ class ElasticRuntime:
             workers=worker_ids,
             store=self.reliable_store,
             coordination_interval=coordination_interval,
+            tracer=self.tracer,
         )
         collective = self._make_collective(0, worker_ids)
         per_worker = total_batch_size // initial_workers
@@ -399,6 +409,10 @@ class ElasticRuntime:
             )
             if not self.am.request_adjustment(request):
                 raise RuntimeError("an adjustment is already in flight")
+            self.tracer.instant(
+                "adjust.request", track="am", cat="adjust",
+                kind="scale_out", workers=new_ids,
+            )
             self._next_worker_index += count
             for worker_id in new_ids:
                 worker = _Worker(worker_id, context=None)
@@ -417,6 +431,10 @@ class ElasticRuntime:
             )
             if not self.am.request_adjustment(request):
                 raise RuntimeError("an adjustment is already in flight")
+            self.tracer.instant(
+                "adjust.request", track="am", cat="adjust",
+                kind="scale_in", workers=list(worker_ids),
+            )
         return list(worker_ids)
 
     def migrate(self, count: "int | None" = None) -> "list[str]":
@@ -432,6 +450,10 @@ class ElasticRuntime:
             )
             if not self.am.request_adjustment(request):
                 raise RuntimeError("an adjustment is already in flight")
+            self.tracer.instant(
+                "adjust.request", track="am", cat="adjust",
+                kind="migration", workers=new_ids,
+            )
             self._next_worker_index += count
             for worker_id in new_ids:
                 worker = _Worker(worker_id, context=None)
@@ -451,7 +473,9 @@ class ElasticRuntime:
         """
         with self._lock:
             job_id = self.am.job_id
-            self.am = ApplicationMaster.recover(job_id, self.reliable_store)
+            self.am = ApplicationMaster.recover(
+                job_id, self.reliable_store, tracer=self.tracer
+            )
             # The persisted snapshot's iteration view is stale (it is only
             # written on protocol transitions, not every coordination).  A
             # recovered AM must first learn where training actually is, or
@@ -469,8 +493,11 @@ class ElasticRuntime:
                     self.am.latest_iteration, max(live_iterations)
                 )
             self.telemetry.record_event(
-                time.time(), "am_failover", job_id=job_id,
+                None, "am_failover", job_id=job_id,
                 state=self.am.state.value, epoch=self.am.epoch,
+            )
+            self.tracer.instant(
+                "am.failover", track="am", cat="am", epoch=self.am.epoch
             )
 
     def _validate_directive(self, directive: Directive) -> None:
@@ -483,7 +510,11 @@ class ElasticRuntime:
         current = self.am.epoch
         if directive.epoch < current:
             self.telemetry.record_event(
-                time.time(), "stale_directive_rejected",
+                None, "stale_directive_rejected",
+                directive_epoch=directive.epoch, current_epoch=current,
+            )
+            self.tracer.instant(
+                "am.stale_directive_rejected", track="am", cat="am",
                 directive_epoch=directive.epoch, current_epoch=current,
             )
             raise StaleEpochError(
@@ -630,6 +661,10 @@ class ElasticRuntime:
                     ))
         for worker_id, latency, cause in detected:
             self.telemetry.record_detection(worker_id, latency, cause=cause)
+            self.tracer.instant(
+                "failure.detected", track="supervisor", cat="failure",
+                worker=worker_id, latency=latency, cause=cause,
+            )
 
     def _condemn(self, handle: _Worker, deadline, now: float, cause: str):
         # Caller holds the runtime lock.
@@ -650,14 +685,18 @@ class ElasticRuntime:
             if not self.worker_failures or self._stop_requested:
                 return
         started = time.perf_counter()
+        span = self.tracer.begin("recover", track="supervisor", cat="failure")
         try:
             removed = self.recover_from_failure()
         except RuntimeError:
+            self.tracer.end(span, outcome="unrecoverable")
             return  # e.g. every worker died; only a checkpoint can help
+        self.tracer.end(span, removed=list(removed))
         if removed:
             self.telemetry.record_recovery(
                 removed, time.perf_counter() - started
             )
+            self.metrics.gauge("workers").set(len(self.am.group))
 
     # -- worker-failure recovery (extension beyond the paper's §V-D) ------------
 
@@ -921,19 +960,32 @@ class ElasticRuntime:
                 self.worker_failures[worker.worker_id] = exc
                 context.collective.abort()
             self.telemetry.record_event(
-                time.time(), "worker_failure",
+                None, "worker_failure",
                 worker=worker.worker_id, error=repr(exc),
+            )
+            self.tracer.instant(
+                "worker.failure", track=worker.worker_id, cat="failure",
+                error=repr(exc),
             )
             return
 
     def _startup_and_report(self, worker: _Worker) -> None:
         """Step 2: simulate start + init, then report readiness."""
-        if self.startup_delay > 0:
-            # Deterministic per-worker jitter models start-time variance.
-            jitter = 0.3 * self.startup_delay * (
-                hash(worker.worker_id) % 100
-            ) / 100.0
-            time.sleep(self.startup_delay + jitter)
+        with self.tracer.span(
+            "worker.start_init", track=worker.worker_id, cat="adjust",
+            worker=worker.worker_id,
+        ):
+            if self.startup_delay > 0:
+                # Deterministic per-worker jitter models start-time
+                # variance.
+                jitter = 0.3 * self.startup_delay * (
+                    hash(worker.worker_id) % 100
+                ) / 100.0
+                time.sleep(self.startup_delay + jitter)
+        self.tracer.instant(
+            "worker.report", track=worker.worker_id, cat="adjust",
+            worker=worker.worker_id,
+        )
         with self._lock:
             self.am.worker_report(worker.worker_id)
 
@@ -1004,6 +1056,13 @@ class ElasticRuntime:
             # the job.  Fail-stop immediately — acting without a live
             # lease could race the recovery that is evicting us.
             raise SilentCrash(context.worker_id)
+        iteration_span = self.tracer.begin(
+            "iteration", track=context.worker_id, cat="train",
+            iteration=info.iteration,
+        )
+        compute_span = self.tracer.begin(
+            "compute", track=context.worker_id, cat="train"
+        )
         compute_started = time.perf_counter()
         delay = self.iteration_delays.get(context.worker_id, 0.0)
         if delay > 0:
@@ -1024,13 +1083,24 @@ class ElasticRuntime:
         self.telemetry.record_compute(
             context.worker_id, time.perf_counter() - compute_started
         )
+        self.tracer.end(compute_span)
+        allreduce_span = self.tracer.begin(
+            "allreduce", track=context.worker_id, cat="train"
+        )
+        allreduce_started = time.perf_counter()
         try:
             averaged = context.collective.allreduce(context.worker_id, grads)
         except CollectiveAborted:
             # The round never completed: rewind the loader so the batch is
             # re-issued when (if) this context resumes after recovery.
+            # The open iteration/allreduce spans are dropped at export —
+            # an aborted round contributes no timeline interval.
             context.loader.load_state_dict(loader_checkpoint)
             raise
+        self.tracer.end(allreduce_span)
+        self.metrics.histogram("worker.allreduce_seconds").observe(
+            time.perf_counter() - allreduce_started
+        )
         if context.lr_ramp is not None:
             lr = context.lr_ramp.lr_at(info.iteration)
         else:
@@ -1042,6 +1112,8 @@ class ElasticRuntime:
         info.iteration += 1
         info.epoch = context.loader.epoch
         worker.iterations_run += 1
+        self.tracer.end(iteration_span)
+        self.metrics.counter("iterations_total").inc()
 
     def _compute_gradients(self, context: WorkerContext, indices):
         """Gradients for one worker's share, with optional accumulation.
@@ -1091,6 +1163,11 @@ class ElasticRuntime:
         old_group = leader.group
         new_group = directive.new_group
         commit_iteration = directive.commit_iteration
+        commit_span = self.tracer.begin(
+            "adjust.commit", track="am", cat="adjust",
+            kind=request.kind.value, commit_iteration=commit_iteration,
+            old_workers=len(old_group), new_workers=len(new_group),
+        )
 
         # Step 5a: hybrid scaling — batch size and LR ramp.
         decision = self.scaling_policy.decide(
@@ -1107,6 +1184,10 @@ class ElasticRuntime:
             ramp = None  # no batch change; keep the current constant lr
 
         # Step 4: capture state via hooks and replicate to each new worker.
+        replicate_span = self.tracer.begin(
+            "commit.replicate", track="am", cat="adjust",
+            targets=len(request.add_workers),
+        )
         captured = self.hooks.capture_all(leader)
         replication_plan = None
         new_contexts: typing.Dict[str, WorkerContext] = {}
@@ -1133,7 +1214,12 @@ class ElasticRuntime:
                 ramp_to_runtime_info(context.runtime_info, ramp)
             context.loader.repartition(len(new_group))
             new_contexts[worker_id] = context
+        self.tracer.end(replicate_span)
 
+        # Steps 5b-c: group reconstruction + data repartition metadata.
+        reconfigure_span = self.tracer.begin(
+            "commit.reconfigure", track="am", cat="adjust"
+        )
         # If a topology was attached, derive the real replication plan the
         # transfers would follow (used by timing experiments and tests).
         if self._cluster is not None and request.add_workers:
@@ -1171,6 +1257,7 @@ class ElasticRuntime:
         self._generation += 1
         self.history.append(plan)
         self.am.finish_adjustment()
+        self.tracer.end(reconfigure_span)
 
         # Hand the new workers their contexts and release them (they join
         # the collective at the commit iteration).
@@ -1180,8 +1267,12 @@ class ElasticRuntime:
             handle.join_event.set()
         latency = time.perf_counter() - commit_started
         self.commit_latencies.append(latency)
+        self.tracer.end(commit_span)
+        self.metrics.histogram("commit_seconds").observe(latency)
+        self.metrics.counter(f"adjustments.{request.kind.value}").inc()
+        self.metrics.gauge("workers").set(len(new_group))
         self.telemetry.record_event(
-            time.time(), "adjustment",
+            None, "adjustment",
             adjustment_kind=request.kind.value,
             commit_iteration=commit_iteration,
             old_group=list(old_group),

@@ -7,6 +7,24 @@ start to allreduce entry), which isolates the slow worker, plus a
 structured event log of adjustments and failures.  The straggler-
 mitigation example uses :meth:`RuntimeTelemetry.detect_stragglers` to
 pick its victim instead of cheating.
+
+The collector sits on top of a
+:class:`~repro.observability.MetricRegistry`: every recording also feeds
+the well-known metrics below, so dashboards and the ``tracing`` CLI see
+the same numbers the query API serves.
+
+==============================================  =========
+metric                                          kind
+==============================================  =========
+``worker.compute_seconds``                      histogram
+``failure.detection_latency_seconds``           histogram
+``failure.mttr_seconds``                        histogram
+``events.<kind>``                               counter
+==============================================  =========
+
+Event timestamps come from an injectable ``clock`` (wall time in the
+live runtime, simulated time under the discrete-event twin), so dessim
+replays produce deterministic event logs.
 """
 
 from __future__ import annotations
@@ -18,6 +36,8 @@ import threading
 import time
 import typing
 
+from ..observability import MetricRegistry
+
 
 @dataclasses.dataclass(frozen=True)
 class TelemetryEvent:
@@ -27,14 +47,30 @@ class TelemetryEvent:
     kind: str
     detail: dict
 
+    def __post_init__(self):
+        # Defensive copy: a caller mutating its kwargs dict after the
+        # fact must not be able to rewrite the event log.
+        object.__setattr__(self, "detail", dict(self.detail))
+
 
 class RuntimeTelemetry:
     """Thread-safe collector of per-worker timings and events."""
 
-    def __init__(self, window: int = 256):
+    def __init__(
+        self,
+        window: int = 256,
+        clock: "typing.Callable[[], float] | None" = None,
+        metrics: "MetricRegistry | None" = None,
+    ):
         if window < 1:
             raise ValueError("window must be >= 1")
         self.window = window
+        #: Timestamp source for event records.  The live runtime passes
+        #: the store's clock (the one its supervisor already reads); the
+        #: simulated twin passes ``lambda: sim.now``.
+        self.clock = clock or time.time
+        #: The metric registry every recording feeds.
+        self.metrics = metrics or MetricRegistry()
         self._lock = threading.Lock()
         self._compute_times: typing.Dict[str, collections.deque] = {}
         self.events: typing.List[TelemetryEvent] = []
@@ -43,6 +79,11 @@ class RuntimeTelemetry:
         self.detection_latencies: typing.List[float] = []
         #: Seconds from failure detection to training restored (MTTR).
         self.mttr_samples: typing.List[float] = []
+        self._compute_hist = self.metrics.histogram("worker.compute_seconds")
+        self._detection_hist = self.metrics.histogram(
+            "failure.detection_latency_seconds"
+        )
+        self._mttr_hist = self.metrics.histogram("failure.mttr_seconds")
 
     # -- recording ------------------------------------------------------------
 
@@ -54,9 +95,18 @@ class RuntimeTelemetry:
                 buffer = collections.deque(maxlen=self.window)
                 self._compute_times[worker_id] = buffer
             buffer.append(seconds)
+        self._compute_hist.observe(seconds)
 
-    def record_event(self, wall_time: float, kind: str, **detail) -> None:
-        """Append a control-plane event to the log."""
+    def record_event(
+        self, wall_time: "float | None", kind: str, **detail
+    ) -> None:
+        """Append a control-plane event to the log.
+
+        ``wall_time=None`` stamps the event with the injected clock.
+        """
+        if wall_time is None:
+            wall_time = self.clock()
+        self.metrics.counter(f"events.{kind}").inc()
         with self._lock:
             self.events.append(
                 TelemetryEvent(wall_time=wall_time, kind=kind, detail=detail)
@@ -67,10 +117,12 @@ class RuntimeTelemetry:
     ) -> None:
         """Record that a worker failure was detected ``latency`` seconds
         after it became detectable (its lease deadline)."""
+        self._detection_hist.observe(latency)
+        self.metrics.counter("events.failure_detected").inc()
         with self._lock:
             self.detection_latencies.append(latency)
             self.events.append(TelemetryEvent(
-                wall_time=time.time(), kind="failure_detected",
+                wall_time=self.clock(), kind="failure_detected",
                 detail={"worker": worker_id, "latency": latency,
                         "cause": cause},
             ))
@@ -79,10 +131,12 @@ class RuntimeTelemetry:
         self, removed: typing.Sequence[str], mttr: float
     ) -> None:
         """Record one completed automatic recovery and its repair time."""
+        self._mttr_hist.observe(mttr)
+        self.metrics.counter("events.recovery").inc()
         with self._lock:
             self.mttr_samples.append(mttr)
             self.events.append(TelemetryEvent(
-                wall_time=time.time(), kind="recovery",
+                wall_time=self.clock(), kind="recovery",
                 detail={"removed": list(removed), "mttr": mttr},
             ))
 

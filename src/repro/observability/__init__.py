@@ -1,0 +1,30 @@
+"""Tracing + metrics shared by the live runtime and the simulators.
+
+One :class:`Tracer` (nested spans on an injectable clock, Chrome-trace
+export) and one :class:`MetricRegistry` (counters, gauges, streaming
+histograms) instrument every harness — ``ElasticRuntime`` on wall time,
+``SimulatedElasticJob`` and the replication/scheduling simulators on
+simulated time — with a single span taxonomy (``docs/OBSERVABILITY.md``).
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricRegistry, P2Quantile
+from .tracing import (
+    Span,
+    Tracer,
+    load_trace_events,
+    summarize_events,
+    validate_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "P2Quantile",
+    "Span",
+    "Tracer",
+    "load_trace_events",
+    "summarize_events",
+    "validate_events",
+]

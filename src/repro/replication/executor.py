@@ -80,6 +80,7 @@ class SimulatedReplicationExecutor:
         profile: "BandwidthProfile | None" = None,
         fault_plan: "FaultPlan | None" = None,
         backoff: "ExponentialBackoff | None" = None,
+        tracer: "typing.Any | None" = None,
     ):
         from ..coordination.faults import ExponentialBackoff
         self.profile = profile or BandwidthProfile()
@@ -88,6 +89,11 @@ class SimulatedReplicationExecutor:
             base=0.01, max_delay=0.5, sleeper=lambda _s: None
         )
         self.retries = 0
+        #: Optional :class:`~repro.observability.Tracer`: each executed
+        #: transfer lands as a ``replicate.transfer`` span (on the inner
+        #: kernel's simulated time) tagged with its link class and retry
+        #: count.
+        self.tracer = tracer
 
     def execute(self, plan: ReplicationPlan) -> ReplicationTimeline:
         """Run every transfer as a process contending on shared links."""
@@ -129,6 +135,17 @@ class SimulatedReplicationExecutor:
                 yield sim.timeout(self.backoff.delay(attempt))
             yield sim.timeout(transfer.duration(self.profile))
             records.append(TransferRecord(transfer, start, sim.now))
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "replicate.transfer", start, sim.now,
+                    track=transfer.target.name, cat="replicate",
+                    source=transfer.source.name,
+                    link=transfer.transport.value.upper(),
+                    level=transfer.level.name,
+                    retries=failures,
+                    gpu_bytes=transfer.gpu_bytes,
+                    cpu_bytes=transfer.cpu_bytes,
+                )
             for claim, request in requests:
                 locks[claim].release(request)
 

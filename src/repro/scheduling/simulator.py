@@ -13,7 +13,6 @@ runtime overheads and adjustment costs.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from .costs import AdjustmentCostModel, IdealCosts
@@ -34,6 +33,7 @@ class ClusterSimulator:
         total_gpus: int = 128,
         costs: "AdjustmentCostModel | None" = None,
         capacity_profile: "typing.Sequence[tuple] | None" = None,
+        tracer: "typing.Any | None" = None,
     ):
         """``capacity_profile`` models transient capacity (spot instances,
         over-subscription, §VI-C): a step function as sorted
@@ -61,6 +61,10 @@ class ClusterSimulator:
         self.costs = costs or IdealCosts()
         self.adjustments = 0
         self.evictions = 0
+        #: Optional :class:`~repro.observability.Tracer`: per-job
+        #: allocation events (start / adjust / evict / run span) plus a
+        #: ``cluster.busy_gpus`` counter land on simulated time.
+        self.tracer = tracer
 
     def run(self) -> ScheduleResult:
         """Execute the trace to completion and return the metrics."""
@@ -93,11 +97,21 @@ class ClusterSimulator:
                 utilization[-1] = point
             else:
                 utilization.append(point)
+            if self.tracer is not None:
+                self.tracer.add_counter("cluster.busy_gpus", now, point.busy,
+                                        track="cluster")
 
         def complete_finished() -> None:
             for job in list(running):
                 if job.remaining_work <= _EPSILON * job.spec.work:
                     job.completion_time = now
+                    if self.tracer is not None:
+                        self.tracer.add_span(
+                            "job.run", job.start_time, now,
+                            track=job.spec.job_id, cat="schedule",
+                            workers=job.workers,
+                            adjustments=job.adjustments,
+                        )
                     job.workers = 0
                     running.remove(job)
 
@@ -109,12 +123,23 @@ class ClusterSimulator:
                     job.start_time = now if job.start_time is None else job.start_time
                     queue.remove(job)
                     running.append(job)
+                    if self.tracer is not None:
+                        self.tracer.add_instant(
+                            "job.start", now, track=job.spec.job_id,
+                            cat="schedule", workers=workers,
+                        )
             for job in running:
                 workers = target.get(job.spec.job_id, job.workers)
                 if workers != job.workers:
                     downtime = self.costs.downtime(
                         job.spec.model, job.workers, workers
                     )
+                    if self.tracer is not None:
+                        self.tracer.add_instant(
+                            "job.adjust", now, track=job.spec.job_id,
+                            cat="schedule", old_workers=job.workers,
+                            new_workers=workers, downtime=downtime,
+                        )
                     job.paused_until = max(job.paused_until, now + downtime)
                     job.workers = workers
                     job.adjustments += 1
@@ -153,6 +178,11 @@ class ClusterSimulator:
                 queue.append(job)
                 queue.sort(key=lambda j: j.spec.submit_time)
                 self.evictions += 1
+                if self.tracer is not None:
+                    self.tracer.add_instant(
+                        "job.evicted", now, track=job.spec.job_id,
+                        cat="schedule",
+                    )
 
         def next_event_time() -> float:
             candidates = []

@@ -1,0 +1,119 @@
+"""The live runtime and its DES twin emit the same span taxonomy.
+
+The acceptance bar for the tracing layer: a scale-out traced on the live
+threaded runtime (wall clock) and on the simulated twin (sim clock)
+produce the same adjustment-phase spans and instants, and both export as
+schema-valid Chrome trace files.
+"""
+
+import pytest
+
+from repro.coordination import ElasticRuntime, SimulatedElasticJob
+from repro.observability import load_trace_events, validate_events
+from repro.perfmodel import RESNET50
+from repro.training import make_classification
+
+# The spans/instants every scale-out must produce in either harness.
+ADJUSTMENT_SPANS = {
+    "iteration",
+    "worker.start_init",
+    "am.directive",
+    "adjust.commit",
+    "commit.replicate",
+    "commit.reconfigure",
+}
+ADJUSTMENT_INSTANTS = {
+    "adjust.request",
+    "am.request",
+    "am.report",
+    "am.commit_scheduled",
+    "worker.report",
+}
+
+
+@pytest.fixture(scope="module")
+def live_runtime():
+    dataset = make_classification(train_size=256, test_size=64, seed=17)
+    runtime = ElasticRuntime(dataset, initial_workers=2,
+                             total_batch_size=32, seed=17)
+    runtime.start()
+    assert runtime.wait_until_iteration(3)
+    runtime.scale_out(2)
+    assert runtime.wait_for_adjustments(1)
+    assert runtime.wait_until_iteration(runtime.snapshot()["iteration"] + 3)
+    runtime.stop()
+    return runtime
+
+
+@pytest.fixture(scope="module")
+def sim_job():
+    job = SimulatedElasticJob(RESNET50, workers=2, total_batch_size=64,
+                              seed=17)
+    job.at(5.0, lambda: job.request_scale_out(2))
+    job.run(until=240.0)
+    assert job.adjustments, "scale-out never committed in simulation"
+    return job
+
+
+class TestSharedTaxonomy:
+    def test_live_emits_adjustment_taxonomy(self, live_runtime):
+        names = live_runtime.tracer.span_names()
+        assert ADJUSTMENT_SPANS <= names
+        instants = {i.name for i in live_runtime.tracer.instants()}
+        assert ADJUSTMENT_INSTANTS <= instants
+
+    def test_sim_emits_adjustment_taxonomy(self, sim_job):
+        names = sim_job.tracer.span_names()
+        assert ADJUSTMENT_SPANS <= names
+        instants = {i.name for i in sim_job.tracer.instants()}
+        assert ADJUSTMENT_INSTANTS <= instants
+
+    def test_live_only_spans_are_the_compute_split(self, live_runtime,
+                                                   sim_job):
+        # The twin times whole iterations; only the live runtime can
+        # split them into compute + allreduce.  Everything else matches.
+        live = live_runtime.tracer.span_names()
+        sim = sim_job.tracer.span_names()
+        assert live - sim <= {"compute", "allreduce"}
+        assert sim - live == set()
+
+    def test_commit_subspans_nest_inside_commit(self, sim_job):
+        (commit,) = sim_job.tracer.spans("adjust.commit")
+        for name in ("commit.replicate", "commit.reconfigure"):
+            (sub,) = sim_job.tracer.spans(name)
+            assert commit.start <= sub.start <= sub.end <= commit.end
+
+
+class TestExportRoundTrip:
+    @pytest.mark.parametrize("harness", ["live", "sim"])
+    def test_export_validates(self, harness, live_runtime, sim_job,
+                              tmp_path):
+        tracer = live_runtime.tracer if harness == "live" else sim_job.tracer
+        path = tmp_path / f"{harness}.json"
+        count = tracer.export(str(path))
+        events = load_trace_events(str(path))
+        assert len(events) == count
+        assert validate_events(events) == []
+
+    def test_sim_trace_is_deterministic(self, sim_job, tmp_path):
+        replay = SimulatedElasticJob(RESNET50, workers=2,
+                                     total_batch_size=64, seed=17)
+        replay.at(5.0, lambda: replay.request_scale_out(2))
+        replay.run(until=240.0)
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        sim_job.tracer.export(str(first))
+        replay.tracer.export(str(second))
+        assert first.read_text() == second.read_text()
+
+
+class TestMetricsAgree:
+    def test_both_harnesses_count_the_adjustment(self, live_runtime,
+                                                 sim_job):
+        live = live_runtime.metrics.snapshot()
+        sim = sim_job.telemetry.metrics.snapshot()
+        assert live["adjustments.scale_out"] == 1
+        assert sim["adjustments.scale_out"] == 1
+        assert live["workers"] == 4
+        assert sim["workers"] == 4
+        assert live["commit_seconds"]["count"] == 1
+        assert sim["commit_seconds"]["count"] == 1

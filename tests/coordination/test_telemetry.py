@@ -70,6 +70,94 @@ class TestRuntimeTelemetryUnit:
         ] == "w1"
 
 
+class TestDetectStragglersEdgeCases:
+    def _fill(self, telemetry, worker, value, n):
+        for _ in range(n):
+            telemetry.record_compute(worker, value)
+
+    def test_exactly_min_samples_counts(self):
+        telemetry = RuntimeTelemetry()
+        self._fill(telemetry, "fast1", 0.01, 5)
+        self._fill(telemetry, "fast2", 0.01, 5)
+        self._fill(telemetry, "slow", 0.10, 5)
+        assert telemetry.detect_stragglers(min_samples=5) == ["slow"]
+        # One sample short of the threshold: the worker is invisible.
+        telemetry = RuntimeTelemetry()
+        self._fill(telemetry, "fast1", 0.01, 5)
+        self._fill(telemetry, "fast2", 0.01, 5)
+        self._fill(telemetry, "slow", 0.10, 4)
+        assert telemetry.detect_stragglers(min_samples=5) == []
+
+    def test_all_equal_means_flag_nobody(self):
+        telemetry = RuntimeTelemetry()
+        for worker in ("a", "b", "c", "d"):
+            self._fill(telemetry, worker, 0.02, 8)
+        assert telemetry.detect_stragglers(factor=1.5) == []
+
+    def test_two_worker_group(self):
+        # With two workers the median is the midpoint: only a truly
+        # extreme outlier clears factor x median.
+        telemetry = RuntimeTelemetry()
+        self._fill(telemetry, "fast", 0.01, 8)
+        self._fill(telemetry, "slow", 0.05, 8)
+        assert telemetry.detect_stragglers(factor=1.5) == ["slow"]
+        telemetry = RuntimeTelemetry()
+        self._fill(telemetry, "fast", 0.01, 8)
+        self._fill(telemetry, "slowish", 0.012, 8)
+        assert telemetry.detect_stragglers(factor=1.5) == []
+
+    def test_zero_median_guard(self):
+        # All-zero compute times (degenerate clocks) must not divide by
+        # zero or flag everyone.
+        telemetry = RuntimeTelemetry()
+        self._fill(telemetry, "a", 0.0, 8)
+        self._fill(telemetry, "b", 0.0, 8)
+        assert telemetry.detect_stragglers(factor=2.0) == []
+
+
+class TestEventIntegrity:
+    def test_detail_is_copied_on_construction(self):
+        telemetry = RuntimeTelemetry()
+        detail = {"worker": "w1"}
+        telemetry.record_event(1.0, "worker_failure", **detail)
+        detail["worker"] = "mutated"
+        assert telemetry.events[0].detail["worker"] == "w1"
+
+    def test_injectable_clock_stamps_events(self):
+        sim_now = {"t": 10.0}
+        telemetry = RuntimeTelemetry(clock=lambda: sim_now["t"])
+        telemetry.record_event(None, "adjustment")
+        sim_now["t"] = 20.0
+        telemetry.record_detection("w1", latency=0.5)
+        sim_now["t"] = 23.0
+        telemetry.record_recovery(["w1"], mttr=3.0)
+        times = [e.wall_time for e in telemetry.events]
+        assert times == [10.0, 20.0, 23.0]
+        # Replays with the same clock produce the same log: no hidden
+        # time.time() anywhere.
+        replay = RuntimeTelemetry(clock=lambda: 20.0)
+        replay.record_detection("w1", latency=0.5)
+        assert replay.events[0].wall_time == 20.0
+        assert replay.detection_latencies == [0.5]
+
+    def test_explicit_wall_time_still_wins(self):
+        telemetry = RuntimeTelemetry(clock=lambda: 99.0)
+        telemetry.record_event(5.0, "adjustment")
+        assert telemetry.events[0].wall_time == 5.0
+
+    def test_recordings_feed_metric_registry(self):
+        telemetry = RuntimeTelemetry(clock=lambda: 0.0)
+        telemetry.record_compute("w0", 0.25)
+        telemetry.record_detection("w0", latency=1.5)
+        telemetry.record_recovery(["w0"], mttr=2.5)
+        telemetry.record_event(None, "adjustment")
+        snap = telemetry.metrics.snapshot()
+        assert snap["worker.compute_seconds"]["count"] == 1
+        assert snap["failure.detection_latency_seconds"]["max"] == 1.5
+        assert snap["failure.mttr_seconds"]["max"] == 2.5
+        assert snap["events.adjustment"] == 1
+
+
 class TestTelemetryInRuntime:
     def test_detects_injected_straggler(self, dataset):
         """End to end: the telemetry identifies the slow worker from real

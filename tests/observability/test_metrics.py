@@ -1,0 +1,129 @@
+"""Tests for counters, gauges, and P² streaming quantiles."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.observability import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    P2Quantile,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(12)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestP2Quantile:
+    def test_validates_p(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(bad)
+
+    def test_empty_is_none(self):
+        assert P2Quantile(0.5).value() is None
+
+    def test_exact_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            estimator.observe(x)
+        assert estimator.value() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_tracks_uniform_distribution(self, p):
+        rng = random.Random(7)
+        samples = [rng.uniform(0.0, 100.0) for _ in range(5000)]
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.observe(x)
+        # statistics.quantiles with n=100 gives the 1..99 percentiles.
+        exact = statistics.quantiles(samples, n=1000)[int(p * 1000) - 1]
+        assert estimator.value() == pytest.approx(exact, abs=2.0)
+
+    @pytest.mark.parametrize("p", [0.5, 0.95])
+    def test_tracks_skewed_distribution(self, p):
+        rng = random.Random(11)
+        samples = [rng.expovariate(1 / 0.05) for _ in range(5000)]
+        estimator = P2Quantile(p)
+        for x in samples:
+            estimator.observe(x)
+        exact = statistics.quantiles(samples, n=1000)[int(p * 1000) - 1]
+        assert estimator.value() == pytest.approx(exact, rel=0.08)
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = Histogram("h")
+        for x in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(x)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+        assert snap["mean"] == pytest.approx(2.5)
+        assert set(snap) >= {"p50", "p95", "p99"}
+
+    def test_quantile_accuracy_vs_statistics(self):
+        rng = random.Random(3)
+        samples = [rng.gauss(10.0, 2.0) for _ in range(4000)]
+        hist = Histogram("h")
+        for x in samples:
+            hist.observe(x)
+        for q in (0.5, 0.95, 0.99):
+            exact = statistics.quantiles(samples, n=1000)[int(q * 1000) - 1]
+            assert hist.quantile(q) == pytest.approx(exact, rel=0.05)
+
+    def test_untracked_quantile_raises(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(KeyError):
+            hist.quantile(0.25)
+
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.mean is None
+        assert hist.quantile(0.5) is None
+
+
+class TestMetricRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+        assert registry.names() == ["a", "b", "c"]
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_covers_all_kinds(self):
+        registry = MetricRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("workers").set(8)
+        registry.histogram("lat").observe(0.5)
+        snap = registry.snapshot()
+        assert snap["hits"] == 3
+        assert snap["workers"] == 8
+        assert snap["lat"]["count"] == 1

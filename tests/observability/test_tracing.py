@@ -1,0 +1,184 @@
+"""Tests for the span tracer and the Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    load_trace_events,
+    summarize_events,
+    validate_events,
+)
+
+
+class FakeClock:
+    """A settable clock so span timings are exact."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestRecording:
+    def test_begin_end_span(self, clock):
+        tracer = Tracer(clock=clock)
+        span = tracer.begin("work", track="w0", cat="test", key="value")
+        clock.now = 2.5
+        tracer.end(span, extra="yes")
+        (recorded,) = tracer.spans("work")
+        assert recorded.duration == pytest.approx(2.5)
+        assert recorded.args == {"key": "value", "extra": "yes"}
+        assert recorded.track == "w0"
+
+    def test_context_manager_span(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("block", track="w0"):
+            clock.now = 1.0
+        (recorded,) = tracer.spans("block")
+        assert recorded.duration == pytest.approx(1.0)
+
+    def test_instants_and_counters(self, clock):
+        tracer = Tracer(clock=clock)
+        clock.now = 3.0
+        tracer.instant("ping", track="am", hello=1)
+        tracer.counter("depth", 7.0, track="am")
+        (instant,) = tracer.instants("ping")
+        assert instant.start == 3.0
+        assert instant.args == {"hello": 1}
+        assert len(tracer) == 2
+
+    def test_retrospective_recording(self):
+        tracer = Tracer()
+        tracer.add_span("past", 1.0, 4.0, track="sim")
+        tracer.add_instant("mark", 2.0, track="sim")
+        tracer.add_counter("gpus", 2.5, 16, track="sim")
+        (span,) = tracer.spans("past")
+        assert span.duration == pytest.approx(3.0)
+        assert tracer.span_names() == {"past"}
+
+    def test_open_spans_not_reported(self, clock):
+        tracer = Tracer(clock=clock)
+        tracer.begin("never-closed")
+        assert tracer.spans("never-closed") == []
+        assert all(e["ph"] == "M" for e in tracer.to_events())
+
+    def test_disabled_tracer_records_nothing(self, clock):
+        tracer = Tracer(clock=clock, enabled=False)
+        tracer.begin("a")
+        tracer.instant("b")
+        tracer.add_span("c", 0.0, 1.0)
+        assert len(tracer) == 0
+
+    def test_end_is_none_safe(self):
+        Tracer(enabled=False).end(None)  # must not raise
+
+
+class TestExport:
+    def _sample_tracer(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, process="test-proc")
+        with tracer.span("outer", track="w0", cat="t"):
+            clock.now = 1.0
+            with tracer.span("inner", track="w0", cat="t"):
+                clock.now = 1.5
+            clock.now = 2.0
+        tracer.instant("event", track="am")
+        tracer.counter("gpus", 4, track="cluster")
+        return tracer
+
+    def test_to_events_structure(self):
+        events = self._sample_tracer().to_events()
+        phases = [e["ph"] for e in events]
+        # metadata first: process_name + one thread_name per track
+        assert phases[:4] == ["M", "M", "M", "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        outer = next(e for e in complete if e["name"] == "outer")
+        assert outer["ts"] == 0.0
+        assert outer["dur"] == pytest.approx(2.0 * 1e6)  # microseconds
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+
+    def test_tracks_get_distinct_tids(self):
+        events = self._sample_tracer().to_events()
+        names = {
+            e["args"]["name"]: e["tid"]
+            for e in events if e["name"] == "thread_name"
+        }
+        assert set(names) == {"w0", "am", "cluster"}
+        assert len(set(names.values())) == 3
+
+    def test_export_round_trip(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "trace.json"
+        count = tracer.export(str(path))
+        loaded = load_trace_events(str(path))
+        assert len(loaded) == count == len(tracer.to_events())
+        assert validate_events(loaded) == []
+        # The file is strict JSON (Perfetto) ...
+        assert json.loads(path.read_text()) == loaded
+        # ... and line-parseable (JSONL consumers).
+        body = path.read_text().strip().splitlines()[1:-1]
+        assert all(json.loads(line.rstrip(",")) for line in body)
+
+    def test_load_tolerates_unterminated_array(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        truncated = tmp_path / "cut.json"
+        truncated.write_text(path.read_text().rsplit("]", 1)[0])
+        assert load_trace_events(str(truncated)) == load_trace_events(
+            str(path)
+        )
+
+    def test_load_trace_events_object_form(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text(json.dumps(
+            {"traceEvents": [{"name": "a", "ph": "i", "ts": 0, "s": "t"}]}
+        ))
+        assert len(load_trace_events(str(path))) == 1
+
+
+class TestValidation:
+    def test_good_events_pass(self):
+        assert validate_events(
+            [{"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0}]
+        ) == []
+
+    @pytest.mark.parametrize("bad", [
+        {"ph": "X", "ts": 0.0, "dur": 1.0},            # no name
+        {"name": "a", "ph": "Z", "ts": 0.0},           # unknown phase
+        {"name": "a", "ph": "X", "dur": 1.0},          # no ts
+        {"name": "a", "ph": "X", "ts": 0.0},           # X without dur
+        {"name": "a", "ph": "X", "ts": 0.0, "dur": -1},  # negative dur
+    ])
+    def test_bad_events_flagged(self, bad):
+        events = [{"name": "ok", "ph": "i", "ts": 0.0}, bad]
+        assert validate_events(events)
+
+    def test_metadata_only_trace_is_a_problem(self):
+        events = [{"name": "process_name", "ph": "M", "args": {}}]
+        assert validate_events(events)
+
+
+class TestSummarize:
+    def test_rows_sorted_by_total(self):
+        tracer = Tracer()
+        tracer.add_span("big", 0.0, 10.0)
+        for i in range(4):
+            tracer.add_span("small", i, i + 0.5)
+        rows = summarize_events(tracer.to_events())
+        assert [r[0] for r in rows] == ["big", "small"]
+        name, count, total, mean, peak = rows[1]
+        assert count == 4
+        assert total == pytest.approx(2.0)
+        assert mean == pytest.approx(0.5)
+        assert peak == pytest.approx(0.5)

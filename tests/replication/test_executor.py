@@ -161,3 +161,25 @@ class TestCheckpointBaseline:
         storage.delete("x")
         storage.delete("x")
         assert not storage.exists("x")
+
+
+class TestExecutorTracing:
+    def test_transfers_traced_with_link_class(self):
+        from repro.observability import Tracer
+
+        cluster = build_cluster(2)
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[4:10]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        tracer = Tracer(process="replication")
+        timeline = SimulatedReplicationExecutor(tracer=tracer).execute(plan)
+        spans = tracer.spans("replicate.transfer")
+        assert len(spans) == len(timeline.records)
+        recorded = {
+            (r.transfer.target.name, r.start, r.end)
+            for r in timeline.records
+        }
+        for span in spans:
+            assert (span.track, span.start, span.end) in recorded
+            assert span.args["link"] in ("P2P", "SHM", "NET")
+            assert span.args["retries"] == 0

@@ -204,3 +204,32 @@ class TestMetrics:
         series = result.utilization_series(resolution=3600.0)
         assert len(series) > 10
         assert all(0.0 <= frac <= 1.0 for _t, frac in series)
+
+
+class TestSchedulingTrace:
+    def test_simulator_emits_job_allocation_events(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer(process="sched")
+        trace = generate_trace(num_jobs=20, seed=6)
+        result = ClusterSimulator(
+            trace, ElasticFifoPolicy(), total_gpus=64,
+            costs=ElanCosts(), tracer=tracer,
+        ).run()
+        # Every job got a start instant and a lifetime span.
+        starts = tracer.instants("job.start")
+        runs = tracer.spans("job.run")
+        assert len(starts) >= len(trace)  # re-starts after eviction allowed
+        assert len(runs) == len(trace)
+        by_id = {s.track: s for s in runs}
+        for execution in result.executions:
+            span = by_id[execution.spec.job_id]
+            assert span.start == pytest.approx(execution.start_time)
+            assert span.end == pytest.approx(execution.completion_time)
+        # Elastic reallocation showed up as job.adjust instants and the
+        # utilization series as a counter.
+        assert len(tracer.instants("job.adjust")) == result.adjustments
+        counters = [e for e in tracer.to_events() if e["ph"] == "C"]
+        assert counters and all(
+            e["name"] == "cluster.busy_gpus" for e in counters
+        )

@@ -84,3 +84,28 @@ class TestTraceAndCapacityCommands:
                      "--seed", "5"]) == 0
         out = capsys.readouterr().out
         assert "e-fifo" in out and "Avg JCT" in out
+
+
+class TestTracingCommand:
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tracing", "replay", "x.json"])
+
+    def test_demo_summarize_validate_pipeline(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["tracing", "demo", str(path), "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out and path.exists()
+
+        assert main(["tracing", "validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["tracing", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "iteration" in out and "adjust.commit" in out
+
+    def test_validate_flags_broken_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"name":"x","ph":"X","ts":0}]')
+        assert main(["tracing", "validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
