@@ -11,10 +11,20 @@ protocol-bound.
 """
 
 import statistics
+import threading
+import time
 
 from conftest import fmt_row
 
 from repro.coordination import ElasticRuntime
+from repro.coordination.messages import MessageType
+from repro.net import (
+    JobSpec,
+    NetworkedApplicationMaster,
+    WorkerAgent,
+    memory_link,
+    tcp_link,
+)
 from repro.training import make_classification
 
 ADJUSTMENTS = 6
@@ -55,3 +65,95 @@ def test_live_commit_latency(benchmark, save_result):
     assert len(latencies) == ADJUSTMENTS
     # Protocol overhead is milliseconds — adjustments are transfer-bound.
     assert max(latencies) < 0.25
+
+
+def run_networked_job(transport):
+    """One scale-out commit on the networked AM over either transport."""
+    spec = JobSpec(
+        iterations=24, coordination_interval=4, iteration_sleep=0.005,
+    )
+    master = NetworkedApplicationMaster(spec, ["w0", "w1"])
+    server = master.serve_tcp() if transport == "tcp" else None
+
+    def link(node_id, ack_timeout=0.5):
+        if transport == "tcp":
+            client, _ = tcp_link(
+                server.host, server.port, node_id, ack_timeout=ack_timeout
+            )
+            return client
+        return memory_link(master.core, node_id, ack_timeout=ack_timeout)
+
+    results = {}
+    threads = {}
+
+    def run(worker):
+        client = link(worker)
+        try:
+            results[worker] = WorkerAgent(
+                worker, client, poll_interval=0.01
+            ).run()
+        finally:
+            client.close()
+
+    def start(worker):
+        threads[worker] = threading.Thread(
+            target=run, args=(worker,), daemon=True
+        )
+        threads[worker].start()
+
+    for worker in ("w0", "w1"):
+        start(worker)
+    driver = link("driver", ack_timeout=2.0)
+    while driver.request(MessageType.STATUS)["iteration"] < 4:
+        time.sleep(0.01)
+    assert driver.request(
+        MessageType.ADJUSTMENT_REQUEST,
+        {"kind": "scale_out", "add": ["w2", "w3"]},
+    )["accepted"]
+    for worker in ("w2", "w3"):
+        start(worker)
+    for thread in threads.values():
+        thread.join(timeout=60)
+    status = driver.request(MessageType.STATUS)
+    driver.close()
+    master.close()
+    assert status["complete"] and status["adjustments_committed"] == 1
+    assert len(set(status["digests"].values())) == 1
+    return status["commit_latencies"]
+
+
+def test_networked_commit_latency(benchmark, save_result):
+    """In-memory vs loopback-TCP commit latency on the networked AM.
+
+    One scale-out (2 -> 4 workers) per transport; the commit latency is
+    request -> finished adjustment, including the joiners' report polls
+    and the state replication round-trip over the wire.
+    """
+    memory_latencies = run_networked_job("memory")
+    tcp_latencies = benchmark.pedantic(
+        run_networked_job, args=("tcp",), rounds=1, iterations=1
+    )
+
+    widths = (10, 14, 14)
+    lines = [fmt_row(("Commit", "memory (ms)", "tcp (ms)"), widths)]
+    for index in range(max(len(memory_latencies), len(tcp_latencies))):
+        def cell(values):
+            return (
+                f"{values[index] * 1e3:.2f}" if index < len(values) else "-"
+            )
+        lines.append(
+            fmt_row((index, cell(memory_latencies), cell(tcp_latencies)),
+                    widths)
+        )
+    lines.append(
+        f"memory mean {statistics.mean(memory_latencies) * 1e3:.2f} ms; "
+        f"tcp mean {statistics.mean(tcp_latencies) * 1e3:.2f} ms "
+        f"(loopback sockets, JSON codec)"
+    )
+    save_result("networked_commit_latency", lines)
+
+    assert len(memory_latencies) == 1
+    assert len(tcp_latencies) == 1
+    # Loose bound: one commit (including joiner polling at 10 ms cadence
+    # and snapshot replication) stays well under a second over loopback.
+    assert max(tcp_latencies) < 5.0

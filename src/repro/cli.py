@@ -283,6 +283,65 @@ def cmd_demo(args) -> int:
     return 0 if consistent else 1
 
 
+def cmd_serve(args) -> int:
+    """Host a networked AM over loopback TCP until the job completes."""
+    from .net import JobSpec, NetworkedApplicationMaster
+    from .observability import Tracer
+
+    spec = JobSpec(
+        train_size=args.train_size,
+        total_batch_size=args.batch,
+        base_lr=args.lr,
+        seed=args.seed,
+        iterations=args.iterations,
+        coordination_interval=args.interval,
+    )
+    workers = [f"w{i}" for i in range(args.workers)]
+    tracer = Tracer(process="elan-net") if args.trace else None
+    master = NetworkedApplicationMaster(spec, workers, tracer=tracer)
+    server = master.serve_tcp(host=args.host, port=args.port)
+    print(f"serving job on {server.host}:{server.port} "
+          f"(workers: {', '.join(workers)})", flush=True)
+    try:
+        completed = master.wait_complete(timeout=args.timeout)
+    finally:
+        master.close()
+    status = master.status()
+    print(f"final status: {status}")
+    if args.trace and tracer is not None:
+        tracer.export(args.trace)
+        print(f"wrote {len(tracer.to_events())} events to {args.trace}")
+    if not completed:
+        print("job did not complete before the timeout", file=sys.stderr)
+        return 1
+    digests = set(status["digests"].values())
+    return 0 if len(digests) == 1 else 1
+
+
+def cmd_join(args) -> int:
+    """Run one worker agent against a serving AM."""
+    from .coordination.faults import FaultPlan
+    from .net import WorkerAgent, tcp_link
+
+    plan = None
+    if args.drop_every or args.duplicate_every or args.reset_at:
+        plan = FaultPlan(
+            drop_every=args.drop_every,
+            duplicate_every=args.duplicate_every,
+            connection_resets=tuple(args.reset_at or ()),
+        )
+    link, _transport = tcp_link(
+        args.host, args.port, args.worker,
+        fault_plan=plan, ack_timeout=args.ack_timeout,
+    )
+    try:
+        result = WorkerAgent(args.worker, link).run()
+    finally:
+        link.close()
+    print(f"{args.worker}: {result}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -340,6 +399,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="live elastic-training demo")
     demo.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="host a networked AM for a multi-process job"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--iterations", type=int, default=24)
+    serve.add_argument("--train-size", type=int, default=512)
+    serve.add_argument("--batch", type=int, default=32)
+    serve.add_argument("--lr", type=float, default=0.05)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--interval", type=int, default=4,
+                       help="coordination interval (iterations)")
+    serve.add_argument("--timeout", type=float, default=120.0)
+    serve.add_argument("--trace", help="export a Chrome trace here")
+
+    join = sub.add_parser(
+        "join", help="run one worker agent against a serving AM"
+    )
+    join.add_argument("--host", default="127.0.0.1")
+    join.add_argument("--port", type=int, required=True)
+    join.add_argument("--worker", required=True, help="this worker's id")
+    join.add_argument("--ack-timeout", type=float, default=1.0)
+    join.add_argument("--drop-every", type=int, default=0,
+                      help="drop each n-th outbound message")
+    join.add_argument("--duplicate-every", type=int, default=0,
+                      help="send each n-th outbound message twice")
+    join.add_argument("--reset-at", type=int, action="append",
+                      help="reset the connection at this send index "
+                           "(repeatable)")
     return parser
 
 
@@ -353,6 +443,8 @@ _HANDLERS = {
     "capacity": cmd_capacity,
     "tracing": cmd_tracing,
     "demo": cmd_demo,
+    "serve": cmd_serve,
+    "join": cmd_join,
 }
 
 

@@ -102,6 +102,17 @@ class FaultPlan:
     drop_every: int = 0
     #: deliver each n-th control-plane message twice (0 = no dupes).
     duplicate_every: int = 0
+    #: send index (1-based) -> extra seconds of delivery latency injected
+    #: before that send (network-transport plans only).
+    net_delays: typing.Mapping[int, float] = dataclasses.field(
+        default_factory=dict
+    )
+    #: send indices (1-based) at which the connection is reset *before*
+    #: the send: the message is lost with the connection and the
+    #: transport must reconnect (backoff + handshake) before any further
+    #: traffic flows.  Consumed by both transports in :mod:`repro.net`,
+    #: so chaos tests behave identically in memory and over TCP.
+    connection_resets: typing.Tuple[int, ...] = ()
     #: lease key -> time at which it is forcibly revoked (fencing a
     #: worker out even though it is healthy).
     lease_expiries: typing.Mapping[str, float] = dataclasses.field(
@@ -146,6 +157,16 @@ class FaultPlan:
             deliver,
             drop_every=self.drop_every,
             duplicate_every=self.duplicate_every,
+        )
+
+    @property
+    def has_transport_faults(self) -> bool:
+        """True if any network-transport fault is scheduled."""
+        return bool(
+            self.drop_every
+            or self.duplicate_every
+            or self.net_delays
+            or self.connection_resets
         )
 
     def due_lease_expiries(self, now: float) -> "list[str]":

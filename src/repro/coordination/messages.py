@@ -5,6 +5,13 @@ resend on timeout — the paper's fault-tolerance recipe ("we tag every
 message with a unique ID and resend it in case of timeout").  The channel
 abstraction supports injectable delivery faults (drops, duplicates) so the
 resend/dedup logic is actually exercised by tests.
+
+These primitives are transport-agnostic: :class:`FaultyChannel` satisfies
+the :class:`repro.net.Transport` protocol (``send`` / ``close`` /
+``connected`` / ``node_id``), and the networked stack in
+:mod:`repro.net` reuses :class:`ReliableSender` as its only resend loop
+and :class:`DeduplicatingInbox` as its only dedup filter — the in-memory
+and TCP paths share one code path for the §V-D recipe.
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ class MessageType(enum.Enum):
     DIRECTIVE = "directive"  # AM -> worker (continue / adjust)
     HEARTBEAT = "heartbeat"  # worker -> store (lease keep-alive)
     ACK = "ack"
+    JOIN = "join"  # joining worker -> AM (poll for spec + state)
+    SYNC = "sync"  # worker -> AM (gradient rendezvous barrier)
+    STATE_UPLOAD = "state_upload"  # uploader -> AM (snapshot / digest)
+    STATUS = "status"  # driver -> AM (job progress query)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,27 +72,44 @@ class MessageFactory:
 
 
 class DeduplicatingInbox:
-    """Receiver-side dedup by message ID."""
+    """Receiver-side dedup, by message ID (default) or a custom key.
 
-    def __init__(self):
+    A single-sender inbox keys on ``msg_id`` alone (IDs are unique per
+    :class:`MessageFactory`); a server fed by many clients — each with
+    its own factory — passes ``key=lambda m: (m.sender, m.msg_id)`` so
+    two clients' counters cannot collide.
+    """
+
+    def __init__(
+        self,
+        key: "typing.Callable[[Message], typing.Hashable] | None" = None,
+    ):
+        self._key = key or (lambda message: message.msg_id)
         self._seen: set = set()
         self.duplicates_dropped = 0
 
     def accept(self, message: Message) -> bool:
         """True if the message is new; False (and counted) if a duplicate."""
-        if message.msg_id in self._seen:
+        key = self._key(message)
+        if key in self._seen:
             self.duplicates_dropped += 1
             return False
-        self._seen.add(message.msg_id)
+        self._seen.add(key)
         return True
 
 
 class FaultyChannel:
-    """A lossy channel with deterministic fault injection.
+    """A lossy in-memory channel with deterministic fault injection.
 
     ``drop_every`` drops each n-th send (simulating loss so that the
     sender's resend path runs); ``duplicate_every`` delivers each n-th
     send twice (so the receiver's dedup path runs).
+
+    The channel satisfies the :class:`repro.net.Transport` protocol: it
+    carries a ``node_id``, reports ``connected``, and can be ``close``\\ d
+    (after which every send fails).  The TCP transport reuses this class
+    verbatim as its loss-injection stage, so both transports share one
+    drop/duplicate code path.
     """
 
     def __init__(
@@ -89,16 +117,30 @@ class FaultyChannel:
         deliver: typing.Callable[[Message], None],
         drop_every: int = 0,
         duplicate_every: int = 0,
+        node_id: str = "local",
     ):
         self._deliver = deliver
         self.drop_every = drop_every
         self.duplicate_every = duplicate_every
+        self.node_id = node_id
         self.sent = 0
         self.dropped = 0
         self.duplicated = 0
+        self._closed = False
+
+    @property
+    def connected(self) -> bool:
+        """An in-memory channel is connected until closed."""
+        return not self._closed
+
+    def close(self) -> None:
+        """Tear the channel down; subsequent sends report failure."""
+        self._closed = True
 
     def send(self, message: Message) -> bool:
         """Send through the channel; returns False if the send was dropped."""
+        if self._closed:
+            return False
         self.sent += 1
         if self.drop_every and self.sent % self.drop_every == 0:
             self.dropped += 1

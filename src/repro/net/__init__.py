@@ -1,0 +1,53 @@
+"""Real network transport for the AM/worker control plane.
+
+One protocol (:class:`Transport`), two implementations — in-memory and
+length-prefixed TCP — sharing a single dedup/resend code path, so the
+§V-D fault-tolerance recipe and every chaos schedule behave identically
+in-process and over real sockets.  On top of the seam:
+:class:`NetworkedApplicationMaster` (the message-driven AM + gradient
+rendezvous), :class:`WorkerAgent` (one replica), and
+:class:`MultiprocessElasticJob` (an elastic job as N OS processes).
+"""
+
+from .agent import JoinRejected, WorkerAgent
+from .job import JobFailed, MultiprocessElasticJob
+from .master_service import JobSpec, NetworkedApplicationMaster
+from .tcp import TcpServer, TcpTransport, tcp_link
+from .transport import (
+    FaultAction,
+    InMemoryTransport,
+    ReliableLink,
+    RemoteError,
+    RequestTimeout,
+    ServerCore,
+    Transport,
+    TransportClosed,
+    TransportFaults,
+    memory_link,
+)
+from .wire import PROTOCOL_VERSION, WireError, params_digest
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FaultAction",
+    "InMemoryTransport",
+    "JobFailed",
+    "JobSpec",
+    "JoinRejected",
+    "MultiprocessElasticJob",
+    "NetworkedApplicationMaster",
+    "ReliableLink",
+    "RemoteError",
+    "RequestTimeout",
+    "ServerCore",
+    "TcpServer",
+    "TcpTransport",
+    "Transport",
+    "TransportClosed",
+    "TransportFaults",
+    "WireError",
+    "WorkerAgent",
+    "memory_link",
+    "params_digest",
+    "tcp_link",
+]

@@ -1,0 +1,188 @@
+"""The worker agent: one training replica driven over a reliable link.
+
+A :class:`WorkerAgent` is transport-agnostic — hand it any
+:class:`~repro.net.transport.ReliableLink` (in-memory for tests, TCP for
+real multi-process jobs) and it runs the full worker half of the
+protocol: join-poll until admitted, train in lockstep with the group,
+coordinate at boundaries, adopt adjustments (including uploading state
+when elected, or departing when scaled in), and upload a final parameter
+digest the AM uses to assert replica consistency.
+
+Every replica reconstructs the dataset, model and loader locally from
+the :class:`~repro.net.master_service.JobSpec` seed; the only training
+state that crosses the wire is the adjustment-time snapshot and the
+per-iteration gradients (averaged by the AM's rendezvous).
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+import numpy as np
+
+from ..coordination.messages import MessageType
+from ..training.architectures import mlp_architecture
+from ..training.dataloader import SerialLoader
+from ..training.datasets import make_classification
+from ..training.optim import MomentumSGD
+from .master_service import JobSpec
+from .transport import ReliableLink
+from .wire import params_digest
+
+
+class JoinRejected(RuntimeError):
+    """The agent gave up polling before the AM admitted it."""
+
+
+class WorkerAgent:
+    """One data-parallel replica speaking the worker protocol."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        link: ReliableLink,
+        poll_interval: float = 0.05,
+        join_timeout: float = 30.0,
+        tracer: "typing.Any | None" = None,
+    ):
+        self.worker_id = worker_id
+        self.link = link
+        self.poll_interval = poll_interval
+        self.join_timeout = join_timeout
+        self.tracer = tracer
+        self.iterations_run = 0
+        self.removed = False
+        self.joined_at: "int | None" = None
+        self.final_digest: "str | None" = None
+
+    # -- protocol steps ---------------------------------------------------------
+
+    def _join(self) -> dict:
+        """Poll ``JOIN`` until admitted (each poll is the worker-report)."""
+        deadline = time.monotonic() + self.join_timeout
+        while True:
+            reply = self.link.request(MessageType.JOIN)
+            if reply.get("status") in ("start", "join"):
+                return reply
+            if time.monotonic() >= deadline:
+                raise JoinRejected(
+                    f"{self.worker_id!r} not admitted within "
+                    f"{self.join_timeout}s"
+                )
+            time.sleep(self.poll_interval)
+
+    def run(self) -> dict:
+        """Execute the job to completion; returns a result summary."""
+        admission = self._join()
+        spec = JobSpec.from_payload(admission["spec"])
+        group = list(admission["group"])
+        generation = int(admission["generation"])
+        start_iteration = int(admission["iteration"])
+        self.joined_at = start_iteration
+
+        dataset = make_classification(
+            train_size=spec.train_size,
+            test_size=spec.test_size,
+            input_dim=spec.input_dim,
+            num_classes=spec.num_classes,
+            seed=spec.seed,
+        )
+        architecture = mlp_architecture(
+            spec.input_dim, spec.hidden_dim, spec.num_classes
+        )
+        loader = SerialLoader(dataset_size=spec.train_size, seed=spec.seed)
+        optimizer = MomentumSGD(spec.base_lr, momentum=spec.momentum)
+        state = admission.get("state")
+        if state:
+            # Copy: over the in-memory transport several joiners receive
+            # the same snapshot object; each replica needs its own arrays.
+            params = {
+                name: np.array(array)
+                for name, array in state["params"].items()
+            }
+            optimizer.load_state_dict(state["optimizer"])
+            loader.load_state_dict(state["loader"])
+        else:
+            params = architecture.init(spec.seed)
+
+        iteration = start_iteration
+        while iteration < spec.iterations:
+            # Boundary coordination — except at the join iteration: the
+            # adjustment that admitted this worker commits *at* that
+            # boundary, and the survivors' directives drive it.
+            at_boundary = iteration % spec.coordination_interval == 0
+            if at_boundary and iteration != start_iteration:
+                directive = self.link.request(
+                    MessageType.COORDINATE, {"iteration": iteration}
+                )
+                if directive["kind"] == "adjust":
+                    if directive.get("upload"):
+                        self.link.request(
+                            MessageType.STATE_UPLOAD,
+                            {
+                                "iteration": iteration,
+                                "params": params,
+                                "optimizer": optimizer.state_dict(),
+                                "loader": loader.state_dict(),
+                            },
+                        )
+                    group = list(directive["group"])
+                    generation = int(directive["generation"])
+                    if self.worker_id not in group:
+                        self.removed = True
+                        break
+
+            span = None
+            if self.tracer is not None:
+                span = self.tracer.begin(
+                    "worker.iteration", track=self.worker_id, cat="train",
+                    iteration=iteration,
+                )
+            if spec.iteration_sleep:
+                time.sleep(spec.iteration_sleep)
+            rank = group.index(self.worker_id)
+            shards = loader.next_iteration(
+                len(group), spec.per_worker_batch(len(group))
+            )
+            indices = shards[rank]
+            grads = None
+            if indices.size:
+                _, grads = architecture.loss_and_gradients(
+                    params,
+                    dataset.train_x[indices],
+                    dataset.train_y[indices],
+                )
+            averaged = self.link.request(
+                MessageType.SYNC,
+                {
+                    "generation": generation,
+                    "iteration": iteration,
+                    "grads": grads,
+                },
+                ack_timeout=spec.sync_ack_timeout,
+            ).get("grads")
+            if averaged:
+                optimizer.step(params, averaged)
+            if self.tracer is not None:
+                self.tracer.end(span)
+            self.iterations_run += 1
+            iteration += 1
+
+        self.final_digest = params_digest(params)
+        self.link.request(
+            MessageType.STATE_UPLOAD,
+            {
+                "final": True,
+                "iteration": iteration,
+                "digest": self.final_digest,
+                "removed": self.removed,
+            },
+        )
+        return {
+            "worker": self.worker_id,
+            "iterations_run": self.iterations_run,
+            "joined_at": self.joined_at,
+            "removed": self.removed,
+            "digest": self.final_digest,
+        }

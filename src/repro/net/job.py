@@ -1,0 +1,204 @@
+"""Driver for an elastic job running as N separate OS processes.
+
+:class:`MultiprocessElasticJob` hosts the networked AM in-process,
+spawns each worker as ``python -m repro.cli join`` talking to it over
+loopback TCP, and exposes the scheduler-side controls (scale-out /
+scale-in / status) over its own TCP control link — so the driver
+exercises exactly the same wire protocol the workers do.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+import typing
+
+import repro
+
+from ..coordination.messages import MessageType
+from .master_service import JobSpec, NetworkedApplicationMaster
+from .tcp import tcp_link
+
+
+class JobFailed(RuntimeError):
+    """A worker process died or the job missed a progress deadline."""
+
+
+class MultiprocessElasticJob:
+    """An elastic training job whose workers are real OS processes."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        initial_workers: typing.Sequence[str],
+        host: str = "127.0.0.1",
+        tracer: "typing.Any | None" = None,
+    ):
+        self.spec = spec
+        self.host = host
+        self.master = NetworkedApplicationMaster(
+            spec, initial_workers, tracer=tracer
+        )
+        self.server = self.master.serve_tcp(host=host, port=0)
+        self.port = self.server.port
+        self.processes: "dict[str, subprocess.Popen]" = {}
+        self._control = None
+
+    # -- worker processes -------------------------------------------------------
+
+    def _worker_command(
+        self,
+        worker_id: str,
+        reset_at: typing.Sequence[int] = (),
+        drop_every: int = 0,
+    ) -> "list[str]":
+        command = [
+            sys.executable, "-m", "repro.cli", "join",
+            "--host", self.host, "--port", str(self.port),
+            "--worker", worker_id,
+        ]
+        for send_index in reset_at:
+            command += ["--reset-at", str(send_index)]
+        if drop_every:
+            command += ["--drop-every", str(drop_every)]
+        return command
+
+    def spawn(
+        self,
+        worker_id: str,
+        reset_at: typing.Sequence[int] = (),
+        drop_every: int = 0,
+    ) -> subprocess.Popen:
+        """Start one worker process pointed at this job's AM.
+
+        ``reset_at``/``drop_every`` inject that worker's deterministic
+        :class:`~repro.coordination.faults.FaultPlan` via CLI flags, so
+        chaos runs exercise a real process's real connection.
+        """
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else os.pathsep.join([src_root, existing])
+        )
+        process = subprocess.Popen(
+            self._worker_command(
+                worker_id, reset_at=reset_at, drop_every=drop_every
+            ),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.processes[worker_id] = process
+        return process
+
+    def start(
+        self, faults: "dict[str, dict] | None" = None
+    ) -> "MultiprocessElasticJob":
+        """Spawn every initial worker.
+
+        ``faults`` optionally maps a worker id to :meth:`spawn` fault
+        kwargs (``reset_at``, ``drop_every``).
+        """
+        for worker_id in self.master.am.group:
+            self.spawn(worker_id, **(faults or {}).get(worker_id, {}))
+        return self
+
+    # -- the scheduler-side control link ----------------------------------------
+
+    @property
+    def control(self):
+        """Lazy TCP link used for adjustment requests and status polls."""
+        if self._control is None:
+            self._control, _ = tcp_link(
+                self.host, self.port, "driver", ack_timeout=2.0
+            )
+        return self._control
+
+    def scale_out(self, new_workers: typing.Sequence[str]) -> bool:
+        """Request a scale-out and spawn the joining processes."""
+        reply = self.control.request(
+            MessageType.ADJUSTMENT_REQUEST,
+            {"kind": "scale_out", "add": list(new_workers)},
+        )
+        if reply.get("accepted"):
+            for worker_id in new_workers:
+                self.spawn(worker_id)
+        return bool(reply.get("accepted"))
+
+    def scale_in(self, remove_workers: typing.Sequence[str]) -> bool:
+        """Request a scale-in (the removed workers exit by themselves)."""
+        reply = self.control.request(
+            MessageType.ADJUSTMENT_REQUEST,
+            {"kind": "scale_in", "remove": list(remove_workers)},
+        )
+        return bool(reply.get("accepted"))
+
+    def status(self) -> dict:
+        """One STATUS round-trip."""
+        return self.control.request(MessageType.STATUS)
+
+    # -- progress ----------------------------------------------------------------
+
+    def _poll(
+        self,
+        predicate: typing.Callable[[dict], bool],
+        timeout: float,
+        what: str,
+    ) -> dict:
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status()
+            if predicate(status):
+                return status
+            for worker_id, process in self.processes.items():
+                code = process.poll()
+                if code is not None and code != 0:
+                    output = (process.stdout.read() or "").strip()
+                    raise JobFailed(
+                        f"worker {worker_id!r} exited with {code} while "
+                        f"waiting for {what}:\n{output}"
+                    )
+            if time.monotonic() >= deadline:
+                raise JobFailed(f"timed out waiting for {what}: {status}")
+            time.sleep(0.05)
+
+    def wait_until_iteration(self, iteration: int, timeout: float = 30.0) -> dict:
+        """Block until training progress reaches ``iteration``."""
+        return self._poll(
+            lambda s: s["iteration"] >= iteration, timeout,
+            f"iteration {iteration}",
+        )
+
+    def wait_for_adjustments(self, count: int, timeout: float = 30.0) -> dict:
+        """Block until ``count`` adjustments have committed."""
+        return self._poll(
+            lambda s: s["adjustments_committed"] >= count, timeout,
+            f"{count} committed adjustments",
+        )
+
+    def wait_complete(self, timeout: float = 60.0) -> dict:
+        """Block until every current-group worker finished and reported."""
+        status = self._poll(lambda s: s["complete"], timeout, "completion")
+        for process in self.processes.values():
+            process.wait(timeout=10.0)
+        return status
+
+    def shutdown(self) -> None:
+        """Stop everything: control link, worker processes, server."""
+        if self._control is not None:
+            self._control.close()
+            self._control = None
+        for process in self.processes.values():
+            if process.poll() is None:
+                process.terminate()
+        for process in self.processes.values():
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+        self.master.close()

@@ -1,0 +1,425 @@
+"""The networked application master: §V-B over a real control plane.
+
+:class:`NetworkedApplicationMaster` wraps the transport-free
+:class:`~repro.coordination.master.ApplicationMaster` in a message
+handler so an elastic job can run as N separate processes (or threads)
+talking to the AM through :mod:`repro.net` links — in-memory or TCP,
+identically.
+
+The AM is also the gradient rendezvous: workers post their per-shard
+gradients with ``SYNC`` and block until every member of their generation
+contributed, then all receive the same server-computed mean.  Because
+every replica starts from the same seed-initialized parameters and
+applies identical averaged updates, replicas stay bit-identical — which
+the final sha256 parameter digests assert end-to-end.
+
+Adjustments follow Fig. 2 over the wire:
+
+1. the driver sends ``ADJUSTMENT_REQUEST``;
+2. joining workers poll ``JOIN`` (each poll doubles as the
+   worker-report, idempotently) until the commit plan and the uploaded
+   state snapshot are both ready;
+3. existing workers ``COORDINATE`` at boundaries; the first ``adjust``
+   directive mints the commit plan and elects the state uploader;
+4. the uploader pushes its snapshot with ``STATE_UPLOAD``
+   (replication), joiners receive it inside their ``join`` reply;
+5. once every old-group member saw the directive and the snapshot is
+   in, the adjustment is finished and the new generation is live.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import typing
+
+import numpy as np
+
+from ..coordination.master import (
+    AdjustmentKind,
+    AdjustmentRequest,
+    ApplicationMaster,
+    DirectiveKind,
+)
+from ..coordination.messages import Message, MessageType
+from ..training.nn import average_gradients
+from .transport import ServerCore
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSpec:
+    """Everything a worker needs to reconstruct the job locally.
+
+    Shipped inside the ``join`` reply, so worker processes need no
+    configuration beyond the AM's address and their own id.  The
+    dataset and initial parameters are derived deterministically from
+    the seed; only optimizer/loader/parameter state ever crosses the
+    wire (and only at adjustments).
+    """
+
+    train_size: int = 512
+    test_size: int = 128
+    input_dim: int = 16
+    hidden_dim: int = 16
+    num_classes: int = 4
+    seed: int = 7
+    total_batch_size: int = 32
+    base_lr: float = 0.05
+    momentum: float = 0.9
+    iterations: int = 24
+    coordination_interval: int = 4
+    #: server-side rendezvous wait — must cover the slowest member's
+    #: arrival (including a joiner still fetching state at a commit).
+    allreduce_timeout: float = 15.0
+    #: simulated per-iteration compute time (seconds).  The numpy MLP
+    #: steps in microseconds, so without pacing a whole job can finish
+    #: before a scale-out's joiners even get their first poll in;
+    #: examples and chaos tests use this to keep the job running while
+    #: the adjustment plays out.
+    iteration_sleep: float = 0.0
+    #: client-side ack timeout per SYNC attempt.  Deliberately far below
+    #: ``allreduce_timeout``: a dropped contribution must be resent while
+    #: the other members are still waiting at the barrier, not after
+    #: they have timed out.
+    sync_ack_timeout: float = 2.0
+
+    def per_worker_batch(self, group_size: int) -> int:
+        """Strong scaling: the total batch is split across the group."""
+        return max(1, self.total_batch_size // max(1, group_size))
+
+    def to_payload(self) -> dict:
+        """Codec-safe dict form (for the ``join`` reply)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobSpec":
+        """Inverse of :meth:`to_payload`."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
+class _SyncBarrier:
+    """One (generation, iteration) gradient rendezvous."""
+
+    __slots__ = ("expected", "contributions", "event", "result")
+
+    def __init__(self, expected: typing.Iterable[str]):
+        self.expected = frozenset(expected)
+        self.contributions: "dict[str, typing.Any]" = {}
+        self.event = threading.Event()
+        self.result: "dict | None" = None
+
+
+class _CommitPlan:
+    """Bookkeeping for one in-flight adjustment commit (steps 3-5)."""
+
+    __slots__ = (
+        "generation", "commit_iteration", "old_group", "new_group",
+        "add_workers", "uploader", "snapshot", "acked", "requested_at",
+    )
+
+    def __init__(self, generation, commit_iteration, old_group, new_group,
+                 requested_at):
+        self.generation = generation
+        self.commit_iteration = commit_iteration
+        self.old_group = tuple(old_group)
+        self.new_group = tuple(new_group)
+        self.add_workers = tuple(
+            w for w in new_group if w not in set(old_group)
+        )
+        # The first surviving old-group member replicates state to the
+        # joiners; without joiners there is nothing to replicate.
+        self.uploader = self.old_group[0] if self.add_workers else None
+        self.snapshot: "dict | None" = None
+        self.acked: set = set()
+        self.requested_at = requested_at
+
+
+class NetworkedApplicationMaster:
+    """Message-driven AM + parameter rendezvous for multi-process jobs."""
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        workers: typing.Sequence[str],
+        job_id: str = "netjob",
+        tracer: "typing.Any | None" = None,
+    ):
+        self.spec = spec
+        self.tracer = tracer
+        self.am = ApplicationMaster(
+            job_id,
+            workers,
+            coordination_interval=spec.coordination_interval,
+            tracer=tracer,
+        )
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._groups: "dict[int, tuple]" = {0: tuple(workers)}
+        self._plan: "_CommitPlan | None" = None
+        self._pending_request_at: "float | None" = None
+        self._barriers: "dict[tuple, _SyncBarrier]" = {}
+        self._join_offers: "dict[str, dict]" = {}
+        self._final: "dict[str, dict]" = {}
+        self._departed: "dict[str, dict]" = {}
+        self._latest_sync_iteration = 0
+        self.commit_latencies: "list[float]" = []
+        self._complete = threading.Event()
+        self.core = ServerCore(
+            handler=self.handle, node_id="am", tracer=tracer,
+            reply_wait=spec.allreduce_timeout + 5.0,
+        )
+        self._server = None
+
+    # -- serving ---------------------------------------------------------------
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Start listening; returns the :class:`~repro.net.tcp.TcpServer`."""
+        from .tcp import TcpServer
+
+        self._server = TcpServer(
+            self.core, host=host, port=port, tracer=self.tracer
+        ).start()
+        return self._server
+
+    def close(self) -> None:
+        """Stop the TCP server (if any) and release waiting barriers."""
+        if self._server is not None:
+            self._server.close()
+        with self._lock:
+            barriers = list(self._barriers.values())
+        for barrier in barriers:
+            barrier.event.set()
+
+    # -- the message handler (single entry point, both transports) ------------
+
+    def handle(self, message: Message) -> dict:
+        """Dispatch one deduplicated message to its protocol handler."""
+        payload = message.payload
+        worker = message.sender
+        if message.msg_type is MessageType.JOIN:
+            return self._handle_join(worker)
+        if message.msg_type is MessageType.COORDINATE:
+            return self._handle_coordinate(worker, int(payload["iteration"]))
+        if message.msg_type is MessageType.SYNC:
+            return self._handle_sync(worker, payload)
+        if message.msg_type is MessageType.STATE_UPLOAD:
+            return self._handle_state_upload(worker, payload)
+        if message.msg_type is MessageType.ADJUSTMENT_REQUEST:
+            return self._handle_adjustment_request(payload)
+        if message.msg_type is MessageType.STATUS:
+            return self.status()
+        raise ValueError(f"unhandled message type {message.msg_type!r}")
+
+    # -- step 2: joining -------------------------------------------------------
+
+    def _handle_join(self, worker: str) -> dict:
+        with self._lock:
+            offer = self._join_offers.get(worker)
+            if offer is not None:
+                return offer
+            # Initial workers start from scratch at iteration 0.
+            if worker in self._groups[0] and self._generation == 0:
+                return {
+                    "status": "start",
+                    "spec": self.spec.to_payload(),
+                    "group": list(self._groups[0]),
+                    "generation": 0,
+                    "iteration": 0,
+                }
+            # A scale-out joiner: the poll doubles as the worker-report
+            # (idempotent — the AM ignores reports it is not waiting
+            # for, so polling before the request lands is harmless).
+            self.am.worker_report(worker)
+        return {"status": "pending"}
+
+    # -- step 3: boundary coordination ----------------------------------------
+
+    def _handle_coordinate(self, worker: str, iteration: int) -> dict:
+        with self._lock:
+            directive = self.am.coordinate(worker, iteration)
+            if directive.kind is DirectiveKind.CONTINUE:
+                return {"kind": "continue"}
+            if self._plan is None:
+                self._mint_plan(directive)
+            plan = self._plan
+            plan.acked.add(worker)
+            reply = {
+                "kind": "adjust",
+                "group": list(plan.new_group),
+                "generation": plan.generation,
+                "commit_iteration": plan.commit_iteration,
+                "upload": worker == plan.uploader,
+            }
+            self._maybe_finish()
+            return reply
+
+    def _mint_plan(self, directive) -> None:
+        plan = _CommitPlan(
+            generation=self._generation + 1,
+            commit_iteration=directive.commit_iteration,
+            old_group=self.am.group,
+            new_group=directive.new_group,
+            requested_at=self._pending_request_at or time.perf_counter(),
+        )
+        self._plan = plan
+        # The new generation's rendezvous membership must exist before
+        # the first survivor syncs at the commit boundary — which can
+        # happen well before the adjustment finishes.
+        self._groups[plan.generation] = plan.new_group
+        if not plan.add_workers:
+            # Nothing to replicate: joiner offers never materialize.
+            plan.snapshot = {}
+
+    def _maybe_finish(self) -> None:
+        plan = self._plan
+        if plan is None:
+            return
+        if not plan.acked >= set(plan.old_group):
+            return
+        if plan.add_workers and plan.snapshot is None:
+            return
+        self.am.finish_adjustment()
+        self._generation = plan.generation
+        self._plan = None
+        self._pending_request_at = None
+        self.commit_latencies.append(time.perf_counter() - plan.requested_at)
+        self._check_complete()
+
+    # -- step 4: state replication ---------------------------------------------
+
+    def _handle_state_upload(self, worker: str, payload: dict) -> dict:
+        if payload.get("final"):
+            with self._lock:
+                record = {
+                    "iteration": int(payload.get("iteration", 0)),
+                    "digest": payload.get("digest"),
+                }
+                if payload.get("removed"):
+                    self._departed[worker] = record
+                else:
+                    self._final[worker] = record
+                self._check_complete()
+            return {"ok": True}
+        with self._lock:
+            plan = self._plan
+            if plan is None or worker != plan.uploader:
+                return {"ok": False, "reason": "no snapshot expected"}
+            # Copy the parameter arrays: over the in-memory transport the
+            # payload aliases the uploader's *live* tensors (TCP would
+            # have serialized them), and the uploader keeps training.
+            plan.snapshot = {
+                "params": {
+                    name: np.array(array)
+                    for name, array in payload["params"].items()
+                },
+                "optimizer": payload["optimizer"],
+                "loader": payload["loader"],
+            }
+            for joiner in plan.add_workers:
+                self._join_offers[joiner] = {
+                    "status": "join",
+                    "spec": self.spec.to_payload(),
+                    "group": list(plan.new_group),
+                    "generation": plan.generation,
+                    "iteration": plan.commit_iteration,
+                    "state": plan.snapshot,
+                }
+            self._maybe_finish()
+        return {"ok": True}
+
+    # -- the gradient rendezvous -----------------------------------------------
+
+    def _handle_sync(self, worker: str, payload: dict) -> dict:
+        generation = int(payload["generation"])
+        iteration = int(payload["iteration"])
+        key = (generation, iteration)
+        with self._lock:
+            group = self._groups.get(generation)
+            if group is None or worker not in group:
+                raise KeyError(
+                    f"{worker!r} is not in generation {generation}"
+                )
+            barrier = self._barriers.get(key)
+            if barrier is None:
+                barrier = self._barriers[key] = _SyncBarrier(group)
+            barrier.contributions[worker] = payload.get("grads")
+            self._latest_sync_iteration = max(
+                self._latest_sync_iteration, iteration
+            )
+            if set(barrier.contributions) >= barrier.expected:
+                contributed = [
+                    grads
+                    for grads in barrier.contributions.values()
+                    if grads
+                ]
+                barrier.result = {
+                    "grads": average_gradients(contributed)
+                    if contributed
+                    else None,
+                    "members": len(barrier.expected),
+                }
+                barrier.event.set()
+        if not barrier.event.wait(self.spec.allreduce_timeout):
+            missing = sorted(barrier.expected - set(barrier.contributions))
+            raise TimeoutError(
+                f"sync ({generation}, {iteration}) timed out waiting "
+                f"for {missing}"
+            )
+        return barrier.result or {}
+
+    # -- step 1: the scheduler/driver API ---------------------------------------
+
+    def _handle_adjustment_request(self, payload: dict) -> dict:
+        request = AdjustmentRequest(
+            kind=AdjustmentKind(payload["kind"]),
+            add_workers=tuple(payload.get("add", ())),
+            remove_workers=tuple(payload.get("remove", ())),
+        )
+        with self._lock:
+            accepted = self.am.request_adjustment(request)
+            if accepted:
+                self._pending_request_at = time.perf_counter()
+        return {"accepted": accepted}
+
+    # -- progress ---------------------------------------------------------------
+
+    def _check_complete(self) -> None:
+        group = self._groups[self._generation]
+        if self._plan is None and all(w in self._final for w in group):
+            self._complete.set()
+
+    @property
+    def complete(self) -> bool:
+        """True once every current-group member uploaded a final digest."""
+        return self._complete.is_set()
+
+    def wait_complete(self, timeout: "float | None" = None) -> bool:
+        """Block until the job completes (or the timeout lapses)."""
+        return self._complete.wait(timeout)
+
+    def final_digests(self) -> "dict[str, str]":
+        """Final parameter digest per completing worker."""
+        with self._lock:
+            return {w: r["digest"] for w, r in self._final.items()}
+
+    def status(self) -> dict:
+        """Snapshot of job progress (the ``STATUS`` reply)."""
+        with self._lock:
+            return {
+                "iteration": self._latest_sync_iteration,
+                "generation": self._generation,
+                "group": list(self._groups[self._generation]),
+                "adjustments_committed": self.am.adjustments_committed,
+                "adjustment_pending": self._plan is not None
+                or self.am.pending is not None,
+                "complete": self._complete.is_set(),
+                "digests": {
+                    w: r["digest"] for w, r in self._final.items()
+                },
+                "departed": sorted(self._departed),
+                "commit_latencies": list(self.commit_latencies),
+                "handled": self.core.handled,
+                "duplicates": self.core.duplicates,
+            }

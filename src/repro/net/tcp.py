@@ -1,0 +1,452 @@
+"""Length-prefixed TCP transport: reconnecting clients, threaded server.
+
+The socket layer under the :class:`~repro.net.transport.Transport` seam.
+Client side, :class:`TcpTransport` owns one connection to the server and
+keeps it alive: a failed or reset send marks the link down, and the next
+send pays an exponential-backoff reconnect (re-handshaking from scratch)
+before any further traffic flows — all invisible to
+:class:`~repro.net.transport.ReliableLink`, which only ever sees "send
+and wait for the reply".  A heartbeat thread exchanges
+``heartbeat``/``heartbeat_ack`` frames on an idle link so half-dead
+connections are noticed before a request needs them.
+
+Server side, :class:`TcpServer` accepts connections, handshakes them
+(version check), and feeds every inbound message to a shared
+:class:`~repro.net.transport.ServerCore` — dedup and reply caching are
+therefore identical to the in-memory path.  Handlers run on the
+connection's reader thread; a reply to a request whose connection died
+mid-execution is kept in the core's cache and served to the
+retransmission arriving on the replacement connection.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+import typing
+
+from ..coordination.faults import ExponentialBackoff, FaultPlan
+from ..coordination.messages import FaultyChannel, Message
+from . import wire
+from .transport import FaultAction, ServerCore, TransportFaults
+
+#: Default cadence of client keep-alive heartbeats (seconds).
+HEARTBEAT_INTERVAL = 0.5
+
+
+class TcpTransport:
+    """One reconnecting client connection (satisfies ``Transport``)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        node_id: str,
+        on_reply: typing.Callable[[int, dict], None],
+        codec: str = "json",
+        fault_plan: "FaultPlan | None" = None,
+        backoff: "ExponentialBackoff | None" = None,
+        tracer: "typing.Any | None" = None,
+        heartbeat_interval: "float | None" = HEARTBEAT_INTERVAL,
+        connect_timeout: float = 5.0,
+        max_reconnect_attempts: int = 8,
+    ):
+        self.host = host
+        self.port = port
+        self.node_id = node_id
+        self.codec = codec
+        self.tracer = tracer
+        self._on_reply = on_reply
+        self._faults = TransportFaults.from_plan(fault_plan)
+        #: The shared loss/duplication stage — the same FaultyChannel the
+        #: in-memory transport is built from, here wrapping the socket
+        #: write so drop/duplicate schedules behave identically.
+        self._channel = FaultyChannel(
+            deliver=self._write_message,
+            drop_every=fault_plan.drop_every if fault_plan else 0,
+            duplicate_every=fault_plan.duplicate_every if fault_plan else 0,
+            node_id=node_id,
+        )
+        self._backoff = backoff or ExponentialBackoff(
+            base=0.005, max_delay=0.25
+        )
+        self._connect_timeout = connect_timeout
+        self._max_reconnect_attempts = max_reconnect_attempts
+        self._sock: "socket.socket | None" = None
+        self._send_lock = threading.RLock()
+        self._closed = threading.Event()
+        self._reader: "threading.Thread | None" = None
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_thread: "threading.Thread | None" = None
+        self._heartbeat_seq = 0
+        self._heartbeat_sent_at: "dict[int, float]" = {}
+        self.reconnects = 0
+        self.heartbeats_acked = 0
+        self.last_heartbeat_rtt: "float | None" = None
+        self.server_node: "str | None" = None
+
+    # -- connection management -------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """True while a handshaken socket is up."""
+        return self._sock is not None and not self._closed.is_set()
+
+    def connect(self) -> None:
+        """Dial and handshake; raises on version rejection."""
+        with self._send_lock:
+            if self._closed.is_set():
+                raise wire.WireError("transport is closed")
+            if self._sock is not None:
+                return
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self._connect_timeout
+            )
+            sock.settimeout(None)
+            try:
+                wire.write_frame(
+                    sock, wire.hello_frame(self.node_id, self.codec), "json"
+                )
+                answer = wire.read_frame(sock, "json")
+                if answer is None or answer.get("kind") == "reject":
+                    reason = (answer or {}).get("reason", "connection closed")
+                    raise wire.WireError(f"handshake rejected: {reason}")
+                if answer.get("kind") != "welcome":
+                    raise wire.WireError(
+                        f"expected welcome, got {answer.get('kind')!r}"
+                    )
+            except BaseException:
+                sock.close()
+                raise
+            self.codec = answer.get("codec", self.codec)
+            self.server_node = answer.get("node")
+            self._sock = sock
+            self._reader = threading.Thread(
+                target=self._read_loop, args=(sock,),
+                name=f"net-read-{self.node_id}", daemon=True,
+            )
+            self._reader.start()
+            if (
+                self._heartbeat_interval
+                and self._heartbeat_thread is None
+            ):
+                self._heartbeat_thread = threading.Thread(
+                    target=self._heartbeat_loop,
+                    name=f"net-hb-{self.node_id}", daemon=True,
+                )
+                self._heartbeat_thread.start()
+
+    def _drop_connection(self) -> None:
+        with self._send_lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _reconnect(self) -> None:
+        """Bounded-backoff redial; traced as ``net.reconnect``."""
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "net.reconnect", track=self.node_id, cat="net"
+            )
+        for attempt in range(self._max_reconnect_attempts):
+            if self._closed.is_set():
+                break
+            try:
+                self.connect()
+            except (OSError, wire.WireError):
+                self._backoff.wait(attempt)
+                continue
+            self.reconnects += 1
+            if self.tracer is not None:
+                self.tracer.end(span, attempts=attempt + 1, ok=True)
+            return
+        if self.tracer is not None:
+            self.tracer.end(
+                span, attempts=self._max_reconnect_attempts, ok=False
+            )
+        raise wire.WireError(
+            f"{self.node_id}: could not reconnect to "
+            f"{self.host}:{self.port}"
+        )
+
+    def close(self) -> None:
+        """Tear the connection down for good."""
+        self._closed.set()
+        self._drop_connection()
+        self._channel.close()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        """One delivery attempt; False when the send is known-lost.
+
+        Resets from the fault schedule (and real socket errors) kill the
+        connection along with the in-flight frame; the *next* send pays
+        the reconnect.  The reliability layer's timeout-resend turns
+        either case into a retransmission.
+        """
+        if self._closed.is_set():
+            return False
+        with self._send_lock:
+            action = (
+                self._faults.next_send() if self._faults is not None
+                else FaultAction()
+            )
+            if action.reset:
+                self._drop_connection()
+                return False
+            if self._sock is None:
+                try:
+                    self._reconnect()
+                except (OSError, wire.WireError):
+                    return False
+            if action.delay:
+                time.sleep(action.delay)
+            return self._channel.send(message)
+
+    def _write_message(self, message: Message) -> None:
+        """The channel's deliver hook: frame and write, or die trying."""
+        sock = self._sock
+        if sock is None:
+            raise OSError("not connected")
+        try:
+            wire.write_frame(sock, wire.message_frame(message), self.codec)
+        except OSError:
+            self._drop_connection()
+            raise
+
+    # -- receiving -------------------------------------------------------------
+
+    def _read_loop(self, sock: socket.socket) -> None:
+        while not self._closed.is_set():
+            try:
+                frame = wire.read_frame(sock, self.codec)
+            except (OSError, wire.WireError):
+                break
+            if frame is None:
+                break
+            kind = frame.get("kind")
+            if kind == "reply":
+                self._on_reply(
+                    int(frame["in_reply_to"]),
+                    wire.decode_payload(frame.get("payload") or {}),
+                )
+            elif kind == "heartbeat_ack":
+                self.heartbeats_acked += 1
+                sent_at = self._heartbeat_sent_at.get(frame.get("seq"))
+                if sent_at is not None:
+                    self.last_heartbeat_rtt = time.perf_counter() - sent_at
+        # EOF or error: if this is still the current socket, drop it so
+        # the next send reconnects.
+        with self._send_lock:
+            if self._sock is sock:
+                self._sock = None
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def _heartbeat_loop(self) -> None:
+        while not self._closed.wait(self._heartbeat_interval):
+            with self._send_lock:
+                sock = self._sock
+                if sock is None:
+                    continue  # reconnect is the sender's job
+                self._heartbeat_seq += 1
+                seq = self._heartbeat_seq
+                self._heartbeat_sent_at[seq] = time.perf_counter()
+                try:
+                    wire.write_frame(
+                        sock, wire.heartbeat_frame(self.node_id, seq),
+                        self.codec,
+                    )
+                except OSError:
+                    self._drop_connection()
+
+
+class TcpServer:
+    """Accepts connections and feeds messages to a shared ServerCore."""
+
+    def __init__(
+        self,
+        core: ServerCore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer: "typing.Any | None" = None,
+    ):
+        self.core = core
+        self.tracer = tracer
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closed = threading.Event()
+        self._accept_thread: "threading.Thread | None" = None
+        self._connections: "list[socket.socket]" = []
+        self._conn_lock = threading.Lock()
+        self.connections_accepted = 0
+        self.handshakes_rejected = 0
+        self.heartbeats_received = 0
+        self.last_seen: "dict[str, float]" = {}
+
+    @property
+    def address(self) -> typing.Tuple[str, int]:
+        """The (host, port) the server is listening on."""
+        return self.host, self.port
+
+    def start(self) -> "TcpServer":
+        """Begin accepting connections."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            with self._conn_lock:
+                self._connections.append(conn)
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="net-serve", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        codec = "json"
+        try:
+            try:
+                node, codec = wire.check_handshake(
+                    wire.read_frame(conn, "json")
+                )
+            except wire.WireError as exc:
+                self.handshakes_rejected += 1
+                try:
+                    wire.write_frame(conn, wire.reject_frame(str(exc)), "json")
+                except OSError:
+                    pass
+                return
+            wire.write_frame(
+                conn, wire.welcome_frame(self.core.node_id, codec), "json"
+            )
+            self.connections_accepted += 1
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "net.accept", track=self.core.node_id, cat="net",
+                    peer=node, codec=codec,
+                )
+            write_lock = threading.Lock()
+            while not self._closed.is_set():
+                frame = wire.read_frame(conn, codec)
+                if frame is None:
+                    break
+                self._handle_frame(conn, frame, codec, write_lock)
+        except (OSError, wire.WireError):
+            pass
+        finally:
+            with self._conn_lock:
+                if conn in self._connections:
+                    self._connections.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle_frame(
+        self,
+        conn: socket.socket,
+        frame: dict,
+        codec: str,
+        write_lock: threading.Lock,
+    ) -> None:
+        kind = frame.get("kind")
+        if kind == "heartbeat":
+            self.heartbeats_received += 1
+            self.last_seen[frame.get("node", "?")] = time.perf_counter()
+            with write_lock:
+                wire.write_frame(
+                    conn, wire.heartbeat_ack_frame(frame.get("seq", 0)),
+                    codec,
+                )
+            return
+        if kind != "msg":
+            raise wire.WireError(f"unexpected frame kind {kind!r}")
+        message = wire.decode_message(frame)
+        self.last_seen[message.sender] = time.perf_counter()
+        reply = self.core.dispatch(message)
+        try:
+            with write_lock:
+                wire.write_frame(
+                    conn,
+                    wire.reply_frame(
+                        self.core.node_id, message.msg_id, reply
+                    ),
+                    codec,
+                )
+        except OSError:
+            # The connection died while the handler ran; the reply stays
+            # in the core's cache for the retransmission to collect.
+            raise
+
+    def close(self) -> None:
+        """Stop accepting, drop every connection, release the port."""
+        self._closed.set()
+        # shutdown() first: close() alone does not wake a thread blocked
+        # in accept(), and the kernel keeps the port bound until it wakes.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+
+def tcp_link(
+    host: str,
+    port: int,
+    node_id: str,
+    fault_plan: "FaultPlan | None" = None,
+    ack_timeout: float = 1.0,
+    max_attempts: int = 10,
+    codec: str = "json",
+    tracer: "typing.Any | None" = None,
+    heartbeat_interval: "float | None" = HEARTBEAT_INTERVAL,
+) -> "tuple":
+    """A connected reliable TCP client; returns ``(link, transport)``."""
+    from .transport import ReliableLink
+
+    link = ReliableLink(
+        node_id, ack_timeout=ack_timeout, max_attempts=max_attempts,
+        tracer=tracer,
+    )
+    transport = TcpTransport(
+        host, port, node_id, on_reply=link.on_reply, codec=codec,
+        fault_plan=fault_plan, tracer=tracer,
+        heartbeat_interval=heartbeat_interval,
+    )
+    transport.connect()
+    return link.attach(transport), transport

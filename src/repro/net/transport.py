@@ -1,0 +1,452 @@
+"""The transport seam: one protocol, two implementations, one recipe.
+
+The paper's §V-D fault-tolerance recipe — unique message IDs, receiver
+dedup, sender timeout-resend — is transport-independent, so this module
+pins it to a small :class:`Transport` protocol and implements the recipe
+*once*:
+
+* :class:`ReliableLink` is the only resend loop (it drives
+  :class:`~repro.coordination.messages.ReliableSender`), used unchanged
+  over the in-memory transport and over TCP;
+* :class:`ServerCore` is the only dedup filter (it drives
+  :class:`~repro.coordination.messages.DeduplicatingInbox` keyed by
+  ``(sender, msg_id)``) and caches each reply so a retransmission is
+  answered without re-executing the handler — exactly-once execution,
+  at-least-once delivery.
+
+:class:`InMemoryTransport` keeps the whole stack in-process (fast tests,
+deterministic chaos), :class:`repro.net.tcp.TcpTransport` runs it over
+real sockets; both consume the same deterministic
+:class:`~repro.coordination.faults.FaultPlan` via
+:class:`TransportFaults`, so a chaos schedule replays identically on
+either side of the seam.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import typing
+
+from ..coordination.faults import ExponentialBackoff, FaultPlan
+from ..coordination.messages import (
+    DeduplicatingInbox,
+    FaultyChannel,
+    Message,
+    MessageFactory,
+    MessageType,
+    ReliableSender,
+)
+
+
+class TransportClosed(ConnectionError):
+    """The transport is permanently down; no retry can help."""
+
+
+class RemoteError(RuntimeError):
+    """The server's handler raised; the error text crossed the wire."""
+
+
+class RequestTimeout(TimeoutError):
+    """Every resend attempt of one request went unacknowledged."""
+
+
+@typing.runtime_checkable
+class Transport(typing.Protocol):
+    """What a control-plane transport must offer.
+
+    Both :class:`~repro.coordination.messages.FaultyChannel` (the
+    in-memory channel) and :class:`repro.net.tcp.TcpTransport` satisfy
+    this structurally: fire-and-forget ``send`` of one
+    :class:`~repro.coordination.messages.Message` (False = known-lost;
+    True promises nothing — acknowledgement is the reliability layer's
+    job), a liveness flag, and teardown.
+    """
+
+    node_id: str
+
+    def send(self, message: Message) -> bool:
+        """Attempt one delivery; False if the send is known to be lost."""
+        ...
+
+    def close(self) -> None:
+        """Tear the transport down; subsequent sends fail."""
+        ...
+
+    @property
+    def connected(self) -> bool:
+        """Liveness of the underlying link."""
+        ...
+
+
+# -- deterministic fault injection -------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultAction:
+    """What the fault schedule dictates for one send."""
+
+    delay: float = 0.0
+    reset: bool = False
+
+
+class TransportFaults:
+    """Stateful consumer of a :class:`FaultPlan`'s network faults.
+
+    Drops and duplicates are *not* handled here — they go through the
+    shared :class:`FaultyChannel` stage so both transports inherit the
+    exact semantics the in-memory tests pinned down.  This class owns
+    the send-indexed faults a channel cannot express: added latency and
+    connection resets.
+    """
+
+    def __init__(
+        self,
+        delays: "typing.Mapping[int, float] | None" = None,
+        resets: typing.Iterable[int] = (),
+    ):
+        self.delays = dict(delays or {})
+        self.resets = frozenset(resets)
+        self.sends = 0
+        self.delays_injected = 0
+        self.resets_injected = 0
+
+    @classmethod
+    def from_plan(cls, plan: "FaultPlan | None") -> "TransportFaults | None":
+        """The plan's latency/reset schedule (None if it has neither)."""
+        if plan is None or not (plan.net_delays or plan.connection_resets):
+            return None
+        return cls(delays=plan.net_delays, resets=plan.connection_resets)
+
+    def next_send(self) -> FaultAction:
+        """Advance the send counter and report this send's faults."""
+        self.sends += 1
+        delay = float(self.delays.get(self.sends, 0.0))
+        reset = self.sends in self.resets
+        if delay:
+            self.delays_injected += 1
+        if reset:
+            self.resets_injected += 1
+        return FaultAction(delay=delay, reset=reset)
+
+
+# -- client side: the single resend code path ---------------------------------
+
+
+class _ReplySlot:
+    """One outstanding request's rendezvous with its reply."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload: "dict | None" = None
+
+
+class ReliableLink:
+    """Request/reply with timeout-resend over any :class:`Transport`.
+
+    Every request is a uniquely-identified
+    :class:`~repro.coordination.messages.Message`; retransmissions reuse
+    the ID (so the server can dedup), and the retry loop itself is the
+    existing :class:`ReliableSender` — acknowledgement means "the reply
+    for this msg_id arrived within ``ack_timeout``".
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        transport: "Transport | None" = None,
+        ack_timeout: float = 1.0,
+        max_attempts: int = 8,
+        backoff: "ExponentialBackoff | None" = None,
+        tracer: "typing.Any | None" = None,
+    ):
+        self.node_id = node_id
+        self.transport = transport
+        self.ack_timeout = ack_timeout
+        self.tracer = tracer
+        self._factory = MessageFactory()
+        self._slots: "dict[int, _ReplySlot]" = {}
+        self._slots_lock = threading.Lock()
+        self._sender = ReliableSender(
+            channel=_LinkChannel(self),
+            max_attempts=max_attempts,
+            backoff=backoff,
+        )
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, transport: Transport) -> "ReliableLink":
+        """Bind the transport (which needed ``on_reply`` to exist first)."""
+        self.transport = transport
+        return self
+
+    def on_reply(self, in_reply_to: int, payload: dict) -> None:
+        """Inbound-reply hook the transport calls from its read path."""
+        with self._slots_lock:
+            slot = self._slots.get(in_reply_to)
+        if slot is not None:
+            slot.payload = payload
+            slot.event.set()
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def resends(self) -> int:
+        """Total retransmissions performed (shared resend counter)."""
+        return self._sender.retries
+
+    # -- the request path ------------------------------------------------------
+
+    def request(
+        self,
+        msg_type: MessageType,
+        payload: "dict | None" = None,
+        ack_timeout: "float | None" = None,
+    ) -> dict:
+        """Deliver one request exactly-once and return its reply payload.
+
+        Resends (same msg_id) until the reply lands or the attempt
+        budget runs out; raises :class:`RequestTimeout` on exhaustion,
+        :class:`RemoteError` if the handler raised remotely.
+        """
+        if self.transport is None:
+            raise TransportClosed("link has no transport attached")
+        message = self._factory.make(msg_type, self.node_id, payload or {})
+        slot = _ReplySlot()
+        with self._slots_lock:
+            self._slots[message.msg_id] = slot
+        timeout = self.ack_timeout if ack_timeout is None else ack_timeout
+        try:
+            delivered = self._sender.send(
+                message, acknowledged=lambda: slot.event.wait(timeout)
+            )
+        finally:
+            with self._slots_lock:
+                self._slots.pop(message.msg_id, None)
+        if not delivered:
+            raise RequestTimeout(
+                f"{msg_type.value} request {message.msg_id} from "
+                f"{self.node_id!r} exhausted its resend budget"
+            )
+        reply = slot.payload or {}
+        if "__error__" in reply:
+            raise RemoteError(reply["__error__"])
+        return reply
+
+    def close(self) -> None:
+        """Close the underlying transport."""
+        if self.transport is not None:
+            self.transport.close()
+
+
+class _LinkChannel:
+    """Adapter presenting a :class:`Transport` to ReliableSender.
+
+    ReliableSender only calls ``channel.send(message)``; this shim adds
+    the per-send trace instant so both transports' sends land in the
+    observability taxonomy uniformly.
+    """
+
+    def __init__(self, link: ReliableLink):
+        self._link = link
+
+    def send(self, message: Message) -> bool:
+        transport = self._link.transport
+        if transport is None:
+            return False
+        delivered = transport.send(message)
+        tracer = self._link.tracer
+        if tracer is not None:
+            tracer.instant(
+                "net.send", track=self._link.node_id, cat="net",
+                type=message.msg_type.value, msg_id=message.msg_id,
+                delivered=delivered,
+            )
+        return delivered
+
+
+# -- server side: the single dedup code path ----------------------------------
+
+
+class _PendingReply:
+    """Reply cache entry; exists from first sight of a msg_id onward."""
+
+    __slots__ = ("event", "payload")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.payload: "dict | None" = None
+
+
+class ServerCore:
+    """Exactly-once request execution with reply caching.
+
+    Transport-independent: the TCP server and the in-memory transport
+    both feed inbound messages to :meth:`dispatch`.  A fresh message
+    runs the handler once; a retransmission (same ``(sender, msg_id)``)
+    waits for — or is served from — the cached reply, never re-executing
+    the handler.  That is the §V-D recipe's receiving half.
+    """
+
+    def __init__(
+        self,
+        handler: typing.Callable[[Message], dict],
+        node_id: str = "am",
+        tracer: "typing.Any | None" = None,
+        reply_wait: float = 30.0,
+    ):
+        self.handler = handler
+        self.node_id = node_id
+        self.tracer = tracer
+        self.reply_wait = reply_wait
+        self._inbox = DeduplicatingInbox(
+            key=lambda message: (message.sender, message.msg_id)
+        )
+        self._replies: "dict[tuple, _PendingReply]" = {}
+        self._lock = threading.Lock()
+        self.handled = 0
+        #: per-(sender, type) handler executions, for exactly-once asserts.
+        self.executions: "dict[tuple, int]" = {}
+
+    @property
+    def duplicates(self) -> int:
+        """Retransmissions absorbed without re-execution."""
+        return self._inbox.duplicates_dropped
+
+    def dispatch(self, message: Message) -> dict:
+        """Process one inbound message; returns the reply payload."""
+        key = (message.sender, message.msg_id)
+        with self._lock:
+            fresh = self._inbox.accept(message)
+            if fresh:
+                pending = _PendingReply()
+                self._replies[key] = pending
+            else:
+                pending = self._replies.get(key)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "net.recv", track=self.node_id, cat="net",
+                sender=message.sender, type=message.msg_type.value,
+                msg_id=message.msg_id, duplicate=not fresh,
+            )
+        if not fresh:
+            # A retransmission: the original may still be executing (it
+            # raced a reconnect); wait for its reply rather than running
+            # the handler twice.
+            if pending is None or not pending.event.wait(self.reply_wait):
+                return {"__error__": "duplicate outlived its reply cache"}
+            return pending.payload or {}
+        try:
+            payload = self.handler(message)
+        except Exception as exc:
+            payload = {"__error__": f"{type(exc).__name__}: {exc}"}
+        with self._lock:
+            self.handled += 1
+            count_key = (message.sender, message.msg_type.value)
+            self.executions[count_key] = self.executions.get(count_key, 0) + 1
+        pending.payload = payload
+        pending.event.set()
+        return payload
+
+
+# -- the in-memory transport --------------------------------------------------
+
+
+class InMemoryTransport(FaultyChannel):
+    """A :class:`Transport` that dispatches straight into a ServerCore.
+
+    Subclasses the in-memory :class:`FaultyChannel` — the channel *is*
+    the transport's loss/duplication stage (single fault code path) —
+    and layers on the two behaviors a real socket adds: injected
+    latency and connection resets with reconnect backoff.  A reset
+    drops the in-flight message with the "connection"; the next send
+    pays the reconnect (counted, traced as ``net.reconnect``) and then
+    proceeds, exactly like the TCP transport.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        server: ServerCore,
+        on_reply: typing.Callable[[int, dict], None],
+        fault_plan: "FaultPlan | None" = None,
+        backoff: "ExponentialBackoff | None" = None,
+        tracer: "typing.Any | None" = None,
+    ):
+        plan = fault_plan
+        super().__init__(
+            deliver=self._dispatch,
+            drop_every=plan.drop_every if plan else 0,
+            duplicate_every=plan.duplicate_every if plan else 0,
+            node_id=node_id,
+        )
+        self._server = server
+        self._on_reply = on_reply
+        self._faults = TransportFaults.from_plan(plan)
+        self._backoff = backoff or ExponentialBackoff(
+            base=0.001, max_delay=0.02
+        )
+        self.tracer = tracer
+        self._link_up = True
+        self.reconnects = 0
+
+    @property
+    def connected(self) -> bool:
+        """Both "the channel is open" and "the simulated link is up"."""
+        return super().connected and self._link_up
+
+    def _dispatch(self, message: Message) -> None:
+        reply = self._server.dispatch(message)
+        self._on_reply(message.msg_id, reply)
+
+    def _reconnect(self) -> None:
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "net.reconnect", track=self.node_id, cat="net"
+            )
+        self._backoff.wait(min(self.reconnects, 8))
+        self.reconnects += 1
+        self._link_up = True
+        if self.tracer is not None:
+            self.tracer.end(span, attempt=self.reconnects)
+
+    def send(self, message: Message) -> bool:
+        if not super().connected:  # closed for good
+            return False
+        action = (
+            self._faults.next_send() if self._faults is not None
+            else FaultAction()
+        )
+        if action.reset:
+            # The connection dies under this send: the message is lost.
+            self._link_up = False
+            return False
+        if not self._link_up:
+            self._reconnect()
+        if action.delay:
+            time.sleep(action.delay)
+        return super().send(message)
+
+
+def memory_link(
+    server: ServerCore,
+    node_id: str,
+    fault_plan: "FaultPlan | None" = None,
+    ack_timeout: float = 0.2,
+    max_attempts: int = 10,
+    tracer: "typing.Any | None" = None,
+) -> ReliableLink:
+    """A ready-to-use reliable in-memory client for ``server``."""
+    link = ReliableLink(
+        node_id, ack_timeout=ack_timeout, max_attempts=max_attempts,
+        tracer=tracer,
+    )
+    transport = InMemoryTransport(
+        node_id, server, on_reply=link.on_reply, fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    return link.attach(transport)

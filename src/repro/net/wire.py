@@ -1,0 +1,275 @@
+"""Wire format: framing, codecs, and the version-tagged handshake.
+
+Everything that crosses a process boundary goes through this module, so
+the format is documented once (docs/PROTOCOL.md, "Wire format") and the
+in-memory transport never needs it — which is exactly the point of the
+:class:`repro.net.Transport` seam.
+
+* **Framing** — length-prefixed: a 4-byte big-endian unsigned length
+  followed by that many payload bytes.  Frames are self-delimiting, so a
+  reader never depends on TCP segmentation.
+* **Codec** — JSON by default (always available); msgpack when the
+  optional ``msgpack`` package is importable.  The codec is negotiated
+  in the handshake, and ndarray values ride inside either codec as
+  ``{"__nd__": ...}`` envelopes (raw bytes, base64 under JSON).
+* **Handshake** — the first frame on a connection must be ``hello``
+  carrying the protocol version, the node id, and the requested codec;
+  the server answers ``welcome`` (echoing the negotiated codec) or
+  ``reject`` and closes.  A version mismatch is a hard reject: silent
+  cross-version traffic is how elastic clusters corrupt jobs.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import socket
+import struct
+import typing
+
+import numpy as np
+
+from ..coordination.messages import Message, MessageType
+
+try:  # optional accelerated codec; the wire works without it
+    import msgpack  # type: ignore
+except ImportError:  # pragma: no cover - exercised where msgpack exists
+    msgpack = None
+
+#: Protocol version carried by every handshake.  Bump on any change to
+#: framing, frame kinds, or message encoding.
+PROTOCOL_VERSION = 1
+
+#: Hard upper bound on one frame's payload, a corruption guard: a bogus
+#: length prefix must fail loudly, not allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """Framing or handshake violation; the connection must be dropped."""
+
+
+def available_codecs() -> "tuple[str, ...]":
+    """Codecs this process can encode/decode, preferred first."""
+    return ("msgpack", "json") if msgpack is not None else ("json",)
+
+
+def negotiate_codec(requested: str) -> str:
+    """The codec a server answers a ``hello`` with.
+
+    Falls back to JSON when the requested codec is unknown or not
+    importable here — JSON is the mandatory baseline both sides have.
+    """
+    return requested if requested in available_codecs() else "json"
+
+
+# -- value envelopes ----------------------------------------------------------
+
+
+def _pack_arrays(obj):
+    """Recursively wrap ndarrays in a codec-safe envelope."""
+    if isinstance(obj, np.ndarray):
+        return {
+            "__nd__": base64.b64encode(np.ascontiguousarray(obj).tobytes())
+            .decode("ascii"),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {key: _pack_arrays(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_pack_arrays(item) for item in obj]
+    return obj
+
+
+def _unpack_arrays(obj):
+    """Inverse of :func:`_pack_arrays`."""
+    if isinstance(obj, dict):
+        if "__nd__" in obj:
+            raw = base64.b64decode(obj["__nd__"])
+            return np.frombuffer(raw, dtype=np.dtype(obj["dtype"])).reshape(
+                obj["shape"]
+            ).copy()
+        return {key: _unpack_arrays(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_unpack_arrays(item) for item in obj]
+    return obj
+
+
+def encode_payload(payload: dict) -> dict:
+    """Make an arbitrary payload (possibly holding ndarrays) codec-safe."""
+    return _pack_arrays(payload)
+
+
+def decode_payload(payload: dict) -> dict:
+    """Restore ndarrays inside a decoded payload."""
+    return _unpack_arrays(payload)
+
+
+def params_digest(params: "dict[str, np.ndarray]") -> str:
+    """Stable content hash of a parameter dict (replica-consistency checks)."""
+    hasher = hashlib.sha256()
+    for name in sorted(params):
+        array = np.ascontiguousarray(params[name])
+        hasher.update(name.encode())
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+# -- codecs -------------------------------------------------------------------
+
+
+def encode_frame(frame: dict, codec: str = "json") -> bytes:
+    """Serialize one frame dict to payload bytes."""
+    if codec == "msgpack" and msgpack is not None:
+        return msgpack.packb(frame, use_bin_type=True)
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8")
+
+
+def decode_frame(data: bytes, codec: str = "json") -> dict:
+    """Deserialize payload bytes back to a frame dict."""
+    if codec == "msgpack" and msgpack is not None:
+        return msgpack.unpackb(data, raw=False)
+    return json.loads(data.decode("utf-8"))
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def frame_bytes(frame: dict, codec: str = "json") -> bytes:
+    """One length-prefixed frame, ready for ``sendall``."""
+    payload = encode_frame(frame, codec)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(payload)} bytes exceeds the maximum")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def _recv_exact(sock: socket.socket, count: int) -> "bytes | None":
+    """Read exactly ``count`` bytes, or None on a clean EOF at a frame
+    boundary; a mid-frame EOF raises :class:`WireError`."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count and not chunks:
+                return None
+            raise WireError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket, codec: str = "json") -> "dict | None":
+    """Read one frame from a socket; None on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame length {length} exceeds the maximum")
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise WireError("connection closed mid-frame")
+    return decode_frame(payload, codec)
+
+
+def write_frame(sock: socket.socket, frame: dict, codec: str = "json") -> int:
+    """Write one frame; returns the bytes put on the wire."""
+    data = frame_bytes(frame, codec)
+    sock.sendall(data)
+    return len(data)
+
+
+# -- frame kinds --------------------------------------------------------------
+
+
+def hello_frame(node_id: str, codec: str = "json") -> dict:
+    """The mandatory first frame of every connection."""
+    return {
+        "kind": "hello",
+        "version": PROTOCOL_VERSION,
+        "node": node_id,
+        "codec": codec,
+    }
+
+
+def welcome_frame(node_id: str, codec: str = "json") -> dict:
+    """The server's handshake acceptance."""
+    return {
+        "kind": "welcome",
+        "version": PROTOCOL_VERSION,
+        "node": node_id,
+        "codec": codec,
+    }
+
+
+def reject_frame(reason: str) -> dict:
+    """The server's handshake refusal (connection closes after it)."""
+    return {"kind": "reject", "version": PROTOCOL_VERSION, "reason": reason}
+
+
+def heartbeat_frame(node_id: str, seq: int) -> dict:
+    """Client keep-alive; the server answers ``heartbeat_ack``."""
+    return {"kind": "heartbeat", "node": node_id, "seq": seq}
+
+
+def heartbeat_ack_frame(seq: int) -> dict:
+    """Server answer to a heartbeat, echoing its sequence number."""
+    return {"kind": "heartbeat_ack", "seq": seq}
+
+
+def message_frame(message: Message) -> dict:
+    """Envelope for one protocol :class:`Message`."""
+    return {
+        "kind": "msg",
+        "msg_id": message.msg_id,
+        "type": message.msg_type.value,
+        "sender": message.sender,
+        "payload": encode_payload(message.payload),
+    }
+
+
+def decode_message(frame: dict) -> Message:
+    """Rebuild the :class:`Message` carried by a ``msg`` frame."""
+    return Message(
+        msg_id=int(frame["msg_id"]),
+        msg_type=MessageType(frame["type"]),
+        sender=frame["sender"],
+        payload=decode_payload(frame.get("payload") or {}),
+    )
+
+
+def reply_frame(node_id: str, in_reply_to: int, payload: dict) -> dict:
+    """Server response to one ``msg`` frame, correlated by message id."""
+    return {
+        "kind": "reply",
+        "node": node_id,
+        "in_reply_to": in_reply_to,
+        "payload": encode_payload(payload),
+    }
+
+
+def check_handshake(frame: "dict | None") -> typing.Tuple[str, str]:
+    """Validate a ``hello``; returns (node_id, negotiated codec)."""
+    if frame is None:
+        raise WireError("connection closed before the handshake")
+    if frame.get("kind") != "hello":
+        raise WireError(f"expected hello, got {frame.get('kind')!r}")
+    version = frame.get("version")
+    if version != PROTOCOL_VERSION:
+        raise WireError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this node speaks {PROTOCOL_VERSION}"
+        )
+    node = frame.get("node")
+    if not node:
+        raise WireError("hello carries no node id")
+    return str(node), negotiate_codec(str(frame.get("codec", "json")))

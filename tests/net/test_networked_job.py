@@ -1,0 +1,195 @@
+"""End-to-end elastic jobs over both transports — the acceptance test.
+
+The same chaos schedule (message drops + connection resets on one
+worker) is replayed over the in-memory transport and over loopback TCP;
+in both cases a scale-up commits mid-training with no message loss and
+all replicas finish bit-identical.  One parametrized test body, two
+transports — that is the point of the Transport seam.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.coordination.faults import FaultPlan
+from repro.coordination.messages import MessageType
+from repro.net import (
+    JobSpec,
+    NetworkedApplicationMaster,
+    WorkerAgent,
+    memory_link,
+    tcp_link,
+)
+
+CHAOS_PLAN = FaultPlan(drop_every=9, connection_resets=(5, 17))
+
+
+class Harness:
+    """One job, workers as threads, links per the chosen transport."""
+
+    def __init__(self, transport, spec, initial_workers):
+        self.transport = transport
+        self.spec = spec
+        self.master = NetworkedApplicationMaster(spec, initial_workers)
+        self.server = (
+            self.master.serve_tcp() if transport == "tcp" else None
+        )
+        self.results = {}
+        self.errors = {}
+        self.transports = {}
+        self.threads = {}
+
+    def link(self, node_id, fault_plan=None, ack_timeout=0.5):
+        if self.transport == "tcp":
+            link, transport = tcp_link(
+                self.server.host, self.server.port, node_id,
+                fault_plan=fault_plan, ack_timeout=ack_timeout,
+                heartbeat_interval=0.2,
+            )
+            self.transports[node_id] = transport
+            return link
+        link = memory_link(
+            self.master.core, node_id, fault_plan=fault_plan,
+            ack_timeout=ack_timeout,
+        )
+        self.transports[node_id] = link.transport
+        return link
+
+    def start_worker(self, worker_id, fault_plan=None):
+        def run():
+            link = self.link(worker_id, fault_plan=fault_plan)
+            try:
+                self.results[worker_id] = WorkerAgent(
+                    worker_id, link, poll_interval=0.02
+                ).run()
+            except Exception as exc:  # surfaced by the test body
+                self.errors[worker_id] = exc
+            finally:
+                link.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        self.threads[worker_id] = thread
+        thread.start()
+
+    def join_all(self, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        for thread in self.threads.values():
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        assert not self.errors, self.errors
+        assert all(not t.is_alive() for t in self.threads.values()), (
+            "workers still running"
+        )
+
+    def close(self):
+        self.master.close()
+
+
+@pytest.fixture(params=["memory", "tcp"])
+def transport(request):
+    return request.param
+
+
+def wait_for_iteration(driver, iteration, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        status = driver.request(MessageType.STATUS)
+        if status["iteration"] >= iteration:
+            return status
+        assert time.monotonic() < deadline, status
+        time.sleep(0.02)
+
+
+class TestElasticJobOverBothTransports:
+    def test_scale_up_commits_under_chaos(self, transport):
+        """The ISSUE acceptance criterion: a scale-up adjustment commits
+        with no message loss while one worker's connection is being
+        reset and every 9th of its messages dropped — identically over
+        the in-memory transport and loopback TCP."""
+        spec = JobSpec(
+            iterations=24, coordination_interval=4, iteration_sleep=0.01,
+            allreduce_timeout=10.0, sync_ack_timeout=1.0,
+        )
+        harness = Harness(transport, spec, ["w0", "w1"])
+        try:
+            harness.start_worker("w0", fault_plan=CHAOS_PLAN)
+            harness.start_worker("w1")
+            driver = harness.link("driver", ack_timeout=2.0)
+            wait_for_iteration(driver, 4)
+            reply = driver.request(
+                MessageType.ADJUSTMENT_REQUEST,
+                {"kind": "scale_out", "add": ["w2", "w3"]},
+            )
+            assert reply == {"accepted": True}
+            harness.start_worker("w2")
+            harness.start_worker("w3")
+            harness.join_all()
+
+            status = driver.request(MessageType.STATUS)
+            assert status["adjustments_committed"] == 1
+            assert status["complete"]
+            assert sorted(status["group"]) == ["w0", "w1", "w2", "w3"]
+            # No message loss: every replica finished every iteration
+            # and all four ended bit-identical.
+            digests = status["digests"]
+            assert len(digests) == 4
+            assert len(set(digests.values())) == 1
+            assert harness.results["w2"]["joined_at"] > 0
+            assert harness.results["w0"]["iterations_run"] == spec.iterations
+
+            # The chaos actually happened on w0's transport.
+            chaotic = harness.transports["w0"]
+            assert chaotic.reconnects >= 1
+            assert harness.master.core.duplicates >= 0
+            driver.close()
+        finally:
+            harness.close()
+
+    def test_scale_in_departs_removed_worker(self, transport):
+        spec = JobSpec(
+            iterations=20, coordination_interval=4, iteration_sleep=0.01,
+        )
+        harness = Harness(transport, spec, ["w0", "w1", "w2"])
+        try:
+            for worker in ("w0", "w1", "w2"):
+                harness.start_worker(worker)
+            driver = harness.link("driver", ack_timeout=2.0)
+            wait_for_iteration(driver, 4)
+            reply = driver.request(
+                MessageType.ADJUSTMENT_REQUEST,
+                {"kind": "scale_in", "remove": ["w2"]},
+            )
+            assert reply == {"accepted": True}
+            harness.join_all()
+
+            status = driver.request(MessageType.STATUS)
+            assert status["adjustments_committed"] == 1
+            assert status["complete"]
+            assert sorted(status["group"]) == ["w0", "w1"]
+            assert status["departed"] == ["w2"]
+            assert len(set(status["digests"].values())) == 1
+            assert harness.results["w2"]["removed"]
+            driver.close()
+        finally:
+            harness.close()
+
+    def test_exactly_once_counters_match_across_transports(self, transport):
+        """Handler executions are per-(sender, type) exactly-once even
+        with aggressive duplication on every worker."""
+        spec = JobSpec(iterations=8, coordination_interval=4)
+        plan = FaultPlan(duplicate_every=1)
+        harness = Harness(transport, spec, ["w0", "w1"])
+        try:
+            harness.start_worker("w0", fault_plan=plan)
+            harness.start_worker("w1", fault_plan=plan)
+            harness.join_all(timeout=30.0)
+            core = harness.master.core
+            # Each worker: 1 join + 8 syncs + 1 coordinate (iter 4)
+            # + 1 final upload, each executed exactly once.
+            for worker in ("w0", "w1"):
+                assert core.executions[(worker, "sync")] == 8
+                assert core.executions[(worker, "coordinate")] == 1
+                assert core.executions[(worker, "state_upload")] == 1
+            assert core.duplicates > 0
+        finally:
+            harness.close()

@@ -1,0 +1,158 @@
+"""TCP transport tests: handshake, heartbeat, reconnect, reliability."""
+
+import socket
+import time
+
+import pytest
+
+from repro.coordination.faults import FaultPlan
+from repro.coordination.messages import MessageType
+from repro.net import ServerCore, TcpServer, tcp_link
+from repro.net import wire
+from repro.net.tcp import TcpTransport
+
+
+@pytest.fixture
+def server():
+    core = ServerCore(handler=lambda m: {"echo": dict(m.payload)})
+    tcp = TcpServer(core).start()
+    yield tcp
+    tcp.close()
+
+
+class TestHandshake:
+    def test_request_reply_over_loopback(self, server):
+        link, transport = tcp_link(server.host, server.port, "w0")
+        try:
+            assert link.request(MessageType.ACK, {"x": 1}) == {"echo": {"x": 1}}
+            assert transport.server_node == "am"
+            assert server.connections_accepted == 1
+        finally:
+            link.close()
+
+    def test_version_mismatch_is_rejected(self, server):
+        sock = socket.create_connection((server.host, server.port))
+        try:
+            hello = wire.hello_frame("w0")
+            hello["version"] = wire.PROTOCOL_VERSION + 1
+            wire.write_frame(sock, hello)
+            answer = wire.read_frame(sock)
+            assert answer["kind"] == "reject"
+            assert "version mismatch" in answer["reason"]
+            # The server closes after rejecting.
+            assert wire.read_frame(sock) is None
+        finally:
+            sock.close()
+        assert server.handshakes_rejected == 1
+        assert server.connections_accepted == 0
+
+    def test_client_raises_on_rejection(self, server):
+        transport = TcpTransport(
+            server.host, server.port, "w0", on_reply=lambda *a: None,
+            heartbeat_interval=None,
+        )
+        # Sabotage the advertised version to provoke the reject path.
+        real = wire.hello_frame
+        try:
+            wire.hello_frame = lambda node, codec="json": {
+                **real(node, codec), "version": 999,
+            }
+            with pytest.raises(wire.WireError, match="rejected"):
+                transport.connect()
+        finally:
+            wire.hello_frame = real
+            transport.close()
+
+
+class TestHeartbeat:
+    def test_keepalive_acked(self, server):
+        link, transport = tcp_link(
+            server.host, server.port, "w0", heartbeat_interval=0.05
+        )
+        try:
+            deadline = time.monotonic() + 2.0
+            while transport.heartbeats_acked < 2:
+                assert time.monotonic() < deadline, "no heartbeat acks"
+                time.sleep(0.02)
+            assert server.heartbeats_received >= 2
+            assert transport.last_heartbeat_rtt is not None
+            assert "w0" in server.last_seen
+        finally:
+            link.close()
+
+
+class TestReconnect:
+    def test_reset_reconnects_and_resends(self, server):
+        plan = FaultPlan(connection_resets=(2,))
+        link, transport = tcp_link(
+            server.host, server.port, "w0",
+            fault_plan=plan, ack_timeout=0.5, heartbeat_interval=None,
+        )
+        try:
+            for i in range(3):
+                reply = link.request(MessageType.ACK, {"i": i})
+                assert reply == {"echo": {"i": i}}
+            assert transport.reconnects == 1
+            assert link.resends >= 1
+            assert server.connections_accepted == 2
+            # Exactly-once despite the loss.
+            assert server.core.executions[("w0", "ack")] == 3
+        finally:
+            link.close()
+
+    def test_server_restart_mid_session(self):
+        """A server that goes away entirely: the client's reconnect
+        backoff keeps retrying until a new listener is up on the port."""
+        core = ServerCore(handler=lambda m: {"pong": True})
+        first = TcpServer(core).start()
+        port = first.port
+        link, transport = tcp_link(
+            "127.0.0.1", port, "w0", ack_timeout=0.5,
+            heartbeat_interval=None,
+        )
+        try:
+            assert link.request(MessageType.ACK) == {"pong": True}
+            first.close()
+            # Rebinding the port races the old connection's teardown
+            # (it sits in FIN_WAIT until the client notices the EOF).
+            second = None
+            for _ in range(100):
+                try:
+                    second = TcpServer(core, port=port).start()
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            assert second is not None, "port never became free"
+            try:
+                assert link.request(MessageType.ACK) == {"pong": True}
+                assert transport.reconnects >= 1
+            finally:
+                second.close()
+        finally:
+            link.close()
+
+    def test_closed_transport_refuses_sends(self, server):
+        link, transport = tcp_link(server.host, server.port, "w0")
+        link.close()
+        assert not transport.connected
+        from repro.net import RequestTimeout
+
+        with pytest.raises(RequestTimeout):
+            link.request(MessageType.ACK, ack_timeout=0.01)
+
+
+class TestDropsOverTcp:
+    def test_drop_schedule_applies_to_socket_sends(self, server):
+        plan = FaultPlan(drop_every=2)
+        link, transport = tcp_link(
+            server.host, server.port, "w0",
+            fault_plan=plan, ack_timeout=0.1, heartbeat_interval=None,
+        )
+        try:
+            for i in range(4):
+                assert link.request(MessageType.ACK, {"i": i})["echo"]["i"] == i
+            assert transport._channel.dropped >= 2
+            assert link.resends >= 2
+            assert server.core.executions[("w0", "ack")] == 4
+        finally:
+            link.close()

@@ -1,0 +1,163 @@
+"""Transport-seam tests: ReliableLink, ServerCore, InMemoryTransport."""
+
+import threading
+
+import pytest
+
+from repro.coordination.faults import ExponentialBackoff, FaultPlan
+from repro.coordination.messages import MessageType
+from repro.net import (
+    InMemoryTransport,
+    ReliableLink,
+    RemoteError,
+    RequestTimeout,
+    ServerCore,
+    Transport,
+    TransportFaults,
+    memory_link,
+)
+from repro.observability import Tracer
+
+
+def echo_core(**kwargs):
+    return ServerCore(
+        handler=lambda message: {"echo": dict(message.payload)}, **kwargs
+    )
+
+
+class TestTransportProtocol:
+    def test_in_memory_transport_satisfies_protocol(self):
+        transport = InMemoryTransport("w0", echo_core(), on_reply=lambda *a: None)
+        assert isinstance(transport, Transport)
+
+    def test_faulty_channel_satisfies_protocol(self):
+        from repro.coordination.messages import FaultyChannel
+
+        assert isinstance(FaultyChannel(lambda m: None), Transport)
+
+
+class TestReliableLink:
+    def test_round_trip(self):
+        link = memory_link(echo_core(), "w0")
+        assert link.request(MessageType.ACK, {"x": 1}) == {"echo": {"x": 1}}
+
+    def test_drops_are_resent_exactly_once_executed(self):
+        core = echo_core()
+        link = memory_link(
+            core, "w0", fault_plan=FaultPlan(drop_every=2), ack_timeout=0.05
+        )
+        for i in range(6):
+            assert link.request(MessageType.ACK, {"i": i})["echo"] == {"i": i}
+        assert link.resends > 0
+        # Every request executed exactly once despite the drops.
+        assert core.executions[("w0", "ack")] == 6
+
+    def test_duplicates_absorbed_without_reexecution(self):
+        core = echo_core()
+        link = memory_link(
+            core, "w0", fault_plan=FaultPlan(duplicate_every=1)
+        )
+        for i in range(5):
+            link.request(MessageType.ACK, {"i": i})
+        assert core.duplicates == 5
+        assert core.executions[("w0", "ack")] == 5
+
+    def test_remote_error_propagates(self):
+        def explode(message):
+            raise ValueError("handler went boom")
+
+        link = memory_link(ServerCore(handler=explode), "w0")
+        with pytest.raises(RemoteError, match="handler went boom"):
+            link.request(MessageType.ACK)
+
+    def test_timeout_when_everything_dropped(self):
+        link = memory_link(
+            echo_core(), "w0", fault_plan=FaultPlan(drop_every=1),
+            ack_timeout=0.01, max_attempts=3,
+        )
+        with pytest.raises(RequestTimeout):
+            link.request(MessageType.ACK)
+
+    def test_per_sender_dedup_keys_do_not_collide(self):
+        """Two clients' MessageFactories both start at msg_id 1; the
+        server must still treat their requests as distinct."""
+        core = echo_core()
+        link_a = memory_link(core, "a")
+        link_b = memory_link(core, "b")
+        assert link_a.request(MessageType.ACK, {"who": "a"})["echo"]["who"] == "a"
+        assert link_b.request(MessageType.ACK, {"who": "b"})["echo"]["who"] == "b"
+        assert core.duplicates == 0
+        assert core.executions == {("a", "ack"): 1, ("b", "ack"): 1}
+
+
+class TestConnectionResets:
+    def test_reset_loses_message_then_reconnects(self):
+        core = echo_core()
+        link = memory_link(
+            core, "w0",
+            fault_plan=FaultPlan(connection_resets=(2,)), ack_timeout=0.05,
+        )
+        for i in range(4):
+            link.request(MessageType.ACK, {"i": i})
+        transport = link.transport
+        assert transport.reconnects == 1
+        assert link.resends >= 1
+        assert core.executions[("w0", "ack")] == 4
+
+    def test_injected_delay_applies(self):
+        faults = TransportFaults(delays={1: 0.01, 3: 0.02})
+        first = faults.next_send()
+        assert first.delay == 0.01 and not first.reset
+        assert faults.next_send().delay == 0.0
+        assert faults.next_send().delay == 0.02
+        assert faults.delays_injected == 2
+
+    def test_from_plan_ignores_pure_loss_plans(self):
+        assert TransportFaults.from_plan(FaultPlan(drop_every=3)) is None
+        assert TransportFaults.from_plan(None) is None
+        faults = TransportFaults.from_plan(
+            FaultPlan(net_delays={2: 0.1}, connection_resets=(4,))
+        )
+        assert faults.delays == {2: 0.1}
+        assert faults.resets == frozenset({4})
+
+
+class TestServerCore:
+    def test_concurrent_duplicate_waits_for_original(self):
+        release = threading.Event()
+
+        def slow(message):
+            release.wait(2.0)
+            return {"done": True}
+
+        core = ServerCore(handler=slow, reply_wait=5.0)
+        from repro.coordination.messages import MessageFactory
+
+        message = MessageFactory().make(MessageType.ACK, "w0", {})
+        replies = []
+        threads = [
+            threading.Thread(
+                target=lambda: replies.append(core.dispatch(message))
+            )
+            for _ in range(2)
+        ]
+        threads[0].start()
+        threads[1].start()
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert replies == [{"done": True}, {"done": True}]
+        assert core.executions[("w0", "ack")] == 1
+        assert core.duplicates == 1
+
+    def test_tracing_spans_emitted(self):
+        tracer = Tracer(process="test")
+        core = echo_core(tracer=tracer)
+        link = memory_link(
+            core, "w0",
+            fault_plan=FaultPlan(connection_resets=(1,)),
+            ack_timeout=0.05, tracer=tracer,
+        )
+        link.request(MessageType.ACK, {"x": 1})
+        names = {event["name"] for event in tracer.to_events()}
+        assert {"net.send", "net.recv", "net.reconnect"} <= names

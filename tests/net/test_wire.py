@@ -1,0 +1,164 @@
+"""Wire-format tests: framing, codecs, envelopes, handshake."""
+
+import io
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coordination.messages import MessageFactory, MessageType
+from repro.net import wire
+
+
+def socket_pair():
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.create_connection(server.getsockname())
+    accepted, _ = server.accept()
+    server.close()
+    return client, accepted
+
+
+class TestFraming:
+    def test_round_trip_over_socket(self):
+        client, accepted = socket_pair()
+        try:
+            frame = {"kind": "msg", "data": [1, 2, 3], "nested": {"x": "y"}}
+            wire.write_frame(client, frame)
+            assert wire.read_frame(accepted) == frame
+        finally:
+            client.close()
+            accepted.close()
+
+    def test_many_frames_preserve_boundaries(self):
+        client, accepted = socket_pair()
+        try:
+            frames = [{"kind": "msg", "i": i, "pad": "x" * i} for i in range(50)]
+            for frame in frames:
+                wire.write_frame(client, frame)
+            received = [wire.read_frame(accepted) for _ in frames]
+            assert received == frames
+        finally:
+            client.close()
+            accepted.close()
+
+    def test_clean_eof_returns_none(self):
+        client, accepted = socket_pair()
+        client.close()
+        try:
+            assert wire.read_frame(accepted) is None
+        finally:
+            accepted.close()
+
+    def test_mid_frame_eof_raises(self):
+        client, accepted = socket_pair()
+        try:
+            data = wire.frame_bytes({"kind": "msg", "pad": "x" * 1000})
+            client.sendall(data[: len(data) // 2])
+            client.close()
+            with pytest.raises(wire.WireError):
+                wire.read_frame(accepted)
+        finally:
+            accepted.close()
+
+    def test_oversize_frame_rejected_on_write(self):
+        huge = {"pad": "x" * (wire.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(wire.WireError):
+            wire.frame_bytes(huge)
+
+    def test_bogus_length_prefix_rejected_on_read(self):
+        client, accepted = socket_pair()
+        try:
+            client.sendall(
+                (wire.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+            )
+            with pytest.raises(wire.WireError):
+                wire.read_frame(accepted)
+        finally:
+            client.close()
+            accepted.close()
+
+
+class TestEnvelopes:
+    def test_ndarray_payload_round_trip(self):
+        payload = {
+            "grads": {
+                "w": np.arange(12, dtype=np.float64).reshape(3, 4),
+                "b": np.zeros(4, dtype=np.float32),
+            },
+            "iteration": 7,
+            "nested": [np.array([1.5, -2.5]), "text", None],
+        }
+        decoded = wire.decode_payload(
+            wire.decode_frame(
+                wire.encode_frame(wire.encode_payload(payload))
+            )
+        )
+        np.testing.assert_array_equal(
+            decoded["grads"]["w"], payload["grads"]["w"]
+        )
+        assert decoded["grads"]["b"].dtype == np.float32
+        np.testing.assert_array_equal(decoded["nested"][0], [1.5, -2.5])
+        assert decoded["iteration"] == 7
+        assert decoded["nested"][1:] == ["text", None]
+
+    def test_numpy_scalars_become_plain(self):
+        packed = wire.encode_payload({"loss": np.float64(1.25), "n": np.int64(3)})
+        assert packed == {"loss": 1.25, "n": 3}
+
+    def test_message_frame_round_trip(self):
+        message = MessageFactory().make(
+            MessageType.SYNC, "w0",
+            {"grads": {"w": np.ones((2, 2))}, "iteration": 3},
+        )
+        frame = wire.decode_frame(
+            wire.encode_frame(wire.message_frame(message))
+        )
+        rebuilt = wire.decode_message(frame)
+        assert rebuilt.msg_id == message.msg_id
+        assert rebuilt.msg_type is MessageType.SYNC
+        assert rebuilt.sender == "w0"
+        np.testing.assert_array_equal(
+            rebuilt.payload["grads"]["w"], np.ones((2, 2))
+        )
+
+    def test_params_digest_is_content_addressed(self):
+        params = {"w": np.arange(6.0).reshape(2, 3), "b": np.zeros(3)}
+        same = {"b": np.zeros(3), "w": np.arange(6.0).reshape(2, 3)}
+        different = {"w": np.arange(6.0).reshape(2, 3), "b": np.ones(3)}
+        assert wire.params_digest(params) == wire.params_digest(same)
+        assert wire.params_digest(params) != wire.params_digest(different)
+
+
+class TestHandshake:
+    def test_hello_welcome(self):
+        node, codec = wire.check_handshake(wire.hello_frame("w3", "json"))
+        assert node == "w3"
+        assert codec == "json"
+
+    def test_version_mismatch_rejected(self):
+        hello = wire.hello_frame("w0")
+        hello["version"] = wire.PROTOCOL_VERSION + 1
+        with pytest.raises(wire.WireError, match="version mismatch"):
+            wire.check_handshake(hello)
+
+    def test_missing_node_rejected(self):
+        hello = wire.hello_frame("w0")
+        hello["node"] = ""
+        with pytest.raises(wire.WireError, match="node id"):
+            wire.check_handshake(hello)
+
+    def test_non_hello_rejected(self):
+        with pytest.raises(wire.WireError, match="expected hello"):
+            wire.check_handshake(wire.heartbeat_frame("w0", 1))
+        with pytest.raises(wire.WireError, match="closed"):
+            wire.check_handshake(None)
+
+    def test_unknown_codec_falls_back_to_json(self):
+        _, codec = wire.check_handshake(wire.hello_frame("w0", "cbor"))
+        assert codec == "json"
+
+    def test_json_always_available(self):
+        assert "json" in wire.available_codecs()
