@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
+import secrets
 import typing
 
 
@@ -56,10 +57,28 @@ class Message:
 
 
 class MessageFactory:
-    """Allocates unique message IDs."""
+    """Allocates message IDs unique across process incarnations.
 
-    def __init__(self):
-        self._ids = itertools.count(1)
+    IDs are ``(epoch << EPOCH_SHIFT) + counter`` where the epoch is a
+    random per-factory nonce.  Receivers dedup on ``(sender, msg_id)``,
+    and a restarted worker reuses its worker id (that is the
+    self-healing layer's recovery model) — were the counter to restart
+    at 1 too, the fresh incarnation's first requests would be
+    misclassified as retransmissions and answered with cached replies
+    of unrelated earlier messages.  Pass ``epoch=0`` when a test wants
+    small deterministic IDs.
+    """
+
+    #: Low bits reserved for the per-epoch counter (~1M messages; an
+    #: overflow merely bleeds into a neighbouring epoch's space, which
+    #: the 40-bit random epoch makes vanishingly unlikely to collide).
+    EPOCH_SHIFT = 20
+
+    def __init__(self, epoch: "int | None" = None):
+        # 40 + 20 bits keeps every ID well inside int64, so both wire
+        # codecs (JSON, msgpack) carry it exactly.
+        self.epoch = secrets.randbits(40) if epoch is None else epoch
+        self._ids = itertools.count((self.epoch << self.EPOCH_SHIFT) + 1)
 
     def make(self, msg_type: MessageType, sender: str, payload: dict) -> Message:
         """Create a new uniquely-identified message."""
@@ -96,6 +115,10 @@ class DeduplicatingInbox:
             return False
         self._seen.add(key)
         return True
+
+    def forget(self, key: typing.Hashable) -> None:
+        """Evict one remembered key (bounded dedup windows need this)."""
+        self._seen.discard(key)
 
 
 class FaultyChannel:

@@ -102,11 +102,15 @@ class JobSpec:
 class _SyncBarrier:
     """One (generation, iteration) gradient rendezvous."""
 
-    __slots__ = ("expected", "contributions", "event", "result")
+    __slots__ = ("expected", "contributions", "collected", "event", "result")
 
     def __init__(self, expected: typing.Iterable[str]):
         self.expected = frozenset(expected)
         self.contributions: "dict[str, typing.Any]" = {}
+        #: members whose handler call has returned the result — once all
+        #: have, the barrier can be dropped (dedup means no member's
+        #: handler runs twice, so nobody will need it again).
+        self.collected: set = set()
         self.event = threading.Event()
         self.result: "dict | None" = None
 
@@ -216,9 +220,24 @@ class NetworkedApplicationMaster:
 
     def _handle_join(self, worker: str) -> dict:
         with self._lock:
-            offer = self._join_offers.get(worker)
+            # Consume the offer: a retransmission of this very poll is
+            # answered from the ServerCore reply cache, and the offer
+            # must not survive to be replayed — stale generation, stale
+            # snapshot — if the same worker id is scaled out and back
+            # in by a later adjustment.
+            offer = self._join_offers.pop(worker, None)
             if offer is not None:
-                return offer
+                # Only the offer minted for the live (or in-flight)
+                # generation may be served; anything older belongs to a
+                # previous incarnation of this worker id and would park
+                # the joiner at a dead iteration where its SYNC
+                # barriers never complete.
+                current = (
+                    self._plan.generation if self._plan is not None
+                    else self._generation
+                )
+                if offer["generation"] == current:
+                    return offer
             # Initial workers start from scratch at iteration 0.
             if worker in self._groups[0] and self._generation == 0:
                 return {
@@ -264,6 +283,11 @@ class NetworkedApplicationMaster:
             requested_at=self._pending_request_at or time.perf_counter(),
         )
         self._plan = plan
+        # A joiner that never polled its offer from an earlier
+        # adjustment (it crashed, or was scaled out before joining)
+        # must wait for *this* plan's snapshot, not receive the old one.
+        for joiner in plan.add_workers:
+            self._join_offers.pop(joiner, None)
         # The new generation's rendezvous membership must exist before
         # the first survivor syncs at the commit boundary — which can
         # happen well before the adjustment finishes.
@@ -367,7 +391,15 @@ class NetworkedApplicationMaster:
                 f"sync ({generation}, {iteration}) timed out waiting "
                 f"for {missing}"
             )
-        return barrier.result or {}
+        result = barrier.result or {}
+        with self._lock:
+            barrier.collected.add(worker)
+            if barrier.collected >= barrier.expected:
+                # Everyone has this iteration's mean; keeping the
+                # barrier (and its gradient ndarrays) any longer would
+                # grow memory linearly with iterations run.
+                self._barriers.pop(key, None)
+        return result
 
     # -- step 1: the scheduler/driver API ---------------------------------------
 

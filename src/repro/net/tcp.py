@@ -55,7 +55,10 @@ class TcpTransport:
         self.host = host
         self.port = port
         self.node_id = node_id
-        self.codec = codec
+        # Never request a codec this process cannot decode: the server
+        # would agree to it and the two ends would silently speak
+        # different formats.
+        self.codec = wire.negotiate_codec(codec)
         self.tracer = tracer
         self._on_reply = on_reply
         self._faults = TransportFaults.from_plan(fault_plan)
@@ -140,6 +143,9 @@ class TcpTransport:
     def _drop_connection(self) -> None:
         with self._send_lock:
             sock, self._sock = self._sock, None
+            # In-flight heartbeats died with the connection; their acks
+            # will never arrive, so their timestamps must not linger.
+            self._heartbeat_sent_at.clear()
         if sock is not None:
             try:
                 sock.close()
@@ -207,7 +213,15 @@ class TcpTransport:
                     return False
             if action.delay:
                 time.sleep(action.delay)
-            return self._channel.send(message)
+            try:
+                return self._channel.send(message)
+            except (OSError, wire.WireError):
+                # A real broken pipe / reset surfaced mid-write.
+                # _write_message already dropped the connection; report
+                # the send as lost so the reliability layer resends and
+                # the next attempt pays the reconnect — the same path a
+                # scheduled fault-plan reset takes.
+                return False
 
     def _write_message(self, message: Message) -> None:
         """The channel's deliver hook: frame and write, or die trying."""
@@ -238,7 +252,7 @@ class TcpTransport:
                 )
             elif kind == "heartbeat_ack":
                 self.heartbeats_acked += 1
-                sent_at = self._heartbeat_sent_at.get(frame.get("seq"))
+                sent_at = self._heartbeat_sent_at.pop(frame.get("seq"), None)
                 if sent_at is not None:
                     self.last_heartbeat_rtt = time.perf_counter() - sent_at
         # EOF or error: if this is still the current socket, drop it so

@@ -24,6 +24,7 @@ either side of the seam.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import threading
 import time
@@ -289,6 +290,13 @@ class ServerCore:
     runs the handler once; a retransmission (same ``(sender, msg_id)``)
     waits for — or is served from — the cached reply, never re-executing
     the handler.  That is the §V-D recipe's receiving half.
+
+    The dedup window is bounded: ``dedup_ttl`` seconds after a reply
+    completes, its cache entry and seen-key are evicted, so a
+    long-running serve process does not accumulate one entry per
+    message forever.  The TTL only has to outlive the sender's resend
+    horizon (``max_attempts × (ack_timeout + backoff)``, a few seconds)
+    — the 120 s default leaves an order of magnitude of slack.
     """
 
     def __init__(
@@ -297,17 +305,24 @@ class ServerCore:
         node_id: str = "am",
         tracer: "typing.Any | None" = None,
         reply_wait: float = 30.0,
+        dedup_ttl: "float | None" = 120.0,
     ):
         self.handler = handler
         self.node_id = node_id
         self.tracer = tracer
         self.reply_wait = reply_wait
+        self.dedup_ttl = dedup_ttl
         self._inbox = DeduplicatingInbox(
             key=lambda message: (message.sender, message.msg_id)
         )
         self._replies: "dict[tuple, _PendingReply]" = {}
+        #: completed (key, finished_at) pairs, oldest first, awaiting TTL.
+        self._retired: "collections.deque[tuple[tuple, float]]" = (
+            collections.deque()
+        )
         self._lock = threading.Lock()
         self.handled = 0
+        self.evicted = 0
         #: per-(sender, type) handler executions, for exactly-once asserts.
         self.executions: "dict[tuple, int]" = {}
 
@@ -316,10 +331,19 @@ class ServerCore:
         """Retransmissions absorbed without re-execution."""
         return self._inbox.duplicates_dropped
 
+    def _evict_expired_locked(self, now: float) -> None:
+        while self._retired and now - self._retired[0][1] > self.dedup_ttl:
+            key, _ = self._retired.popleft()
+            self._replies.pop(key, None)
+            self._inbox.forget(key)
+            self.evicted += 1
+
     def dispatch(self, message: Message) -> dict:
         """Process one inbound message; returns the reply payload."""
         key = (message.sender, message.msg_id)
         with self._lock:
+            if self.dedup_ttl is not None:
+                self._evict_expired_locked(time.monotonic())
             fresh = self._inbox.accept(message)
             if fresh:
                 pending = _PendingReply()
@@ -347,6 +371,7 @@ class ServerCore:
             self.handled += 1
             count_key = (message.sender, message.msg_type.value)
             self.executions[count_key] = self.executions.get(count_key, 0) + 1
+            self._retired.append((key, time.monotonic()))
         pending.payload = payload
         pending.event.set()
         return payload

@@ -58,10 +58,13 @@ def available_codecs() -> "tuple[str, ...]":
 
 
 def negotiate_codec(requested: str) -> str:
-    """The codec a server answers a ``hello`` with.
+    """Clamp a requested codec to what this process can actually speak.
 
-    Falls back to JSON when the requested codec is unknown or not
-    importable here — JSON is the mandatory baseline both sides have.
+    The server calls this to answer a ``hello``; the client calls it
+    before *sending* one, so it never requests a codec it cannot
+    decode.  Falls back to JSON when the requested codec is unknown or
+    not importable here — JSON is the mandatory baseline both sides
+    have.
     """
     return requested if requested in available_codecs() else "json"
 
@@ -134,10 +137,27 @@ def encode_frame(frame: dict, codec: str = "json") -> bytes:
 
 
 def decode_frame(data: bytes, codec: str = "json") -> dict:
-    """Deserialize payload bytes back to a frame dict."""
-    if codec == "msgpack" and msgpack is not None:
-        return msgpack.unpackb(data, raw=False)
-    return json.loads(data.decode("utf-8"))
+    """Deserialize payload bytes back to a frame dict.
+
+    Any decode failure — corrupt bytes, a codec mismatch, a payload
+    that is not a dict — raises :class:`WireError`, so read loops
+    handle corruption through the same drop-and-reconnect path as
+    framing violations instead of dying on a codec exception.
+    """
+    try:
+        if codec == "msgpack" and msgpack is not None:
+            frame = msgpack.unpackb(data, raw=False)
+        else:
+            frame = json.loads(data.decode("utf-8"))
+    except Exception as exc:
+        raise WireError(
+            f"undecodable {codec} frame: {type(exc).__name__}: {exc}"
+        ) from exc
+    if not isinstance(frame, dict):
+        raise WireError(
+            f"frame payload decodes to {type(frame).__name__}, not a dict"
+        )
+    return frame
 
 
 # -- framing ------------------------------------------------------------------

@@ -136,6 +136,9 @@ class TestElasticJobOverBothTransports:
             assert len(set(digests.values())) == 1
             assert harness.results["w2"]["joined_at"] > 0
             assert harness.results["w0"]["iterations_run"] == spec.iterations
+            # Every completed rendezvous was evicted once all members
+            # collected the mean — no per-iteration gradient retention.
+            assert not harness.master._barriers
 
             # The chaos actually happened on w0's transport.
             chaotic = harness.transports["w0"]
@@ -193,3 +196,63 @@ class TestElasticJobOverBothTransports:
             assert core.duplicates > 0
         finally:
             harness.close()
+
+
+class TestJoinOfferLifecycle:
+    """Join offers are single-use and generation-checked, so a worker id
+    scaled out and back in can never be served a stale snapshot."""
+
+    @staticmethod
+    def _drive_to_adjust(net, worker, start=4):
+        interval = net.spec.coordination_interval
+        for iteration in range(start, start + 20 * interval, interval):
+            reply = net._handle_coordinate(worker, iteration)
+            if reply["kind"] == "adjust":
+                return reply
+        raise AssertionError("adjust directive never issued")
+
+    @staticmethod
+    def _snapshot():
+        import numpy as np
+
+        return {"params": {"w": np.zeros(2)}, "optimizer": {}, "loader": {}}
+
+    def test_offer_is_consumed_on_first_join(self):
+        spec = JobSpec(iterations=64, coordination_interval=4)
+        net = NetworkedApplicationMaster(spec, ["w0"])
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": ["w2"]}
+        )["accepted"]
+        assert net._handle_join("w2") == {"status": "pending"}
+        reply = self._drive_to_adjust(net, "w0")
+        assert reply["upload"]
+        assert net._handle_state_upload("w0", self._snapshot())["ok"]
+        offer = net._handle_join("w2")
+        assert offer["status"] == "join"
+        assert offer["generation"] == 1
+        # Consumed: nothing left to replay to a later incarnation.
+        assert net._join_offers == {}
+
+    def test_stale_offer_is_dropped_not_served(self):
+        spec = JobSpec(iterations=64, coordination_interval=4)
+        net = NetworkedApplicationMaster(spec, ["w0"])
+        net._generation = 3
+        net._groups[3] = ("w0",)
+        # An offer left over from generation 1 (its joiner never polled).
+        net._join_offers["w2"] = {"status": "join", "generation": 1}
+        assert net._handle_join("w2") == {"status": "pending"}
+        assert "w2" not in net._join_offers
+
+    def test_minting_a_new_plan_clears_predecessor_offers(self):
+        spec = JobSpec(iterations=64, coordination_interval=4)
+        net = NetworkedApplicationMaster(spec, ["w0"])
+        net._join_offers["w2"] = {"status": "join", "generation": 5}
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": ["w2"]}
+        )["accepted"]
+        net.am.worker_report("w2")
+        reply = self._drive_to_adjust(net, "w0")
+        assert reply["kind"] == "adjust"
+        # The stale offer died at mint time; w2 now waits for the new
+        # plan's snapshot.
+        assert "w2" not in net._join_offers

@@ -156,3 +156,75 @@ class TestDropsOverTcp:
             assert server.core.executions[("w0", "ack")] == 4
         finally:
             link.close()
+
+
+class TestRawSocketErrors:
+    def test_write_oserror_is_lost_send_not_crash(self, server):
+        """A real broken pipe / ECONNRESET during the socket write must
+        surface as a lost send the timeout-resend recovers — never as an
+        exception out of ReliableLink.request."""
+        link, transport = tcp_link(
+            server.host, server.port, "w0", ack_timeout=0.5,
+            heartbeat_interval=None,
+        )
+        try:
+            real_deliver = transport._channel._deliver
+            failures = []
+
+            def broken_pipe_once(message):
+                if not failures:
+                    failures.append(True)
+                    transport._drop_connection()
+                    raise OSError(32, "Broken pipe")
+                return real_deliver(message)
+
+            transport._channel._deliver = broken_pipe_once
+            assert link.request(MessageType.ACK, {"x": 1})["echo"] == {"x": 1}
+            assert failures, "the injected write failure never fired"
+            assert link.resends >= 1
+            assert transport.reconnects >= 1
+        finally:
+            link.close()
+
+    def test_peer_shutdown_mid_session_recovers(self, server):
+        """Shut the socket's write half down under the transport: the
+        next request must reconnect and succeed rather than raise."""
+        link, transport = tcp_link(
+            server.host, server.port, "w0", ack_timeout=0.5,
+            heartbeat_interval=None,
+        )
+        try:
+            assert link.request(MessageType.ACK, {"i": 0})["echo"]["i"] == 0
+            transport._sock.shutdown(socket.SHUT_RDWR)
+            assert link.request(MessageType.ACK, {"i": 1})["echo"]["i"] == 1
+            assert transport.reconnects >= 1
+        finally:
+            link.close()
+
+
+class TestHeartbeatBookkeeping:
+    def test_acked_timestamps_are_pruned(self, server):
+        """Every acked heartbeat's timestamp is popped; the map only
+        ever holds the in-flight few, not one entry per beat."""
+        link, transport = tcp_link(
+            server.host, server.port, "w0", heartbeat_interval=0.03
+        )
+        try:
+            deadline = time.monotonic() + 3.0
+            while transport.heartbeats_acked < 5:
+                assert time.monotonic() < deadline, "heartbeats not acked"
+                time.sleep(0.02)
+            assert len(transport._heartbeat_sent_at) <= 2
+        finally:
+            link.close()
+
+    def test_drop_connection_clears_inflight_heartbeats(self, server):
+        link, transport = tcp_link(
+            server.host, server.port, "w0", heartbeat_interval=None
+        )
+        try:
+            transport._heartbeat_sent_at[1] = time.perf_counter()
+            transport._drop_connection()
+            assert transport._heartbeat_sent_at == {}
+        finally:
+            link.close()

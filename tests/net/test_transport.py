@@ -1,6 +1,7 @@
 """Transport-seam tests: ReliableLink, ServerCore, InMemoryTransport."""
 
 import threading
+import time
 
 import pytest
 
@@ -79,8 +80,9 @@ class TestReliableLink:
             link.request(MessageType.ACK)
 
     def test_per_sender_dedup_keys_do_not_collide(self):
-        """Two clients' MessageFactories both start at msg_id 1; the
-        server must still treat their requests as distinct."""
+        """Two clients' message ids could coincide (the epoch nonce
+        makes it unlikely, not impossible); the server must still treat
+        their requests as distinct because it keys on the sender too."""
         core = echo_core()
         link_a = memory_link(core, "a")
         link_b = memory_link(core, "b")
@@ -161,3 +163,67 @@ class TestServerCore:
         link.request(MessageType.ACK, {"x": 1})
         names = {event["name"] for event in tracer.to_events()}
         assert {"net.send", "net.recv", "net.reconnect"} <= names
+
+
+class TestIncarnations:
+    def test_restarted_sender_is_not_misread_as_duplicate(self):
+        """A worker restarted with the same worker id (the self-healing
+        recovery model) allocates ids from a fresh epoch, so its first
+        requests execute instead of being answered from the reply cache
+        of an unrelated earlier message."""
+        core = echo_core()
+        first = memory_link(core, "w0")
+        assert first.request(MessageType.ACK, {"inc": 1})["echo"]["inc"] == 1
+        first.close()
+        second = memory_link(core, "w0")
+        assert second.request(MessageType.ACK, {"inc": 2})["echo"]["inc"] == 2
+        assert core.duplicates == 0
+        assert core.executions[("w0", "ack")] == 2
+
+    def test_factory_epochs_disjoint_across_incarnations(self):
+        from repro.coordination.messages import MessageFactory
+
+        a = MessageFactory()
+        b = MessageFactory()
+        ids_a = {a.make(MessageType.ACK, "w0", {}).msg_id for _ in range(50)}
+        ids_b = {b.make(MessageType.ACK, "w0", {}).msg_id for _ in range(50)}
+        assert not ids_a & ids_b
+
+    def test_epoch_zero_keeps_small_deterministic_ids(self):
+        from repro.coordination.messages import MessageFactory
+
+        factory = MessageFactory(epoch=0)
+        assert factory.make(MessageType.ACK, "w0", {}).msg_id == 1
+        assert factory.make(MessageType.ACK, "w0", {}).msg_id == 2
+
+
+class TestDedupWindow:
+    def test_reply_cache_evicts_after_ttl(self):
+        """The dedup window is bounded: entries older than dedup_ttl are
+        evicted, so a long-running server does not keep every
+        (sender, msg_id) forever."""
+        core = echo_core(dedup_ttl=0.02)
+        link = memory_link(core, "w0")
+        link.request(MessageType.ACK, {"i": 0})
+        time.sleep(0.05)
+        link.request(MessageType.ACK, {"i": 1})
+        assert core.evicted >= 1
+        assert len(core._replies) == 1  # only the fresh reply is cached
+
+    def test_ttl_none_disables_eviction(self):
+        core = echo_core(dedup_ttl=None)
+        link = memory_link(core, "w0")
+        for i in range(3):
+            link.request(MessageType.ACK, {"i": i})
+        assert core.evicted == 0
+        assert len(core._replies) == 3
+
+    def test_entries_inside_ttl_still_dedup(self):
+        core = echo_core(dedup_ttl=60.0)
+        link = memory_link(
+            core, "w0", fault_plan=FaultPlan(duplicate_every=1)
+        )
+        for i in range(4):
+            link.request(MessageType.ACK, {"i": i})
+        assert core.duplicates == 4
+        assert core.executions[("w0", "ack")] == 4

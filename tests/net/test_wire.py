@@ -162,3 +162,29 @@ class TestHandshake:
 
     def test_json_always_available(self):
         assert "json" in wire.available_codecs()
+
+
+class TestDecodeHardening:
+    def test_corrupt_bytes_are_a_wire_error(self):
+        """Decode failures must be WireErrors so read loops run their
+        drop-and-reconnect cleanup instead of dying on a codec
+        exception."""
+        with pytest.raises(wire.WireError, match="undecodable"):
+            wire.decode_frame(b"\xff\x00 definitely not json", "json")
+
+    def test_codec_mismatch_is_a_wire_error(self):
+        # msgpack bytes read as JSON (and vice versa where msgpack is
+        # importable) must fail loudly, not kill the reader thread.
+        packed = wire.encode_frame({"kind": "msg"}, "msgpack")
+        if packed != wire.encode_frame({"kind": "msg"}, "json"):
+            with pytest.raises(wire.WireError):
+                wire.decode_frame(packed, "json")
+
+    def test_non_dict_payload_is_a_wire_error(self):
+        with pytest.raises(wire.WireError, match="not a dict"):
+            wire.decode_frame(b"[1,2,3]", "json")
+
+    def test_client_never_requests_codec_it_cannot_speak(self):
+        assert wire.negotiate_codec("cbor") == "json"
+        for codec in wire.available_codecs():
+            assert wire.negotiate_codec(codec) == codec
