@@ -1,0 +1,241 @@
+"""Payload-size sweep: base64-JSON vs msgpack vs binary frames.
+
+The PR-4 data plane exists for one reason: a snapshot serialized as
+base64-inside-JSON costs a 4/3 size blowup plus two full copies per
+direction, while a binary frame ships the arrays' own buffers and
+rebuilds them as ``np.frombuffer`` views.  This sweep measures
+serialization+transfer for payloads from 1 KB to 64 MB on both sides of
+the transport seam:
+
+* ``memory`` — pure serialize + deserialize (no socket), the cost the
+  in-memory transport's callers would pay if they flattened state the
+  old way versus the blob path.
+* ``tcp``    — a real loopback-TCP round trip through
+  ``write_frame``/``read_frame`` including decode on the far side.
+
+The acceptance bar (ISSUE 4): binary is at least 5x cheaper than
+base64-JSON for snapshots of 16 MB and up, on both paths.  msgpack is
+measured only when the optional dependency is importable; the column
+reads ``n/a`` otherwise.
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+from conftest import fmt_row
+
+from repro.coordination.messages import MessageFactory, MessageType
+from repro.net import StateBlob, decode_state_blob
+from repro.net import wire
+
+SIZES = (
+    ("1KB", 1_000),
+    ("64KB", 64_000),
+    ("1MB", 1_000_000),
+    ("16MB", 16_000_000),
+    ("64MB", 64_000_000),
+)
+
+ACCEPTANCE_SIZE = "16MB"
+ACCEPTANCE_SPEEDUP = 5.0
+
+HAVE_MSGPACK = wire.msgpack is not None
+
+
+def make_state(nbytes):
+    return {"params": {"w": np.arange(nbytes // 8, dtype=np.float64)}}
+
+
+def timed(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- memory path: serialize + deserialize, no socket --------------------------
+
+
+def memory_codec_round_trip(state, codec):
+    """Encode the state the legacy way (arrays -> base64 envelopes in a
+    codec frame) and decode it back to ndarrays."""
+    def run():
+        data = wire.encode_frame(
+            {"state": wire.encode_payload(state)}, codec
+        )
+        decoded = wire.decode_payload(
+            wire.decode_frame(data, codec)["state"]
+        )
+        assert decoded["params"]["w"].nbytes == state["params"]["w"].nbytes
+    return run
+
+
+def memory_binary_round_trip(state):
+    """Encode via the blob path (gather list over live buffers), make
+    the one contiguous copy a receiver would, and decode views."""
+    def run():
+        blob = StateBlob.encode(state)
+        data = bytearray(blob.total_bytes)
+        offset = 0
+        for seq in range(blob.total_chunks):
+            chunk = blob.chunk(seq)
+            data[offset:offset + len(chunk)] = chunk
+            offset += len(chunk)
+        decoded = decode_state_blob(data)
+        assert decoded["params"]["w"].nbytes == state["params"]["w"].nbytes
+    return run
+
+
+# -- tcp path: loopback socket round trip --------------------------------------
+
+
+def loopback_pair():
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    client = socket.create_connection(listener.getsockname())
+    accepted, _ = listener.accept()
+    listener.close()
+    for sock in (client, accepted):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return client, accepted
+
+
+def tcp_round_trip(state, codec, binary):
+    """One full message over loopback TCP: build the frame, write it,
+    read and decode it on the far side.  Timed end to end."""
+    factory = MessageFactory()
+
+    def run():
+        client, accepted = loopback_pair()
+        try:
+            result = {}
+
+            def read():
+                result["frame"] = wire.read_frame(accepted, codec)
+
+            reader = threading.Thread(target=read, daemon=True)
+            reader.start()
+            message = factory.make(MessageType.SYNC, "bench", state)
+            wire.write_frame(
+                client, wire.message_frame(message, raw=binary),
+                codec, binary=binary,
+            )
+            reader.join(timeout=120)
+            decoded = wire.decode_message(result["frame"])
+            assert (
+                decoded.payload["params"]["w"].nbytes
+                == state["params"]["w"].nbytes
+            )
+        finally:
+            client.close()
+            accepted.close()
+
+    return run
+
+
+def sweep():
+    rows = []
+    for label, nbytes in SIZES:
+        state = make_state(nbytes)
+        repeats = 3 if nbytes <= 1_000_000 else 1
+        row = {"label": label, "nbytes": nbytes}
+        for path in ("memory", "tcp"):
+            for codec_label, fn in (
+                ("json", (
+                    memory_codec_round_trip(state, "json")
+                    if path == "memory"
+                    else tcp_round_trip(state, "json", binary=False)
+                )),
+                ("msgpack", (
+                    memory_codec_round_trip(state, "msgpack")
+                    if path == "memory"
+                    else tcp_round_trip(state, "msgpack", binary=False)
+                ) if HAVE_MSGPACK else None),
+                ("binary", (
+                    memory_binary_round_trip(state)
+                    if path == "memory"
+                    else tcp_round_trip(state, "json", binary=True)
+                )),
+            ):
+                key = f"{path}/{codec_label}"
+                if fn is None:
+                    row[key] = None  # dependency not installed
+                    continue
+                try:
+                    row[key] = timed(fn, repeats)
+                except wire.WireError:
+                    # base64 expansion pushes the frame past the 64 MiB
+                    # cap; the codec path simply cannot ship this size.
+                    row[key] = "cap"
+        rows.append(row)
+    return rows
+
+
+def test_data_plane_sweep(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def cell(value):
+        if value is None:
+            return "n/a"
+        if value == "cap":
+            return "n/a (frame cap)"
+        return f"{value * 1e3:.2f}"
+
+    widths = (6, 14, 14, 14, 14, 14, 14, 9, 9)
+    lines = [
+        fmt_row(
+            (
+                "Size",
+                "mem json (ms)", "mem msgpk (ms)", "mem bin (ms)",
+                "tcp json (ms)", "tcp msgpk (ms)", "tcp bin (ms)",
+                "mem x", "tcp x",
+            ),
+            widths,
+        )
+    ]
+    speedups = {}
+    for row in rows:
+        mem_x = tcp_x = "-"
+        if isinstance(row["memory/json"], float):
+            mem_x = f"{row['memory/json'] / row['memory/binary']:.1f}"
+        if isinstance(row["tcp/json"], float):
+            tcp_x = f"{row['tcp/json'] / row['tcp/binary']:.1f}"
+        speedups[row["label"]] = (mem_x, tcp_x)
+        lines.append(
+            fmt_row(
+                (
+                    row["label"],
+                    cell(row["memory/json"]), cell(row["memory/msgpack"]),
+                    cell(row["memory/binary"]),
+                    cell(row["tcp/json"]), cell(row["tcp/msgpack"]),
+                    cell(row["tcp/binary"]),
+                    mem_x, tcp_x,
+                ),
+                widths,
+            )
+        )
+    lines.append(
+        "x columns: base64-JSON time / binary-frame time (same path); "
+        "msgpack measured only when importable"
+    )
+    save_result("data_plane_sweep", lines)
+
+    # The acceptance bar: >=5x at the 16 MB snapshot on BOTH paths.
+    target = next(r for r in rows if r["label"] == ACCEPTANCE_SIZE)
+    for path in ("memory", "tcp"):
+        json_t, bin_t = target[f"{path}/json"], target[f"{path}/binary"]
+        assert isinstance(json_t, float) and isinstance(bin_t, float)
+        assert json_t / bin_t >= ACCEPTANCE_SPEEDUP, (
+            f"{path}: json {json_t * 1e3:.1f} ms vs "
+            f"binary {bin_t * 1e3:.1f} ms "
+            f"({json_t / bin_t:.1f}x < {ACCEPTANCE_SPEEDUP}x)"
+        )
+    # Small payloads must not regress to absurdity either: binary stays
+    # within the same order of magnitude at 1 KB.
+    small = next(r for r in rows if r["label"] == "1KB")
+    assert small["tcp/binary"] < small["tcp/json"] * 10

@@ -10,9 +10,20 @@ sha256 parameter digests prove no replica lost an update.
 
 Run:  python examples/multiprocess_elastic.py
 
+The scale-out snapshot travels the chunked binary data plane
+(``STATE_CHUNK``/``STATE_DONE`` upload, round-gated ``STATE_FETCH``
+fan-out); environment knobs size the synthetic model so CI can push a
+multi-megabyte snapshot through it:
+
+* ``ELAN_HIDDEN`` / ``ELAN_INPUT`` — model dimensions (default 16/16;
+  1024/512 makes an ~8 MB snapshot),
+* ``ELAN_ITERS`` — iterations (default 40),
+* ``ELAN_SLEEP`` — per-iteration pacing in seconds (default 0.05),
+* ``ELAN_CHUNK_KB`` — replication chunk size (default 256).
+
 Set ``ELAN_TRACE=/path/to/trace.json`` to export a Chrome-format trace
-(net.send / net.recv / net.reconnect spans included); see
-docs/OBSERVABILITY.md and docs/PROTOCOL.md.
+(net.send / net.recv / net.reconnect / net.state_upload spans
+included); see docs/OBSERVABILITY.md and docs/PROTOCOL.md.
 """
 
 import os
@@ -22,10 +33,20 @@ from repro.net import JobSpec, MultiprocessElasticJob
 from repro.observability import Tracer, validate_events
 
 
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
 def main() -> int:
     tracer = Tracer(process="elan-net")
-    spec = JobSpec(iterations=40, coordination_interval=4,
-                   iteration_sleep=0.05)
+    spec = JobSpec(
+        iterations=_env_int("ELAN_ITERS", 40),
+        coordination_interval=4,
+        iteration_sleep=float(os.environ.get("ELAN_SLEEP", "0.05")),
+        input_dim=_env_int("ELAN_INPUT", 16),
+        hidden_dim=_env_int("ELAN_HIDDEN", 16),
+        chunk_bytes=_env_int("ELAN_CHUNK_KB", 256) * 1024,
+    )
     job = MultiprocessElasticJob(spec, ["w0", "w1"], tracer=tracer)
     print(f"AM listening on {job.host}:{job.port}")
     # w0's 6th send dies with its connection: the transport must
@@ -57,6 +78,18 @@ def main() -> int:
     print(f"connections accepted: {job.server.connections_accepted} "
           f"(>= 6 proves the reset + reconnect happened)")
     assert job.server.connections_accepted >= 6
+
+    # The snapshot went through the chunked binary data plane: the
+    # uploader streamed it once, both joiners pulled every chunk.
+    snap = job.master.metrics.snapshot()
+    chunks = snap.get("net.chunks.received", 0)
+    print(f"data plane: {chunks} chunks "
+          f"({snap.get('net.chunks.bytes_received', 0)} bytes) uploaded, "
+          f"{snap.get('net.chunks.served', 0)} chunks served to joiners, "
+          f"{job.server.bytes_sent} frame bytes written by the AM")
+    assert snap.get("net.transfers.completed", 0) == 1
+    assert chunks >= 1
+    assert snap.get("net.chunks.served", 0) == 2 * chunks
 
     events = tracer.to_events()
     problems = validate_events(events)

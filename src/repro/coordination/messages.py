@@ -35,6 +35,9 @@ class MessageType(enum.Enum):
     JOIN = "join"  # joining worker -> AM (poll for spec + state)
     SYNC = "sync"  # worker -> AM (gradient rendezvous barrier)
     STATE_UPLOAD = "state_upload"  # uploader -> AM (snapshot / digest)
+    STATE_CHUNK = "state_chunk"  # uploader -> AM (one snapshot chunk)
+    STATE_DONE = "state_done"  # uploader -> AM (all chunks sent; digest)
+    STATE_FETCH = "state_fetch"  # joiner -> AM (pull one snapshot chunk)
     STATUS = "status"  # driver -> AM (job progress query)
 
 

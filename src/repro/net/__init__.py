@@ -10,6 +10,16 @@ rendezvous), :class:`WorkerAgent` (one replica), and
 """
 
 from .agent import JoinRejected, WorkerAgent
+from .chunks import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkAssembler,
+    ChunkedFetcher,
+    ChunkedUploader,
+    ChunkStore,
+    StateBlob,
+    TransferError,
+    decode_state_blob,
+)
 from .job import JobFailed, MultiprocessElasticJob
 from .master_service import JobSpec, NetworkedApplicationMaster
 from .tcp import TcpServer, TcpTransport, tcp_link
@@ -28,9 +38,17 @@ from .transport import (
 from .wire import PROTOCOL_VERSION, WireError, params_digest
 
 __all__ = [
+    "DEFAULT_CHUNK_BYTES",
     "PROTOCOL_VERSION",
+    "ChunkAssembler",
+    "ChunkStore",
+    "ChunkedFetcher",
+    "ChunkedUploader",
     "FaultAction",
     "InMemoryTransport",
+    "StateBlob",
+    "TransferError",
+    "decode_state_blob",
     "JobFailed",
     "JobSpec",
     "JoinRejected",

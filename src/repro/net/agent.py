@@ -26,6 +26,7 @@ from ..training.architectures import mlp_architecture
 from ..training.dataloader import SerialLoader
 from ..training.datasets import make_classification
 from ..training.optim import MomentumSGD
+from .chunks import ChunkedFetcher, ChunkedUploader
 from .master_service import JobSpec
 from .transport import ReliableLink
 from .wire import params_digest
@@ -45,16 +46,19 @@ class WorkerAgent:
         poll_interval: float = 0.05,
         join_timeout: float = 30.0,
         tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
     ):
         self.worker_id = worker_id
         self.link = link
         self.poll_interval = poll_interval
         self.join_timeout = join_timeout
         self.tracer = tracer
+        self.metrics = metrics
         self.iterations_run = 0
         self.removed = False
         self.joined_at: "int | None" = None
         self.final_digest: "str | None" = None
+        self.upload_summary: "dict | None" = None
 
     # -- protocol steps ---------------------------------------------------------
 
@@ -94,6 +98,19 @@ class WorkerAgent:
         loader = SerialLoader(dataset_size=spec.train_size, seed=spec.seed)
         optimizer = MomentumSGD(spec.base_lr, momentum=spec.momentum)
         state = admission.get("state")
+        transfer = admission.get("state_transfer")
+        if transfer:
+            # The offer names a chunked snapshot; pull it through the
+            # replication data plane (round-gated by the AM per the
+            # replication plan), verify, and decode.
+            fetcher = ChunkedFetcher(
+                self.link,
+                window=spec.replication_window,
+                timeout=spec.allreduce_timeout,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            state = fetcher.fetch(transfer)
         if state:
             # Copy: over the in-memory transport several joiners receive
             # the same snapshot object; each replica needs its own arrays.
@@ -118,14 +135,24 @@ class WorkerAgent:
                 )
                 if directive["kind"] == "adjust":
                     if directive.get("upload"):
-                        self.link.request(
-                            MessageType.STATE_UPLOAD,
+                        # Stream the snapshot through the chunked data
+                        # plane: the blob views the live tensors, which
+                        # is safe because training is paused at this
+                        # boundary until the upload finishes.
+                        uploader = ChunkedUploader(
+                            self.link,
+                            chunk_bytes=spec.chunk_bytes,
+                            window=spec.replication_window,
+                            tracer=self.tracer,
+                            metrics=self.metrics,
+                        )
+                        self.upload_summary = uploader.upload(
                             {
-                                "iteration": iteration,
                                 "params": params,
                                 "optimizer": optimizer.state_dict(),
                                 "loader": loader.state_dict(),
                             },
+                            context={"iteration": iteration},
                         )
                     group = list(directive["group"])
                     generation = int(directive["generation"])

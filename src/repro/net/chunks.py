@@ -1,0 +1,526 @@
+"""Chunked, pipelined state replication over the reliable message layer.
+
+The monolithic ``STATE_UPLOAD`` path serializes a whole snapshot into a
+single message — one giant frame, one giant resend on any fault.  This
+module streams the same snapshot as a *blob* cut into fixed-size chunks:
+
+* :class:`StateBlob` — the sender side.  Encodes a state dict once into
+  a gather list of byte views (``[4B header_len][header][segments...]``,
+  arrays contributing their buffers directly — no base64, no flattening
+  copy) and slices chunks across it on demand.
+* :class:`ChunkAssembler` — the receiver side.  One preallocated
+  buffer, per-chunk digest verification, duplicate accounting, and a
+  whole-blob digest check before anything is decoded.
+* :class:`ChunkStore` — server-side bookkeeping: one in-flight
+  assembler per sender, plus the reply shapes for ``STATE_CHUNK`` /
+  ``STATE_DONE``.
+* :class:`ChunkedUploader` / :class:`ChunkedFetcher` — client loops
+  that push (or pull) chunks through a :class:`~repro.net.ReliableLink`
+  with a small pipeline window.
+
+Because every chunk rides an ordinary reliable request, resume after a
+connection reset is free: acked chunks are never resent — the link
+retries only the in-flight message ids — and the assembler keeps what
+it has, so an upload continues from the last acked chunk rather than
+restarting.  The same property holds verbatim on ``InMemoryTransport``
+and ``TcpTransport``; chunking happens *above* the transport seam.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import secrets
+import threading
+import time
+import typing
+
+from ..coordination.messages import MessageType
+from . import wire
+from .wire import WireError, _flat_view
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..observability import MetricRegistry, Tracer
+    from .transport import ReliableLink
+
+#: Default chunk size.  Small enough that even test-scale snapshots cut
+#: into several chunks (exercising resume paths), large enough that the
+#: per-chunk request overhead is noise against the copy it avoids.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+_LENGTH = wire._LENGTH
+
+
+def _digest(data) -> str:
+    return hashlib.sha256(_flat_view(data)).hexdigest()
+
+
+class StateBlob:
+    """An encoded snapshot: a gather list of byte views plus digests.
+
+    The encode is zero-copy for every contiguous array — segments are
+    ``memoryview``\\ s over the live buffers — so the blob must be
+    consumed (uploaded or copied) before those arrays are mutated.
+    Uploads happen at commit boundaries while training is paused, which
+    gives exactly that window.
+    """
+
+    def __init__(self, buffers: "list[memoryview | bytes]", codec: str,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be positive")
+        self.codec = codec
+        self.chunk_bytes = int(chunk_bytes)
+        self._views = [_flat_view(buffer) for buffer in buffers]
+        self._starts: "list[int]" = []
+        offset = 0
+        for view in self._views:
+            self._starts.append(offset)
+            offset += view.nbytes
+        self.total_bytes = offset
+        self.total_chunks = max(1, math.ceil(self.total_bytes / self.chunk_bytes))
+        hasher = hashlib.sha256()
+        for view in self._views:
+            hasher.update(view)
+        self.digest = hasher.hexdigest()
+
+    @classmethod
+    def encode(cls, state: dict, codec: str = "json",
+               chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> "StateBlob":
+        """Encode a state dict into a blob without flattening it."""
+        header_obj, segments = wire.split_buffers(state)
+        header_obj = {"state": header_obj,
+                      "__segs__": [seg.nbytes for seg in segments]}
+        header = wire.encode_frame(header_obj, codec)
+        buffers = [_LENGTH.pack(len(header)), header, *segments]
+        return cls(buffers, codec, chunk_bytes)
+
+    def chunk(self, seq: int) -> "memoryview | bytes":
+        """Bytes of chunk ``seq`` — a view when it lies inside one
+        segment, a joined copy when it straddles segment boundaries."""
+        if not 0 <= seq < self.total_chunks:
+            raise IndexError(f"chunk {seq} of {self.total_chunks}")
+        start = seq * self.chunk_bytes
+        end = min(start + self.chunk_bytes, self.total_bytes)
+        parts = []
+        for view, vstart in zip(self._views, self._starts):
+            vend = vstart + view.nbytes
+            if vend <= start or vstart >= end:
+                continue
+            parts.append(view[max(start, vstart) - vstart:min(end, vend) - vstart])
+        if len(parts) == 1:
+            return parts[0]
+        return b"".join(bytes(part) for part in parts)
+
+    def chunk_digest(self, seq: int) -> str:
+        return _digest(self.chunk(seq))
+
+    def describe(self, transfer_id: str) -> dict:
+        """The transfer descriptor shipped inside join offers."""
+        return {
+            "transfer_id": transfer_id,
+            "total_bytes": self.total_bytes,
+            "total_chunks": self.total_chunks,
+            "chunk_bytes": self.chunk_bytes,
+            "codec": self.codec,
+            "digest": self.digest,
+        }
+
+
+def decode_state_blob(data, codec: "str | None" = None) -> dict:
+    """Decode a reassembled blob back into a state dict (zero-copy:
+    arrays are ``np.frombuffer`` views over ``data``)."""
+    view = _flat_view(data)
+    if view.nbytes < _LENGTH.size:
+        raise WireError("state blob shorter than its header prefix")
+    (header_len,) = _LENGTH.unpack(view[:_LENGTH.size])
+    if _LENGTH.size + header_len > view.nbytes:
+        raise WireError("state blob header overruns the blob")
+    header = wire.decode_frame(
+        bytes(view[_LENGTH.size:_LENGTH.size + header_len]), codec or "json"
+    )
+    seg_lens = header.get("__segs__")
+    if not isinstance(seg_lens, list) or not all(
+        isinstance(n, int) and n >= 0 for n in seg_lens
+    ):
+        raise WireError("state blob carries no valid segment table")
+    expected = _LENGTH.size + header_len + sum(seg_lens)
+    if expected != view.nbytes:
+        raise WireError(
+            f"state blob is {view.nbytes} bytes but segments need {expected}"
+        )
+    segments, offset = [], _LENGTH.size + header_len
+    for length in seg_lens:
+        segments.append(view[offset:offset + length])
+        offset += length
+    return wire.join_buffers(header.get("state"), segments)
+
+
+class ChunkAssembler:
+    """Receiver half: collect verified chunks into one buffer.
+
+    Duplicate chunks (retransmissions that raced their ack) are counted
+    and dropped; a corrupt chunk — wrong length or failed digest —
+    raises :class:`WireError` so the sender's request errors instead of
+    silently poisoning the snapshot.
+    """
+
+    def __init__(self, transfer_id: str, total_bytes: int, total_chunks: int,
+                 chunk_bytes: int, codec: str = "json"):
+        total_bytes = int(total_bytes)
+        total_chunks = int(total_chunks)
+        chunk_bytes = int(chunk_bytes)
+        if total_bytes < 0 or chunk_bytes < 1:
+            raise WireError("invalid transfer geometry")
+        if total_chunks != max(1, math.ceil(total_bytes / chunk_bytes)):
+            raise WireError(
+                f"transfer claims {total_chunks} chunks for {total_bytes} "
+                f"bytes at {chunk_bytes} bytes/chunk"
+            )
+        self.transfer_id = transfer_id
+        self.total_bytes = total_bytes
+        self.total_chunks = total_chunks
+        self.chunk_bytes = chunk_bytes
+        self.codec = codec
+        self.buffer = bytearray(total_bytes)
+        self.received: "set[int]" = set()
+        self.duplicates = 0
+        self.started_at = time.monotonic()
+
+    def _expected_len(self, seq: int) -> int:
+        start = seq * self.chunk_bytes
+        return min(start + self.chunk_bytes, self.total_bytes) - start
+
+    def add(self, seq: int, data, digest: "str | None" = None) -> bool:
+        """Verify and store one chunk; True if it was fresh."""
+        if not isinstance(seq, int) or not 0 <= seq < self.total_chunks:
+            raise WireError(f"chunk seq {seq!r} out of range")
+        view = _flat_view(data)
+        if view.nbytes != self._expected_len(seq):
+            raise WireError(
+                f"chunk {seq} is {view.nbytes} bytes, "
+                f"expected {self._expected_len(seq)}"
+            )
+        if digest is not None and _digest(view) != digest:
+            raise WireError(f"chunk {seq} failed its digest check")
+        if seq in self.received:
+            self.duplicates += 1
+            return False
+        start = seq * self.chunk_bytes
+        self.buffer[start:start + view.nbytes] = view
+        self.received.add(seq)
+        return True
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.total_chunks
+
+    @property
+    def missing(self) -> int:
+        return self.total_chunks - len(self.received)
+
+    def finish(self, digest: "str | None" = None) -> memoryview:
+        """Verify completeness (and the whole-blob digest) and return a
+        view of the assembled blob."""
+        if not self.complete:
+            raise WireError(f"transfer incomplete: {self.missing} chunks missing")
+        if digest is not None and _digest(self.buffer) != digest:
+            raise WireError("assembled blob failed its digest check")
+        return memoryview(self.buffer)
+
+    def decode(self, digest: "str | None" = None) -> dict:
+        return decode_state_blob(self.finish(digest), self.codec)
+
+
+class ChunkStore:
+    """Server-side chunk bookkeeping: one in-flight transfer per sender.
+
+    This is deliberately transport- and policy-free — the application
+    master wraps it with its own gating (only the planned uploader may
+    upload; fetches follow the replication plan's rounds) while chaos
+    and property tests drive it bare behind a ``ServerCore``.
+    """
+
+    def __init__(self, metrics: "MetricRegistry | None" = None):
+        self._inflight: "dict[str, ChunkAssembler]" = {}
+        self.metrics = metrics
+        self.completed = 0
+
+    def assembler(self, sender: str) -> "ChunkAssembler | None":
+        return self._inflight.get(sender)
+
+    def handle_chunk(self, sender: str, payload: dict) -> dict:
+        """Apply one ``STATE_CHUNK``; returns the ack payload."""
+        transfer_id = payload.get("transfer_id")
+        if not transfer_id:
+            raise WireError("chunk carries no transfer id")
+        assembler = self._inflight.get(sender)
+        if assembler is None or assembler.transfer_id != transfer_id:
+            assembler = ChunkAssembler(
+                transfer_id=str(transfer_id),
+                total_bytes=payload.get("total_bytes", -1),
+                total_chunks=payload.get("total_chunks", -1),
+                chunk_bytes=payload.get("chunk_bytes", 0),
+                codec=str(payload.get("codec", "json")),
+            )
+            self._inflight[sender] = assembler
+        fresh = assembler.add(
+            payload.get("seq"), payload.get("data", b""), payload.get("digest")
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "net.chunks.received" if fresh else "net.chunks.duplicate"
+            ).inc()
+            if fresh:
+                self.metrics.counter("net.chunks.bytes_received").inc(
+                    assembler._expected_len(payload["seq"])
+                )
+        return {
+            "ok": True,
+            "seq": payload.get("seq"),
+            "have": len(assembler.received),
+            "missing": assembler.missing,
+        }
+
+    def handle_done(
+        self, sender: str, payload: dict
+    ) -> "tuple[dict, ChunkAssembler | None]":
+        """Apply a ``STATE_DONE``; returns ``(reply, assembler)``.
+
+        The assembler is returned (and retired from the in-flight map)
+        only when the transfer is complete and its whole-blob digest
+        verifies; otherwise the reply says what is wrong and the
+        transfer stays resumable.
+        """
+        transfer_id = payload.get("transfer_id")
+        assembler = self._inflight.get(sender)
+        if assembler is None or assembler.transfer_id != transfer_id:
+            return {"ok": False, "reason": "unknown transfer"}, None
+        if not assembler.complete:
+            return {"ok": False, "reason": "incomplete",
+                    "missing": assembler.missing}, None
+        assembler.finish(payload.get("digest"))  # raises WireError on corruption
+        del self._inflight[sender]
+        self.completed += 1
+        if self.metrics is not None:
+            self.metrics.counter("net.transfers.completed").inc()
+            self.metrics.histogram("net.transfer_seconds").observe(
+                time.monotonic() - assembler.started_at
+            )
+        return {
+            "ok": True,
+            "chunks": assembler.total_chunks,
+            "payload_bytes": assembler.total_bytes,
+            "duplicates": assembler.duplicates,
+        }, assembler
+
+    def abandon(self, sender: "str | None" = None) -> None:
+        """Drop in-flight state for one sender (or everyone)."""
+        if sender is None:
+            self._inflight.clear()
+        else:
+            self._inflight.pop(sender, None)
+
+
+class TransferError(ConnectionError):
+    """A chunked transfer failed permanently (digest, geometry, refusal)."""
+
+
+class _SeqFeed:
+    """Thread-safe dispenser of chunk sequence numbers."""
+
+    def __init__(self, total: int):
+        self._next = 0
+        self._total = total
+        self._lock = threading.Lock()
+
+    def take(self) -> "int | None":
+        with self._lock:
+            if self._next >= self._total:
+                return None
+            seq = self._next
+            self._next += 1
+            return seq
+
+
+def _run_window(window: int, total: int, pump) -> None:
+    """Run ``pump`` across a small thread pool (or inline for window 1).
+
+    ``pump`` is called with a :class:`_SeqFeed`; the first exception any
+    worker raises is re-raised here after all workers stop.
+    """
+    feed = _SeqFeed(total)
+    errors: "list[BaseException]" = []
+
+    def runner():
+        try:
+            pump(feed, errors)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+
+    workers = max(1, min(window, total))
+    if workers == 1:
+        runner()
+    else:
+        threads = [
+            threading.Thread(target=runner, daemon=True) for _ in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if errors:
+        raise errors[0]
+
+
+class ChunkedUploader:
+    """Push a snapshot to the server as pipelined ``STATE_CHUNK`` s.
+
+    ``window`` requests ride the link concurrently, so chunk ``k+1`` is
+    being sliced and framed while ``k`` is still in flight — the
+    pipelining half of the data plane.  ``window=1`` degrades to a
+    deterministic serial upload, which chaos tests use to aim faults at
+    exact chunk indices.
+    """
+
+    def __init__(self, link: "ReliableLink", chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                 window: int = 4, codec: str = "json",
+                 tracer: "Tracer | None" = None,
+                 metrics: "MetricRegistry | None" = None):
+        self.link = link
+        self.chunk_bytes = int(chunk_bytes)
+        self.window = max(1, int(window))
+        self.codec = codec
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def upload(self, state: dict, transfer_id: "str | None" = None,
+               context: "dict | None" = None) -> dict:
+        """Encode, stream, and finalize one snapshot; returns a summary."""
+        blob = StateBlob.encode(state, self.codec, self.chunk_bytes)
+        transfer_id = transfer_id or f"{self.link.node_id}/{secrets.token_hex(4)}"
+        base = blob.describe(transfer_id)
+
+        def send_chunks():
+            def pump(feed, errors):
+                while not errors:
+                    seq = feed.take()
+                    if seq is None:
+                        return
+                    payload = dict(base)
+                    payload.update(
+                        seq=seq,
+                        digest=blob.chunk_digest(seq),
+                        data=blob.chunk(seq),
+                    )
+                    reply = self.link.request(MessageType.STATE_CHUNK, payload)
+                    if not reply.get("ok"):
+                        raise TransferError(f"chunk {seq} refused: {reply}")
+                    if self.metrics is not None:
+                        self.metrics.counter("net.chunks.sent").inc()
+
+            _run_window(self.window, blob.total_chunks, pump)
+            done = dict(base, **(context or {}))
+            done.pop("chunk_bytes", None)
+            reply = self.link.request(MessageType.STATE_DONE, done)
+            if not reply.get("ok"):
+                raise TransferError(f"transfer {transfer_id} refused: {reply}")
+            return reply
+
+        if self.tracer is not None:
+            with self.tracer.span(
+                "net.state_upload", track=self.link.node_id, cat="net",
+                transfer_id=transfer_id, payload_bytes=blob.total_bytes,
+                chunks=blob.total_chunks,
+            ):
+                reply = send_chunks()
+        else:
+            reply = send_chunks()
+        if self.metrics is not None:
+            self.metrics.counter("net.chunks.bytes_sent").inc(blob.total_bytes)
+        return {
+            "transfer_id": transfer_id,
+            "chunks": blob.total_chunks,
+            "payload_bytes": blob.total_bytes,
+            "digest": blob.digest,
+            "reply": reply,
+        }
+
+
+class ChunkedFetcher:
+    """Pull a described snapshot from the server chunk by chunk.
+
+    The server answers ``{"status": "pending"}`` while the fetcher's
+    replication round has not opened yet (earlier rounds still copying);
+    the fetcher polls until its round opens or ``timeout`` passes.
+    """
+
+    def __init__(self, link: "ReliableLink", window: int = 4,
+                 poll_interval: float = 0.05, timeout: float = 30.0,
+                 tracer: "Tracer | None" = None,
+                 metrics: "MetricRegistry | None" = None):
+        self.link = link
+        self.window = max(1, int(window))
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def fetch(self, descriptor: dict) -> dict:
+        """Fetch, verify, and decode the snapshot named by ``descriptor``."""
+        transfer_id = descriptor["transfer_id"]
+        assembler = ChunkAssembler(
+            transfer_id=transfer_id,
+            total_bytes=descriptor["total_bytes"],
+            total_chunks=descriptor["total_chunks"],
+            chunk_bytes=descriptor["chunk_bytes"],
+            codec=str(descriptor.get("codec", "json")),
+        )
+        deadline = time.monotonic() + self.timeout
+        lock = threading.Lock()
+
+        def pump(feed, errors):
+            while not errors:
+                seq = feed.take()
+                if seq is None:
+                    return
+                while True:
+                    reply = self.link.request(
+                        MessageType.STATE_FETCH,
+                        {"transfer_id": transfer_id, "seq": seq},
+                    )
+                    if reply.get("status") == "pending":
+                        if time.monotonic() > deadline:
+                            raise TransferError(
+                                f"transfer {transfer_id} never opened: "
+                                f"round still pending after {self.timeout}s"
+                            )
+                        time.sleep(self.poll_interval)
+                        continue
+                    if not reply.get("ok"):
+                        raise TransferError(f"fetch of chunk {seq} refused: {reply}")
+                    break
+                with lock:
+                    assembler.add(seq, reply.get("data", b""), reply.get("digest"))
+                if self.metrics is not None:
+                    self.metrics.counter("net.chunks.fetched").inc()
+
+        def run():
+            _run_window(self.window, assembler.total_chunks, pump)
+            return assembler.decode(descriptor.get("digest"))
+
+        if self.tracer is not None:
+            with self.tracer.span(
+                "net.state_fetch", track=self.link.node_id, cat="net",
+                transfer_id=transfer_id,
+                payload_bytes=assembler.total_bytes,
+                chunks=assembler.total_chunks,
+            ):
+                state = run()
+        else:
+            state = run()
+        if self.metrics is not None:
+            self.metrics.counter("net.chunks.bytes_fetched").inc(
+                assembler.total_bytes
+            )
+        return state

@@ -43,7 +43,12 @@ from ..coordination.master import (
     DirectiveKind,
 )
 from ..coordination.messages import Message, MessageType
+from ..observability import MetricRegistry
+from ..replication.planner import plan_replication
+from ..topology.builder import ServerSpec, build_node
+from ..topology.tree import DeviceKind, TopologyNode
 from ..training.nn import average_gradients
+from .chunks import DEFAULT_CHUNK_BYTES, ChunkStore, _digest
 from .transport import ServerCore
 
 
@@ -83,6 +88,13 @@ class JobSpec:
     #: the other members are still waiting at the barrier, not after
     #: they have timed out.
     sync_ack_timeout: float = 2.0
+    #: chunk size of the replication data plane; snapshots larger than
+    #: this stream as multiple ``STATE_CHUNK`` messages.
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES
+    #: how many chunk requests an uploader/fetcher keeps in flight.
+    #: 1 = strictly serial (chaos tests use this to aim faults at exact
+    #: chunk indices).
+    replication_window: int = 4
 
     def per_worker_batch(self, group_size: int) -> int:
         """Strong scaling: the total batch is split across the group."""
@@ -121,6 +133,7 @@ class _CommitPlan:
     __slots__ = (
         "generation", "commit_iteration", "old_group", "new_group",
         "add_workers", "uploader", "snapshot", "acked", "requested_at",
+        "transfer_id",
     )
 
     def __init__(self, generation, commit_iteration, old_group, new_group,
@@ -138,6 +151,103 @@ class _CommitPlan:
         self.snapshot: "dict | None" = None
         self.acked: set = set()
         self.requested_at = requested_at
+        #: set once a chunked upload for this plan completed (the
+        #: monolithic legacy path leaves it None).
+        self.transfer_id: "str | None" = None
+
+
+class _Download:
+    """One completed snapshot served chunk-by-chunk to joiners.
+
+    The application master never decodes the blob — it verified the
+    whole-blob digest at ``STATE_DONE`` and now serves byte ranges of
+    it.  ``rounds`` carries the replication planner's ordering: a
+    joiner's fetches are gated until every earlier-round joiner has
+    pulled its last chunk, mirroring the plan's contention-free rounds.
+    """
+
+    __slots__ = (
+        "blob", "total_bytes", "total_chunks", "chunk_bytes", "codec",
+        "digest", "chunk_digests", "rounds", "progress", "generation",
+    )
+
+    def __init__(self, assembler, rounds: "dict[str, int]", generation: int):
+        self.blob = memoryview(assembler.buffer)
+        self.total_bytes = assembler.total_bytes
+        self.total_chunks = assembler.total_chunks
+        self.chunk_bytes = assembler.chunk_bytes
+        self.codec = assembler.codec
+        self.digest = _digest(assembler.buffer)
+        self.chunk_digests = [
+            _digest(self.chunk(seq)) for seq in range(self.total_chunks)
+        ]
+        self.rounds = dict(rounds)
+        self.progress: "dict[str, set]" = {w: set() for w in rounds}
+        self.generation = generation
+
+    def chunk(self, seq: int) -> memoryview:
+        start = seq * self.chunk_bytes
+        return self.blob[start:min(start + self.chunk_bytes, self.total_bytes)]
+
+    def fetched(self, joiner: str) -> bool:
+        return len(self.progress.get(joiner, ())) == self.total_chunks
+
+    @property
+    def complete(self) -> bool:
+        return all(self.fetched(joiner) for joiner in self.rounds)
+
+    def round_open(self, joiner: str) -> bool:
+        mine = self.rounds[joiner]
+        return all(
+            self.fetched(other)
+            for other, r in self.rounds.items()
+            if r < mine
+        )
+
+    def describe(self, transfer_id: str, joiner: str) -> dict:
+        """The ``state_transfer`` descriptor for one joiner's offer."""
+        return {
+            "transfer_id": transfer_id,
+            "total_bytes": self.total_bytes,
+            "total_chunks": self.total_chunks,
+            "chunk_bytes": self.chunk_bytes,
+            "codec": self.codec,
+            "digest": self.digest,
+            "round": self.rounds[joiner],
+        }
+
+
+def _fanout_rounds(
+    sources: typing.Sequence[str], joiners: typing.Sequence[str],
+    state_bytes: int,
+) -> "dict[str, int]":
+    """The replication planner's round index per joiner.
+
+    Workers are modeled as single-GPU nodes of a flat cluster (every
+    pair is an L4/NET hop whose path claims only the two endpoint
+    NICs), so the planner's contention rules reduce to exactly the
+    paper's: distinct node pairs copy concurrently, a shared source
+    serializes, and chained fan-out lets round-``r`` joiners serve
+    round ``r+1``.
+    """
+    cluster = TopologyNode(DeviceKind.CLUSTER, "netjob")
+    spec = ServerSpec(sockets=1, switches_per_socket=1, gpus_per_switch=1)
+    gpus = {}
+    for worker in (*sources, *joiners):
+        node = build_node(worker, spec=spec, parent=cluster)
+        gpus[worker] = next(node.iter_gpus())
+    plan = plan_replication(
+        existing=[gpus[w] for w in sources],
+        new=[gpus[w] for w in joiners],
+        gpu_bytes=state_bytes,
+        cpu_bytes=0,
+        allow_chaining=True,
+    )
+    rounds: "dict[str, int]" = {}
+    for index, round_ in enumerate(plan.rounds):
+        for transfer in round_:
+            rounds[transfer.target.name.rsplit("/", 1)[0]] = index
+    return rounds
 
 
 class NetworkedApplicationMaster:
@@ -149,9 +259,11 @@ class NetworkedApplicationMaster:
         workers: typing.Sequence[str],
         job_id: str = "netjob",
         tracer: "typing.Any | None" = None,
+        metrics: "MetricRegistry | None" = None,
     ):
         self.spec = spec
         self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricRegistry()
         self.am = ApplicationMaster(
             job_id,
             workers,
@@ -170,9 +282,12 @@ class NetworkedApplicationMaster:
         self._latest_sync_iteration = 0
         self.commit_latencies: "list[float]" = []
         self._complete = threading.Event()
+        self._chunks = ChunkStore(metrics=self.metrics)
+        self._downloads: "dict[str, _Download]" = {}
         self.core = ServerCore(
             handler=self.handle, node_id="am", tracer=tracer,
             reply_wait=spec.allreduce_timeout + 5.0,
+            metrics=self.metrics,
         )
         self._server = None
 
@@ -183,7 +298,8 @@ class NetworkedApplicationMaster:
         from .tcp import TcpServer
 
         self._server = TcpServer(
-            self.core, host=host, port=port, tracer=self.tracer
+            self.core, host=host, port=port, tracer=self.tracer,
+            metrics=self.metrics,
         ).start()
         return self._server
 
@@ -210,6 +326,12 @@ class NetworkedApplicationMaster:
             return self._handle_sync(worker, payload)
         if message.msg_type is MessageType.STATE_UPLOAD:
             return self._handle_state_upload(worker, payload)
+        if message.msg_type is MessageType.STATE_CHUNK:
+            return self._handle_state_chunk(worker, payload)
+        if message.msg_type is MessageType.STATE_DONE:
+            return self._handle_state_done(worker, payload)
+        if message.msg_type is MessageType.STATE_FETCH:
+            return self._handle_state_fetch(worker, payload)
         if message.msg_type is MessageType.ADJUSTMENT_REQUEST:
             return self._handle_adjustment_request(payload)
         if message.msg_type is MessageType.STATUS:
@@ -288,6 +410,12 @@ class NetworkedApplicationMaster:
         # must wait for *this* plan's snapshot, not receive the old one.
         for joiner in plan.add_workers:
             self._join_offers.pop(joiner, None)
+        # Fully-fetched downloads from earlier adjustments are dead
+        # weight now; in-flight ones stay so straggling joiners finish.
+        for transfer_id in [
+            t for t, d in self._downloads.items() if d.complete
+        ]:
+            del self._downloads[transfer_id]
         # The new generation's rendezvous membership must exist before
         # the first survivor syncs at the commit boundary — which can
         # happen well before the adjustment finishes.
@@ -352,6 +480,85 @@ class NetworkedApplicationMaster:
                 }
             self._maybe_finish()
         return {"ok": True}
+
+    # -- step 4, chunked: the replication data plane ---------------------------
+
+    def _handle_state_chunk(self, worker: str, payload: dict) -> dict:
+        """One verified chunk of the uploader's snapshot blob."""
+        with self._lock:
+            plan = self._plan
+            if plan is None or worker != plan.uploader:
+                return {"ok": False, "reason": "no snapshot expected"}
+            return self._chunks.handle_chunk(worker, payload)
+
+    def _handle_state_done(self, worker: str, payload: dict) -> dict:
+        """Finalize a chunked upload: verify, plan fan-out, mint offers.
+
+        The AM stores the assembled blob verbatim (digest-verified,
+        never decoded) and serves it back to joiners chunk by chunk in
+        the replication planner's round order.
+        """
+        with self._lock:
+            plan = self._plan
+            if plan is None or worker != plan.uploader:
+                return {"ok": False, "reason": "no snapshot expected"}
+            reply, assembler = self._chunks.handle_done(worker, payload)
+            if assembler is None:
+                return reply
+            transfer_id = str(payload["transfer_id"])
+            rounds = _fanout_rounds(
+                plan.old_group, plan.add_workers, assembler.total_bytes
+            )
+            download = _Download(assembler, rounds, plan.generation)
+            self._downloads[transfer_id] = download
+            plan.transfer_id = transfer_id
+            # Sentinel: _maybe_finish only needs to know replication
+            # data exists; the offers below carry the real descriptor.
+            plan.snapshot = {"transfer": transfer_id}
+            for joiner in plan.add_workers:
+                self._join_offers[joiner] = {
+                    "status": "join",
+                    "spec": self.spec.to_payload(),
+                    "group": list(plan.new_group),
+                    "generation": plan.generation,
+                    "iteration": plan.commit_iteration,
+                    "state_transfer": download.describe(transfer_id, joiner),
+                }
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "replicate.fanout", track="am", cat="replicate",
+                    transfer_id=transfer_id, rounds=rounds,
+                    payload_bytes=assembler.total_bytes,
+                    chunks=assembler.total_chunks,
+                )
+            self._maybe_finish()
+            return reply
+
+    def _handle_state_fetch(self, worker: str, payload: dict) -> dict:
+        """Serve one chunk of a stored snapshot to a joiner."""
+        transfer_id = payload.get("transfer_id")
+        with self._lock:
+            download = self._downloads.get(transfer_id)
+            if download is None:
+                return {"ok": False, "reason": "unknown transfer"}
+            if worker not in download.rounds:
+                return {"ok": False, "reason": "not a planned joiner"}
+            if not download.round_open(worker):
+                # Earlier planner rounds are still copying; the joiner
+                # polls until its round opens.
+                return {"status": "pending"}
+            seq = payload.get("seq")
+            if not isinstance(seq, int) or not 0 <= seq < download.total_chunks:
+                return {"ok": False, "reason": f"bad seq {seq!r}"}
+            download.progress[worker].add(seq)
+            chunk = download.chunk(seq)
+            self.metrics.counter("net.chunks.served").inc()
+            return {
+                "ok": True,
+                "seq": seq,
+                "data": chunk,
+                "digest": download.chunk_digests[seq],
+            }
 
     # -- the gradient rendezvous -----------------------------------------------
 
@@ -454,4 +661,6 @@ class NetworkedApplicationMaster:
                 "commit_latencies": list(self.commit_latencies),
                 "handled": self.core.handled,
                 "duplicates": self.core.duplicates,
+                "uploads_completed": self._chunks.completed,
+                "downloads_active": len(self._downloads),
             }

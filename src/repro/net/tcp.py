@@ -51,6 +51,8 @@ class TcpTransport:
         heartbeat_interval: "float | None" = HEARTBEAT_INTERVAL,
         connect_timeout: float = 5.0,
         max_reconnect_attempts: int = 8,
+        binary: bool = True,
+        metrics: "typing.Any | None" = None,
     ):
         self.host = host
         self.port = port
@@ -60,6 +62,14 @@ class TcpTransport:
         # different formats.
         self.codec = wire.negotiate_codec(codec)
         self.tracer = tracer
+        self.metrics = metrics
+        #: Whether this side is willing to speak binary frames; the
+        #: per-connection decision lands in :attr:`binary` after the
+        #: handshake (AND of both sides).
+        self._binary_wanted = binary
+        self.binary = False
+        self.bytes_sent = 0
+        self.binary_frames_sent = 0
         self._on_reply = on_reply
         self._faults = TransportFaults.from_plan(fault_plan)
         #: The shared loss/duplication stage — the same FaultyChannel the
@@ -109,7 +119,11 @@ class TcpTransport:
             sock.settimeout(None)
             try:
                 wire.write_frame(
-                    sock, wire.hello_frame(self.node_id, self.codec), "json"
+                    sock,
+                    wire.hello_frame(
+                        self.node_id, self.codec, binary=self._binary_wanted
+                    ),
+                    "json",
                 )
                 answer = wire.read_frame(sock, "json")
                 if answer is None or answer.get("kind") == "reject":
@@ -123,6 +137,7 @@ class TcpTransport:
                 sock.close()
                 raise
             self.codec = answer.get("codec", self.codec)
+            self.binary = self._binary_wanted and bool(answer.get("bin"))
             self.server_node = answer.get("node")
             self._sock = sock
             self._reader = threading.Thread(
@@ -228,11 +243,20 @@ class TcpTransport:
         sock = self._sock
         if sock is None:
             raise OSError("not connected")
+        binary = self.binary
         try:
-            wire.write_frame(sock, wire.message_frame(message), self.codec)
+            n = wire.write_frame(
+                sock, wire.message_frame(message, raw=binary),
+                self.codec, binary=binary,
+            )
         except OSError:
             self._drop_connection()
             raise
+        self.bytes_sent += n
+        if binary and wire.payload_nbytes(message.payload):
+            self.binary_frames_sent += 1
+        if self.metrics is not None:
+            self.metrics.counter("net.wire_bytes_sent").inc(n)
 
     # -- receiving -------------------------------------------------------------
 
@@ -292,9 +316,16 @@ class TcpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         tracer: "typing.Any | None" = None,
+        binary: bool = True,
+        metrics: "typing.Any | None" = None,
     ):
         self.core = core
         self.tracer = tracer
+        self.metrics = metrics
+        #: Whether this server is willing to speak binary frames; each
+        #: connection uses them only if its client advertised ``bin``.
+        self.binary = binary
+        self.bytes_sent = 0
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -339,8 +370,8 @@ class TcpServer:
         codec = "json"
         try:
             try:
-                node, codec = wire.check_handshake(
-                    wire.read_frame(conn, "json")
+                node, codec, binary = wire.check_handshake(
+                    wire.read_frame(conn, "json"), binary=self.binary
                 )
             except wire.WireError as exc:
                 self.handshakes_rejected += 1
@@ -350,20 +381,22 @@ class TcpServer:
                     pass
                 return
             wire.write_frame(
-                conn, wire.welcome_frame(self.core.node_id, codec), "json"
+                conn,
+                wire.welcome_frame(self.core.node_id, codec, binary=binary),
+                "json",
             )
             self.connections_accepted += 1
             if self.tracer is not None:
                 self.tracer.instant(
                     "net.accept", track=self.core.node_id, cat="net",
-                    peer=node, codec=codec,
+                    peer=node, codec=codec, binary=binary,
                 )
             write_lock = threading.Lock()
             while not self._closed.is_set():
                 frame = wire.read_frame(conn, codec)
                 if frame is None:
                     break
-                self._handle_frame(conn, frame, codec, write_lock)
+                self._handle_frame(conn, frame, codec, binary, write_lock)
         except (OSError, wire.WireError):
             pass
         finally:
@@ -380,6 +413,7 @@ class TcpServer:
         conn: socket.socket,
         frame: dict,
         codec: str,
+        binary: bool,
         write_lock: threading.Lock,
     ) -> None:
         kind = frame.get("kind")
@@ -399,17 +433,22 @@ class TcpServer:
         reply = self.core.dispatch(message)
         try:
             with write_lock:
-                wire.write_frame(
+                n = wire.write_frame(
                     conn,
                     wire.reply_frame(
-                        self.core.node_id, message.msg_id, reply
+                        self.core.node_id, message.msg_id, reply,
+                        raw=binary,
                     ),
                     codec,
+                    binary=binary,
                 )
         except OSError:
             # The connection died while the handler ran; the reply stays
             # in the core's cache for the retransmission to collect.
             raise
+        self.bytes_sent += n
+        if self.metrics is not None:
+            self.metrics.counter("net.wire_bytes_sent").inc(n)
 
     def close(self) -> None:
         """Stop accepting, drop every connection, release the port."""
@@ -449,18 +488,21 @@ def tcp_link(
     codec: str = "json",
     tracer: "typing.Any | None" = None,
     heartbeat_interval: "float | None" = HEARTBEAT_INTERVAL,
+    binary: bool = True,
+    metrics: "typing.Any | None" = None,
 ) -> "tuple":
     """A connected reliable TCP client; returns ``(link, transport)``."""
     from .transport import ReliableLink
 
     link = ReliableLink(
         node_id, ack_timeout=ack_timeout, max_attempts=max_attempts,
-        tracer=tracer,
+        tracer=tracer, metrics=metrics,
     )
     transport = TcpTransport(
         host, port, node_id, on_reply=link.on_reply, codec=codec,
         fault_plan=fault_plan, tracer=tracer,
-        heartbeat_interval=heartbeat_interval,
+        heartbeat_interval=heartbeat_interval, binary=binary,
+        metrics=metrics,
     )
     transport.connect()
     return link.attach(transport), transport

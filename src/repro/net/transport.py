@@ -39,6 +39,7 @@ from ..coordination.messages import (
     MessageType,
     ReliableSender,
 )
+from .wire import payload_nbytes
 
 
 class TransportClosed(ConnectionError):
@@ -163,11 +164,13 @@ class ReliableLink:
         max_attempts: int = 8,
         backoff: "ExponentialBackoff | None" = None,
         tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
     ):
         self.node_id = node_id
         self.transport = transport
         self.ack_timeout = ack_timeout
         self.tracer = tracer
+        self.metrics = metrics
         self._factory = MessageFactory()
         self._slots: "dict[int, _ReplySlot]" = {}
         self._slots_lock = threading.Lock()
@@ -259,13 +262,19 @@ class _LinkChannel:
         if transport is None:
             return False
         delivered = transport.send(message)
+        nbytes = payload_nbytes(message.payload)
         tracer = self._link.tracer
         if tracer is not None:
             tracer.instant(
                 "net.send", track=self._link.node_id, cat="net",
                 type=message.msg_type.value, msg_id=message.msg_id,
-                delivered=delivered,
+                delivered=delivered, payload_bytes=nbytes,
             )
+        metrics = self._link.metrics
+        if metrics is not None:
+            metrics.counter("net.sends").inc()
+            if nbytes:
+                metrics.counter("net.payload_bytes_sent").inc(nbytes)
         return delivered
 
 
@@ -306,10 +315,12 @@ class ServerCore:
         tracer: "typing.Any | None" = None,
         reply_wait: float = 30.0,
         dedup_ttl: "float | None" = 120.0,
+        metrics: "typing.Any | None" = None,
     ):
         self.handler = handler
         self.node_id = node_id
         self.tracer = tracer
+        self.metrics = metrics
         self.reply_wait = reply_wait
         self.dedup_ttl = dedup_ttl
         self._inbox = DeduplicatingInbox(
@@ -350,12 +361,20 @@ class ServerCore:
                 self._replies[key] = pending
             else:
                 pending = self._replies.get(key)
+        nbytes = payload_nbytes(message.payload)
         if self.tracer is not None:
             self.tracer.instant(
                 "net.recv", track=self.node_id, cat="net",
                 sender=message.sender, type=message.msg_type.value,
                 msg_id=message.msg_id, duplicate=not fresh,
+                payload_bytes=nbytes,
             )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "net.requests" if fresh else "net.request_duplicates"
+            ).inc()
+            if fresh and nbytes:
+                self.metrics.counter("net.payload_bytes_received").inc(nbytes)
         if not fresh:
             # A retransmission: the original may still be executing (it
             # raced a reconnect); wait for its reply rather than running
@@ -417,6 +436,11 @@ class InMemoryTransport(FaultyChannel):
         self.tracer = tracer
         self._link_up = True
         self.reconnects = 0
+        #: Serializes concurrent senders (pipelined chunk uploads use a
+        #: small thread window) so the deterministic fault schedule sees
+        #: one send at a time, exactly like the TCP transport's
+        #: send lock.
+        self._send_lock = threading.Lock()
 
     @property
     def connected(self) -> bool:
@@ -440,21 +464,22 @@ class InMemoryTransport(FaultyChannel):
             self.tracer.end(span, attempt=self.reconnects)
 
     def send(self, message: Message) -> bool:
-        if not super().connected:  # closed for good
-            return False
-        action = (
-            self._faults.next_send() if self._faults is not None
-            else FaultAction()
-        )
-        if action.reset:
-            # The connection dies under this send: the message is lost.
-            self._link_up = False
-            return False
-        if not self._link_up:
-            self._reconnect()
-        if action.delay:
-            time.sleep(action.delay)
-        return super().send(message)
+        with self._send_lock:
+            if not super().connected:  # closed for good
+                return False
+            action = (
+                self._faults.next_send() if self._faults is not None
+                else FaultAction()
+            )
+            if action.reset:
+                # The connection dies under this send: the message is lost.
+                self._link_up = False
+                return False
+            if not self._link_up:
+                self._reconnect()
+            if action.delay:
+                time.sleep(action.delay)
+            return super().send(message)
 
 
 def memory_link(
@@ -464,11 +489,12 @@ def memory_link(
     ack_timeout: float = 0.2,
     max_attempts: int = 10,
     tracer: "typing.Any | None" = None,
+    metrics: "typing.Any | None" = None,
 ) -> ReliableLink:
     """A ready-to-use reliable in-memory client for ``server``."""
     link = ReliableLink(
         node_id, ack_timeout=ack_timeout, max_attempts=max_attempts,
-        tracer=tracer,
+        tracer=tracer, metrics=metrics,
     )
     transport = InMemoryTransport(
         node_id, server, on_reply=link.on_reply, fault_plan=fault_plan,

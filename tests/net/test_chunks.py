@@ -1,0 +1,499 @@
+"""The chunked replication data plane: slicing, resume, fan-out rounds.
+
+The resume-after-reset chaos tests here are an ISSUE acceptance
+criterion: a connection reset in the middle of a chunked snapshot
+upload must resume from the last acked chunk — never restart from
+scratch, never re-execute a chunk handler — identically over the
+in-memory transport and loopback TCP.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.coordination.faults import FaultPlan
+from repro.coordination.messages import MessageType
+from repro.net import (
+    ChunkAssembler,
+    ChunkedUploader,
+    ChunkStore,
+    JobSpec,
+    NetworkedApplicationMaster,
+    ServerCore,
+    StateBlob,
+    TcpServer,
+    WireError,
+    memory_link,
+    tcp_link,
+)
+from repro.net.chunks import decode_state_blob
+from repro.net.master_service import _fanout_rounds
+from repro.observability import MetricRegistry
+
+
+def sample_state(floats=1024, seed=3):
+    rng = np.random.default_rng(seed)
+    return {
+        "params": {
+            "w": rng.random((floats // 2, 2)),
+            "b": rng.random(8, dtype=np.float32),
+            "empty": np.zeros(0, dtype=np.float16),
+        },
+        "optimizer": {"lr": 0.05, "velocity": {"w": rng.random(16)}},
+        "loader": {"cursor": 40, "epoch": 1},
+    }
+
+
+def assert_states_equal(a, b):
+    np.testing.assert_array_equal(a["params"]["w"], b["params"]["w"])
+    np.testing.assert_array_equal(a["params"]["b"], b["params"]["b"])
+    assert a["params"]["b"].dtype == b["params"]["b"].dtype
+    assert a["params"]["empty"].shape == b["params"]["empty"].shape
+    np.testing.assert_array_equal(
+        a["optimizer"]["velocity"]["w"], b["optimizer"]["velocity"]["w"]
+    )
+    assert a["loader"] == b["loader"]
+
+
+class TestStateBlob:
+    def test_chunks_cover_blob_exactly_once(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=100)
+        joined = b"".join(bytes(blob.chunk(s)) for s in range(blob.total_chunks))
+        assert len(joined) == blob.total_bytes
+        assert decode_state_blob(joined)  # whole blob decodes
+        assert blob.total_chunks == -(-blob.total_bytes // 100)
+
+    def test_decode_round_trip(self):
+        state = sample_state()
+        blob = StateBlob.encode(state, chunk_bytes=256)
+        joined = bytearray()
+        for seq in range(blob.total_chunks):
+            joined.extend(bytes(blob.chunk(seq)))
+        assert_states_equal(decode_state_blob(joined), state)
+
+    def test_segments_view_live_arrays_without_copying(self):
+        state = sample_state()
+        blob = StateBlob.encode(state, chunk_bytes=1 << 20)
+        before = bytes(blob.chunk(0))
+        state["params"]["w"][0, 0] += 1.0
+        # The blob's segments are views over the live tensors — the
+        # mutation shows through, proving encode took no copy.
+        assert bytes(blob.chunk(0)) != before
+
+    def test_truncated_blob_raises(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=128)
+        whole = b"".join(bytes(blob.chunk(s)) for s in range(blob.total_chunks))
+        with pytest.raises(WireError):
+            decode_state_blob(whole[:-10])
+
+
+class TestChunkAssembler:
+    def make(self, chunk_bytes=64, floats=64):
+        blob = StateBlob.encode(sample_state(floats), chunk_bytes=chunk_bytes)
+        assembler = ChunkAssembler(
+            "t1", blob.total_bytes, blob.total_chunks, chunk_bytes
+        )
+        return blob, assembler
+
+    def test_out_of_order_assembly_verifies(self):
+        blob, assembler = self.make()
+        order = list(range(blob.total_chunks))[::-1]
+        for seq in order:
+            assert assembler.add(seq, blob.chunk(seq), blob.chunk_digest(seq))
+        assert assembler.complete
+        assert bytes(assembler.finish(blob.digest)) == b"".join(
+            bytes(blob.chunk(s)) for s in range(blob.total_chunks)
+        )
+
+    def test_duplicates_counted_not_reapplied(self):
+        blob, assembler = self.make()
+        assert assembler.add(0, blob.chunk(0))
+        assert not assembler.add(0, blob.chunk(0))
+        assert assembler.duplicates == 1
+        assert len(assembler.received) == 1
+
+    def test_corrupt_chunk_digest_raises(self):
+        blob, assembler = self.make()
+        with pytest.raises(WireError, match="digest"):
+            assembler.add(0, blob.chunk(0), "0" * 64)
+
+    def test_wrong_length_chunk_raises(self):
+        blob, assembler = self.make()
+        with pytest.raises(WireError, match="bytes"):
+            assembler.add(0, bytes(blob.chunk(0)) + b"x")
+
+    def test_incomplete_finish_raises(self):
+        blob, assembler = self.make()
+        assembler.add(0, blob.chunk(0))
+        with pytest.raises(WireError, match="incomplete"):
+            assembler.finish()
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(WireError, match="chunks"):
+            ChunkAssembler("t1", total_bytes=1000, total_chunks=3,
+                           chunk_bytes=100)
+
+    def test_whole_blob_digest_mismatch_raises(self):
+        blob, assembler = self.make()
+        for seq in range(blob.total_chunks):
+            assembler.add(seq, blob.chunk(seq))
+        with pytest.raises(WireError, match="digest"):
+            assembler.finish("f" * 64)
+
+
+def chunk_server():
+    """A bare ChunkStore behind the real dedup core."""
+    store = ChunkStore()
+    completed = {}
+
+    def handle(message):
+        if message.msg_type is MessageType.STATE_CHUNK:
+            return store.handle_chunk(message.sender, message.payload)
+        if message.msg_type is MessageType.STATE_DONE:
+            reply, assembler = store.handle_done(
+                message.sender, message.payload
+            )
+            if assembler is not None:
+                completed[assembler.transfer_id] = assembler
+            return reply
+        raise ValueError(message.msg_type)
+
+    core = ServerCore(handler=handle, node_id="srv")
+    return core, store, completed
+
+
+@pytest.fixture(params=["memory", "tcp"])
+def transport(request):
+    return request.param
+
+
+def make_link(transport, core, node_id, fault_plan=None):
+    """(link, transport_obj, cleanup) for either side of the seam."""
+    if transport == "tcp":
+        server = TcpServer(core).start()
+        link, tcp_transport = tcp_link(
+            server.host, server.port, node_id, fault_plan=fault_plan,
+            ack_timeout=0.5, heartbeat_interval=None,
+        )
+        def cleanup():
+            link.close()
+            server.close()
+        return link, tcp_transport, cleanup
+    link = memory_link(core, node_id, fault_plan=fault_plan, ack_timeout=0.5)
+    return link, link.transport, link.close
+
+
+class TestChunkedUploadOverBothTransports:
+    def test_pipelined_upload_round_trip(self, transport):
+        core, store, completed = chunk_server()
+        link, _, cleanup = make_link(transport, core, "w0")
+        try:
+            state = sample_state()
+            summary = ChunkedUploader(
+                link, chunk_bytes=512, window=4
+            ).upload(state)
+            assert summary["chunks"] > 4
+            assembler = completed[summary["transfer_id"]]
+            assert_states_equal(assembler.decode(), state)
+            # Exactly-once even with four requests in flight at a time.
+            assert core.executions[("w0", "state_chunk")] == summary["chunks"]
+            assert assembler.duplicates == 0
+        finally:
+            cleanup()
+
+    def test_reset_mid_upload_resumes_from_last_acked_chunk(self, transport):
+        """ISSUE acceptance: the reset kills chunk 3 in flight; the
+        resend delivers chunk 3 and the upload continues — chunks 1-2
+        are never resent and no chunk handler runs twice."""
+        core, store, completed = chunk_server()
+        plan = FaultPlan(connection_resets=(3,))
+        link, transport_obj, cleanup = make_link(
+            transport, core, "w0", fault_plan=plan
+        )
+        try:
+            state = sample_state()
+            summary = ChunkedUploader(
+                link, chunk_bytes=512, window=1  # serial: faults land on
+                # exact chunk indices
+            ).upload(state)
+            total = summary["chunks"]
+            assert total >= 6
+            # Every chunk's handler executed exactly once: acked chunks
+            # were never retransmitted, the transfer was not restarted.
+            assert core.executions[("w0", "state_chunk")] == total
+            assert core.executions[("w0", "state_done")] == 1
+            assembler = completed[summary["transfer_id"]]
+            assert assembler.duplicates == 0
+            # The fault actually fired and was recovered.
+            assert transport_obj.reconnects >= 1
+            assert link.resends >= 1
+            assert_states_equal(assembler.decode(), state)
+        finally:
+            cleanup()
+
+    def test_aggressive_duplication_never_reapplies_chunks(self, transport):
+        core, store, completed = chunk_server()
+        plan = FaultPlan(duplicate_every=1)
+        link, _, cleanup = make_link(transport, core, "w0", fault_plan=plan)
+        try:
+            state = sample_state()
+            summary = ChunkedUploader(link, chunk_bytes=512).upload(state)
+            assembler = completed[summary["transfer_id"]]
+            assert core.executions[("w0", "state_chunk")] == summary["chunks"]
+            assert core.duplicates > 0  # dedup absorbed the copies
+            assert assembler.duplicates == 0  # none reached the buffer
+            assert_states_equal(assembler.decode(), state)
+        finally:
+            cleanup()
+
+    def test_done_before_complete_reports_missing(self, transport):
+        core, store, completed = chunk_server()
+        link, _, cleanup = make_link(transport, core, "w0")
+        try:
+            blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+            base = blob.describe("t-incomplete")
+            payload = dict(
+                base, seq=0, digest=blob.chunk_digest(0), data=blob.chunk(0)
+            )
+            assert link.request(MessageType.STATE_CHUNK, payload)["ok"]
+            reply = link.request(MessageType.STATE_DONE, dict(base))
+            assert reply["ok"] is False
+            assert reply["missing"] == blob.total_chunks - 1
+            assert not completed
+        finally:
+            cleanup()
+
+
+class TestFanoutRounds:
+    def test_single_source_serializes_then_chains(self):
+        rounds = _fanout_rounds(["w0"], ["w2", "w3", "w4"], 1 << 20)
+        assert set(rounds) == {"w2", "w3", "w4"}
+        # One joiner copies first; chaining then lets the fresh replica
+        # help, so the remaining two go in the next round together.
+        by_round = sorted(rounds.values())
+        assert by_round[0] == 0
+        assert by_round.count(0) == 1
+        assert max(by_round) >= 1
+
+    def test_multiple_sources_fan_out_concurrently(self):
+        rounds = _fanout_rounds(["w0", "w1"], ["w2", "w3"], 1 << 20)
+        # Two sources, two joiners, disjoint NIC pairs: one round.
+        assert set(rounds.values()) == {0}
+
+
+class TestMasterChunkProtocol:
+    """The AM side: upload gating, round-gated fetches, cleanup."""
+
+    def _adjusting_master(self, joiners=("w2",)):
+        spec = JobSpec(iterations=64, coordination_interval=4, chunk_bytes=256)
+        net = NetworkedApplicationMaster(spec, ["w0"])
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": list(joiners)}
+        )["accepted"]
+        for joiner in joiners:
+            net.am.worker_report(joiner)
+        for iteration in range(4, 400, 4):
+            if net._handle_coordinate("w0", iteration)["kind"] == "adjust":
+                break
+        return net
+
+    def _upload(self, net, state, transfer_id="t-up", worker="w0"):
+        blob = StateBlob.encode(
+            state, chunk_bytes=net.spec.chunk_bytes
+        )
+        base = blob.describe(transfer_id)
+        for seq in range(blob.total_chunks):
+            reply = net._handle_state_chunk(worker, dict(
+                base, seq=seq, digest=blob.chunk_digest(seq),
+                data=blob.chunk(seq),
+            ))
+            assert reply["ok"], reply
+        reply = net._handle_state_done(worker, dict(base))
+        assert reply["ok"], reply
+        return blob
+
+    def test_only_the_elected_uploader_may_stream(self):
+        net = self._adjusting_master()
+        blob = StateBlob.encode(sample_state(), chunk_bytes=256)
+        payload = dict(
+            blob.describe("t-x"), seq=0, digest=blob.chunk_digest(0),
+            data=blob.chunk(0),
+        )
+        assert net._handle_state_chunk("w9", payload) == {
+            "ok": False, "reason": "no snapshot expected",
+        }
+
+    def test_offers_carry_descriptor_and_round(self):
+        net = self._adjusting_master(joiners=("w2", "w3", "w4"))
+        state = sample_state()
+        blob = self._upload(net, state)
+        for joiner in ("w2", "w3", "w4"):
+            offer = net._handle_join(joiner)
+            assert offer["status"] == "join"
+            descriptor = offer["state_transfer"]
+            assert "state" not in offer  # no inline snapshot any more
+            assert descriptor["total_chunks"] == blob.total_chunks
+            assert descriptor["digest"] == blob.digest
+            assert descriptor["round"] >= 0
+
+    def test_fetches_are_gated_by_planner_rounds(self):
+        net = self._adjusting_master(joiners=("w2", "w3", "w4"))
+        state = sample_state()
+        blob = self._upload(net, state)
+        offers = {j: net._handle_join(j) for j in ("w2", "w3", "w4")}
+        rounds = {
+            j: o["state_transfer"]["round"] for j, o in offers.items()
+        }
+        first = min(rounds, key=rounds.get)
+        later = [j for j in rounds if rounds[j] > rounds[first]]
+        assert later, rounds
+        transfer_id = offers[first]["state_transfer"]["transfer_id"]
+        # A later-round joiner is told to wait while round 0 is copying.
+        assert net._handle_state_fetch(
+            later[0], {"transfer_id": transfer_id, "seq": 0}
+        ) == {"status": "pending"}
+        # Round 0 fetches everything...
+        collected = bytearray()
+        for seq in range(blob.total_chunks):
+            reply = net._handle_state_fetch(
+                first, {"transfer_id": transfer_id, "seq": seq}
+            )
+            assert reply["ok"]
+            collected.extend(bytes(reply["data"]))
+        assert_states_equal(decode_state_blob(collected), state)
+        # ...and the next round opens.
+        reply = net._handle_state_fetch(
+            later[0], {"transfer_id": transfer_id, "seq": 0}
+        )
+        assert reply["ok"]
+
+    def test_unknown_transfer_is_refused_not_pending(self):
+        net = self._adjusting_master()
+        assert net._handle_state_fetch(
+            "w2", {"transfer_id": "no-such", "seq": 0}
+        ) == {"ok": False, "reason": "unknown transfer"}
+
+    def test_fetch_rejects_non_joiners_and_bad_seqs(self):
+        net = self._adjusting_master()
+        state = sample_state()
+        self._upload(net, state)
+        offer = net._handle_join("w2")
+        transfer_id = offer["state_transfer"]["transfer_id"]
+        assert not net._handle_state_fetch(
+            "w9", {"transfer_id": transfer_id, "seq": 0}
+        )["ok"]
+        assert not net._handle_state_fetch(
+            "w2", {"transfer_id": transfer_id, "seq": 10**6}
+        )["ok"]
+
+    def test_minting_a_new_plan_drops_completed_downloads(self):
+        net = self._adjusting_master()
+        state = sample_state()
+        blob = self._upload(net, state)
+        offer = net._handle_join("w2")
+        transfer_id = offer["state_transfer"]["transfer_id"]
+        for seq in range(blob.total_chunks):
+            assert net._handle_state_fetch(
+                "w2", {"transfer_id": transfer_id, "seq": seq}
+            )["ok"]
+        assert net._downloads[transfer_id].complete
+        # Finish the adjustment, then start the next one: the download
+        # is fully served and must not outlive its generation.
+        net._handle_coordinate("w0", 8)
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": ["w5"]}
+        )["accepted"]
+        net.am.worker_report("w5")
+        for iteration in range(12, 400, 4):
+            if net._handle_coordinate("w0", iteration)["kind"] == "adjust":
+                break
+            if net._handle_coordinate("w2", iteration)["kind"] == "adjust":
+                break
+        assert transfer_id not in net._downloads
+
+    def test_chunk_metrics_are_recorded(self):
+        metrics = MetricRegistry()
+        spec = JobSpec(iterations=64, coordination_interval=4, chunk_bytes=256)
+        net = NetworkedApplicationMaster(spec, ["w0"], metrics=metrics)
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": ["w2"]}
+        )["accepted"]
+        net.am.worker_report("w2")
+        for iteration in range(4, 400, 4):
+            if net._handle_coordinate("w0", iteration)["kind"] == "adjust":
+                break
+        blob = StateBlob.encode(sample_state(), chunk_bytes=256)
+        base = blob.describe("t-m")
+        for seq in range(blob.total_chunks):
+            net._handle_state_chunk("w0", dict(
+                base, seq=seq, digest=blob.chunk_digest(seq),
+                data=blob.chunk(seq),
+            ))
+        net._handle_state_done("w0", dict(base))
+        snap = metrics.snapshot()
+        assert snap["net.chunks.received"] == blob.total_chunks
+        assert snap["net.chunks.bytes_received"] == blob.total_bytes
+        assert snap["net.transfers.completed"] == 1
+
+
+class TestConcurrentFanout:
+    def test_joiners_fetch_concurrently_within_a_round(self):
+        """Two joiners whose planner rounds coincide pull the same
+        download from separate threads without corruption."""
+        spec = JobSpec(iterations=64, coordination_interval=4, chunk_bytes=128)
+        net = NetworkedApplicationMaster(spec, ["w0", "w1"])
+        assert net._handle_adjustment_request(
+            {"kind": "scale_out", "add": ["w2", "w3"]}
+        )["accepted"]
+        net.am.worker_report("w2")
+        net.am.worker_report("w3")
+        for iteration in range(4, 400, 4):
+            if net._handle_coordinate("w0", iteration)["kind"] == "adjust":
+                net._handle_coordinate("w1", iteration)
+                break
+        state = sample_state()
+        blob = StateBlob.encode(state, chunk_bytes=128)
+        base = blob.describe("t-c")
+        for seq in range(blob.total_chunks):
+            net._handle_state_chunk("w0", dict(
+                base, seq=seq, digest=blob.chunk_digest(seq),
+                data=blob.chunk(seq),
+            ))
+        net._handle_state_done("w0", dict(base))
+        results, errors = {}, []
+
+        def fetch(joiner):
+            try:
+                offer = net._handle_join(joiner)
+                descriptor = offer["state_transfer"]
+                collected = bytearray()
+                for seq in range(descriptor["total_chunks"]):
+                    deadline = time.monotonic() + 10
+                    while True:
+                        reply = net._handle_state_fetch(
+                            joiner,
+                            {"transfer_id": descriptor["transfer_id"],
+                             "seq": seq},
+                        )
+                        if reply.get("status") != "pending":
+                            break
+                        assert time.monotonic() < deadline, "round never opened"
+                        time.sleep(0.005)
+                    assert reply["ok"], reply
+                    collected.extend(bytes(reply["data"]))
+                results[joiner] = decode_state_blob(collected)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fetch, args=(j,)) for j in ("w2", "w3")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors, errors
+        for joiner in ("w2", "w3"):
+            assert_states_equal(results[joiner], state)

@@ -39,6 +39,7 @@ class Harness:
         self.errors = {}
         self.transports = {}
         self.threads = {}
+        self.agents = {}
 
     def link(self, node_id, fault_plan=None, ack_timeout=0.5):
         if self.transport == "tcp":
@@ -59,10 +60,10 @@ class Harness:
     def start_worker(self, worker_id, fault_plan=None):
         def run():
             link = self.link(worker_id, fault_plan=fault_plan)
+            agent = WorkerAgent(worker_id, link, poll_interval=0.02)
+            self.agents[worker_id] = agent
             try:
-                self.results[worker_id] = WorkerAgent(
-                    worker_id, link, poll_interval=0.02
-                ).run()
+                self.results[worker_id] = agent.run()
             except Exception as exc:  # surfaced by the test body
                 self.errors[worker_id] = exc
             finally:
@@ -109,6 +110,10 @@ class TestElasticJobOverBothTransports:
         spec = JobSpec(
             iterations=24, coordination_interval=4, iteration_sleep=0.01,
             allreduce_timeout=10.0, sync_ack_timeout=1.0,
+            # Small chunks so the snapshot exercises the chunked data
+            # plane (several STATE_CHUNKs + round-gated fetches) under
+            # the same chaos schedule.
+            chunk_bytes=1024,
         )
         harness = Harness(transport, spec, ["w0", "w1"])
         try:
@@ -144,6 +149,23 @@ class TestElasticJobOverBothTransports:
             chaotic = harness.transports["w0"]
             assert chaotic.reconnects >= 1
             assert harness.master.core.duplicates >= 0
+
+            # The snapshot rode the chunked data plane exactly once:
+            # the uploader (w0 — the chaotic worker) streamed each
+            # chunk to exactly one handler execution, and both joiners
+            # pulled every chunk back out through round-gated fetches.
+            summary = harness.agents["w0"].upload_summary
+            assert summary is not None
+            chunks = summary["chunks"]
+            assert chunks >= 2, summary
+            core = harness.master.core
+            assert core.executions[("w0", "state_chunk")] == chunks
+            assert core.executions[("w0", "state_done")] == 1
+            assert harness.master._chunks.completed == 1
+            snap = harness.master.metrics.snapshot()
+            assert snap["net.chunks.received"] == chunks
+            assert snap["net.chunks.served"] == 2 * chunks
+            assert snap["net.transfers.completed"] == 1
             driver.close()
         finally:
             harness.close()

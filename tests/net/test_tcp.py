@@ -54,8 +54,8 @@ class TestHandshake:
         # Sabotage the advertised version to provoke the reject path.
         real = wire.hello_frame
         try:
-            wire.hello_frame = lambda node, codec="json": {
-                **real(node, codec), "version": 999,
+            wire.hello_frame = lambda node, codec="json", binary=True: {
+                **real(node, codec, binary), "version": 999,
             }
             with pytest.raises(wire.WireError, match="rejected"):
                 transport.connect()

@@ -132,11 +132,167 @@ class TestEnvelopes:
         assert wire.params_digest(params) != wire.params_digest(different)
 
 
+class TestBinaryFrames:
+    """The zero-copy data plane: header + raw segments, no base64."""
+
+    def round_trip(self, payload, codec="json"):
+        client, accepted = socket_pair()
+        try:
+            message = MessageFactory().make(MessageType.SYNC, "w0", payload)
+            # Write from a helper thread: frames larger than the kernel
+            # socket buffer would deadlock a same-thread write-then-read.
+            errors = []
+
+            def write():
+                try:
+                    wire.write_frame(
+                        client, wire.message_frame(message, raw=True),
+                        codec, binary=True,
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            writer = threading.Thread(target=write, daemon=True)
+            writer.start()
+            frame = wire.read_frame(accepted, codec)
+            writer.join(timeout=10)
+            assert not errors, errors
+            return wire.decode_message(frame)
+        finally:
+            client.close()
+            accepted.close()
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float16, np.float32, np.int64, np.bool_]
+    )
+    def test_dtype_matrix_round_trip(self, dtype):
+        array = (np.arange(24) % 5).reshape(2, 3, 4).astype(dtype)
+        rebuilt = self.round_trip({"a": array})
+        assert rebuilt.payload["a"].dtype == dtype
+        assert rebuilt.payload["a"].shape == (2, 3, 4)
+        np.testing.assert_array_equal(rebuilt.payload["a"], array)
+
+    def test_non_contiguous_view_round_trip(self):
+        base = np.arange(36, dtype=np.float64).reshape(6, 6)
+        views = {"t": base.T, "s": base[::2, 1::2], "f": np.asfortranarray(base)}
+        rebuilt = self.round_trip(views)
+        for name, view in views.items():
+            np.testing.assert_array_equal(rebuilt.payload[name], view)
+
+    def test_empty_array_round_trip(self):
+        rebuilt = self.round_trip({
+            "empty": np.zeros((0, 4), dtype=np.float32),
+            "full": np.ones(3),
+        })
+        assert rebuilt.payload["empty"].shape == (0, 4)
+        assert rebuilt.payload["empty"].dtype == np.float32
+        np.testing.assert_array_equal(rebuilt.payload["full"], np.ones(3))
+
+    def test_raw_bytes_and_mixed_payload(self):
+        rebuilt = self.round_trip({
+            "data": b"\x00\x01binary",
+            "grads": {"w": np.full((3, 3), 2.5)},
+            "n": 7, "tag": "text",
+        })
+        assert bytes(rebuilt.payload["data"]) == b"\x00\x01binary"
+        np.testing.assert_array_equal(
+            rebuilt.payload["grads"]["w"], np.full((3, 3), 2.5)
+        )
+        assert rebuilt.payload["n"] == 7
+
+    def test_decoded_arrays_are_zero_copy_views(self):
+        rebuilt = self.round_trip({"w": np.arange(8, dtype=np.float64)})
+        assert rebuilt.payload["w"].base is not None  # frombuffer view
+
+    def test_array_free_frames_fall_back_to_codec(self):
+        frame = {"kind": "msg", "plain": [1, 2, 3]}
+        buffers, total = wire.binary_frame_buffers(frame)
+        assert buffers is None and total == 0
+
+    def test_corrupt_segment_length_raises(self):
+        client, accepted = socket_pair()
+        try:
+            array = np.arange(16, dtype=np.float32)
+            header_obj, segments = wire.split_buffers({"kind": "msg", "a": array})
+            header_obj["__segs__"] = [segments[0].nbytes - 4]  # lie
+            header = wire.encode_frame(header_obj, "json")
+            client.sendall(wire._LENGTH.pack(wire.BINARY_FLAG | len(header)))
+            client.sendall(header)
+            client.sendall(bytes(segments[0])[:-4])
+            with pytest.raises(wire.WireError, match="needs"):
+                wire.read_frame(accepted, "json")
+        finally:
+            client.close()
+            accepted.close()
+
+    def test_missing_segment_table_raises(self):
+        client, accepted = socket_pair()
+        try:
+            header = wire.encode_frame({"kind": "msg"}, "json")
+            client.sendall(wire._LENGTH.pack(wire.BINARY_FLAG | len(header)))
+            client.sendall(header)
+            with pytest.raises(wire.WireError, match="segment table"):
+                wire.read_frame(accepted, "json")
+        finally:
+            client.close()
+            accepted.close()
+
+    def test_oversize_binary_frame_rejected_on_write(self):
+        big = np.zeros(wire.MAX_FRAME_BYTES // 8 + 1, dtype=np.float64)
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.binary_frame_buffers({"kind": "msg", "a": big})
+
+    def test_object_arrays_are_rejected(self):
+        with pytest.raises(wire.WireError, match="object"):
+            wire.split_buffers({"bad": np.array([object()])})
+
+    def test_large_frame_round_trip(self):
+        # Also exercises the recv_into read path on a multi-MB frame.
+        array = np.random.default_rng(0).random((512, 1024))  # 4 MiB
+        rebuilt = self.round_trip({"big": array})
+        np.testing.assert_array_equal(rebuilt.payload["big"], array)
+
+
+class TestStreamingDigest:
+    def test_non_contiguous_matches_contiguous(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        assert wire.params_digest({"w": base.T}) == wire.params_digest(
+            {"w": np.ascontiguousarray(base.T)}
+        )
+
+    def test_zero_size_arrays_still_distinguish_metadata(self):
+        a = {"w": np.zeros((0, 3), dtype=np.float32)}
+        b = {"w": np.zeros((0, 4), dtype=np.float32)}
+        c = {"w": np.zeros((0, 3), dtype=np.float64)}
+        digests = {wire.params_digest(p) for p in (a, b, c)}
+        assert len(digests) == 3
+
+    def test_matches_historical_tobytes_format(self):
+        import hashlib
+
+        params = {
+            "w": np.arange(12.0).reshape(3, 4).T,  # non-contiguous
+            "b": np.zeros(0, dtype=np.float16),
+            "s": np.float32(2.5) * np.ones((2, 2), dtype=np.float32),
+        }
+        hasher = hashlib.sha256()
+        for name in sorted(params):
+            arr = np.ascontiguousarray(params[name])
+            hasher.update(name.encode())
+            hasher.update(str(arr.dtype).encode())
+            hasher.update(str(arr.shape).encode())
+            hasher.update(arr.tobytes())
+        assert wire.params_digest(params) == hasher.hexdigest()
+
+
 class TestHandshake:
     def test_hello_welcome(self):
-        node, codec = wire.check_handshake(wire.hello_frame("w3", "json"))
+        node, codec, binary = wire.check_handshake(
+            wire.hello_frame("w3", "json")
+        )
         assert node == "w3"
         assert codec == "json"
+        assert binary is True
 
     def test_version_mismatch_rejected(self):
         hello = wire.hello_frame("w0")
@@ -157,11 +313,30 @@ class TestHandshake:
             wire.check_handshake(None)
 
     def test_unknown_codec_falls_back_to_json(self):
-        _, codec = wire.check_handshake(wire.hello_frame("w0", "cbor"))
-        assert codec == "json"
+        handshake = wire.check_handshake(wire.hello_frame("w0", "cbor"))
+        assert handshake.codec == "json"
 
     def test_json_always_available(self):
         assert "json" in wire.available_codecs()
+
+    def test_binary_requires_both_sides(self):
+        # Client opts out -> negotiated off.
+        hs = wire.check_handshake(wire.hello_frame("w0", binary=False))
+        assert hs.binary is False
+        # Server opts out -> negotiated off.
+        hs = wire.check_handshake(
+            wire.hello_frame("w0", binary=True), binary=False
+        )
+        assert hs.binary is False
+
+    def test_legacy_peer_without_bin_flag_degrades(self):
+        """A version-1 hello that predates the data plane (no ``bin``
+        key) must negotiate base64 envelopes, not be rejected."""
+        hello = wire.hello_frame("old-worker")
+        del hello["bin"]
+        hs = wire.check_handshake(hello)
+        assert hs.node == "old-worker"
+        assert hs.binary is False
 
 
 class TestDecodeHardening:
