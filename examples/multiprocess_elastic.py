@@ -3,10 +3,18 @@
 Spawns a 2-worker data-parallel job where every worker is a *separate OS
 process* (``python -m repro.cli join``) talking to the in-process
 application master over real sockets, then scales out to 4 workers
-mid-run.  Worker w0 suffers an injected connection reset, so the run
-also demonstrates the §V-D recipe end-to-end: the lost message is
-retransmitted after the reconnect, the AM deduplicates, and the final
-sha256 parameter digests prove no replica lost an update.
+mid-run.  Worker w0 suffers an injected connection reset on its AM link
+*and* on its ring peer links, so the run demonstrates the §V-D recipe
+end-to-end on both planes: lost messages are retransmitted after the
+reconnect, receivers deduplicate, and the final sha256 parameter
+digests prove no replica lost an update.
+
+Steady-state gradients ride the decentralized ring allreduce
+(reduce-scatter + all-gather over direct worker↔worker TCP links); the
+AM only serves the pre-activation, adjustment-boundary and final-
+barrier iterations, which the sync-execution assertion at the bottom
+checks.  Each worker exports its own Chrome trace, validated to contain
+``net.allreduce.reduce_scatter`` / ``net.allreduce.all_gather`` spans.
 
 Run:  python examples/multiprocess_elastic.py
 
@@ -19,18 +27,21 @@ multi-megabyte snapshot through it:
   1024/512 makes an ~8 MB snapshot),
 * ``ELAN_ITERS`` — iterations (default 40),
 * ``ELAN_SLEEP`` — per-iteration pacing in seconds (default 0.05),
-* ``ELAN_CHUNK_KB`` — replication chunk size (default 256).
+* ``ELAN_CHUNK_KB`` — replication chunk size (default 256),
+* ``ELAN_WORKER_TRACE_DIR`` — where per-worker traces land (default: a
+  temporary directory).
 
-Set ``ELAN_TRACE=/path/to/trace.json`` to export a Chrome-format trace
+Set ``ELAN_TRACE=/path/to/trace.json`` to export the AM-side trace
 (net.send / net.recv / net.reconnect / net.state_upload spans
 included); see docs/OBSERVABILITY.md and docs/PROTOCOL.md.
 """
 
 import os
 import sys
+import tempfile
 
 from repro.net import JobSpec, MultiprocessElasticJob
-from repro.observability import Tracer, validate_events
+from repro.observability import Tracer, load_trace_events, validate_events
 
 
 def _env_int(name: str, default: int) -> int:
@@ -47,11 +58,18 @@ def main() -> int:
         hidden_dim=_env_int("ELAN_HIDDEN", 16),
         chunk_bytes=_env_int("ELAN_CHUNK_KB", 256) * 1024,
     )
-    job = MultiprocessElasticJob(spec, ["w0", "w1"], tracer=tracer)
+    trace_dir = os.environ.get(
+        "ELAN_WORKER_TRACE_DIR"
+    ) or tempfile.mkdtemp(prefix="elan-worker-traces-")
+    os.makedirs(trace_dir, exist_ok=True)
+    job = MultiprocessElasticJob(
+        spec, ["w0", "w1"], tracer=tracer, worker_trace_dir=trace_dir
+    )
     print(f"AM listening on {job.host}:{job.port}")
-    # w0's 6th send dies with its connection: the transport must
-    # reconnect and retransmit without the AM executing anything twice.
-    job.start(faults={"w0": {"reset_at": (6,)}})
+    # w0's 6th AM send dies with its connection, and so does its 5th
+    # ring peer send: both transports must reconnect and retransmit
+    # without any receiver executing anything twice.
+    job.start(faults={"w0": {"reset_at": (6,), "peer_reset_at": (5,)}})
     try:
         job.wait_until_iteration(4, timeout=30)
         print(f"  running: {job.status()}")
@@ -90,6 +108,28 @@ def main() -> int:
     assert snap.get("net.transfers.completed", 0) == 1
     assert chunks >= 1
     assert snap.get("net.chunks.served", 0) == 2 * chunks
+
+    # The ring took the AM out of the gradient hot path: each original
+    # worker only rendezvoused at the AM for the pre-activation,
+    # adjustment-boundary, fallback and final-barrier iterations.
+    executions = job.master.core.executions
+    syncs = {w: executions.get((w, "sync"), 0) for w in workers}
+    fallbacks = snap.get("net.sync.ring_fallbacks", 0)
+    print(f"AM sync executions per worker: {syncs} over "
+          f"{spec.iterations} iterations ({fallbacks} ring fallbacks)")
+    for worker in ("w0", "w1"):
+        assert 0 < syncs[worker] < spec.iterations // 2, syncs
+
+    # Every worker's own trace shows both ring phases.
+    for worker in workers:
+        path = job.worker_trace_path(worker)
+        events = load_trace_events(path)
+        assert not validate_events(events)
+        names = {event.get("name") for event in events}
+        assert "net.allreduce.reduce_scatter" in names, (worker, path)
+        assert "net.allreduce.all_gather" in names, (worker, path)
+    print(f"worker traces in {trace_dir}: all contain "
+          f"net.allreduce.reduce_scatter / all_gather spans")
 
     events = tracer.to_events()
     problems = validate_events(events)

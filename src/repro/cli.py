@@ -295,6 +295,7 @@ def cmd_serve(args) -> int:
         seed=args.seed,
         iterations=args.iterations,
         coordination_interval=args.interval,
+        ring_enabled=not args.no_ring,
     )
     workers = [f"w{i}" for i in range(args.workers)]
     tracer = Tracer(process="elan-net") if args.trace else None
@@ -321,23 +322,34 @@ def cmd_serve(args) -> int:
 def cmd_join(args) -> int:
     """Run one worker agent against a serving AM."""
     from .coordination.faults import FaultPlan
-    from .net import WorkerAgent, tcp_link
+    from .net import TcpPeerHost, WorkerAgent, tcp_link
+    from .observability import Tracer
 
-    plan = None
-    if args.drop_every or args.duplicate_every or args.reset_at:
-        plan = FaultPlan(
-            drop_every=args.drop_every,
-            duplicate_every=args.duplicate_every,
-            connection_resets=tuple(args.reset_at or ()),
-        )
+    plan = FaultPlan.for_link(
+        drop_every=args.drop_every,
+        duplicate_every=args.duplicate_every,
+        resets=tuple(args.reset_at or ()),
+    )
+    peer_plan = FaultPlan.for_link(resets=tuple(args.peer_reset_at or ()))
+    tracer = Tracer(process=f"worker-{args.worker}") if args.trace else None
+    peer_host = None if args.no_ring else TcpPeerHost(host=args.host)
     link, _transport = tcp_link(
         args.host, args.port, args.worker,
-        fault_plan=plan, ack_timeout=args.ack_timeout,
+        fault_plan=plan, ack_timeout=args.ack_timeout, tracer=tracer,
+    )
+    agent = WorkerAgent(
+        args.worker, link, tracer=tracer,
+        peer_host=peer_host, peer_fault_plan=peer_plan,
+        ring_fail_at=tuple(args.ring_fail_at or ()),
     )
     try:
-        result = WorkerAgent(args.worker, link).run()
+        result = agent.run()
     finally:
         link.close()
+        if peer_host is not None:
+            peer_host.close()
+        if tracer is not None and args.trace:
+            tracer.export(args.trace)
     print(f"{args.worker}: {result}")
     return 0
 
@@ -415,6 +427,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coordination interval (iterations)")
     serve.add_argument("--timeout", type=float, default=120.0)
     serve.add_argument("--trace", help="export a Chrome trace here")
+    serve.add_argument("--no-ring", action="store_true",
+                       help="disable the ring gradient plane (star only)")
 
     join = sub.add_parser(
         "join", help="run one worker agent against a serving AM"
@@ -430,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--reset-at", type=int, action="append",
                       help="reset the connection at this send index "
                            "(repeatable)")
+    join.add_argument("--no-ring", action="store_true",
+                      help="do not serve a peer endpoint (star plane only)")
+    join.add_argument("--peer-reset-at", type=int, action="append",
+                      help="reset the ring peer links at this send index "
+                           "(repeatable)")
+    join.add_argument("--ring-fail-at", type=int, action="append",
+                      help="deterministically abort this worker's ring at "
+                           "the given iteration (repeatable)")
+    join.add_argument("--trace", help="export this worker's Chrome trace "
+                                      "here")
     return parser
 
 

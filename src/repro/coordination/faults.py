@@ -131,6 +131,28 @@ class FaultPlan:
     #: crash and recover the AM once training reaches this iteration.
     am_crash_iteration: "int | None" = None
 
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def for_link(
+        cls,
+        drop_every: int = 0,
+        duplicate_every: int = 0,
+        resets: typing.Sequence[int] = (),
+    ) -> "FaultPlan | None":
+        """A per-link plan from CLI-style knobs, or None if fault-free.
+
+        Used for both the AM control link and the ring data-plane peer
+        links, so the two planes inject chaos through one code path.
+        """
+        if not (drop_every or duplicate_every or resets):
+            return None
+        return cls(
+            drop_every=drop_every,
+            duplicate_every=duplicate_every,
+            connection_resets=tuple(resets),
+        )
+
     # -- consumption helpers --------------------------------------------------
 
     def crash_iteration(self, worker_id: str) -> "int | None":

@@ -7,6 +7,10 @@ in-process and over real sockets.  On top of the seam:
 :class:`NetworkedApplicationMaster` (the message-driven AM + gradient
 rendezvous), :class:`WorkerAgent` (one replica), and
 :class:`MultiprocessElasticJob` (an elastic job as N OS processes).
+Steady-state gradients bypass the AM entirely via the decentralized
+ring allreduce (:class:`RingNode` over per-worker peer endpoints,
+:mod:`.peers`); the AM's star rendezvous remains the adjustment-window
+and degradation fallback.
 """
 
 from .agent import JoinRejected, WorkerAgent
@@ -20,8 +24,17 @@ from .chunks import (
     TransferError,
     decode_state_blob,
 )
+from .collective import (
+    DEFAULT_RING_BUCKET_BYTES,
+    RingDegraded,
+    RingLayout,
+    RingMailbox,
+    RingNode,
+    ring_reference_average,
+)
 from .job import JobFailed, MultiprocessElasticJob
 from .master_service import JobSpec, NetworkedApplicationMaster
+from .peers import MemoryPeerHost, PeerHost, TcpPeerHost
 from .tcp import TcpServer, TcpTransport, tcp_link
 from .transport import (
     FaultAction,
@@ -49,11 +62,20 @@ __all__ = [
     "StateBlob",
     "TransferError",
     "decode_state_blob",
+    "DEFAULT_RING_BUCKET_BYTES",
     "JobFailed",
     "JobSpec",
     "JoinRejected",
+    "MemoryPeerHost",
     "MultiprocessElasticJob",
     "NetworkedApplicationMaster",
+    "PeerHost",
+    "RingDegraded",
+    "RingLayout",
+    "RingMailbox",
+    "RingNode",
+    "TcpPeerHost",
+    "ring_reference_average",
     "ReliableLink",
     "RemoteError",
     "RequestTimeout",

@@ -11,7 +11,19 @@ digest the AM uses to assert replica consistency.
 Every replica reconstructs the dataset, model and loader locally from
 the :class:`~repro.net.master_service.JobSpec` seed; the only training
 state that crosses the wire is the adjustment-time snapshot and the
-per-iteration gradients (averaged by the AM's rendezvous).
+per-iteration gradients.
+
+Gradient planes
+---------------
+
+Given a :class:`~repro.net.peers.PeerHost`, the agent also serves a
+peer endpoint (advertised in its ``JOIN`` report) and averages
+gradients over the decentralized ring (:mod:`repro.net.collective`)
+once the AM has distributed a ring for the current generation — taking
+the AM out of the per-iteration gradient path entirely.  Iterations the
+ring cannot serve (pre-activation, mid-adjustment, or after a ring
+abort that no peer survived) go through the star ``SYNC`` rendezvous,
+whose AM-side reference averaging is bit-identical to the ring's.
 """
 
 from __future__ import annotations
@@ -27,8 +39,9 @@ from ..training.dataloader import SerialLoader
 from ..training.datasets import make_classification
 from ..training.optim import MomentumSGD
 from .chunks import ChunkedFetcher, ChunkedUploader
+from .collective import RingDegraded, RingMailbox, RingNode
 from .master_service import JobSpec
-from .transport import ReliableLink
+from .transport import ReliableLink, ServerCore
 from .wire import params_digest
 
 
@@ -47,6 +60,9 @@ class WorkerAgent:
         join_timeout: float = 30.0,
         tracer: "typing.Any | None" = None,
         metrics: "typing.Any | None" = None,
+        peer_host: "typing.Any | None" = None,
+        peer_fault_plan: "typing.Any | None" = None,
+        ring_fail_at: "typing.Collection[int]" = (),
     ):
         self.worker_id = worker_id
         self.link = link
@@ -54,19 +70,31 @@ class WorkerAgent:
         self.join_timeout = join_timeout
         self.tracer = tracer
         self.metrics = metrics
+        self.peer_host = peer_host
+        self.peer_fault_plan = peer_fault_plan
+        self.ring_fail_at = tuple(ring_fail_at)
         self.iterations_run = 0
         self.removed = False
         self.joined_at: "int | None" = None
         self.final_digest: "str | None" = None
         self.upload_summary: "dict | None" = None
+        #: per-plane iteration counts, for tests and reporting.
+        self.ring_iterations = 0
+        self.star_iterations = 0
+        self.ring_repairs = 0
+        self.ring_fallbacks = 0
+        self.peer_addr: "str | None" = None
+        self._ring_node: "RingNode | None" = None
+        self._mailbox: "RingMailbox | None" = None
 
     # -- protocol steps ---------------------------------------------------------
 
     def _join(self) -> dict:
         """Poll ``JOIN`` until admitted (each poll is the worker-report)."""
+        payload = {"peer": self.peer_addr} if self.peer_addr else {}
         deadline = time.monotonic() + self.join_timeout
         while True:
-            reply = self.link.request(MessageType.JOIN)
+            reply = self.link.request(MessageType.JOIN, payload)
             if reply.get("status") in ("start", "join"):
                 return reply
             if time.monotonic() >= deadline:
@@ -76,14 +104,145 @@ class WorkerAgent:
                 )
             time.sleep(self.poll_interval)
 
+    def _serve_peer(self) -> None:
+        """Start this worker's peer endpoint before reporting in."""
+        if self.peer_host is None:
+            return
+        self._mailbox = RingMailbox(metrics=self.metrics)
+        core = ServerCore(
+            self._mailbox.handle,
+            node_id=f"{self.worker_id}/peer",
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        self.peer_addr = self.peer_host.serve(core, self.worker_id)
+
+    def _build_ring_node(self, spec: JobSpec) -> None:
+        if self.peer_host is None or not spec.ring_enabled:
+            return
+
+        def connect(addr: str):
+            return self.peer_host.connect(
+                addr,
+                node_id=self.worker_id,
+                fault_plan=self.peer_fault_plan,
+                ack_timeout=spec.ring_ack_timeout,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+
+        self._ring_node = RingNode(
+            self.worker_id,
+            self._mailbox,
+            connect,
+            bucket_bytes=spec.ring_bucket_bytes,
+            window=spec.ring_window,
+            step_timeout=spec.ring_step_timeout,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            fail_at=self.ring_fail_at,
+        )
+
+    def _install_ring(self, ring: "dict | None") -> None:
+        if ring and self._ring_node is not None:
+            self._ring_node.install(ring)
+
+    def _ring_epoch(self) -> int:
+        """The generation of the currently installed ring (-1 if none)."""
+        node = self._ring_node
+        if node is None or node.ring is None:
+            return -1
+        return node.ring["epoch"]
+
+    def _star_sync(
+        self,
+        spec: JobSpec,
+        generation: int,
+        iteration: int,
+        grads: "dict | None",
+        ring_fallback: bool = False,
+    ) -> "dict | None":
+        payload = {
+            "generation": generation,
+            "iteration": iteration,
+            "grads": grads,
+        }
+        if ring_fallback:
+            payload["ring_fallback"] = True
+        return self.link.request(
+            MessageType.SYNC, payload, ack_timeout=spec.sync_ack_timeout
+        ).get("grads")
+
+    def _ring_recover(
+        self,
+        spec: JobSpec,
+        generation: int,
+        iteration: int,
+        grads: "dict | None",
+    ) -> "dict | None":
+        """After a ring abort: repair from a completed peer, else star.
+
+        Polls every other member's iteration state.  Any peer reporting
+        ``done`` serves its cached (bit-exact) mean; the star retry only
+        runs once *no* peer can still complete — peers still ``running``
+        are given until the allreduce timeout, so a partial-star
+        deadlock (some members at the AM barrier, others finishing the
+        ring) cannot happen.
+        """
+        node = self._ring_node
+        peers = [w for w in node.ring["order"] if w != self.worker_id]
+        deadline = time.monotonic() + spec.allreduce_timeout
+        while True:
+            undecided = False
+            for peer in peers:
+                try:
+                    reply = node.fetch_peer_state(peer, generation, iteration)
+                except Exception:
+                    continue  # unreachable counts as unable to complete
+                state = reply.get("state")
+                if state == "done" and reply.get("grads") is not None:
+                    self.ring_repairs += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("net.allreduce.repairs").inc()
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "net.allreduce.repair", track=self.worker_id,
+                            iteration=iteration, peer=peer,
+                        )
+                    return {
+                        name: np.array(array)
+                        for name, array in reply["grads"].items()
+                    }
+                if state not in ("degraded",):
+                    undecided = True
+            if not undecided or time.monotonic() >= deadline:
+                break
+            time.sleep(self.poll_interval)
+        self.ring_fallbacks += 1
+        return self._star_sync(
+            spec, generation, iteration, grads, ring_fallback=True
+        )
+
     def run(self) -> dict:
         """Execute the job to completion; returns a result summary."""
+        self._serve_peer()
+        try:
+            return self._run()
+        finally:
+            if self._ring_node is not None:
+                self._ring_node.close()
+            if self.peer_host is not None and self.peer_addr is not None:
+                self.peer_host.release(self.peer_addr)
+
+    def _run(self) -> dict:
         admission = self._join()
         spec = JobSpec.from_payload(admission["spec"])
         group = list(admission["group"])
         generation = int(admission["generation"])
         start_iteration = int(admission["iteration"])
         self.joined_at = start_iteration
+        self._build_ring_node(spec)
+        self._install_ring(admission.get("ring"))
 
         dataset = make_classification(
             train_size=spec.train_size,
@@ -131,8 +290,13 @@ class WorkerAgent:
             at_boundary = iteration % spec.coordination_interval == 0
             if at_boundary and iteration != start_iteration:
                 directive = self.link.request(
-                    MessageType.COORDINATE, {"iteration": iteration}
+                    MessageType.COORDINATE,
+                    {
+                        "iteration": iteration,
+                        "ring_epoch": self._ring_epoch(),
+                    },
                 )
+                self._install_ring(directive.get("ring"))
                 if directive["kind"] == "adjust":
                     if directive.get("upload"):
                         # Stream the snapshot through the chunked data
@@ -180,15 +344,36 @@ class WorkerAgent:
                     dataset.train_x[indices],
                     dataset.train_y[indices],
                 )
-            averaged = self.link.request(
-                MessageType.SYNC,
-                {
-                    "generation": generation,
-                    "iteration": iteration,
-                    "grads": grads,
-                },
-                ack_timeout=spec.sync_ack_timeout,
-            ).get("grads")
+            node = self._ring_node
+            # The final iteration always rides the star: it doubles as
+            # the job's closing barrier, so no replica can exit while a
+            # degraded peer still needs a completer's cached mean.
+            if (
+                node is not None
+                and node.active(generation, iteration)
+                and iteration + 1 < spec.iterations
+            ):
+                # Ring members always contribute concretely — an empty
+                # shard becomes explicit zeros so every rank's layout
+                # (and the /N divisor) agrees.
+                ring_grads = grads or {
+                    name: np.zeros_like(array)
+                    for name, array in params.items()
+                }
+                try:
+                    averaged = node.allreduce(
+                        generation, iteration, ring_grads
+                    )
+                    self.ring_iterations += 1
+                except RingDegraded:
+                    averaged = self._ring_recover(
+                        spec, generation, iteration, grads
+                    )
+            else:
+                averaged = self._star_sync(
+                    spec, generation, iteration, grads
+                )
+                self.star_iterations += 1
             if averaged:
                 optimizer.step(params, averaged)
             if self.tracer is not None:
@@ -212,4 +397,8 @@ class WorkerAgent:
             "joined_at": self.joined_at,
             "removed": self.removed,
             "digest": self.final_digest,
+            "ring_iterations": self.ring_iterations,
+            "star_iterations": self.star_iterations,
+            "ring_repairs": self.ring_repairs,
+            "ring_fallbacks": self.ring_fallbacks,
         }

@@ -1,0 +1,620 @@
+"""Decentralized bucketized ring allreduce over worker-peer links.
+
+The star rendezvous (every worker posts its gradient to the AM and
+waits for the server-computed mean) costs ``2·N·S`` bytes through the
+AM per iteration and one blocked reader thread per member.  This module
+moves the gradient hot path onto direct worker↔worker links: the
+classic two-phase ring — reduce-scatter then all-gather — over
+fixed-size, element-aligned buckets, pipelined with a bounded in-flight
+window (mirroring :mod:`repro.net.chunks`).
+
+Bit-identity with the star path
+-------------------------------
+
+IEEE float addition is commutative but *not* associative, so "the same
+mean" is only bit-reproducible if both planes add contributions in the
+same association order.  The ring fixes that order per partition ``p``:
+its reduction arc visits ranks ``p, p+1, …, p+N-1`` (mod N), i.e.
+
+    ((c_p + c_{p+1}) + c_{p+2}) … + c_{p+N-1}) / N
+
+:func:`ring_reference_average` replays exactly that association on a
+single node.  A ring-enabled AM uses it for every star-served iteration
+(pre-activation and degraded fallback), so whichever plane an iteration
+takes, every replica applies bit-identical updates.
+
+Degradation
+-----------
+
+Any ring abort — peer timeout, connection reset exhausting the resend
+budget, generation bump — surfaces as :class:`RingDegraded`.  The
+degraded mark is one-way per ``(generation, iteration)``: a worker that
+raised never completes that ring, so peers polling its state converge.
+The caller (the worker agent) then repairs from a peer that *did*
+complete (fetching its cached mean) or, when every peer degraded,
+retries the iteration through the star path — exactly-once either way.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+import typing
+
+import numpy as np
+
+from ..coordination.messages import Message, MessageType
+
+#: default ring bucket size (bytes); small enough to pipeline, large
+#: enough that per-message overhead stays negligible.
+DEFAULT_RING_BUCKET_BYTES = 64 * 1024
+
+#: consecutive degraded iterations after which a node stops attempting
+#: the ring until the next install (a persistently broken mesh would
+#: otherwise pay the step timeout every single iteration).
+MAX_RING_STRIKES = 5
+
+
+class RingDegraded(RuntimeError):
+    """The ring aborted this iteration; retry via repair or star."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Slice:
+    """A contiguous element range of one (flattened) parameter."""
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def elements(self) -> int:
+        return self.stop - self.start
+
+
+def partition_layout(
+    items: "typing.Sequence[tuple[str, int, int]]", parts: int
+) -> "list[list[Slice]]":
+    """Split a parameter list into ``parts`` byte-balanced partitions.
+
+    ``items`` is an ordered ``(name, elements, itemsize)`` sequence.
+    Element ``e`` of the parameter starting at global byte offset ``g``
+    belongs to partition ``((g + e·itemsize) · parts) // total_bytes``
+    — a monotone, element-aligned, exact partition of the flattened
+    parameter space that every rank computes identically from the spec
+    alone (no negotiation message needed).
+    """
+    partitions: "list[list[Slice]]" = [[] for _ in range(parts)]
+    total = sum(elements * itemsize for _, elements, itemsize in items)
+    if total == 0:
+        return partitions
+    offset = 0  # global byte offset of the current parameter
+    for name, elements, itemsize in items:
+        start = 0
+        while start < elements:
+            part = ((offset + start * itemsize) * parts) // total
+            # Smallest e with (offset + e·itemsize)·parts >= (part+1)·total
+            # is the first element of the next partition.
+            numer = (part + 1) * total - offset * parts
+            denom = itemsize * parts
+            stop = min(elements, (numer + denom - 1) // denom)
+            partitions[part].append(Slice(name, start, stop))
+            start = stop
+        offset += elements * itemsize
+    return partitions
+
+
+def bucketize(
+    slices: "typing.Sequence[Slice]",
+    itemsizes: "typing.Mapping[str, int]",
+    bucket_bytes: int,
+) -> "list[list[Slice]]":
+    """Cut one partition's slices into element-aligned buckets.
+
+    Greedy fill up to ``bucket_bytes`` per bucket; a slice larger than
+    the budget is split, and an element wider than the whole budget
+    still travels (one element per bucket) rather than failing.
+    """
+    buckets: "list[list[Slice]]" = []
+    current: "list[Slice]" = []
+    used = 0
+    for piece in slices:
+        itemsize = itemsizes[piece.name]
+        start = piece.start
+        while start < piece.stop:
+            room = (bucket_bytes - used) // itemsize
+            if room <= 0:
+                if current:
+                    buckets.append(current)
+                    current, used = [], 0
+                room = max(1, bucket_bytes // itemsize)
+            take = min(piece.stop - start, room)
+            current.append(Slice(piece.name, start, start + take))
+            start += take
+            used += take * itemsize
+    if current:
+        buckets.append(current)
+    return buckets
+
+
+class RingLayout:
+    """Deterministic partition/bucket geometry shared by every rank.
+
+    Derived purely from the parameter shapes (sorted by name), the ring
+    size and the bucket budget — so N processes compute identical
+    layouts without exchanging a byte.
+    """
+
+    def __init__(
+        self,
+        params: "typing.Mapping[str, np.ndarray]",
+        members: int,
+        bucket_bytes: int = DEFAULT_RING_BUCKET_BYTES,
+    ):
+        self.members = members
+        self.names = sorted(params)
+        self.items = [
+            (name, int(params[name].size), int(params[name].dtype.itemsize))
+            for name in self.names
+        ]
+        self.itemsizes = {name: size for name, _, size in self.items}
+        self.total_bytes = sum(e * i for _, e, i in self.items)
+        self.partitions = partition_layout(self.items, members)
+        self.buckets = [
+            bucketize(slices, self.itemsizes, bucket_bytes)
+            for slices in self.partitions
+        ]
+
+    @staticmethod
+    def flat(array: np.ndarray) -> np.ndarray:
+        """The 1-D view slices index into (copy only if non-contiguous)."""
+        return array.reshape(-1)
+
+    def views(
+        self,
+        arrays: "typing.Mapping[str, np.ndarray]",
+        bucket: "typing.Sequence[Slice]",
+    ) -> "list[np.ndarray]":
+        """Zero-copy flat views of one bucket's slices."""
+        return [
+            self.flat(arrays[piece.name])[piece.start:piece.stop]
+            for piece in bucket
+        ]
+
+    def partition_bytes(self, part: int) -> int:
+        return sum(
+            piece.elements * self.itemsizes[piece.name]
+            for piece in self.partitions[part]
+        )
+
+
+def ring_reference_average(
+    contributions: "typing.Sequence[typing.Mapping[str, np.ndarray]]",
+) -> "dict[str, np.ndarray]":
+    """The mean a healthy ring over ``contributions`` would compute.
+
+    ``contributions`` must be ordered by ring rank (the group order the
+    AM distributes).  Partition ``p``'s arc starts at rank ``p`` and
+    accumulates one hop at a time — the same ufunc calls, operand order
+    and division the distributed path performs, so the result is
+    bit-identical to every ring member's.  The divisor is always the
+    member count (absent members contribute zeros upstream).
+    """
+    members = len(contributions)
+    if members == 0:
+        raise ValueError("no gradients to average")
+    base = contributions[0]
+    # One bucket per partition: only the partition geometry matters here.
+    layout = RingLayout(base, members, bucket_bytes=2**62)
+    out = {name: np.empty_like(np.asarray(base[name])) for name in base}
+    for part, slices in enumerate(layout.partitions):
+        for piece in slices:
+            acc = np.array(
+                RingLayout.flat(np.asarray(contributions[part][piece.name]))[
+                    piece.start:piece.stop
+                ]
+            )
+            for hop in range(1, members):
+                contribution = RingLayout.flat(
+                    np.asarray(
+                        contributions[(part + hop) % members][piece.name]
+                    )
+                )[piece.start:piece.stop]
+                # The ring accumulates np.add(received, local): the
+                # partial arc is the left operand at every hop.
+                acc = np.add(acc, contribution)
+            RingLayout.flat(out[piece.name])[piece.start:piece.stop] = (
+                np.true_divide(acc, members)
+            )
+    return out
+
+
+class RingMailbox:
+    """Thread-safe segment inbox + per-iteration ring state machine.
+
+    Peer server threads deposit ``RING_SEGMENT`` payloads; the compute
+    thread collects them by key.  The mailbox also answers peers'
+    ``RING_FETCH`` probes: per ``(generation, iteration)`` a ring run is
+    ``running``, ``done`` (mean cached) or ``degraded`` — ``done`` and
+    ``degraded`` are terminal, which is what makes the fallback protocol
+    converge.  Only the *latest* completed mean is cached: lockstep
+    bounds the spread to one iteration, and a peer cannot finish
+    iteration ``k+1`` (overwriting the cache) until every repairing
+    member of iteration ``k`` has caught up.
+    """
+
+    def __init__(self, metrics: "typing.Any | None" = None):
+        self.metrics = metrics
+        self._cond = threading.Condition()
+        self._deposits: "dict[tuple, list]" = {}
+        self._status: "dict[tuple, str]" = {}
+        self._floor: "tuple | None" = None
+        self._mean_key: "tuple | None" = None
+        self._mean: "dict[str, np.ndarray] | None" = None
+
+    # -- compute-thread side ---------------------------------------------------
+
+    def begin(self, generation: int, iteration: int) -> None:
+        """Open a ring run; GC segments/states this rank moved past."""
+        key = (generation, iteration)
+        with self._cond:
+            self._floor = key
+            self._status[key] = "running"
+            self._deposits = {
+                k: v for k, v in self._deposits.items() if k[:2] >= key
+            }
+            self._status = {
+                k: v
+                for k, v in self._status.items()
+                if k >= (generation, iteration - 1)
+            }
+
+    def collect(self, key: tuple, timeout: float) -> "list | None":
+        """Pop one deposited segment, waiting up to ``timeout``."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while key not in self._deposits:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._deposits.pop(key)
+
+    def complete(
+        self, generation: int, iteration: int,
+        mean: "dict[str, np.ndarray]",
+    ) -> None:
+        with self._cond:
+            self._status[(generation, iteration)] = "done"
+            self._mean_key = (generation, iteration)
+            self._mean = mean
+
+    def degrade(self, generation: int, iteration: int) -> None:
+        with self._cond:
+            self._status[(generation, iteration)] = "degraded"
+
+    # -- peer-server side ------------------------------------------------------
+
+    def deposit(self, key: tuple, data: "list") -> bool:
+        """Store one inbound segment; False if this rank moved past it."""
+        with self._cond:
+            if self._floor is not None and key[:2] < self._floor:
+                return False
+            self._deposits[key] = data
+            self._cond.notify_all()
+            return True
+
+    def peer_state(
+        self, generation: int, iteration: int
+    ) -> "tuple[str, dict | None]":
+        """(state, cached mean) for one iteration, for ``RING_FETCH``."""
+        key = (generation, iteration)
+        with self._cond:
+            if self._mean_key == key:
+                return "done", self._mean
+            return self._status.get(key, "unknown"), None
+
+    def handle(self, message: Message) -> dict:
+        """The peer ``ServerCore`` handler (dedup'd, exactly-once)."""
+        payload = message.payload
+        if message.msg_type is MessageType.RING_SEGMENT:
+            key = (
+                int(payload["generation"]),
+                int(payload["iteration"]),
+                str(payload["phase"]),
+                int(payload["step"]),
+                int(payload["bucket"]),
+            )
+            # Copy: over the in-memory transport the arrays alias the
+            # sender's live scratch (TCP delivers read-only frombuffer
+            # views); the accumulate step needs stable, owned data.
+            data = [np.array(array) for array in payload["data"]]
+            if self.metrics is not None:
+                self.metrics.counter("net.allreduce.segments_received").inc()
+                self.metrics.counter("net.allreduce.bytes_received").inc(
+                    sum(array.nbytes for array in data)
+                )
+            accepted = self.deposit(key, data)
+            return {"ok": True, "stale": not accepted}
+        if message.msg_type is MessageType.RING_FETCH:
+            state, mean = self.peer_state(
+                int(payload["generation"]), int(payload["iteration"])
+            )
+            reply: dict = {"state": state}
+            if mean is not None:
+                reply["grads"] = mean
+            return reply
+        raise ValueError(f"unexpected peer message {message.msg_type!r}")
+
+
+@contextlib.contextmanager
+def _maybe_span(tracer, name: str, track: str, **args):
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, track=track, cat="net", **args) as span:
+        yield span
+
+
+class RingNode:
+    """One rank of the ring: owns the peer links and runs the algorithm.
+
+    ``connect`` is a callable ``addr -> ReliableLink`` (supplied by the
+    peer host), so the node itself is transport-agnostic.  Links are
+    cached per address and reused across generations when the address
+    survives the reshuffle.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        mailbox: RingMailbox,
+        connect: "typing.Callable[[str], typing.Any]",
+        bucket_bytes: int = DEFAULT_RING_BUCKET_BYTES,
+        window: int = 4,
+        step_timeout: float = 2.0,
+        tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
+        fail_at: "typing.Collection[int]" = (),
+    ):
+        self.worker_id = worker_id
+        self.mailbox = mailbox
+        self._connect = connect
+        self.bucket_bytes = bucket_bytes
+        self.window = max(1, window)
+        self.step_timeout = step_timeout
+        self.tracer = tracer
+        self.metrics = metrics
+        #: test knob: iterations at which this node aborts its ring
+        #: before participating (deterministic degradation injection).
+        self.fail_at = frozenset(fail_at)
+        self.ring: "dict | None" = None
+        self.strikes = 0
+        self._links: "dict[str, typing.Any]" = {}
+        self._lock = threading.Lock()
+
+    # -- membership ------------------------------------------------------------
+
+    def install(self, ring: "dict") -> None:
+        """Adopt a generation's ring (order, peer addresses, epoch)."""
+        self.ring = {
+            "epoch": int(ring["epoch"]),
+            "order": list(ring["order"]),
+            "peers": dict(ring["peers"]),
+            "active_from": int(ring["active_from"]),
+        }
+        self.strikes = 0
+
+    def active(self, generation: int, iteration: int) -> bool:
+        """Should this iteration's gradients take the ring plane?"""
+        ring = self.ring
+        return (
+            ring is not None
+            and ring["epoch"] == generation
+            and iteration >= ring["active_from"]
+            and len(ring["order"]) > 1
+            and self.worker_id in ring["order"]
+            and self.strikes < MAX_RING_STRIKES
+        )
+
+    def _link_to(self, peer: str):
+        addr = self.ring["peers"][peer]
+        with self._lock:
+            link = self._links.get(addr)
+            if link is None:
+                link = self._links[addr] = self._connect(addr)
+            return link
+
+    def close(self) -> None:
+        with self._lock:
+            links, self._links = list(self._links.values()), {}
+        for link in links:
+            try:
+                link.close()
+            except Exception:
+                pass
+
+    # -- the collective --------------------------------------------------------
+
+    def allreduce(
+        self,
+        generation: int,
+        iteration: int,
+        grads: "typing.Mapping[str, np.ndarray]",
+    ) -> "dict[str, np.ndarray]":
+        """Reduce-scatter + all-gather; returns the bit-exact mean.
+
+        Raises :class:`RingDegraded` (after marking the iteration
+        degraded, so peers' probes converge) on any abort.
+        """
+        ring = self.ring
+        order = ring["order"]
+        members = len(order)
+        rank = order.index(self.worker_id)
+        successor = order[(rank + 1) % members]
+        layout = RingLayout(grads, members, self.bucket_bytes)
+        self.mailbox.begin(generation, iteration)
+        if iteration in self.fail_at:
+            self.mailbox.degrade(generation, iteration)
+            self.strikes += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.allreduce.degraded").inc()
+            raise RingDegraded(
+                f"{self.worker_id} injected ring failure at {iteration}"
+            )
+        # Working copy: the pristine ``grads`` stay untouched for the
+        # star fallback; ``scratch`` becomes the mean in place.
+        scratch = {name: np.array(grads[name]) for name in grads}
+        started = time.perf_counter()
+        try:
+            with _maybe_span(
+                self.tracer, "net.allreduce", self.worker_id,
+                generation=generation, iteration=iteration, members=members,
+                bytes=layout.total_bytes,
+            ):
+                with _maybe_span(
+                    self.tracer, "net.allreduce.reduce_scatter",
+                    self.worker_id, hops=members - 1,
+                    bytes=layout.total_bytes,
+                ):
+                    for step in range(members - 1):
+                        self._step(
+                            generation, iteration, "rs", step,
+                            send_part=(rank - step) % members,
+                            recv_part=(rank - step - 1) % members,
+                            layout=layout, scratch=scratch,
+                            successor=successor, accumulate=True,
+                        )
+                    # This rank now owns partition (rank+1): divide it
+                    # to the mean before gathering it back around.
+                    for piece in layout.partitions[(rank + 1) % members]:
+                        view = RingLayout.flat(scratch[piece.name])[
+                            piece.start:piece.stop
+                        ]
+                        np.true_divide(view, members, out=view)
+                with _maybe_span(
+                    self.tracer, "net.allreduce.all_gather",
+                    self.worker_id, hops=members - 1,
+                    bytes=layout.total_bytes,
+                ):
+                    for step in range(members - 1):
+                        self._step(
+                            generation, iteration, "ag", step,
+                            send_part=(rank + 1 - step) % members,
+                            recv_part=(rank - step) % members,
+                            layout=layout, scratch=scratch,
+                            successor=successor, accumulate=False,
+                        )
+        except RingDegraded:
+            self.mailbox.degrade(generation, iteration)
+            self.strikes += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.allreduce.degraded").inc()
+            raise
+        self.mailbox.complete(generation, iteration, scratch)
+        self.strikes = 0
+        if self.metrics is not None:
+            self.metrics.counter("net.allreduce.count").inc()
+            self.metrics.histogram("net.allreduce.seconds").observe(
+                time.perf_counter() - started
+            )
+        return scratch
+
+    def _step(
+        self, generation, iteration, phase, step, send_part, recv_part,
+        layout, scratch, successor, accumulate,
+    ) -> None:
+        """One ring hop: pump this step's buckets to the successor with
+        a bounded in-flight window while collecting the predecessor's.
+
+        Send failures do *not* degrade this rank — its own result only
+        depends on what it receives; a successor that missed data will
+        degrade itself and repair from whoever completed.  Only a
+        receive timeout aborts.
+        """
+        send_buckets = layout.buckets[send_part]
+        recv_buckets = layout.buckets[recv_part]
+        pump_done = threading.Event()
+
+        def ship(index: int, bucket) -> None:
+            try:
+                data = layout.views(scratch, bucket)
+                self._link_to(successor).request(
+                    MessageType.RING_SEGMENT,
+                    {
+                        "generation": generation,
+                        "iteration": iteration,
+                        "phase": phase,
+                        "step": step,
+                        "part": send_part,
+                        "bucket": index,
+                        "data": data,
+                    },
+                    ack_timeout=None,
+                )
+                if self.metrics is not None:
+                    self.metrics.counter("net.allreduce.segments_sent").inc()
+                    self.metrics.counter("net.allreduce.bytes_sent").inc(
+                        sum(view.nbytes for view in data)
+                    )
+            except Exception:
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "net.allreduce.send_failures"
+                    ).inc()
+            finally:
+                window.release()
+
+        window = threading.BoundedSemaphore(self.window)
+
+        def pump() -> None:
+            try:
+                for index, bucket in enumerate(send_buckets):
+                    window.acquire()
+                    threading.Thread(
+                        target=ship, args=(index, bucket),
+                        name=f"ring-send-{self.worker_id}", daemon=True,
+                    ).start()
+            finally:
+                pump_done.set()
+
+        pumper = threading.Thread(
+            target=pump, name=f"ring-pump-{self.worker_id}", daemon=True
+        )
+        pumper.start()
+        for index, bucket in enumerate(recv_buckets):
+            data = self.mailbox.collect(
+                (generation, iteration, phase, step, index),
+                self.step_timeout,
+            )
+            if data is None:
+                raise RingDegraded(
+                    f"{self.worker_id} timed out waiting for "
+                    f"{phase} step {step} bucket {index} of iteration "
+                    f"{iteration} (generation {generation})"
+                )
+            for piece, received in zip(bucket, data):
+                view = RingLayout.flat(scratch[piece.name])[
+                    piece.start:piece.stop
+                ]
+                if accumulate:
+                    # np.add(received, local): the arriving partial arc
+                    # is the left operand — the association the
+                    # reference average replays.
+                    view[:] = np.add(received, view)
+                else:
+                    view[:] = received
+        pump_done.wait()
+
+    # -- degraded-path probes --------------------------------------------------
+
+    def fetch_peer_state(
+        self, peer: str, generation: int, iteration: int
+    ) -> dict:
+        """One ``RING_FETCH`` probe of a peer's iteration state."""
+        return self._link_to(peer).request(
+            MessageType.RING_FETCH,
+            {"generation": generation, "iteration": iteration},
+        )

@@ -35,9 +35,11 @@ class MultiprocessElasticJob:
         initial_workers: typing.Sequence[str],
         host: str = "127.0.0.1",
         tracer: "typing.Any | None" = None,
+        worker_trace_dir: "str | None" = None,
     ):
         self.spec = spec
         self.host = host
+        self.worker_trace_dir = worker_trace_dir
         self.master = NetworkedApplicationMaster(
             spec, initial_workers, tracer=tracer
         )
@@ -48,11 +50,19 @@ class MultiprocessElasticJob:
 
     # -- worker processes -------------------------------------------------------
 
+    def worker_trace_path(self, worker_id: str) -> "str | None":
+        """Where ``worker_id``'s Chrome trace lands (if collecting)."""
+        if self.worker_trace_dir is None:
+            return None
+        return os.path.join(self.worker_trace_dir, f"{worker_id}.json")
+
     def _worker_command(
         self,
         worker_id: str,
         reset_at: typing.Sequence[int] = (),
         drop_every: int = 0,
+        peer_reset_at: typing.Sequence[int] = (),
+        ring_fail_at: typing.Sequence[int] = (),
     ) -> "list[str]":
         command = [
             sys.executable, "-m", "repro.cli", "join",
@@ -63,6 +73,15 @@ class MultiprocessElasticJob:
             command += ["--reset-at", str(send_index)]
         if drop_every:
             command += ["--drop-every", str(drop_every)]
+        for send_index in peer_reset_at:
+            command += ["--peer-reset-at", str(send_index)]
+        for iteration in ring_fail_at:
+            command += ["--ring-fail-at", str(iteration)]
+        if not self.spec.ring_enabled:
+            command += ["--no-ring"]
+        trace_path = self.worker_trace_path(worker_id)
+        if trace_path:
+            command += ["--trace", trace_path]
         return command
 
     def spawn(
@@ -70,12 +89,16 @@ class MultiprocessElasticJob:
         worker_id: str,
         reset_at: typing.Sequence[int] = (),
         drop_every: int = 0,
+        peer_reset_at: typing.Sequence[int] = (),
+        ring_fail_at: typing.Sequence[int] = (),
     ) -> subprocess.Popen:
         """Start one worker process pointed at this job's AM.
 
         ``reset_at``/``drop_every`` inject that worker's deterministic
-        :class:`~repro.coordination.faults.FaultPlan` via CLI flags, so
-        chaos runs exercise a real process's real connection.
+        :class:`~repro.coordination.faults.FaultPlan` via CLI flags
+        (``peer_reset_at`` afflicts its ring peer links instead of the
+        AM link; ``ring_fail_at`` aborts its ring at those iterations),
+        so chaos runs exercise a real process's real connections.
         """
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(repro.__file__))
@@ -86,7 +109,8 @@ class MultiprocessElasticJob:
         )
         process = subprocess.Popen(
             self._worker_command(
-                worker_id, reset_at=reset_at, drop_every=drop_every
+                worker_id, reset_at=reset_at, drop_every=drop_every,
+                peer_reset_at=peer_reset_at, ring_fail_at=ring_fail_at,
             ),
             env=env,
             stdout=subprocess.PIPE,

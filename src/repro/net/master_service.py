@@ -49,7 +49,9 @@ from ..topology.builder import ServerSpec, build_node
 from ..topology.tree import DeviceKind, TopologyNode
 from ..training.nn import average_gradients
 from .chunks import DEFAULT_CHUNK_BYTES, ChunkStore, _digest
+from .collective import ring_reference_average
 from .transport import ServerCore
+from .wire import payload_nbytes
 
 
 @dataclasses.dataclass(frozen=True)
@@ -95,6 +97,34 @@ class JobSpec:
     #: 1 = strictly serial (chaos tests use this to aim faults at exact
     #: chunk indices).
     replication_window: int = 4
+    #: gradient plane: True routes per-iteration gradients over the
+    #: decentralized ring (direct worker-peer links) once every member
+    #: of a generation has a peer address; the star rendezvous stays as
+    #: the pre-activation / degraded fallback path.  Workers without a
+    #: peer host simply keep the whole job on the star path.
+    ring_enabled: bool = True
+    #: ring bucket size (bytes, element-aligned); one RING_SEGMENT per
+    #: bucket per hop.
+    ring_bucket_bytes: int = 64 * 1024
+    #: in-flight segment window per ring hop (mirrors
+    #: ``replication_window``).
+    ring_window: int = 4
+    #: how long a rank waits for one expected segment before declaring
+    #: the ring degraded and falling back.
+    ring_step_timeout: float = 2.0
+    #: peer-link ack timeout (resend cadence between ring neighbours).
+    ring_ack_timeout: float = 0.5
+
+    @property
+    def reply_wait(self) -> float:
+        """Server-side wait for a duplicate of an in-flight request.
+
+        Derived, not configured: a retransmission must be willing to
+        wait out the longest legitimately-blocking handler — the sync
+        rendezvous (``allreduce_timeout``) — plus slack, so the two
+        timeouts cannot silently diverge.
+        """
+        return self.allreduce_timeout + 5.0
 
     def per_worker_batch(self, group_size: int) -> int:
         """Strong scaling: the total batch is split across the group."""
@@ -133,7 +163,7 @@ class _CommitPlan:
     __slots__ = (
         "generation", "commit_iteration", "old_group", "new_group",
         "add_workers", "uploader", "snapshot", "acked", "requested_at",
-        "transfer_id",
+        "transfer_id", "ring",
     )
 
     def __init__(self, generation, commit_iteration, old_group, new_group,
@@ -154,6 +184,9 @@ class _CommitPlan:
         #: set once a chunked upload for this plan completed (the
         #: monolithic legacy path leaves it None).
         self.transfer_id: "str | None" = None
+        #: the new generation's ring (order + peer addresses), frozen at
+        #: mint time so every directive and offer ships the same mesh.
+        self.ring: "dict | None" = None
 
 
 class _Download:
@@ -277,6 +310,8 @@ class NetworkedApplicationMaster:
         self._pending_request_at: "float | None" = None
         self._barriers: "dict[tuple, _SyncBarrier]" = {}
         self._join_offers: "dict[str, dict]" = {}
+        #: worker id -> advertised peer-mesh address (from JOIN polls).
+        self._peer_addrs: "dict[str, str]" = {}
         self._final: "dict[str, dict]" = {}
         self._departed: "dict[str, dict]" = {}
         self._latest_sync_iteration = 0
@@ -286,7 +321,7 @@ class NetworkedApplicationMaster:
         self._downloads: "dict[str, _Download]" = {}
         self.core = ServerCore(
             handler=self.handle, node_id="am", tracer=tracer,
-            reply_wait=spec.allreduce_timeout + 5.0,
+            reply_wait=spec.reply_wait,
             metrics=self.metrics,
         )
         self._server = None
@@ -319,9 +354,12 @@ class NetworkedApplicationMaster:
         payload = message.payload
         worker = message.sender
         if message.msg_type is MessageType.JOIN:
-            return self._handle_join(worker)
+            return self._handle_join(worker, payload)
         if message.msg_type is MessageType.COORDINATE:
-            return self._handle_coordinate(worker, int(payload["iteration"]))
+            return self._handle_coordinate(
+                worker, int(payload["iteration"]),
+                ring_epoch=payload.get("ring_epoch"),
+            )
         if message.msg_type is MessageType.SYNC:
             return self._handle_sync(worker, payload)
         if message.msg_type is MessageType.STATE_UPLOAD:
@@ -340,8 +378,14 @@ class NetworkedApplicationMaster:
 
     # -- step 2: joining -------------------------------------------------------
 
-    def _handle_join(self, worker: str) -> dict:
+    def _handle_join(self, worker: str, payload: "dict | None" = None) -> dict:
         with self._lock:
+            # Record the worker's peer-mesh address first: by the time a
+            # commit plan is minted every reported joiner has polled at
+            # least once, so the frozen ring payload is never partial.
+            peer = (payload or {}).get("peer")
+            if peer:
+                self._peer_addrs[worker] = str(peer)
             # Consume the offer: a retransmission of this very poll is
             # answered from the ServerCore reply cache, and the offer
             # must not survive to be replayed — stale generation, stale
@@ -361,7 +405,7 @@ class NetworkedApplicationMaster:
                 if offer["generation"] == current:
                     return offer
             # Initial workers start from scratch at iteration 0.
-            if worker in self._groups[0] and self._generation == 0:
+            if self._generation == 0 and worker in self._groups[0]:
                 return {
                     "status": "start",
                     "spec": self.spec.to_payload(),
@@ -377,11 +421,34 @@ class NetworkedApplicationMaster:
 
     # -- step 3: boundary coordination ----------------------------------------
 
-    def _handle_coordinate(self, worker: str, iteration: int) -> dict:
+    def _handle_coordinate(
+        self, worker: str, iteration: int,
+        ring_epoch: "int | None" = None,
+    ) -> dict:
         with self._lock:
+            # With the ring plane active the AM no longer sees
+            # per-iteration syncs; boundary coordinates are its view of
+            # training progress.
+            self._latest_sync_iteration = max(
+                self._latest_sync_iteration, iteration
+            )
             directive = self.am.coordinate(worker, iteration)
             if directive.kind is DirectiveKind.CONTINUE:
-                return {"kind": "continue"}
+                reply = {"kind": "continue"}
+                # Piggyback the current generation's ring on boundary
+                # replies until the worker reports it installed; every
+                # member coordinating at this boundary receives the
+                # identical payload (same order, same activation), so
+                # the plane switches atomically at the boundary.
+                if ring_epoch != self._generation:
+                    ring = self._ring_payload(
+                        self._generation,
+                        self._groups[self._generation],
+                        active_from=iteration,
+                    )
+                    if ring is not None:
+                        reply["ring"] = ring
+                return reply
             if self._plan is None:
                 self._mint_plan(directive)
             plan = self._plan
@@ -393,8 +460,33 @@ class NetworkedApplicationMaster:
                 "commit_iteration": plan.commit_iteration,
                 "upload": worker == plan.uploader,
             }
+            if plan.ring is not None:
+                reply["ring"] = plan.ring
             self._maybe_finish()
             return reply
+
+    def _ring_payload(
+        self, generation: int, group: typing.Sequence[str],
+        active_from: int,
+    ) -> "dict | None":
+        """The ring installed for ``generation`` — or None if any
+        member lacks a peer address (the job then stays on the star
+        path; mixed planes within a generation are never distributed).
+        """
+        if not self.spec.ring_enabled or len(group) < 2:
+            return None
+        peers = {}
+        for member in group:
+            addr = self._peer_addrs.get(member)
+            if addr is None:
+                return None
+            peers[member] = addr
+        return {
+            "epoch": generation,
+            "order": list(group),
+            "peers": peers,
+            "active_from": int(active_from),
+        }
 
     def _mint_plan(self, directive) -> None:
         plan = _CommitPlan(
@@ -420,6 +512,17 @@ class NetworkedApplicationMaster:
         # the first survivor syncs at the commit boundary — which can
         # happen well before the adjustment finishes.
         self._groups[plan.generation] = plan.new_group
+        # Freeze the new generation's ring now: every joiner reported
+        # (scale-out plans are only minted after all reports, and a
+        # report is a JOIN poll that recorded the peer address), so the
+        # mesh is complete — and freezing means survivors' directives
+        # and joiners' offers all ship the identical ring.  The commit
+        # iteration itself still runs on the star path (activation is
+        # one past it), giving joiners the slack to fetch state.
+        plan.ring = self._ring_payload(
+            plan.generation, plan.new_group,
+            active_from=plan.commit_iteration + 1,
+        )
         if not plan.add_workers:
             # Nothing to replicate: joiner offers never materialize.
             plan.snapshot = {}
@@ -437,7 +540,34 @@ class NetworkedApplicationMaster:
         self._plan = None
         self._pending_request_at = None
         self.commit_latencies.append(time.perf_counter() - plan.requested_at)
+        self._drop_superseded_barriers()
+        # Membership of retired generations is dead weight: any sync
+        # for them is rejected by the generation guard anyway.
+        self._groups = {
+            g: grp for g, grp in self._groups.items()
+            if g >= self._generation
+        }
         self._check_complete()
+
+    def _drop_superseded_barriers(self) -> None:
+        """Release sync barriers stranded by the commit.
+
+        A barrier for a superseded generation can never complete (its
+        membership no longer syncs); without this it would pin its
+        gradient arrays and park its waiters for the full
+        ``allreduce_timeout``.  Waking them with a generation-changed
+        error turns a silent stall into an immediate, explicit signal.
+        """
+        for key in [k for k in self._barriers if k[0] < self._generation]:
+            barrier = self._barriers.pop(key)
+            if barrier.result is None:
+                barrier.result = {
+                    "__error__": (
+                        f"sync generation {key[0]} superseded by "
+                        f"generation {self._generation}"
+                    )
+                }
+            barrier.event.set()
 
     # -- step 4: state replication ---------------------------------------------
 
@@ -477,6 +607,7 @@ class NetworkedApplicationMaster:
                     "generation": plan.generation,
                     "iteration": plan.commit_iteration,
                     "state": plan.snapshot,
+                    **({"ring": plan.ring} if plan.ring else {}),
                 }
             self._maybe_finish()
         return {"ok": True}
@@ -523,6 +654,7 @@ class NetworkedApplicationMaster:
                     "generation": plan.generation,
                     "iteration": plan.commit_iteration,
                     "state_transfer": download.describe(transfer_id, joiner),
+                    **({"ring": plan.ring} if plan.ring else {}),
                 }
             if self.tracer is not None:
                 self.tracer.instant(
@@ -567,11 +699,25 @@ class NetworkedApplicationMaster:
         iteration = int(payload["iteration"])
         key = (generation, iteration)
         with self._lock:
+            if generation < self._generation:
+                # Lockstep means live members never sync a retired
+                # generation; anything arriving here is a straggler of
+                # a superseded incarnation and must not seed a barrier
+                # that can never complete.
+                raise KeyError(
+                    f"sync generation {generation} superseded by "
+                    f"generation {self._generation}"
+                )
             group = self._groups.get(generation)
             if group is None or worker not in group:
                 raise KeyError(
                     f"{worker!r} is not in generation {generation}"
                 )
+            self.metrics.counter("net.sync.grad_bytes").inc(
+                payload_nbytes(payload.get("grads"))
+            )
+            if payload.get("ring_fallback"):
+                self.metrics.counter("net.sync.ring_fallbacks").inc()
             barrier = self._barriers.get(key)
             if barrier is None:
                 barrier = self._barriers[key] = _SyncBarrier(group)
@@ -580,15 +726,8 @@ class NetworkedApplicationMaster:
                 self._latest_sync_iteration, iteration
             )
             if set(barrier.contributions) >= barrier.expected:
-                contributed = [
-                    grads
-                    for grads in barrier.contributions.values()
-                    if grads
-                ]
                 barrier.result = {
-                    "grads": average_gradients(contributed)
-                    if contributed
-                    else None,
+                    "grads": self._average(group, barrier.contributions),
                     "members": len(barrier.expected),
                 }
                 barrier.event.set()
@@ -606,7 +745,35 @@ class NetworkedApplicationMaster:
                 # barrier (and its gradient ndarrays) any longer would
                 # grow memory linearly with iterations run.
                 self._barriers.pop(key, None)
+        self.metrics.counter("net.sync.grad_bytes").inc(
+            payload_nbytes(result.get("grads"))
+        )
         return result
+
+    def _average(self, group: "tuple[str, ...]", contributions: dict):
+        """Average one barrier's gradients, matching the ring's order.
+
+        Ring-enabled jobs must get bit-identical means from both
+        planes, and IEEE float addition is not associative — so when
+        the ring is on, the AM replays the ring's exact reduction
+        (ring-order chained adds over zero-filled absentees) instead
+        of the naive sum.  Legacy star-only jobs keep the historical
+        ``average_gradients`` arithmetic.
+        """
+        concrete = [
+            grads for grads in contributions.values() if grads
+        ]
+        if not concrete:
+            return None
+        if not self.spec.ring_enabled:
+            return average_gradients(concrete)
+        template = concrete[0]
+        ordered = [
+            contributions.get(member) or
+            {name: np.zeros_like(arr) for name, arr in template.items()}
+            for member in group
+        ]
+        return ring_reference_average(ordered)
 
     # -- step 1: the scheduler/driver API ---------------------------------------
 

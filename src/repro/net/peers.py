@@ -1,0 +1,159 @@
+"""The worker-peer mesh: lightweight per-worker servers + links.
+
+Every :class:`~repro.net.agent.WorkerAgent` in a ring-enabled job runs
+one peer server (a plain :class:`~repro.net.transport.ServerCore`
+behind the shared dedup/resend recipe) and dials its ring successor
+through a :class:`~repro.net.transport.ReliableLink` — so the gradient
+plane inherits exactly the control plane's exactly-once guarantees:
+timeout-resend on the sender, ``(sender, msg_id)`` dedup on the
+receiver, reconnect-and-retransmit across connection resets, and the
+zero-copy binary frame path over TCP.
+
+A :class:`PeerHost` abstracts where peers live:
+
+* :class:`MemoryPeerHost` — one shared registry per job; addresses are
+  ``mem://<worker>`` and connecting builds an
+  :func:`~repro.net.transport.memory_link` to the registered core.
+  Threads-in-one-process tests use this.
+* :class:`TcpPeerHost` — each ``serve`` starts a
+  :class:`~repro.net.tcp.TcpServer` on an ephemeral loopback port;
+  addresses are ``tcp://host:port`` and connecting dials a
+  :func:`~repro.net.tcp.tcp_link` (binary frames negotiated, no
+  heartbeat thread — ring traffic is its own liveness signal).
+
+Addresses travel through the AM: a worker advertises its address in the
+``JOIN`` payload and the AM distributes the full ring (order + peer
+addresses + activation boundary) with the commit directive — see
+:mod:`repro.net.master_service`.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+from .transport import ServerCore, TransportClosed, memory_link
+
+
+class PeerHost(typing.Protocol):
+    """Where a worker serves its peer endpoint and dials others."""
+
+    def serve(self, core: ServerCore, worker_id: str) -> str:
+        """Start serving ``core``; returns the advertised address."""
+
+    def connect(self, addr: str, node_id: str, **kwargs):
+        """A :class:`ReliableLink` to the peer at ``addr``."""
+
+    def release(self, addr: str) -> None:
+        """Stop serving ``addr`` (worker shutdown)."""
+
+    def close(self) -> None:
+        """Tear down every endpoint this host started."""
+
+
+class MemoryPeerHost:
+    """In-process peer mesh: one shared instance per (test) job."""
+
+    def __init__(self):
+        self._registry: "dict[str, ServerCore]" = {}
+        self._lock = threading.Lock()
+
+    def serve(self, core: ServerCore, worker_id: str) -> str:
+        addr = f"mem://{worker_id}"
+        with self._lock:
+            # A restarted worker re-registers under the same address.
+            self._registry[addr] = core
+        return addr
+
+    def connect(
+        self,
+        addr: str,
+        node_id: str,
+        fault_plan=None,
+        ack_timeout: float = 0.5,
+        max_attempts: int = 10,
+        tracer=None,
+        metrics=None,
+    ):
+        with self._lock:
+            core = self._registry.get(addr)
+        if core is None:
+            raise TransportClosed(f"no peer serving {addr!r}")
+        return memory_link(
+            core, node_id, fault_plan=fault_plan, ack_timeout=ack_timeout,
+            max_attempts=max_attempts, tracer=tracer, metrics=metrics,
+        )
+
+    def release(self, addr: str) -> None:
+        with self._lock:
+            self._registry.pop(addr, None)
+
+    def close(self) -> None:
+        with self._lock:
+            self._registry.clear()
+
+
+class TcpPeerHost:
+    """Loopback-TCP peer mesh: one ephemeral listener per worker."""
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self.host = host
+        self._servers: "dict[str, typing.Any]" = {}
+        self._lock = threading.Lock()
+
+    def serve(self, core: ServerCore, worker_id: str) -> str:
+        from .tcp import TcpServer
+
+        server = TcpServer(
+            core, host=self.host, port=0, tracer=core.tracer,
+            metrics=core.metrics,
+        ).start()
+        addr = f"tcp://{server.host}:{server.port}"
+        with self._lock:
+            self._servers[addr] = server
+        return addr
+
+    def connect(
+        self,
+        addr: str,
+        node_id: str,
+        fault_plan=None,
+        ack_timeout: float = 0.5,
+        max_attempts: int = 10,
+        tracer=None,
+        metrics=None,
+    ):
+        from .tcp import tcp_link
+
+        host, port = parse_peer_addr(addr)
+        link, _transport = tcp_link(
+            host, port, node_id, fault_plan=fault_plan,
+            ack_timeout=ack_timeout, max_attempts=max_attempts,
+            tracer=tracer, metrics=metrics,
+            # Segment traffic is constant while the ring is healthy;
+            # a keep-alive thread per peer link would be pure overhead.
+            heartbeat_interval=None,
+        )
+        return link
+
+    def release(self, addr: str) -> None:
+        with self._lock:
+            server = self._servers.pop(addr, None)
+        if server is not None:
+            server.close()
+
+    def close(self) -> None:
+        with self._lock:
+            servers, self._servers = list(self._servers.values()), {}
+        for server in servers:
+            server.close()
+
+
+def parse_peer_addr(addr: str) -> "tuple[str, int]":
+    """``tcp://host:port`` -> ``(host, port)``."""
+    if not addr.startswith("tcp://"):
+        raise ValueError(f"not a tcp peer address: {addr!r}")
+    host, _, port = addr[len("tcp://"):].rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"malformed tcp peer address: {addr!r}")
+    return host, int(port)

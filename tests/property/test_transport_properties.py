@@ -6,6 +6,8 @@ every request the client considers answered was executed exactly once by
 the server, and the reply it got is the reply of *its* execution.
 """
 
+import threading
+
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,9 +17,14 @@ from repro.coordination.messages import Message, MessageType
 from repro.net import (
     ChunkedUploader,
     ChunkStore,
+    MemoryPeerHost,
+    RingDegraded,
+    RingMailbox,
+    RingNode,
     ServerCore,
     TcpServer,
     memory_link,
+    ring_reference_average,
     tcp_link,
 )
 
@@ -235,3 +242,105 @@ class TestChunkedTransferProperties:
         finally:
             link.close()
             server.close()
+
+
+ring_schedules = st.fixed_dictionaries(
+    {
+        "drop_every": st.sampled_from([0, 2, 3, 4, 5]),
+        "duplicate_every": st.integers(0, 5),
+        "resets": st.lists(st.integers(1, 40), max_size=3, unique=True),
+        "members": st.integers(2, 4),
+        "bucket_bytes": st.sampled_from([64, 256, 4096]),
+        "elements": st.integers(1, 120),
+        "seed": st.integers(0, 2**16),
+    }
+)
+
+
+class TestRingAllreduceProperties:
+    """PR-5: the ring gradient plane inherits exactly-once too.
+
+    Segments are ordinary reliable requests between peers, so under any
+    randomized drop/duplicate/reset schedule every rank either finishes
+    with the *bit-exact* reference mean or raises
+    :class:`RingDegraded` — never a silently wrong result — and no
+    duplicate segment is ever executed twice by a peer core.
+    """
+
+    @given(schedule=ring_schedules)
+    @settings(max_examples=25, deadline=None)
+    def test_exact_mean_or_explicit_degradation(self, schedule):
+        rng = np.random.default_rng(schedule["seed"])
+        workers = [f"w{i}" for i in range(schedule["members"])]
+        grads = {
+            w: {
+                "a": rng.standard_normal(schedule["elements"]),
+                "b": rng.standard_normal((3, 2)),
+            }
+            for w in workers
+        }
+        host = MemoryPeerHost()
+        # The chaos plan afflicts one member's outbound peer links.
+        plan = FaultPlan(
+            drop_every=schedule["drop_every"],
+            duplicate_every=schedule["duplicate_every"],
+            connection_resets=tuple(schedule["resets"]),
+        )
+        nodes, cores, addrs = {}, {}, {}
+        for worker in workers:
+            mailbox = RingMailbox()
+            core = cores[worker] = ServerCore(
+                mailbox.handle, node_id=f"{worker}/peer"
+            )
+            addrs[worker] = host.serve(core, worker)
+            faulty = plan if worker == workers[0] else None
+            connect = (
+                lambda addr, w=worker, p=faulty: host.connect(
+                    addr, node_id=w, fault_plan=p,
+                    ack_timeout=0.02, max_attempts=20,
+                )
+            )
+            nodes[worker] = RingNode(
+                worker, mailbox, connect,
+                bucket_bytes=schedule["bucket_bytes"], step_timeout=5.0,
+            )
+        ring = {
+            "epoch": 0, "order": workers, "peers": addrs, "active_from": 0,
+        }
+        results, errors = {}, {}
+
+        def run(worker):
+            nodes[worker].install(ring)
+            try:
+                results[worker] = nodes[worker].allreduce(
+                    0, 0, grads[worker]
+                )
+            except RingDegraded as exc:
+                errors[worker] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(w,), daemon=True)
+            for w in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        try:
+            assert all(not t.is_alive() for t in threads), "ring hung"
+            assert set(results) | set(errors) == set(workers)
+            reference = ring_reference_average([grads[w] for w in workers])
+            for worker, result in results.items():
+                for name in reference:
+                    assert result[name].tobytes() == (
+                        reference[name].tobytes()
+                    ), (worker, name)
+            # Exactly-once on every peer core: each executed segment ran
+            # once; whatever the schedule duplicated was dropped by
+            # dedup, not executed again.
+            for core in cores.values():
+                assert core.handled == sum(core.executions.values())
+        finally:
+            for node in nodes.values():
+                node.close()
+            host.close()

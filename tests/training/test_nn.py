@@ -117,6 +117,30 @@ class TestHelpers:
         with pytest.raises(ValueError):
             average_gradients([])
 
+    def test_average_gradients_mismatched_shapes_rejected(self):
+        g1 = {"w": np.ones((2, 3))}
+        g2 = {"w": np.ones((3, 4))}
+        with pytest.raises(ValueError):
+            average_gradients([g1, g2])
+
+    def test_average_gradients_mixed_dtypes_promote(self):
+        g1 = {"w": np.ones(4, dtype=np.float32)}
+        g2 = {"w": np.full(4, 2.0, dtype=np.float64)}
+        avg = average_gradients([g1, g2])
+        assert avg["w"].dtype == np.float64
+        assert np.allclose(avg["w"], 1.5)
+
+    def test_average_gradients_zero_size_arrays(self):
+        g1 = {"w": np.empty((0, 3))}
+        g2 = {"w": np.empty((0, 3))}
+        avg = average_gradients([g1, g2])
+        assert avg["w"].shape == (0, 3)
+
+    def test_average_gradients_single_set_is_identity(self):
+        g1 = {"w": np.array([1.0, 2.0, 3.0])}
+        avg = average_gradients([g1])
+        assert np.array_equal(avg["w"], g1["w"])
+
     def test_accuracy_bounds(self, params, dataset):
         acc = accuracy(params, dataset.test_x, dataset.test_y)
         assert 0.0 <= acc <= 1.0
