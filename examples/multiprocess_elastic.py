@@ -31,6 +31,17 @@ multi-megabyte snapshot through it:
 * ``ELAN_WORKER_TRACE_DIR`` — where per-worker traces land (default: a
   temporary directory).
 
+Crash-tolerance chaos knobs (either one turns the run into a failover
+drill: the AM journals to disk and worker leases are enabled):
+
+* ``ELAN_WORKER_KILL_ITER`` — SIGKILL one worker process at this
+  iteration (``ELAN_WORKER_KILL`` names it, default ``w3``); the AM
+  must lease-evict it and commit the shrink on its own,
+* ``ELAN_AM_KILL_ITER`` — kill the AM at this iteration and promote a
+  successor replayed from the on-disk journal onto the same port; the
+  run then asserts the fencing epoch bumped and an ``am.failover``
+  instant landed in the trace.
+
 Set ``ELAN_TRACE=/path/to/trace.json`` to export the AM-side trace
 (net.send / net.recv / net.reconnect / net.state_upload spans
 included); see docs/OBSERVABILITY.md and docs/PROTOCOL.md.
@@ -48,8 +59,16 @@ def _env_int(name: str, default: int) -> int:
     return int(os.environ.get(name, default))
 
 
+def _env_opt_int(name: str) -> "int | None":
+    value = os.environ.get(name)
+    return int(value) if value else None
+
+
 def main() -> int:
     tracer = Tracer(process="elan-net")
+    worker_kill_iter = _env_opt_int("ELAN_WORKER_KILL_ITER")
+    am_kill_iter = _env_opt_int("ELAN_AM_KILL_ITER")
+    chaos = worker_kill_iter is not None or am_kill_iter is not None
     spec = JobSpec(
         iterations=_env_int("ELAN_ITERS", 40),
         coordination_interval=4,
@@ -57,19 +76,30 @@ def main() -> int:
         input_dim=_env_int("ELAN_INPUT", 16),
         hidden_dim=_env_int("ELAN_HIDDEN", 16),
         chunk_bytes=_env_int("ELAN_CHUNK_KB", 256) * 1024,
+        # Chaos drills need the lease supervisor: a SIGKILLed worker
+        # sends no goodbye, so only its expiring heartbeat lease tells
+        # the AM to mint the shrink plan.
+        worker_lease_ttl=2.0 if chaos else 0.0,
+        lease_check_interval=0.25,
     )
     trace_dir = os.environ.get(
         "ELAN_WORKER_TRACE_DIR"
     ) or tempfile.mkdtemp(prefix="elan-worker-traces-")
     os.makedirs(trace_dir, exist_ok=True)
     job = MultiprocessElasticJob(
-        spec, ["w0", "w1"], tracer=tracer, worker_trace_dir=trace_dir
+        spec, ["w0", "w1"], tracer=tracer, worker_trace_dir=trace_dir,
+        # Journal to disk so AM failover replays from the file, exactly
+        # like an out-of-process standby would.
+        journal_path=(
+            os.path.join(trace_dir, "am-journal.jsonl") if chaos else None
+        ),
     )
     print(f"AM listening on {job.host}:{job.port}")
     # w0's 6th AM send dies with its connection, and so does its 5th
     # ring peer send: both transports must reconnect and retransmit
     # without any receiver executing anything twice.
     job.start(faults={"w0": {"reset_at": (6,), "peer_reset_at": (5,)}})
+    killed_worker = None
     try:
         job.wait_until_iteration(4, timeout=30)
         print(f"  running: {job.status()}")
@@ -80,22 +110,49 @@ def main() -> int:
         print(f"  committed in {status['commit_latencies'][0] * 1e3:.0f} ms: "
               f"group {status['group']}")
 
+        if worker_kill_iter is not None:
+            killed_worker = os.environ.get("ELAN_WORKER_KILL", "w3")
+            job.wait_until_iteration(worker_kill_iter, timeout=60)
+            print(f"chaos: SIGKILL {killed_worker} "
+                  f"at iteration >= {worker_kill_iter} ...")
+            job.kill_worker(killed_worker)
+            status = job.wait_for_adjustments(2, timeout=60)
+            print(f"  lease eviction committed: group {status['group']}")
+            assert killed_worker not in status["group"], status
+
+        if am_kill_iter is not None:
+            job.wait_until_iteration(am_kill_iter, timeout=60)
+            print(f"chaos: killing the AM at iteration >= {am_kill_iter}, "
+                  "promoting a journal-replayed successor ...")
+            job.fail_over()
+            status = job.status()
+            print(f"  successor serving (epoch {status['epoch']})")
+            assert status["epoch"] >= 2, status
+
         final = job.wait_complete(timeout=90)
     finally:
         job.shutdown()
 
+    survivors = 4 - (1 if killed_worker else 0)
     digests = set(final["digests"].values())
     workers = sorted(final["digests"])
     print(f"final digests from {workers}: "
           f"{'consistent' if len(digests) == 1 else 'DIVERGED'}")
-    assert len(final["digests"]) == 4, final["digests"]
+    assert len(final["digests"]) == survivors, final["digests"]
     assert len(digests) == 1, final["digests"]
-    assert final["adjustments_committed"] == 1
-    # 4 workers + the driver's control link is 5 connections; w0's reset
-    # forces at least one extra accept.
+    expected_commits = 1 + (1 if killed_worker else 0)
+    assert final["adjustments_committed"] == expected_commits, final
+    if chaos:
+        # The successor's listener only sees the post-failover
+        # reconnects: every surviving worker plus the control link.
+        floor = survivors + 1 if am_kill_iter is not None else 6
+    else:
+        # 4 workers + the driver's control link is 5 connections; w0's
+        # reset forces at least one extra accept.
+        floor = 6
     print(f"connections accepted: {job.server.connections_accepted} "
-          f"(>= 6 proves the reset + reconnect happened)")
-    assert job.server.connections_accepted >= 6
+          f"(>= {floor})")
+    assert job.server.connections_accepted >= floor
 
     # The snapshot went through the chunked binary data plane: the
     # uploader streamed it once, both joiners pulled every chunk.
@@ -105,9 +162,12 @@ def main() -> int:
           f"({snap.get('net.chunks.bytes_received', 0)} bytes) uploaded, "
           f"{snap.get('net.chunks.served', 0)} chunks served to joiners, "
           f"{job.server.bytes_sent} frame bytes written by the AM")
-    assert snap.get("net.transfers.completed", 0) == 1
+    if chaos:
+        assert snap.get("net.transfers.completed", 0) >= 1
+    else:
+        assert snap.get("net.transfers.completed", 0) == 1
+        assert snap.get("net.chunks.served", 0) == 2 * chunks
     assert chunks >= 1
-    assert snap.get("net.chunks.served", 0) == 2 * chunks
 
     # The ring took the AM out of the gradient hot path: each original
     # worker only rendezvoused at the AM for the pre-activation,
@@ -118,7 +178,13 @@ def main() -> int:
     print(f"AM sync executions per worker: {syncs} over "
           f"{spec.iterations} iterations ({fallbacks} ring fallbacks)")
     for worker in ("w0", "w1"):
-        assert 0 < syncs[worker] < spec.iterations // 2, syncs
+        if am_kill_iter is not None:
+            # The successor's dedup table starts empty, so executions
+            # only count post-failover syncs — the final barrier at
+            # minimum.
+            assert syncs[worker] > 0, syncs
+        else:
+            assert 0 < syncs[worker] < spec.iterations // 2, syncs
 
     # Every worker's own trace shows both ring phases.
     for worker in workers:
@@ -136,6 +202,21 @@ def main() -> int:
     print(f"trace: {len(events)} events, "
           f"{'valid' if not problems else problems}")
     assert not problems
+
+    if chaos:
+        names = {event.get("name") for event in events}
+        if am_kill_iter is not None:
+            assert job.failovers == 1
+            assert "am.failover" in names, sorted(names)
+            print("failover: am.failover instant present in trace, "
+                  f"journal at {job.journal_path}")
+        if killed_worker:
+            detect = snap.get("failure.detection_latency_seconds")
+            mttr = snap.get("failure.mttr_seconds")
+            assert detect and detect["count"] >= 1, detect
+            assert mttr and mttr["count"] >= 1, mttr
+            print(f"recovery: detected {killed_worker} in "
+                  f"{detect['mean']:.3f}s, repaired in {mttr['mean']:.3f}s")
 
     trace_path = os.environ.get("ELAN_TRACE")
     if trace_path:

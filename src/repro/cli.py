@@ -9,6 +9,7 @@ Subcommands (also installed as the ``repro-elan`` console script)::
     python -m repro.cli schedule --policy e-fifo        # §VI-C metrics
     python -m repro.cli demo                            # live elastic job
     python -m repro.cli tracing demo trace.json         # record a trace
+    python -m repro.cli soak --transport both           # chaos soak + SLOs
 """
 
 from __future__ import annotations
@@ -285,7 +286,7 @@ def cmd_demo(args) -> int:
 
 def cmd_serve(args) -> int:
     """Host a networked AM over loopback TCP until the job completes."""
-    from .net import JobSpec, NetworkedApplicationMaster
+    from .net import JobSpec, Journal, NetworkedApplicationMaster
     from .observability import Tracer
 
     spec = JobSpec(
@@ -296,10 +297,25 @@ def cmd_serve(args) -> int:
         iterations=args.iterations,
         coordination_interval=args.interval,
         ring_enabled=not args.no_ring,
+        worker_lease_ttl=args.lease_ttl,
     )
     workers = [f"w{i}" for i in range(args.workers)]
     tracer = Tracer(process="elan-net") if args.trace else None
-    master = NetworkedApplicationMaster(spec, workers, tracer=tracer)
+    journal = Journal(args.journal) if args.journal else None
+    if args.resume:
+        if journal is None:
+            print("--resume requires --journal", file=sys.stderr)
+            return 2
+        master = NetworkedApplicationMaster.from_journal(
+            journal, tracer=tracer
+        )
+        print(f"resumed from {args.journal} "
+              f"(epoch {master.epoch}, generation "
+              f"{master.status()['generation']})", flush=True)
+    else:
+        master = NetworkedApplicationMaster(
+            spec, workers, tracer=tracer, journal=journal
+        )
     server = master.serve_tcp(host=args.host, port=args.port)
     print(f"serving job on {server.host}:{server.port} "
           f"(workers: {', '.join(workers)})", flush=True)
@@ -321,7 +337,7 @@ def cmd_serve(args) -> int:
 
 def cmd_join(args) -> int:
     """Run one worker agent against a serving AM."""
-    from .coordination.faults import FaultPlan
+    from .coordination.faults import FaultPlan, SilentCrash
     from .net import TcpPeerHost, WorkerAgent, tcp_link
     from .observability import Tracer
 
@@ -333,17 +349,33 @@ def cmd_join(args) -> int:
     peer_plan = FaultPlan.for_link(resets=tuple(args.peer_reset_at or ()))
     tracer = Tracer(process=f"worker-{args.worker}") if args.trace else None
     peer_host = None if args.no_ring else TcpPeerHost(host=args.host)
+    endpoints = [(args.host, args.port)]
+    for endpoint in args.am_endpoint or ():
+        host, _, port = endpoint.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"malformed --am-endpoint {endpoint!r} "
+                  "(expected host:port)", file=sys.stderr)
+            return 2
+        endpoints.append((host, int(port)))
     link, _transport = tcp_link(
         args.host, args.port, args.worker,
         fault_plan=plan, ack_timeout=args.ack_timeout, tracer=tracer,
+        endpoints=endpoints if len(endpoints) > 1 else None,
+        connect_attempts=args.connect_attempts,
     )
     agent = WorkerAgent(
         args.worker, link, tracer=tracer,
         peer_host=peer_host, peer_fault_plan=peer_plan,
         ring_fail_at=tuple(args.ring_fail_at or ()),
+        die_at_iteration=args.die_at,
     )
     try:
         result = agent.run()
+    except SilentCrash as crash:
+        # Deterministic chaos death (--die-at): a distinctive exit code
+        # so drivers can tell scheduled kills from real failures.
+        print(f"{args.worker}: {crash}", file=sys.stderr)
+        return 9
     finally:
         link.close()
         if peer_host is not None:
@@ -352,6 +384,69 @@ def cmd_join(args) -> int:
             tracer.export(args.trace)
     print(f"{args.worker}: {result}")
     return 0
+
+
+def cmd_soak(args) -> int:
+    """Chaos-soak an elastic job (or replay a trace) and check its SLOs."""
+    from .net import ChaosSoak, SLOViolation, SoakSchedule, derive_report
+    from .observability import load_trace_events
+
+    def show(label, report):
+        print(f"soak [{label}]")
+        print(report.format())
+        try:
+            report.assert_slo(goodput_floor=args.goodput_floor,
+                              mttr_ceiling=args.mttr_ceiling)
+        except SLOViolation as violation:
+            print(f"SLO violation: {violation}", file=sys.stderr)
+            return False
+        print(f"SLO ok (goodput >= {args.goodput_floor:.2f}, "
+              f"MTTR <= {args.mttr_ceiling:.1f}s)")
+        return True
+
+    if args.replay:
+        events = load_trace_events(args.replay)
+        return 0 if show(args.replay, derive_report(events)) else 1
+
+    from .net import JobSpec
+
+    spec = JobSpec(
+        seed=args.seed,
+        iterations=args.iterations,
+        coordination_interval=4,
+        iteration_sleep=0.05,
+        sync_ack_timeout=0.3,
+        chunk_bytes=1024,
+        worker_lease_ttl=1.2,
+        lease_check_interval=0.2,
+    )
+    workers = [f"w{i}" for i in range(args.workers)]
+    kills = {}
+    if args.worker_kill_iter is not None and len(workers) > 1:
+        kills[workers[-1]] = args.worker_kill_iter
+    schedule = SoakSchedule(
+        worker_kills=kills, am_kill_iteration=args.am_kill_iter
+    )
+    transports = (
+        ("memory", "tcp") if args.transport == "both" else (args.transport,)
+    )
+    ok = True
+    for transport in transports:
+        soak = ChaosSoak(
+            transport, spec, workers, schedule, timeout=args.timeout
+        )
+        report = soak.run()
+        if args.trace:
+            path = args.trace
+            if len(transports) > 1:
+                root, dot, ext = path.rpartition(".")
+                path = f"{root}.{transport}{dot}{ext}" if dot else (
+                    f"{path}.{transport}"
+                )
+            soak.tracer.export(path)
+            print(f"wrote trace to {path}")
+        ok = show(transport, report) and ok
+    return 0 if ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -429,6 +524,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", help="export a Chrome trace here")
     serve.add_argument("--no-ring", action="store_true",
                        help="disable the ring gradient plane (star only)")
+    serve.add_argument("--journal",
+                       help="write-ahead journal file (enables failover)")
+    serve.add_argument("--lease-ttl", type=float, default=0.0,
+                       help="worker heartbeat lease TTL in seconds "
+                            "(0 disables lease eviction)")
+    serve.add_argument("--resume", action="store_true",
+                       help="recover a crashed AM from --journal instead "
+                            "of starting a fresh job")
 
     join = sub.add_parser(
         "join", help="run one worker agent against a serving AM"
@@ -454,6 +557,37 @@ def build_parser() -> argparse.ArgumentParser:
                            "the given iteration (repeatable)")
     join.add_argument("--trace", help="export this worker's Chrome trace "
                                       "here")
+    join.add_argument("--am-endpoint", action="append",
+                      help="extra AM endpoint as host:port, tried when the "
+                           "primary is unreachable (repeatable)")
+    join.add_argument("--connect-attempts", type=int, default=5,
+                      help="dial attempts across all AM endpoints before "
+                           "giving up")
+    join.add_argument("--die-at", type=int, default=None,
+                      help="silently crash before computing this iteration "
+                           "(chaos; exits 9)")
+
+    soak = sub.add_parser(
+        "soak", help="chaos-soak an elastic job and check goodput/MTTR SLOs"
+    )
+    soak.add_argument("--transport", choices=("memory", "tcp", "both"),
+                      default="memory")
+    soak.add_argument("--workers", type=int, default=3)
+    soak.add_argument("--iterations", type=int, default=24)
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--worker-kill-iter", type=int, default=9,
+                      help="iteration at which the last worker silently "
+                           "dies (requires >1 worker)")
+    soak.add_argument("--am-kill-iter", type=int, default=14,
+                      help="iteration at which the AM is killed and a "
+                           "journal-replayed successor takes over")
+    soak.add_argument("--goodput-floor", type=float, default=0.3)
+    soak.add_argument("--mttr-ceiling", type=float, default=15.0)
+    soak.add_argument("--timeout", type=float, default=120.0)
+    soak.add_argument("--trace", help="export the soak's Chrome trace here")
+    soak.add_argument("--replay",
+                      help="derive the report from this saved trace instead "
+                           "of running live")
     return parser
 
 
@@ -469,6 +603,7 @@ _HANDLERS = {
     "demo": cmd_demo,
     "serve": cmd_serve,
     "join": cmd_join,
+    "soak": cmd_soak,
 }
 
 

@@ -39,6 +39,7 @@ class MessageType(enum.Enum):
     STATE_DONE = "state_done"  # uploader -> AM (all chunks sent; digest)
     STATE_FETCH = "state_fetch"  # joiner -> AM (pull one snapshot chunk)
     STATUS = "status"  # driver -> AM (job progress query)
+    ENROLL = "enroll"  # worker -> successor AM (re-enroll after failover)
     RING_SEGMENT = "ring_segment"  # worker -> ring successor (one bucket)
     RING_FETCH = "ring_fetch"  # worker -> peer (iteration state / mean)
 

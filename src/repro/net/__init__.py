@@ -11,9 +11,16 @@ Steady-state gradients bypass the AM entirely via the decentralized
 ring allreduce (:class:`RingNode` over per-worker peer endpoints,
 :mod:`.peers`); the AM's star rendezvous remains the adjustment-window
 and degradation fallback.
+
+Crash tolerance rides on a write-ahead :class:`Journal`: a successor AM
+replays it (:meth:`NetworkedApplicationMaster.from_journal`), fences the
+predecessor out with a higher epoch, and finishes or aborts any
+in-flight commit; workers re-enroll and resume.  Heartbeat leases evict
+silently dead workers, and :class:`ChaosSoak` runs the whole stack under
+a deterministic fault schedule against goodput/MTTR SLOs.
 """
 
-from .agent import JoinRejected, WorkerAgent
+from .agent import JoinRejected, WorkerAgent, WorkerEvicted
 from .chunks import (
     DEFAULT_CHUNK_BYTES,
     ChunkAssembler,
@@ -33,15 +40,24 @@ from .collective import (
     ring_reference_average,
 )
 from .job import JobFailed, MultiprocessElasticJob
+from .journal import Journal, JournalError, JournalState
 from .master_service import JobSpec, NetworkedApplicationMaster
 from .peers import MemoryPeerHost, PeerHost, TcpPeerHost
-from .tcp import TcpServer, TcpTransport, tcp_link
+from .soak import (
+    ChaosSoak,
+    GoodputReport,
+    SLOViolation,
+    SoakSchedule,
+    derive_report,
+)
+from .tcp import TcpServer, TcpTransport, reserve_port, tcp_link
 from .transport import (
     FaultAction,
     InMemoryTransport,
     ReliableLink,
     RemoteError,
     RequestTimeout,
+    RetryableError,
     ServerCore,
     Transport,
     TransportClosed,
@@ -63,9 +79,14 @@ __all__ = [
     "TransferError",
     "decode_state_blob",
     "DEFAULT_RING_BUCKET_BYTES",
+    "ChaosSoak",
+    "GoodputReport",
     "JobFailed",
     "JobSpec",
     "JoinRejected",
+    "Journal",
+    "JournalError",
+    "JournalState",
     "MemoryPeerHost",
     "MultiprocessElasticJob",
     "NetworkedApplicationMaster",
@@ -74,11 +95,14 @@ __all__ = [
     "RingLayout",
     "RingMailbox",
     "RingNode",
+    "SLOViolation",
+    "SoakSchedule",
     "TcpPeerHost",
     "ring_reference_average",
     "ReliableLink",
     "RemoteError",
     "RequestTimeout",
+    "RetryableError",
     "ServerCore",
     "TcpServer",
     "TcpTransport",
@@ -87,7 +111,10 @@ __all__ = [
     "TransportFaults",
     "WireError",
     "WorkerAgent",
+    "WorkerEvicted",
+    "derive_report",
     "memory_link",
     "params_digest",
+    "reserve_port",
     "tcp_link",
 ]

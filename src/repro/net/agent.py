@@ -33,6 +33,7 @@ import typing
 
 import numpy as np
 
+from ..coordination.faults import ExponentialBackoff, SilentCrash
 from ..coordination.messages import MessageType
 from ..training.architectures import mlp_architecture
 from ..training.dataloader import SerialLoader
@@ -41,12 +42,28 @@ from ..training.optim import MomentumSGD
 from .chunks import ChunkedFetcher, ChunkedUploader
 from .collective import RingDegraded, RingMailbox, RingNode
 from .master_service import JobSpec
-from .transport import ReliableLink, ServerCore
+from .transport import (
+    ReliableLink,
+    RequestTimeout,
+    RetryableError,
+    ServerCore,
+    TransportClosed,
+)
 from .wire import params_digest
 
 
 class JoinRejected(RuntimeError):
     """The agent gave up polling before the AM admitted it."""
+
+
+class WorkerEvicted(RuntimeError):
+    """A successor AM condemned this worker while it was unreachable.
+
+    Raised out of re-enrollment: the lease-based eviction already
+    removed this worker from the group (or is about to), so the only
+    correct move is to stop training and file a final ``removed``
+    report — fighting the eviction would fork the replica set.
+    """
 
 
 class WorkerAgent:
@@ -63,6 +80,8 @@ class WorkerAgent:
         peer_host: "typing.Any | None" = None,
         peer_fault_plan: "typing.Any | None" = None,
         ring_fail_at: "typing.Collection[int]" = (),
+        backoff: "ExponentialBackoff | None" = None,
+        die_at_iteration: "int | None" = None,
     ):
         self.worker_id = worker_id
         self.link = link
@@ -73,6 +92,14 @@ class WorkerAgent:
         self.peer_host = peer_host
         self.peer_fault_plan = peer_fault_plan
         self.ring_fail_at = tuple(ring_fail_at)
+        #: spacing between retries when the AM is unreachable or mid-
+        #: failover (JOIN refused, requests timing out, fenced replies).
+        self.backoff = backoff or ExponentialBackoff(
+            base=0.05, factor=2.0, max_delay=1.0
+        )
+        #: chaos knob: raise :class:`SilentCrash` before computing this
+        #: iteration — the thread-level analogue of ``kill -9``.
+        self.die_at_iteration = die_at_iteration
         self.iterations_run = 0
         self.removed = False
         self.joined_at: "int | None" = None
@@ -83,18 +110,52 @@ class WorkerAgent:
         self.star_iterations = 0
         self.ring_repairs = 0
         self.ring_fallbacks = 0
+        #: failover bookkeeping, for tests and reporting.
+        self.join_retries = 0
+        self.enrollments = 0
+        self.stale_repairs = 0
+        self.am_retries = 0
         self.peer_addr: "str | None" = None
         self._ring_node: "RingNode | None" = None
         self._mailbox: "RingMailbox | None" = None
+        self._joined = False
+        self._am_epoch: "int | None" = None
+        self._enroll_needed = False
+        self._generation = 0
+        self._iteration = 0
 
     # -- protocol steps ---------------------------------------------------------
 
     def _join(self) -> dict:
-        """Poll ``JOIN`` until admitted (each poll is the worker-report)."""
+        """Poll ``JOIN`` until admitted (each poll is the worker-report).
+
+        An AM that refuses connections or is mid-failover does not fail
+        the join: transport losses and fenced replies are retried under
+        bounded exponential backoff until ``join_timeout`` passes.
+        """
         payload = {"peer": self.peer_addr} if self.peer_addr else {}
         deadline = time.monotonic() + self.join_timeout
+        attempt = 0
         while True:
-            reply = self.link.request(MessageType.JOIN, payload)
+            try:
+                reply = self.link.request(MessageType.JOIN, payload)
+            except (RequestTimeout, TransportClosed, RetryableError) as exc:
+                if isinstance(exc, RetryableError) and exc.reason not in (
+                    "am_superseded",
+                ):
+                    raise
+                if time.monotonic() >= deadline:
+                    raise JoinRejected(
+                        f"{self.worker_id!r} could not reach a live AM "
+                        f"within {self.join_timeout}s: {exc}"
+                    ) from exc
+                self.join_retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("worker.join_retries").inc()
+                self.backoff.wait(attempt)
+                attempt += 1
+                continue
+            attempt = 0
             if reply.get("status") in ("start", "join"):
                 return reply
             if time.monotonic() >= deadline:
@@ -103,6 +164,93 @@ class WorkerAgent:
                     f"{self.join_timeout}s"
                 )
             time.sleep(self.poll_interval)
+
+    # -- failover: epoch tracking and re-enrollment -----------------------------
+
+    def _enroll(self) -> None:
+        """Introduce this worker to the (possibly new) AM incarnation."""
+        reply = self.link.request(MessageType.ENROLL, {
+            "generation": self._generation,
+            "iteration": self._iteration,
+            "ring_epoch": self._ring_epoch(),
+            "peer": self.peer_addr,
+        })
+        self._am_epoch = reply.get("epoch", self._am_epoch)
+        self._enroll_needed = False
+        self.enrollments += 1
+        if self.metrics is not None:
+            self.metrics.counter("worker.enrollments").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "worker.enrolled", track=self.worker_id, cat="failover",
+                epoch=self._am_epoch, status=reply.get("status"),
+            )
+        if reply.get("status") == "evicted":
+            raise WorkerEvicted(
+                f"{self.worker_id!r} was evicted by AM epoch "
+                f"{self._am_epoch} (lease expired while unreachable)"
+            )
+
+    def _maybe_enroll(self) -> None:
+        """Re-enroll when the AM's fencing epoch moved under us.
+
+        The epoch arrives on the wire handshake (TCP welcome frame /
+        the in-memory transport's live ``server_epoch``); a fenced
+        reply (``am_superseded``) also forces one regardless of what
+        the transport last saw.
+        """
+        if not self._joined:
+            return
+        epoch = getattr(self.link.transport, "server_epoch", None)
+        if self._am_epoch is None and not self._enroll_needed:
+            # Admission predates epoch reporting (legacy harness):
+            # adopt what the transport sees without an extra message.
+            self._am_epoch = epoch
+            return
+        if not self._enroll_needed and (
+            epoch is None or epoch == self._am_epoch
+        ):
+            return
+        self._enroll()
+
+    def _request(
+        self,
+        msg_type: MessageType,
+        payload: "dict | None" = None,
+        ack_timeout: "float | None" = None,
+    ) -> dict:
+        """One protocol request that rides out an AM failover.
+
+        Transport losses and fenced (``am_superseded``) rejections are
+        retried — re-enrolling with the successor first — under bounded
+        backoff until ``join_timeout`` passes.  Stale-barrier and
+        superseded-generation rejections propagate: their recovery
+        belongs to the caller.  :class:`WorkerEvicted` propagates too.
+        """
+        deadline = time.monotonic() + self.join_timeout
+        attempt = 0
+        while True:
+            try:
+                self._maybe_enroll()
+                return self.link.request(
+                    msg_type, payload, ack_timeout=ack_timeout
+                )
+            except RetryableError as exc:
+                if exc.reason != "am_superseded":
+                    raise
+                self._enroll_needed = True
+            except (RequestTimeout, TransportClosed):
+                pass
+            if time.monotonic() >= deadline:
+                raise RequestTimeout(
+                    f"{msg_type.value} from {self.worker_id!r} could not "
+                    f"reach a live AM within {self.join_timeout}s"
+                )
+            self.am_retries += 1
+            if self.metrics is not None:
+                self.metrics.counter("worker.am_retries").inc()
+            self.backoff.wait(attempt)
+            attempt += 1
 
     def _serve_peer(self) -> None:
         """Start this worker's peer endpoint before reporting in."""
@@ -169,9 +317,69 @@ class WorkerAgent:
         }
         if ring_fallback:
             payload["ring_fallback"] = True
-        return self.link.request(
-            MessageType.SYNC, payload, ack_timeout=spec.sync_ack_timeout
-        ).get("grads")
+        try:
+            mean = self._request(
+                MessageType.SYNC, payload, ack_timeout=spec.sync_ack_timeout
+            ).get("grads")
+        except RetryableError as exc:
+            if exc.reason != "stale_barrier":
+                raise
+            return self._stale_repair(spec, generation, iteration)
+        if mean is not None and self._mailbox is not None:
+            # Cache a private copy so a peer stranded by an AM failover
+            # (its reply for this very barrier died with the old AM)
+            # can repair the identical mean over the peer mesh.
+            self._mailbox.record_mean(generation, iteration, {
+                name: np.array(array) for name, array in mean.items()
+            })
+        return mean
+
+    def _stale_repair(
+        self, spec: JobSpec, generation: int, iteration: int
+    ) -> "dict | None":
+        """Recover a mean whose barrier died with a failed AM.
+
+        The group completed this barrier before the failover (that is
+        what "stale" asserts), so every peer holds the bit-exact mean
+        in its mailbox cache — and peers cannot advance more than one
+        iteration (the next barrier needs this worker), so the cache
+        cannot have been overwritten.  Star-only jobs without a peer
+        mesh have nothing to repair from; that is a documented
+        limitation of the failover path.
+        """
+        node = self._ring_node
+        if node is None or node.ring is None:
+            raise RequestTimeout(
+                f"sync ({generation}, {iteration}) is stale and "
+                f"{self.worker_id!r} has no peer mesh to repair from"
+            )
+        peers = [w for w in node.ring["order"] if w != self.worker_id]
+        deadline = time.monotonic() + spec.allreduce_timeout
+        while True:
+            for peer in peers:
+                try:
+                    reply = node.fetch_peer_state(peer, generation, iteration)
+                except Exception:
+                    continue
+                if reply.get("state") == "done" and reply.get("grads"):
+                    self.stale_repairs += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("worker.stale_repairs").inc()
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "worker.stale_repair", track=self.worker_id,
+                            cat="failover", iteration=iteration, peer=peer,
+                        )
+                    return {
+                        name: np.array(array)
+                        for name, array in reply["grads"].items()
+                    }
+            if time.monotonic() >= deadline:
+                raise RequestTimeout(
+                    f"no peer served the mean for stale sync "
+                    f"({generation}, {iteration})"
+                )
+            time.sleep(self.poll_interval)
 
     def _ring_recover(
         self,
@@ -188,6 +396,14 @@ class WorkerAgent:
         are given until the allreduce timeout, so a partial-star
         deadlock (some members at the AM barrier, others finishing the
         ring) cannot happen.
+
+        A peer that never *began* this iteration's ring (``unknown``)
+        is decisive, not undecided: under lockstep it is either headed
+        to the star barrier itself (where it is waiting for us — so
+        waiting for it here would deadlock against the barrier timeout)
+        or still behind, in which case it will repair from the star
+        mean we cache in the mailbox.  Waiting only helps for peers
+        mid-ring.
         """
         node = self._ring_node
         peers = [w for w in node.ring["order"] if w != self.worker_id]
@@ -213,7 +429,7 @@ class WorkerAgent:
                         name: np.array(array)
                         for name, array in reply["grads"].items()
                     }
-                if state not in ("degraded",):
+                if state == "running":
                     undecided = True
             if not undecided or time.monotonic() >= deadline:
                 break
@@ -241,6 +457,10 @@ class WorkerAgent:
         generation = int(admission["generation"])
         start_iteration = int(admission["iteration"])
         self.joined_at = start_iteration
+        self._joined = True
+        self._am_epoch = admission.get("epoch")
+        self._generation = generation
+        self._iteration = start_iteration
         self._build_ring_node(spec)
         self._install_ring(admission.get("ring"))
 
@@ -282,14 +502,68 @@ class WorkerAgent:
         else:
             params = architecture.init(spec.seed)
 
+        try:
+            if self._train_loop(
+                spec, group, generation, start_iteration,
+                dataset, architecture, loader, optimizer, params,
+            ):
+                self.removed = True  # voluntary scale-in departure
+        except WorkerEvicted:
+            # A successor AM condemned us while we were unreachable;
+            # stop cleanly and file a removed final report.
+            self.removed = True
+            if self.metrics is not None:
+                self.metrics.counter("worker.evicted").inc()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "worker.evicted", track=self.worker_id, cat="failover",
+                    iteration=self._iteration,
+                )
+
+        self.final_digest = params_digest(params)
+        self._request(
+            MessageType.STATE_UPLOAD,
+            {
+                "final": True,
+                "iteration": self._iteration,
+                "digest": self.final_digest,
+                "removed": self.removed,
+            },
+        )
+        return {
+            "worker": self.worker_id,
+            "iterations_run": self.iterations_run,
+            "joined_at": self.joined_at,
+            "removed": self.removed,
+            "digest": self.final_digest,
+            "ring_iterations": self.ring_iterations,
+            "star_iterations": self.star_iterations,
+            "ring_repairs": self.ring_repairs,
+            "ring_fallbacks": self.ring_fallbacks,
+        }
+
+    def _train_loop(
+        self,
+        spec: JobSpec,
+        group: "list[str]",
+        generation: int,
+        start_iteration: int,
+        dataset,
+        architecture,
+        loader,
+        optimizer,
+        params: dict,
+    ) -> bool:
+        """The lockstep training loop; returns True if scaled out."""
         iteration = start_iteration
         while iteration < spec.iterations:
+            self._iteration = iteration
             # Boundary coordination — except at the join iteration: the
             # adjustment that admitted this worker commits *at* that
             # boundary, and the survivors' directives drive it.
             at_boundary = iteration % spec.coordination_interval == 0
             if at_boundary and iteration != start_iteration:
-                directive = self.link.request(
+                directive = self._request(
                     MessageType.COORDINATE,
                     {
                         "iteration": iteration,
@@ -318,12 +592,19 @@ class WorkerAgent:
                             },
                             context={"iteration": iteration},
                         )
-                    group = list(directive["group"])
+                    group[:] = directive["group"]
                     generation = int(directive["generation"])
+                    self._generation = generation
                     if self.worker_id not in group:
-                        self.removed = True
-                        break
+                        return True
 
+            if (
+                self.die_at_iteration is not None
+                and iteration >= self.die_at_iteration
+            ):
+                raise SilentCrash(
+                    f"{self.worker_id!r} killed at iteration {iteration}"
+                )
             span = None
             if self.tracer is not None:
                 span = self.tracer.begin(
@@ -380,25 +661,5 @@ class WorkerAgent:
                 self.tracer.end(span)
             self.iterations_run += 1
             iteration += 1
-
-        self.final_digest = params_digest(params)
-        self.link.request(
-            MessageType.STATE_UPLOAD,
-            {
-                "final": True,
-                "iteration": iteration,
-                "digest": self.final_digest,
-                "removed": self.removed,
-            },
-        )
-        return {
-            "worker": self.worker_id,
-            "iterations_run": self.iterations_run,
-            "joined_at": self.joined_at,
-            "removed": self.removed,
-            "digest": self.final_digest,
-            "ring_iterations": self.ring_iterations,
-            "star_iterations": self.star_iterations,
-            "ring_repairs": self.ring_repairs,
-            "ring_fallbacks": self.ring_fallbacks,
-        }
+            self._iteration = iteration
+        return False

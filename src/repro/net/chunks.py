@@ -37,6 +37,7 @@ import typing
 
 from ..coordination.messages import MessageType
 from . import wire
+from .transport import RetryableError
 from .wire import WireError, _flat_view
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -326,6 +327,10 @@ class TransferError(ConnectionError):
     """A chunked transfer failed permanently (digest, geometry, refusal)."""
 
 
+class _RestartNeeded(Exception):
+    """The receiver lost this transfer; start over with a fresh id."""
+
+
 class _SeqFeed:
     """Thread-safe dispenser of chunk sequence numbers."""
 
@@ -394,10 +399,57 @@ class ChunkedUploader:
         self.tracer = tracer
         self.metrics = metrics
 
+    #: how many times a single ``upload`` restarts a transfer whose
+    #: receiver lost the assembler (an AM failover mid-stream) before
+    #: giving up with :class:`TransferError`.
+    MAX_RESTARTS = 3
+    #: how many fenced (``am_superseded``) rejections a single
+    #: ``upload`` rides out while the transport is being redirected to
+    #: the successor AM.
+    MAX_FENCED = 5
+
     def upload(self, state: dict, transfer_id: "str | None" = None,
                context: "dict | None" = None) -> dict:
-        """Encode, stream, and finalize one snapshot; returns a summary."""
+        """Encode, stream, and finalize one snapshot; returns a summary.
+
+        A receiver that lost the transfer (an AM failover dropped the
+        half-built assembler) answers ``{"restart": True}``; the upload
+        then starts over under a *fresh* transfer id — the successor
+        has no chunks, so resume is impossible but a clean restart is
+        cheap and bounded.
+        """
         blob = StateBlob.encode(state, self.codec, self.chunk_bytes)
+        restarts = 0
+        fenced = 0
+        while True:
+            try:
+                return self._upload_once(blob, transfer_id, context)
+            except _RestartNeeded as exc:
+                restarts += 1
+                if restarts > self.MAX_RESTARTS:
+                    raise TransferError(
+                        f"upload abandoned after {restarts - 1} restarts: "
+                        f"{exc}"
+                    ) from exc
+                if self.metrics is not None:
+                    self.metrics.counter("net.transfers.restarted").inc()
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "net.transfer_restart", track=self.link.node_id,
+                        cat="net", attempt=restarts, reason=str(exc),
+                    )
+                transfer_id = None  # force a fresh id for the retry
+            except RetryableError as exc:
+                if exc.reason != "am_superseded":
+                    raise
+                fenced += 1
+                if fenced > self.MAX_FENCED:
+                    raise
+                time.sleep(0.05 * fenced)
+
+    def _upload_once(self, blob: "StateBlob",
+                     transfer_id: "str | None",
+                     context: "dict | None") -> dict:
         transfer_id = transfer_id or f"{self.link.node_id}/{secrets.token_hex(4)}"
         base = blob.describe(transfer_id)
 
@@ -414,6 +466,8 @@ class ChunkedUploader:
                         data=blob.chunk(seq),
                     )
                     reply = self.link.request(MessageType.STATE_CHUNK, payload)
+                    if reply.get("restart"):
+                        raise _RestartNeeded(f"chunk {seq}: {reply}")
                     if not reply.get("ok"):
                         raise TransferError(f"chunk {seq} refused: {reply}")
                     if self.metrics is not None:
@@ -423,6 +477,8 @@ class ChunkedUploader:
             done = dict(base, **(context or {}))
             done.pop("chunk_bytes", None)
             reply = self.link.request(MessageType.STATE_DONE, done)
+            if reply.get("restart"):
+                raise _RestartNeeded(f"finalize: {reply}")
             if not reply.get("ok"):
                 raise TransferError(f"transfer {transfer_id} refused: {reply}")
             return reply

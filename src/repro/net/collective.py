@@ -46,6 +46,8 @@ import typing
 import numpy as np
 
 from ..coordination.messages import Message, MessageType
+from .transport import TransportClosed
+from .wire import WireError
 
 #: default ring bucket size (bytes); small enough to pipeline, large
 #: enough that per-message overhead stays negligible.
@@ -291,6 +293,25 @@ class RingMailbox:
             self._mean_key = (generation, iteration)
             self._mean = mean
 
+    def record_mean(
+        self, generation: int, iteration: int,
+        mean: "dict[str, np.ndarray]",
+    ) -> None:
+        """Cache a *star*-synced mean so peers can repair from it.
+
+        After an AM failover a peer whose sync reply died with the old
+        AM is told its barrier is stale; it fetches this cached mean
+        over the direct peer link instead.  Never regresses the cache:
+        ring completion may already have cached a later iteration.
+        """
+        key = (generation, iteration)
+        with self._cond:
+            if self._mean_key is not None and key < self._mean_key:
+                return
+            self._status[key] = "done"
+            self._mean_key = key
+            self._mean = mean
+
     def degrade(self, generation: int, iteration: int) -> None:
         with self._cond:
             self._status[(generation, iteration)] = "degraded"
@@ -393,6 +414,14 @@ class RingNode:
         self.ring: "dict | None" = None
         self.strikes = 0
         self._links: "dict[str, typing.Any]" = {}
+        #: peers whose link failed outright this ring epoch.  A suspect
+        #: is never dialed again until a new ring is installed: a
+        #: silently dead peer otherwise costs a full redial-and-resend
+        #: budget on *every* send and *every* recovery probe, stretching
+        #: a 2 s degrade into tens of seconds.  The AM's lease evictor
+        #: removes the corpse and the next generation's ring resets the
+        #: set — a merely slow peer rejoins there.
+        self._suspects: "set[str]" = set()
         self._lock = threading.Lock()
 
     # -- membership ------------------------------------------------------------
@@ -406,6 +435,22 @@ class RingNode:
             "active_from": int(ring["active_from"]),
         }
         self.strikes = 0
+        with self._lock:
+            self._suspects.clear()
+
+    def _suspect(self, peer: str) -> None:
+        with self._lock:
+            self._suspects.add(peer)
+            # Drop the cached link: if the peer ever serves this address
+            # again (a later ring epoch), a fresh dial is the only way in.
+            link = self._links.pop(self.ring["peers"].get(peer, ""), None)
+        if link is not None:
+            try:
+                link.close()
+            except Exception:
+                pass
+        if self.metrics is not None:
+            self.metrics.counter("net.allreduce.suspects").inc()
 
     def active(self, generation: int, iteration: int) -> bool:
         """Should this iteration's gradients take the ring plane?"""
@@ -540,6 +585,9 @@ class RingNode:
 
         def ship(index: int, bucket) -> None:
             try:
+                with self._lock:
+                    if successor in self._suspects:
+                        return  # known-dead: don't pay the dial again
                 data = layout.views(scratch, bucket)
                 self._link_to(successor).request(
                     MessageType.RING_SEGMENT,
@@ -559,6 +607,16 @@ class RingNode:
                     self.metrics.counter("net.allreduce.bytes_sent").inc(
                         sum(view.nbytes for view in data)
                     )
+            except (TransportClosed, WireError, OSError):
+                # A connect-level failure (refused, endpoint gone) means
+                # the successor is dead, not lossy: suspect it so later
+                # sends and probes fail instantly.  Request timeouts do
+                # NOT suspect — a lossy-but-alive peer still receives.
+                self._suspect(successor)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "net.allreduce.send_failures"
+                    ).inc()
             except Exception:
                 if self.metrics is not None:
                     self.metrics.counter(
@@ -613,8 +671,21 @@ class RingNode:
     def fetch_peer_state(
         self, peer: str, generation: int, iteration: int
     ) -> dict:
-        """One ``RING_FETCH`` probe of a peer's iteration state."""
-        return self._link_to(peer).request(
-            MessageType.RING_FETCH,
-            {"generation": generation, "iteration": iteration},
-        )
+        """One ``RING_FETCH`` probe of a peer's iteration state.
+
+        A probe that fails for *any* reason suspects the peer: probes
+        are tiny requests with a full resend budget, so a peer that
+        cannot answer one is dead for this ring epoch — recovery loops
+        must not pay the same multi-second discovery on every round.
+        """
+        with self._lock:
+            if peer in self._suspects:
+                raise TransportClosed(f"peer {peer!r} is suspect")
+        try:
+            return self._link_to(peer).request(
+                MessageType.RING_FETCH,
+                {"generation": generation, "iteration": iteration},
+            )
+        except Exception:
+            self._suspect(peer)
+            raise

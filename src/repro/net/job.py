@@ -18,6 +18,7 @@ import typing
 import repro
 
 from ..coordination.messages import MessageType
+from .journal import Journal
 from .master_service import JobSpec, NetworkedApplicationMaster
 from .tcp import tcp_link
 
@@ -36,17 +37,27 @@ class MultiprocessElasticJob:
         host: str = "127.0.0.1",
         tracer: "typing.Any | None" = None,
         worker_trace_dir: "str | None" = None,
+        journal_path: "str | None" = None,
     ):
         self.spec = spec
         self.host = host
+        self.tracer = tracer
         self.worker_trace_dir = worker_trace_dir
+        #: with a path the AM journal is file-backed, so :meth:`fail_over`
+        #: recovers from disk exactly like an out-of-process standby would.
+        self.journal_path = journal_path
+        journal = Journal(journal_path) if journal_path else None
         self.master = NetworkedApplicationMaster(
-            spec, initial_workers, tracer=tracer
+            spec, initial_workers, tracer=tracer, journal=journal
         )
         self.server = self.master.serve_tcp(host=host, port=0)
         self.port = self.server.port
         self.processes: "dict[str, subprocess.Popen]" = {}
+        #: workers we killed on purpose — their nonzero exits are chaos,
+        #: not failure, and :meth:`_poll` must not abort the job on them.
+        self._expected_dead: "set[str]" = set()
         self._control = None
+        self.failovers = 0
 
     # -- worker processes -------------------------------------------------------
 
@@ -132,6 +143,59 @@ class MultiprocessElasticJob:
             self.spawn(worker_id, **(faults or {}).get(worker_id, {}))
         return self
 
+    # -- chaos controls ----------------------------------------------------------
+
+    def kill_worker(self, worker_id: str) -> None:
+        """SIGKILL one worker process (simulated machine loss).
+
+        The worker gets no chance to say goodbye: the AM only learns of
+        the death when its heartbeat lease expires, which is exactly the
+        detection path the lease supervisor exists to exercise.
+        """
+        process = self.processes.get(worker_id)
+        if process is None:
+            raise KeyError(f"no such worker process: {worker_id!r}")
+        self._expected_dead.add(worker_id)
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10.0)
+
+    def fail_over(self) -> NetworkedApplicationMaster:
+        """Kill the AM and promote a journal-replayed successor.
+
+        The old incarnation is fenced out (:meth:`abandon`), a successor
+        is rebuilt from the same journal — re-read from disk when
+        ``journal_path`` is set, handed the live object otherwise — and
+        rebound to the *same* port so the worker processes' links
+        reconnect and retransmit without any endpoint change.
+        """
+        old = self.master
+        old.abandon()
+        self.server.close()
+        journal = (
+            Journal(self.journal_path) if self.journal_path
+            else old.journal
+        )
+        self.master = NetworkedApplicationMaster.from_journal(
+            journal, tracer=self.tracer, metrics=old.metrics
+        )
+        deadline = time.monotonic() + 5.0
+        while True:
+            try:
+                self.server = self.master.serve_tcp(
+                    host=self.host, port=self.port
+                )
+                break
+            except OSError:
+                # The old listener's port can linger briefly in
+                # TIME_WAIT; the workers are retrying against it, so
+                # we must win the bind, not pick a fresh port.
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self.failovers += 1
+        return self.master
+
     # -- the scheduler-side control link ----------------------------------------
 
     @property
@@ -180,6 +244,8 @@ class MultiprocessElasticJob:
             if predicate(status):
                 return status
             for worker_id, process in self.processes.items():
+                if worker_id in self._expected_dead:
+                    continue
                 code = process.poll()
                 if code is not None and code != 0:
                     output = (process.stdout.read() or "").strip()

@@ -1,0 +1,267 @@
+"""Write-ahead journal for the networked application master.
+
+The AM appends every externally visible control-plane transition —
+membership, fencing epochs, adjustment requests, commit plans, acks,
+snapshot blobs, commits, final reports, progress boundaries — to an
+append-only journal *before* replying to the worker that caused it
+(journal-before-reply).  A standby or restarted AM replays the journal
+into a :class:`JournalState`, bumps the fencing epoch past every epoch
+ever journaled, and resumes the job: an in-flight 5-step commit is
+either completed (all the acks and the snapshot are in the journal) or
+cleanly aborted back to the last committed generation.
+
+Two invariants make replay safe:
+
+* **journaled ⊇ replied** — anything a worker could have observed is in
+  the journal, so the successor can never *forget* a commitment; work
+  the predecessor did but never replied to is simply re-driven by the
+  workers' timeout-resend (:class:`~repro.net.transport.ReliableLink`).
+* **torn tails are dropped, not fatal** — records carry a checksum over
+  their canonical encoding; replay stops at the first corrupt or
+  truncated line (a crash mid-``append``), which by the first invariant
+  can only lose un-replied work.
+
+Records are JSONL (one JSON object per line) with ndarray/bytes values
+riding the same base64 envelopes as the wire codec
+(:func:`repro.net.wire.encode_payload`), so a journal is both
+human-greppable and able to hold a chunked snapshot blob verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import typing
+
+from .wire import decode_payload, encode_payload
+
+#: Record kinds the journal knows how to replay.  ``append`` accepts
+#: only these so a typo'd kind fails at write time, not at failover.
+RECORD_KINDS = frozenset({
+    "init",       # job_id, spec payload, initial workers
+    "epoch",      # a fencing epoch acquired by some AM incarnation
+    "peer",       # a worker's advertised peer address
+    "request",    # an accepted adjustment request (auto=True: eviction)
+    "plan",       # a minted commit plan (generation, boundary, groups)
+    "ack",        # one worker's adjust-directive ack
+    "snapshot",   # the replication payload (monolithic or chunked blob)
+    "commit",     # a committed adjustment (the point of no return)
+    "abort",      # an in-flight plan abandoned back to the last commit
+    "final",      # one worker's final report (digest, removed flag)
+    "progress",   # a coordination-boundary progress watermark
+    "condemn",    # a worker condemned by lease expiry
+})
+
+
+def _checksum(seq: int, kind: str, data: dict) -> str:
+    canonical = json.dumps([seq, kind, data], sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+class JournalError(RuntimeError):
+    """The journal cannot accept a record (bad kind, closed file)."""
+
+
+class Journal:
+    """Append-only, checksummed record log (file-backed or in-memory).
+
+    With a ``path`` every record is written and flushed as one JSONL
+    line before :meth:`append` returns — the durability point the
+    journal-before-reply discipline counts on.  Without a path records
+    live in a list, which is what in-process failover tests and the
+    chaos soak use (the "disk" survives because the successor AM is
+    handed the same object).
+    """
+
+    def __init__(self, path: "str | None" = None, metrics=None):
+        self.path = path
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._records: "list[dict]" = []
+        self._seq = 0
+        self._file = None
+        self.truncated = 0
+        if path is not None:
+            existing = self._read_file(path)
+            self._records = existing
+            self._seq = existing[-1]["seq"] + 1 if existing else 0
+            self._file = open(path, "a", encoding="utf-8")
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, kind: str, /, **data) -> dict:
+        """Durably append one record; returns the decoded record."""
+        if kind not in RECORD_KINDS:
+            raise JournalError(f"unknown journal record kind {kind!r}")
+        encoded = encode_payload(dict(data))
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            record = {
+                "seq": seq, "kind": kind, "data": encoded,
+                "sum": _checksum(seq, kind, encoded),
+            }
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+            if self._file is not None:
+                self._file.write(line + "\n")
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._records.append(record)
+            if self.metrics is not None:
+                self.metrics.counter("am.journal.appends").inc()
+                self.metrics.counter("am.journal.bytes").inc(len(line) + 1)
+        return {"seq": seq, "kind": kind, "data": dict(data)}
+
+    # -- reading ---------------------------------------------------------------
+
+    def records(self) -> "list[dict]":
+        """All valid records, decoded (ndarrays/bytes restored)."""
+        with self._lock:
+            raw = list(self._records)
+        return [
+            {"seq": r["seq"], "kind": r["kind"],
+             "data": decode_payload(r["data"])}
+            for r in raw
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def _read_file(self, path: str) -> "list[dict]":
+        """Parse an existing journal file, dropping any torn tail."""
+        if not os.path.exists(path):
+            return []
+        records: "list[dict]" = []
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    seq = record["seq"]
+                    kind = record["kind"]
+                    data = record["data"]
+                    if record.get("sum") != _checksum(seq, kind, data):
+                        raise ValueError("checksum mismatch")
+                    if kind not in RECORD_KINDS:
+                        raise ValueError(f"unknown kind {kind!r}")
+                    if records and seq != records[-1]["seq"] + 1:
+                        raise ValueError("sequence gap")
+                except (ValueError, KeyError, TypeError):
+                    # A torn or corrupt line ends the journal: nothing
+                    # after it can be trusted (sequence is broken).
+                    self.truncated += 1
+                    break
+                records.append(record)
+        return records
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class JournalState:
+    """The control-plane state a journal replays to.
+
+    Pure data — :meth:`NetworkedApplicationMaster.from_journal` turns
+    it back into a live AM.  ``last_snapshot`` deliberately survives a
+    commit: a joiner whose offer reply was lost keeps polling JOIN
+    after the commit, so the successor must still be able to serve the
+    committed generation's snapshot.
+    """
+
+    def __init__(self):
+        self.job_id: "str | None" = None
+        self.spec_payload: "dict | None" = None
+        self.initial_workers: "tuple[str, ...]" = ()
+        self.epoch = 0
+        self.peers: "dict[str, str]" = {}
+        self.generation = 0
+        self.groups: "dict[int, tuple[str, ...]]" = {}
+        self.pending_request: "dict | None" = None
+        self.plan: "dict | None" = None
+        self.acked: "set[str]" = set()
+        self.last_snapshot: "dict | None" = None
+        self.last_commit: "dict | None" = None
+        self.final: "dict[str, dict]" = {}
+        self.departed: "dict[str, dict]" = {}
+        self.progress = 0
+        self.condemned: "set[str]" = set()
+        self.adjustments_committed = 0
+        self.commit_latencies: "list[float]" = []
+        self.replayed = 0
+
+    @classmethod
+    def replay(cls, records: "typing.Iterable[dict]") -> "JournalState":
+        state = cls()
+        for record in records:
+            state._apply(record["kind"], record["data"])
+            state.replayed += 1
+        return state
+
+    def _apply(self, kind: str, data: dict) -> None:
+        if kind == "init":
+            self.job_id = data["job_id"]
+            self.spec_payload = data["spec"]
+            self.initial_workers = tuple(data["workers"])
+            self.groups[0] = tuple(data["workers"])
+        elif kind == "epoch":
+            self.epoch = max(self.epoch, int(data["epoch"]))
+        elif kind == "peer":
+            self.peers[data["worker"]] = data["addr"]
+        elif kind == "request":
+            self.pending_request = dict(data)
+        elif kind == "plan":
+            self.plan = dict(data)
+            self.acked = set()
+            self.groups[int(data["generation"])] = tuple(data["new_group"])
+        elif kind == "ack":
+            if self.plan is not None and (
+                int(data["generation"]) == int(self.plan["generation"])
+            ):
+                self.acked.add(data["worker"])
+        elif kind == "snapshot":
+            self.last_snapshot = dict(data)
+        elif kind == "commit":
+            self.generation = int(data["generation"])
+            self.groups[self.generation] = tuple(data["new_group"])
+            self.last_commit = dict(data)
+            self.plan = None
+            self.pending_request = None
+            self.acked = set()
+            self.adjustments_committed += 1
+            if data.get("latency") is not None:
+                self.commit_latencies.append(float(data["latency"]))
+            for worker, info in (data.get("departed") or {}).items():
+                self.departed[worker] = dict(info)
+        elif kind == "abort":
+            if self.plan is not None:
+                self.groups.pop(int(self.plan["generation"]), None)
+            self.plan = None
+            self.pending_request = None
+            self.acked = set()
+        elif kind == "final":
+            info = {
+                "iteration": data.get("iteration"),
+                "digest": data.get("digest"),
+                "removed": bool(data.get("removed")),
+            }
+            if info["removed"]:
+                self.departed[data["worker"]] = info
+            else:
+                self.final[data["worker"]] = info
+        elif kind == "progress":
+            self.progress = max(self.progress, int(data["iteration"]))
+        elif kind == "condemn":
+            self.condemned.add(data["worker"])
+
+    @property
+    def current_group(self) -> "tuple[str, ...]":
+        return self.groups.get(self.generation, self.initial_workers)

@@ -41,15 +41,19 @@ from ..coordination.master import (
     AdjustmentRequest,
     ApplicationMaster,
     DirectiveKind,
+    MasterState,
 )
 from ..coordination.messages import Message, MessageType
+from ..coordination.store import KeyValueStore
+from ..coordination.telemetry import RuntimeTelemetry
 from ..observability import MetricRegistry
 from ..replication.planner import plan_replication
 from ..topology.builder import ServerSpec, build_node
 from ..topology.tree import DeviceKind, TopologyNode
 from ..training.nn import average_gradients
-from .chunks import DEFAULT_CHUNK_BYTES, ChunkStore, _digest
+from .chunks import DEFAULT_CHUNK_BYTES, ChunkAssembler, ChunkStore, _digest
 from .collective import ring_reference_average
+from .journal import Journal, JournalError, JournalState
 from .transport import ServerCore
 from .wire import payload_nbytes
 
@@ -114,6 +118,15 @@ class JobSpec:
     ring_step_timeout: float = 2.0
     #: peer-link ack timeout (resend cadence between ring neighbours).
     ring_ack_timeout: float = 0.5
+    #: heartbeat-derived worker lease TTL (seconds).  0 disables lease
+    #: tracking entirely — the default, so small tests and legacy jobs
+    #: run without a supervisor thread.  With a TTL, any message or TCP
+    #: heartbeat from a worker refreshes its lease; a worker whose lease
+    #: expires is condemned and proactively evicted (scale-in) instead
+    #: of stalling its generation's sync barriers until they time out.
+    worker_lease_ttl: float = 0.0
+    #: cadence of the lease supervisor's expiry sweep.
+    lease_check_interval: float = 0.25
 
     @property
     def reply_wait(self) -> float:
@@ -293,10 +306,22 @@ class NetworkedApplicationMaster:
         job_id: str = "netjob",
         tracer: "typing.Any | None" = None,
         metrics: "MetricRegistry | None" = None,
+        journal: "Journal | None" = None,
+        clock: "typing.Callable[[], float] | None" = None,
+        _replay: "JournalState | None" = None,
     ):
         self.spec = spec
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricRegistry()
+        #: write-ahead journal (in-memory unless the caller hands in a
+        #: file-backed one).  Every externally visible transition is
+        #: appended *before* the reply that makes it observable, so a
+        #: successor AM replaying the journal can never forget a
+        #: commitment a worker might act on.
+        self.journal = journal if journal is not None else Journal(
+            metrics=self.metrics
+        )
+        self._clock = clock or time.monotonic
         self.am = ApplicationMaster(
             job_id,
             workers,
@@ -319,12 +344,59 @@ class NetworkedApplicationMaster:
         self._complete = threading.Event()
         self._chunks = ChunkStore(metrics=self.metrics)
         self._downloads: "dict[str, _Download]" = {}
+        #: the last committed adjustment (journal ``commit`` shape) —
+        #: kept so a retransmitted COORDINATE at the old commit boundary
+        #: can be re-answered with the adjust directive after failover.
+        self._last_commit: "dict | None" = None
+        #: per-generation sync floor: the highest iteration any *fresh*
+        #: SYNC arrived at.  A fresh sync below the floor belongs to a
+        #: barrier the group already moved past (possible only after a
+        #: failover lost the reply cache) and is answered with a
+        #: retryable stale-barrier error instead of seeding a barrier
+        #: that can never complete.
+        self._sync_floors: "dict[int, int]" = {}
+        #: boundary watermark already journaled (one ``progress`` record
+        #: per boundary, not one per coordination).
+        self._journaled_progress = 0
+        #: condemned workers (lease expired) -> condemnation clock time.
+        self._condemned: "dict[str, float]" = {}
+        #: condemned workers whose eviction has not committed yet ->
+        #: detection clock time (MTTR measurement start).
+        self._recovering: "dict[str, float]" = {}
+        self._fenced = False
+        #: heartbeat-lease substrate (PR 1 semantics, injectable clock).
+        self._leases = KeyValueStore(clock=clock)
+        self.telemetry = RuntimeTelemetry(clock=clock, metrics=self.metrics)
         self.core = ServerCore(
             handler=self.handle, node_id="am", tracer=tracer,
             reply_wait=spec.reply_wait,
             metrics=self.metrics,
+            on_activity=self._on_activity,
         )
         self._server = None
+        if _replay is None:
+            self.epoch = 1
+            self.journal.append(
+                "init", job_id=job_id, spec=spec.to_payload(),
+                workers=list(workers),
+            )
+            self.journal.append("epoch", epoch=self.epoch)
+        else:
+            # A successor incarnation: fence the predecessor out by
+            # journaling a strictly higher epoch before acting on
+            # anything it replayed.
+            self.epoch = _replay.epoch + 1
+            self.journal.append("epoch", epoch=self.epoch)
+            self._restore(_replay)
+        self.core.epoch = self.epoch
+        self._lease_stop = threading.Event()
+        self._lease_thread = None
+        if spec.worker_lease_ttl > 0 and clock is None:
+            self._lease_thread = threading.Thread(
+                target=self._lease_loop, name="am-lease-supervisor",
+                daemon=True,
+            )
+            self._lease_thread.start()
 
     # -- serving ---------------------------------------------------------------
 
@@ -340,19 +412,61 @@ class NetworkedApplicationMaster:
 
     def close(self) -> None:
         """Stop the TCP server (if any) and release waiting barriers."""
+        self._lease_stop.set()
         if self._server is not None:
             self._server.close()
         with self._lock:
             barriers = list(self._barriers.values())
         for barrier in barriers:
             barrier.event.set()
+        self.journal.close()
+
+    def abandon(self) -> None:
+        """Fence this incarnation out so a successor can take over.
+
+        Unlike :meth:`close` this releases blocked workers with a
+        *retryable* error — they back off, re-enroll with the successor,
+        and retransmit — and leaves the journal open for hand-off (a
+        file-backed journal's own handle is closed; the successor
+        re-reads the file).
+        """
+        self._lease_stop.set()
+        with self._lock:
+            self._fenced = True
+            barriers = list(self._barriers.values())
+            for barrier in barriers:
+                if barrier.result is None:
+                    barrier.result = self._superseded_reply()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "am.abandoned", track="am", cat="am", epoch=self.epoch,
+                )
+        for barrier in barriers:
+            barrier.event.set()
+        if self._server is not None:
+            self._server.close()
+        if self.journal.path is not None:
+            self.journal.close()
+
+    def _superseded_reply(self) -> dict:
+        return {
+            "__error__": f"AM epoch {self.epoch} superseded",
+            "__retry__": "am_superseded",
+        }
 
     # -- the message handler (single entry point, both transports) ------------
 
     def handle(self, message: Message) -> dict:
         """Dispatch one deduplicated message to its protocol handler."""
+        if self._fenced:
+            # A fenced incarnation must never act: the worker backs off
+            # and re-resolves the live AM (its endpoint list / the
+            # redirected in-memory transport) before retrying.
+            return self._superseded_reply()
         payload = message.payload
         worker = message.sender
+        if message.msg_type is MessageType.ENROLL:
+            return self._handle_enroll(worker, payload)
         if message.msg_type is MessageType.JOIN:
             return self._handle_join(worker, payload)
         if message.msg_type is MessageType.COORDINATE:
@@ -384,7 +498,8 @@ class NetworkedApplicationMaster:
             # commit plan is minted every reported joiner has polled at
             # least once, so the frozen ring payload is never partial.
             peer = (payload or {}).get("peer")
-            if peer:
+            if peer and self._peer_addrs.get(worker) != str(peer):
+                self.journal.append("peer", worker=worker, addr=str(peer))
                 self._peer_addrs[worker] = str(peer)
             # Consume the offer: a retransmission of this very poll is
             # answered from the ServerCore reply cache, and the offer
@@ -412,6 +527,7 @@ class NetworkedApplicationMaster:
                     "group": list(self._groups[0]),
                     "generation": 0,
                     "iteration": 0,
+                    "epoch": self.epoch,
                 }
             # A scale-out joiner: the poll doubles as the worker-report
             # (idempotent — the AM ignores reports it is not waiting
@@ -426,14 +542,38 @@ class NetworkedApplicationMaster:
         ring_epoch: "int | None" = None,
     ) -> dict:
         with self._lock:
+            if worker in self._condemned:
+                # A condemned worker that turns out to be merely slow is
+                # fenced out: it must re-enroll, learn it was evicted,
+                # and depart — not keep feeding a generation that is
+                # being rebuilt without it.
+                return self._condemned_reply(worker)
             # With the ring plane active the AM no longer sees
             # per-iteration syncs; boundary coordinates are its view of
             # training progress.
             self._latest_sync_iteration = max(
                 self._latest_sync_iteration, iteration
             )
+            if iteration > self._journaled_progress:
+                # One watermark per boundary (the first worker to reach
+                # it): enough that a successor never schedules a commit
+                # in the workers' past.
+                self.journal.append("progress", iteration=iteration)
+                self._journaled_progress = iteration
             directive = self.am.coordinate(worker, iteration)
             if directive.kind is DirectiveKind.CONTINUE:
+                last = self._last_commit
+                if (
+                    last is not None
+                    and iteration == int(last["commit_iteration"])
+                    and worker in tuple(last["old_group"])
+                ):
+                    # The predecessor committed this adjustment but its
+                    # adjust reply to this worker died with it; the
+                    # retransmitted COORDINATE must be answered with the
+                    # directive again or the worker would miss the
+                    # membership change entirely.
+                    return self._replayed_adjust_reply(last, worker)
                 reply = {"kind": "continue"}
                 # Piggyback the current generation's ring on boundary
                 # replies until the worker reports it installed; every
@@ -452,7 +592,11 @@ class NetworkedApplicationMaster:
             if self._plan is None:
                 self._mint_plan(directive)
             plan = self._plan
-            plan.acked.add(worker)
+            if worker not in plan.acked:
+                self.journal.append(
+                    "ack", worker=worker, generation=plan.generation,
+                )
+                plan.acked.add(worker)
             reply = {
                 "kind": "adjust",
                 "group": list(plan.new_group),
@@ -464,6 +608,33 @@ class NetworkedApplicationMaster:
                 reply["ring"] = plan.ring
             self._maybe_finish()
             return reply
+
+    def _condemned_reply(self, worker: str) -> dict:
+        return {
+            "__error__": f"worker {worker!r} was condemned by lease expiry",
+            "__retry__": "am_superseded",
+        }
+
+    def _replayed_adjust_reply(self, last: dict, worker: str) -> dict:
+        """Re-serve a committed adjustment's directive (lock held)."""
+        generation = int(last["generation"])
+        new_group = tuple(last["new_group"])
+        reply = {
+            "kind": "adjust",
+            "group": list(new_group),
+            "generation": generation,
+            "commit_iteration": int(last["commit_iteration"]),
+            # The snapshot was already replicated before the commit;
+            # nobody re-uploads.
+            "upload": False,
+        }
+        ring = self._ring_payload(
+            generation, new_group,
+            active_from=int(last["commit_iteration"]) + 1,
+        )
+        if ring is not None:
+            reply["ring"] = ring
+        return reply
 
     def _ring_payload(
         self, generation: int, group: typing.Sequence[str],
@@ -495,6 +666,14 @@ class NetworkedApplicationMaster:
             old_group=self.am.group,
             new_group=directive.new_group,
             requested_at=self._pending_request_at or time.perf_counter(),
+        )
+        self.journal.append(
+            "plan",
+            generation=plan.generation,
+            commit_iteration=plan.commit_iteration,
+            old_group=list(plan.old_group),
+            new_group=list(plan.new_group),
+            uploader=plan.uploader,
         )
         self._plan = plan
         # A joiner that never polled its offer from an earlier
@@ -531,15 +710,54 @@ class NetworkedApplicationMaster:
         plan = self._plan
         if plan is None:
             return
-        if not plan.acked >= set(plan.old_group):
+        # A condemned member will never ack its directive — the commit
+        # must not wait for the very worker the adjustment is evicting.
+        needed = set(plan.old_group) - set(self._condemned)
+        if not plan.acked >= needed:
             return
         if plan.add_workers and plan.snapshot is None:
             return
+        removed = tuple(
+            w for w in plan.old_group if w not in set(plan.new_group)
+        )
+        latency = time.perf_counter() - plan.requested_at
+        now = self._clock()
+        evicted = {}
+        for worker in removed:
+            started = self._recovering.pop(worker, None)
+            if started is not None:
+                evicted[worker] = {
+                    "iteration": plan.commit_iteration,
+                    "digest": None,
+                    "evicted": True,
+                }
+                self.telemetry.record_recovery([worker], max(0.0, now - started))
+        # Journal the commit *before* the inner AM transitions: once any
+        # worker observes the new generation the successor must agree it
+        # exists.
+        self.journal.append(
+            "commit",
+            generation=plan.generation,
+            commit_iteration=plan.commit_iteration,
+            old_group=list(plan.old_group),
+            new_group=list(plan.new_group),
+            uploader=plan.uploader,
+            latency=latency,
+            departed=evicted,
+        )
+        self._last_commit = {
+            "generation": plan.generation,
+            "commit_iteration": plan.commit_iteration,
+            "old_group": tuple(plan.old_group),
+            "new_group": tuple(plan.new_group),
+        }
+        for worker, info in evicted.items():
+            self._departed[worker] = dict(info)
         self.am.finish_adjustment()
         self._generation = plan.generation
         self._plan = None
         self._pending_request_at = None
-        self.commit_latencies.append(time.perf_counter() - plan.requested_at)
+        self.commit_latencies.append(latency)
         self._drop_superseded_barriers()
         # Membership of retired generations is dead weight: any sync
         # for them is rejected by the generation guard anyway.
@@ -547,6 +765,9 @@ class NetworkedApplicationMaster:
             g: grp for g, grp in self._groups.items()
             if g >= self._generation
         }
+        # More condemned workers may have queued up while this plan was
+        # in flight; evict them in the next adjustment immediately.
+        self._mint_evictions()
         self._check_complete()
 
     def _drop_superseded_barriers(self) -> None:
@@ -565,9 +786,38 @@ class NetworkedApplicationMaster:
                     "__error__": (
                         f"sync generation {key[0]} superseded by "
                         f"generation {self._generation}"
-                    )
+                    ),
+                    "__retry__": "generation_superseded",
                 }
             barrier.event.set()
+
+    def _advance_sync_floor(self, generation: int, iteration: int) -> None:
+        """Raise a generation's barrier floor and release what it strands.
+
+        Lock held.  In fault-free operation lockstep guarantees no
+        result-less barrier exists below a fresh sync's iteration (the
+        group can only advance once every member collected the previous
+        mean), so this only ever fires on the retransmission patterns a
+        failover produces.
+        """
+        floor = self._sync_floors.get(generation, -1)
+        if iteration <= floor:
+            return
+        self._sync_floors[generation] = iteration
+        for key in [
+            k for k in self._barriers
+            if k[0] == generation and k[1] < iteration
+        ]:
+            barrier = self._barriers[key]
+            if barrier.result is None:
+                self._barriers.pop(key)
+                barrier.result = {
+                    "__error__": (
+                        f"sync {key} is below the barrier floor {iteration}"
+                    ),
+                    "__retry__": "stale_barrier",
+                }
+                barrier.event.set()
 
     # -- step 4: state replication ---------------------------------------------
 
@@ -578,10 +828,23 @@ class NetworkedApplicationMaster:
                     "iteration": int(payload.get("iteration", 0)),
                     "digest": payload.get("digest"),
                 }
+                self.journal.append(
+                    "final", worker=worker, iteration=record["iteration"],
+                    digest=record["digest"],
+                    removed=bool(payload.get("removed")),
+                )
                 if payload.get("removed"):
                     self._departed[worker] = record
                 else:
                     self._final[worker] = record
+                # A finishing worker proves the whole group completed
+                # every earlier barrier (lockstep); raise the floor so
+                # post-failover retransmissions of those syncs are
+                # answered with a repairable error, not a fresh barrier
+                # nobody else will ever join.
+                self._advance_sync_floor(
+                    self._generation, record["iteration"]
+                )
                 self._check_complete()
             return {"ok": True}
         with self._lock:
@@ -599,6 +862,10 @@ class NetworkedApplicationMaster:
                 "optimizer": payload["optimizer"],
                 "loader": payload["loader"],
             }
+            self.journal.append(
+                "snapshot", generation=plan.generation,
+                state=plan.snapshot,
+            )
             for joiner in plan.add_workers:
                 self._join_offers[joiner] = {
                     "status": "join",
@@ -607,6 +874,7 @@ class NetworkedApplicationMaster:
                     "generation": plan.generation,
                     "iteration": plan.commit_iteration,
                     "state": plan.snapshot,
+                    "epoch": self.epoch,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
             self._maybe_finish()
@@ -620,6 +888,26 @@ class NetworkedApplicationMaster:
             plan = self._plan
             if plan is None or worker != plan.uploader:
                 return {"ok": False, "reason": "no snapshot expected"}
+            assembler = self._chunks.assembler(worker)
+            seq = payload.get("seq")
+            if (
+                (assembler is None
+                 or assembler.transfer_id != payload.get("transfer_id"))
+                and isinstance(seq, int) and seq > 0
+            ):
+                # A mid-stream chunk for a transfer this AM has no
+                # assembler for: the predecessor held chunks 0..seq-1
+                # and died with them.  Telling the uploader to restart
+                # (instead of letting the ChunkStore auto-create an
+                # assembler that can never complete) keeps the transfer
+                # finite.
+                return {
+                    "ok": False, "restart": True,
+                    "reason": (
+                        f"no assembler holds transfer "
+                        f"{payload.get('transfer_id')!r} at seq {seq}"
+                    ),
+                }
             return self._chunks.handle_chunk(worker, payload)
 
     def _handle_state_done(self, worker: str, payload: dict) -> dict:
@@ -633,16 +921,40 @@ class NetworkedApplicationMaster:
             plan = self._plan
             if plan is None or worker != plan.uploader:
                 return {"ok": False, "reason": "no snapshot expected"}
+            transfer_id = str(payload.get("transfer_id"))
+            if plan.transfer_id == transfer_id and plan.snapshot is not None:
+                # Duplicate DONE for a transfer this AM (or its
+                # predecessor, pre-journal) already finalized.
+                download = self._downloads.get(transfer_id)
+                return {
+                    "ok": True,
+                    "chunks": download.total_chunks if download else 0,
+                    "payload_bytes": download.total_bytes if download else 0,
+                    "duplicates": 0,
+                }
             reply, assembler = self._chunks.handle_done(worker, payload)
             if assembler is None:
+                if reply.get("reason") == "unknown transfer":
+                    # Post-failover DONE for chunks the predecessor held:
+                    # the uploader must restart the transfer from zero.
+                    reply = dict(reply, restart=True)
                 return reply
-            transfer_id = str(payload["transfer_id"])
             rounds = _fanout_rounds(
                 plan.old_group, plan.add_workers, assembler.total_bytes
             )
             download = _Download(assembler, rounds, plan.generation)
             self._downloads[transfer_id] = download
             plan.transfer_id = transfer_id
+            self.journal.append(
+                "snapshot", generation=plan.generation,
+                transfer_id=transfer_id,
+                blob=bytes(assembler.buffer),
+                total_bytes=assembler.total_bytes,
+                total_chunks=assembler.total_chunks,
+                chunk_bytes=assembler.chunk_bytes,
+                codec=assembler.codec,
+                digest=download.digest,
+            )
             # Sentinel: _maybe_finish only needs to know replication
             # data exists; the offers below carry the real descriptor.
             plan.snapshot = {"transfer": transfer_id}
@@ -654,6 +966,7 @@ class NetworkedApplicationMaster:
                     "generation": plan.generation,
                     "iteration": plan.commit_iteration,
                     "state_transfer": download.describe(transfer_id, joiner),
+                    "epoch": self.epoch,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
             if self.tracer is not None:
@@ -713,6 +1026,25 @@ class NetworkedApplicationMaster:
                 raise KeyError(
                     f"{worker!r} is not in generation {generation}"
                 )
+            if worker in self._condemned:
+                return self._condemned_reply(worker)
+            floor = self._sync_floors.get(generation, -1)
+            if iteration < floor:
+                # The rest of the group already synced past this
+                # iteration — its barrier completed and was dropped (or
+                # died with a predecessor AM).  Seeding a new one would
+                # strand this worker for the full allreduce timeout; a
+                # retryable error lets it repair the missed mean from a
+                # peer's cache instead.
+                return {
+                    "__error__": (
+                        f"sync ({generation}, {iteration}) is below the "
+                        f"barrier floor {floor}"
+                    ),
+                    "__retry__": "stale_barrier",
+                }
+            if iteration > floor:
+                self._advance_sync_floor(generation, iteration)
             self.metrics.counter("net.sync.grad_bytes").inc(
                 payload_nbytes(payload.get("grads"))
             )
@@ -720,7 +1052,9 @@ class NetworkedApplicationMaster:
                 self.metrics.counter("net.sync.ring_fallbacks").inc()
             barrier = self._barriers.get(key)
             if barrier is None:
-                barrier = self._barriers[key] = _SyncBarrier(group)
+                barrier = self._barriers[key] = _SyncBarrier(
+                    w for w in group if w not in self._condemned
+                )
             barrier.contributions[worker] = payload.get("grads")
             self._latest_sync_iteration = max(
                 self._latest_sync_iteration, iteration
@@ -786,8 +1120,477 @@ class NetworkedApplicationMaster:
         with self._lock:
             accepted = self.am.request_adjustment(request)
             if accepted:
+                self.journal.append(
+                    "request", kind=request.kind.value,
+                    add=list(request.add_workers),
+                    remove=list(request.remove_workers),
+                )
                 self._pending_request_at = time.perf_counter()
         return {"accepted": accepted}
+
+    # -- failover: re-enrollment ------------------------------------------------
+
+    def _handle_enroll(self, worker: str, payload: dict) -> dict:
+        """A surviving worker re-introduces itself to a successor AM.
+
+        The worker reports where it stands (generation, iteration, ring
+        epoch, peer address); the AM answers with its fencing epoch and
+        a verdict: ``ok`` (resume), ``evicted`` (you were condemned or
+        already scaled out — finish and depart), or ``unknown``.
+        """
+        payload = payload or {}
+        with self._lock:
+            peer = payload.get("peer")
+            if peer and self._peer_addrs.get(worker) != str(peer):
+                self.journal.append("peer", worker=worker, addr=str(peer))
+                self._peer_addrs[worker] = str(peer)
+            if worker in self._condemned or worker in self._departed:
+                status = "evicted"
+            elif worker in self._groups.get(self._generation, ()) or (
+                self._plan is not None and worker in self._plan.new_group
+            ):
+                status = "ok"
+            else:
+                status = "unknown"
+            self.metrics.counter("am.enrollments").inc()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "worker.enroll", track="am", cat="failover",
+                    worker=worker, status=status, epoch=self.epoch,
+                    generation=self._generation,
+                    worker_generation=payload.get("generation"),
+                    worker_iteration=payload.get("iteration"),
+                )
+            return {
+                "epoch": self.epoch,
+                "generation": self._generation,
+                "status": status,
+            }
+
+    # -- lease-based worker failure detection -----------------------------------
+
+    def _on_activity(self, sender: str) -> None:
+        """Every dispatched message (and TCP heartbeat) renews a lease.
+
+        Called *before* dedup on purpose: a worker blocked at a sync
+        barrier keeps retransmitting the same request, and those
+        duplicates are exactly the liveness signal that must keep its
+        lease fresh.
+        """
+        ttl = self.spec.worker_lease_ttl
+        if ttl <= 0 or self._fenced:
+            return
+        with self._lock:
+            if sender in self._condemned or sender in self._departed:
+                return
+            live = set(self._groups.get(self._generation, ()))
+            if self._plan is not None:
+                live.update(self._plan.new_group)
+            elif self.am.pending is not None:
+                live.update(self.am.pending.add_workers)
+            if sender not in live:
+                return  # the driver, or a worker not (yet) in the job
+            key = f"lease/{sender}"
+            if not self._leases.keep_alive(key, ttl):
+                self._leases.lease(key, sender, ttl)
+
+    def _lease_loop(self) -> None:
+        while not self._lease_stop.wait(self.spec.lease_check_interval):
+            try:
+                self.check_leases()
+            except Exception:
+                self.metrics.counter("am.lease_check_errors").inc()
+
+    def check_leases(self, now: "float | None" = None) -> "list[str]":
+        """Condemn workers whose lease expired; mint their eviction.
+
+        Public so injectable-clock tests (and the chaos soak) can drive
+        detection deterministically without the supervisor thread.
+        Returns the workers condemned by this sweep.
+        """
+        condemned_now: "list[str]" = []
+        with self._lock:
+            if self._fenced or self.spec.worker_lease_ttl <= 0:
+                return condemned_now
+            if now is None:
+                now = self._clock()
+            parked = {
+                worker
+                for barrier in self._barriers.values()
+                if barrier.result is None
+                for worker in barrier.contributions
+            }
+            for key in self._leases.expired_keys("lease/"):
+                worker = key.split("/", 1)[1]
+                if worker in self._condemned or worker in self._departed:
+                    continue
+                if worker in parked:
+                    # The worker's request is parked in an open barrier
+                    # the AM itself is holding: it delivered a message
+                    # we have not answered, so it is live by definition
+                    # (and on the in-memory transport a parked sender
+                    # produces no other traffic at all — its request
+                    # thread is blocked inside our handler).
+                    self._leases.lease(
+                        f"lease/{worker}", worker,
+                        self.spec.worker_lease_ttl,
+                    )
+                    continue
+                deadline = self._leases.lease_deadline(key) or now
+                self._condemn(worker, now=now, deadline=deadline)
+                condemned_now.append(worker)
+            if condemned_now:
+                self._mint_evictions()
+        return condemned_now
+
+    def _condemn(self, worker: str, now: float, deadline: float) -> None:
+        """Lock held: mark one worker dead and release what it blocks."""
+        self.journal.append("condemn", worker=worker)
+        self._condemned[worker] = now
+        self._recovering[worker] = now
+        # Fence the (possibly merely slow) holder out: its keep-alives
+        # must fail from here on so it cannot resurrect the lease the
+        # eviction is already acting on.
+        self._leases.force_expire(f"lease/{worker}")
+        self.telemetry.record_detection(
+            worker, max(0.0, now - deadline), cause="lease_expired"
+        )
+        self.metrics.counter("worker.lease.expired").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "worker.condemned", track="am", cat="failover",
+                worker=worker, detection_latency=max(0.0, now - deadline),
+            )
+        plan = self._plan
+        if (
+            plan is not None and plan.uploader == worker
+            and plan.snapshot is None
+        ):
+            # The elected uploader died before replicating: the
+            # scale-out cannot ever gather its snapshot, so the plan is
+            # aborted back to the last committed generation rather than
+            # wedging every joiner.
+            self.abort_plan()
+        self._release_worker_barriers(worker)
+
+    def _release_worker_barriers(self, worker: str) -> None:
+        """Lock held: drop a dead worker from every waiting barrier.
+
+        Survivors blocked on the dead member's contribution get their
+        mean now — computed over the same ring-ordered, zero-filled
+        reduction both planes use, so every survivor stays bit-identical
+        with the others.
+        """
+        for key, barrier in list(self._barriers.items()):
+            if barrier.result is not None or worker not in barrier.expected:
+                continue
+            barrier.expected = frozenset(barrier.expected - {worker})
+            barrier.contributions.pop(worker, None)
+            if not barrier.expected:
+                self._barriers.pop(key)
+                continue
+            if set(barrier.contributions) >= barrier.expected:
+                group = self._groups.get(key[0], ())
+                barrier.result = {
+                    "grads": self._average(tuple(group), barrier.contributions),
+                    "members": len(barrier.expected),
+                }
+                barrier.event.set()
+
+    def _mint_evictions(self) -> None:
+        """Lock held: turn condemned workers into a scale-in request."""
+        group = set(self._groups.get(self._generation, ()))
+        pending = sorted(
+            w for w in self._condemned
+            if w in group and w not in self._departed
+        )
+        if not pending:
+            return
+        if self._plan is not None or self.am.pending is not None:
+            return  # queued behind the in-flight adjustment
+        if set(pending) >= group:
+            return  # scale-in cannot remove every worker
+        self.journal.append(
+            "request", kind=AdjustmentKind.SCALE_IN.value,
+            add=[], remove=pending, auto=True,
+        )
+        accepted = self.am.request_adjustment(AdjustmentRequest(
+            kind=AdjustmentKind.SCALE_IN, remove_workers=tuple(pending),
+        ))
+        if accepted:
+            self._pending_request_at = time.perf_counter()
+            self.metrics.counter("am.evictions").inc(len(pending))
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "am.eviction_minted", track="am", cat="failover",
+                    remove=pending,
+                )
+
+    def abort_plan(self) -> None:
+        """Lock held: abandon the in-flight plan (uploader death only).
+
+        Any survivor that already acked the directive has advanced into
+        the aborted generation and will fail loudly at its next sync —
+        an explicit error beats the silent wedge of a snapshot that can
+        never arrive.
+        """
+        plan = self._plan
+        if plan is None:
+            return
+        self.journal.append("abort")
+        self._plan = None
+        self._pending_request_at = None
+        self._groups.pop(plan.generation, None)
+        for joiner in plan.add_workers:
+            self._join_offers.pop(joiner, None)
+        self.am.pending = None
+        self.am.reported = set()
+        self.am.commit_iteration = -1
+        self.am.state = MasterState.RUNNING
+        self.metrics.counter("am.plans_aborted").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "am.plan_aborted", track="am", cat="failover",
+                generation=plan.generation,
+            )
+
+    # -- failover: journal replay -----------------------------------------------
+
+    @classmethod
+    def from_journal(
+        cls,
+        journal: Journal,
+        tracer: "typing.Any | None" = None,
+        metrics: "MetricRegistry | None" = None,
+        clock: "typing.Callable[[], float] | None" = None,
+    ) -> "NetworkedApplicationMaster":
+        """Rebuild a crashed AM from its journal (the standby path).
+
+        The successor replays every journaled transition, journals a
+        strictly higher fencing epoch (locking the predecessor out of
+        the wire handshake), and resumes: an in-flight commit whose
+        acks and snapshot are all journaled is completed; one whose
+        uploader is gone is aborted back to the last committed
+        generation.
+        """
+        state = JournalState.replay(journal.records())
+        if state.job_id is None or state.spec_payload is None:
+            raise JournalError("journal holds no init record to recover from")
+        spec = JobSpec.from_payload(state.spec_payload)
+        master = cls(
+            spec, state.initial_workers, job_id=state.job_id,
+            tracer=tracer, metrics=metrics, journal=journal, clock=clock,
+            _replay=state,
+        )
+        return master
+
+    def _restore(self, state: JournalState) -> None:
+        """Apply a replayed :class:`JournalState` (constructor path)."""
+        now = self._clock()
+        self._generation = state.generation
+        self._groups = {
+            g: tuple(grp) for g, grp in state.groups.items()
+            if g >= state.generation
+        }
+        self._peer_addrs = dict(state.peers)
+        self._final = {w: dict(i) for w, i in state.final.items()}
+        self._departed = {w: dict(i) for w, i in state.departed.items()}
+        self._latest_sync_iteration = state.progress
+        self._journaled_progress = state.progress
+        # Everything at or past the journaled watermark is live; any
+        # fresh sync below it is a retransmission whose barrier died
+        # with the predecessor and must take the repair path.
+        self._sync_floors = {state.generation: state.progress}
+        self._last_commit = (
+            dict(state.last_commit) if state.last_commit is not None else None
+        )
+        self.commit_latencies = list(state.commit_latencies)
+        for worker in state.condemned:
+            if worker in self._departed:
+                continue
+            self._condemned[worker] = now
+            self._recovering[worker] = now
+        self.am.group = state.current_group
+        self.am.latest_iteration = state.progress
+        self.am.adjustments_committed = state.adjustments_committed
+        pending = state.pending_request
+        request = None
+        if pending is not None:
+            request = AdjustmentRequest(
+                kind=AdjustmentKind(pending["kind"]),
+                add_workers=tuple(pending.get("add", ())),
+                remove_workers=tuple(pending.get("remove", ())),
+            )
+        if state.plan is not None:
+            self._restore_plan(state, request)
+        elif request is not None:
+            # Accepted but not yet minted: no worker saw a directive
+            # (plans are journaled before the first one is served), so
+            # the successor is free to re-drive step 1 and schedule a
+            # fresh boundary from its own watermark.
+            if self.am.request_adjustment(request):
+                self._pending_request_at = time.perf_counter()
+        self._restore_downloads(state)
+        self.metrics.counter("am.journal.replayed").inc(state.replayed)
+        self.metrics.counter("am.failover").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "am.failover", track="am", cat="failover",
+                epoch=self.epoch, generation=self._generation,
+                replayed=state.replayed,
+            )
+        self._mint_evictions()
+        self._maybe_finish()
+
+    def _restore_plan(
+        self, state: JournalState, request: "AdjustmentRequest | None"
+    ) -> None:
+        """Reinstate the journaled in-flight commit plan (ctor path)."""
+        data = state.plan
+        plan = _CommitPlan(
+            generation=int(data["generation"]),
+            commit_iteration=int(data["commit_iteration"]),
+            old_group=tuple(data["old_group"]),
+            new_group=tuple(data["new_group"]),
+            requested_at=time.perf_counter(),
+        )
+        plan.acked = set(state.acked)
+        plan.ring = self._ring_payload(
+            plan.generation, plan.new_group,
+            active_from=plan.commit_iteration + 1,
+        )
+        self._groups[plan.generation] = plan.new_group
+        snap = state.last_snapshot
+        if snap is not None and int(snap["generation"]) == plan.generation:
+            self._install_snapshot(plan, snap)
+        if (
+            plan.add_workers and plan.snapshot is None
+            and plan.uploader in self._condemned
+        ):
+            # The only worker that could still produce the snapshot is
+            # dead: install then immediately abort, so the abort is
+            # journaled and survivors fail fast.
+            self._plan = plan
+            self._restore_inner_am(plan, request)
+            self.abort_plan()
+            return
+        self._plan = plan
+        self._restore_inner_am(plan, request)
+        self._pending_request_at = time.perf_counter()
+
+    def _restore_inner_am(
+        self, plan: _CommitPlan, request: "AdjustmentRequest | None"
+    ) -> None:
+        if request is None:
+            # Plan without a journaled request cannot happen (requests
+            # are journaled before plans), but stay defensive.
+            removed = set(plan.old_group) - set(plan.new_group)
+            added = set(plan.new_group) - set(plan.old_group)
+            request = AdjustmentRequest(
+                kind=AdjustmentKind.SCALE_OUT if added
+                else AdjustmentKind.SCALE_IN,
+                add_workers=tuple(sorted(added)),
+                remove_workers=tuple(sorted(removed)),
+            )
+        self.am.group = plan.old_group
+        self.am.pending = request
+        self.am.reported = set(request.add_workers)
+        self.am.commit_iteration = plan.commit_iteration
+        self.am.state = MasterState.COMMIT_SCHEDULED
+
+    def _install_snapshot(self, plan: _CommitPlan, snap: dict) -> None:
+        """Rebuild offers (and the chunk download) from a journaled
+        snapshot record (ctor path, lock not yet contended)."""
+        if "blob" in snap:
+            transfer_id = str(snap["transfer_id"])
+            assembler = ChunkAssembler(
+                transfer_id=transfer_id,
+                total_bytes=int(snap["total_bytes"]),
+                total_chunks=int(snap["total_chunks"]),
+                chunk_bytes=int(snap["chunk_bytes"]),
+                codec=str(snap.get("codec", "json")),
+            )
+            blob = snap["blob"]
+            assembler.buffer[:] = (
+                blob if isinstance(blob, (bytes, bytearray)) else bytes(blob)
+            )
+            assembler.received = set(range(assembler.total_chunks))
+            # Post-failover there is no way to know which planner round
+            # each joiner had reached; serving everyone from round 0
+            # trades the contention-free schedule for guaranteed
+            # progress.
+            rounds = {w: 0 for w in plan.add_workers}
+            download = _Download(assembler, rounds, plan.generation)
+            self._downloads[transfer_id] = download
+            plan.transfer_id = transfer_id
+            plan.snapshot = {"transfer": transfer_id}
+            for joiner in plan.add_workers:
+                self._join_offers[joiner] = {
+                    "status": "join",
+                    "spec": self.spec.to_payload(),
+                    "group": list(plan.new_group),
+                    "generation": plan.generation,
+                    "iteration": plan.commit_iteration,
+                    "state_transfer": download.describe(transfer_id, joiner),
+                    "epoch": self.epoch,
+                    **({"ring": plan.ring} if plan.ring else {}),
+                }
+        else:
+            plan.snapshot = {
+                "params": {
+                    name: np.array(array)
+                    for name, array in snap["state"]["params"].items()
+                },
+                "optimizer": snap["state"]["optimizer"],
+                "loader": snap["state"]["loader"],
+            }
+            for joiner in plan.add_workers:
+                self._join_offers[joiner] = {
+                    "status": "join",
+                    "spec": self.spec.to_payload(),
+                    "group": list(plan.new_group),
+                    "generation": plan.generation,
+                    "iteration": plan.commit_iteration,
+                    "state": plan.snapshot,
+                    "epoch": self.epoch,
+                    **({"ring": plan.ring} if plan.ring else {}),
+                }
+
+    def _restore_downloads(self, state: JournalState) -> None:
+        """Re-serve the last *committed* generation's snapshot.
+
+        A joiner whose offer reply was lost keeps polling JOIN after
+        the commit; the successor must still be able to answer with the
+        committed generation's state (``last_snapshot`` survives the
+        commit in the journal for exactly this reason).
+        """
+        snap = state.last_snapshot
+        last = state.last_commit
+        if snap is None or last is None or self._plan is not None:
+            return
+        if int(snap["generation"]) != int(last["generation"]):
+            return
+        joiners = [
+            w for w in last["new_group"]
+            if w not in set(last["old_group"])
+            and w not in self._final and w not in self._departed
+        ]
+        if not joiners:
+            return
+        plan = _CommitPlan(
+            generation=int(last["generation"]),
+            commit_iteration=int(last["commit_iteration"]),
+            old_group=tuple(last["old_group"]),
+            new_group=tuple(last["new_group"]),
+            requested_at=time.perf_counter(),
+        )
+        plan.ring = self._ring_payload(
+            plan.generation, plan.new_group,
+            active_from=plan.commit_iteration + 1,
+        )
+        self._install_snapshot(plan, snap)
+        # Only the offers/downloads were needed; the plan scaffold is
+        # discarded (the adjustment already committed).
 
     # -- progress ---------------------------------------------------------------
 
@@ -830,4 +1633,7 @@ class NetworkedApplicationMaster:
                 "duplicates": self.core.duplicates,
                 "uploads_completed": self._chunks.completed,
                 "downloads_active": len(self._downloads),
+                "epoch": self.epoch,
+                "condemned": sorted(self._condemned),
+                "journal_records": len(self.journal),
             }

@@ -133,6 +133,9 @@ class TcpPeerHost:
             # Segment traffic is constant while the ring is healthy;
             # a keep-alive thread per peer link would be pure overhead.
             heartbeat_interval=None,
+            # A refused peer is dead, not failing over: burn two redial
+            # attempts, not a multi-second backoff cycle per send.
+            max_reconnect_attempts=2,
         )
         return link
 

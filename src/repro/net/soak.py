@@ -1,0 +1,447 @@
+"""Goodput-SLO chaos soak for the networked control plane.
+
+A :class:`ChaosSoak` runs one elastic job in-process (workers as
+threads, AM per transport seam) while a deterministic
+:class:`SoakSchedule` injects the failures this PR's failover machinery
+exists for:
+
+* **worker kills** — a thread raises
+  :class:`~repro.coordination.faults.SilentCrash` mid-iteration and its
+  link is torn down, so only lease expiry can notice;
+* **an AM kill** — the primary is :meth:`abandoned
+  <repro.net.master_service.NetworkedApplicationMaster.abandon>` and a
+  successor is rebuilt from the journal
+  (:meth:`~repro.net.master_service.NetworkedApplicationMaster.from_journal`),
+  taking over via transport redirect (memory) or a pre-advertised
+  standby endpoint (TCP);
+* **connection resets / message drops** — the existing
+  :class:`~repro.coordination.faults.FaultPlan` machinery.
+
+The soak's verdict is a :class:`GoodputReport` derived from the Chrome
+trace (busy ``worker.iteration`` span time over wall time) and the
+:class:`~repro.observability.MetricRegistry` (detection latency and
+MTTR histograms fed by the lease evictor), with
+:meth:`GoodputReport.assert_slo` turning the floors into a hard
+pass/fail.  The same schedule replays identically over the in-memory
+transport and loopback TCP — recovery *counts* must match even though
+timings differ.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import typing
+
+from ..coordination.faults import FaultPlan, SilentCrash
+from ..coordination.messages import MessageType
+from ..observability import MetricRegistry, Tracer
+from .agent import WorkerAgent
+from .master_service import JobSpec, NetworkedApplicationMaster
+from .peers import MemoryPeerHost, TcpPeerHost
+from .transport import (
+    RequestTimeout,
+    RetryableError,
+    TransportClosed,
+    memory_link,
+)
+
+#: trace instants counted by :func:`derive_report` (all emitted by this
+#: PR's failover paths; see docs/OBSERVABILITY.md).
+_INSTANT_COUNTS = {
+    "am.failover": "failovers",
+    "worker.condemned": "condemned",
+    "am.eviction_minted": "evictions_minted",
+    "worker.enrolled": "enrollments",
+    "worker.stale_repair": "stale_repairs",
+    "net.transfer_restart": "transfer_restarts",
+    "worker.evicted": "workers_evicted",
+    "am.plan_aborted": "plans_aborted",
+}
+
+
+class SLOViolation(AssertionError):
+    """The soak finished but missed its goodput/MTTR service levels."""
+
+
+class SoakSchedule:
+    """One soak's complete, deterministic failure schedule.
+
+    Everything is keyed by *iteration* (the job's logical clock), never
+    by wall time, which is what makes the schedule replayable across
+    transports and machines.
+    """
+
+    def __init__(
+        self,
+        worker_kills: "typing.Mapping[str, int] | None" = None,
+        am_kill_iteration: "int | None" = None,
+        connection_resets: "typing.Mapping[str, typing.Sequence[int]] | None" = None,
+        drop_every: "typing.Mapping[str, int] | None" = None,
+    ):
+        #: worker id -> iteration at which its thread silently dies.
+        self.worker_kills = dict(worker_kills or {})
+        #: AM is killed once training reaches this iteration (None: never).
+        self.am_kill_iteration = am_kill_iteration
+        #: worker id -> message indices at which its connection resets.
+        self.connection_resets = {
+            w: tuple(r) for w, r in (connection_resets or {}).items()
+        }
+        #: worker id -> drop each n-th control-plane message.
+        self.drop_every = dict(drop_every or {})
+
+    def fault_plan(self, worker_id: str) -> "FaultPlan | None":
+        resets = self.connection_resets.get(worker_id, ())
+        drops = self.drop_every.get(worker_id, 0)
+        if not resets and not drops:
+            return None
+        return FaultPlan(connection_resets=tuple(resets), drop_every=drops)
+
+    def describe(self) -> dict:
+        return {
+            "worker_kills": dict(self.worker_kills),
+            "am_kill_iteration": self.am_kill_iteration,
+            "connection_resets": {
+                w: list(r) for w, r in self.connection_resets.items()
+            },
+            "drop_every": dict(self.drop_every),
+        }
+
+
+class GoodputReport:
+    """What the soak measured, plus the SLO verdict machinery."""
+
+    def __init__(self, **fields):
+        self.goodput: float = fields.pop("goodput", 0.0)
+        self.busy_seconds: float = fields.pop("busy_seconds", 0.0)
+        self.wall_seconds: float = fields.pop("wall_seconds", 0.0)
+        self.iterations: int = fields.pop("iterations", 0)
+        self.workers: int = fields.pop("workers", 0)
+        self.recoveries: int = fields.pop("recoveries", 0)
+        self.mean_mttr: "float | None" = fields.pop("mean_mttr", None)
+        self.max_mttr: "float | None" = fields.pop("max_mttr", None)
+        self.mean_detection: "float | None" = fields.pop(
+            "mean_detection", None
+        )
+        self.counts: "dict[str, int]" = fields.pop("counts", {})
+        self.extra = fields
+
+    def assert_slo(
+        self, goodput_floor: float = 0.3, mttr_ceiling: float = 10.0
+    ) -> "GoodputReport":
+        """Raise :class:`SLOViolation` unless the floors hold; else self."""
+        problems = []
+        if self.goodput < goodput_floor:
+            problems.append(
+                f"goodput {self.goodput:.3f} below floor {goodput_floor:.3f}"
+            )
+        if self.max_mttr is not None and self.max_mttr > mttr_ceiling:
+            problems.append(
+                f"max MTTR {self.max_mttr:.2f}s above ceiling "
+                f"{mttr_ceiling:.2f}s"
+            )
+        if problems:
+            raise SLOViolation("; ".join(problems))
+        return self
+
+    def rows(self) -> "list[tuple[str, str]]":
+        def fmt(value, unit=""):
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.3f}{unit}"
+            return f"{value}{unit}"
+
+        rows = [
+            ("goodput", fmt(self.goodput)),
+            ("busy", fmt(self.busy_seconds, "s")),
+            ("wall", fmt(self.wall_seconds, "s")),
+            ("iterations", fmt(self.iterations)),
+            ("workers", fmt(self.workers)),
+            ("recoveries", fmt(self.recoveries)),
+            ("mean MTTR", fmt(self.mean_mttr, "s")),
+            ("max MTTR", fmt(self.max_mttr, "s")),
+            ("mean detection", fmt(self.mean_detection, "s")),
+        ]
+        for name in sorted(self.counts):
+            rows.append((name, fmt(self.counts[name])))
+        return rows
+
+    def format(self) -> str:
+        rows = self.rows()
+        width = max(len(name) for name, _ in rows)
+        lines = [f"{name:<{width}}  {value}" for name, value in rows]
+        return "\n".join(lines)
+
+
+def derive_report(
+    events: "typing.Sequence[dict]",
+    metrics: "dict | None" = None,
+) -> GoodputReport:
+    """Compute goodput/MTTR from Chrome-trace events (+ a metrics snapshot).
+
+    Goodput is the fraction of the job's wall-clock each participating
+    worker spent inside ``worker.iteration`` spans, averaged over the
+    workers that emitted any — time lost to barriers, failover backoff,
+    re-enrollment, and repair shows up directly as the gap to 1.0.
+    Works on a live tracer's ``to_events()`` or a trace file reloaded
+    with :func:`repro.observability.load_trace_events`.
+    """
+    track_names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    busy_us: "dict[str, float]" = {}
+    counts = {label: 0 for label in _INSTANT_COUNTS.values()}
+    iterations = 0
+    t_lo: "float | None" = None
+    t_hi: "float | None" = None
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        ts = float(event.get("ts", 0.0))
+        end = ts + float(event.get("dur", 0.0))
+        t_lo = ts if t_lo is None else min(t_lo, ts)
+        t_hi = end if t_hi is None else max(t_hi, end)
+        name = event.get("name")
+        if phase == "X" and name == "worker.iteration":
+            track = track_names.get(event.get("tid"), str(event.get("tid")))
+            busy_us[track] = busy_us.get(track, 0.0) + float(
+                event.get("dur", 0.0)
+            )
+            iterations += 1
+        elif phase == "i" and name in _INSTANT_COUNTS:
+            counts[_INSTANT_COUNTS[name]] += 1
+    wall = (t_hi - t_lo) / 1e6 if t_lo is not None else 0.0
+    busy = sum(busy_us.values()) / 1e6
+    workers = len(busy_us)
+    goodput = busy / (wall * workers) if wall > 0 and workers else 0.0
+
+    recoveries = counts.get("condemned", 0)
+    mean_mttr = max_mttr = mean_detection = None
+    if metrics:
+        mttr = metrics.get("failure.mttr_seconds") or {}
+        detection = metrics.get("failure.detection_latency_seconds") or {}
+        if mttr.get("count"):
+            recoveries = int(mttr["count"])
+            mean_mttr = mttr.get("mean")
+            max_mttr = mttr.get("max")
+        if detection.get("count"):
+            mean_detection = detection.get("mean")
+    return GoodputReport(
+        goodput=goodput,
+        busy_seconds=busy,
+        wall_seconds=wall,
+        iterations=iterations,
+        workers=workers,
+        recoveries=recoveries,
+        mean_mttr=mean_mttr,
+        max_mttr=max_mttr,
+        mean_detection=mean_detection,
+        counts=counts,
+    )
+
+
+class ChaosSoak:
+    """One elastic job soaked under a deterministic fault schedule."""
+
+    def __init__(
+        self,
+        transport: str,
+        spec: JobSpec,
+        workers: "typing.Sequence[str]",
+        schedule: "SoakSchedule | None" = None,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricRegistry | None" = None,
+        join_timeout: float = 30.0,
+        timeout: float = 120.0,
+    ):
+        if transport not in ("memory", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.transport = transport
+        self.spec = spec
+        self.workers = list(workers)
+        self.schedule = schedule or SoakSchedule()
+        self.tracer = tracer or Tracer(process=f"chaos-soak-{transport}")
+        self.metrics = metrics or MetricRegistry()
+        self.join_timeout = join_timeout
+        self.timeout = timeout
+        self.results: "dict[str, dict]" = {}
+        self.errors: "dict[str, BaseException]" = {}
+        self.killed: "list[str]" = []
+        self.failed_over = False
+        self.master: "NetworkedApplicationMaster | None" = None
+        self.report: "GoodputReport | None" = None
+        self._threads: "dict[str, threading.Thread]" = {}
+        self._memory_transports: "dict[str, typing.Any]" = {}
+        self._endpoints: "list[tuple[str, int]] | None" = None
+        self._standby = None  # (socket, port) reserved for the successor
+        self._mesh = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def _make_link(self, node_id, fault_plan=None, ack_timeout=0.5):
+        if self.transport == "tcp":
+            from .tcp import tcp_link
+
+            link, transport = tcp_link(
+                self._endpoints[0][0], self._endpoints[0][1], node_id,
+                fault_plan=fault_plan, ack_timeout=ack_timeout,
+                heartbeat_interval=0.2, tracer=self.tracer,
+                metrics=self.metrics, endpoints=self._endpoints,
+                connect_attempts=10,
+            )
+            return link
+        link = memory_link(
+            self.master.core, node_id, fault_plan=fault_plan,
+            ack_timeout=ack_timeout, tracer=self.tracer,
+            metrics=self.metrics, heartbeat_interval=0.2,
+        )
+        self._memory_transports[node_id] = link.transport
+        return link
+
+    def _start_worker(self, worker_id: str) -> None:
+        def run():
+            link = self._make_link(
+                worker_id, fault_plan=self.schedule.fault_plan(worker_id)
+            )
+            agent = WorkerAgent(
+                worker_id, link, poll_interval=0.02,
+                join_timeout=self.join_timeout, tracer=self.tracer,
+                metrics=self.metrics, peer_host=self._mesh,
+                die_at_iteration=self.schedule.worker_kills.get(worker_id),
+            )
+            try:
+                self.results[worker_id] = agent.run()
+            except SilentCrash:
+                self.killed.append(worker_id)
+            except BaseException as exc:  # surfaced in the report/tests
+                self.errors[worker_id] = exc
+            finally:
+                # The crashed process's sockets die with it: closing the
+                # link here stops the TCP heartbeat thread, so nothing
+                # keeps feeding the dead worker's lease.
+                link.close()
+
+        thread = threading.Thread(
+            target=run, name=f"soak-{worker_id}", daemon=True
+        )
+        self._threads[worker_id] = thread
+        thread.start()
+
+    # -- failover ---------------------------------------------------------------
+
+    def _fail_over(self) -> None:
+        """Kill the primary AM and promote a journal-replayed successor."""
+        old = self.master
+        if self.tracer is not None:
+            self.tracer.instant(
+                "soak.am_kill", track="soak", cat="chaos", epoch=old.epoch,
+            )
+        old.abandon()
+        successor = NetworkedApplicationMaster.from_journal(
+            old.journal, tracer=self.tracer, metrics=self.metrics,
+        )
+        if self.transport == "tcp":
+            sock, port = self._standby
+            sock.close()
+            host = self._endpoints[0][0]
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    successor.serve_tcp(host, port)
+                    break
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.05)
+        else:
+            for transport in list(self._memory_transports.values()):
+                transport.redirect(successor.core)
+        self.master = successor
+        self.failed_over = True
+
+    # -- the soak ---------------------------------------------------------------
+
+    def run(self) -> GoodputReport:
+        """Run the job under the schedule; returns the goodput report."""
+        spec = self.spec
+        self.master = NetworkedApplicationMaster(
+            spec, self.workers, tracer=self.tracer, metrics=self.metrics,
+        )
+        if self.transport == "tcp":
+            from .tcp import reserve_port
+
+            server = self.master.serve_tcp()
+            self._standby = reserve_port(server.host)
+            self._endpoints = [
+                (server.host, server.port),
+                (server.host, self._standby[1]),
+            ]
+            self._mesh = TcpPeerHost()
+        else:
+            self._mesh = MemoryPeerHost()
+        try:
+            return self._drive()
+        finally:
+            if self._standby is not None:
+                try:
+                    self._standby[0].close()
+                except OSError:
+                    pass
+            if self._mesh is not None:
+                self._mesh.close()
+            self.master.close()
+
+    def _drive(self) -> GoodputReport:
+        for worker_id in self.workers:
+            self._start_worker(worker_id)
+        driver = self._make_link("soak-driver", ack_timeout=1.0)
+        kill_at = self.schedule.am_kill_iteration
+        deadline = time.monotonic() + self.timeout
+        try:
+            while any(t.is_alive() for t in self._threads.values()):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"soak did not finish within {self.timeout}s "
+                        f"(results={sorted(self.results)}, "
+                        f"errors={self.errors})"
+                    )
+                status = self._status(driver)
+                if (
+                    kill_at is not None
+                    and not self.failed_over
+                    and status is not None
+                    and status.get("iteration", 0) >= kill_at
+                ):
+                    self._fail_over()
+                time.sleep(0.05)
+        finally:
+            driver.close()
+        for thread in self._threads.values():
+            thread.join(timeout=5.0)
+        if self.errors:
+            worker, error = sorted(self.errors.items())[0]
+            raise RuntimeError(
+                f"soak worker {worker!r} failed: {error!r}"
+            ) from error
+        self.report = derive_report(
+            self.tracer.to_events(), self.metrics.snapshot()
+        )
+        self.metrics.gauge("goodput.ratio").set(self.report.goodput)
+        self.metrics.gauge("goodput.busy_seconds").set(
+            self.report.busy_seconds
+        )
+        self.metrics.gauge("goodput.wall_seconds").set(
+            self.report.wall_seconds
+        )
+        return self.report
+
+    def _status(self, driver) -> "dict | None":
+        """One best-effort STATUS poll (None while the AM is down)."""
+        try:
+            return driver.request(MessageType.STATUS, ack_timeout=0.5)
+        except (RequestTimeout, TransportClosed, RetryableError):
+            return None

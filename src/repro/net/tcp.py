@@ -53,9 +53,19 @@ class TcpTransport:
         max_reconnect_attempts: int = 8,
         binary: bool = True,
         metrics: "typing.Any | None" = None,
+        endpoints: "typing.Sequence[tuple[str, int]] | None" = None,
     ):
-        self.host = host
-        self.port = port
+        #: Candidate AM endpoints, primary first.  A failed reconnect
+        #: attempt rotates to the next one, so a worker given the
+        #: standby AM's address keeps retrying *somewhere* useful while
+        #: the primary is dead.
+        self.endpoints: "list[tuple[str, int]]" = (
+            [(str(h), int(p)) for h, p in endpoints]
+            if endpoints else [(host, port)]
+        )
+        self._endpoint_index = 0
+        self.endpoint_rotations = 0
+        self.host, self.port = self.endpoints[0]
         self.node_id = node_id
         # Never request a codec this process cannot decode: the server
         # would agree to it and the two ends would silently speak
@@ -98,6 +108,10 @@ class TcpTransport:
         self.heartbeats_acked = 0
         self.last_heartbeat_rtt: "float | None" = None
         self.server_node: "str | None" = None
+        #: Fencing epoch from the most recent welcome; a change across a
+        #: reconnect means a successor AM answered and the agent must
+        #: re-enroll.
+        self.server_epoch: "int | None" = None
 
     # -- connection management -------------------------------------------------
 
@@ -139,6 +153,8 @@ class TcpTransport:
             self.codec = answer.get("codec", self.codec)
             self.binary = self._binary_wanted and bool(answer.get("bin"))
             self.server_node = answer.get("node")
+            if answer.get("epoch") is not None:
+                self.server_epoch = int(answer["epoch"])
             self._sock = sock
             self._reader = threading.Thread(
                 target=self._read_loop, args=(sock,),
@@ -154,6 +170,38 @@ class TcpTransport:
                     name=f"net-hb-{self.node_id}", daemon=True,
                 )
                 self._heartbeat_thread.start()
+
+    def _advance_endpoint(self) -> None:
+        """Rotate to the next candidate endpoint (no-op with one)."""
+        if len(self.endpoints) < 2:
+            return
+        self._endpoint_index = (
+            (self._endpoint_index + 1) % len(self.endpoints)
+        )
+        self.host, self.port = self.endpoints[self._endpoint_index]
+        self.endpoint_rotations += 1
+
+    def dial(self, attempts: int = 1) -> None:
+        """Connect with bounded retries, rotating endpoints on refusal.
+
+        The startup analogue of :meth:`_reconnect`: a worker launched
+        while the AM is restarting backs off and retries instead of
+        dying on the first ``ECONNREFUSED``.
+        """
+        last_error: "Exception | None" = None
+        for attempt in range(max(1, attempts)):
+            if self._closed.is_set():
+                raise wire.WireError("transport is closed")
+            try:
+                self.connect()
+                return
+            except (OSError, wire.WireError) as exc:
+                last_error = exc
+                self._advance_endpoint()
+                self._backoff.wait(attempt)
+        raise last_error if last_error is not None else wire.WireError(
+            f"{self.node_id}: could not dial {self.endpoints}"
+        )
 
     def _drop_connection(self) -> None:
         with self._send_lock:
@@ -180,6 +228,7 @@ class TcpTransport:
             try:
                 self.connect()
             except (OSError, wire.WireError):
+                self._advance_endpoint()
                 self._backoff.wait(attempt)
                 continue
             self.reconnects += 1
@@ -382,7 +431,10 @@ class TcpServer:
                 return
             wire.write_frame(
                 conn,
-                wire.welcome_frame(self.core.node_id, codec, binary=binary),
+                wire.welcome_frame(
+                    self.core.node_id, codec, binary=binary,
+                    epoch=getattr(self.core, "epoch", None),
+                ),
                 "json",
             )
             self.connections_accepted += 1
@@ -419,7 +471,13 @@ class TcpServer:
         kind = frame.get("kind")
         if kind == "heartbeat":
             self.heartbeats_received += 1
-            self.last_seen[frame.get("node", "?")] = time.perf_counter()
+            node = frame.get("node", "?")
+            self.last_seen[node] = time.perf_counter()
+            # Heartbeats are a liveness signal for the lease layer too:
+            # a worker blocked in a long barrier sends no messages but
+            # is still very much alive.
+            if self.core.on_activity is not None:
+                self.core.on_activity(node)
             with write_lock:
                 wire.write_frame(
                     conn, wire.heartbeat_ack_frame(frame.get("seq", 0)),
@@ -478,6 +536,21 @@ class TcpServer:
             self._accept_thread.join(timeout=2.0)
 
 
+def reserve_port(host: str = "127.0.0.1") -> "tuple[socket.socket, int]":
+    """Reserve a loopback port without listening on it.
+
+    Returns ``(sock, port)``: the socket is *bound but not listening*,
+    so clients dialing the port get ``ECONNREFUSED`` (and rotate to
+    another endpoint) until the holder closes the socket and a real
+    server binds it.  This is how failover tests pre-advertise a
+    standby AM endpoint before the standby exists.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, 0))
+    return sock, sock.getsockname()[1]
+
+
 def tcp_link(
     host: str,
     port: int,
@@ -490,8 +563,19 @@ def tcp_link(
     heartbeat_interval: "float | None" = HEARTBEAT_INTERVAL,
     binary: bool = True,
     metrics: "typing.Any | None" = None,
+    endpoints: "typing.Sequence[tuple[str, int]] | None" = None,
+    connect_attempts: int = 1,
+    max_reconnect_attempts: int = 8,
 ) -> "tuple":
-    """A connected reliable TCP client; returns ``(link, transport)``."""
+    """A connected reliable TCP client; returns ``(link, transport)``.
+
+    ``endpoints`` lists every candidate AM address (primary first;
+    overrides ``host``/``port``); ``connect_attempts`` bounds the
+    initial dial's retry-with-rotation loop.
+    ``max_reconnect_attempts`` bounds each *mid-run* redial cycle —
+    links to an AM keep the default (it may be failing over), links to
+    a peer should use a small budget (a refused peer is simply dead).
+    """
     from .transport import ReliableLink
 
     link = ReliableLink(
@@ -502,7 +586,8 @@ def tcp_link(
         host, port, node_id, on_reply=link.on_reply, codec=codec,
         fault_plan=fault_plan, tracer=tracer,
         heartbeat_interval=heartbeat_interval, binary=binary,
-        metrics=metrics,
+        metrics=metrics, endpoints=endpoints,
+        max_reconnect_attempts=max_reconnect_attempts,
     )
-    transport.connect()
+    transport.dial(connect_attempts)
     return link.attach(transport), transport

@@ -50,6 +50,22 @@ class RemoteError(RuntimeError):
     """The server's handler raised; the error text crossed the wire."""
 
 
+class RetryableError(RemoteError):
+    """A structured, *recoverable* server-side rejection.
+
+    Raised when the reply carries ``__retry__`` alongside ``__error__``:
+    the server is telling this client that the request hit a condition
+    the client can resolve itself — a superseded AM epoch (re-enroll
+    with the successor), a stale sync barrier (repair the mean from a
+    peer), a superseded generation.  ``reason`` holds the machine-
+    readable tag; the human text stays in ``args[0]``.
+    """
+
+    def __init__(self, message: str, reason: str):
+        super().__init__(message)
+        self.reason = reason
+
+
 class RequestTimeout(TimeoutError):
     """Every resend attempt of one request went unacknowledged."""
 
@@ -237,6 +253,10 @@ class ReliableLink:
             )
         reply = slot.payload or {}
         if "__error__" in reply:
+            if "__retry__" in reply:
+                raise RetryableError(
+                    reply["__error__"], str(reply["__retry__"])
+                )
             raise RemoteError(reply["__error__"])
         return reply
 
@@ -316,6 +336,7 @@ class ServerCore:
         reply_wait: float = 30.0,
         dedup_ttl: "float | None" = 120.0,
         metrics: "typing.Any | None" = None,
+        on_activity: "typing.Callable[[str], None] | None" = None,
     ):
         self.handler = handler
         self.node_id = node_id
@@ -323,6 +344,13 @@ class ServerCore:
         self.metrics = metrics
         self.reply_wait = reply_wait
         self.dedup_ttl = dedup_ttl
+        #: Fencing epoch advertised in the TCP welcome (and readable by
+        #: the in-memory transport); bumped by AM failover.
+        self.epoch = 0
+        #: Liveness hook, called with the sender id for *every* inbound
+        #: message — duplicates included, because a worker stuck resending
+        #: into a blocked barrier is very much alive.
+        self.on_activity = on_activity
         self._inbox = DeduplicatingInbox(
             key=lambda message: (message.sender, message.msg_id)
         )
@@ -351,6 +379,8 @@ class ServerCore:
 
     def dispatch(self, message: Message) -> dict:
         """Process one inbound message; returns the reply payload."""
+        if self.on_activity is not None:
+            self.on_activity(message.sender)
         key = (message.sender, message.msg_id)
         with self._lock:
             if self.dedup_ttl is not None:
@@ -419,6 +449,7 @@ class InMemoryTransport(FaultyChannel):
         fault_plan: "FaultPlan | None" = None,
         backoff: "ExponentialBackoff | None" = None,
         tracer: "typing.Any | None" = None,
+        heartbeat_interval: "float | None" = None,
     ):
         plan = fault_plan
         super().__init__(
@@ -436,16 +467,56 @@ class InMemoryTransport(FaultyChannel):
         self.tracer = tracer
         self._link_up = True
         self.reconnects = 0
+        #: Optional liveness heartbeat, mirroring the TCP transport's
+        #: wire-level pings: feeds the server's ``on_activity`` hook
+        #: (lease keep-alive) without going through dispatch, so
+        #: exactly-once execution counts are untouched.  A worker doing
+        #: ring (peer-to-peer) iterations may otherwise not message the
+        #: AM for a whole coordination interval — silence the lease
+        #: evictor must not mistake for death.  Off by default; dies
+        #: with :meth:`close`, exactly like a real process's socket.
         #: Serializes concurrent senders (pipelined chunk uploads use a
         #: small thread window) so the deterministic fault schedule sees
         #: one send at a time, exactly like the TCP transport's
         #: send lock.
         self._send_lock = threading.Lock()
+        self._heartbeat_stop = threading.Event()
+        self._heartbeat_thread: "threading.Thread | None" = None
+        if heartbeat_interval:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, args=(heartbeat_interval,),
+                name=f"mem-hb-{node_id}", daemon=True,
+            )
+            self._heartbeat_thread.start()
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._heartbeat_stop.wait(interval):
+            if not self.connected:
+                continue
+            on_activity = getattr(self._server, "on_activity", None)
+            if on_activity is not None:
+                on_activity(self.node_id)
 
     @property
     def connected(self) -> bool:
         """Both "the channel is open" and "the simulated link is up"."""
         return super().connected and self._link_up
+
+    @property
+    def server_epoch(self) -> "int | None":
+        """The served AM's fencing epoch (mirrors the TCP welcome)."""
+        return getattr(self._server, "epoch", None)
+
+    def redirect(self, server: ServerCore) -> None:
+        """Point this transport at a successor server (AM failover).
+
+        The in-memory analogue of a TCP client reconnecting to the
+        standby endpoint: subsequent sends dispatch into the new core,
+        and :attr:`server_epoch` reports its (bumped) fencing epoch.
+        """
+        with self._send_lock:
+            self._server = server
+            self._link_up = True
 
     def _dispatch(self, message: Message) -> None:
         reply = self._server.dispatch(message)
@@ -481,6 +552,10 @@ class InMemoryTransport(FaultyChannel):
                 time.sleep(action.delay)
             return super().send(message)
 
+    def close(self) -> None:
+        self._heartbeat_stop.set()
+        super().close()
+
 
 def memory_link(
     server: ServerCore,
@@ -490,6 +565,7 @@ def memory_link(
     max_attempts: int = 10,
     tracer: "typing.Any | None" = None,
     metrics: "typing.Any | None" = None,
+    heartbeat_interval: "float | None" = None,
 ) -> ReliableLink:
     """A ready-to-use reliable in-memory client for ``server``."""
     link = ReliableLink(
@@ -498,6 +574,6 @@ def memory_link(
     )
     transport = InMemoryTransport(
         node_id, server, on_reply=link.on_reply, fault_plan=fault_plan,
-        tracer=tracer,
+        tracer=tracer, heartbeat_interval=heartbeat_interval,
     )
     return link.attach(transport)

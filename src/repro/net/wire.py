@@ -485,16 +485,27 @@ def hello_frame(node_id: str, codec: str = "json", binary: bool = True) -> dict:
 
 
 def welcome_frame(
-    node_id: str, codec: str = "json", binary: bool = False
+    node_id: str, codec: str = "json", binary: bool = False,
+    epoch: "int | None" = None,
 ) -> dict:
-    """The server's handshake acceptance."""
-    return {
+    """The server's handshake acceptance.
+
+    ``epoch`` carries the server's fencing epoch when it has one (the
+    networked AM always does): a client that reconnects and sees the
+    epoch move knows it is talking to a successor AM and must
+    re-enroll.  Peers that predate the field simply ignore it —
+    :data:`PROTOCOL_VERSION` is unchanged.
+    """
+    frame = {
         "kind": "welcome",
         "version": PROTOCOL_VERSION,
         "node": node_id,
         "codec": codec,
         "bin": bool(binary),
     }
+    if epoch is not None:
+        frame["epoch"] = int(epoch)
+    return frame
 
 
 def reject_frame(reason: str) -> dict:

@@ -109,3 +109,48 @@ class TestTracingCommand:
         path.write_text('[{"name":"x","ph":"X","ts":0}]')
         assert main(["tracing", "validate", str(path)]) == 1
         assert "INVALID" in capsys.readouterr().out
+
+
+class TestSoakCommand:
+    def _trace(self, tmp_path):
+        """A miniature soaked-job trace: two busy workers, one failover."""
+        import time
+
+        from repro.observability import Tracer
+
+        tracer = Tracer(process="t")
+        for worker in ("w0", "w1"):
+            with tracer.span("worker.iteration", track=worker):
+                time.sleep(0.005)
+        tracer.instant("am.failover", track="am", epoch=2, replayed=9)
+        tracer.instant("worker.condemned", track="am", worker="w2")
+        path = tmp_path / "soak-trace.json"
+        tracer.export(str(path))
+        return str(path)
+
+    def test_replay_passes_its_floors(self, tmp_path, capsys):
+        assert main([
+            "soak", "--replay", self._trace(tmp_path),
+            "--goodput-floor", "0.0", "--mttr-ceiling", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "failovers" in out and "SLO ok" in out
+
+    def test_replay_violation_exits_nonzero(self, tmp_path, capsys):
+        assert main([
+            "soak", "--replay", self._trace(tmp_path),
+            "--goodput-floor", "1.5",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "SLO violation" in captured.err
+        assert "below floor" in captured.err
+
+    def test_soak_parser_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.transport == "memory"
+        assert args.workers == 3
+        assert args.am_kill_iter == 14
+        assert args.worker_kill_iter == 9
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["soak", "--transport", "carrier"])
