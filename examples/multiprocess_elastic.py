@@ -42,11 +42,24 @@ drill: the AM journals to disk and worker leases are enabled):
   run then asserts the fencing epoch bumped and an ``am.failover``
   instant landed in the trace.
 
-Set ``ELAN_TRACE=/path/to/trace.json`` to export the AM-side trace
-(net.send / net.recv / net.reconnect / net.state_upload spans
-included); see docs/OBSERVABILITY.md and docs/PROTOCOL.md.
+Observability knobs:
+
+* ``ELAN_TRACE=/path/to/trace.json`` — export the AM-side trace
+  (net.send / net.recv / net.reconnect / net.state_upload spans),
+* ``ELAN_TELEMETRY`` — worker→AM telemetry shipping interval in seconds
+  (default 0.5; 0 disables).  With shipping on, every worker pushes
+  metric/trace deltas to the AM's fleet collector and the run prints a
+  live per-job goodput report at the end,
+* ``ELAN_FLEET_TRACE=/path`` — export the merged, clock-aligned fleet
+  trace (AM + every worker as named process rows; feed it to
+  ``python -m repro.cli tracing validate`` / ``summarize``),
+* ``ELAN_METRICS=/path`` — dump the AM metric registry as lossless JSON
+  (readable back via ``python -m repro.cli tracing metrics``).
+
+See docs/OBSERVABILITY.md and docs/PROTOCOL.md.
 """
 
+import json
 import os
 import sys
 import tempfile
@@ -81,6 +94,9 @@ def main() -> int:
         # the AM to mint the shrink plan.
         worker_lease_ttl=2.0 if chaos else 0.0,
         lease_check_interval=0.25,
+        # Live telemetry: the knob rides the join reply, so setting it
+        # here is all it takes for every worker process to ship.
+        telemetry_interval=float(os.environ.get("ELAN_TELEMETRY", "0.5")),
     )
     trace_dir = os.environ.get(
         "ELAN_WORKER_TRACE_DIR"
@@ -217,6 +233,50 @@ def main() -> int:
             assert mttr and mttr["count"] >= 1, mttr
             print(f"recovery: detected {killed_worker} in "
                   f"{detect['mean']:.3f}s, repaired in {mttr['mean']:.3f}s")
+
+    if spec.telemetry_interval > 0:
+        # Every surviving worker shipped its registry and trace buffer
+        # live; the fleet collector must hold them all — including after
+        # an AM failover, where the successor's collector started empty
+        # and was rebuilt from the workers' full re-ships.
+        fleet = job.master.fleet
+        shipped = fleet.workers()
+        print(f"telemetry: collector holds {shipped} "
+              f"({'successor rebuilt from re-ships' if am_kill_iter else 'live'})")
+        for worker in workers:
+            if worker != killed_worker:
+                assert worker in shipped, (worker, shipped)
+                assert fleet.worker_events(worker), worker
+                assert fleet.worker_metrics(worker), worker
+        reports = job.fleet_report()
+        assert "fleet" in reports
+        fleet_rep = reports["fleet"]
+        assert fleet_rep.goodput > 0, fleet_rep.format()
+        assert fleet_rep.iterations > 0, fleet_rep.format()
+        print("fleet goodput report (live, from shipped telemetry):")
+        print("  " + fleet_rep.format().replace("\n", "\n  "))
+
+        fleet_trace = os.environ.get("ELAN_FLEET_TRACE")
+        if fleet_trace:
+            count = job.export_fleet_trace(fleet_trace)
+            merged = load_trace_events(fleet_trace)
+            assert not validate_events(merged), fleet_trace
+            processes = {
+                e["args"]["name"] for e in merged
+                if e.get("ph") == "M" and e.get("name") == "process_name"
+            }
+            for worker in workers:
+                if worker != killed_worker:
+                    assert worker in processes, (worker, processes)
+            print(f"merged fleet trace ({count} events, processes "
+                  f"{sorted(processes)}) -> {fleet_trace}")
+
+    metrics_path = os.environ.get("ELAN_METRICS")
+    if metrics_path:
+        with open(metrics_path, "w") as f:
+            json.dump(job.master.metrics.to_json(), f,
+                      indent=2, sort_keys=True)
+        print(f"AM metric registry -> {metrics_path}")
 
     trace_path = os.environ.get("ELAN_TRACE")
     if trace_path:

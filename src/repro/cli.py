@@ -211,12 +211,31 @@ def cmd_capacity(args) -> int:
 
 
 def cmd_tracing(args) -> int:
-    """Produce, summarize, or validate Chrome-format trace files."""
+    """Produce, summarize, or validate traces; inspect metric dumps."""
     from .observability import (
         load_trace_events,
         summarize_events,
+        summarize_point_events,
         validate_events,
     )
+
+    if args.action == "metrics":
+        import json
+
+        from .observability import MetricRegistry
+
+        with open(args.path) as f:
+            registry = MetricRegistry.from_json(json.load(f))
+        rows = []
+        for name, value in registry.snapshot().items():
+            if isinstance(value, dict):  # histogram stats
+                for key in ("count", "mean", "p50", "p99", "max"):
+                    if value.get(key) is not None:
+                        rows.append((f"{name}.{key}", f"{value[key]:.6g}"))
+            else:
+                rows.append((name, f"{value:.6g}"))
+        _print_table(("Metric", "Value"), rows, (36, 14))
+        return 0
 
     if args.action == "demo":
         from .core import ElasticJob, WeakScalingPolicy
@@ -259,6 +278,161 @@ def cmd_tracing(args) -> int:
         ("Span", "Count", "Total (s)", "Mean (ms)", "Max (ms)"),
         rows, (24, 7, 11, 11, 11),
     )
+    instants, counters = summarize_point_events(events)
+    if instants:
+        print()
+        rows = [
+            (name, count,
+             ", ".join(f"{t}={n}" for t, n in sorted(per_track.items())))
+            for name, count, per_track in instants
+        ]
+        _print_table(("Instant", "Count", "Per track"), rows, (24, 7, 36))
+    if counters:
+        print()
+        rows = [
+            (name, samples,
+             f"{last:.6g}" if isinstance(last, (int, float)) else "-",
+             ", ".join(f"{t}={n}" for t, n in sorted(per_track.items())))
+            for name, samples, last, per_track in counters
+        ]
+        _print_table(("Counter", "Samples", "Last", "Per track"),
+                     rows, (24, 8, 10, 28))
+    return 0
+
+
+def _fleet_query(connect: str, query: str, ack_timeout: float) -> dict:
+    """One TELEMETRY query round against a live AM at ``host:port``."""
+    from .coordination.messages import MessageType
+    from .net import tcp_link
+
+    host, _, port = connect.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(f"malformed --connect {connect!r} (host:port)")
+    link, _transport = tcp_link(
+        host or "127.0.0.1", int(port), "fleet-cli", ack_timeout=ack_timeout
+    )
+    try:
+        return link.request(MessageType.TELEMETRY, {"query": query})
+    finally:
+        link.close()
+
+
+def cmd_fleet(args) -> int:
+    """Fleet-level observability: goodput reports, merged traces, metrics.
+
+    Sources are either per-process trace files (positional paths) or a
+    live AM queried over TCP (``--connect host:port``) whose fleet
+    collector was fed by the workers' telemetry shippers.
+    """
+    from .observability import (
+        FleetCollector,
+        GoodputReport,
+        SLOViolation,
+        TraceMerger,
+        derive_report,
+        load_trace_events,
+        merge_metric_snapshots,
+        prometheus_text,
+        write_trace_events,
+    )
+
+    def merged_from_paths(paths):
+        merger = TraceMerger()
+        for path in paths:
+            merger.add(load_trace_events(path))
+        return merger.merge()
+
+    def gate(report) -> bool:
+        if args.goodput_floor is None and args.mttr_ceiling is None:
+            return True
+        try:
+            report.assert_slo(
+                goodput_floor=(
+                    0.0 if args.goodput_floor is None else args.goodput_floor
+                ),
+                mttr_ceiling=(
+                    float("inf") if args.mttr_ceiling is None
+                    else args.mttr_ceiling
+                ),
+            )
+        except SLOViolation as violation:
+            print(f"SLO violation: {violation}", file=sys.stderr)
+            return False
+        return True
+
+    if args.action == "report":
+        if args.connect:
+            reply = _fleet_query(args.connect, "report", args.ack_timeout)
+            reports = {
+                name: GoodputReport(**fields)
+                for name, fields in sorted(reply.get("reports", {}).items())
+            }
+            print(f"workers: {', '.join(reply.get('workers', [])) or '-'}")
+        elif args.paths:
+            reports = {
+                "fleet": derive_report(merged_from_paths(args.paths),
+                                       job="fleet"),
+            }
+        else:
+            print("fleet report needs trace files or --connect",
+                  file=sys.stderr)
+            return 2
+        ok = True
+        for name, report in reports.items():
+            print(report.format())
+            print()
+            if name == "fleet":
+                ok = gate(report) and ok
+        return 0 if ok else 1
+
+    if args.action == "export":
+        if not args.out:
+            print("fleet export needs --out", file=sys.stderr)
+            return 2
+        if args.connect:
+            reply = _fleet_query(args.connect, "fleet", args.ack_timeout)
+            collector = FleetCollector.from_payload(reply.get("fleet") or {})
+            events = collector.merged_events(
+                am_events=reply.get("am_events")
+            )
+        elif args.paths:
+            events = merged_from_paths(args.paths)
+        else:
+            print("fleet export needs trace files or --connect",
+                  file=sys.stderr)
+            return 2
+        write_trace_events(args.out, events)
+        print(f"wrote {len(events)} merged fleet events to {args.out}")
+        return 0
+
+    # prom: Prometheus-style text exposition of the fleet metric rollup.
+    if args.connect:
+        reply = _fleet_query(args.connect, "rollup", args.ack_timeout)
+        rollup = reply.get("rollup") or {}
+    elif args.paths:
+        import json
+
+        from .observability import MetricRegistry
+
+        snapshots = []
+        for path in args.paths:
+            with open(path) as f:
+                snapshots.append(
+                    MetricRegistry.from_json(json.load(f)).snapshot()
+                )
+        rollup = merge_metric_snapshots(snapshots)
+    else:
+        print("fleet prom needs metric JSON files or --connect",
+              file=sys.stderr)
+        return 2
+    text = prometheus_text(rollup)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {len(text.splitlines())} exposition lines to "
+              f"{args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -298,6 +472,7 @@ def cmd_serve(args) -> int:
         coordination_interval=args.interval,
         ring_enabled=not args.no_ring,
         worker_lease_ttl=args.lease_ttl,
+        telemetry_interval=args.telemetry_interval,
     )
     workers = [f"w{i}" for i in range(args.workers)]
     tracer = Tracer(process="elan-net") if args.trace else None
@@ -339,7 +514,7 @@ def cmd_join(args) -> int:
     """Run one worker agent against a serving AM."""
     from .coordination.faults import FaultPlan, SilentCrash
     from .net import TcpPeerHost, WorkerAgent, tcp_link
-    from .observability import Tracer
+    from .observability import MetricRegistry, Tracer
 
     plan = FaultPlan.for_link(
         drop_every=args.drop_every,
@@ -347,7 +522,11 @@ def cmd_join(args) -> int:
         resets=tuple(args.reset_at or ()),
     )
     peer_plan = FaultPlan.for_link(resets=tuple(args.peer_reset_at or ()))
-    tracer = Tracer(process=f"worker-{args.worker}") if args.trace else None
+    # Always record: the AM's spec may turn on live telemetry shipping,
+    # which needs a tracer/registry to ship from.  The local trace file
+    # is still only written when --trace asks for it.
+    tracer = Tracer(process=f"worker-{args.worker}")
+    metrics = MetricRegistry()
     peer_host = None if args.no_ring else TcpPeerHost(host=args.host)
     endpoints = [(args.host, args.port)]
     for endpoint in args.am_endpoint or ():
@@ -360,11 +539,12 @@ def cmd_join(args) -> int:
     link, _transport = tcp_link(
         args.host, args.port, args.worker,
         fault_plan=plan, ack_timeout=args.ack_timeout, tracer=tracer,
+        metrics=metrics,
         endpoints=endpoints if len(endpoints) > 1 else None,
         connect_attempts=args.connect_attempts,
     )
     agent = WorkerAgent(
-        args.worker, link, tracer=tracer,
+        args.worker, link, tracer=tracer, metrics=metrics,
         peer_host=peer_host, peer_fault_plan=peer_plan,
         ring_fail_at=tuple(args.ring_fail_at or ()),
         die_at_iteration=args.die_at,
@@ -380,8 +560,13 @@ def cmd_join(args) -> int:
         link.close()
         if peer_host is not None:
             peer_host.close()
-        if tracer is not None and args.trace:
+        if args.trace:
             tracer.export(args.trace)
+        if args.metrics_out:
+            import json
+
+            with open(args.metrics_out, "w") as f:
+                json.dump(metrics.to_json(), f, indent=2, sort_keys=True)
     print(f"{args.worker}: {result}")
     return 0
 
@@ -500,9 +685,37 @@ def build_parser() -> argparse.ArgumentParser:
     tracing = sub.add_parser(
         "tracing", help="record/summarize/validate Chrome trace files"
     )
-    tracing.add_argument("action", choices=("demo", "summarize", "validate"))
-    tracing.add_argument("path", help="trace file to write (demo) or read")
+    tracing.add_argument(
+        "action", choices=("demo", "summarize", "validate", "metrics")
+    )
+    tracing.add_argument(
+        "path",
+        help="trace file to write (demo) or read; metric-registry JSON "
+             "dump for the metrics action",
+    )
     tracing.add_argument("--seed", type=int, default=0)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="fleet observability: goodput reports, merged traces, "
+             "Prometheus exposition",
+    )
+    fleet.add_argument("action", choices=("report", "export", "prom"))
+    fleet.add_argument(
+        "paths", nargs="*",
+        help="per-process trace files (report/export) or metric-registry "
+             "JSON dumps (prom)",
+    )
+    fleet.add_argument("--connect",
+                       help="query a live AM at host:port instead of "
+                            "reading files")
+    fleet.add_argument("--out", help="output file (export: merged trace; "
+                                     "prom: exposition text)")
+    fleet.add_argument("--goodput-floor", type=float, default=None,
+                       help="exit 1 unless fleet goodput >= this")
+    fleet.add_argument("--mttr-ceiling", type=float, default=None,
+                       help="exit 1 if fleet max MTTR exceeds this")
+    fleet.add_argument("--ack-timeout", type=float, default=2.0)
 
     demo = sub.add_parser("demo", help="live elastic-training demo")
     demo.add_argument("--seed", type=int, default=0)
@@ -532,6 +745,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--resume", action="store_true",
                        help="recover a crashed AM from --journal instead "
                             "of starting a fresh job")
+    serve.add_argument("--telemetry-interval", type=float, default=0.0,
+                       help="workers ship metric/trace deltas this often "
+                            "in seconds (0 disables; rides the join "
+                            "reply, so no worker flag is needed)")
 
     join = sub.add_parser(
         "join", help="run one worker agent against a serving AM"
@@ -557,6 +774,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "the given iteration (repeatable)")
     join.add_argument("--trace", help="export this worker's Chrome trace "
                                       "here")
+    join.add_argument("--metrics-out",
+                      help="dump this worker's metric registry (JSON, "
+                           "tracing metrics readable) here")
     join.add_argument("--am-endpoint", action="append",
                       help="extra AM endpoint as host:port, tried when the "
                            "primary is unreachable (repeatable)")
@@ -600,6 +820,7 @@ _HANDLERS = {
     "trace": cmd_trace,
     "capacity": cmd_capacity,
     "tracing": cmd_tracing,
+    "fleet": cmd_fleet,
     "demo": cmd_demo,
     "serve": cmd_serve,
     "join": cmd_join,

@@ -42,6 +42,7 @@ class MessageType(enum.Enum):
     ENROLL = "enroll"  # worker -> successor AM (re-enroll after failover)
     RING_SEGMENT = "ring_segment"  # worker -> ring successor (one bucket)
     RING_FETCH = "ring_fetch"  # worker -> peer (iteration state / mean)
+    TELEMETRY = "telemetry"  # worker -> AM (metric/trace delta); driver query
 
 
 @dataclasses.dataclass(frozen=True)

@@ -51,6 +51,7 @@ from .soak import (
     derive_report,
 )
 from .tcp import TcpServer, TcpTransport, reserve_port, tcp_link
+from .telemetry import TelemetryShipper
 from .transport import (
     FaultAction,
     InMemoryTransport,
@@ -98,6 +99,7 @@ __all__ = [
     "SLOViolation",
     "SoakSchedule",
     "TcpPeerHost",
+    "TelemetryShipper",
     "ring_reference_average",
     "ReliableLink",
     "RemoteError",

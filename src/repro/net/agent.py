@@ -42,6 +42,7 @@ from ..training.optim import MomentumSGD
 from .chunks import ChunkedFetcher, ChunkedUploader
 from .collective import RingDegraded, RingMailbox, RingNode
 from .master_service import JobSpec
+from .telemetry import TelemetryShipper
 from .transport import (
     ReliableLink,
     RequestTimeout,
@@ -116,6 +117,9 @@ class WorkerAgent:
         self.stale_repairs = 0
         self.am_retries = 0
         self.peer_addr: "str | None" = None
+        #: live telemetry shipper (built from the admitted JobSpec when
+        #: ``spec.telemetry_interval > 0``).
+        self.telemetry: "TelemetryShipper | None" = None
         self._ring_node: "RingNode | None" = None
         self._mailbox: "RingMailbox | None" = None
         self._joined = False
@@ -178,6 +182,10 @@ class WorkerAgent:
         self._am_epoch = reply.get("epoch", self._am_epoch)
         self._enroll_needed = False
         self.enrollments += 1
+        if self.telemetry is not None:
+            # A successor AM starts with an empty fleet collector (it is
+            # deliberately not journaled); re-ship the full picture.
+            self.telemetry.mark_full()
         if self.metrics is not None:
             self.metrics.counter("worker.enrollments").inc()
         if self.tracer is not None:
@@ -251,6 +259,33 @@ class WorkerAgent:
                 self.metrics.counter("worker.am_retries").inc()
             self.backoff.wait(attempt)
             attempt += 1
+
+    def _start_telemetry(self, spec: JobSpec, job: "str | None") -> None:
+        """Begin live metric/trace shipping if the admitted spec asks.
+
+        The job id learned at admission is stamped into every outgoing
+        request's trace context (wire-level correlation) whether or not
+        shipping is on; the shipper itself only runs when the AM-side
+        ``telemetry_interval`` is positive — the knob rides the join
+        reply, so enabling it on the AM enables every worker.
+        """
+        if job:
+            self.link.trace_context["job"] = str(job)
+        if spec.telemetry_interval <= 0 or self.telemetry is not None:
+            return
+        if self.tracer is None and self.metrics is None:
+            return
+        self.telemetry = TelemetryShipper(
+            self.link,
+            self.worker_id,
+            job=str(job) if job else None,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            interval=spec.telemetry_interval,
+            max_events=spec.telemetry_max_events,
+            backlog=spec.telemetry_backlog,
+        )
+        self.telemetry.start()
 
     def _serve_peer(self) -> None:
         """Start this worker's peer endpoint before reporting in."""
@@ -445,6 +480,11 @@ class WorkerAgent:
         try:
             return self._run()
         finally:
+            if self.telemetry is not None:
+                # Stop the shipper thread without flushing: the clean
+                # exit path already flushed, and a crash (SilentCrash)
+                # must not ship — a killed process could not either.
+                self.telemetry.stop()
             if self._ring_node is not None:
                 self._ring_node.close()
             if self.peer_host is not None and self.peer_addr is not None:
@@ -461,6 +501,7 @@ class WorkerAgent:
         self._am_epoch = admission.get("epoch")
         self._generation = generation
         self._iteration = start_iteration
+        self._start_telemetry(spec, admission.get("job"))
         self._build_ring_node(spec)
         self._install_ring(admission.get("ring"))
 
@@ -520,6 +561,11 @@ class WorkerAgent:
                     iteration=self._iteration,
                 )
 
+        if self.telemetry is not None:
+            # Clean exit: drain the trace/metric backlog before the
+            # final report so the AM's fleet view includes our last
+            # iterations (the final spans above are closed by now).
+            self.telemetry.flush()
         self.final_digest = params_digest(params)
         self._request(
             MessageType.STATE_UPLOAD,

@@ -230,6 +230,34 @@ class MultiprocessElasticJob:
         """One STATUS round-trip."""
         return self.control.request(MessageType.STATUS)
 
+    # -- fleet observability -----------------------------------------------------
+
+    def fleet_report(self) -> dict:
+        """Per-job + fleet goodput reports from the live fleet collector.
+
+        After a :meth:`fail_over` this reads the *successor's* collector,
+        which the surviving workers repopulated with full re-ships at
+        re-enrollment — exercising exactly the rebuild path a real
+        monitoring stack would depend on.
+        """
+        return self.master.fleet.report(
+            am_events=(
+                self.tracer.to_events() if self.tracer is not None else None
+            ),
+            am_metrics=self.master.metrics.snapshot(),
+        )
+
+    def export_fleet_trace(self, path: str) -> int:
+        """Write the merged, clock-aligned fleet trace; returns event count."""
+        from ..observability import write_trace_events
+
+        events = self.master.fleet.merged_events(
+            am_events=(
+                self.tracer.to_events() if self.tracer is not None else None
+            ),
+        )
+        return write_trace_events(path, events)
+
     # -- progress ----------------------------------------------------------------
 
     def _poll(

@@ -46,7 +46,7 @@ from ..coordination.master import (
 from ..coordination.messages import Message, MessageType
 from ..coordination.store import KeyValueStore
 from ..coordination.telemetry import RuntimeTelemetry
-from ..observability import MetricRegistry
+from ..observability import FleetCollector, MetricRegistry
 from ..replication.planner import plan_replication
 from ..topology.builder import ServerSpec, build_node
 from ..topology.tree import DeviceKind, TopologyNode
@@ -127,6 +127,20 @@ class JobSpec:
     worker_lease_ttl: float = 0.0
     #: cadence of the lease supervisor's expiry sweep.
     lease_check_interval: float = 0.25
+    #: live telemetry shipping cadence (seconds).  0 disables shipping —
+    #: the default, so jobs without a fleet collector pay nothing.  With
+    #: an interval, every worker periodically ships a bounded delta of
+    #: its metric registry and trace-event buffer to the AM over a
+    #: TELEMETRY message; the knob rides the join-reply spec, so setting
+    #: it on the AM enables every worker.
+    telemetry_interval: float = 0.0
+    #: largest number of trace events per TELEMETRY delta (backpressure
+    #: bound; the rest wait for the next tick).
+    telemetry_max_events: int = 512
+    #: largest unshipped trace-event backlog per worker; beyond it the
+    #: oldest unshipped events are dropped (and counted) rather than
+    #: letting a slow AM grow the shipper's cursor debt forever.
+    telemetry_backlog: int = 4096
 
     @property
     def reply_wait(self) -> float:
@@ -367,6 +381,11 @@ class NetworkedApplicationMaster:
         #: heartbeat-lease substrate (PR 1 semantics, injectable clock).
         self._leases = KeyValueStore(clock=clock)
         self.telemetry = RuntimeTelemetry(clock=clock, metrics=self.metrics)
+        #: live fleet view fed by workers' TELEMETRY deltas.  Never
+        #: journaled: a successor AM starts with an empty collector and
+        #: every worker re-ships a full snapshot after re-enrollment,
+        #: which rebuilds the view without bloating the write-ahead log.
+        self.fleet = FleetCollector(job_id=job_id)
         self.core = ServerCore(
             handler=self.handle, node_id="am", tracer=tracer,
             reply_wait=spec.reply_wait,
@@ -488,7 +507,67 @@ class NetworkedApplicationMaster:
             return self._handle_adjustment_request(payload)
         if message.msg_type is MessageType.STATUS:
             return self.status()
+        if message.msg_type is MessageType.TELEMETRY:
+            return self._handle_telemetry(worker, payload)
         raise ValueError(f"unhandled message type {message.msg_type!r}")
+
+    def _handle_telemetry(self, sender: str, payload: dict) -> dict:
+        """One TELEMETRY round: worker push or driver query.
+
+        Workers push metric/trace deltas (folded into the fleet
+        collector); a driver sends ``{"query": ...}`` to read the
+        collected view back — ``"fleet"`` for the raw per-worker dump,
+        ``"report"`` for the derived per-job + fleet goodput reports,
+        ``"rollup"`` for the fleet metric rollup.
+        """
+        query = payload.get("query")
+        if query is None:
+            reply = self.fleet.ingest(payload, sender=sender)
+            if self.metrics is not None:
+                self.metrics.counter("telemetry.deltas").inc()
+                self.metrics.counter("telemetry.events_received").inc(
+                    len(payload.get("events") or ())
+                )
+            return reply
+        am_events = (
+            self.tracer.to_events() if self.tracer is not None else None
+        )
+        if query == "report":
+            reports = self.fleet.report(
+                am_events=am_events, am_metrics=self.metrics.snapshot()
+            )
+            return {
+                "reports": {
+                    name: {
+                        "job": report.job,
+                        "goodput": report.goodput,
+                        "busy_seconds": report.busy_seconds,
+                        "wall_seconds": report.wall_seconds,
+                        "iterations": report.iterations,
+                        "workers": report.workers,
+                        "recoveries": report.recoveries,
+                        "mean_mttr": report.mean_mttr,
+                        "max_mttr": report.max_mttr,
+                        "mean_detection": report.mean_detection,
+                        "counts": report.counts,
+                        "overhead": report.overhead,
+                        "upload_series": report.upload_series,
+                    }
+                    for name, report in reports.items()
+                },
+                "workers": self.fleet.workers(),
+            }
+        if query == "rollup":
+            return {
+                "rollup": self.fleet.rollup([self.metrics.snapshot()]),
+                "workers": self.fleet.workers(),
+            }
+        # default: the raw fleet view (collector dump + AM events).
+        return {
+            "fleet": self.fleet.to_payload(),
+            "am_events": am_events,
+            "epoch": self.epoch,
+        }
 
     # -- step 2: joining -------------------------------------------------------
 
@@ -528,6 +607,7 @@ class NetworkedApplicationMaster:
                     "generation": 0,
                     "iteration": 0,
                     "epoch": self.epoch,
+                    "job": self.am.job_id,
                 }
             # A scale-out joiner: the poll doubles as the worker-report
             # (idempotent — the AM ignores reports it is not waiting
@@ -875,6 +955,7 @@ class NetworkedApplicationMaster:
                     "iteration": plan.commit_iteration,
                     "state": plan.snapshot,
                     "epoch": self.epoch,
+                    "job": self.am.job_id,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
             self._maybe_finish()
@@ -967,6 +1048,7 @@ class NetworkedApplicationMaster:
                     "iteration": plan.commit_iteration,
                     "state_transfer": download.describe(transfer_id, joiner),
                     "epoch": self.epoch,
+                    "job": self.am.job_id,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
             if self.tracer is not None:
@@ -1165,6 +1247,7 @@ class NetworkedApplicationMaster:
                 "epoch": self.epoch,
                 "generation": self._generation,
                 "status": status,
+                "job": self.am.job_id,
             }
 
     # -- lease-based worker failure detection -----------------------------------
@@ -1533,6 +1616,7 @@ class NetworkedApplicationMaster:
                     "iteration": plan.commit_iteration,
                     "state_transfer": download.describe(transfer_id, joiner),
                     "epoch": self.epoch,
+                    "job": self.am.job_id,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
         else:
@@ -1553,6 +1637,7 @@ class NetworkedApplicationMaster:
                     "iteration": plan.commit_iteration,
                     "state": plan.snapshot,
                     "epoch": self.epoch,
+                    "job": self.am.job_id,
                     **({"ring": plan.ring} if plan.ring else {}),
                 }
 

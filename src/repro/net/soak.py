@@ -36,6 +36,16 @@ import typing
 from ..coordination.faults import FaultPlan, SilentCrash
 from ..coordination.messages import MessageType
 from ..observability import MetricRegistry, Tracer
+
+# GoodputReport, derive_report and SLOViolation moved to
+# repro.observability.fleet (they are fleet accounting, not soak
+# machinery); re-exported here so existing imports keep working.
+from ..observability.fleet import (  # noqa: F401  (re-exports)
+    _INSTANT_COUNTS,
+    GoodputReport,
+    SLOViolation,
+    derive_report,
+)
 from .agent import WorkerAgent
 from .master_service import JobSpec, NetworkedApplicationMaster
 from .peers import MemoryPeerHost, TcpPeerHost
@@ -45,23 +55,6 @@ from .transport import (
     TransportClosed,
     memory_link,
 )
-
-#: trace instants counted by :func:`derive_report` (all emitted by this
-#: PR's failover paths; see docs/OBSERVABILITY.md).
-_INSTANT_COUNTS = {
-    "am.failover": "failovers",
-    "worker.condemned": "condemned",
-    "am.eviction_minted": "evictions_minted",
-    "worker.enrolled": "enrollments",
-    "worker.stale_repair": "stale_repairs",
-    "net.transfer_restart": "transfer_restarts",
-    "worker.evicted": "workers_evicted",
-    "am.plan_aborted": "plans_aborted",
-}
-
-
-class SLOViolation(AssertionError):
-    """The soak finished but missed its goodput/MTTR service levels."""
 
 
 class SoakSchedule:
@@ -106,142 +99,6 @@ class SoakSchedule:
             },
             "drop_every": dict(self.drop_every),
         }
-
-
-class GoodputReport:
-    """What the soak measured, plus the SLO verdict machinery."""
-
-    def __init__(self, **fields):
-        self.goodput: float = fields.pop("goodput", 0.0)
-        self.busy_seconds: float = fields.pop("busy_seconds", 0.0)
-        self.wall_seconds: float = fields.pop("wall_seconds", 0.0)
-        self.iterations: int = fields.pop("iterations", 0)
-        self.workers: int = fields.pop("workers", 0)
-        self.recoveries: int = fields.pop("recoveries", 0)
-        self.mean_mttr: "float | None" = fields.pop("mean_mttr", None)
-        self.max_mttr: "float | None" = fields.pop("max_mttr", None)
-        self.mean_detection: "float | None" = fields.pop(
-            "mean_detection", None
-        )
-        self.counts: "dict[str, int]" = fields.pop("counts", {})
-        self.extra = fields
-
-    def assert_slo(
-        self, goodput_floor: float = 0.3, mttr_ceiling: float = 10.0
-    ) -> "GoodputReport":
-        """Raise :class:`SLOViolation` unless the floors hold; else self."""
-        problems = []
-        if self.goodput < goodput_floor:
-            problems.append(
-                f"goodput {self.goodput:.3f} below floor {goodput_floor:.3f}"
-            )
-        if self.max_mttr is not None and self.max_mttr > mttr_ceiling:
-            problems.append(
-                f"max MTTR {self.max_mttr:.2f}s above ceiling "
-                f"{mttr_ceiling:.2f}s"
-            )
-        if problems:
-            raise SLOViolation("; ".join(problems))
-        return self
-
-    def rows(self) -> "list[tuple[str, str]]":
-        def fmt(value, unit=""):
-            if value is None:
-                return "-"
-            if isinstance(value, float):
-                return f"{value:.3f}{unit}"
-            return f"{value}{unit}"
-
-        rows = [
-            ("goodput", fmt(self.goodput)),
-            ("busy", fmt(self.busy_seconds, "s")),
-            ("wall", fmt(self.wall_seconds, "s")),
-            ("iterations", fmt(self.iterations)),
-            ("workers", fmt(self.workers)),
-            ("recoveries", fmt(self.recoveries)),
-            ("mean MTTR", fmt(self.mean_mttr, "s")),
-            ("max MTTR", fmt(self.max_mttr, "s")),
-            ("mean detection", fmt(self.mean_detection, "s")),
-        ]
-        for name in sorted(self.counts):
-            rows.append((name, fmt(self.counts[name])))
-        return rows
-
-    def format(self) -> str:
-        rows = self.rows()
-        width = max(len(name) for name, _ in rows)
-        lines = [f"{name:<{width}}  {value}" for name, value in rows]
-        return "\n".join(lines)
-
-
-def derive_report(
-    events: "typing.Sequence[dict]",
-    metrics: "dict | None" = None,
-) -> GoodputReport:
-    """Compute goodput/MTTR from Chrome-trace events (+ a metrics snapshot).
-
-    Goodput is the fraction of the job's wall-clock each participating
-    worker spent inside ``worker.iteration`` spans, averaged over the
-    workers that emitted any — time lost to barriers, failover backoff,
-    re-enrollment, and repair shows up directly as the gap to 1.0.
-    Works on a live tracer's ``to_events()`` or a trace file reloaded
-    with :func:`repro.observability.load_trace_events`.
-    """
-    track_names = {
-        e["tid"]: e["args"]["name"]
-        for e in events
-        if e.get("ph") == "M" and e.get("name") == "thread_name"
-    }
-    busy_us: "dict[str, float]" = {}
-    counts = {label: 0 for label in _INSTANT_COUNTS.values()}
-    iterations = 0
-    t_lo: "float | None" = None
-    t_hi: "float | None" = None
-    for event in events:
-        phase = event.get("ph")
-        if phase not in ("X", "i"):
-            continue
-        ts = float(event.get("ts", 0.0))
-        end = ts + float(event.get("dur", 0.0))
-        t_lo = ts if t_lo is None else min(t_lo, ts)
-        t_hi = end if t_hi is None else max(t_hi, end)
-        name = event.get("name")
-        if phase == "X" and name == "worker.iteration":
-            track = track_names.get(event.get("tid"), str(event.get("tid")))
-            busy_us[track] = busy_us.get(track, 0.0) + float(
-                event.get("dur", 0.0)
-            )
-            iterations += 1
-        elif phase == "i" and name in _INSTANT_COUNTS:
-            counts[_INSTANT_COUNTS[name]] += 1
-    wall = (t_hi - t_lo) / 1e6 if t_lo is not None else 0.0
-    busy = sum(busy_us.values()) / 1e6
-    workers = len(busy_us)
-    goodput = busy / (wall * workers) if wall > 0 and workers else 0.0
-
-    recoveries = counts.get("condemned", 0)
-    mean_mttr = max_mttr = mean_detection = None
-    if metrics:
-        mttr = metrics.get("failure.mttr_seconds") or {}
-        detection = metrics.get("failure.detection_latency_seconds") or {}
-        if mttr.get("count"):
-            recoveries = int(mttr["count"])
-            mean_mttr = mttr.get("mean")
-            max_mttr = mttr.get("max")
-        if detection.get("count"):
-            mean_detection = detection.get("mean")
-    return GoodputReport(
-        goodput=goodput,
-        busy_seconds=busy,
-        wall_seconds=wall,
-        iterations=iterations,
-        workers=workers,
-        recoveries=recoveries,
-        mean_mttr=mean_mttr,
-        max_mttr=max_mttr,
-        mean_detection=mean_detection,
-        counts=counts,
-    )
 
 
 class ChaosSoak:

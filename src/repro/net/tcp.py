@@ -29,7 +29,12 @@ import typing
 from ..coordination.faults import ExponentialBackoff, FaultPlan
 from ..coordination.messages import FaultyChannel, Message
 from . import wire
-from .transport import FaultAction, ServerCore, TransportFaults
+from .transport import (
+    TRACE_CTX_KEY,
+    FaultAction,
+    ServerCore,
+    TransportFaults,
+)
 
 #: Default cadence of client keep-alive heartbeats (seconds).
 HEARTBEAT_INTERVAL = 0.5
@@ -319,10 +324,16 @@ class TcpTransport:
                 break
             kind = frame.get("kind")
             if kind == "reply":
-                self._on_reply(
-                    int(frame["in_reply_to"]),
-                    wire.decode_payload(frame.get("payload") or {}),
-                )
+                payload = wire.decode_payload(frame.get("payload") or {})
+                # The frame-level transmission context (server node,
+                # epoch, recv/send timestamps) rides into the link as a
+                # payload key the link pops before anyone else looks —
+                # fresh per decode, so a cached-reply retransmission
+                # still carries this transmission's timestamps.
+                ctx = frame.get("ctx")
+                if isinstance(ctx, dict):
+                    payload[TRACE_CTX_KEY] = ctx
+                self._on_reply(int(frame["in_reply_to"]), payload)
             elif kind == "heartbeat_ack":
                 self.heartbeats_acked += 1
                 sent_at = self._heartbeat_sent_at.pop(frame.get("seq"), None)
@@ -486,8 +497,9 @@ class TcpServer:
             return
         if kind != "msg":
             raise wire.WireError(f"unexpected frame kind {kind!r}")
+        t_recv = time.perf_counter()
         message = wire.decode_message(frame)
-        self.last_seen[message.sender] = time.perf_counter()
+        self.last_seen[message.sender] = t_recv
         reply = self.core.dispatch(message)
         try:
             with write_lock:
@@ -496,6 +508,15 @@ class TcpServer:
                     wire.reply_frame(
                         self.core.node_id, message.msg_id, reply,
                         raw=binary,
+                        # Per-transmission clock context: recv/sent are
+                        # stamped here, at the wire, so cached replies
+                        # to retransmissions never reuse stale times.
+                        ctx={
+                            "node": self.core.node_id,
+                            "epoch": self.core.epoch,
+                            "recv": t_recv,
+                            "sent": time.perf_counter(),
+                        },
                     ),
                     codec,
                     binary=binary,

@@ -39,7 +39,18 @@ from ..coordination.messages import (
     MessageType,
     ReliableSender,
 )
+from ..observability.fleet import ClockSync
 from .wire import payload_nbytes
+
+#: Reserved request-payload key carrying the sender's trace context
+#: (job id, node id, per-process incarnation epoch, send timestamp).
+#: Stamped by :meth:`ReliableLink.request`, popped by
+#: :meth:`ServerCore.dispatch` before the handler runs; the message id
+#: itself is the request→reply correlation id.  Replies carry the
+#: server's context under the same key, stamped per *transmission* by
+#: the transport (never by ServerCore — a cached reply re-served to a
+#: retransmission must get fresh timestamps).
+TRACE_CTX_KEY = "__ctx__"
 
 
 class TransportClosed(ConnectionError):
@@ -195,6 +206,14 @@ class ReliableLink:
             max_attempts=max_attempts,
             backoff=backoff,
         )
+        #: extra trace-context fields stamped on every request (the
+        #: worker agent fills in the job id once it learns it).
+        self.trace_context: "dict[str, typing.Any]" = {}
+        #: NTP-style offset estimate of ``server_clock - our_clock``,
+        #: fed by the per-transmission context on every reply.
+        self.clock_sync = ClockSync()
+        #: msg_id -> perf_counter time of its latest transmission.
+        self._send_times: "dict[int, float]" = {}
 
     # -- wiring ----------------------------------------------------------------
 
@@ -205,11 +224,31 @@ class ReliableLink:
 
     def on_reply(self, in_reply_to: int, payload: dict) -> None:
         """Inbound-reply hook the transport calls from its read path."""
+        ctx = payload.pop(TRACE_CTX_KEY, None)
+        if isinstance(ctx, dict):
+            self._fold_clock_sample(in_reply_to, ctx)
         with self._slots_lock:
             slot = self._slots.get(in_reply_to)
         if slot is not None:
             slot.payload = payload
             slot.event.set()
+
+    def _fold_clock_sample(self, in_reply_to: int, ctx: dict) -> None:
+        """One NTP quadruple from a reply's transmission context."""
+        t0 = self._send_times.get(in_reply_to)
+        t1, t2 = ctx.get("recv"), ctx.get("sent")
+        if t0 is None or t1 is None or t2 is None:
+            return
+        t3 = time.perf_counter()
+        offset, rtt = self.clock_sync.add(t0, float(t1), float(t2), t3)
+        if self.metrics is not None:
+            self.metrics.counter("net.clock_samples").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "net.clock_sample", track=self.node_id, cat="net",
+                peer=ctx.get("node"), offset=offset, rtt=rtt,
+                best_offset=self.clock_sync.offset,
+            )
 
     # -- stats -----------------------------------------------------------------
 
@@ -234,7 +273,14 @@ class ReliableLink:
         """
         if self.transport is None:
             raise TransportClosed("link has no transport attached")
-        message = self._factory.make(msg_type, self.node_id, payload or {})
+        stamped = dict(payload or {})
+        stamped[TRACE_CTX_KEY] = dict(
+            self.trace_context,
+            node=self.node_id,
+            epoch=self._factory.epoch,
+            sent=time.perf_counter(),
+        )
+        message = self._factory.make(msg_type, self.node_id, stamped)
         slot = _ReplySlot()
         with self._slots_lock:
             self._slots[message.msg_id] = slot
@@ -246,6 +292,7 @@ class ReliableLink:
         finally:
             with self._slots_lock:
                 self._slots.pop(message.msg_id, None)
+            self._send_times.pop(message.msg_id, None)
         if not delivered:
             raise RequestTimeout(
                 f"{msg_type.value} request {message.msg_id} from "
@@ -281,6 +328,10 @@ class _LinkChannel:
         transport = self._link.transport
         if transport is None:
             return False
+        # Timestamp every transmission (resends overwrite): the reply's
+        # clock sample wants the t0 of the send that produced it, and
+        # the latest send is the best available estimate.
+        self._link._send_times[message.msg_id] = time.perf_counter()
         delivered = transport.send(message)
         nbytes = payload_nbytes(message.payload)
         tracer = self._link.tracer
@@ -381,6 +432,12 @@ class ServerCore:
         """Process one inbound message; returns the reply payload."""
         if self.on_activity is not None:
             self.on_activity(message.sender)
+        # The wire trace context is transport metadata, not request
+        # data: strip it before the handler (or nbytes accounting) sees
+        # the payload.  Retransmissions may arrive without it.
+        ctx = message.payload.pop(TRACE_CTX_KEY, None)
+        if not isinstance(ctx, dict):
+            ctx = None
         key = (message.sender, message.msg_id)
         with self._lock:
             if self.dedup_ttl is not None:
@@ -393,11 +450,17 @@ class ServerCore:
                 pending = self._replies.get(key)
         nbytes = payload_nbytes(message.payload)
         if self.tracer is not None:
+            ctx_args = {}
+            if ctx is not None:
+                if ctx.get("job") is not None:
+                    ctx_args["job"] = ctx.get("job")
+                if ctx.get("epoch") is not None:
+                    ctx_args["sender_epoch"] = ctx.get("epoch")
             self.tracer.instant(
                 "net.recv", track=self.node_id, cat="net",
                 sender=message.sender, type=message.msg_type.value,
                 msg_id=message.msg_id, duplicate=not fresh,
-                payload_bytes=nbytes,
+                payload_bytes=nbytes, **ctx_args,
             )
         if self.metrics is not None:
             self.metrics.counter(
@@ -519,8 +582,20 @@ class InMemoryTransport(FaultyChannel):
             self._link_up = True
 
     def _dispatch(self, message: Message) -> None:
+        t_recv = time.perf_counter()
         reply = self._server.dispatch(message)
-        self._on_reply(message.msg_id, reply)
+        # Stamp the server's transmission context on a shallow copy —
+        # never on the cached reply dict itself, so a retransmission
+        # re-served from the cache gets fresh timestamps.  In-process
+        # both clocks are the same perf_counter, so the measured offset
+        # is ~0 — a free sanity check on the estimator.
+        ctx = {
+            "node": getattr(self._server, "node_id", "am"),
+            "epoch": getattr(self._server, "epoch", 0),
+            "recv": t_recv,
+            "sent": time.perf_counter(),
+        }
+        self._on_reply(message.msg_id, dict(reply, **{TRACE_CTX_KEY: ctx}))
 
     def _reconnect(self) -> None:
         span = None

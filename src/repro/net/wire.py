@@ -552,15 +552,28 @@ def decode_message(frame: dict) -> Message:
 
 
 def reply_frame(
-    node_id: str, in_reply_to: int, payload: dict, raw: bool = False
+    node_id: str, in_reply_to: int, payload: dict, raw: bool = False,
+    ctx: "dict | None" = None,
 ) -> dict:
-    """Server response to one ``msg`` frame, correlated by message id."""
-    return {
+    """Server response to one ``msg`` frame, correlated by message id.
+
+    ``ctx`` optionally carries the server's trace context for this
+    *transmission* (its node id, fencing epoch, and the receive/send
+    timestamps on its own clock) so the client can estimate the clock
+    offset NTP-style.  It lives at the frame level — never inside the
+    cached reply payload — because a retransmitted request re-sends the
+    cached payload but must get *fresh* timestamps.  Peers that predate
+    the field ignore it; :data:`PROTOCOL_VERSION` is unchanged.
+    """
+    frame = {
         "kind": "reply",
         "node": node_id,
         "in_reply_to": in_reply_to,
         "payload": dict(payload) if raw else encode_payload(payload),
     }
+    if ctx is not None:
+        frame["ctx"] = dict(ctx)
+    return frame
 
 
 class Handshake(typing.NamedTuple):

@@ -5,26 +5,55 @@ export) and one :class:`MetricRegistry` (counters, gauges, streaming
 histograms) instrument every harness — ``ElasticRuntime`` on wall time,
 ``SimulatedElasticJob`` and the replication/scheduling simulators on
 simulated time — with a single span taxonomy (``docs/OBSERVABILITY.md``).
+
+The fleet half (:mod:`.fleet`) aligns per-process clocks from wire
+trace contexts, merges N per-process traces into one fleet trace, and
+folds live TELEMETRY deltas into per-job and fleet-wide goodput
+reports.
 """
 
+from .fleet import (
+    ClockSync,
+    FleetCollector,
+    GoodputReport,
+    SLOViolation,
+    TraceMerger,
+    derive_report,
+    merge_metric_snapshots,
+    prometheus_text,
+)
 from .metrics import Counter, Gauge, Histogram, MetricRegistry, P2Quantile
 from .tracing import (
     Span,
     Tracer,
     load_trace_events,
     summarize_events,
+    summarize_point_events,
+    track_names,
     validate_events,
+    write_trace_events,
 )
 
 __all__ = [
+    "ClockSync",
     "Counter",
+    "FleetCollector",
     "Gauge",
+    "GoodputReport",
     "Histogram",
     "MetricRegistry",
     "P2Quantile",
+    "SLOViolation",
     "Span",
+    "TraceMerger",
     "Tracer",
+    "derive_report",
     "load_trace_events",
+    "merge_metric_snapshots",
+    "prometheus_text",
     "summarize_events",
+    "summarize_point_events",
+    "track_names",
     "validate_events",
+    "write_trace_events",
 ]

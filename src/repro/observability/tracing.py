@@ -216,18 +216,80 @@ class Tracer:
             out.append(record)
         return out
 
+    def collect_events(
+        self,
+        start: int = 0,
+        pending: "typing.Sequence[int]" = (),
+        limit: "int | None" = None,
+    ) -> "tuple[list[dict], int, list[int]]":
+        """Incremental export: closed events at index >= ``start``.
+
+        The telemetry shipper calls this with a cursor (``start``) plus
+        the indices it had to skip last time because their spans were
+        still open (``pending``).  Returns ``(records, next_start,
+        still_pending)``: each record is a Chrome-trace event dict
+        carrying its buffer index (``"idx"``) — so a receiver can fold
+        re-shipped snapshots idempotently — and its logical ``"track"``
+        name (tids are process-local and meaningless across the wire).
+        ``limit`` bounds the number of indices examined per call.
+        """
+        with self._lock:
+            events = list(self._events)
+            track_ids = dict(self._track_ids)
+        indices = sorted(set(int(i) for i in pending if 0 <= i < len(events))
+                         | set(range(start, len(events))))
+        if limit is not None:
+            indices = indices[:limit]
+        records: typing.List[dict] = []
+        still_pending: typing.List[int] = []
+        next_start = start
+        for index in indices:
+            event = events[index]
+            if index >= next_start:
+                next_start = index + 1
+            if event.phase == "X" and event.end is None:
+                still_pending.append(index)
+                continue
+            record = {
+                "idx": index,
+                "name": event.name,
+                "cat": event.cat or "default",
+                "ph": event.phase,
+                "ts": event.start * 1e6,
+                "pid": 1,
+                "tid": track_ids.get(event.track, 0),
+                "track": event.track,
+                "args": event.args,
+            }
+            if event.phase == "X":
+                record["dur"] = (event.end - event.start) * 1e6
+            elif event.phase == "i":
+                record["s"] = "t"
+            records.append(record)
+        return records, next_start, still_pending
+
     def export(self, path: str) -> int:
         """Write the trace as Chrome-trace JSONL; returns the event count.
 
         The file is a JSON array with one event object per line — valid
         JSON for Perfetto/``chrome://tracing`` *and* line-parseable.
         """
-        events = self.to_events()
-        lines = [json.dumps(e, separators=(",", ":"), sort_keys=True)
-                 for e in events]
-        with open(path, "w") as f:
-            f.write("[\n" + ",\n".join(lines) + "\n]\n")
-        return len(events)
+        return write_trace_events(path, self.to_events())
+
+
+def write_trace_events(
+    path: str, events: "typing.Sequence[dict]"
+) -> int:
+    """Write Chrome trace events in :meth:`Tracer.export`'s file format.
+
+    Shared by the tracer, the ``fleet export`` CLI and the multiprocess
+    job driver so every trace file on disk is byte-compatible.
+    """
+    lines = [json.dumps(e, separators=(",", ":"), sort_keys=True)
+             for e in events]
+    with open(path, "w") as f:
+        f.write("[\n" + ",\n".join(lines) + "\n]\n")
+    return len(events)
 
 
 class _SpanContext:
@@ -335,3 +397,60 @@ def summarize_events(events: "typing.Sequence[dict]") -> "list[tuple]":
     ]
     rows.sort(key=lambda r: r[2], reverse=True)
     return rows
+
+
+def track_names(events: "typing.Sequence[dict]") -> "dict[tuple, str]":
+    """``(pid, tid) -> logical track name`` from thread_name metadata."""
+    names: typing.Dict[tuple, str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid", 1), event.get("tid", 0))
+            names[key] = str((event.get("args") or {}).get("name", key))
+    return names
+
+
+def summarize_point_events(
+    events: "typing.Sequence[dict]",
+) -> "tuple[list[tuple], list[tuple]]":
+    """Aggregate instant and counter events by name.
+
+    Complements :func:`summarize_events` (duration spans only).
+    Returns ``(instant_rows, counter_rows)``: instant rows are
+    ``(name, count, {track: count})`` sorted by count descending;
+    counter rows are ``(name, samples, last_value, {track: samples})``.
+    Tracks resolve through thread_name metadata, falling back to
+    ``pid/tid``.
+    """
+    tracks = track_names(events)
+
+    def _track(event: dict) -> str:
+        key = (event.get("pid", 1), event.get("tid", 0))
+        return tracks.get(key, f"{key[0]}/{key[1]}")
+
+    instants: typing.Dict[str, typing.Dict[str, int]] = {}
+    counters: typing.Dict[str, dict] = {}
+    for event in events:
+        phase = event.get("ph")
+        name = event.get("name", "?")
+        if phase == "i":
+            per_track = instants.setdefault(name, {})
+            track = _track(event)
+            per_track[track] = per_track.get(track, 0) + 1
+        elif phase == "C":
+            entry = counters.setdefault(name, {"samples": 0, "last": None,
+                                               "tracks": {}})
+            entry["samples"] += 1
+            entry["last"] = (event.get("args") or {}).get("value")
+            track = _track(event)
+            entry["tracks"][track] = entry["tracks"].get(track, 0) + 1
+    instant_rows = [
+        (name, sum(per_track.values()), per_track)
+        for name, per_track in instants.items()
+    ]
+    instant_rows.sort(key=lambda r: (-r[1], r[0]))
+    counter_rows = [
+        (name, entry["samples"], entry["last"], entry["tracks"])
+        for name, entry in counters.items()
+    ]
+    counter_rows.sort(key=lambda r: (-r[1], r[0]))
+    return instant_rows, counter_rows

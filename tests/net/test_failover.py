@@ -236,7 +236,9 @@ class TestFailover:
             MessageType.ENROLL,
             {"generation": 0, "iteration": 4, "ring_epoch": -1},
         )
-        assert reply == {"epoch": 2, "generation": 0, "status": "ok"}
+        assert reply == {
+            "epoch": 2, "generation": 0, "status": "ok", "job": "netjob",
+        }
 
         successor.journal.append("condemn", worker="w1")
         with successor._lock:

@@ -154,3 +154,126 @@ class TestSoakCommand:
         assert args.worker_kill_iter == 9
         with pytest.raises(SystemExit):
             build_parser().parse_args(["soak", "--transport", "carrier"])
+
+
+class TestTracingMetricsAction:
+    def _metrics_file(self, tmp_path):
+        import json
+
+        from repro.observability import MetricRegistry
+
+        registry = MetricRegistry()
+        registry.counter("worker.iterations").inc(12)
+        for value in (1.0, 2.0, 3.0):
+            registry.histogram("iteration.seconds").observe(value)
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(registry.to_json()))
+        return str(path)
+
+    def test_metrics_prints_snapshot_table(self, tmp_path, capsys):
+        assert main(["tracing", "metrics", self._metrics_file(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "worker.iterations" in out and "12" in out
+        assert "iteration.seconds.count" in out
+        assert "iteration.seconds.p50" in out
+
+    def test_summarize_reports_instants_and_counters(self, tmp_path, capsys):
+        from repro.observability import Tracer
+
+        tracer = Tracer(process="t")
+        tracer.add_span("worker.iteration", 0.0, 1.0, track="w0")
+        tracer.add_instant("worker.enrolled", 0.5, track="w0")
+        tracer.add_instant("worker.enrolled", 0.7, track="w1")
+        tracer.add_counter("queue.depth", 0.9, 4.0, track="am")
+        path = tmp_path / "trace.json"
+        tracer.export(str(path))
+        assert main(["tracing", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Instant" in out and "worker.enrolled" in out
+        assert "w0=1" in out and "w1=1" in out
+        assert "Counter" in out and "queue.depth" in out and "4" in out
+
+
+class TestFleetCommand:
+    def _traces(self, tmp_path):
+        """Two per-worker trace files, busy half the one-second wall."""
+        from repro.observability import Tracer
+
+        paths = []
+        for worker in ("w0", "w1"):
+            tracer = Tracer(process=worker)
+            tracer.add_span("worker.iteration", 0.0, 0.5, track=worker)
+            tracer.add_instant("worker.enrolled", 1.0, track=worker)
+            path = tmp_path / f"{worker}.json"
+            tracer.export(str(path))
+            paths.append(str(path))
+        return paths
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "inspect"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fleet", "report"])
+        assert args.connect is None
+        assert args.goodput_floor is None
+        assert args.ack_timeout == 2.0
+
+    def test_report_from_files(self, tmp_path, capsys):
+        assert main(["fleet", "report", *self._traces(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[job fleet]" in out
+        assert "goodput" in out and "workers" in out
+
+    def test_report_gates_on_goodput_floor(self, tmp_path, capsys):
+        assert main([
+            "fleet", "report", *self._traces(tmp_path),
+            "--goodput-floor", "0.99",
+        ]) == 1
+        assert "SLO violation" in capsys.readouterr().err
+
+    def test_export_then_validate_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "fleet.json"
+        assert main([
+            "fleet", "export", *self._traces(tmp_path),
+            "--out", str(out_path),
+        ]) == 0
+        assert "merged fleet events" in capsys.readouterr().out
+        assert main(["tracing", "validate", str(out_path)]) == 0
+        # The merged file keeps both workers as named processes and
+        # feeds straight back into a file-based report.
+        text = out_path.read_text()
+        assert '"w0"' in text and '"w1"' in text
+        assert main(["fleet", "report", str(out_path)]) == 0
+        import re
+
+        assert re.search(r"workers\s+2", capsys.readouterr().out)
+
+    def test_export_requires_out(self, tmp_path, capsys):
+        assert main(["fleet", "export", *self._traces(tmp_path)]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_actions_need_a_source(self, capsys):
+        for action in ("report", "export", "prom"):
+            argv = ["fleet", action]
+            if action == "export":
+                argv += ["--out", "x.json"]
+            assert main(argv) == 2
+            assert "needs" in capsys.readouterr().err
+
+    def test_prom_from_metric_files(self, tmp_path, capsys):
+        import json
+
+        from repro.observability import MetricRegistry
+
+        paths = []
+        for worker, count in (("w0", 3), ("w1", 4)):
+            registry = MetricRegistry()
+            registry.counter("worker.iterations").inc(count)
+            path = tmp_path / f"{worker}-metrics.json"
+            path.write_text(json.dumps(registry.to_json()))
+            paths.append(str(path))
+        assert main(["fleet", "prom", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE elan_worker_iterations gauge" in out
+        assert "elan_worker_iterations 7" in out
