@@ -10,6 +10,7 @@ Subcommands (also installed as the ``repro-elan`` console script)::
     python -m repro.cli demo                            # live elastic job
     python -m repro.cli tracing demo trace.json         # record a trace
     python -m repro.cli soak --transport both           # chaos soak + SLOs
+    python -m repro.cli cluster scenario --transport both   # multi-job churn
 """
 
 from __future__ import annotations
@@ -634,6 +635,167 @@ def cmd_soak(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_cluster(args) -> int:
+    """Multi-tenant cluster scheduler: serve it, drive it, or drill it."""
+    from .coordination.messages import MessageType
+
+    if args.action == "scenario":
+        from .cluster import run_churn_scenario
+        from .observability import SLOViolation
+
+        transports = (
+            ("memory", "tcp") if args.transport == "both"
+            else (args.transport,)
+        )
+        reports, ok = {}, True
+        for transport in transports:
+            trace_path = args.trace
+            if trace_path and len(transports) > 1:
+                root, dot, ext = trace_path.rpartition(".")
+                trace_path = f"{root}.{transport}{dot}{ext}" if dot else (
+                    f"{trace_path}.{transport}"
+                )
+            report = run_churn_scenario(
+                transport, iterations=args.iterations,
+                iteration_sleep=args.sleep, seed=args.seed,
+                policy=args.policy, timeout=args.timeout,
+                trace_path=trace_path,
+            )
+            reports[transport] = report
+            print(report.format())
+            if trace_path:
+                print(f"wrote trace to {trace_path}")
+            try:
+                report.assert_slo(
+                    makespan_ceiling=args.makespan_ceiling,
+                    queueing_delay_ceiling=args.queue_ceiling,
+                    goodput_floor=args.goodput_floor,
+                )
+                print(f"SLO ok (makespan <= {args.makespan_ceiling:.0f}s, "
+                      f"queueing <= {args.queue_ceiling:.0f}s, "
+                      f"goodput >= {args.goodput_floor:.2f})")
+            except SLOViolation as violation:
+                print(f"SLO violation: {violation}", file=sys.stderr)
+                ok = False
+            print()
+        if len(reports) == 2:
+            if reports["memory"].digests == reports["tcp"].digests:
+                print("digests bit-identical across transports")
+            else:
+                print("DIGEST MISMATCH across transports", file=sys.stderr)
+                ok = False
+        return 0 if ok else 1
+
+    if args.action == "serve":
+        from .cluster import (
+            CLUSTER_RECORD_KINDS,
+            ClusterScheduler,
+            ElasticJobRunner,
+        )
+        from .net.journal import Journal
+        from .observability import MetricRegistry, Tracer
+
+        tracer = Tracer(process="cluster") if args.trace else None
+        metrics = MetricRegistry()
+        journal = (
+            Journal(args.journal, kinds=CLUSTER_RECORD_KINDS)
+            if args.journal else None
+        )
+
+        def factory(request, scheduler):
+            return ElasticJobRunner(
+                request, transport="tcp", tracer=tracer, metrics=metrics,
+            )
+
+        scheduler = ClusterScheduler(
+            args.policy, args.gpus, runner_factory=factory,
+            journal=journal, tracer=tracer, metrics=metrics,
+        )
+        server = scheduler.serve_tcp(host=args.host, port=args.port)
+        print(f"cluster scheduler ({args.policy}, {args.gpus} GPUs) "
+              f"on {server.host}:{server.port}", flush=True)
+        try:
+            scheduler.serve_forever(
+                interval=args.interval, deadline=args.deadline
+            )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            scheduler.close()
+            if args.trace and tracer is not None:
+                tracer.export(args.trace)
+                print(f"wrote trace to {args.trace}")
+        return 0
+
+    # submit / status drive a live scheduler over TCP.
+    from .net import tcp_link
+
+    link, _transport = tcp_link(
+        args.host, args.port, "cluster-cli", ack_timeout=args.ack_timeout
+    )
+    try:
+        if args.action == "submit":
+            from .cluster import JobRequest
+
+            if not args.job:
+                print("cluster submit needs --job", file=sys.stderr)
+                return 2
+            request = JobRequest(
+                job_id=args.job, iterations=args.iterations,
+                priority=args.priority, min_res=args.min_res,
+                req_res=args.req_res, max_res=args.max_res,
+                seed=args.seed, iteration_sleep=args.sleep,
+            )
+            reply = link.request(
+                MessageType.SUBMIT, {"job": request.to_payload()}
+            )
+            accepted = reply.get("accepted")
+            print(f"{args.job}: "
+                  + ("accepted" if accepted
+                     else f"rejected ({reply.get('reason')})"))
+            return 0 if accepted else 1
+
+        if args.job:
+            offer = link.request(MessageType.OFFER, {"job_id": args.job})
+            print("  ".join(f"{k}={v}" for k, v in sorted(offer.items())))
+            return 0
+
+        tables = link.request(MessageType.JOB_STATUS)
+        print(f"policy={tables['policy']} epoch={tables['epoch']} "
+              f"capacity={tables['capacity']} busy={tables['busy']} "
+              f"preemptions={tables['preemptions']}")
+        if tables["running"]:
+            print("\nrunning:")
+            _print_table(
+                ("Job", "Workers", "Priority", "Iteration"),
+                [(r["job_id"], r["workers"], r["priority"], r["iteration"])
+                 for r in tables["running"]],
+                (14, 8, 9, 10),
+            )
+        if tables["queue"]:
+            print("\nqueued:")
+            _print_table(
+                ("Job", "Priority", "Min", "Max", "Preempts", "Waiting (s)"),
+                [(q["job_id"], q["priority"], q["min"], q["max"],
+                  q["preemptions"], q["queued_for"])
+                 for q in tables["queue"]],
+                (14, 9, 4, 4, 9, 12),
+            )
+        if tables["completed"]:
+            print("\ncompleted:")
+            _print_table(
+                ("Job", "JCT (s)", "Preempts", "Digest"),
+                [(c["job_id"],
+                  "-" if c["jct"] is None else f"{c['jct']:.2f}",
+                  c["preemptions"], c["digest"])
+                 for c in tables["completed"]],
+                (14, 9, 9, 34),
+            )
+        return 0
+    finally:
+        link.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -808,6 +970,51 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--replay",
                       help="derive the report from this saved trace instead "
                            "of running live")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="multi-tenant cluster scheduler: serve, submit, status, "
+             "or run the deterministic churn scenario",
+    )
+    cluster.add_argument("action",
+                         choices=("serve", "submit", "status", "scenario"))
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=0,
+                         help="serve: listen port (0 = ephemeral); "
+                              "submit/status: the scheduler's port")
+    cluster.add_argument("--policy", default="e-priority",
+                         choices=("fifo", "bf", "e-fifo", "e-bf",
+                                  "e-srtf", "e-priority"))
+    cluster.add_argument("--gpus", type=int, default=8,
+                         help="serve: GPU inventory the scheduler owns")
+    cluster.add_argument("--journal",
+                         help="serve: decision journal file (enables "
+                              "scheduler failover)")
+    cluster.add_argument("--interval", type=float, default=0.1,
+                         help="serve: seconds between scheduling passes")
+    cluster.add_argument("--deadline", type=float, default=None,
+                         help="serve: stop after this many seconds")
+    cluster.add_argument("--job", help="submit: job id (required); "
+                                       "status: show this one job")
+    cluster.add_argument("--iterations", type=int, default=24)
+    cluster.add_argument("--sleep", type=float, default=0.05,
+                         help="per-iteration sleep (pacing)")
+    cluster.add_argument("--priority", type=int, default=0)
+    cluster.add_argument("--min-res", type=int, default=1)
+    cluster.add_argument("--req-res", type=int, default=1)
+    cluster.add_argument("--max-res", type=int, default=2)
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument("--ack-timeout", type=float, default=2.0)
+    cluster.add_argument("--transport", choices=("memory", "tcp", "both"),
+                         default="memory",
+                         help="scenario: which transport(s) to drill")
+    cluster.add_argument("--timeout", type=float, default=120.0,
+                         help="scenario: per-transport wall-clock budget")
+    cluster.add_argument("--makespan-ceiling", type=float, default=60.0)
+    cluster.add_argument("--queue-ceiling", type=float, default=10.0)
+    cluster.add_argument("--goodput-floor", type=float, default=0.02)
+    cluster.add_argument("--trace", help="export a Chrome trace here "
+                                         "(scenario/serve)")
     return parser
 
 
@@ -825,6 +1032,7 @@ _HANDLERS = {
     "serve": cmd_serve,
     "join": cmd_join,
     "soak": cmd_soak,
+    "cluster": cmd_cluster,
 }
 
 

@@ -1,0 +1,35 @@
+"""Live multi-tenant cluster scheduling (ROADMAP: beyond one job).
+
+The paper evaluates its admission rule and marginal-gain allocation
+(§VI-C) in an offline trace simulator; this package runs the *same*
+policies — through the same :class:`~repro.scheduling.PolicyAdapter`
+seam — against real networked elastic jobs: a
+:class:`ClusterScheduler` service owns a GPU inventory, admits queued
+submissions, and continuously resizes the per-job
+:class:`~repro.net.NetworkedApplicationMaster`s over the existing
+in-memory/TCP transports (SUBMIT / OFFER / RESIZE / RELEASE /
+JOB_STATUS on the §V-D reliable links).
+"""
+
+from .runners import ElasticJobRunner, MultiprocessJobRunner
+from .scenario import ChurnScenario, ScenarioReport, run_churn_scenario
+from .scheduler import (
+    CLUSTER_RECORD_KINDS,
+    POLICIES,
+    ClusterJournalState,
+    ClusterScheduler,
+    JobRequest,
+)
+
+__all__ = [
+    "CLUSTER_RECORD_KINDS",
+    "ChurnScenario",
+    "ClusterJournalState",
+    "ClusterScheduler",
+    "ElasticJobRunner",
+    "JobRequest",
+    "MultiprocessJobRunner",
+    "POLICIES",
+    "ScenarioReport",
+    "run_churn_scenario",
+]

@@ -1,0 +1,362 @@
+"""Per-job data planes the cluster scheduler starts and resizes.
+
+The scheduler (:mod:`repro.cluster.scheduler`) deals only in worker
+*counts*; a runner turns those counts into a live elastic job — one
+:class:`~repro.net.NetworkedApplicationMaster` plus its workers — and
+names, starts, and retires the actual worker identities.  Every grow /
+shrink travels as a ``RESIZE`` message over the job's own reliable
+link, so a scheduler decision reaches the AM through exactly the wire
+path an external operator would use (and is journaled by the AM with
+``origin="scheduler"`` and its pinned commit boundary).
+
+Two implementations of the runner protocol:
+
+* :class:`ElasticJobRunner` — workers as in-process threads
+  (:class:`~repro.net.agent.WorkerAgent`) over the in-memory transport
+  or loopback TCP; what the churn scenario, tests, and CI use.
+* :class:`MultiprocessJobRunner` — workers as real OS processes via
+  :class:`~repro.net.job.MultiprocessElasticJob`; what a demo closest
+  to a real deployment uses.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+from ..coordination.messages import MessageType
+from ..net.agent import WorkerAgent
+from ..net.master_service import JobSpec as NetJobSpec
+from ..net.master_service import NetworkedApplicationMaster
+from ..net.transport import (
+    RemoteError,
+    RequestTimeout,
+    RetryableError,
+    TransportClosed,
+    memory_link,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scheduler import JobRequest
+
+
+def _net_spec(request: "JobRequest", ring_enabled: bool) -> NetJobSpec:
+    return NetJobSpec(
+        seed=request.seed,
+        iterations=request.iterations,
+        coordination_interval=request.coordination_interval,
+        iteration_sleep=request.iteration_sleep,
+        ring_enabled=ring_enabled,
+    )
+
+
+class ElasticJobRunner:
+    """One scheduled elastic job with thread workers (memory or TCP).
+
+    Implements the scheduler's runner protocol: ``start(workers)``,
+    ``resize(workers, at_iteration=None) -> bool``, ``progress()``,
+    ``complete()``, ``digests()``, ``stop()``, ``close()``.  Worker ids
+    are ``<job_id>-w<n>`` with ``n`` never reused, so a grow after a
+    shrink introduces genuinely new members.
+    """
+
+    def __init__(
+        self,
+        request: "JobRequest",
+        transport: str = "memory",
+        tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
+        host: str = "127.0.0.1",
+        ring_enabled: bool = False,
+        join_timeout: float = 30.0,
+    ):
+        if transport not in ("memory", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.request = request
+        self.transport = transport
+        self.tracer = tracer
+        self.metrics = metrics
+        self.host = host
+        self.spec = _net_spec(request, ring_enabled)
+        self.join_timeout = join_timeout
+        self.master: "NetworkedApplicationMaster | None" = None
+        self.results: "dict[str, dict]" = {}
+        self.errors: "dict[str, BaseException]" = {}
+        self._threads: "dict[str, threading.Thread]" = {}
+        self._links: "dict[str, typing.Any]" = {}
+        self._workers: "list[str]" = []
+        self._next_worker = 0
+        self._driver = None
+        self._server = None
+        self._stopped = False
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _make_link(self, node_id: str, ack_timeout: float = 0.5):
+        if self.transport == "tcp":
+            from ..net.tcp import tcp_link
+
+            link, _transport = tcp_link(
+                self._server.host, self._server.port, node_id,
+                ack_timeout=ack_timeout, tracer=self.tracer,
+                metrics=self.metrics, connect_attempts=10,
+            )
+        else:
+            link = memory_link(
+                self.master.core, node_id, ack_timeout=ack_timeout,
+                tracer=self.tracer, metrics=self.metrics,
+            )
+        with self._lock:
+            self._links[node_id] = link
+        return link
+
+    def _start_worker(self, worker_id: str) -> None:
+        def run():
+            link = self._make_link(worker_id)
+            agent = WorkerAgent(
+                worker_id, link, poll_interval=0.02,
+                join_timeout=self.join_timeout, tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            try:
+                self.results[worker_id] = agent.run()
+            except BaseException as exc:
+                # A preempted job's workers die from their closed links;
+                # that is the mechanism, not a failure.
+                if not self._stopped:
+                    self.errors[worker_id] = exc
+            finally:
+                link.close()
+
+        thread = threading.Thread(
+            target=run, name=f"job-{worker_id}", daemon=True
+        )
+        self._threads[worker_id] = thread
+        thread.start()
+
+    def _new_workers(self, count: int) -> "list[str]":
+        names = [
+            f"{self.request.job_id}-w{self._next_worker + i}"
+            for i in range(count)
+        ]
+        self._next_worker += count
+        return names
+
+    # -- the runner protocol ---------------------------------------------------
+
+    def start(self, workers: int) -> None:
+        """Bring up the AM and the initial worker group."""
+        if self.master is not None:
+            raise RuntimeError(f"{self.request.job_id}: already started")
+        self._workers = self._new_workers(workers)
+        self.master = NetworkedApplicationMaster(
+            self.spec, self._workers, job_id=self.request.job_id,
+            tracer=self.tracer, metrics=self.metrics,
+        )
+        if self.transport == "tcp":
+            self._server = self.master.serve_tcp(host=self.host)
+        for worker_id in self._workers:
+            self._start_worker(worker_id)
+        self._driver = self._make_link(
+            f"{self.request.job_id}-driver", ack_timeout=1.0
+        )
+
+    def resize(
+        self, workers: int, at_iteration: "int | None" = None,
+        origin: str = "scheduler",
+    ) -> bool:
+        """Grow/shrink to ``workers`` via one ``RESIZE`` message.
+
+        Returns False when the AM already has an adjustment in flight
+        (or the request could not be delivered); the scheduler retries
+        on its next pass.
+        """
+        current = len(self._workers)
+        if workers == current:
+            return True
+        if workers < 1:
+            raise ValueError("resize target must be >= 1")
+        if workers > current:
+            added = self._new_workers(workers - current)
+            payload = {
+                "kind": "scale_out", "add": added, "origin": origin,
+                "at_iteration": at_iteration,
+            }
+        else:
+            added = []
+            payload = {
+                "kind": "scale_in",
+                "remove": self._workers[workers:], "origin": origin,
+                "at_iteration": at_iteration,
+            }
+        try:
+            reply = self._driver.request(MessageType.RESIZE, payload)
+        except (RequestTimeout, TransportClosed, RetryableError,
+                RemoteError):
+            return False
+        if not reply.get("accepted"):
+            return False
+        if added:
+            self._workers = list(self._workers) + added
+            for worker_id in added:
+                self._start_worker(worker_id)
+        else:
+            self._workers = self._workers[:workers]
+        return True
+
+    def progress(self) -> int:
+        """The job's iteration watermark (its logical clock)."""
+        if self.master is None:
+            return 0
+        return int(self.master.status()["iteration"])
+
+    def committed(self) -> int:
+        """Adjustments committed so far (scenario phase barrier)."""
+        if self.master is None:
+            return 0
+        return int(self.master.status()["adjustments_committed"])
+
+    def complete(self) -> bool:
+        return self.master is not None and self.master.complete
+
+    def digests(self) -> "dict[str, str]":
+        return {} if self.master is None else self.master.final_digests()
+
+    def stop(self) -> None:
+        """Hard preemption: tear the job down, progress is lost."""
+        self._stopped = True
+        with self._lock:
+            links, self._links = dict(self._links), {}
+        for link in links.values():
+            link.close()
+        if self.master is not None:
+            self.master.close()
+        if self._server is not None:
+            self._server.close()
+        for thread in self._threads.values():
+            thread.join(timeout=5.0)
+
+    def close(self) -> None:
+        """Release everything after completion (or after ``stop``)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._stopped:
+            for thread in self._threads.values():
+                thread.join(timeout=self.join_timeout)
+            with self._lock:
+                links, self._links = dict(self._links), {}
+            for link in links.values():
+                link.close()
+            if self.master is not None:
+                self.master.close()
+            if self._server is not None:
+                self._server.close()
+
+
+class MultiprocessJobRunner:
+    """The runner protocol over real OS-process workers.
+
+    Wraps :class:`~repro.net.job.MultiprocessElasticJob`: the AM lives
+    in this process, each worker is ``python -m repro.cli join`` over
+    loopback TCP, and resizes travel as ``RESIZE`` on the job's
+    control link.
+    """
+
+    def __init__(
+        self,
+        request: "JobRequest",
+        tracer: "typing.Any | None" = None,
+        worker_trace_dir: "str | None" = None,
+    ):
+        self.request = request
+        self.tracer = tracer
+        self.worker_trace_dir = worker_trace_dir
+        self.job = None
+        self._workers: "list[str]" = []
+        self._next_worker = 0
+        self._closed = False
+
+    def _new_workers(self, count: int) -> "list[str]":
+        names = [
+            f"{self.request.job_id}-w{self._next_worker + i}"
+            for i in range(count)
+        ]
+        self._next_worker += count
+        return names
+
+    def start(self, workers: int) -> None:
+        from ..net.job import MultiprocessElasticJob
+
+        if self.job is not None:
+            raise RuntimeError(f"{self.request.job_id}: already started")
+        self._workers = self._new_workers(workers)
+        self.job = MultiprocessElasticJob(
+            _net_spec(self.request, ring_enabled=False), self._workers,
+            tracer=self.tracer, worker_trace_dir=self.worker_trace_dir,
+        ).start()
+
+    def resize(
+        self, workers: int, at_iteration: "int | None" = None,
+        origin: str = "scheduler",
+    ) -> bool:
+        current = len(self._workers)
+        if workers == current:
+            return True
+        if workers < 1:
+            raise ValueError("resize target must be >= 1")
+        if workers > current:
+            added = self._new_workers(workers - current)
+            payload = {
+                "kind": "scale_out", "add": added, "origin": origin,
+                "at_iteration": at_iteration,
+            }
+        else:
+            added = []
+            payload = {
+                "kind": "scale_in",
+                "remove": self._workers[workers:], "origin": origin,
+                "at_iteration": at_iteration,
+            }
+        try:
+            reply = self.job.control.request(MessageType.RESIZE, payload)
+        except (RequestTimeout, TransportClosed, RetryableError,
+                RemoteError):
+            return False
+        if not reply.get("accepted"):
+            return False
+        if added:
+            self._workers = list(self._workers) + added
+            for worker_id in added:
+                self.job.spawn(worker_id)
+        else:
+            self._workers = self._workers[:workers]
+        return True
+
+    def progress(self) -> int:
+        if self.job is None:
+            return 0
+        return int(self.job.master.status()["iteration"])
+
+    def committed(self) -> int:
+        if self.job is None:
+            return 0
+        return int(self.job.master.status()["adjustments_committed"])
+
+    def complete(self) -> bool:
+        return self.job is not None and self.job.master.complete
+
+    def digests(self) -> "dict[str, str]":
+        return {} if self.job is None else self.job.master.final_digests()
+
+    def stop(self) -> None:
+        if self.job is not None and not self._closed:
+            self._closed = True
+            self.job.shutdown()
+
+    def close(self) -> None:
+        if self.job is not None and not self._closed:
+            self._closed = True
+            self.job.shutdown()

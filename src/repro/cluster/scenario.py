@@ -1,0 +1,347 @@
+"""Deterministic multi-tenant churn scenario (+ its SLO gate).
+
+One scripted run drives the full scheduler life cycle — admit → grow →
+spot-shrink → preempt → complete → re-admit — over either transport,
+with every submission and poll travelling as real ``SUBMIT`` /
+``OFFER`` / ``JOB_STATUS`` messages:
+
+1. capacity ``3``: three jobs (priorities 2 / 1 / 0) are submitted in
+   a burst and all admitted at their one-worker minimum;
+2. capacity grows to ``6`` (spot capacity arrives): every job grows to
+   its two-worker maximum, pinned to commit at iteration ``GROW_PIN``;
+3. capacity collapses to ``2`` (spot reclaim): the lowest-priority job
+   is preempted back to the queue — live preemption restarts from
+   scratch — and the survivors shrink to one worker, pinned at
+   iteration ``SHRINK_PIN``;
+4. the survivors complete; the freed GPUs re-admit the preempted job
+   at two workers, and it runs to completion untouched.
+
+Because every resize is pinned to a coordination boundary of the job's
+*logical* clock (``AdjustmentRequest.at_iteration``), each job sees the
+identical worker-count trajectory on the in-memory transport and on
+loopback TCP — which is what makes the per-job final digests
+**bit-identical across transports**, the scenario's strongest check.
+
+:class:`ScenarioReport` carries makespan / queueing-delay / goodput
+and :meth:`ScenarioReport.assert_slo` turns them into a hard pass/fail
+(the CI gate behind ``python -m repro.cli cluster scenario``).
+"""
+
+from __future__ import annotations
+
+import time
+import typing
+
+from ..coordination.messages import MessageType
+from ..observability import MetricRegistry, Tracer
+from ..observability.fleet import (
+    GoodputReport,
+    SLOViolation,
+    derive_report,
+)
+from ..net.transport import memory_link
+from .runners import ElasticJobRunner
+from .scheduler import ClusterScheduler, JobRequest
+
+#: Scripted commit boundaries (multiples of the coordination interval).
+GROW_PIN = 8
+SHRINK_PIN = 16
+
+#: The scripted capacity phases: start, spot arrival, spot reclaim.
+CAPACITY_START = 3
+CAPACITY_GROWN = 6
+CAPACITY_RECLAIMED = 2
+
+
+class ScenarioReport:
+    """What one churn run measured, plus the SLO verdict machinery."""
+
+    def __init__(
+        self,
+        transport: str,
+        policy: str,
+        makespan: float,
+        queueing_delays: "dict[str, float]",
+        digests: "dict[str, str]",
+        completion_order: "list[str]",
+        preemptions: int,
+        resizes: int,
+        goodput: GoodputReport,
+        events: "list[dict]",
+        metrics: dict,
+    ):
+        self.transport = transport
+        self.policy = policy
+        self.makespan = makespan
+        self.queueing_delays = dict(queueing_delays)
+        self.digests = dict(digests)
+        self.completion_order = list(completion_order)
+        self.preemptions = preemptions
+        self.resizes = resizes
+        self.goodput = goodput
+        self.events = events
+        self.metrics = metrics
+
+    @property
+    def max_queueing_delay(self) -> float:
+        return max(self.queueing_delays.values(), default=0.0)
+
+    def assert_slo(
+        self,
+        makespan_ceiling: float = 60.0,
+        queueing_delay_ceiling: float = 10.0,
+        goodput_floor: float = 0.05,
+    ) -> "ScenarioReport":
+        """Raise :class:`SLOViolation` unless the gates hold; else self."""
+        problems = []
+        if self.makespan > makespan_ceiling:
+            problems.append(
+                f"makespan {self.makespan:.2f}s above ceiling "
+                f"{makespan_ceiling:.2f}s"
+            )
+        if self.max_queueing_delay > queueing_delay_ceiling:
+            problems.append(
+                f"max queueing delay {self.max_queueing_delay:.2f}s "
+                f"above ceiling {queueing_delay_ceiling:.2f}s"
+            )
+        if self.goodput.goodput < goodput_floor:
+            problems.append(
+                f"goodput {self.goodput.goodput:.3f} below floor "
+                f"{goodput_floor:.3f}"
+            )
+        if problems:
+            raise SLOViolation("; ".join(problems))
+        return self
+
+    def format(self) -> str:
+        lines = [
+            f"[cluster scenario: {self.transport}]",
+            f"policy            {self.policy}",
+            f"makespan          {self.makespan:.2f} s",
+            f"max queueing      {self.max_queueing_delay:.2f} s",
+            f"goodput           {self.goodput.goodput:.3f}",
+            f"preemptions       {self.preemptions}",
+            f"resizes           {self.resizes}",
+            f"completion order  {' '.join(self.completion_order)}",
+        ]
+        for job_id in sorted(self.digests):
+            lines.append(f"digest {job_id:<10} {self.digests[job_id]}")
+        return "\n".join(lines)
+
+
+class ChurnScenario:
+    """The scripted burst/churn run against a live scheduler."""
+
+    def __init__(
+        self,
+        transport: str,
+        iterations: int = 24,
+        iteration_sleep: float = 0.05,
+        seed: int = 7,
+        policy: str = "e-priority",
+        timeout: float = 120.0,
+    ):
+        if transport not in ("memory", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        if iterations < SHRINK_PIN + 4:
+            raise ValueError(
+                f"iterations must reach past the shrink pin "
+                f"({SHRINK_PIN + 4})"
+            )
+        self.transport = transport
+        self.iterations = iterations
+        self.iteration_sleep = iteration_sleep
+        self.seed = seed
+        self.policy = policy
+        self.timeout = timeout
+        self.tracer = Tracer(process=f"cluster-{transport}")
+        self.metrics = MetricRegistry()
+        self.scheduler: "ClusterScheduler | None" = None
+        self.report: "ScenarioReport | None" = None
+        self._deadline = 0.0
+
+    # -- the three tenants -----------------------------------------------------
+
+    def requests(self) -> "list[JobRequest]":
+        """Priorities 2 / 1 / 0: ``jobC`` is the preemption victim."""
+        return [
+            JobRequest(
+                job_id=name, iterations=self.iterations, priority=prio,
+                min_res=1, req_res=1, max_res=2,
+                seed=self.seed + index,
+                iteration_sleep=self.iteration_sleep,
+            )
+            for index, (name, prio) in enumerate(
+                [("jobA", 2), ("jobB", 1), ("jobC", 0)]
+            )
+        ]
+
+    # -- driving ---------------------------------------------------------------
+
+    def _check_deadline(self, what: str) -> None:
+        if time.monotonic() >= self._deadline:
+            raise TimeoutError(f"churn scenario stuck waiting for {what}")
+
+    def _wait(self, predicate, what: str, pin_at=None) -> None:
+        """Step the scheduler until ``predicate()`` holds."""
+        while not predicate():
+            self._check_deadline(what)
+            self.scheduler.step(pin_at=pin_at)
+            time.sleep(0.02)
+
+    def _offer(self, client, job_id: str) -> dict:
+        return client.request(MessageType.OFFER, {"job_id": job_id})
+
+    def run(self) -> ScenarioReport:
+        self._deadline = time.monotonic() + self.timeout
+        factory = lambda request, _sched: ElasticJobRunner(  # noqa: E731
+            request, transport=self.transport, tracer=self.tracer,
+            metrics=self.metrics,
+        )
+        sched = ClusterScheduler(
+            self.policy, CAPACITY_START, runner_factory=factory,
+            tracer=self.tracer, metrics=self.metrics,
+        )
+        self.scheduler = sched
+        server = None
+        if self.transport == "tcp":
+            from ..net.tcp import tcp_link
+
+            server = sched.serve_tcp()
+            client, _ = tcp_link(
+                server.host, server.port, "scenario-client",
+                ack_timeout=1.0, tracer=self.tracer,
+                metrics=self.metrics,
+            )
+        else:
+            client = memory_link(
+                sched.core, "scenario-client", ack_timeout=1.0,
+                tracer=self.tracer, metrics=self.metrics,
+            )
+        t_start = time.monotonic()
+        try:
+            return self._drive(sched, client, t_start)
+        finally:
+            client.close()
+            if server is not None:
+                server.close()
+            sched.close()
+
+    def _drive(self, sched, client, t_start) -> ScenarioReport:
+        # Phase 1: burst-submit over the wire, admit everyone at min.
+        for request in self.requests():
+            reply = client.request(
+                MessageType.SUBMIT, {"job": request.to_payload()}
+            )
+            if not reply.get("accepted"):
+                raise RuntimeError(f"submission rejected: {reply}")
+        summary = sched.step()
+        if sorted(summary["admitted"]) != ["jobA", "jobB", "jobC"]:
+            raise RuntimeError(
+                f"expected a full admission burst, got {summary}"
+            )
+        running = lambda jid: sched.running.get(jid)  # noqa: E731
+        self._wait(
+            lambda: all(
+                running(j) is not None
+                and running(j).runner.progress() >= 2
+                for j in ("jobA", "jobB", "jobC")
+            ),
+            "all jobs past iteration 2",
+        )
+
+        # Phase 2: spot capacity arrives; everyone grows, pinned.
+        sched.set_capacity(CAPACITY_GROWN, reason="spot-arrival")
+        self._wait(
+            lambda: all(
+                running(j) is not None and running(j).workers == 2
+                for j in ("jobA", "jobB", "jobC")
+            ),
+            "grow to 2 workers accepted", pin_at=GROW_PIN,
+        )
+        self._wait(
+            lambda: all(
+                running(j) is not None
+                and running(j).runner.committed() >= 1
+                and running(j).runner.progress() >= GROW_PIN + 2
+                for j in ("jobA", "jobB")
+            ),
+            "grow committed on the survivors",
+        )
+
+        # Phase 3: spot reclaim; jobC is preempted, survivors shrink.
+        sched.set_capacity(CAPACITY_RECLAIMED, reason="spot-reclaim")
+        self._wait(
+            lambda: all(
+                running(j) is not None and running(j).workers == 1
+                for j in ("jobA", "jobB")
+            ) and self._offer(client, "jobC").get("state") == "queued",
+            "shrink accepted and jobC preempted", pin_at=SHRINK_PIN,
+        )
+
+        # Phase 4: survivors finish; jobC is re-admitted and finishes.
+        self._wait(
+            lambda: self._offer(client, "jobA").get("state") == "completed"
+            and self._offer(client, "jobB").get("state") == "completed",
+            "survivors completing",
+        )
+        self._wait(
+            lambda: self._offer(client, "jobC").get("state") == "completed",
+            "jobC re-running to completion",
+        )
+        makespan = time.monotonic() - t_start
+
+        tables = client.request(MessageType.JOB_STATUS)
+        if tables["queue"] or tables["running"]:
+            raise RuntimeError(f"cluster not drained: {tables}")
+        digests = {}
+        queueing = {}
+        for job_id, data in sched.completed.items():
+            unique = sorted(set(data["digests"].values()))
+            if len(unique) != 1:
+                raise RuntimeError(
+                    f"{job_id}: workers disagree on the final digest: "
+                    f"{data['digests']}"
+                )
+            digests[job_id] = unique[0]
+            queueing[job_id] = float(data["queueing_delay"])
+        order = sorted(
+            sched.completed, key=lambda j: sched.completed[j]["at"]
+        )
+        events = self.tracer.to_events()
+        metrics = self.metrics.snapshot()
+        goodput = derive_report(events, metrics)
+        self.report = ScenarioReport(
+            transport=self.transport, policy=self.policy,
+            makespan=makespan, queueing_delays=queueing,
+            digests=digests, completion_order=order,
+            preemptions=sched.preemptions,
+            resizes=int(
+                self.metrics.counter("cluster.resizes").value
+            ),
+            goodput=goodput, events=events, metrics=metrics,
+        )
+        return self.report
+
+
+def run_churn_scenario(
+    transport: str,
+    iterations: int = 24,
+    iteration_sleep: float = 0.05,
+    seed: int = 7,
+    policy: str = "e-priority",
+    timeout: float = 120.0,
+    trace_path: "str | None" = None,
+) -> ScenarioReport:
+    """Run one deterministic churn scenario; optionally export its trace."""
+    scenario = ChurnScenario(
+        transport, iterations=iterations,
+        iteration_sleep=iteration_sleep, seed=seed, policy=policy,
+        timeout=timeout,
+    )
+    report = scenario.run()
+    if trace_path is not None:
+        from ..observability import write_trace_events
+
+        write_trace_events(trace_path, report.events)
+    return report

@@ -1,0 +1,802 @@
+"""The live multi-tenant cluster scheduler service (§VI-C, live).
+
+One :class:`ClusterScheduler` owns a GPU inventory and many elastic
+jobs.  Clients submit :class:`JobRequest`\\ s over the §V-D reliable
+links (``SUBMIT``); the scheduler admits them with the paper's
+admission rule, sizes them with a pluggable
+:class:`~repro.scheduling.SchedulingPolicy` through the shared
+:class:`~repro.scheduling.PolicyAdapter` seam, and delivers grow /
+shrink directives to each job's
+:class:`~repro.net.NetworkedApplicationMaster` (``RESIZE``) — so the
+exactly-once / dedup / reconnection guarantees of the existing
+transport stack carry the whole scheduling plane.
+
+Key semantics, mirrored from the trace simulator so the two planes
+agree:
+
+* **admission** — a queued job starts only when the policy grants it
+  workers *and* the inventory can still hold every running job's
+  minimum plus this job's grant (the §VI-C floor check lives in the
+  elastic policies; the scheduler enforces the physical capacity).
+* **spot churn** — :meth:`ClusterScheduler.set_capacity` models the
+  inventory shrinking under the jobs; when the running jobs' *minimums*
+  no longer fit, victims are condemned back to the queue in priority
+  order (lowest priority first, then newest admission), losing their
+  progress — live preemption restarts from scratch, unlike the
+  simulator's checkpoint-on-preempt, and the journal records it.
+* **decision journal** — every externally visible decision (submit,
+  admit, resize, preempt, capacity change, release, completion) is
+  appended to a checksummed :class:`~repro.net.journal.Journal` with
+  cluster-specific record kinds *before* the reply that makes it
+  observable, so a successor scheduler can replay its inventory and
+  queue (:meth:`ClusterScheduler.from_journal`).
+
+The scheduler never names workers or touches training state: runners
+(:mod:`repro.cluster.runners`) own the per-job data plane, and the
+scheduler only deals in worker *counts* — which is also what makes it
+trivially testable against a stub runner.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import typing
+
+from ..coordination.messages import Message, MessageType
+from ..net.journal import Journal
+from ..net.transport import ServerCore
+from ..scheduling import (
+    BackfillPolicy,
+    ElasticBackfillPolicy,
+    ElasticFifoPolicy,
+    ElasticSrtfPolicy,
+    FifoPolicy,
+    PolicyAdapter,
+    PriorityElasticPolicy,
+    SchedulingPolicy,
+)
+from ..scheduling.job import JobSpec as ScheduleSpec
+
+#: Policy registry shared by the CLI and :meth:`from_journal` (the
+#: journal records the policy by name, not by pickle).
+POLICIES: "dict[str, typing.Callable[[], SchedulingPolicy]]" = {
+    "fifo": FifoPolicy,
+    "bf": BackfillPolicy,
+    "e-fifo": ElasticFifoPolicy,
+    "e-bf": ElasticBackfillPolicy,
+    "e-srtf": ElasticSrtfPolicy,
+    "e-priority": PriorityElasticPolicy,
+}
+
+#: Record kinds of the scheduler's decision journal (disjoint from the
+#: AM journal's :data:`~repro.net.journal.RECORD_KINDS` — a scheduler
+#: journal can never be mistaken for a job journal at replay time).
+CLUSTER_RECORD_KINDS = frozenset({
+    "open",      # scheduler boot: policy name, nominal capacity
+    "epoch",     # fencing epoch of one scheduler incarnation
+    "submit",    # one job request queued (full request payload)
+    "admit",     # a queued job started with an initial allocation
+    "resize",    # a running job's target allocation changed
+    "preempt",   # a running job condemned back to the queue
+    "capacity",  # the GPU inventory changed (spot churn)
+    "release",   # a job returned its GPUs (client cancel)
+    "complete",  # a job finished (digest, timings)
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRequest:
+    """One client-submitted elastic job (the ``SUBMIT`` payload).
+
+    Carries both the *scheduling* face (min/req/max workers, priority,
+    a Table I model name for the policy's throughput arithmetic) and
+    the *training* face (iterations, seed, pacing) the runner needs to
+    start the live job.
+    """
+
+    job_id: str
+    iterations: int = 24
+    priority: int = 0
+    min_res: int = 1
+    req_res: int = 1
+    max_res: int = 2
+    model: str = "ResNet-50"
+    seed: int = 7
+    coordination_interval: int = 4
+    iteration_sleep: float = 0.0
+
+    def __post_init__(self):
+        if not self.job_id:
+            raise ValueError("job_id must be non-empty")
+        if self.iterations < 1:
+            raise ValueError(f"{self.job_id}: iterations must be >= 1")
+        if not 1 <= self.min_res <= self.req_res <= self.max_res:
+            raise ValueError(
+                f"{self.job_id}: need 1 <= min {self.min_res} <= req "
+                f"{self.req_res} <= max {self.max_res}"
+            )
+
+    def to_payload(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "JobRequest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+    def to_schedule_spec(self, submit_time: float) -> ScheduleSpec:
+        """The policy-visible :class:`~repro.scheduling.JobSpec`.
+
+        ``work`` is measured in iterations, so a runner's iteration
+        watermark *is* the job's ``work_done`` — no unit conversion
+        between the live plane and the policy arithmetic.
+        """
+        from ..perfmodel.models import get_model
+
+        return ScheduleSpec(
+            job_id=self.job_id, model=get_model(self.model),
+            submit_time=submit_time, work=float(self.iterations),
+            req_res=self.req_res, min_res=self.min_res,
+            max_res=self.max_res, priority=self.priority,
+        )
+
+
+class _JobRecord:
+    """The scheduler's bookkeeping for one submitted job."""
+
+    __slots__ = (
+        "request", "submit_seq", "submitted_at", "enqueued_at",
+        "admitted_at", "admit_seq", "workers", "runner", "preemptions",
+    )
+
+    def __init__(self, request: JobRequest, submit_seq: int, now: float):
+        self.request = request
+        self.submit_seq = submit_seq
+        self.submitted_at = now
+        self.enqueued_at = now  # reset on preemption requeue
+        self.admitted_at: "float | None" = None  # first admission
+        self.admit_seq = -1  # monotonically increasing per admission
+        self.workers = 0
+        self.runner: "typing.Any | None" = None
+        self.preemptions = 0
+
+
+class ClusterScheduler:
+    """Admit, allocate, and resize many concurrent elastic jobs.
+
+    ``runner_factory(request, scheduler)`` builds the per-job data
+    plane; it must return an object with the runner protocol —
+    ``start(workers)``, ``resize(workers, at_iteration=None) -> bool``,
+    ``progress() -> int``, ``complete() -> bool``,
+    ``digests() -> dict``, ``stop()``, ``close()`` (see
+    :class:`~repro.cluster.runners.ElasticJobRunner`).  Tests drive the
+    scheduler with a stub.
+
+    The scheduler is passive between :meth:`step` calls: handlers only
+    mutate the queue, and every decision (admission, resize, eviction)
+    happens inside ``step`` — which is what makes a scripted scenario
+    deterministic and a live deployment a trivial loop
+    (:meth:`serve_forever`).
+    """
+
+    def __init__(
+        self,
+        policy: "SchedulingPolicy | str",
+        total_gpus: int,
+        runner_factory: "typing.Callable[..., typing.Any] | None" = None,
+        journal: "Journal | None" = None,
+        tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
+        clock: "typing.Callable[[], float] | None" = None,
+        _replay: "ClusterJournalState | None" = None,
+    ):
+        if total_gpus < 1:
+            raise ValueError("total_gpus must be >= 1")
+        if isinstance(policy, str):
+            policy = POLICIES[policy]()
+        self.adapter = PolicyAdapter(policy)
+        self.capacity = total_gpus
+        self.runner_factory = runner_factory
+        self.tracer = tracer
+        self.metrics = metrics
+        self.clock = clock if clock is not None else time.monotonic
+        self.journal = journal if journal is not None else Journal(
+            kinds=CLUSTER_RECORD_KINDS
+        )
+        self._lock = threading.RLock()
+        self._t0 = self.clock()
+        self._fenced = False
+        self._server = None
+        self._stop = threading.Event()
+        #: submit order: the queue list stays sorted by ``submit_seq``.
+        self.jobs: "dict[str, _JobRecord]" = {}
+        self.queue: "list[str]" = []
+        self.running: "dict[str, _JobRecord]" = {}
+        self.completed: "dict[str, dict]" = {}
+        self.preemptions = 0
+        self._submit_seq = 0
+        self._admit_seq = 0
+        self.core = ServerCore(
+            handler=self.handle, node_id="cluster", tracer=tracer,
+            metrics=metrics,
+        )
+        if _replay is None:
+            self.epoch = 1
+            self.journal.append(
+                "open", policy=self.adapter.name, capacity=total_gpus,
+            )
+            self.journal.append("epoch", epoch=self.epoch)
+        else:
+            self._restore(_replay)
+        self.core.epoch = self.epoch
+
+    # -- time ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        """Seconds since this incarnation started (journal-safe)."""
+        return self.clock() - self._t0
+
+    # -- client API (also reachable over the wire) -----------------------------
+
+    def submit(self, request: JobRequest) -> dict:
+        """Queue one job request; the next :meth:`step` may admit it."""
+        with self._lock:
+            if request.job_id in self.jobs:
+                return {"accepted": False, "reason": "duplicate",
+                        "job_id": request.job_id}
+            now = self._now()
+            self.journal.append(
+                "submit", job=request.to_payload(), at=now,
+                seq=self._submit_seq,
+            )
+            record = _JobRecord(request, self._submit_seq, now)
+            self._submit_seq += 1
+            self.jobs[request.job_id] = record
+            self.queue.append(request.job_id)
+            self._instant("cluster.submit", job=request.job_id,
+                          priority=request.priority)
+            self._count("cluster.submits")
+            self._gauges()
+            return {"accepted": True, "job_id": request.job_id,
+                    "position": len(self.queue)}
+
+    def set_capacity(self, gpus: int, reason: str = "operator") -> dict:
+        """Grow or shrink the GPU inventory (spot churn lives here).
+
+        Only records the new capacity; the next :meth:`step` shrinks or
+        evicts jobs to fit — so a scripted scenario can pin the commit
+        boundary of the resulting resizes.
+        """
+        if gpus < 1:
+            raise ValueError("capacity must stay >= 1")
+        with self._lock:
+            old, self.capacity = self.capacity, gpus
+            self.journal.append("capacity", gpus=gpus, old=old,
+                                reason=reason, at=self._now())
+            self._instant("cluster.capacity", old=old, new=gpus,
+                          reason=reason)
+            self._count("cluster.capacity_changes")
+            self._gauges()
+            return {"capacity": gpus, "old": old}
+
+    def release(self, job_id: str) -> dict:
+        """Return a job's GPUs (client cancel); queued or running."""
+        with self._lock:
+            record = self.jobs.get(job_id)
+            if record is None or job_id in self.completed:
+                return {"released": False, "job_id": job_id}
+            state = "running" if job_id in self.running else "queued"
+            if job_id in self.running:
+                self._stop_runner(record)
+                del self.running[job_id]
+            if job_id in self.queue:
+                self.queue.remove(job_id)
+            del self.jobs[job_id]
+            self.journal.append("release", job_id=job_id, state=state,
+                                at=self._now())
+            self._instant("cluster.release", job=job_id, state=state)
+            self._count("cluster.releases")
+            self._gauges()
+            return {"released": True, "job_id": job_id, "state": state}
+
+    def offer(self, job_id: str) -> dict:
+        """One job's current placement (the ``OFFER`` reply)."""
+        with self._lock:
+            if job_id in self.completed:
+                done = self.completed[job_id]
+                return {"job_id": job_id, "state": "completed",
+                        "digest": done.get("digest"),
+                        "jct": done.get("jct")}
+            record = self.jobs.get(job_id)
+            if record is None:
+                return {"job_id": job_id, "state": "unknown"}
+            if job_id in self.running:
+                progress = None
+                if record.runner is not None:
+                    progress = record.runner.progress()
+                return {"job_id": job_id, "state": "running",
+                        "workers": record.workers, "iteration": progress,
+                        "preemptions": record.preemptions}
+            return {"job_id": job_id, "state": "queued",
+                    "position": self.queue.index(job_id) + 1,
+                    "preemptions": record.preemptions}
+
+    def tables(self) -> dict:
+        """Queue / allocation / completion tables (``JOB_STATUS``)."""
+        with self._lock:
+            queue_rows = [
+                {"job_id": jid, "priority": self.jobs[jid].request.priority,
+                 "min": self.jobs[jid].request.min_res,
+                 "max": self.jobs[jid].request.max_res,
+                 "preemptions": self.jobs[jid].preemptions,
+                 "queued_for": round(
+                     self._now() - self.jobs[jid].enqueued_at, 3)}
+                for jid in self.queue
+            ]
+            running_rows = [
+                {"job_id": jid, "workers": rec.workers,
+                 "priority": rec.request.priority,
+                 "iteration": rec.runner.progress()
+                 if rec.runner is not None else None}
+                for jid, rec in self.running.items()
+            ]
+            completed_rows = [
+                {"job_id": jid, "digest": data.get("digest"),
+                 "jct": data.get("jct"),
+                 "preemptions": data.get("preemptions")}
+                for jid, data in self.completed.items()
+            ]
+            return {
+                "policy": self.adapter.name, "epoch": self.epoch,
+                "capacity": self.capacity, "busy": self._busy(),
+                "queue": queue_rows, "running": running_rows,
+                "completed": completed_rows,
+                "preemptions": self.preemptions,
+            }
+
+    # -- the scheduling pass ---------------------------------------------------
+
+    def step(self, pin_at: "int | None" = None) -> dict:
+        """One scheduling pass: reap, evict-to-fit, allocate, apply.
+
+        ``pin_at`` pins every resize issued by this pass to commit at
+        that training iteration (rounded up to the job's coordination
+        boundary) — the lever a deterministic scenario uses to make
+        resize commits land at identical iterations on every transport.
+        """
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin("cluster.reschedule", track="cluster",
+                                     cat="cluster")
+        try:
+            with self._lock:
+                summary = self._step_locked(pin_at)
+        finally:
+            if self.tracer is not None:
+                self.tracer.end(span)
+        return summary
+
+    def _step_locked(self, pin_at: "int | None") -> dict:
+        now = self._now()
+        completed = self._reap(now)
+        preempted = self._evict_to_fit(now)
+        allocation = self._allocation(now)
+        resized = self._apply_resizes(allocation, pin_at, now)
+        admitted = self._admit(allocation, now)
+        self._gauges()
+        return {"admitted": admitted, "resized": resized,
+                "preempted": preempted, "completed": completed,
+                "allocation": allocation}
+
+    def _reap(self, now: float) -> "list[str]":
+        reaped = []
+        for job_id, record in list(self.running.items()):
+            if record.runner is None or not record.runner.complete():
+                continue
+            digests = record.runner.digests()
+            unique = sorted(set(digests.values()))
+            jct = now - record.submitted_at
+            queueing = (record.admitted_at or now) - record.submitted_at
+            data = {
+                "job_id": job_id, "digest": unique[0] if unique else None,
+                "digests": dict(digests), "workers": record.workers,
+                "jct": jct, "queueing_delay": queueing,
+                "preemptions": record.preemptions, "at": now,
+            }
+            self.journal.append("complete", **data)
+            self.completed[job_id] = data
+            record.runner.close()
+            record.workers = 0
+            del self.running[job_id]
+            reaped.append(job_id)
+            self._instant("cluster.complete", job=job_id,
+                          jct=round(jct, 3))
+            self._count("cluster.completions")
+            if self.metrics is not None:
+                self.metrics.histogram("cluster.jct_seconds").observe(jct)
+        return reaped
+
+    def _evict_to_fit(self, now: float) -> "list[str]":
+        """Condemn victims until running minimums fit the inventory.
+
+        Victim order is the spot-churn rule: lowest priority tier
+        first, newest admission first within a tier — the jobs with
+        the least seniority pay for the capacity loss.
+        """
+        preempted = []
+        while self.running:
+            floor = sum(
+                rec.request.min_res for rec in self.running.values()
+            )
+            if floor <= self.capacity:
+                break
+            victim = min(
+                self.running.values(),
+                key=lambda r: (r.request.priority, -r.admit_seq),
+            )
+            job_id = victim.request.job_id
+            progress = (victim.runner.progress()
+                        if victim.runner is not None else 0)
+            self._stop_runner(victim)
+            del self.running[job_id]
+            victim.workers = 0
+            victim.preemptions += 1
+            victim.enqueued_at = now
+            self.preemptions += 1
+            # Requeue in submit order: FIFO-family policies read the
+            # queue front-to-back.
+            self.queue.append(job_id)
+            self.queue.sort(key=lambda jid: self.jobs[jid].submit_seq)
+            self.journal.append(
+                "preempt", job_id=job_id, progress_lost=progress,
+                capacity=self.capacity, at=now,
+            )
+            preempted.append(job_id)
+            self._instant("cluster.preempt", job=job_id,
+                          progress_lost=progress)
+            self._count("cluster.preempts")
+        return preempted
+
+    def _allocation(self, now: float) -> "dict[str, int]":
+        queue_execs = [
+            self.adapter.execution(
+                self.jobs[jid].request.to_schedule_spec(
+                    self.jobs[jid].submitted_at
+                )
+            )
+            for jid in self.queue
+        ]
+        running_execs = [
+            self.adapter.execution(
+                rec.request.to_schedule_spec(rec.submitted_at),
+                workers=rec.workers,
+                work_done=float(rec.runner.progress())
+                if rec.runner is not None else 0.0,
+                start_time=rec.admitted_at,
+            )
+            for rec in self.running.values()
+        ]
+        return self.adapter.target_allocation(
+            now, queue_execs, running_execs, self.capacity, clamp=True,
+        )
+
+    def _apply_resizes(
+        self, allocation: "dict[str, int]", pin_at: "int | None",
+        now: float,
+    ) -> "dict[str, tuple[int, int]]":
+        resized = {}
+        for job_id, record in self.running.items():
+            target = allocation.get(job_id, record.workers)
+            if target < record.request.min_res:
+                # Elastic policies keep running jobs at >= min_res; a
+                # policy that drops below the floor is ignored here —
+                # shrinking under the minimum is the eviction path's
+                # decision, not a resize.
+                continue
+            if target == record.workers or record.runner is None:
+                continue
+            accepted = record.runner.resize(target, at_iteration=pin_at)
+            if not accepted:
+                # An adjustment is already in flight on this job's AM;
+                # the next pass re-requests (one in flight per job).
+                self._count("cluster.resize_deferrals")
+                continue
+            old, record.workers = record.workers, target
+            self.journal.append(
+                "resize", job_id=job_id, old=old, new=target,
+                at_iteration=pin_at, at=now,
+            )
+            resized[job_id] = (old, target)
+            self._instant("cluster.resize", job=job_id, old=old,
+                          new=target, at_iteration=pin_at)
+            self._count("cluster.resizes")
+        return resized
+
+    def _admit(
+        self, allocation: "dict[str, int]", now: float,
+    ) -> "list[str]":
+        admitted = []
+        for job_id in list(self.queue):
+            target = allocation.get(job_id, 0)
+            if target <= 0:
+                continue
+            record = self.jobs[job_id]
+            free = self.capacity - self._busy()
+            workers = min(target, free)
+            if workers < record.request.min_res:
+                # The policy admitted it, but resize deferrals can keep
+                # GPUs physically occupied for another pass.
+                continue
+            if self.runner_factory is None:
+                raise RuntimeError(
+                    "cannot admit jobs without a runner_factory"
+                )
+            runner = self.runner_factory(record.request, self)
+            queueing = now - record.enqueued_at
+            self.journal.append(
+                "admit", job_id=job_id, workers=workers,
+                queueing_delay=queueing, at=now,
+            )
+            record.runner = runner
+            record.workers = workers
+            record.admit_seq = self._admit_seq
+            self._admit_seq += 1
+            if record.admitted_at is None:
+                record.admitted_at = now
+            self.queue.remove(job_id)
+            self.running[job_id] = record
+            runner.start(workers)
+            admitted.append(job_id)
+            self._instant("cluster.admit", job=job_id, workers=workers,
+                          queueing_delay=round(queueing, 3))
+            self._count("cluster.admits")
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    "cluster.queueing_delay_seconds"
+                ).observe(queueing)
+        return admitted
+
+    def _busy(self) -> int:
+        return sum(rec.workers for rec in self.running.values())
+
+    def _stop_runner(self, record: _JobRecord) -> None:
+        if record.runner is None:
+            return
+        try:
+            record.runner.stop()
+        finally:
+            record.runner.close()
+            record.runner = None
+
+    # -- wire ------------------------------------------------------------------
+
+    def handle(self, message: Message) -> dict:
+        """The :class:`~repro.net.transport.ServerCore` handler."""
+        if self._fenced:
+            return {"__retry__": "scheduler_superseded"}
+        payload = message.payload or {}
+        if message.msg_type is MessageType.SUBMIT:
+            return self.submit(JobRequest.from_payload(payload["job"]))
+        if message.msg_type is MessageType.OFFER:
+            return self.offer(str(payload["job_id"]))
+        if message.msg_type is MessageType.JOB_STATUS:
+            return self.tables()
+        if message.msg_type is MessageType.RELEASE:
+            return self.release(str(payload["job_id"]))
+        if message.msg_type is MessageType.STATUS:
+            with self._lock:
+                return {
+                    "policy": self.adapter.name, "epoch": self.epoch,
+                    "capacity": self.capacity, "busy": self._busy(),
+                    "queued": len(self.queue),
+                    "running": len(self.running),
+                    "completed": len(self.completed),
+                    "preemptions": self.preemptions,
+                }
+        raise ValueError(
+            f"cluster scheduler cannot handle {message.msg_type.value!r}"
+        )
+
+    def serve_tcp(self, host: str = "127.0.0.1", port: int = 0):
+        """Listen for clients; returns the :class:`~repro.net.tcp.TcpServer`."""
+        from ..net.tcp import TcpServer
+
+        self._server = TcpServer(
+            self.core, host=host, port=port, tracer=self.tracer,
+            metrics=self.metrics,
+        ).start()
+        return self._server
+
+    def serve_forever(
+        self, interval: float = 0.1,
+        deadline: "float | None" = None,
+    ) -> None:
+        """Run :meth:`step` on a cadence until :meth:`close` (or deadline)."""
+        end = None if deadline is None else self.clock() + deadline
+        while not self._stop.is_set():
+            self.step()
+            if end is not None and self.clock() >= end:
+                return
+            self._stop.wait(interval)
+
+    # -- lifecycle / failover --------------------------------------------------
+
+    def close(self) -> None:
+        """Stop serving, stop every running job, close the journal."""
+        self._stop.set()
+        if self._server is not None:
+            self._server.close()
+        with self._lock:
+            for record in self.running.values():
+                self._stop_runner(record)
+            self.running.clear()
+        self.journal.close()
+
+    def abandon(self) -> None:
+        """Fence this incarnation out so a successor can take over.
+
+        Running jobs' runners die with the incarnation (their GPUs are
+        gone); the journal stays open for hand-off.
+        """
+        self._stop.set()
+        with self._lock:
+            self._fenced = True
+            for record in self.running.values():
+                self._stop_runner(record)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "cluster.abandoned", track="cluster", cat="cluster",
+                    epoch=self.epoch,
+                )
+        if self._server is not None:
+            self._server.close()
+
+    @classmethod
+    def from_journal(
+        cls,
+        journal: Journal,
+        runner_factory: "typing.Callable[..., typing.Any] | None" = None,
+        tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
+        clock: "typing.Callable[[], float] | None" = None,
+    ) -> "ClusterScheduler":
+        """Rebuild a crashed scheduler from its decision journal.
+
+        The successor replays every decision, journals a strictly
+        higher fencing epoch, and requeues the predecessor's running
+        jobs at their original submit positions (their runners died
+        with the predecessor; re-admission restarts them) — queued and
+        completed jobs come back verbatim.
+        """
+        state = ClusterJournalState.replay(journal.records())
+        if state.policy is None:
+            raise ValueError("journal holds no open record to recover from")
+        return cls(
+            state.policy, state.capacity,
+            runner_factory=runner_factory, journal=journal,
+            tracer=tracer, metrics=metrics, clock=clock, _replay=state,
+        )
+
+    def _restore(self, state: "ClusterJournalState") -> None:
+        self.epoch = state.epoch + 1
+        self.journal.append("epoch", epoch=self.epoch)
+        self.capacity = state.capacity
+        self.preemptions = state.preemptions
+        self._submit_seq = state.submit_seq
+        now = self._now()
+        for job_id, payload in state.submitted.items():
+            if job_id in state.completed or job_id in state.released:
+                continue
+            request = JobRequest.from_payload(payload)
+            record = _JobRecord(
+                request, state.submit_seq_of.get(job_id, 0), now,
+            )
+            record.preemptions = state.preemption_counts.get(job_id, 0)
+            self.jobs[job_id] = record
+            # Previously *running* jobs lost their runners with the old
+            # incarnation: requeue them for re-admission.
+            self.queue.append(job_id)
+        self.queue.sort(key=lambda jid: self.jobs[jid].submit_seq)
+        self.completed = {
+            jid: dict(data) for jid, data in state.completed.items()
+        }
+        if self.tracer is not None:
+            self.tracer.instant(
+                "cluster.failover", track="cluster", cat="cluster",
+                epoch=self.epoch, requeued=len(self.queue),
+                completed=len(self.completed),
+            )
+        if self.metrics is not None:
+            self.metrics.counter("cluster.failovers").inc()
+
+    # -- observability helpers -------------------------------------------------
+
+    def _instant(self, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, track="cluster", cat="cluster",
+                                **args)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("cluster.capacity_gpus").set(self.capacity)
+            self.metrics.gauge("cluster.busy_gpus").set(self._busy())
+            self.metrics.gauge("cluster.queue_depth").set(len(self.queue))
+
+
+class ClusterJournalState:
+    """The scheduler state a decision journal replays to (pure data)."""
+
+    def __init__(self):
+        self.policy: "str | None" = None
+        self.capacity = 0
+        self.epoch = 0
+        self.submitted: "dict[str, dict]" = {}
+        self.submit_seq_of: "dict[str, int]" = {}
+        self.queue: "list[str]" = []
+        self.running: "dict[str, int]" = {}
+        self.completed: "dict[str, dict]" = {}
+        self.released: "set[str]" = set()
+        self.preemptions = 0
+        self.preemption_counts: "dict[str, int]" = {}
+        self.capacity_changes = 0
+        self.submit_seq = 0
+        self.replayed = 0
+
+    @classmethod
+    def replay(
+        cls, records: "typing.Iterable[dict]",
+    ) -> "ClusterJournalState":
+        state = cls()
+        for record in records:
+            state._apply(record["kind"], record["data"])
+            state.replayed += 1
+        return state
+
+    def _apply(self, kind: str, data: dict) -> None:
+        if kind == "open":
+            self.policy = data["policy"]
+            self.capacity = int(data["capacity"])
+        elif kind == "epoch":
+            self.epoch = max(self.epoch, int(data["epoch"]))
+        elif kind == "submit":
+            job_id = data["job"]["job_id"]
+            seq = int(data.get("seq", len(self.submitted)))
+            self.submitted[job_id] = dict(data["job"])
+            self.submit_seq_of[job_id] = seq
+            self.submit_seq = max(self.submit_seq, seq + 1)
+            self.queue.append(job_id)
+        elif kind == "admit":
+            job_id = data["job_id"]
+            if job_id in self.queue:
+                self.queue.remove(job_id)
+            self.running[job_id] = int(data["workers"])
+        elif kind == "resize":
+            self.running[data["job_id"]] = int(data["new"])
+        elif kind == "preempt":
+            job_id = data["job_id"]
+            self.running.pop(job_id, None)
+            self.preemptions += 1
+            self.preemption_counts[job_id] = (
+                self.preemption_counts.get(job_id, 0) + 1
+            )
+            if job_id not in self.queue:
+                self.queue.append(job_id)
+        elif kind == "capacity":
+            self.capacity = int(data["gpus"])
+            self.capacity_changes += 1
+        elif kind == "release":
+            job_id = data["job_id"]
+            self.released.add(job_id)
+            self.running.pop(job_id, None)
+            if job_id in self.queue:
+                self.queue.remove(job_id)
+        elif kind == "complete":
+            job_id = data["job_id"]
+            self.running.pop(job_id, None)
+            self.completed[job_id] = dict(data)

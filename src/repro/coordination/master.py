@@ -66,14 +66,25 @@ class MasterState(enum.Enum):
 
 @dataclasses.dataclass(frozen=True)
 class AdjustmentRequest:
-    """A scheduler request (step 1 of Fig. 2)."""
+    """A scheduler request (step 1 of Fig. 2).
+
+    ``at_iteration`` optionally pins the commit to a specific boundary:
+    the adjustment commits at the *later* of the pin and the natural
+    next boundary.  A cluster scheduler uses this to make a resize land
+    at the same iteration on every replay of a scenario — the natural
+    boundary depends on when the request raced the workers' progress,
+    the pin does not.
+    """
 
     kind: AdjustmentKind
     add_workers: typing.Tuple[str, ...] = ()
     remove_workers: typing.Tuple[str, ...] = ()
+    at_iteration: "int | None" = None
 
     def validate(self, current_group: typing.Sequence[str]) -> None:
         """Reject structurally impossible requests early."""
+        if self.at_iteration is not None and self.at_iteration < 1:
+            raise ValueError("at_iteration must be a future boundary (>= 1)")
         current = set(current_group)
         if self.kind is AdjustmentKind.SCALE_OUT:
             if not self.add_workers or self.remove_workers:
@@ -249,6 +260,12 @@ class ApplicationMaster:
     def _schedule_commit(self) -> None:
         interval = self.coordination_interval
         next_boundary = (self.latest_iteration // interval + 1) * interval
+        pin = self.pending.at_iteration if self.pending is not None else None
+        if pin is not None:
+            # Round the pin up to a boundary, then never schedule behind
+            # the workers: a late pin degrades to the natural boundary.
+            pinned = ((int(pin) + interval - 1) // interval) * interval
+            next_boundary = max(next_boundary, pinned)
         self.commit_iteration = next_boundary
         self.state = MasterState.COMMIT_SCHEDULED
         self._instant("am.commit_scheduled", commit_iteration=next_boundary)
@@ -310,6 +327,7 @@ class ApplicationMaster:
                     "kind": self.pending.kind.value,
                     "add": list(self.pending.add_workers),
                     "remove": list(self.pending.remove_workers),
+                    "at_iteration": self.pending.at_iteration,
                 },
                 "reported": sorted(self.reported),
                 "commit_iteration": self.commit_iteration,
@@ -350,6 +368,7 @@ class ApplicationMaster:
                 kind=AdjustmentKind(pending["kind"]),
                 add_workers=tuple(pending["add"]),
                 remove_workers=tuple(pending["remove"]),
+                at_iteration=pending.get("at_iteration"),
             )
         )
         master.reported = set(snapshot["reported"])

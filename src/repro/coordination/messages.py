@@ -43,6 +43,12 @@ class MessageType(enum.Enum):
     RING_SEGMENT = "ring_segment"  # worker -> ring successor (one bucket)
     RING_FETCH = "ring_fetch"  # worker -> peer (iteration state / mean)
     TELEMETRY = "telemetry"  # worker -> AM (metric/trace delta); driver query
+    # -- cluster-scheduler plane (scheduler service <-> clients / AMs) --------
+    SUBMIT = "submit"  # client -> scheduler (queue one job request)
+    OFFER = "offer"  # client -> scheduler (poll one job's placement)
+    RESIZE = "resize"  # scheduler -> AM (externally driven grow/shrink)
+    RELEASE = "release"  # client/driver -> scheduler (return a job's GPUs)
+    JOB_STATUS = "job_status"  # client -> scheduler (queue/allocation tables)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -76,9 +76,14 @@ class Journal:
     handed the same object).
     """
 
-    def __init__(self, path: "str | None" = None, metrics=None):
+    def __init__(self, path: "str | None" = None, metrics=None,
+                 kinds: "frozenset[str] | None" = None):
+        """``kinds`` overrides the accepted record-kind set (default:
+        the AM's :data:`RECORD_KINDS`) — the cluster scheduler journals
+        its own decision kinds through the same checksummed machinery."""
         self.path = path
         self.metrics = metrics
+        self.kinds = RECORD_KINDS if kinds is None else frozenset(kinds)
         self._lock = threading.Lock()
         self._records: "list[dict]" = []
         self._seq = 0
@@ -94,7 +99,7 @@ class Journal:
 
     def append(self, kind: str, /, **data) -> dict:
         """Durably append one record; returns the decoded record."""
-        if kind not in RECORD_KINDS:
+        if kind not in self.kinds:
             raise JournalError(f"unknown journal record kind {kind!r}")
         encoded = encode_payload(dict(data))
         with self._lock:
@@ -148,7 +153,7 @@ class Journal:
                     data = record["data"]
                     if record.get("sum") != _checksum(seq, kind, data):
                         raise ValueError("checksum mismatch")
-                    if kind not in RECORD_KINDS:
+                    if kind not in self.kinds:
                         raise ValueError(f"unknown kind {kind!r}")
                     if records and seq != records[-1]["seq"] + 1:
                         raise ValueError("sequence gap")

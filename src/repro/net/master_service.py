@@ -505,6 +505,8 @@ class NetworkedApplicationMaster:
             return self._handle_state_fetch(worker, payload)
         if message.msg_type is MessageType.ADJUSTMENT_REQUEST:
             return self._handle_adjustment_request(payload)
+        if message.msg_type is MessageType.RESIZE:
+            return self._handle_adjustment_request(payload, origin="scheduler")
         if message.msg_type is MessageType.STATUS:
             return self.status()
         if message.msg_type is MessageType.TELEMETRY:
@@ -1094,6 +1096,13 @@ class NetworkedApplicationMaster:
         iteration = int(payload["iteration"])
         key = (generation, iteration)
         with self._lock:
+            if self._fenced:
+                # The dispatch-time fence check races abandon(): a sync
+                # that slipped past it must not seed a fresh barrier
+                # after the fence swept the old ones — nobody would ever
+                # resolve it and the worker would hang for the full
+                # allreduce timeout instead of re-enrolling.
+                return self._superseded_reply()
             if generation < self._generation:
                 # Lockstep means live members never sync a retired
                 # generation; anything arriving here is a straggler of
@@ -1193,11 +1202,24 @@ class NetworkedApplicationMaster:
 
     # -- step 1: the scheduler/driver API ---------------------------------------
 
-    def _handle_adjustment_request(self, payload: dict) -> dict:
+    def _handle_adjustment_request(
+        self, payload: dict, origin: str = "driver"
+    ) -> dict:
+        """Accept one externally driven adjustment (step 1).
+
+        ``ADJUSTMENT_REQUEST`` is the classic driver call; ``RESIZE`` is
+        the cluster scheduler's directive and defaults its ``origin`` to
+        ``"scheduler"``.  The journaled request records who asked
+        (``origin``) and any pinned commit boundary (``at_iteration``),
+        so a successor AM re-drives the same decision after failover.
+        """
+        origin = str(payload.get("origin", origin))
+        pin = payload.get("at_iteration")
         request = AdjustmentRequest(
             kind=AdjustmentKind(payload["kind"]),
             add_workers=tuple(payload.get("add", ())),
             remove_workers=tuple(payload.get("remove", ())),
+            at_iteration=None if pin is None else int(pin),
         )
         with self._lock:
             accepted = self.am.request_adjustment(request)
@@ -1206,9 +1228,17 @@ class NetworkedApplicationMaster:
                     "request", kind=request.kind.value,
                     add=list(request.add_workers),
                     remove=list(request.remove_workers),
+                    origin=origin, at_iteration=request.at_iteration,
                 )
                 self._pending_request_at = time.perf_counter()
-        return {"accepted": accepted}
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "am.resize_accepted", track="am", cat="am",
+                        kind=request.kind.value, origin=origin,
+                        at_iteration=request.at_iteration,
+                    )
+                self.metrics.counter(f"am.resizes.{origin}").inc()
+        return {"accepted": accepted, "epoch": self.epoch}
 
     # -- failover: re-enrollment ------------------------------------------------
 
@@ -1395,7 +1425,7 @@ class NetworkedApplicationMaster:
             return  # scale-in cannot remove every worker
         self.journal.append(
             "request", kind=AdjustmentKind.SCALE_IN.value,
-            add=[], remove=pending, auto=True,
+            add=[], remove=pending, auto=True, origin="lease",
         )
         accepted = self.am.request_adjustment(AdjustmentRequest(
             kind=AdjustmentKind.SCALE_IN, remove_workers=tuple(pending),
@@ -1499,10 +1529,12 @@ class NetworkedApplicationMaster:
         pending = state.pending_request
         request = None
         if pending is not None:
+            pin = pending.get("at_iteration")
             request = AdjustmentRequest(
                 kind=AdjustmentKind(pending["kind"]),
                 add_workers=tuple(pending.get("add", ())),
                 remove_workers=tuple(pending.get("remove", ())),
+                at_iteration=None if pin is None else int(pin),
             )
         if state.plan is not None:
             self._restore_plan(state, request)

@@ -1,5 +1,6 @@
 """Elastic DL job scheduling: trace, policies, simulator, metrics (§VI-C)."""
 
+from .adapter import PolicyAdapter
 from .costs import (
     AdjustmentCostModel,
     ElanCosts,
@@ -41,6 +42,7 @@ __all__ = [
     "JobExecution",
     "JobSpec",
     "PER_WORKER_BATCH",
+    "PolicyAdapter",
     "PriorityElasticPolicy",
     "ScheduleResult",
     "SchedulingPolicy",

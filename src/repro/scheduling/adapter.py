@@ -1,0 +1,124 @@
+"""The one front door to ``SchedulingPolicy.allocate`` (§VI-C).
+
+Both consumers of a scheduling policy — the discrete-event
+:class:`~repro.scheduling.simulator.ClusterSimulator` (simulated
+seconds) and the live cluster scheduler service
+(:mod:`repro.cluster`, wall clock) — go through :class:`PolicyAdapter`
+instead of calling the policy directly.  The adapter pins down the
+contract once, so the simulator and the live service cannot drift:
+
+* inputs are :class:`~repro.scheduling.job.JobExecution` views (queued
+  jobs at 0 workers, running jobs at their current allocation) plus the
+  *current* GPU capacity — which may differ from the nominal cluster
+  size under spot churn;
+* the output maps ``job_id -> workers`` for every job that should
+  (keep) running; jobs absent from the mapping hold 0 workers;
+* the adapter validates what every caller must be able to rely on —
+  no negative or non-integer allocations, no allocations to jobs the
+  policy was never shown — and, optionally, clamps the total to the
+  offered capacity (the live scheduler's safety net; the simulator
+  keeps its own historical overcommit guard instead).
+
+The live side additionally needs to *build* those executions from live
+job records; :meth:`PolicyAdapter.execution` is that one conversion,
+so wall-clock state and simulator state take the same shape before the
+policy ever sees them.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .job import JobExecution, JobSpec
+from .policies import SchedulingPolicy
+
+
+class PolicyAdapter:
+    """Uniform, validated access to one :class:`SchedulingPolicy`."""
+
+    def __init__(self, policy: SchedulingPolicy):
+        self.policy = policy
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    @property
+    def elastic(self) -> bool:
+        return bool(self.policy.elastic)
+
+    @staticmethod
+    def execution(
+        spec: JobSpec, workers: int = 0, work_done: float = 0.0,
+        start_time: "float | None" = None,
+    ) -> JobExecution:
+        """One policy-visible view of a live job.
+
+        The live scheduler measures progress in iterations; converting
+        ``iterations_done / iterations_total`` into ``work_done``
+        samples here keeps the policy arithmetic (remaining time,
+        marginal gain per remaining work) identical to the simulator's.
+        """
+        return JobExecution(
+            spec=spec, workers=workers, work_done=work_done,
+            start_time=start_time,
+        )
+
+    def target_allocation(
+        self,
+        now: float,
+        queue: "typing.Sequence[JobExecution]",
+        running: "typing.Sequence[JobExecution]",
+        total_gpus: int,
+        clamp: bool = False,
+    ) -> "dict[str, int]":
+        """Ask the policy for a target allocation and validate it.
+
+        With ``clamp=True`` (the live scheduler) allocations are capped
+        at ``total_gpus`` by trimming workers beyond each elastic job's
+        ``min_res``, largest allocation first — a defensive floor, not
+        a scheduling decision; a policy that overcommits *minimums* is
+        still surfaced to the caller (the preemption path owns that).
+        """
+        if total_gpus < 1:
+            raise ValueError("total_gpus must be >= 1")
+        known = {job.spec.job_id for job in queue}
+        known.update(job.spec.job_id for job in running)
+        allocation = dict(self.policy.allocate(
+            now, list(queue), list(running), total_gpus
+        ))
+        for job_id, workers in allocation.items():
+            if job_id not in known:
+                raise ValueError(
+                    f"policy {self.name} allocated to unknown job "
+                    f"{job_id!r}"
+                )
+            if workers != int(workers) or workers < 0:
+                raise ValueError(
+                    f"policy {self.name} allocated {workers!r} workers "
+                    f"to {job_id!r}"
+                )
+            allocation[job_id] = int(workers)
+        if clamp:
+            self._clamp(allocation, queue, running, total_gpus)
+        return allocation
+
+    def _clamp(
+        self, allocation: "dict[str, int]",
+        queue: "typing.Sequence[JobExecution]",
+        running: "typing.Sequence[JobExecution]",
+        total_gpus: int,
+    ) -> None:
+        by_id = {job.spec.job_id: job for job in list(queue) + list(running)}
+        excess = sum(allocation.values()) - total_gpus
+        while excess > 0:
+            # Trim the largest allocation still above its floor.
+            candidates = [
+                (workers, job_id) for job_id, workers in allocation.items()
+                if workers > by_id[job_id].spec.min_res
+            ]
+            if not candidates:
+                break  # minimums alone overcommit: the caller must evict
+            _workers, job_id = max(candidates)
+            allocation[job_id] -= 1
+            excess -= 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import typing
 
+from .adapter import PolicyAdapter
 from .costs import AdjustmentCostModel, IdealCosts
 from .job import JobExecution, JobSpec
 from .metrics import ScheduleResult, UtilizationPoint
@@ -57,6 +58,11 @@ class ClusterSimulator:
             raise ValueError(f"jobs can never fit: {oversized}")
         self.jobs = sorted(jobs, key=lambda j: j.submit_time)
         self.policy = policy
+        #: The policy is only ever consulted through the shared
+        #: :class:`PolicyAdapter` — the same seam the live cluster
+        #: scheduler uses, so simulated and live allocation decisions
+        #: cannot drift apart.
+        self.adapter = PolicyAdapter(policy)
         self.total_gpus = total_gpus
         self.costs = costs or IdealCosts()
         self.adjustments = 0
@@ -217,7 +223,7 @@ class ClusterSimulator:
             complete_finished()
             capacity = capacity_at(now)
             apply_allocation(
-                self.policy.allocate(now, queue, running, capacity)
+                self.adapter.target_allocation(now, queue, running, capacity)
             )
             evict_to_fit(capacity)
             record_utilization()

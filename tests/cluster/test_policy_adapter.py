@@ -1,0 +1,107 @@
+"""PolicyAdapter: the one seam between simulator and live scheduler."""
+
+import pytest
+
+from repro.perfmodel import RESNET50
+from repro.scheduling import (
+    ClusterSimulator,
+    ElasticFifoPolicy,
+    JobSpec,
+    PolicyAdapter,
+    generate_trace,
+)
+
+
+def job(job_id, submit=0.0, work=1e6, req=2, min_res=1, max_res=4):
+    return JobSpec(
+        job_id=job_id, model=RESNET50, submit_time=submit, work=work,
+        req_res=req, min_res=min_res, max_res=max_res,
+    )
+
+
+def execution(spec, workers=0):
+    return PolicyAdapter.execution(spec, workers=workers)
+
+
+class FakePolicy:
+    """A policy scripted to return whatever the test needs."""
+
+    name = "fake"
+    elastic = True
+
+    def __init__(self, result):
+        self.result = result
+
+    def allocate(self, now, queue, running, total_gpus):
+        return dict(self.result)
+
+
+class TestValidation:
+    def test_unknown_job_rejected(self):
+        adapter = PolicyAdapter(FakePolicy({"ghost": 2}))
+        with pytest.raises(ValueError, match="unknown job"):
+            adapter.target_allocation(0.0, [execution(job("a"))], [], 8)
+
+    def test_negative_allocation_rejected(self):
+        adapter = PolicyAdapter(FakePolicy({"a": -1}))
+        with pytest.raises(ValueError, match="-1"):
+            adapter.target_allocation(0.0, [execution(job("a"))], [], 8)
+
+    def test_capacity_floor(self):
+        adapter = PolicyAdapter(ElasticFifoPolicy())
+        with pytest.raises(ValueError):
+            adapter.target_allocation(0.0, [], [], 0)
+
+    def test_float_counts_are_cast_to_int(self):
+        adapter = PolicyAdapter(FakePolicy({"a": 2.0}))
+        result = adapter.target_allocation(0.0, [execution(job("a"))], [], 8)
+        assert result == {"a": 2}
+        assert isinstance(result["a"], int)
+
+
+class TestClamp:
+    def test_clamp_trims_largest_above_floor(self):
+        adapter = PolicyAdapter(FakePolicy({"a": 6, "b": 2}))
+        queue = [execution(job("a")), execution(job("b"))]
+        result = adapter.target_allocation(0.0, queue, [], 6, clamp=True)
+        assert sum(result.values()) == 6
+        assert result["a"] == 4  # trimmed, b kept its smaller share
+        assert result["b"] == 2
+
+    def test_clamp_never_cuts_below_min_res(self):
+        adapter = PolicyAdapter(FakePolicy({"a": 3, "b": 3}))
+        queue = [
+            execution(job("a", min_res=3, req=3)),
+            execution(job("b", min_res=3, req=3)),
+        ]
+        # Minimums alone overcommit: clamp must leave them intact —
+        # shrinking below min_res is the eviction path's decision.
+        result = adapter.target_allocation(0.0, queue, [], 4, clamp=True)
+        assert result == {"a": 3, "b": 3}
+
+    def test_no_clamp_by_default(self):
+        adapter = PolicyAdapter(FakePolicy({"a": 10}))
+        result = adapter.target_allocation(0.0, [execution(job("a"))], [], 4)
+        assert result == {"a": 10}
+
+
+class TestSimulatorSeam:
+    def test_simulator_consults_policy_through_adapter(self):
+        simulator = ClusterSimulator(
+            generate_trace(num_jobs=10, seed=3), ElasticFifoPolicy(),
+            total_gpus=16,
+        )
+        assert isinstance(simulator.adapter, PolicyAdapter)
+        assert simulator.adapter.policy is simulator.policy
+        result = simulator.run()
+        assert all(e.done for e in result.executions)
+
+    def test_execution_view_carries_live_progress(self):
+        spec = job("a")
+        view = PolicyAdapter.execution(
+            spec, workers=2, work_done=12.0, start_time=1.5,
+        )
+        assert view.workers == 2
+        assert view.work_done == 12.0
+        assert view.start_time == 1.5
+        assert view.remaining_work == spec.work - 12.0

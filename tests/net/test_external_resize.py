@@ -1,0 +1,226 @@
+"""Externally issued RESIZE directives (scheduler -> AM).
+
+The cluster scheduler drives a job's grow/shrink through a ``RESIZE``
+message rather than the driver-facing ``ADJUSTMENT_REQUEST``: the AM
+journals the directive's *origin* and its pinned commit boundary, the
+pin rounds up to the next coordination boundary, and — the regression
+this file exists for — a scheduler-issued shrink accepted before an AM
+crash still commits after a journal-replay failover.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import ElasticJobRunner, JobRequest
+from repro.coordination.master import (
+    AdjustmentKind,
+    AdjustmentRequest,
+    ApplicationMaster,
+)
+from repro.net import NetworkedApplicationMaster
+from repro.net.transport import memory_link
+
+
+def make_runner(job_id, iterations=16, sleep=0.0, max_res=4):
+    return ElasticJobRunner(
+        JobRequest(
+            job_id=job_id, iterations=iterations, max_res=max_res,
+            iteration_sleep=sleep,
+        ),
+        transport="memory",
+    )
+
+
+def wait_progress(runner, target, timeout=15.0):
+    """Block until the job has trained past ``target`` iterations.
+
+    The live scheduler only resizes (and only fails over) jobs that are
+    actually training; acting during the enroll/join window instead
+    exercises a startup race no scheduling pass can produce.
+    """
+    deadline = time.monotonic() + timeout
+    while runner.progress() < target:
+        assert time.monotonic() < deadline, "no training progress"
+        time.sleep(0.02)
+
+
+class TestResizeMessage:
+    def test_resize_journals_origin_and_pin(self):
+        runner = make_runner("rz", iterations=16, sleep=0.02)
+        runner.start(2)
+        try:
+            assert runner.resize(3, at_iteration=8, origin="scheduler")
+            assert runner.master.wait_complete(timeout=30.0)
+        finally:
+            runner.close()
+        assert not runner.errors
+        requests = [
+            r["data"] for r in runner.master.journal.records()
+            if r["kind"] == "request"
+        ]
+        assert len(requests) == 1
+        assert requests[0]["origin"] == "scheduler"
+        assert requests[0]["at_iteration"] == 8
+        # The pin is the commit boundary: the plan minted for this
+        # request must commit exactly at iteration 8.
+        plans = [
+            r["data"] for r in runner.master.journal.records()
+            if r["kind"] == "plan"
+        ]
+        assert plans and plans[0]["commit_iteration"] == 8
+        digests = set(runner.digests().values())
+        assert len(digests) == 1
+
+    def test_pin_must_be_future_boundary(self):
+        with pytest.raises(ValueError, match="at_iteration"):
+            AdjustmentRequest(
+                kind=AdjustmentKind.SCALE_OUT, add_workers=("w9",),
+                at_iteration=0,
+            ).validate(("w0",))
+
+    def test_pin_rounds_up_to_coordination_boundary(self):
+        master = ApplicationMaster(
+            "pin", ["w0", "w1"], coordination_interval=4,
+        )
+        assert master.request_adjustment(AdjustmentRequest(
+            kind=AdjustmentKind.SCALE_IN, remove_workers=("w1",),
+            at_iteration=6,
+        ))
+        assert master.commit_iteration == 8  # 6 rounded up to a boundary
+
+    def test_late_pin_degrades_to_natural_boundary(self):
+        master = ApplicationMaster(
+            "late", ["w0", "w1"], coordination_interval=4,
+        )
+        master.latest_iteration = 10
+        assert master.request_adjustment(AdjustmentRequest(
+            kind=AdjustmentKind.SCALE_IN, remove_workers=("w1",),
+            at_iteration=4,
+        ))
+        # The pin is behind the workers: never schedule in the past.
+        assert master.commit_iteration == 12
+
+    def test_second_resize_rejected_while_pending(self):
+        runner = make_runner("busy", iterations=24, sleep=0.05)
+        runner.start(1)
+        try:
+            assert runner.resize(2, at_iteration=12)
+            # The AM accepts one adjustment at a time.
+            assert not runner.resize(3, at_iteration=16)
+            assert runner.master.wait_complete(timeout=30.0)
+        finally:
+            runner.close()
+        assert not runner.errors
+        assert len(runner.master.status()["group"]) == 2
+
+
+class TestResizeSurvivesFailover:
+    def test_scheduler_issued_shrink_survives_am_failover(self):
+        """A shrink accepted pre-crash commits after journal replay."""
+        runner = make_runner("fo", iterations=24, sleep=0.05)
+        runner.start(3)
+        try:
+            wait_progress(runner, 2)
+            assert runner.resize(2, at_iteration=16, origin="scheduler")
+            # Kill the primary before the pinned boundary can commit.
+            wait_progress(runner, 4)
+            old = runner.master
+            old.abandon()
+            successor = NetworkedApplicationMaster.from_journal(
+                old.journal,
+            )
+            for link in list(runner._links.values()):
+                link.transport.redirect(successor.core)
+            runner.master = successor
+            assert successor.wait_complete(timeout=30.0)
+        finally:
+            runner.close()
+        assert not runner.errors
+        status = runner.master.status()
+        # The successor re-drove the journaled shrink: it committed at
+        # the pinned boundary and the group is down to two workers.
+        assert status["adjustments_committed"] == 1
+        assert sorted(status["group"]) == ["fo-w0", "fo-w1"]
+        requests = [
+            r["data"] for r in runner.master.journal.records()
+            if r["kind"] == "request"
+        ]
+        assert requests[0]["origin"] == "scheduler"
+        assert requests[0]["at_iteration"] == 16
+        plans = [
+            r["data"] for r in runner.master.journal.records()
+            if r["kind"] == "plan"
+        ]
+        assert plans[-1]["commit_iteration"] == 16
+
+    def test_resize_after_failover_reaches_successor(self):
+        runner = make_runner("fo2", iterations=24, sleep=0.05)
+        runner.start(2)
+        try:
+            wait_progress(runner, 2)
+            old = runner.master
+            old.abandon()
+            successor = NetworkedApplicationMaster.from_journal(old.journal)
+            for link in list(runner._links.values()):
+                link.transport.redirect(successor.core)
+            runner.master = successor
+            assert runner.resize(3, at_iteration=12, origin="scheduler")
+            assert successor.wait_complete(timeout=30.0)
+        finally:
+            runner.close()
+        assert not runner.errors
+        assert len(runner.master.status()["group"]) == 3
+
+
+class TestLeaseEvictionOrigin:
+    def test_lease_eviction_journals_its_origin(self):
+        """Auto-evictions and scheduler resizes are distinguishable."""
+        from repro.net import JobSpec
+
+        spec = JobSpec(
+            iterations=40, coordination_interval=4, iteration_sleep=0.05,
+            worker_lease_ttl=0.6, lease_check_interval=0.1,
+            ring_enabled=False,
+        )
+        master = NetworkedApplicationMaster(spec, ["w0", "w1"])
+        links = {}
+        import threading
+
+        from repro.net.agent import WorkerAgent
+
+        def run(worker_id, die_at):
+            link = memory_link(master.core, worker_id, ack_timeout=0.2,
+                               heartbeat_interval=0.1)
+            links[worker_id] = link
+            agent = WorkerAgent(
+                worker_id, link, poll_interval=0.02,
+                die_at_iteration=die_at,
+            )
+            try:
+                agent.run()
+            except BaseException:
+                pass
+
+        threads = [
+            threading.Thread(target=run, args=("w0", None), daemon=True),
+            threading.Thread(target=run, args=("w1", 8), daemon=True),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # w1 dies at iteration 8; close its link so nothing feeds
+            # its lease, then the evictor condemns it (scale-in).
+            threads[1].join(timeout=30.0)
+            links["w1"].close()
+            assert master.wait_complete(timeout=30.0)
+        finally:
+            for link in links.values():
+                link.close()
+            master.close()
+        evictions = [
+            r["data"] for r in master.journal.records()
+            if r["kind"] == "request" and r["data"].get("auto")
+        ]
+        assert evictions
+        assert evictions[0]["origin"] == "lease"

@@ -95,6 +95,7 @@ class TestLeases:
         ]
         assert requests and requests[-1]["data"] == {
             "kind": "scale_in", "add": [], "remove": ["w2"], "auto": True,
+            "origin": "lease",
         }
 
     def test_whole_group_is_never_evicted(self, rig):

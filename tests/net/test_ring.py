@@ -523,7 +523,7 @@ class TestRingJobs:
                 MessageType.ADJUSTMENT_REQUEST,
                 {"kind": "scale_out", "add": ["w2", "w3"]},
             )
-            assert reply == {"accepted": True}
+            assert reply["accepted"] is True
             harness.start_worker("w2")
             harness.start_worker("w3")
             harness.join_all()

@@ -1,0 +1,112 @@
+"""Capacity churn under the priority and SRTF elastic policies.
+
+``test_spot_capacity.py`` exercises the FIFO family; the live cluster
+scheduler also offers ``e-priority`` and ``e-srtf`` as policies, so the
+same transient-capacity guarantees need coverage there: shrink in place
+instead of evicting, never overcommit a shrunken cluster, and evict
+(rather than deadlock) when even the minimums no longer fit.
+"""
+
+import pytest
+
+from repro.perfmodel import RESNET50
+from repro.scheduling import (
+    ClusterSimulator,
+    ElasticSrtfPolicy,
+    JobSpec,
+    PriorityElasticPolicy,
+    generate_trace,
+)
+
+POLICIES = [PriorityElasticPolicy, ElasticSrtfPolicy]
+
+
+def job(job_id, submit, work, req, min_res=1, max_res=None, priority=0):
+    return JobSpec(
+        job_id=job_id,
+        model=RESNET50,
+        submit_time=submit,
+        work=work,
+        req_res=req,
+        min_res=min_res,
+        max_res=max_res or req * 2,
+        priority=priority,
+    )
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+class TestShrinkInPlace:
+    def test_capacity_drop_shrinks_instead_of_evicting(self, policy_cls):
+        trace = [job("a", 0.0, 3e7, 8, min_res=2),
+                 job("b", 1.0, 3e7, 8, min_res=2)]
+        result = ClusterSimulator(
+            trace, policy_cls(), total_gpus=16,
+            capacity_profile=[(5000.0, 8)],  # half the cluster vanishes
+        ).run()
+        assert result.evictions == 0
+        assert all(e.done for e in result.executions)
+
+    def test_usage_never_exceeds_shrunken_capacity(self, policy_cls):
+        trace = generate_trace(num_jobs=20, seed=11)
+        churn = [(4000.0, 24), (20000.0, 48)]
+        result = ClusterSimulator(
+            trace, policy_cls(), total_gpus=48, capacity_profile=churn,
+        ).run()
+        assert all(e.done for e in result.executions)
+        for point in result.utilization:
+            capacity = 48
+            for change_time, gpus in churn:
+                if change_time <= point.time:
+                    capacity = gpus
+            assert point.busy <= capacity
+
+    def test_minimums_no_longer_fitting_forces_eviction(self, policy_cls):
+        """Inelastic jobs (min == max) can't shrink: one must go."""
+        trace = [job("a", 0.0, 3e7, 4, min_res=4, max_res=4),
+                 job("b", 1.0, 3e7, 4, min_res=4, max_res=4)]
+        result = ClusterSimulator(
+            trace, policy_cls(), total_gpus=8,
+            capacity_profile=[(2000.0, 4)],
+        ).run()
+        assert result.evictions >= 1
+        assert all(e.done for e in result.executions)
+
+
+class TestPriorityUnderChurn:
+    def test_low_priority_twin_absorbs_the_shrink(self):
+        """Identical jobs, different tiers: the drop lands on the low one."""
+        trace = [job("hi", 0.0, 3e7, 6, min_res=1, max_res=8, priority=5),
+                 job("lo", 0.0, 3e7, 6, min_res=1, max_res=8, priority=0)]
+        result = ClusterSimulator(
+            trace, PriorityElasticPolicy(), total_gpus=12,
+            capacity_profile=[(3000.0, 6)],
+        ).run()
+        assert result.evictions == 0
+        by_id = {e.spec.job_id: e for e in result.executions}
+        assert by_id["hi"].done and by_id["lo"].done
+        assert by_id["hi"].completion_time < by_id["lo"].completion_time
+
+
+class TestSrtfUnderChurn:
+    def test_short_job_still_escapes_first(self):
+        """SRTF leverage survives the dip: the short job exits first."""
+        trace = [job("long", 0.0, 6e7, 4, min_res=1, max_res=8),
+                 job("short", 0.0, 5e6, 4, min_res=1, max_res=8)]
+        result = ClusterSimulator(
+            trace, ElasticSrtfPolicy(), total_gpus=8,
+            capacity_profile=[(1000.0, 4)],
+        ).run()
+        by_id = {e.spec.job_id: e for e in result.executions}
+        assert by_id["short"].done and by_id["long"].done
+        assert by_id["short"].completion_time < by_id["long"].completion_time
+
+    @pytest.mark.parametrize("policy_cls", POLICIES)
+    def test_constant_profile_matches_no_profile(self, policy_cls):
+        trace = generate_trace(num_jobs=25, seed=14)
+        plain = ClusterSimulator(trace, policy_cls(), total_gpus=64).run()
+        stepped = ClusterSimulator(
+            trace, policy_cls(), total_gpus=64,
+            capacity_profile=[(0.0, 64)],
+        ).run()
+        assert stepped.average_jct == pytest.approx(plain.average_jct)
+        assert stepped.makespan == pytest.approx(plain.makespan)
