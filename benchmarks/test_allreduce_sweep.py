@@ -1,4 +1,4 @@
-"""Gradient-plane sweep: star rendezvous vs decentralized ring.
+"""Gradient-plane sweep: star vs ring, across transports and codecs.
 
 The PR-5 ring exists for one reason: the star plane funnels ``2·N·S``
 gradient bytes through the AM every iteration (N uploads of S bytes, N
@@ -6,11 +6,17 @@ mean downloads), serializing the whole job's gradient traffic through
 one process, while the ring moves ``2·S·(N-1)/N`` bytes per member over
 direct peer links and the AM moves **zero**.  This sweep measures both
 planes end to end — N worker threads per iteration, real reliable
-links — over the in-memory transport and loopback TCP.
+links — and extends the ring axis along two new dimensions (PR 9):
 
-The acceptance bar (ISSUE 5): with the ring, per-iteration gradient
-bytes through the AM are exactly zero (vs ``2·N·S`` for the star), and
-the ring completes bit-identically to the star's reference mean.
+* transport — in-memory links, loopback TCP, and the ``shm://``
+  shared-memory ring-buffer transport for co-located workers;
+* codec — raw float64 buckets (``none``), and the ``fp16`` / ``int8``
+  error-feedback quantizers negotiated per ring epoch.
+
+The acceptance bars: ring AM bytes are exactly zero and the
+uncompressed ring is bit-identical to the star reference (ISSUE 5);
+SHM beats loopback TCP at the largest payload and fp16 cuts shipped
+ring bytes to ~a quarter (float64 grads) with bounded drift (ISSUE 9).
 """
 
 import threading
@@ -27,6 +33,7 @@ from repro.net import (
     RingMailbox,
     RingNode,
     ServerCore,
+    ShmPeerHost,
     TcpPeerHost,
     memory_link,
     ring_reference_average,
@@ -42,6 +49,13 @@ SIZES = (
     ("512KB", 512_000),
     ("2MB", 2_000_000),
 )
+
+RING_TRANSPORTS = ("memory", "tcp", "shm")
+RING_CODECS = ("none", "fp16", "int8")
+
+#: Worst-case drift of the compressed mean from the exact mean, per
+#: element, for standard-normal gradients (asserted per run).
+DRIFT_BOUND = {"none": 0.0, "fp16": 5e-3, "int8": 1e-1}
 
 
 def make_grads(nbytes, seed):
@@ -112,11 +126,19 @@ def star_plane(transport, nbytes):
     }
 
 
-def ring_plane(transport, nbytes):
+def make_host(transport):
+    return {
+        "memory": MemoryPeerHost,
+        "tcp": TcpPeerHost,
+        "shm": ShmPeerHost,
+    }[transport]()
+
+
+def ring_plane(transport, nbytes, codec="none"):
     """The same collective over direct peer links; the AM is not even
     instantiated — there is nothing for it to do."""
     workers = [f"w{i}" for i in range(WORKERS)]
-    host = TcpPeerHost() if transport == "tcp" else MemoryPeerHost()
+    host = make_host(transport)
     metrics = MetricRegistry()
     grads = {w: make_grads(nbytes, seed=i) for i, w in enumerate(workers)}
     nodes, addrs = {}, {}
@@ -133,6 +155,8 @@ def ring_plane(transport, nbytes):
             worker, mailbox, connect, step_timeout=60.0, metrics=metrics,
         )
     ring = {"epoch": 0, "order": workers, "peers": addrs, "active_from": 0}
+    if codec != "none":
+        ring["codec"] = codec
     for node in nodes.values():
         node.install(ring)
     results = {}
@@ -152,64 +176,96 @@ def ring_plane(transport, nbytes):
         for node in nodes.values():
             node.close()
         host.close()
-    # Correctness oracle: the last iteration's distributed mean is
-    # bit-identical to the reference the star path would have served.
+    # Correctness oracle: uncompressed, the distributed mean is
+    # bit-identical to the reference the star path would have served;
+    # compressed, every replica holds identical bytes within the codec's
+    # drift bound of the exact mean.
     reference = ring_reference_average([grads[w] for w in workers])
+    drift = 0.0
     for worker in workers:
-        assert results[worker]["w"].tobytes() == reference["w"].tobytes()
+        if codec == "none":
+            assert results[worker]["w"].tobytes() == reference["w"].tobytes()
+        else:
+            assert (
+                results[worker]["w"].tobytes()
+                == results[workers[0]]["w"].tobytes()
+            )
+    if codec != "none":
+        drift = float(np.max(np.abs(results[workers[0]]["w"] - reference["w"])))
+        assert drift < DRIFT_BOUND[codec], (transport, codec, drift)
     return {
         "sec_per_iter": elapsed / ITERATIONS,
         "am_bytes_per_iter": 0.0,  # no AM in the gradient path at all
         "peer_bytes_per_member_iter": (
             snap["net.allreduce.bytes_sent"] / WORKERS / ITERATIONS
         ),
+        "drift": drift,
     }
 
 
 def sweep():
     rows = []
     for label, nbytes in SIZES:
-        for transport in ("memory", "tcp"):
-            star = star_plane(transport, nbytes)
-            ring = ring_plane(transport, nbytes)
-            rows.append({
-                "label": label, "nbytes": nbytes, "transport": transport,
-                "star": star, "ring": ring,
-            })
+        star = {t: star_plane(t, nbytes) for t in ("memory", "tcp")}
+        ring = {
+            (transport, codec): ring_plane(transport, nbytes, codec)
+            for transport in RING_TRANSPORTS
+            for codec in RING_CODECS
+        }
+        rows.append({
+            "label": label, "nbytes": nbytes, "star": star, "ring": ring,
+        })
     return rows
 
 
 def test_allreduce_sweep(benchmark, save_result):
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    widths = (7, 7, 13, 13, 15, 15, 16)
+    widths = (7, 6, 12, 12, 12, 12, 12, 15, 9)
     lines = [
         fmt_row(
             (
-                "Size", "Path", "star ms/it", "ring ms/it",
-                "AM B/it star", "AM B/it ring", "peer B/mbr/it",
+                "Size", "Codec", "star-mem ms", "star-tcp ms",
+                "ring-mem ms", "ring-tcp ms", "ring-shm ms",
+                "peer B/mbr/it", "drift",
             ),
             widths,
         )
     ]
     for row in rows:
-        lines.append(
-            fmt_row(
+        for codec in RING_CODECS:
+            ring = {
+                t: row["ring"][(t, codec)] for t in RING_TRANSPORTS
+            }
+            star_cells = (
                 (
-                    row["label"], row["transport"],
-                    f"{row['star']['sec_per_iter'] * 1e3:.2f}",
-                    f"{row['ring']['sec_per_iter'] * 1e3:.2f}",
-                    f"{row['star']['am_bytes_per_iter']:.0f}",
-                    f"{row['ring']['am_bytes_per_iter']:.0f}",
-                    f"{row['ring']['peer_bytes_per_member_iter']:.0f}",
-                ),
-                widths,
+                    f"{row['star']['memory']['sec_per_iter'] * 1e3:.2f}",
+                    f"{row['star']['tcp']['sec_per_iter'] * 1e3:.2f}",
+                )
+                if codec == "none" else ("-", "-")
             )
-        )
+            lines.append(
+                fmt_row(
+                    (
+                        row["label"], codec, *star_cells,
+                        f"{ring['memory']['sec_per_iter'] * 1e3:.2f}",
+                        f"{ring['tcp']['sec_per_iter'] * 1e3:.2f}",
+                        f"{ring['shm']['sec_per_iter'] * 1e3:.2f}",
+                        f"{ring['shm']['peer_bytes_per_member_iter']:.0f}",
+                        (
+                            f"{ring['shm']['drift']:.1e}"
+                            if codec != "none" else "exact"
+                        ),
+                    ),
+                    widths,
+                )
+            )
     lines.append(
         f"{WORKERS} workers, {ITERATIONS} iterations per cell; star AM "
         f"bytes = 2*N*S (N uploads + N mean downloads), ring AM bytes "
-        f"= 0 by construction, ring peer bytes/member ~= 2*S*(N-1)/N"
+        f"= 0 by construction, ring peer bytes/member ~= 2*S*(N-1)/N "
+        f"(scaled by the codec: fp16 ~1/4 of float64, int8 ~1/8); "
+        f"drift = max |compressed mean - exact mean|"
     )
     save_result("allreduce_sweep", lines)
 
@@ -217,12 +273,41 @@ def test_allreduce_sweep(benchmark, save_result):
         nbytes = row["nbytes"]
         # Star: every iteration hauls ~2*N*S gradient bytes through the
         # AM (exactly 2*N*S of ndarray payload; wire framing is extra).
-        star_bytes = row["star"]["am_bytes_per_iter"]
-        assert star_bytes >= 2 * WORKERS * nbytes * 0.99, row
-        # Ring: the AM sees zero gradient bytes.
-        assert row["ring"]["am_bytes_per_iter"] == 0.0, row
-        # And the bytes that do flow are spread across peer links at
-        # the textbook 2*S*(N-1)/N per member.
-        expected_peer = 2 * nbytes * (WORKERS - 1) / WORKERS
-        peer = row["ring"]["peer_bytes_per_member_iter"]
-        assert 0.9 * expected_peer <= peer <= 1.3 * expected_peer, row
+        for transport in ("memory", "tcp"):
+            star_bytes = row["star"][transport]["am_bytes_per_iter"]
+            assert star_bytes >= 2 * WORKERS * nbytes * 0.99, row["label"]
+        raw = {}
+        for transport in RING_TRANSPORTS:
+            ring = row["ring"][(transport, "none")]
+            # Ring: the AM sees zero gradient bytes.
+            assert ring["am_bytes_per_iter"] == 0.0, row["label"]
+            # And the bytes that do flow are spread across peer links
+            # at the textbook 2*S*(N-1)/N per member.
+            expected_peer = 2 * nbytes * (WORKERS - 1) / WORKERS
+            peer = ring["peer_bytes_per_member_iter"]
+            assert 0.9 * expected_peer <= peer <= 1.3 * expected_peer, (
+                row["label"], transport, peer,
+            )
+            raw[transport] = peer
+        # Codecs shrink shipped bytes by the dtype ratio: float64->fp16
+        # is 4x, float64->int8 is 8x (metadata rides the JSON header,
+        # not the counted segments).
+        for transport in RING_TRANSPORTS:
+            fp16 = row["ring"][(transport, "fp16")]
+            int8 = row["ring"][(transport, "int8")]
+            assert fp16["peer_bytes_per_member_iter"] <= (
+                0.30 * raw[transport]
+            ), (row["label"], transport)
+            assert int8["peer_bytes_per_member_iter"] <= (
+                0.15 * raw[transport]
+            ), (row["label"], transport)
+
+    # The SHM acceptance bar: at the largest payload, shared-memory
+    # links beat loopback TCP on the uncompressed ring.
+    largest = rows[-1]
+    shm = largest["ring"][("shm", "none")]["sec_per_iter"]
+    tcp = largest["ring"][("tcp", "none")]["sec_per_iter"]
+    assert shm < tcp, (
+        f"shm {shm * 1e3:.2f} ms/it not faster than tcp {tcp * 1e3:.2f} "
+        f"ms/it at {largest['label']}"
+    )

@@ -12,11 +12,15 @@ the transport seam:
   old way versus the blob path.
 * ``tcp``    — a real loopback-TCP round trip through
   ``write_frame``/``read_frame`` including decode on the far side.
+* ``shm``    — the same binary frame through a shared-memory ring
+  buffer (PR 9): one copy into the ring, ``np.frombuffer`` views out.
 
 The acceptance bar (ISSUE 4): binary is at least 5x cheaper than
 base64-JSON for snapshots of 16 MB and up, on both paths.  msgpack is
 measured only when the optional dependency is importable; the column
-reads ``n/a`` otherwise.
+reads ``n/a`` otherwise.  The shm bar (ISSUE 9): shipping the binary
+frame through the ring is no slower than shipping it over loopback TCP
+at the acceptance size.
 """
 
 import socket
@@ -27,8 +31,9 @@ import numpy as np
 from conftest import fmt_row
 
 from repro.coordination.messages import MessageFactory, MessageType
-from repro.net import StateBlob, decode_state_blob
+from repro.net import ShmRing, StateBlob, decode_state_blob
 from repro.net import wire
+from repro.net.shm import decode_shm_frame, shm_frame_buffers
 
 SIZES = (
     ("1KB", 1_000),
@@ -138,6 +143,40 @@ def tcp_round_trip(state, codec, binary):
     return run
 
 
+# -- shm path: binary frame through a shared-memory ring -----------------------
+
+
+def shm_round_trip(state):
+    """One full message through a :class:`ShmRing`: build the binary
+    frame's buffer list, write it into the ring (the one copy), read the
+    record back and decode ``np.frombuffer`` views out of it."""
+    factory = MessageFactory()
+    # Records must fit in half the ring (the no-wrap guarantee), with
+    # headroom for the frame header.
+    capacity = 2 * state["params"]["w"].nbytes + 1_000_000
+
+    def run():
+        ring = ShmRing(capacity=capacity)
+        try:
+            message = factory.make(MessageType.SYNC, "bench", state)
+            buffers = shm_frame_buffers(
+                wire.message_frame(message, raw=True), "json"
+            )
+            assert ring.write(buffers) > 0
+            view = ring.read()
+            decoded = wire.decode_message(decode_shm_frame(view, "json"))
+            assert (
+                decoded.payload["params"]["w"].nbytes
+                == state["params"]["w"].nbytes
+            )
+            del decoded, view
+            ring.advance()
+        finally:
+            ring.close(unlink=True)
+
+    return run
+
+
 def sweep():
     rows = []
     for label, nbytes in SIZES:
@@ -172,6 +211,7 @@ def sweep():
                     # base64 expansion pushes the frame past the 64 MiB
                     # cap; the codec path simply cannot ship this size.
                     row[key] = "cap"
+        row["shm/binary"] = timed(shm_round_trip(state), repeats)
         rows.append(row)
     return rows
 
@@ -186,13 +226,14 @@ def test_data_plane_sweep(benchmark, save_result):
             return "n/a (frame cap)"
         return f"{value * 1e3:.2f}"
 
-    widths = (6, 14, 14, 14, 14, 14, 14, 9, 9)
+    widths = (6, 14, 14, 14, 14, 14, 14, 14, 9, 9)
     lines = [
         fmt_row(
             (
                 "Size",
                 "mem json (ms)", "mem msgpk (ms)", "mem bin (ms)",
                 "tcp json (ms)", "tcp msgpk (ms)", "tcp bin (ms)",
+                "shm bin (ms)",
                 "mem x", "tcp x",
             ),
             widths,
@@ -213,7 +254,7 @@ def test_data_plane_sweep(benchmark, save_result):
                     cell(row["memory/json"]), cell(row["memory/msgpack"]),
                     cell(row["memory/binary"]),
                     cell(row["tcp/json"]), cell(row["tcp/msgpack"]),
-                    cell(row["tcp/binary"]),
+                    cell(row["tcp/binary"]), cell(row["shm/binary"]),
                     mem_x, tcp_x,
                 ),
                 widths,
@@ -235,6 +276,12 @@ def test_data_plane_sweep(benchmark, save_result):
             f"binary {bin_t * 1e3:.1f} ms "
             f"({json_t / bin_t:.1f}x < {ACCEPTANCE_SPEEDUP}x)"
         )
+    # The shm bar: the ring's single-copy path is no slower than the
+    # loopback socket's two-copy path at the acceptance size.
+    assert target["shm/binary"] <= target["tcp/binary"], (
+        f"shm {target['shm/binary'] * 1e3:.1f} ms vs "
+        f"tcp {target['tcp/binary'] * 1e3:.1f} ms at {ACCEPTANCE_SIZE}"
+    )
     # Small payloads must not regress to absurdity either: binary stays
     # within the same order of magnitude at 1 KB.
     small = next(r for r in rows if r["label"] == "1KB")

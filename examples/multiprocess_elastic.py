@@ -28,6 +28,9 @@ multi-megabyte snapshot through it:
 * ``ELAN_ITERS`` — iterations (default 40),
 * ``ELAN_SLEEP`` — per-iteration pacing in seconds (default 0.05),
 * ``ELAN_CHUNK_KB`` — replication chunk size (default 256),
+* ``ELAN_PEER_TRANSPORT`` — ring peer transport (``tcp`` default;
+  ``shm`` rides shared-memory ring buffers between the co-located
+  worker processes, bootstrap + doorbell over a Unix socket),
 * ``ELAN_WORKER_TRACE_DIR`` — where per-worker traces land (default: a
   temporary directory).
 
@@ -104,6 +107,10 @@ def main() -> int:
     os.makedirs(trace_dir, exist_ok=True)
     job = MultiprocessElasticJob(
         spec, ["w0", "w1"], tracer=tracer, worker_trace_dir=trace_dir,
+        # shm moves co-located ring traffic through shared-memory ring
+        # buffers; every worker process is on this host, so SHM always
+        # applies (remote tcp:// peers would fall back transparently).
+        peer_transport=os.environ.get("ELAN_PEER_TRANSPORT"),
         # Journal to disk so AM failover replays from the file, exactly
         # like an out-of-process standby would.
         journal_path=(

@@ -16,6 +16,7 @@ Subcommands (also installed as the ``repro-elan`` console script)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -472,6 +473,7 @@ def cmd_serve(args) -> int:
         iterations=args.iterations,
         coordination_interval=args.interval,
         ring_enabled=not args.no_ring,
+        ring_codec=args.ring_codec,
         worker_lease_ttl=args.lease_ttl,
         telemetry_interval=args.telemetry_interval,
     )
@@ -514,7 +516,7 @@ def cmd_serve(args) -> int:
 def cmd_join(args) -> int:
     """Run one worker agent against a serving AM."""
     from .coordination.faults import FaultPlan, SilentCrash
-    from .net import TcpPeerHost, WorkerAgent, tcp_link
+    from .net import ShmPeerHost, TcpPeerHost, WorkerAgent, tcp_link
     from .observability import MetricRegistry, Tracer
 
     plan = FaultPlan.for_link(
@@ -528,7 +530,23 @@ def cmd_join(args) -> int:
     # is still only written when --trace asks for it.
     tracer = Tracer(process=f"worker-{args.worker}")
     metrics = MetricRegistry()
-    peer_host = None if args.no_ring else TcpPeerHost(host=args.host)
+    peer_transport = args.peer_transport or os.environ.get(
+        "ELAN_PEER_TRANSPORT", "tcp"
+    )
+    if args.no_ring:
+        peer_host = None
+    elif peer_transport in ("shm", "auto"):
+        # auto == shm here: a `join` process is by definition on this
+        # host, and ShmPeerHost.connect falls back to TCP for any
+        # tcp:// peer address it meets in the ring, so remote peers in
+        # a mixed ring still work.
+        peer_host = ShmPeerHost()
+    elif peer_transport == "tcp":
+        peer_host = TcpPeerHost(host=args.host)
+    else:
+        print(f"unknown peer transport {peer_transport!r} "
+              "(expected tcp|shm|auto)", file=sys.stderr)
+        return 2
     endpoints = [(args.host, args.port)]
     for endpoint in args.am_endpoint or ():
         host, _, port = endpoint.rpartition(":")
@@ -899,6 +917,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace", help="export a Chrome trace here")
     serve.add_argument("--no-ring", action="store_true",
                        help="disable the ring gradient plane (star only)")
+    serve.add_argument("--ring-codec", choices=("none", "fp16", "int8"),
+                       default="none",
+                       help="gradient compression codec every ring epoch "
+                            "negotiates (none keeps the bit-identical "
+                            "uncompressed path)")
     serve.add_argument("--journal",
                        help="write-ahead journal file (enables failover)")
     serve.add_argument("--lease-ttl", type=float, default=0.0,
@@ -928,6 +951,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "(repeatable)")
     join.add_argument("--no-ring", action="store_true",
                       help="do not serve a peer endpoint (star plane only)")
+    join.add_argument("--peer-transport",
+                      choices=("tcp", "shm", "auto"), default=None,
+                      help="peer mesh transport for the ring plane "
+                           "(default: $ELAN_PEER_TRANSPORT or tcp; shm "
+                           "serves a shared-memory endpoint and falls "
+                           "back to TCP for remote peers)")
     join.add_argument("--peer-reset-at", type=int, action="append",
                       help="reset the ring peer links at this send index "
                            "(repeatable)")

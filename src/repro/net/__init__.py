@@ -1,9 +1,10 @@
 """Real network transport for the AM/worker control plane.
 
-One protocol (:class:`Transport`), two implementations — in-memory and
-length-prefixed TCP — sharing a single dedup/resend code path, so the
-§V-D fault-tolerance recipe and every chaos schedule behave identically
-in-process and over real sockets.  On top of the seam:
+One protocol (:class:`Transport`), three implementations — in-memory,
+length-prefixed TCP, and shared-memory ring buffers for co-located
+peers — sharing a single dedup/resend code path, so the §V-D
+fault-tolerance recipe and every chaos schedule behave identically
+in-process, over real sockets, and across ``/dev/shm``.  On top of the seam:
 :class:`NetworkedApplicationMaster` (the message-driven AM + gradient
 rendezvous), :class:`WorkerAgent` (one replica), and
 :class:`MultiprocessElasticJob` (an elastic job as N OS processes).
@@ -31,6 +32,12 @@ from .chunks import (
     TransferError,
     decode_state_blob,
 )
+from .codecs import (
+    RING_CODECS,
+    decode_bucket,
+    encode_bucket,
+    validate_codec,
+)
 from .collective import (
     DEFAULT_RING_BUCKET_BYTES,
     RingDegraded,
@@ -42,7 +49,21 @@ from .collective import (
 from .job import JobFailed, MultiprocessElasticJob
 from .journal import Journal, JournalError, JournalState
 from .master_service import JobSpec, NetworkedApplicationMaster
-from .peers import MemoryPeerHost, PeerHost, TcpPeerHost
+from .peers import (
+    MemoryPeerHost,
+    PeerHost,
+    TcpPeerHost,
+    parse_peer_addr,
+    peer_scheme,
+)
+from .shm import (
+    DEFAULT_SHM_CAPACITY,
+    ShmPeerHost,
+    ShmRing,
+    ShmServer,
+    ShmTransport,
+    shm_link,
+)
 from .soak import (
     ChaosSoak,
     GoodputReport,
@@ -80,6 +101,8 @@ __all__ = [
     "TransferError",
     "decode_state_blob",
     "DEFAULT_RING_BUCKET_BYTES",
+    "DEFAULT_SHM_CAPACITY",
+    "RING_CODECS",
     "ChaosSoak",
     "GoodputReport",
     "JobFailed",
@@ -97,6 +120,10 @@ __all__ = [
     "RingMailbox",
     "RingNode",
     "SLOViolation",
+    "ShmPeerHost",
+    "ShmRing",
+    "ShmServer",
+    "ShmTransport",
     "SoakSchedule",
     "TcpPeerHost",
     "TelemetryShipper",
@@ -114,9 +141,15 @@ __all__ = [
     "WireError",
     "WorkerAgent",
     "WorkerEvicted",
+    "decode_bucket",
     "derive_report",
+    "encode_bucket",
     "memory_link",
     "params_digest",
+    "parse_peer_addr",
+    "peer_scheme",
     "reserve_port",
+    "shm_link",
     "tcp_link",
+    "validate_codec",
 ]

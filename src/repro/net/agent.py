@@ -324,6 +324,7 @@ class WorkerAgent:
             tracer=self.tracer,
             metrics=self.metrics,
             fail_at=self.ring_fail_at,
+            codec=spec.ring_codec,
         )
 
     def _install_ring(self, ring: "dict | None") -> None:

@@ -46,6 +46,7 @@ import typing
 import numpy as np
 
 from ..coordination.messages import Message, MessageType
+from .codecs import decode_bucket, encode_bucket, validate_codec
 from .transport import TransportClosed
 from .wire import WireError
 
@@ -349,15 +350,17 @@ class RingMailbox:
                 int(payload["bucket"]),
             )
             # Copy: over the in-memory transport the arrays alias the
-            # sender's live scratch (TCP delivers read-only frombuffer
-            # views); the accumulate step needs stable, owned data.
+            # sender's live scratch (TCP and SHM deliver read-only
+            # frombuffer views into a receive buffer); the accumulate
+            # step needs stable, owned data.
             data = [np.array(array) for array in payload["data"]]
+            codec_meta = payload.get("codec")
             if self.metrics is not None:
                 self.metrics.counter("net.allreduce.segments_received").inc()
                 self.metrics.counter("net.allreduce.bytes_received").inc(
                     sum(array.nbytes for array in data)
                 )
-            accepted = self.deposit(key, data)
+            accepted = self.deposit(key, (data, codec_meta))
             return {"ok": True, "stale": not accepted}
         if message.msg_type is MessageType.RING_FETCH:
             state, mean = self.peer_state(
@@ -399,6 +402,7 @@ class RingNode:
         tracer: "typing.Any | None" = None,
         metrics: "typing.Any | None" = None,
         fail_at: "typing.Collection[int]" = (),
+        codec: str = "none",
     ):
         self.worker_id = worker_id
         self.mailbox = mailbox
@@ -408,6 +412,19 @@ class RingNode:
         self.step_timeout = step_timeout
         self.tracer = tracer
         self.metrics = metrics
+        #: negotiated gradient codec — the constructor value is the
+        #: default; :meth:`install` adopts whatever the ring payload
+        #: carries, so the whole epoch agrees on one codec.
+        self.codec = validate_codec(codec)
+        #: full-size per-parameter error-feedback residuals, keyed by
+        #: name — geometry-independent, so they survive re-partitioning
+        #: when the ring membership changes.
+        self._residuals: "dict[str, np.ndarray]" = {}
+        #: per-iteration all-gather relay cache: (part, bucket) ->
+        #: (quantized arrays, codec meta) exactly as received, forwarded
+        #: verbatim so every rank ends up holding identical bytes.
+        self._ag_relay: "dict[tuple, tuple]" = {}
+        self._iter_residual_sq = 0.0
         #: test knob: iterations at which this node aborts its ring
         #: before participating (deterministic degradation injection).
         self.fail_at = frozenset(fail_at)
@@ -427,16 +444,59 @@ class RingNode:
     # -- membership ------------------------------------------------------------
 
     def install(self, ring: "dict") -> None:
-        """Adopt a generation's ring (order, peer addresses, epoch)."""
+        """Adopt a generation's ring (order, peer addresses, epoch).
+
+        The ring payload optionally carries the epoch's negotiated
+        gradient ``codec``; error-feedback residuals deliberately
+        survive the install — they are keyed by parameter name at full
+        size, so the new geometry reuses them as-is.
+        """
         self.ring = {
             "epoch": int(ring["epoch"]),
             "order": list(ring["order"]),
             "peers": dict(ring["peers"]),
             "active_from": int(ring["active_from"]),
         }
+        if "codec" in ring:
+            self.codec = validate_codec(ring["codec"])
         self.strikes = 0
         with self._lock:
             self._suspects.clear()
+
+    # -- error-feedback residual state -----------------------------------------
+
+    def capture_residuals(self) -> "dict[str, np.ndarray]":
+        """Copy of the EF residual state (ships with worker snapshots)."""
+        with self._lock:
+            return {
+                name: np.array(residual)
+                for name, residual in self._residuals.items()
+            }
+
+    def restore_residuals(
+        self, state: "typing.Mapping[str, np.ndarray]"
+    ) -> None:
+        """Adopt captured residuals (restart / migration path)."""
+        with self._lock:
+            self._residuals = {
+                name: np.array(residual) for name, residual in state.items()
+            }
+
+    def _residual_views(
+        self, scratch: "typing.Mapping[str, np.ndarray]", bucket
+    ) -> "list[np.ndarray]":
+        """Flat residual views aligned with one bucket's slices."""
+        views = []
+        for piece in bucket:
+            full = scratch[piece.name]
+            with self._lock:
+                residual = self._residuals.get(piece.name)
+                if residual is None or residual.size != full.size:
+                    residual = self._residuals[piece.name] = np.zeros(
+                        full.size, dtype=full.dtype
+                    )
+            views.append(residual[piece.start:piece.stop])
+        return views
 
     def _suspect(self, peer: str) -> None:
         with self._lock:
@@ -512,6 +572,8 @@ class RingNode:
         # Working copy: the pristine ``grads`` stay untouched for the
         # star fallback; ``scratch`` becomes the mean in place.
         scratch = {name: np.array(grads[name]) for name in grads}
+        self._ag_relay = {}
+        self._iter_residual_sq = 0.0
         started = time.perf_counter()
         try:
             with _maybe_span(
@@ -560,11 +622,16 @@ class RingNode:
             raise
         self.mailbox.complete(generation, iteration, scratch)
         self.strikes = 0
+        self._ag_relay = {}
         if self.metrics is not None:
             self.metrics.counter("net.allreduce.count").inc()
             self.metrics.histogram("net.allreduce.seconds").observe(
                 time.perf_counter() - started
             )
+            if self.codec != "none":
+                self.metrics.histogram("net.codec.residual_norm").observe(
+                    float(np.sqrt(self._iter_residual_sq))
+                )
         return scratch
 
     def _step(
@@ -582,6 +649,50 @@ class RingNode:
         send_buckets = layout.buckets[send_part]
         recv_buckets = layout.buckets[recv_part]
         pump_done = threading.Event()
+        codec_active = self.codec != "none"
+
+        def encode_for_ship(index: int, bucket, data):
+            """Quantize one outgoing bucket per the phase's rules.
+
+            Reduce-scatter quantizes with error feedback.  The
+            all-gather must leave every rank holding *identical* bytes:
+            the partition owner (step 0) quantizes without EF and
+            adopts the dequantized values itself, while relays
+            (step ≥ 1) forward the received quantized bytes verbatim
+            from the per-iteration relay cache.
+            """
+            if phase == "rs":
+                enc = encode_bucket(
+                    self.codec, data, self._residual_views(scratch, bucket)
+                )
+                with self._lock:
+                    self._iter_residual_sq += enc.residual_sq
+            elif step == 0:
+                enc = encode_bucket(self.codec, data)
+                for view, dequantized in zip(
+                    data, decode_bucket(enc.data, enc.meta)
+                ):
+                    view[:] = dequantized
+            else:
+                relayed = self._ag_relay.get((send_part, index))
+                if relayed is not None:
+                    return relayed
+                # A star-repaired or freshly-installed rank may lack
+                # the cache; re-encoding its (already dequantized)
+                # values is the best remaining approximation.
+                enc = encode_bucket(self.codec, data)
+            if self.metrics is not None:
+                self.metrics.counter("net.codec.bytes_raw").inc(
+                    enc.raw_bytes
+                )
+                self.metrics.counter("net.codec.bytes_compressed").inc(
+                    enc.compressed_bytes
+                )
+                if enc.fallbacks:
+                    self.metrics.counter("net.codec.fallbacks").inc(
+                        enc.fallbacks
+                    )
+            return enc.data, enc.meta
 
         def ship(index: int, bucket) -> None:
             try:
@@ -589,23 +700,26 @@ class RingNode:
                     if successor in self._suspects:
                         return  # known-dead: don't pay the dial again
                 data = layout.views(scratch, bucket)
+                payload = {
+                    "generation": generation,
+                    "iteration": iteration,
+                    "phase": phase,
+                    "step": step,
+                    "part": send_part,
+                    "bucket": index,
+                    "data": data,
+                }
+                if codec_active:
+                    shipped, meta = encode_for_ship(index, bucket, data)
+                    payload["data"] = shipped
+                    payload["codec"] = meta
                 self._link_to(successor).request(
-                    MessageType.RING_SEGMENT,
-                    {
-                        "generation": generation,
-                        "iteration": iteration,
-                        "phase": phase,
-                        "step": step,
-                        "part": send_part,
-                        "bucket": index,
-                        "data": data,
-                    },
-                    ack_timeout=None,
+                    MessageType.RING_SEGMENT, payload, ack_timeout=None,
                 )
                 if self.metrics is not None:
                     self.metrics.counter("net.allreduce.segments_sent").inc()
                     self.metrics.counter("net.allreduce.bytes_sent").inc(
-                        sum(view.nbytes for view in data)
+                        sum(view.nbytes for view in payload["data"])
                     )
             except (TransportClosed, WireError, OSError):
                 # A connect-level failure (refused, endpoint gone) means
@@ -643,16 +757,26 @@ class RingNode:
         )
         pumper.start()
         for index, bucket in enumerate(recv_buckets):
-            data = self.mailbox.collect(
+            deposited = self.mailbox.collect(
                 (generation, iteration, phase, step, index),
                 self.step_timeout,
             )
-            if data is None:
+            if deposited is None:
                 raise RingDegraded(
                     f"{self.worker_id} timed out waiting for "
                     f"{phase} step {step} bucket {index} of iteration "
                     f"{iteration} (generation {generation})"
                 )
+            data, codec_meta = (
+                deposited if isinstance(deposited, tuple)
+                else (deposited, None)
+            )
+            if codec_meta is not None:
+                if not accumulate:
+                    # Keep the received bytes for verbatim relay at the
+                    # next all-gather step.
+                    self._ag_relay[(recv_part, index)] = (data, codec_meta)
+                data = decode_bucket(data, codec_meta)
             for piece, received in zip(bucket, data):
                 view = RingLayout.flat(scratch[piece.name])[
                     piece.start:piece.stop

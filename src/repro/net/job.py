@@ -38,11 +38,17 @@ class MultiprocessElasticJob:
         tracer: "typing.Any | None" = None,
         worker_trace_dir: "str | None" = None,
         journal_path: "str | None" = None,
+        peer_transport: "str | None" = None,
     ):
         self.spec = spec
         self.host = host
         self.tracer = tracer
         self.worker_trace_dir = worker_trace_dir
+        #: peer mesh transport for the ring plane ("tcp" | "shm" |
+        #: "auto"); None defers to each worker's $ELAN_PEER_TRANSPORT.
+        #: Co-located processes (this whole class) benefit from "shm";
+        #: ShmPeerHost falls back to TCP per-peer for remote addresses.
+        self.peer_transport = peer_transport
         #: with a path the AM journal is file-backed, so :meth:`fail_over`
         #: recovers from disk exactly like an out-of-process standby would.
         self.journal_path = journal_path
@@ -90,6 +96,8 @@ class MultiprocessElasticJob:
             command += ["--ring-fail-at", str(iteration)]
         if not self.spec.ring_enabled:
             command += ["--no-ring"]
+        if self.peer_transport:
+            command += ["--peer-transport", self.peer_transport]
         trace_path = self.worker_trace_path(worker_id)
         if trace_path:
             command += ["--trace", trace_path]

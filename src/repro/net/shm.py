@@ -1,0 +1,969 @@
+"""Shared-memory peer transport: ring-buffer links for co-located workers.
+
+Co-located workers exchanging ring buckets over loopback TCP pay the
+full serialization + kernel socket copy tax on every segment.  This
+module moves that traffic into ``multiprocessing.shared_memory``: each
+link is a pair of single-producer/single-consumer ring buffers (one per
+direction) carrying the **existing binary frame format** — ndarray
+payloads are memcpy'd once into the shared segment and the receiver
+rebuilds them as ``np.frombuffer`` views directly over it.  Zero
+serialization, zero socket copies; the only data movement left is the
+one write into shared memory.
+
+Connection bootstrap rides a tiny Unix-domain-socket handshake (the
+same ``hello``/``welcome`` frames as TCP): the connector creates the
+two segments, names them in its hello, and the server attaches.  The
+UDS then stays open as the link's **doorbell**: after publishing a
+record the producer sends one byte, so the consumer blocks in
+``select()`` exactly like a TCP reader instead of spin-polling the ring
+— bulk data never touches the socket, only wakeups do.  EOF on the
+doorbell doubles as the liveness signal.  Reliability is unchanged: :class:`ShmTransport` satisfies the
+same :class:`~repro.net.transport.Transport` protocol, so
+:class:`~repro.net.transport.ReliableLink` /
+:class:`~repro.net.transport.ServerCore` provide exactly-once, dedup
+and resend on top, and :class:`~repro.coordination.faults.FaultPlan`
+faults (drops, duplicates, delays, resets) inject through the same
+:class:`~repro.coordination.messages.FaultyChannel` /
+:class:`~repro.net.transport.TransportFaults` stages as TCP.
+
+Crash cleanup: segments are registered with multiprocessing's resource
+tracker in *both* processes, so a SIGKILL'd worker's tracker unlinks
+them; clean paths unlink eagerly (either side may win — double unlinks
+are tolerated) and unregister so no tracker warns at exit.  The ring
+layout and cleanup guarantees are documented in docs/PROTOCOL.md
+("The shm:// peer transport").
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import struct
+import tempfile
+import threading
+import time
+import typing
+import uuid
+
+import numpy as np
+
+from ..coordination.faults import ExponentialBackoff, FaultPlan
+from ..coordination.messages import FaultyChannel, Message
+from . import wire
+from .transport import (
+    TRACE_CTX_KEY,
+    FaultAction,
+    ServerCore,
+    TransportClosed,
+    TransportFaults,
+)
+
+#: Default per-direction ring capacity.  Must hold the largest frame a
+#: peer link ships (ring buckets are small, but degraded-path
+#: ``RING_FETCH`` replies carry a whole gradient dict).
+DEFAULT_SHM_CAPACITY = 16 * 1024 * 1024
+
+#: Shared-memory segment name prefix — also what the leak checks (CI,
+#: chaos tests) grep ``/dev/shm`` for.
+SHM_NAME_PREFIX = "elanshm_"
+
+#: Ring header: head (u64, producer-owned), tail (u64, consumer-owned),
+#: closed flag (u8, either side).  Both counters are absolute
+#: (monotonic), so ``head - tail`` is the used byte count without any
+#: wrap ambiguity; aligned 8-byte loads/stores are atomic on every
+#: platform CPython runs on.
+_HEADER_BYTES = 64
+_HEAD = struct.Struct("<Q")
+_RECORD = struct.Struct("<I")
+#: Record-length sentinel: "no record here — skip to the next ring lap".
+_SKIP = 0xFFFFFFFF
+
+
+#: Segments this process already told its resource tracker to forget.
+#: Attaching registers a name just like creating does, so a process
+#: holding both ends of a pair (tests, loopback rings) would otherwise
+#: unregister the same name twice and the tracker would log a KeyError.
+_unregistered: "set[str]" = set()
+_unregistered_lock = threading.Lock()
+
+
+def _tracker_call(action: str, name: str) -> None:
+    """Raw best-effort resource_tracker register/unregister of a segment."""
+    try:  # pragma: no cover - depends on resource_tracker internals
+        from multiprocessing import resource_tracker
+
+        getattr(resource_tracker, action)(
+            "/" + name.lstrip("/"), "shared_memory"
+        )
+    except Exception:
+        pass
+
+
+def _unregister_segment(name: str) -> None:
+    """Drop a segment from this process's resource tracker, once."""
+    with _unregistered_lock:
+        if name in _unregistered:
+            return
+        _unregistered.add(name)
+    _tracker_call("unregister", name)
+
+
+class ShmRing:
+    """One direction of a link: an SPSC byte ring in shared memory.
+
+    Records are ``[u32 length][frame bytes]`` and **never wrap**: a
+    record that does not fit in the space before the end of the buffer
+    is preceded by a :data:`_SKIP` marker and starts at the next lap —
+    so the consumer always sees each frame as one contiguous region and
+    can hand out ``np.frombuffer`` views into it with no reassembly.
+    The consumer owns a frame's region until :meth:`advance`; the
+    producer cannot overwrite it before then.
+    """
+
+    def __init__(self, name: "str | None" = None, capacity: int = DEFAULT_SHM_CAPACITY):
+        from multiprocessing import shared_memory
+
+        self.capacity = int(capacity)
+        if name is None:
+            self.name = SHM_NAME_PREFIX + uuid.uuid4().hex[:12]
+            self._shm = shared_memory.SharedMemory(
+                name=self.name, create=True,
+                size=_HEADER_BYTES + self.capacity,
+            )
+            self.created = True
+        else:
+            self.name = name
+            self._shm = shared_memory.SharedMemory(name=name)
+            self.capacity = self._shm.size - _HEADER_BYTES
+            self.created = False
+        self._buf = self._shm.buf
+        self._data = self._buf[_HEADER_BYTES:_HEADER_BYTES + self.capacity]
+        self._pending: "int | None" = None
+        self._gone = False
+
+    # -- cursor accessors ------------------------------------------------------
+
+    @property
+    def _head(self) -> int:
+        return _HEAD.unpack_from(self._buf, 0)[0]
+
+    @_head.setter
+    def _head(self, value: int) -> None:
+        _HEAD.pack_into(self._buf, 0, value)
+
+    @property
+    def _tail(self) -> int:
+        return _HEAD.unpack_from(self._buf, 8)[0]
+
+    @_tail.setter
+    def _tail(self, value: int) -> None:
+        _HEAD.pack_into(self._buf, 8, value)
+
+    @property
+    def closed(self) -> bool:
+        return self._gone or self._buf[16] != 0
+
+    def mark_closed(self) -> None:
+        """Signal the other side; both directions observe one flag each."""
+        if not self._gone:
+            self._buf[16] = 1
+
+    # -- producer side ---------------------------------------------------------
+
+    def write(self, buffers: typing.Sequence, timeout: float = 10.0) -> int:
+        """Append one record built from ``buffers``; returns bytes written.
+
+        Blocks (spin-then-sleep) while the ring is full; returns 0 if
+        the ring closed or the wait timed out — the transport reports
+        the send as lost and the reliability layer resends.
+        """
+        try:
+            return self._write(buffers, timeout)
+        except (TypeError, ValueError):
+            # close() released the buffers under a concurrent writer.
+            if self._gone:
+                return 0
+            raise
+
+    def _write(self, buffers: typing.Sequence, timeout: float) -> int:
+        views = [wire._flat_view(buffer) for buffer in buffers]
+        length = sum(view.nbytes for view in views)
+        record = _RECORD.size + length
+        # Half the capacity, not all of it: a no-wrap record must fit in
+        # the space before the lap end *plus* a fresh lap in the worst
+        # alignment, and only record <= capacity/2 guarantees that at
+        # every position.  Anything bigger could park the producer at an
+        # unsatisfiable offset forever — fail loudly instead.
+        if record > self.capacity // 2:
+            raise wire.WireError(
+                f"frame of {length} bytes exceeds half the shm ring "
+                f"capacity ({self.capacity}); raise the link's capacity"
+            )
+        deadline = time.monotonic() + timeout
+        spins = 0
+        while True:
+            if self.closed:
+                return 0
+            head, tail = self._head, self._tail
+            pos = head % self.capacity
+            room_to_end = self.capacity - pos
+            # The skip marker (when needed) consumes the rest of the lap.
+            need = record if record <= room_to_end else room_to_end + record
+            if self.capacity - (head - tail) >= need:
+                break
+            spins += 1
+            if spins > 100:
+                time.sleep(0.0002)
+            if time.monotonic() >= deadline:
+                return 0
+        if record > room_to_end:
+            if room_to_end >= _RECORD.size:
+                _RECORD.pack_into(self._data, pos, _SKIP)
+            head += room_to_end
+            pos = 0
+        _RECORD.pack_into(self._data, pos, length)
+        offset = pos + _RECORD.size
+        for view in views:
+            n = view.nbytes
+            self._data[offset:offset + n] = view
+            offset += n
+        # Publish after the payload is fully in place: the consumer only
+        # reads bytes below head.
+        self._head = head + record
+        return record
+
+    # -- consumer side ---------------------------------------------------------
+
+    def read(self, timeout: float = 0.2) -> "memoryview | None":
+        """The next record's payload as a view into the ring, or None.
+
+        The view stays valid until :meth:`advance` — process (or copy)
+        before advancing.  Returns None on timeout or when the ring is
+        closed and drained.
+        """
+        try:
+            return self._read(timeout)
+        except (TypeError, ValueError):
+            # close() released the buffers under a concurrent reader.
+            if self._gone:
+                return None
+            raise
+
+    def _read(self, timeout: float) -> "memoryview | None":
+        if self._pending is not None:
+            raise RuntimeError("previous record not advanced")
+        deadline = time.monotonic() + timeout
+        spins = 0
+        while True:
+            head, tail = self._head, self._tail
+            if head != tail:
+                break
+            if self.closed:
+                return None
+            spins += 1
+            if spins > 100:
+                time.sleep(0.0002)
+            if time.monotonic() >= deadline:
+                return None
+        pos = tail % self.capacity
+        room_to_end = self.capacity - pos
+        if room_to_end < _RECORD.size:
+            # Lap remainder too small even for a marker: implicit skip.
+            tail += room_to_end
+            pos = 0
+        else:
+            (length,) = _RECORD.unpack_from(self._data, pos)
+            if length == _SKIP:
+                tail += room_to_end
+                pos = 0
+            else:
+                self._pending = tail + _RECORD.size + length
+                return self._data[pos + _RECORD.size:pos + _RECORD.size + length]
+        (length,) = _RECORD.unpack_from(self._data, pos)
+        self._pending = tail + _RECORD.size + length
+        return self._data[pos + _RECORD.size:pos + _RECORD.size + length]
+
+    def advance(self) -> None:
+        """Release the last :meth:`read` record back to the producer."""
+        if self._pending is not None:
+            self._tail = self._pending
+            self._pending = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self, unlink: bool = False) -> None:
+        """Detach; with ``unlink`` also remove the segment name.
+
+        Either side may unlink first — ``FileNotFoundError`` is the
+        normal outcome for the second closer (and for a crash where the
+        dead process's resource tracker won the race).
+        """
+        if self._gone:
+            return
+        self.mark_closed()
+        self._gone = True
+        self._pending = None
+        self._data.release()
+        self._buf = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform noise
+            pass
+        if unlink:
+            # A successful unlink unregisters internally, consuming this
+            # process's tracker entry.  If the other end of a
+            # same-process pair already consumed it, restore the entry
+            # first so the internal unregister has one to eat; if the
+            # remote side won the unlink race, eat ours by hand.
+            with _unregistered_lock:
+                reregister = self.name in _unregistered
+                _unregistered.add(self.name)
+            if reregister:
+                _tracker_call("register", self.name)
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                _tracker_call("unregister", self.name)
+        else:
+            _unregister_segment(self.name)
+
+
+# -- frame codec over a ring ---------------------------------------------------
+
+
+def shm_frame_buffers(frame: dict, codec: str = "json") -> "list":
+    """The buffer list one ring record carries for ``frame``.
+
+    Binary frames reuse :func:`wire.binary_frame_buffers` verbatim
+    (prefix + header + raw segments); array-free frames are one plain
+    codec frame.  Either way the receiver parses it with
+    :func:`decode_shm_frame`.
+    """
+    buffers, _total = wire.binary_frame_buffers(frame, codec)
+    if buffers is not None:
+        return buffers
+    return [wire.frame_bytes(frame, codec)]
+
+
+def decode_shm_frame(view: memoryview, codec: str = "json") -> dict:
+    """Parse one ring record back into a frame dict.
+
+    Array segments come back as ``np.frombuffer`` views **into the
+    ring** — valid until the caller advances the ring, so handlers
+    retaining data must copy (the ring mailbox already does).
+    """
+    if view.nbytes < wire._LENGTH.size:
+        raise wire.WireError("shm record shorter than a frame prefix")
+    (length,) = wire._LENGTH.unpack_from(view, 0)
+    body = view[wire._LENGTH.size:]
+    if not length & wire.BINARY_FLAG:
+        if body.nbytes != length:
+            raise wire.WireError("shm record length mismatch")
+        return wire.decode_frame(bytes(body), codec)
+    header_len = length & ~wire.BINARY_FLAG
+    if header_len > body.nbytes:
+        raise wire.WireError("shm binary header overruns the record")
+    frame = wire.decode_frame(bytes(body[:header_len]), codec)
+    seg_lens = frame.pop("__segs__", None)
+    if not isinstance(seg_lens, list) or not all(
+        isinstance(n, int) and n >= 0 for n in seg_lens
+    ):
+        raise wire.WireError("shm binary frame carries no valid segment table")
+    if header_len + sum(seg_lens) != body.nbytes:
+        raise wire.WireError("shm segment table disagrees with the record")
+    segments, offset = [], header_len
+    for seg_len in seg_lens:
+        segments.append(body[offset:offset + seg_len])
+        offset += seg_len
+    return wire.join_buffers(frame, segments)
+
+
+def _own_arrays(obj):
+    """Deep-copy ndarrays out of ring-backed views (reply retention)."""
+    if isinstance(obj, np.ndarray):
+        return np.array(obj)
+    if isinstance(obj, memoryview):
+        return bytes(obj)
+    if isinstance(obj, dict):
+        return {key: _own_arrays(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_own_arrays(item) for item in obj]
+    return obj
+
+
+def _ring_doorbell(sock: "socket.socket | None") -> None:
+    """One wakeup byte after a publish (best effort, never blocks).
+
+    A full socket buffer means the consumer already has unread wakeups
+    queued — dropping this one is harmless.
+    """
+    if sock is None:
+        return
+    try:
+        sock.send(b"\x01")
+    except (BlockingIOError, OSError):
+        pass
+
+
+def _await_doorbell(sock: socket.socket, timeout: float = 0.2) -> bool:
+    """Block until the peer rings (or ``timeout``); False when the peer
+    is gone.  Drains queued wakeup bytes; EOF means the peer died.
+
+    No missed-wakeup race: the byte a producer sends before we enter
+    ``select`` stays queued in the socket buffer, so the select returns
+    immediately.
+    """
+    try:
+        ready, _, _ = select.select([sock], [], [], timeout)
+    except (OSError, ValueError):
+        return False
+    if not ready:
+        return True
+    try:
+        return sock.recv(4096) != b""
+    except BlockingIOError:
+        return True
+    except OSError:
+        return False
+
+
+# -- the client transport ------------------------------------------------------
+
+
+class ShmTransport:
+    """One shared-memory connection (satisfies ``Transport``).
+
+    Mirrors :class:`~repro.net.tcp.TcpTransport`'s shape exactly — the
+    same FaultyChannel loss/duplication stage, the same
+    :class:`TransportFaults` delay/reset schedule, the same
+    drop-and-redial reset semantics (a reset tears the segment pair
+    down; the next send bootstraps a fresh pair over the UDS) — so a
+    chaos schedule replays identically over memory, TCP and SHM.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        node_id: str,
+        on_reply: typing.Callable[[int, dict], None],
+        codec: str = "json",
+        fault_plan: "FaultPlan | None" = None,
+        backoff: "ExponentialBackoff | None" = None,
+        tracer: "typing.Any | None" = None,
+        capacity: int = DEFAULT_SHM_CAPACITY,
+        connect_timeout: float = 5.0,
+        max_reconnect_attempts: int = 2,
+        metrics: "typing.Any | None" = None,
+    ):
+        self.path = path
+        self.node_id = node_id
+        self.codec = wire.negotiate_codec(codec)
+        self.capacity = capacity
+        self.tracer = tracer
+        self.metrics = metrics
+        self.bytes_sent = 0
+        self.frames_sent = 0
+        self._on_reply = on_reply
+        self._faults = TransportFaults.from_plan(fault_plan)
+        self._channel = FaultyChannel(
+            deliver=self._write_message,
+            drop_every=fault_plan.drop_every if fault_plan else 0,
+            duplicate_every=fault_plan.duplicate_every if fault_plan else 0,
+            node_id=node_id,
+        )
+        self._backoff = backoff or ExponentialBackoff(base=0.005, max_delay=0.25)
+        self._connect_timeout = connect_timeout
+        self._max_reconnect_attempts = max_reconnect_attempts
+        self._send_lock = threading.RLock()
+        self._closed = threading.Event()
+        self._sock: "socket.socket | None" = None
+        self._out: "ShmRing | None" = None
+        self._in: "ShmRing | None" = None
+        self._reader: "threading.Thread | None" = None
+        self.reconnects = 0
+        self.server_node: "str | None" = None
+        self.server_epoch: "int | None" = None
+
+    # -- connection management -------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._out is not None and not self._closed.is_set()
+
+    def connect(self) -> None:
+        """Dial the UDS, hand over fresh segments, handshake."""
+        with self._send_lock:
+            if self._closed.is_set():
+                raise wire.WireError("transport is closed")
+            if self._out is not None:
+                return
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._connect_timeout)
+            out_ring = in_ring = None
+            try:
+                sock.connect(self.path)
+                sock.settimeout(None)
+                out_ring = ShmRing(capacity=self.capacity)
+                in_ring = ShmRing(capacity=self.capacity)
+                hello = wire.hello_frame(self.node_id, self.codec, binary=True)
+                hello["shm"] = {
+                    "c2s": out_ring.name, "s2c": in_ring.name,
+                }
+                wire.write_frame(sock, hello, "json")
+                answer = wire.read_frame(sock, "json")
+                if answer is None or answer.get("kind") == "reject":
+                    reason = (answer or {}).get("reason", "connection closed")
+                    raise wire.WireError(f"handshake rejected: {reason}")
+                if answer.get("kind") != "welcome":
+                    raise wire.WireError(
+                        f"expected welcome, got {answer.get('kind')!r}"
+                    )
+            except BaseException:
+                sock.close()
+                for ring in (out_ring, in_ring):
+                    if ring is not None:
+                        ring.close(unlink=True)
+                raise
+            self.codec = answer.get("codec", self.codec)
+            self.server_node = answer.get("node")
+            if answer.get("epoch") is not None:
+                self.server_epoch = int(answer["epoch"])
+            # Handshake done: from here the socket is the non-blocking
+            # doorbell (wakeup bytes only, never frames).
+            sock.setblocking(False)
+            self._sock, self._out, self._in = sock, out_ring, in_ring
+            self._reader = threading.Thread(
+                target=self._read_loop, args=(in_ring, sock),
+                name=f"shm-read-{self.node_id}", daemon=True,
+            )
+            self._reader.start()
+
+    def _drop_connection(self) -> None:
+        with self._send_lock:
+            sock, self._sock = self._sock, None
+            out_ring, self._out = self._out, None
+            in_ring, self._in = self._in, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for ring in (out_ring, in_ring):
+            if ring is not None:
+                ring.close(unlink=True)
+
+    def _reconnect(self) -> None:
+        span = None
+        if self.tracer is not None:
+            span = self.tracer.begin(
+                "net.reconnect", track=self.node_id, cat="net"
+            )
+        for attempt in range(self._max_reconnect_attempts):
+            if self._closed.is_set():
+                break
+            try:
+                self.connect()
+            except (OSError, wire.WireError):
+                self._backoff.wait(attempt)
+                continue
+            self.reconnects += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.shm.reconnects").inc()
+            if self.tracer is not None:
+                self.tracer.end(span, attempts=attempt + 1, ok=True)
+            return
+        if self.tracer is not None:
+            self.tracer.end(
+                span, attempts=self._max_reconnect_attempts, ok=False
+            )
+        raise wire.WireError(
+            f"{self.node_id}: could not reconnect to {self.path}"
+        )
+
+    def close(self) -> None:
+        self._closed.set()
+        self._drop_connection()
+        self._channel.close()
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, message: Message) -> bool:
+        if self._closed.is_set():
+            return False
+        with self._send_lock:
+            action = (
+                self._faults.next_send() if self._faults is not None
+                else FaultAction()
+            )
+            if action.reset:
+                self._drop_connection()
+                return False
+            if self._out is None:
+                try:
+                    self._reconnect()
+                except (OSError, wire.WireError):
+                    return False
+            if action.delay:
+                time.sleep(action.delay)
+            try:
+                return self._channel.send(message)
+            except (OSError, wire.WireError):
+                return False
+
+    def _write_message(self, message: Message) -> None:
+        out_ring = self._out
+        if out_ring is None:
+            raise OSError("not connected")
+        buffers = shm_frame_buffers(
+            wire.message_frame(message, raw=True), self.codec
+        )
+        n = out_ring.write(buffers)
+        if n == 0:
+            self._drop_connection()
+            raise OSError("shm ring closed under the send")
+        _ring_doorbell(self._sock)
+        self.bytes_sent += n
+        self.frames_sent += 1
+        if self.metrics is not None:
+            self.metrics.counter("net.shm.bytes_sent").inc(n)
+            self.metrics.counter("net.shm.frames_sent").inc()
+
+    # -- receiving -------------------------------------------------------------
+
+    def _read_loop(self, in_ring: ShmRing, sock: socket.socket) -> None:
+        peer_gone = False
+        while not self._closed.is_set() and self._in is in_ring:
+            view = in_ring.read(timeout=0)
+            if view is None:
+                # A dead server's last replies are still drained above
+                # before the hangup ends the loop.
+                if in_ring.closed or peer_gone:
+                    break
+                peer_gone = not _await_doorbell(sock)
+                continue
+            try:
+                frame = decode_shm_frame(view, self.codec)
+                if frame.get("kind") == "reply":
+                    # Replies outlive the ring slot (the requesting
+                    # thread reads them later): copy arrays out now.
+                    payload = _own_arrays(frame.get("payload") or {})
+                    ctx = frame.get("ctx")
+                    if isinstance(ctx, dict):
+                        payload[TRACE_CTX_KEY] = ctx
+                    self._on_reply(int(frame["in_reply_to"]), payload)
+            except wire.WireError:
+                break
+            finally:
+                in_ring.advance()
+        with self._send_lock:
+            if self._in is in_ring:
+                self._sock = None
+
+
+# -- the server ----------------------------------------------------------------
+
+
+class ShmServer:
+    """Accepts shm links over a Unix socket; feeds a shared ServerCore."""
+
+    def __init__(
+        self,
+        core: ServerCore,
+        path: "str | None" = None,
+        tracer: "typing.Any | None" = None,
+        metrics: "typing.Any | None" = None,
+    ):
+        self.core = core
+        self.tracer = tracer
+        self.metrics = metrics
+        self.bytes_sent = 0
+        self.path = path or os.path.join(
+            tempfile.gettempdir(),
+            f"elan-peer-{os.getpid()}-{uuid.uuid4().hex[:8]}.sock",
+        )
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self._listener.bind(self.path)
+        except OSError:
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+            self._listener.bind(self.path)
+        self._listener.listen(16)
+        self._closed = threading.Event()
+        self._accept_thread: "threading.Thread | None" = None
+        self._connections: "list[tuple[socket.socket, ShmRing, ShmRing]]" = []
+        self._conn_lock = threading.Lock()
+        self.connections_accepted = 0
+        self.handshakes_rejected = 0
+
+    def start(self) -> "ShmServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="shm-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break
+            threading.Thread(
+                target=self._serve_connection, args=(conn,),
+                name="shm-serve", daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        in_ring = out_ring = None
+        try:
+            frame = wire.read_frame(conn, "json")
+            try:
+                handshake = wire.check_handshake(frame, binary=True)
+                names = (frame or {}).get("shm")
+                if not isinstance(names, dict):
+                    raise wire.WireError("shm hello names no segments")
+                in_ring = ShmRing(name=str(names["c2s"]))
+                out_ring = ShmRing(name=str(names["s2c"]))
+            except (KeyError, FileNotFoundError) as exc:
+                raise wire.WireError(f"bad shm bootstrap: {exc}") from exc
+            except wire.WireError:
+                raise
+        except wire.WireError as exc:
+            self.handshakes_rejected += 1
+            try:
+                wire.write_frame(conn, wire.reject_frame(str(exc)), "json")
+            except OSError:
+                pass
+            conn.close()
+            for ring in (in_ring, out_ring):
+                if ring is not None:
+                    ring.close(unlink=True)
+            return
+        except OSError:
+            conn.close()
+            return
+        try:
+            wire.write_frame(
+                conn,
+                wire.welcome_frame(
+                    self.core.node_id, handshake.codec, binary=True,
+                    epoch=getattr(self.core, "epoch", None),
+                ),
+                "json",
+            )
+        except OSError:
+            conn.close()
+            for ring in (in_ring, out_ring):
+                ring.close(unlink=True)
+            return
+        self.connections_accepted += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "net.accept", track=self.core.node_id, cat="net",
+                peer=handshake.node, codec=handshake.codec, binary=True,
+                transport="shm",
+            )
+        with self._conn_lock:
+            self._connections.append((conn, in_ring, out_ring))
+        conn.setblocking(False)
+        try:
+            self._serve_rings(conn, in_ring, out_ring, handshake.codec)
+        finally:
+            with self._conn_lock:
+                entry = (conn, in_ring, out_ring)
+                if entry in self._connections:
+                    self._connections.remove(entry)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            # The server unlinks too: if the client crashed between
+            # creating and unlinking, this (or the client's resource
+            # tracker) removes the name — never both successfully.
+            in_ring.close(unlink=True)
+            out_ring.close(unlink=True)
+
+    def _serve_rings(
+        self, conn: socket.socket, in_ring: ShmRing, out_ring: ShmRing,
+        codec: str,
+    ) -> None:
+        client_gone = False
+        while not self._closed.is_set():
+            view = in_ring.read(timeout=0)
+            if view is None:
+                # A crashed client's in-flight requests drain above
+                # before the doorbell EOF ends the connection.
+                if in_ring.closed or client_gone:
+                    return
+                client_gone = not _await_doorbell(conn)
+                continue
+            try:
+                frame = decode_shm_frame(view, codec)
+                t_recv = time.perf_counter()
+                if frame.get("kind") != "msg":
+                    continue
+                message = wire.decode_message(frame)
+                # Dispatch while the views are live; the mailbox copies
+                # what it keeps.  Advance only after the handler ran.
+                reply = self.core.dispatch(message)
+            except wire.WireError:
+                return
+            finally:
+                in_ring.advance()
+            reply_buffers = shm_frame_buffers(
+                wire.reply_frame(
+                    self.core.node_id, message.msg_id, reply, raw=True,
+                    ctx={
+                        "node": self.core.node_id,
+                        "epoch": self.core.epoch,
+                        "recv": t_recv,
+                        "sent": time.perf_counter(),
+                    },
+                ),
+                codec,
+            )
+            n = out_ring.write(reply_buffers)
+            if n == 0:
+                return
+            _ring_doorbell(conn)
+            self.bytes_sent += n
+            if self.metrics is not None:
+                self.metrics.counter("net.shm.bytes_sent").inc(n)
+                self.metrics.counter("net.shm.frames_sent").inc()
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+        with self._conn_lock:
+            connections, self._connections = self._connections, []
+        for conn, in_ring, out_ring in connections:
+            in_ring.mark_closed()
+            out_ring.mark_closed()
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+
+def shm_link(
+    path: str,
+    node_id: str,
+    fault_plan: "FaultPlan | None" = None,
+    ack_timeout: float = 0.5,
+    max_attempts: int = 10,
+    codec: str = "json",
+    tracer: "typing.Any | None" = None,
+    metrics: "typing.Any | None" = None,
+    capacity: int = DEFAULT_SHM_CAPACITY,
+    max_reconnect_attempts: int = 2,
+) -> "tuple":
+    """A connected reliable shm client; returns ``(link, transport)``."""
+    from .transport import ReliableLink
+
+    link = ReliableLink(
+        node_id, ack_timeout=ack_timeout, max_attempts=max_attempts,
+        tracer=tracer, metrics=metrics,
+    )
+    transport = ShmTransport(
+        path, node_id, on_reply=link.on_reply, codec=codec,
+        fault_plan=fault_plan, tracer=tracer, metrics=metrics,
+        capacity=capacity, max_reconnect_attempts=max_reconnect_attempts,
+    )
+    transport.connect()
+    return link.attach(transport), transport
+
+
+class ShmPeerHost:
+    """Shared-memory peer mesh with TCP fallback for remote peers.
+
+    ``serve`` starts one :class:`ShmServer` per worker; addresses are
+    ``shm://<uds-path>``.  ``connect`` dispatches on the address scheme:
+    ``shm://`` dials the ring-buffer link, ``tcp://`` (a peer on
+    another host, or one that opted out) falls back to exactly the
+    :class:`~repro.net.peers.TcpPeerHost` link — so mixed meshes
+    degrade per-link, never per-job.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_SHM_CAPACITY):
+        self.capacity = capacity
+        self._servers: "dict[str, ShmServer]" = {}
+        self._lock = threading.Lock()
+
+    def serve(self, core: ServerCore, worker_id: str) -> str:
+        server = ShmServer(
+            core, tracer=core.tracer, metrics=core.metrics
+        ).start()
+        addr = f"shm://{server.path}"
+        with self._lock:
+            self._servers[addr] = server
+        return addr
+
+    def connect(
+        self,
+        addr: str,
+        node_id: str,
+        fault_plan=None,
+        ack_timeout: float = 0.5,
+        max_attempts: int = 10,
+        tracer=None,
+        metrics=None,
+    ):
+        from .peers import peer_scheme
+
+        scheme = peer_scheme(addr)
+        if scheme == "tcp":
+            from .peers import TcpPeerHost
+
+            return TcpPeerHost().connect(
+                addr, node_id, fault_plan=fault_plan,
+                ack_timeout=ack_timeout, max_attempts=max_attempts,
+                tracer=tracer, metrics=metrics,
+            )
+        if scheme != "shm":
+            raise ValueError(
+                f"ShmPeerHost cannot connect to {addr!r} "
+                f"(scheme {scheme!r} has no shm or tcp path)"
+            )
+        path = addr[len("shm://"):]
+        if not path:
+            raise ValueError(f"malformed shm peer address: {addr!r}")
+        if not os.path.exists(path):
+            raise TransportClosed(f"no peer serving {addr!r}")
+        try:
+            link, _transport = shm_link(
+                path, node_id, fault_plan=fault_plan,
+                ack_timeout=ack_timeout, max_attempts=max_attempts,
+                tracer=tracer, metrics=metrics, capacity=self.capacity,
+            )
+        except (OSError, wire.WireError) as exc:
+            raise TransportClosed(f"no peer serving {addr!r}: {exc}") from exc
+        return link
+
+    def release(self, addr: str) -> None:
+        with self._lock:
+            server = self._servers.pop(addr, None)
+        if server is not None:
+            server.close()
+
+    def close(self) -> None:
+        with self._lock:
+            servers, self._servers = list(self._servers.values()), {}
+        for server in servers:
+            server.close()

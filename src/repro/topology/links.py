@@ -90,6 +90,25 @@ class BandwidthProfile:
     shm: LinkSpec = LinkSpec(peak_bandwidth=6.0e9, latency=25e-6)
     net: LinkSpec = LinkSpec(peak_bandwidth=5.0e9, latency=65e-6)
 
+    @classmethod
+    def measured_loopback(cls) -> "BandwidthProfile":
+        """A profile calibrated to this repo's own transports on one host.
+
+        Numbers come from ``benchmarks/results/data_plane_sweep.txt``
+        (64 MB binary frames for peak bandwidth, 1 KB frames for
+        latency): in-process links pass references and are bounded by
+        host memcpy (~1.5 GB/s here), the ``shm://`` ring moves one copy
+        through shared memory (~1.35 GB/s, ~140 us per frame), and
+        loopback TCP pays two socket copies (~1.05 GB/s, ~360 us).  The
+        paper's P2P > SHM > NET ordering holds for the software
+        transports too.
+        """
+        return cls(
+            p2p=LinkSpec(peak_bandwidth=1.5e9, latency=5e-6),
+            shm=LinkSpec(peak_bandwidth=1.35e9, latency=140e-6),
+            net=LinkSpec(peak_bandwidth=1.05e9, latency=360e-6),
+        )
+
     def spec(self, transport: Transport) -> LinkSpec:
         """The :class:`LinkSpec` of ``transport``."""
         return {

@@ -1,0 +1,208 @@
+"""Peer-host lifecycle tests, parametrized over all three transports."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.coordination.messages import MessageType
+from repro.net import (
+    MemoryPeerHost,
+    ServerCore,
+    ShmPeerHost,
+    TcpPeerHost,
+    TransportClosed,
+)
+from repro.net.peers import parse_peer_addr, peer_scheme
+
+
+def make_core(tag="srv"):
+    return ServerCore(handler=lambda m: {"ok": True, "tag": tag},
+                      node_id=tag)
+
+
+@pytest.fixture(params=["memory", "tcp", "shm"])
+def host(request):
+    built = {
+        "memory": MemoryPeerHost,
+        "tcp": TcpPeerHost,
+        "shm": ShmPeerHost,
+    }[request.param]()
+    yield built
+    built.close()
+
+
+class TestPeerHostLifecycle:
+    def test_serve_connect_round_trip(self, host):
+        addr = host.serve(make_core(), "w0")
+        assert peer_scheme(addr) in ("mem", "tcp", "shm")
+        link = host.connect(addr, "w1")
+        try:
+            assert link.request(MessageType.ACK, {})["ok"] is True
+        finally:
+            link.close()
+
+    def test_connect_after_release_raises(self, host):
+        addr = host.serve(make_core(), "w0")
+        host.release(addr)
+        with pytest.raises(TransportClosed):
+            host.connect(addr, "w1")
+
+    def test_release_is_idempotent(self, host):
+        addr = host.serve(make_core(), "w0")
+        host.release(addr)
+        host.release(addr)
+
+    def test_re_serve_same_worker_after_release(self, host):
+        first = host.serve(make_core("first"), "w0")
+        host.release(first)
+        second = host.serve(make_core("second"), "w0")
+        link = host.connect(second, "w1")
+        try:
+            assert link.request(MessageType.ACK, {})["tag"] == "second"
+        finally:
+            link.close()
+
+    def test_close_mid_send_fails_the_request_not_the_process(self, host):
+        from repro.net import RequestTimeout
+
+        addr = host.serve(make_core(), "w0")
+        link = host.connect(addr, "w1", ack_timeout=0.1, max_attempts=2)
+        try:
+            assert link.request(MessageType.ACK, {})["ok"] is True
+            host.close()
+            with pytest.raises((RequestTimeout, TransportClosed)):
+                link.request(
+                    MessageType.ACK,
+                    {"arr": np.zeros(16), "after": "close"},
+                )
+        finally:
+            link.close()
+
+
+class TestCrossScheme:
+    def test_memory_host_rejects_foreign_schemes(self):
+        host = MemoryPeerHost()
+        try:
+            for addr in ("tcp://127.0.0.1:1", "shm:///tmp/x.sock"):
+                with pytest.raises(ValueError, match="mem://"):
+                    host.connect(addr, "w1")
+        finally:
+            host.close()
+
+    def test_tcp_host_rejects_foreign_schemes(self):
+        host = TcpPeerHost()
+        try:
+            for addr in ("mem://w0", "shm:///tmp/x.sock"):
+                with pytest.raises(ValueError, match="tcp://"):
+                    host.connect(addr, "w1")
+        finally:
+            host.close()
+
+    def test_shm_host_rejects_mem_but_falls_back_to_tcp(self):
+        shm_host = ShmPeerHost()
+        tcp_host = TcpPeerHost()
+        try:
+            with pytest.raises(ValueError):
+                shm_host.connect("mem://w0", "w1")
+            addr = tcp_host.serve(make_core("remote"), "w0")
+            link = shm_host.connect(addr, "w1")
+            try:
+                assert link.request(MessageType.ACK, {})["tag"] == "remote"
+            finally:
+                link.close()
+        finally:
+            tcp_host.close()
+            shm_host.close()
+
+
+class TestMemoryHostRace:
+    def test_connect_loses_race_with_release(self, monkeypatch):
+        """A release between registry lookup and link construction must
+        surface as TransportClosed, never hand out a link to a retired
+        core."""
+        host = MemoryPeerHost()
+        core = make_core()
+        addr = host.serve(core, "w0")
+
+        import repro.net.peers as peers_mod
+
+        real_memory_link = peers_mod.memory_link
+
+        def racing_link(*args, **kwargs):
+            link = real_memory_link(*args, **kwargs)
+            host.release(addr)  # the race: release wins mid-connect
+            return link
+
+        monkeypatch.setattr(peers_mod, "memory_link", racing_link)
+        with pytest.raises(TransportClosed, match="released during connect"):
+            host.connect(addr, "w1")
+        host.close()
+
+    def test_connect_loses_race_with_close(self, monkeypatch):
+        host = MemoryPeerHost()
+        addr = host.serve(make_core(), "w0")
+
+        import repro.net.peers as peers_mod
+
+        real_memory_link = peers_mod.memory_link
+
+        def racing_link(*args, **kwargs):
+            link = real_memory_link(*args, **kwargs)
+            host.close()
+            return link
+
+        monkeypatch.setattr(peers_mod, "memory_link", racing_link)
+        with pytest.raises(TransportClosed):
+            host.connect(addr, "w1")
+
+    def test_concurrent_release_and_close_is_clean(self):
+        host = MemoryPeerHost()
+        addrs = [host.serve(make_core(), f"w{i}") for i in range(8)]
+        threads = [
+            threading.Thread(target=host.release, args=(addr,))
+            for addr in addrs
+        ] + [threading.Thread(target=host.close) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert all(not t.is_alive() for t in threads)
+        with pytest.raises(TransportClosed):
+            host.serve(make_core(), "w9")
+
+
+class TestAddressParsing:
+    def test_scheme_dispatch(self):
+        assert peer_scheme("mem://w0") == "mem"
+        assert peer_scheme("tcp://127.0.0.1:9999") == "tcp"
+        assert peer_scheme("shm:///tmp/peer.sock") == "shm"
+
+    def test_unknown_scheme_rejected(self):
+        for bad in ("udp://x:1", "w0", "tcp:/oops", "://host:1"):
+            with pytest.raises(ValueError, match="unknown peer address"):
+                peer_scheme(bad)
+
+    def test_empty_endpoint_rejected(self):
+        for bad in ("mem://", "tcp://", "shm://"):
+            with pytest.raises(ValueError, match="no endpoint"):
+                peer_scheme(bad)
+
+    def test_parse_valid_tcp_addr(self):
+        assert parse_peer_addr("tcp://127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert parse_peer_addr("tcp://[::1]:443") == ("[::1]", 443)
+
+    def test_parse_rejects_non_tcp(self):
+        with pytest.raises(ValueError, match="not a tcp"):
+            parse_peer_addr("mem://w0")
+
+    def test_parse_rejects_empty_host_or_bad_port(self):
+        for bad in ("tcp://:8080", "tcp://host:", "tcp://host:abc",
+                    "tcp://host:-1"):
+            with pytest.raises(ValueError, match="malformed"):
+                parse_peer_addr(bad)
+
+    def test_parse_rejects_out_of_range_ports(self):
+        for bad in ("tcp://host:0", "tcp://host:65536", "tcp://host:99999"):
+            with pytest.raises(ValueError, match="out of range"):
+                parse_peer_addr(bad)

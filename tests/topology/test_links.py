@@ -73,6 +73,16 @@ class TestBandwidthProfile:
         assert profile.spec(Transport.SHM) is profile.shm
         assert profile.spec(Transport.NET) is profile.net
 
+    def test_measured_loopback_keeps_figure8_ordering(self):
+        """The profile calibrated to this repo's own transports (PR 9
+        data-plane sweep) preserves P2P > SHM > NET."""
+        measured = BandwidthProfile.measured_loopback()
+        for size in (64 * KB, MB, 16 * MB, 256 * MB):
+            p2p = measured.p2p.effective_bandwidth(size)
+            shm = measured.shm.effective_bandwidth(size)
+            net = measured.net.effective_bandwidth(size)
+            assert p2p > shm > net, f"ordering violated at size {size}"
+
     def test_resnet50_replication_is_subsecond(self, profile):
         """Sanity: a ResNet-50 state (~100MB params + optimizer) replicates
         in well under a second over P2P — consistent with the paper's ~1s
