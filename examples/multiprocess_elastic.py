@@ -45,6 +45,19 @@ drill: the AM journals to disk and worker leases are enabled):
   run then asserts the fencing epoch bumped and an ``am.failover``
   instant landed in the trace.
 
+Sharded-migration knobs (docs/PROTOCOL.md "Sharded replication"):
+
+* ``ELAN_SHARDS`` — number of shard owners for the scale-out snapshot
+  (0, the default, keeps the monolithic AM fan-out; 2 makes w0 and w1
+  each freeze the snapshot and serve disjoint shard halves directly to
+  the joiners over the peer mesh),
+* ``ELAN_ZERO`` — nonzero enables the ZeRO-style sharded optimizer
+  axis (each worker persists only its optimizer shard),
+* ``ELAN_SHARD_OWNER_KILL`` — hard-kill shard owner w0 after it served
+  this many shard chunks (mid-fetch); the joiners must re-plan the
+  dead owner's shards onto the surviving owner (or the AM), the lease
+  supervisor must evict w0, and the final digests must still agree.
+
 Observability knobs:
 
 * ``ELAN_TRACE=/path/to/trace.json`` — export the AM-side trace
@@ -84,7 +97,13 @@ def main() -> int:
     tracer = Tracer(process="elan-net")
     worker_kill_iter = _env_opt_int("ELAN_WORKER_KILL_ITER")
     am_kill_iter = _env_opt_int("ELAN_AM_KILL_ITER")
-    chaos = worker_kill_iter is not None or am_kill_iter is not None
+    shards = _env_int("ELAN_SHARDS", 0)
+    shard_owner_kill = _env_opt_int("ELAN_SHARD_OWNER_KILL")
+    chaos = (
+        worker_kill_iter is not None
+        or am_kill_iter is not None
+        or shard_owner_kill is not None
+    )
     spec = JobSpec(
         iterations=_env_int("ELAN_ITERS", 40),
         coordination_interval=4,
@@ -100,6 +119,10 @@ def main() -> int:
         # Live telemetry: the knob rides the join reply, so setting it
         # here is all it takes for every worker process to ship.
         telemetry_interval=float(os.environ.get("ELAN_TELEMETRY", "0.5")),
+        # Sharded migration: the scale-out snapshot fans in from this
+        # many owner peers instead of trickling out of the AM alone.
+        replication_shards=shards,
+        zero_optimizer=_env_int("ELAN_ZERO", 0) > 0,
     )
     trace_dir = os.environ.get(
         "ELAN_WORKER_TRACE_DIR"
@@ -121,7 +144,12 @@ def main() -> int:
     # w0's 6th AM send dies with its connection, and so does its 5th
     # ring peer send: both transports must reconnect and retransmit
     # without any receiver executing anything twice.
-    job.start(faults={"w0": {"reset_at": (6,), "peer_reset_at": (5,)}})
+    w0_faults = {"reset_at": (6,), "peer_reset_at": (5,)}
+    if shard_owner_kill is not None:
+        # ... and, as a shard owner, w0 hard-exits after serving this
+        # many shard chunks: a mid-fetch owner death.
+        w0_faults["shard_die_after"] = shard_owner_kill
+    job.start(faults={"w0": w0_faults})
     killed_worker = None
     try:
         job.wait_until_iteration(4, timeout=30)
@@ -132,6 +160,15 @@ def main() -> int:
         status = job.wait_for_adjustments(1, timeout=30)
         print(f"  committed in {status['commit_latencies'][0] * 1e3:.0f} ms: "
               f"group {status['group']}")
+
+        if shard_owner_kill is not None:
+            # w0 died mid-fetch while serving shard chunks; the joiners
+            # re-planned its shards onto w1/the AM and the lease
+            # supervisor must now evict the corpse.
+            status = job.wait_for_adjustments(2, timeout=60)
+            print("chaos: shard owner w0 died mid-fetch; lease eviction "
+                  f"committed: group {status['group']}")
+            assert "w0" not in status["group"], status
 
         if worker_kill_iter is not None:
             killed_worker = os.environ.get("ELAN_WORKER_KILL", "w3")
@@ -156,14 +193,19 @@ def main() -> int:
     finally:
         job.shutdown()
 
-    survivors = 4 - (1 if killed_worker else 0)
+    dead = {killed_worker} if killed_worker else set()
+    if shard_owner_kill is not None:
+        dead.add("w0")
+    survivors = 4 - len(dead)
     digests = set(final["digests"].values())
     workers = sorted(final["digests"])
     print(f"final digests from {workers}: "
           f"{'consistent' if len(digests) == 1 else 'DIVERGED'}")
     assert len(final["digests"]) == survivors, final["digests"]
     assert len(digests) == 1, final["digests"]
-    expected_commits = 1 + (1 if killed_worker else 0)
+    expected_commits = 1 + (1 if killed_worker else 0) + (
+        1 if shard_owner_kill is not None else 0
+    )
     assert final["adjustments_committed"] == expected_commits, final
     if chaos:
         # The successor's listener only sees the post-failover
@@ -187,10 +229,48 @@ def main() -> int:
           f"{job.server.bytes_sent} frame bytes written by the AM")
     if chaos:
         assert snap.get("net.transfers.completed", 0) >= 1
+    elif shards:
+        # Sharded fan-in: the owners served the chunks peer-side, so
+        # the AM streamed nothing beyond the upload it ingested.
+        assert snap.get("net.transfers.completed", 0) == 1
     else:
         assert snap.get("net.transfers.completed", 0) == 1
         assert snap.get("net.chunks.served", 0) == 2 * chunks
     assert chunks >= 1
+
+    if shards:
+        planned = int(snap.get("net.shards.planned", 0))
+        joins = snap.get("net.shards.joins_completed", 0)
+        print(f"sharded migration: {planned} shards planned, "
+              f"{joins} sharded joins completed")
+        # The plan is chunk-aligned, so a snapshot smaller than the
+        # owner count clamps to one shard per chunk.
+        assert planned >= min(shards, int(chunks)), snap
+        assert joins == 2, snap
+        # Both joiners fanned in shard-by-shard: their own traces carry
+        # one replicate.shard_fetch span per shard they pulled.
+        joiner_events = []
+        for worker in ("w2", "w3"):
+            joiner_events += load_trace_events(job.worker_trace_path(worker))
+        shard_spans = [
+            e for e in joiner_events
+            if e.get("name") == "replicate.shard_fetch"
+        ]
+        assert len(shard_spans) >= 2 * planned, len(shard_spans)
+        if shard_owner_kill is not None:
+            # w0 owned shard 0 and died mid-fetch: at least one joiner
+            # must have re-planned that shard onto the surviving owner
+            # (or fallen back to the AM).
+            replanned = [
+                e for e in shard_spans
+                if e.get("args", {}).get("shard") == 0
+                and e.get("args", {}).get("source") in ("w1", "am")
+            ]
+            assert replanned, [e.get("args") for e in shard_spans]
+            sources = sorted({
+                e.get("args", {}).get("source") for e in replanned
+            })
+            print(f"  shard 0 re-planned off dead owner w0 onto {sources}")
 
     # The ring took the AM out of the gradient hot path: each original
     # worker only rendezvoused at the AM for the pre-activation,
@@ -201,6 +281,13 @@ def main() -> int:
     print(f"AM sync executions per worker: {syncs} over "
           f"{spec.iterations} iterations ({fallbacks} ring fallbacks)")
     for worker in ("w0", "w1"):
+        if worker in dead:
+            continue
+        if shard_owner_kill is not None:
+            # The dead owner breaks the ring until its lease eviction
+            # commits, so the survivors fall back to AM syncs freely.
+            assert syncs[worker] > 0, syncs
+            continue
         if am_kill_iter is not None:
             # The successor's dedup table starts empty, so executions
             # only count post-failover syncs — the final barrier at
@@ -240,6 +327,11 @@ def main() -> int:
             assert mttr and mttr["count"] >= 1, mttr
             print(f"recovery: detected {killed_worker} in "
                   f"{detect['mean']:.3f}s, repaired in {mttr['mean']:.3f}s")
+        if shard_owner_kill is not None:
+            detect = snap.get("failure.detection_latency_seconds")
+            assert detect and detect["count"] >= 1, detect
+            print(f"recovery: dead shard owner w0 lease-detected in "
+                  f"{detect['mean']:.3f}s")
 
     if spec.telemetry_interval > 0:
         # Every surviving worker shipped its registry and trace buffer
@@ -275,6 +367,9 @@ def main() -> int:
             for worker in workers:
                 if worker != killed_worker:
                     assert worker in processes, (worker, processes)
+            if shards:
+                merged_names = {e.get("name") for e in merged}
+                assert "replicate.shard_fetch" in merged_names, fleet_trace
             print(f"merged fleet trace ({count} events, processes "
                   f"{sorted(processes)}) -> {fleet_trace}")
 

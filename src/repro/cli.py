@@ -476,6 +476,8 @@ def cmd_serve(args) -> int:
         ring_codec=args.ring_codec,
         worker_lease_ttl=args.lease_ttl,
         telemetry_interval=args.telemetry_interval,
+        replication_shards=args.shards,
+        zero_optimizer=args.zero_optimizer,
     )
     workers = [f"w{i}" for i in range(args.workers)]
     tracer = Tracer(process="elan-net") if args.trace else None
@@ -567,6 +569,7 @@ def cmd_join(args) -> int:
         peer_host=peer_host, peer_fault_plan=peer_plan,
         ring_fail_at=tuple(args.ring_fail_at or ()),
         die_at_iteration=args.die_at,
+        shard_die_after=args.shard_die_after,
     )
     try:
         result = agent.run()
@@ -934,6 +937,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workers ship metric/trace deltas this often "
                             "in seconds (0 disables; rides the join "
                             "reply, so no worker flag is needed)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="shard owners per adjustment: joiners fan in "
+                            "shard slices from this many survivors over "
+                            "the peer mesh (0 = monolithic fan-out)")
+    serve.add_argument("--zero-optimizer", action="store_true",
+                       help="ZeRO-style sharded optimizer state: each "
+                            "worker persists only its rank's velocity "
+                            "shard (resharded at every adjustment)")
 
     join = sub.add_parser(
         "join", help="run one worker agent against a serving AM"
@@ -977,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--die-at", type=int, default=None,
                       help="silently crash before computing this iteration "
                            "(chaos; exits 9)")
+    join.add_argument("--shard-die-after", type=int, default=None,
+                      help="hard-exit (code 9) after serving this many "
+                           "shard chunks from the peer endpoint — a shard "
+                           "owner dying mid-fetch (chaos)")
 
     soak = sub.add_parser(
         "soak", help="chaos-soak an elastic job and check goodput/MTTR SLOs"

@@ -38,8 +38,14 @@ from ..coordination.messages import MessageType
 from ..training.architectures import mlp_architecture
 from ..training.dataloader import SerialLoader
 from ..training.datasets import make_classification
-from ..training.optim import MomentumSGD
-from .chunks import ChunkedFetcher, ChunkedUploader
+from ..training.optim import MomentumSGD, ShardedMomentumSGD
+from .chunks import (
+    ChunkedFetcher,
+    ChunkedUploader,
+    ShardedFetcher,
+    ShardStore,
+    StateBlob,
+)
 from .collective import RingDegraded, RingMailbox, RingNode
 from .master_service import JobSpec
 from .telemetry import TelemetryShipper
@@ -83,6 +89,8 @@ class WorkerAgent:
         ring_fail_at: "typing.Collection[int]" = (),
         backoff: "ExponentialBackoff | None" = None,
         die_at_iteration: "int | None" = None,
+        stale_state: "dict | None" = None,
+        shard_die_after: "int | None" = None,
     ):
         self.worker_id = worker_id
         self.link = link
@@ -101,6 +109,14 @@ class WorkerAgent:
         #: chaos knob: raise :class:`SilentCrash` before computing this
         #: iteration — the thread-level analogue of ``kill -9``.
         self.die_at_iteration = die_at_iteration
+        #: delta rejoin: a stale snapshot this worker still holds from a
+        #: previous incarnation; shards whose digests match are adopted
+        #: locally instead of fetched.
+        self.stale_state = stale_state
+        #: chaos knob for the sharded plane: hard-exit the process after
+        #: serving this many shard chunks — a shard owner dying
+        #: mid-fetch, from the joiner's point of view.
+        self.shard_die_after = shard_die_after
         self.iterations_run = 0
         self.removed = False
         self.joined_at: "int | None" = None
@@ -120,8 +136,15 @@ class WorkerAgent:
         #: live telemetry shipper (built from the admitted JobSpec when
         #: ``spec.telemetry_interval > 0``).
         self.telemetry: "TelemetryShipper | None" = None
+        #: the state this replica held when it left the job (scale-in or
+        #: completion) — a rejoin harness feeds it back as
+        #: ``stale_state`` to exercise the delta path.
+        self.final_state: "dict | None" = None
+        #: ZeRO mode: the rank's persisted optimizer shard at exit.
+        self.zero_shard: "dict | None" = None
         self._ring_node: "RingNode | None" = None
         self._mailbox: "RingMailbox | None" = None
+        self._shard_store: "ShardStore | None" = None
         self._joined = False
         self._am_epoch: "int | None" = None
         self._enroll_needed = False
@@ -288,12 +311,37 @@ class WorkerAgent:
         self.telemetry.start()
 
     def _serve_peer(self) -> None:
-        """Start this worker's peer endpoint before reporting in."""
+        """Start this worker's peer endpoint before reporting in.
+
+        The endpoint multiplexes two planes: ring traffic goes to the
+        mailbox, ``STATE_FETCH`` goes to the shard store (this worker
+        serving frozen snapshot shards to joiners).
+        """
         if self.peer_host is None:
             return
         self._mailbox = RingMailbox(metrics=self.metrics)
+        on_serve = None
+        if self.shard_die_after is not None:
+            limit = int(self.shard_die_after)
+
+            def on_serve(count: int) -> None:
+                if count >= limit:
+                    # The process-level analogue of a SIGKILL mid-serve:
+                    # joiners see the link drop and must re-plan.
+                    import os
+                    os._exit(9)
+
+        self._shard_store = ShardStore(metrics=self.metrics, on_serve=on_serve)
+
+        def handle(message):
+            if message.msg_type is MessageType.STATE_FETCH:
+                return self._shard_store.handle_fetch(
+                    message.sender, message.payload
+                )
+            return self._mailbox.handle(message)
+
         core = ServerCore(
-            self._mailbox.handle,
+            handle,
             node_id=f"{self.worker_id}/peer",
             tracer=self.tracer,
             metrics=self.metrics,
@@ -517,10 +565,43 @@ class WorkerAgent:
             spec.input_dim, spec.hidden_dim, spec.num_classes
         )
         loader = SerialLoader(dataset_size=spec.train_size, seed=spec.seed)
-        optimizer = MomentumSGD(spec.base_lr, momentum=spec.momentum)
+        if spec.zero_optimizer:
+            optimizer = ShardedMomentumSGD(
+                spec.base_lr, momentum=spec.momentum,
+                rank=group.index(self.worker_id) if self.worker_id in group
+                else 0,
+                world=max(1, len(group)),
+            )
+        else:
+            optimizer = MomentumSGD(spec.base_lr, momentum=spec.momentum)
         state = admission.get("state")
         transfer = admission.get("state_transfer")
-        if transfer:
+        if transfer and transfer.get("shards"):
+            # Sharded offer: fan in from every shard owner concurrently
+            # over the peer mesh (the AM only gates rounds and backstops
+            # dead owners), adopting matching shards from any stale
+            # local snapshot first.
+            connect = None
+            if self.peer_host is not None:
+                def connect(addr):
+                    return self.peer_host.connect(
+                        addr,
+                        node_id=self.worker_id,
+                        fault_plan=self.peer_fault_plan,
+                        ack_timeout=spec.ring_ack_timeout,
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                    )
+            fetcher = ShardedFetcher(
+                self.link,
+                connect=connect,
+                window=spec.replication_window,
+                timeout=spec.allreduce_timeout,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            state = fetcher.fetch(transfer, stale_state=self.stale_state)
+        elif transfer:
             # The offer names a chunked snapshot; pull it through the
             # replication data plane (round-gated by the AM per the
             # replication plan), verify, and decode.
@@ -560,6 +641,22 @@ class WorkerAgent:
                 self.tracer.instant(
                     "worker.evicted", track=self.worker_id, cat="failover",
                     iteration=self._iteration,
+                )
+
+        # Keep the departing replica's state: a rejoin harness hands it
+        # back as ``stale_state`` so the delta path can skip unchanged
+        # shards.  References, not copies — nothing mutates them after
+        # the loop.
+        self.final_state = {
+            "params": params,
+            "optimizer": optimizer.state_dict(),
+            "loader": loader.state_dict(),
+        }
+        if isinstance(optimizer, ShardedMomentumSGD):
+            self.zero_shard = optimizer.shard_state_dict()
+            if self.metrics is not None:
+                self.metrics.counter("training.zero.shard_bytes").inc(
+                    int(self.zero_shard["slice"].nbytes)
                 )
 
         if self.telemetry is not None:
@@ -619,6 +716,29 @@ class WorkerAgent:
                 )
                 self._install_ring(directive.get("ring"))
                 if directive["kind"] == "adjust":
+                    shard_spec = directive.get("shards")
+                    if (
+                        shard_spec
+                        and self._shard_store is not None
+                        and self.worker_id in shard_spec.get("owners", ())
+                    ):
+                        # Elected shard owner: freeze the (bit-identical)
+                        # snapshot blob under the plan's deterministic
+                        # transfer id and serve it from the peer thread
+                        # while training continues.  Safe to encode here:
+                        # training is paused at this boundary, and
+                        # ``register`` copies the bytes out of the views.
+                        blob = StateBlob.encode(
+                            {
+                                "params": params,
+                                "optimizer": optimizer.state_dict(),
+                                "loader": loader.state_dict(),
+                            },
+                            chunk_bytes=spec.chunk_bytes,
+                        )
+                        self._shard_store.register(
+                            shard_spec["transfer_id"], blob
+                        )
                     if directive.get("upload"):
                         # Stream the snapshot through the chunked data
                         # plane: the blob views the live tensors, which
@@ -637,6 +757,10 @@ class WorkerAgent:
                                 "optimizer": optimizer.state_dict(),
                                 "loader": loader.state_dict(),
                             },
+                            transfer_id=(
+                                shard_spec["transfer_id"]
+                                if shard_spec else None
+                            ),
                             context={"iteration": iteration},
                         )
                     group[:] = directive["group"]
@@ -644,6 +768,12 @@ class WorkerAgent:
                     self._generation = generation
                     if self.worker_id not in group:
                         return True
+                    if isinstance(optimizer, ShardedMomentumSGD):
+                        # The worker count changed: re-slice the flat
+                        # velocity space along the new world size.
+                        optimizer.reshard(
+                            group.index(self.worker_id), len(group)
+                        )
 
             if (
                 self.die_at_iteration is not None

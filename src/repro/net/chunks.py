@@ -24,6 +24,22 @@ retries only the in-flight message ids — and the assembler keeps what
 it has, so an upload continues from the last acked chunk rather than
 restarting.  The same property holds verbatim on ``InMemoryTransport``
 and ``TcpTransport``; chunking happens *above* the transport seam.
+
+Sharded migration
+-----------------
+
+On top of the chunk geometry sits a deterministic *shard plan*
+(:func:`shard_ranges` / :meth:`StateBlob.shard_plan`): the blob is
+partitioned into ``k`` contiguous, chunk-aligned, digest-addressed
+shards.  Because every healthy worker holds a bit-identical replica,
+any of them can encode the same blob and serve any shard of it —
+:class:`ShardStore` is that owner-side registry (frozen bytes, TTL
+eviction, chunk serving), and :class:`ShardedFetcher` is the joiner
+side: one pipelined fetch loop per source peer concurrently (fan-in
+bandwidth instead of the single-uploader bottleneck), per-shard
+digests for delta rejoin (matching shards are adopted from a stale
+local blob instead of fetched), and re-planning onto surviving owners
+— or the AM's full copy — when a shard owner dies mid-fetch.
 """
 
 from __future__ import annotations
@@ -35,6 +51,7 @@ import threading
 import time
 import typing
 
+from ..coordination.faults import ExponentialBackoff
 from ..coordination.messages import MessageType
 from . import wire
 from .transport import RetryableError
@@ -54,6 +71,48 @@ _LENGTH = wire._LENGTH
 
 def _digest(data) -> str:
     return hashlib.sha256(_flat_view(data)).hexdigest()
+
+
+def shard_ranges(
+    total_chunks: int, chunk_bytes: int, total_bytes: int, count: int,
+) -> "list[dict]":
+    """The deterministic shard plan for one blob geometry.
+
+    The chunk sequence space is partitioned into ``count`` contiguous,
+    chunk-aligned ranges (never more shards than chunks); remainder
+    chunks go to the lowest-indexed shards, so the partition is a pure
+    function of the geometry — every party (AM, shard owners, joiners)
+    derives the identical plan without exchanging it.  Each shard is a
+    dict of ``index`` plus half-open chunk/byte ranges; digests are
+    added by whoever holds the bytes (:meth:`StateBlob.shard_plan`).
+    """
+    total_chunks = int(total_chunks)
+    total_bytes = int(total_bytes)
+    chunk_bytes = int(chunk_bytes)
+    if count < 1:
+        raise ValueError(f"shard count must be positive, got {count}")
+    if total_chunks != max(1, math.ceil(max(0, total_bytes) / chunk_bytes)):
+        raise WireError(
+            f"shard plan claims {total_chunks} chunks for {total_bytes} "
+            f"bytes at {chunk_bytes} bytes/chunk"
+        )
+    count = min(int(count), total_chunks)
+    base, extra = divmod(total_chunks, count)
+    shards: "list[dict]" = []
+    start_chunk = 0
+    for index in range(count):
+        end_chunk = start_chunk + base + (1 if index < extra else 0)
+        start_byte = start_chunk * chunk_bytes
+        end_byte = min(end_chunk * chunk_bytes, total_bytes)
+        shards.append({
+            "index": index,
+            "start_chunk": start_chunk,
+            "end_chunk": end_chunk,
+            "start_byte": start_byte,
+            "end_byte": end_byte,
+        })
+        start_chunk = end_chunk
+    return shards
 
 
 class StateBlob:
@@ -116,6 +175,41 @@ class StateBlob:
     def chunk_digest(self, seq: int) -> str:
         return _digest(self.chunk(seq))
 
+    def byte_range(self, start: int, end: int) -> bytes:
+        """A copy of the blob's bytes in ``[start, end)``."""
+        if not 0 <= start <= end <= self.total_bytes:
+            raise IndexError(f"byte range [{start}, {end}) of {self.total_bytes}")
+        parts = []
+        for view, vstart in zip(self._views, self._starts):
+            vend = vstart + view.nbytes
+            if vend <= start or vstart >= end:
+                continue
+            parts.append(view[max(start, vstart) - vstart:min(end, vend) - vstart])
+        return b"".join(bytes(part) for part in parts)
+
+    def tobytes(self) -> bytes:
+        """A frozen copy of the whole blob (shard owners freeze this
+        at the commit boundary; the views themselves alias live
+        tensors that mutate once training resumes)."""
+        return self.byte_range(0, self.total_bytes)
+
+    def shard_plan(self, count: int) -> "list[dict]":
+        """:func:`shard_ranges` for this blob, digests filled in.
+
+        Each shard's sha256 covers exactly its byte range, and the
+        ranges tile the blob — so hashing the shards' bytes in index
+        order reproduces :attr:`digest` (the composition property the
+        delta-rejoin digest exchange relies on).
+        """
+        shards = shard_ranges(
+            self.total_chunks, self.chunk_bytes, self.total_bytes, count
+        )
+        for shard in shards:
+            shard["digest"] = _digest(
+                self.byte_range(shard["start_byte"], shard["end_byte"])
+            )
+        return shards
+
     def describe(self, transfer_id: str) -> dict:
         """The transfer descriptor shipped inside join offers."""
         return {
@@ -167,7 +261,8 @@ class ChunkAssembler:
     """
 
     def __init__(self, transfer_id: str, total_bytes: int, total_chunks: int,
-                 chunk_bytes: int, codec: str = "json"):
+                 chunk_bytes: int, codec: str = "json",
+                 clock: "typing.Callable[[], float]" = time.monotonic):
         total_bytes = int(total_bytes)
         total_chunks = int(total_chunks)
         chunk_bytes = int(chunk_bytes)
@@ -186,7 +281,9 @@ class ChunkAssembler:
         self.buffer = bytearray(total_bytes)
         self.received: "set[int]" = set()
         self.duplicates = 0
-        self.started_at = time.monotonic()
+        self._clock = clock
+        self.started_at = clock()
+        self.last_activity = self.started_at
 
     def _expected_len(self, seq: int) -> int:
         start = seq * self.chunk_bytes
@@ -204,6 +301,7 @@ class ChunkAssembler:
             )
         if digest is not None and _digest(view) != digest:
             raise WireError(f"chunk {seq} failed its digest check")
+        self.last_activity = self._clock()
         if seq in self.received:
             self.duplicates += 1
             return False
@@ -211,6 +309,52 @@ class ChunkAssembler:
         self.buffer[start:start + view.nbytes] = view
         self.received.add(seq)
         return True
+
+    def adopt_shard(self, shard: dict, data, digest: "str | None" = None) -> int:
+        """Install one whole shard's bytes (delta rejoin / sub-blob path).
+
+        ``shard`` is a :func:`shard_ranges` entry; ``data`` must span
+        exactly its byte range and (when given) match ``digest``.  All
+        chunks the shard covers are marked received, so a transfer can
+        be completed from a mix of adopted shards and fetched chunks.
+        Returns the number of bytes adopted.
+        """
+        start_byte, end_byte = int(shard["start_byte"]), int(shard["end_byte"])
+        start_chunk, end_chunk = int(shard["start_chunk"]), int(shard["end_chunk"])
+        if not (
+            0 <= start_byte <= end_byte <= self.total_bytes
+            and 0 <= start_chunk <= end_chunk <= self.total_chunks
+        ):
+            raise WireError(f"shard out of range: {shard}")
+        view = _flat_view(data)
+        if view.nbytes != end_byte - start_byte:
+            raise WireError(
+                f"shard {shard.get('index')} is {view.nbytes} bytes, "
+                f"expected {end_byte - start_byte}"
+            )
+        if digest is not None and _digest(view) != digest:
+            raise WireError(
+                f"shard {shard.get('index')} failed its digest check"
+            )
+        self.last_activity = self._clock()
+        self.buffer[start_byte:end_byte] = view
+        self.received.update(range(start_chunk, end_chunk))
+        return view.nbytes
+
+    def shard_view(self, shard: dict) -> memoryview:
+        """The assembled bytes of one shard (its chunks must all be in)."""
+        missing = [
+            seq for seq in range(int(shard["start_chunk"]), int(shard["end_chunk"]))
+            if seq not in self.received
+        ]
+        if missing:
+            raise WireError(
+                f"shard {shard.get('index')} incomplete: "
+                f"{len(missing)} chunks missing"
+            )
+        return memoryview(self.buffer)[
+            int(shard["start_byte"]):int(shard["end_byte"])
+        ]
 
     @property
     def complete(self) -> bool:
@@ -240,18 +384,53 @@ class ChunkStore:
     master wraps it with its own gating (only the planned uploader may
     upload; fetches follow the replication plan's rounds) while chaos
     and property tests drive it bare behind a ``ServerCore``.
+
+    ``ttl`` bounds how long an idle assembler (a sender that died
+    mid-upload, or a finished sub-blob nobody finalized) is retained —
+    mirroring ``ServerCore.dedup_ttl`` — so a long-lived AM does not
+    accumulate dead sub-blob state until the next plan mint.  The sweep
+    runs inline on every handled message; evictions are counted under
+    ``net.transfers.evicted``.
     """
 
-    def __init__(self, metrics: "MetricRegistry | None" = None):
+    #: default idle TTL; deliberately the same bound as
+    #: ``ServerCore.dedup_ttl`` — a transfer idle longer than the reply
+    #: cache's memory of it cannot be resumed exactly-once anyway.
+    DEFAULT_TTL = 120.0
+
+    def __init__(self, metrics: "MetricRegistry | None" = None,
+                 ttl: "float | None" = DEFAULT_TTL,
+                 clock: "typing.Callable[[], float]" = time.monotonic):
         self._inflight: "dict[str, ChunkAssembler]" = {}
         self.metrics = metrics
+        self.ttl = ttl
+        self._clock = clock
         self.completed = 0
+        self.evicted = 0
 
     def assembler(self, sender: str) -> "ChunkAssembler | None":
         return self._inflight.get(sender)
 
+    def evict_expired(self, now: "float | None" = None) -> "list[str]":
+        """Drop assemblers idle past the TTL; returns evicted senders."""
+        if self.ttl is None or self.ttl <= 0:
+            return []
+        if now is None:
+            now = self._clock()
+        stale = [
+            sender for sender, assembler in self._inflight.items()
+            if now - assembler.last_activity > self.ttl
+        ]
+        for sender in stale:
+            del self._inflight[sender]
+            self.evicted += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.transfers.evicted").inc()
+        return stale
+
     def handle_chunk(self, sender: str, payload: dict) -> dict:
         """Apply one ``STATE_CHUNK``; returns the ack payload."""
+        self.evict_expired()
         transfer_id = payload.get("transfer_id")
         if not transfer_id:
             raise WireError("chunk carries no transfer id")
@@ -263,6 +442,7 @@ class ChunkStore:
                 total_chunks=payload.get("total_chunks", -1),
                 chunk_bytes=payload.get("chunk_bytes", 0),
                 codec=str(payload.get("codec", "json")),
+                clock=self._clock,
             )
             self._inflight[sender] = assembler
         fresh = assembler.add(
@@ -293,6 +473,7 @@ class ChunkStore:
         verifies; otherwise the reply says what is wrong and the
         transfer stays resumable.
         """
+        self.evict_expired()
         transfer_id = payload.get("transfer_id")
         assembler = self._inflight.get(sender)
         if assembler is None or assembler.transfer_id != transfer_id:
@@ -321,6 +502,129 @@ class ChunkStore:
             self._inflight.clear()
         else:
             self._inflight.pop(sender, None)
+
+
+class _ShardEntry:
+    """One frozen blob a shard owner serves (registered per transfer)."""
+
+    __slots__ = (
+        "data", "total_bytes", "total_chunks", "chunk_bytes",
+        "registered_at", "last_served", "_chunk_digests",
+    )
+
+    def __init__(self, data: bytes, chunk_bytes: int, now: float):
+        self.data = data
+        self.total_bytes = len(data)
+        self.chunk_bytes = int(chunk_bytes)
+        self.total_chunks = max(1, math.ceil(self.total_bytes / self.chunk_bytes))
+        self.registered_at = now
+        self.last_served = now
+        self._chunk_digests: "dict[int, str]" = {}
+
+    def chunk(self, seq: int) -> memoryview:
+        start = seq * self.chunk_bytes
+        return memoryview(self.data)[
+            start:min(start + self.chunk_bytes, self.total_bytes)
+        ]
+
+    def chunk_digest(self, seq: int) -> str:
+        digest = self._chunk_digests.get(seq)
+        if digest is None:
+            digest = self._chunk_digests[seq] = _digest(self.chunk(seq))
+        return digest
+
+
+class ShardStore:
+    """Owner-side shard serving: frozen blobs answered chunk by chunk.
+
+    Every healthy replica holds the full training state, so at a commit
+    boundary each elected shard owner encodes the (bit-identical) blob,
+    freezes its bytes here, and keeps training — the peer server thread
+    then answers joiners' ``STATE_FETCH`` requests for *any* chunk of
+    it.  Serving the whole frozen blob (not just the owned shards) is
+    what makes failover re-planning real: when a shard owner dies
+    mid-fetch, any surviving owner can serve the dead owner's shards.
+
+    Entries are evicted on a TTL (mirroring :class:`ChunkStore`) and
+    replaced on re-registration, so long-lived workers hold at most a
+    few adjustment snapshots transiently.
+
+    ``on_serve`` is a chaos seam: called with the running count of
+    served chunks *before* each reply, so a fault plan can kill the
+    owner mid-fetch at a deterministic serve index.
+    """
+
+    def __init__(self, metrics: "MetricRegistry | None" = None,
+                 ttl: "float | None" = ChunkStore.DEFAULT_TTL,
+                 clock: "typing.Callable[[], float]" = time.monotonic,
+                 on_serve: "typing.Callable[[int], None] | None" = None):
+        self._entries: "dict[str, _ShardEntry]" = {}
+        self._lock = threading.Lock()
+        self.metrics = metrics
+        self.ttl = ttl
+        self._clock = clock
+        self.on_serve = on_serve
+        self.served = 0
+        self.bytes_served = 0
+        self.evicted = 0
+
+    def register(self, transfer_id: str, blob: "StateBlob") -> int:
+        """Freeze ``blob`` under ``transfer_id``; returns frozen bytes."""
+        data = blob.tobytes()
+        now = self._clock()
+        with self._lock:
+            self._evict_expired_locked(now)
+            self._entries[str(transfer_id)] = _ShardEntry(
+                data, blob.chunk_bytes, now
+            )
+        if self.metrics is not None:
+            self.metrics.counter("net.shards.registered").inc()
+            self.metrics.counter("net.shards.bytes_frozen").inc(len(data))
+        return len(data)
+
+    def release(self, transfer_id: str) -> None:
+        with self._lock:
+            self._entries.pop(str(transfer_id), None)
+
+    def holds(self, transfer_id: str) -> bool:
+        with self._lock:
+            return str(transfer_id) in self._entries
+
+    def _evict_expired_locked(self, now: float) -> None:
+        if self.ttl is None or self.ttl <= 0:
+            return
+        for transfer_id in [
+            t for t, e in self._entries.items()
+            if now - e.last_served > self.ttl
+        ]:
+            del self._entries[transfer_id]
+            self.evicted += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.shards.evicted").inc()
+
+    def handle_fetch(self, sender: str, payload: dict) -> dict:
+        """Serve one chunk of a frozen blob (the peer-server handler)."""
+        transfer_id = str(payload.get("transfer_id"))
+        now = self._clock()
+        with self._lock:
+            self._evict_expired_locked(now)
+            entry = self._entries.get(transfer_id)
+            if entry is None:
+                return {"ok": False, "reason": "unknown transfer"}
+            entry.last_served = now
+            seq = payload.get("seq")
+            if not isinstance(seq, int) or not 0 <= seq < entry.total_chunks:
+                return {"ok": False, "reason": f"bad seq {seq!r}"}
+            if self.on_serve is not None:
+                self.on_serve(self.served)
+            chunk = entry.chunk(seq)
+            digest = entry.chunk_digest(seq)
+            self.served += 1
+            self.bytes_served += chunk.nbytes
+        if self.metrics is not None:
+            self.metrics.counter("net.shards.served").inc()
+            self.metrics.counter("net.shards.bytes_served").inc(chunk.nbytes)
+        return {"ok": True, "seq": seq, "data": chunk, "digest": digest}
 
 
 class TransferError(ConnectionError):
@@ -419,6 +723,7 @@ class ChunkedUploader:
         cheap and bounded.
         """
         blob = StateBlob.encode(state, self.codec, self.chunk_bytes)
+        fixed_id = transfer_id is not None
         restarts = 0
         fenced = 0
         while True:
@@ -438,7 +743,15 @@ class ChunkedUploader:
                         "net.transfer_restart", track=self.link.node_id,
                         cat="net", attempt=restarts, reason=str(exc),
                     )
-                transfer_id = None  # force a fresh id for the retry
+                # A caller-fixed id (the sharded plan's deterministic
+                # ``shard/g{generation}``) is kept across restarts: the
+                # receiver that answered ``restart`` has no assembler, so
+                # re-sending from seq 0 under the same id simply creates
+                # a fresh one — and every party that derived the id from
+                # the plan keeps agreeing on it.  Auto-generated ids are
+                # refreshed as before.
+                if not fixed_id:
+                    transfer_id = None
             except RetryableError as exc:
                 if exc.reason != "am_superseded":
                     raise
@@ -508,19 +821,30 @@ class ChunkedFetcher:
 
     The server answers ``{"status": "pending"}`` while the fetcher's
     replication round has not opened yet (earlier rounds still copying);
-    the fetcher polls until its round opens or ``timeout`` passes.
+    the fetcher backs off exponentially (``poll_interval`` doubling up
+    to ``max_poll_interval``) until its round opens or ``timeout``
+    passes — queued joiners stop hammering the AM while earlier fan-out
+    rounds drain.
     """
 
     def __init__(self, link: "ReliableLink", window: int = 4,
                  poll_interval: float = 0.05, timeout: float = 30.0,
+                 max_poll_interval: float = 1.0,
                  tracer: "Tracer | None" = None,
                  metrics: "MetricRegistry | None" = None):
         self.link = link
         self.window = max(1, int(window))
         self.poll_interval = poll_interval
         self.timeout = timeout
+        self.max_poll_interval = max(poll_interval, max_poll_interval)
         self.tracer = tracer
         self.metrics = metrics
+
+    def _backoff(self) -> "ExponentialBackoff":
+        return ExponentialBackoff(
+            base=self.poll_interval, factor=2.0,
+            max_delay=self.max_poll_interval,
+        )
 
     def fetch(self, descriptor: dict) -> dict:
         """Fetch, verify, and decode the snapshot named by ``descriptor``."""
@@ -536,10 +860,12 @@ class ChunkedFetcher:
         lock = threading.Lock()
 
         def pump(feed, errors):
+            backoff = self._backoff()
             while not errors:
                 seq = feed.take()
                 if seq is None:
                     return
+                attempt = 0
                 while True:
                     reply = self.link.request(
                         MessageType.STATE_FETCH,
@@ -551,7 +877,8 @@ class ChunkedFetcher:
                                 f"transfer {transfer_id} never opened: "
                                 f"round still pending after {self.timeout}s"
                             )
-                        time.sleep(self.poll_interval)
+                        backoff.wait(attempt)
+                        attempt += 1
                         continue
                     if not reply.get("ok"):
                         raise TransferError(f"fetch of chunk {seq} refused: {reply}")
@@ -571,6 +898,336 @@ class ChunkedFetcher:
                 transfer_id=transfer_id,
                 payload_bytes=assembler.total_bytes,
                 chunks=assembler.total_chunks,
+            ):
+                state = run()
+        else:
+            state = run()
+        if self.metrics is not None:
+            self.metrics.counter("net.chunks.bytes_fetched").inc(
+                assembler.total_bytes
+            )
+        return state
+
+
+class ShardedFetcher:
+    """Pull a snapshot as shards, one pipelined loop per source peer.
+
+    The descriptor (minted by the AM) extends the monolithic shape with
+    a ``shards`` list — each entry a :func:`shard_ranges` range plus its
+    ground-truth ``digest`` (from the uploaded blob), the ``owner``
+    worker elected to serve it, and that owner's peer ``addr``.  The
+    fetch then proceeds in three stages:
+
+    1. **Delta rejoin** — when the caller still holds a stale snapshot,
+       it is encoded with the descriptor's geometry and shards whose
+       digests already match are adopted locally, never fetched.
+    2. **Fan-in** — remaining shards are grouped by owner and fetched
+       concurrently, one thread (each running a ``window``-wide pipeline)
+       per owner, after a round-gate probe against the AM.  Fan-in
+       bandwidth replaces the single-uploader bottleneck.
+    3. **Recovery** — a shard whose owner died mid-fetch (or whose bytes
+       fail the digest check: a divergent replica) is re-planned onto
+       the surviving owners in turn and finally onto the AM's own full
+       copy, so one owner death never fails the join.
+
+    Completion is reported to the AM (``{"complete": True}``) so its
+    round gating can admit the next fan-in round — in sharded mode the
+    chunks themselves never cross the AM link.
+    """
+
+    def __init__(self, link: "ReliableLink", connect=None, window: int = 4,
+                 poll_interval: float = 0.05, timeout: float = 30.0,
+                 max_poll_interval: float = 1.0,
+                 tracer: "Tracer | None" = None,
+                 metrics: "MetricRegistry | None" = None):
+        #: the AM link — round gating, completion report, last-resort source
+        self.link = link
+        #: ``connect(addr) -> ReliableLink`` onto a peer; None disables
+        #: peer fan-in entirely (every shard is fetched from the AM).
+        self.connect = connect
+        self.window = max(1, int(window))
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.max_poll_interval = max(poll_interval, max_poll_interval)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.stats: "dict[str, int]" = {}
+
+    def _backoff(self) -> "ExponentialBackoff":
+        return ExponentialBackoff(
+            base=self.poll_interval, factor=2.0,
+            max_delay=self.max_poll_interval,
+        )
+
+    def _count(self, name: str, value: int = 1) -> None:
+        self.stats[name] = self.stats.get(name, 0) + value
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(value)
+
+    # ------------------------------------------------------------------
+    # stage 1: delta rejoin
+
+    def _adopt_delta(self, assembler: "ChunkAssembler", shards: "list[dict]",
+                     descriptor: dict, stale_state: "dict | None") -> "set[int]":
+        """Adopt shards whose digests match a stale local snapshot."""
+        if stale_state is None or not shards:
+            return set()
+        try:
+            stale = StateBlob.encode(
+                stale_state, str(descriptor.get("codec", "json")),
+                int(descriptor["chunk_bytes"]),
+            )
+        except (WireError, ValueError, TypeError):
+            return set()
+        if (stale.total_bytes != assembler.total_bytes
+                or stale.total_chunks != assembler.total_chunks):
+            return set()  # geometry changed; nothing is adoptable
+        local = {s["index"]: s for s in stale.shard_plan(len(shards))}
+        adopted: "set[int]" = set()
+        for shard in shards:
+            mine = local.get(shard["index"])
+            if mine is None or mine.get("digest") != shard.get("digest"):
+                continue
+            assembler.adopt_shard(
+                shard,
+                stale.byte_range(shard["start_byte"], shard["end_byte"]),
+                shard.get("digest"),
+            )
+            adopted.add(shard["index"])
+            self._count("net.shards.delta_skipped")
+            self._count(
+                "net.shards.delta_bytes_skipped",
+                shard["end_byte"] - shard["start_byte"],
+            )
+        return adopted
+
+    # ------------------------------------------------------------------
+    # stage 2: AM round gate + per-owner fan-in
+
+    def _await_round(self, transfer_id: str) -> None:
+        deadline = time.monotonic() + self.timeout
+        backoff = self._backoff()
+        attempt = 0
+        while True:
+            reply = self.link.request(
+                MessageType.STATE_FETCH,
+                {"transfer_id": transfer_id, "probe": True},
+            )
+            if reply.get("status") != "pending":
+                if not reply.get("ok"):
+                    raise TransferError(f"round probe refused: {reply}")
+                return
+            if time.monotonic() > deadline:
+                raise TransferError(
+                    f"transfer {transfer_id} never opened: "
+                    f"round still pending after {self.timeout}s"
+                )
+            backoff.wait(attempt)
+            attempt += 1
+
+    def _fetch_shard(self, peer, assembler: "ChunkAssembler",
+                     transfer_id: str, shard: dict, source: str) -> None:
+        """Fetch one shard's chunks through ``peer`` and adopt it."""
+        start_chunk = int(shard["start_chunk"])
+        nchunks = int(shard["end_chunk"]) - start_chunk
+        length = int(shard["end_byte"]) - int(shard["start_byte"])
+        buffer = bytearray(length)
+        base_byte = int(shard["start_byte"])
+        deadline = time.monotonic() + self.timeout
+        lock = threading.Lock()
+        backoff = self._backoff()
+
+        def pump(feed, errors):
+            while not errors:
+                local = feed.take()
+                if local is None:
+                    return
+                seq = start_chunk + local
+                attempt = 0
+                while True:
+                    reply = peer.request(
+                        MessageType.STATE_FETCH,
+                        {"transfer_id": transfer_id, "seq": seq},
+                    )
+                    if reply.get("status") == "pending":
+                        if time.monotonic() > deadline:
+                            raise TransferError(
+                                f"shard {shard['index']} chunk {seq} still "
+                                f"pending after {self.timeout}s"
+                            )
+                        backoff.wait(attempt)
+                        attempt += 1
+                        continue
+                    if not reply.get("ok"):
+                        raise TransferError(
+                            f"fetch of shard chunk {seq} refused: {reply}"
+                        )
+                    break
+                data = _flat_view(reply.get("data", b""))
+                digest = reply.get("digest")
+                if digest is not None and _digest(data) != digest:
+                    raise WireError(f"shard chunk {seq} failed its digest check")
+                offset = seq * assembler.chunk_bytes - base_byte
+                with lock:
+                    buffer[offset:offset + data.nbytes] = data
+
+        def run():
+            _run_window(self.window, nchunks, pump)
+            # the plan digest is ground truth from the uploaded blob: a
+            # divergent owner replica fails here and triggers a re-plan
+            assembler.adopt_shard(shard, buffer, shard.get("digest"))
+
+        if self.tracer is not None:
+            with self.tracer.span(
+                "replicate.shard_fetch", track=self.link.node_id,
+                cat="replicate", transfer_id=transfer_id,
+                shard=int(shard["index"]), source=source,
+                payload_bytes=length, chunks=nchunks,
+            ):
+                run()
+        else:
+            run()
+        self._count("net.shards.fetched")
+        self._count("net.shards.bytes_fetched", length)
+
+    def _fan_in(self, assembler: "ChunkAssembler", transfer_id: str,
+                pending: "list[dict]") -> "tuple[list[dict], set[str]]":
+        """First pass: one thread per owner; returns (failed, dead_owners)."""
+        by_owner: "dict[tuple, list[dict]]" = {}
+        for shard in pending:
+            by_owner.setdefault(
+                (shard.get("owner"), shard.get("addr")), []
+            ).append(shard)
+        failed: "list[dict]" = []
+        dead: "set[str]" = set()
+        results_lock = threading.Lock()
+
+        def owner_loop(owner, addr, shards):
+            peer = None
+            try:
+                peer = self.connect(addr)
+                for pos, shard in enumerate(shards):
+                    try:
+                        self._fetch_shard(
+                            peer, assembler, transfer_id, shard, str(owner)
+                        )
+                    except (WireError, TransferError, ConnectionError, OSError):
+                        with results_lock:
+                            dead.add(str(owner))
+                            failed.extend(shards[pos:])
+                        return
+            except (ConnectionError, OSError):
+                with results_lock:
+                    dead.add(str(owner))
+                    failed.extend(shards)
+            finally:
+                if peer is not None:
+                    try:
+                        peer.close()
+                    except Exception:  # noqa: BLE001 - best-effort teardown
+                        pass
+
+        threads = []
+        for (owner, addr), shards in by_owner.items():
+            if self.connect is None or addr is None:
+                failed.extend(shards)  # no peer route: AM serves these
+                continue
+            threads.append(threading.Thread(
+                target=owner_loop, args=(owner, addr, shards), daemon=True,
+            ))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return failed, dead
+
+    # ------------------------------------------------------------------
+    # stage 3: recovery onto surviving owners, then the AM
+
+    def _recover(self, assembler: "ChunkAssembler", transfer_id: str,
+                 shards: "list[dict]", all_shards: "list[dict]",
+                 dead: "set[str]") -> None:
+        survivors: "list[tuple[str, str]]" = []
+        seen: "set[tuple]" = set()
+        for shard in all_shards:
+            owner, addr = shard.get("owner"), shard.get("addr")
+            key = (owner, addr)
+            if (addr is None or str(owner) in dead or key in seen):
+                continue
+            seen.add(key)
+            survivors.append((str(owner), addr))
+        for shard in shards:
+            placed = False
+            if self.connect is not None:
+                for owner, addr in survivors:
+                    if str(shard.get("owner")) == owner:
+                        continue  # that owner already failed this shard
+                    peer = None
+                    try:
+                        peer = self.connect(addr)
+                        self._fetch_shard(
+                            peer, assembler, transfer_id, shard, owner
+                        )
+                        placed = True
+                    except (WireError, TransferError, ConnectionError, OSError):
+                        dead.add(owner)
+                        continue
+                    finally:
+                        if peer is not None:
+                            try:
+                                peer.close()
+                            except Exception:  # noqa: BLE001
+                                pass
+                    break
+            if not placed:
+                # last resort: the AM's own full copy over the control link
+                self._fetch_shard(
+                    self.link, assembler, transfer_id, shard, "am"
+                )
+            self._count("net.shards.replans")
+            survivors = [(o, a) for o, a in survivors if o not in dead]
+
+    def _report_complete(self, transfer_id: str) -> None:
+        reply = self.link.request(
+            MessageType.STATE_FETCH,
+            {"transfer_id": transfer_id, "complete": True},
+        )
+        if not reply.get("ok"):
+            raise TransferError(f"completion report refused: {reply}")
+
+    # ------------------------------------------------------------------
+
+    def fetch(self, descriptor: dict, stale_state: "dict | None" = None) -> dict:
+        """Fetch, verify, and decode the sharded snapshot ``descriptor``."""
+        transfer_id = descriptor["transfer_id"]
+        assembler = ChunkAssembler(
+            transfer_id=transfer_id,
+            total_bytes=descriptor["total_bytes"],
+            total_chunks=descriptor["total_chunks"],
+            chunk_bytes=descriptor["chunk_bytes"],
+            codec=str(descriptor.get("codec", "json")),
+        )
+        shards = [dict(shard) for shard in descriptor.get("shards", [])]
+
+        def run():
+            adopted = self._adopt_delta(assembler, shards, descriptor,
+                                        stale_state)
+            pending = [s for s in shards if s["index"] not in adopted]
+            self._await_round(transfer_id)
+            if pending:
+                failed, dead = self._fan_in(assembler, transfer_id, pending)
+                if failed:
+                    self._recover(assembler, transfer_id, failed, shards, dead)
+            self._report_complete(transfer_id)
+            return assembler.decode(descriptor.get("digest"))
+
+        if self.tracer is not None:
+            with self.tracer.span(
+                "net.state_fetch", track=self.link.node_id, cat="net",
+                transfer_id=transfer_id,
+                payload_bytes=assembler.total_bytes,
+                chunks=assembler.total_chunks, sharded=True,
+                shards=len(shards),
             ):
                 state = run()
         else:

@@ -80,6 +80,7 @@ class MultiprocessElasticJob:
         drop_every: int = 0,
         peer_reset_at: typing.Sequence[int] = (),
         ring_fail_at: typing.Sequence[int] = (),
+        shard_die_after: "int | None" = None,
     ) -> "list[str]":
         command = [
             sys.executable, "-m", "repro.cli", "join",
@@ -94,6 +95,8 @@ class MultiprocessElasticJob:
             command += ["--peer-reset-at", str(send_index)]
         for iteration in ring_fail_at:
             command += ["--ring-fail-at", str(iteration)]
+        if shard_die_after is not None:
+            command += ["--shard-die-after", str(shard_die_after)]
         if not self.spec.ring_enabled:
             command += ["--no-ring"]
         if self.peer_transport:
@@ -110,15 +113,22 @@ class MultiprocessElasticJob:
         drop_every: int = 0,
         peer_reset_at: typing.Sequence[int] = (),
         ring_fail_at: typing.Sequence[int] = (),
+        shard_die_after: "int | None" = None,
     ) -> subprocess.Popen:
         """Start one worker process pointed at this job's AM.
 
         ``reset_at``/``drop_every`` inject that worker's deterministic
         :class:`~repro.coordination.faults.FaultPlan` via CLI flags
         (``peer_reset_at`` afflicts its ring peer links instead of the
-        AM link; ``ring_fail_at`` aborts its ring at those iterations),
+        AM link; ``ring_fail_at`` aborts its ring at those iterations;
+        ``shard_die_after`` hard-kills the process after it served that
+        many shard chunks, injecting a shard-owner death mid-fetch),
         so chaos runs exercise a real process's real connections.
         """
+        if shard_die_after is not None:
+            # The owner dies by design (os._exit); its nonzero exit is
+            # the chaos, not a job failure.
+            self._expected_dead.add(worker_id)
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(repro.__file__))
         existing = env.get("PYTHONPATH")
@@ -130,6 +140,7 @@ class MultiprocessElasticJob:
             self._worker_command(
                 worker_id, reset_at=reset_at, drop_every=drop_every,
                 peer_reset_at=peer_reset_at, ring_fail_at=ring_fail_at,
+                shard_die_after=shard_die_after,
             ),
             env=env,
             stdout=subprocess.PIPE,

@@ -51,7 +51,13 @@ from ..replication.planner import plan_replication
 from ..topology.builder import ServerSpec, build_node
 from ..topology.tree import DeviceKind, TopologyNode
 from ..training.nn import average_gradients
-from .chunks import DEFAULT_CHUNK_BYTES, ChunkAssembler, ChunkStore, _digest
+from .chunks import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkAssembler,
+    ChunkStore,
+    _digest,
+    shard_ranges,
+)
 from .collective import ring_reference_average
 from .journal import Journal, JournalError, JournalState
 from .transport import ServerCore
@@ -148,6 +154,19 @@ class JobSpec:
     #: oldest unshipped events are dropped (and counted) rather than
     #: letting a slow AM grow the shipper's cursor debt forever.
     telemetry_backlog: int = 4096
+    #: sharded state migration: how many shard owners each adjustment
+    #: elects among the survivors.  0 (the default) keeps the monolithic
+    #: fan-out path: joiners pull the whole blob from the AM.  With
+    #: ``k > 0`` the snapshot is cut into ``k`` contiguous digest-
+    #: addressed shards, each owned by one survivor that freezes the
+    #: (bit-identical) blob locally and serves its chunks over the peer
+    #: mesh — joiners fan in from all owners concurrently.
+    replication_shards: int = 0
+    #: ZeRO-style sharded optimizer state: each worker persists only its
+    #: rank's shard of the optimizer (velocity) state, so replication
+    #: traffic per worker drops by 1/N; adjustments reshard the flat
+    #: velocity space across the new world size at commit boundaries.
+    zero_optimizer: bool = False
 
     @property
     def reply_wait(self) -> float:
@@ -197,7 +216,7 @@ class _CommitPlan:
     __slots__ = (
         "generation", "commit_iteration", "old_group", "new_group",
         "add_workers", "uploader", "snapshot", "acked", "requested_at",
-        "transfer_id", "ring",
+        "transfer_id", "ring", "shard_spec",
     )
 
     def __init__(self, generation, commit_iteration, old_group, new_group,
@@ -221,6 +240,10 @@ class _CommitPlan:
         #: the new generation's ring (order + peer addresses), frozen at
         #: mint time so every directive and offer ships the same mesh.
         self.ring: "dict | None" = None
+        #: sharded-migration assignment frozen at mint time: the
+        #: deterministic transfer id plus the elected shard owners
+        #: (survivors with peer addresses).  None = monolithic fan-out.
+        self.shard_spec: "dict | None" = None
 
 
 class _Download:
@@ -236,6 +259,7 @@ class _Download:
     __slots__ = (
         "blob", "total_bytes", "total_chunks", "chunk_bytes", "codec",
         "digest", "chunk_digests", "rounds", "progress", "generation",
+        "shards",
     )
 
     def __init__(self, assembler, rounds: "dict[str, int]", generation: int):
@@ -251,6 +275,10 @@ class _Download:
         self.rounds = dict(rounds)
         self.progress: "dict[str, set]" = {w: set() for w in rounds}
         self.generation = generation
+        #: sharded mode: the shard plan (ranges + digests + owner + peer
+        #: addr per shard), shipped verbatim in every joiner's offer.
+        #: None = monolithic fan-out.
+        self.shards: "list[dict] | None" = None
 
     def chunk(self, seq: int) -> memoryview:
         start = seq * self.chunk_bytes
@@ -273,7 +301,7 @@ class _Download:
 
     def describe(self, transfer_id: str, joiner: str) -> dict:
         """The ``state_transfer`` descriptor for one joiner's offer."""
-        return {
+        descriptor = {
             "transfer_id": transfer_id,
             "total_bytes": self.total_bytes,
             "total_chunks": self.total_chunks,
@@ -282,11 +310,14 @@ class _Download:
             "digest": self.digest,
             "round": self.rounds[joiner],
         }
+        if self.shards is not None:
+            descriptor["shards"] = [dict(shard) for shard in self.shards]
+        return descriptor
 
 
 def _fanout_rounds(
     sources: typing.Sequence[str], joiners: typing.Sequence[str],
-    state_bytes: int,
+    state_bytes: int, fan_in: int = 1,
 ) -> "dict[str, int]":
     """The replication planner's round index per joiner.
 
@@ -296,6 +327,12 @@ def _fanout_rounds(
     paper's: distinct node pairs copy concurrently, a shared source
     serializes, and chained fan-out lets round-``r`` joiners serve
     round ``r+1``.
+
+    ``fan_in > 1`` models the sharded migration instead: each joiner
+    pulls disjoint shards from up to ``fan_in`` sources at once, so the
+    planner schedules per-joiner fan-in groups as units — same-round
+    joiners never share an owner link (chaining is off; shard owners
+    are elected among the survivors only).
     """
     cluster = TopologyNode(DeviceKind.CLUSTER, "netjob")
     spec = ServerSpec(sockets=1, switches_per_socket=1, gpus_per_switch=1)
@@ -308,7 +345,8 @@ def _fanout_rounds(
         new=[gpus[w] for w in joiners],
         gpu_bytes=state_bytes,
         cpu_bytes=0,
-        allow_chaining=True,
+        allow_chaining=fan_in <= 1,
+        fan_in=fan_in,
     )
     rounds: "dict[str, int]" = {}
     for index, round_ in enumerate(plan.rounds):
@@ -695,6 +733,11 @@ class NetworkedApplicationMaster:
             }
             if plan.ring is not None:
                 reply["ring"] = plan.ring
+            if plan.shard_spec is not None:
+                # Owners freeze the blob locally; the uploader reuses
+                # the deterministic transfer id so the AM's copy and
+                # the owners' copies are the same addressable transfer.
+                reply["shards"] = dict(plan.shard_spec)
             self._maybe_finish()
             return reply
 
@@ -797,6 +840,22 @@ class NetworkedApplicationMaster:
             plan.generation, plan.new_group,
             active_from=plan.commit_iteration + 1,
         )
+        # Sharded migration: elect shard owners among the survivors that
+        # have a peer address (they must be reachable over the mesh) and
+        # fix the deterministic transfer id now, so the uploader, every
+        # owner, and every joiner agree on it without another exchange.
+        if self.spec.replication_shards > 0 and plan.add_workers:
+            survivors = [
+                w for w in plan.old_group
+                if w not in self._condemned and w in self._peer_addrs
+            ]
+            owners = survivors[:max(1, int(self.spec.replication_shards))]
+            if owners:
+                plan.shard_spec = {
+                    "transfer_id": f"shard/g{plan.generation}",
+                    "owners": list(owners),
+                    "count": len(owners),
+                }
         if not plan.add_workers:
             # Nothing to replicate: joiner offers never materialize.
             plan.snapshot = {}
@@ -1035,10 +1094,40 @@ class NetworkedApplicationMaster:
                     # the uploader must restart the transfer from zero.
                     reply = dict(reply, restart=True)
                 return reply
-            rounds = _fanout_rounds(
-                plan.old_group, plan.add_workers, assembler.total_bytes
-            )
+            shard_spec = plan.shard_spec
+            owners: "list[str]" = []
+            if shard_spec is not None:
+                owners = [
+                    o for o in shard_spec["owners"]
+                    if o not in self._condemned and o in self._peer_addrs
+                ]
+            if owners:
+                # Sharded fan-in: per-joiner groups pull one shard slice
+                # from every owner concurrently; the planner schedules
+                # the groups so same-round joiners never share an owner.
+                rounds = _fanout_rounds(
+                    owners, plan.add_workers, assembler.total_bytes,
+                    fan_in=len(owners),
+                )
+            else:
+                rounds = _fanout_rounds(
+                    plan.old_group, plan.add_workers, assembler.total_bytes
+                )
             download = _Download(assembler, rounds, plan.generation)
+            if owners:
+                shards = shard_ranges(
+                    assembler.total_chunks, assembler.chunk_bytes,
+                    assembler.total_bytes, len(owners),
+                )
+                for shard in shards:
+                    shard["digest"] = _digest(
+                        download.blob[shard["start_byte"]:shard["end_byte"]]
+                    )
+                    owner = owners[shard["index"] % len(owners)]
+                    shard["owner"] = owner
+                    shard["addr"] = self._peer_addrs.get(owner)
+                download.shards = shards
+                self.metrics.counter("net.shards.planned").inc(len(shards))
             self._downloads[transfer_id] = download
             plan.transfer_id = transfer_id
             self.journal.append(
@@ -1072,6 +1161,11 @@ class NetworkedApplicationMaster:
                     transfer_id=transfer_id, rounds=rounds,
                     payload_bytes=assembler.total_bytes,
                     chunks=assembler.total_chunks,
+                    **(
+                        {"shards": len(download.shards),
+                         "owners": list(owners)}
+                        if download.shards is not None else {}
+                    ),
                 )
             self._maybe_finish()
             return reply
@@ -1085,10 +1179,21 @@ class NetworkedApplicationMaster:
                 return {"ok": False, "reason": "unknown transfer"}
             if worker not in download.rounds:
                 return {"ok": False, "reason": "not a planned joiner"}
+            if payload.get("complete"):
+                # A sharded joiner's chunks crossed the peer mesh, not
+                # this link; its completion report is what advances the
+                # round gate for later fan-in rounds.
+                download.progress[worker] = set(range(download.total_chunks))
+                self.metrics.counter("net.shards.joins_completed").inc()
+                return {"ok": True}
             if not download.round_open(worker):
                 # Earlier planner rounds are still copying; the joiner
                 # polls until its round opens.
                 return {"status": "pending"}
+            if payload.get("probe"):
+                # Sharded round gate: the joiner only asks whether its
+                # fan-in round is open before turning to the owners.
+                return {"ok": True, "open": True}
             seq = payload.get("seq")
             if not isinstance(seq, int) or not 0 <= seq < download.total_chunks:
                 return {"ok": False, "reason": f"bad seq {seq!r}"}

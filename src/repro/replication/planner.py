@@ -104,25 +104,39 @@ def plan_replication(
     gpu_bytes: int,
     cpu_bytes: int,
     allow_chaining: bool = False,
+    fan_in: int = 1,
 ) -> ReplicationPlan:
     """Build the replication plan for adding ``new`` workers.
 
     ``allow_chaining`` enables an extension beyond the paper: a new worker
     that already received the state in an earlier round may serve as a
     source in later rounds, increasing fan-out for large scale-outs.
+
+    ``fan_in`` enables the sharded-migration mode: each new worker pulls
+    ``fan_in`` disjoint shards of the state concurrently from up to
+    ``fan_in`` *distinct* sources (``gpu_bytes`` split across them, the
+    small CPU state riding the first stream).  A target's fan-in
+    transfers form one group scheduled as a unit — they must all land in
+    the same round, so two joiners never share a source link within a
+    round and each joiner gets k-link bandwidth instead of one.
+    Chaining is mutually exclusive with fan-in (a chained source holds
+    the whole state; shard owners are elected among originals only).
     """
     if not existing:
         raise ValueError("at least one existing worker must hold the state")
     overlap = {gpu.name for gpu in existing} & {gpu.name for gpu in new}
     if overlap:
         raise ValueError(f"workers cannot be both existing and new: {overlap}")
+    fan_in = max(1, int(fan_in))
+    if fan_in > 1 and allow_chaining:
+        raise ValueError("fan_in > 1 is mutually exclusive with chaining")
 
     # Deterministic order: serve closest-to-the-cluster first by name.
     pending = sorted(new, key=lambda gpu: gpu.name)
     originals = list(existing)
     chained_sources: typing.List[TopologyNode] = []
     load: typing.Dict[str, int] = {gpu.name: 0 for gpu in existing}
-    transfers: typing.List[Transfer] = []
+    groups: typing.List[typing.List[Transfer]] = []
 
     def selection_key(target, gpu):
         # Nearest neighbor, but spread ties across sources: the paper
@@ -130,7 +144,35 @@ def plan_replication(
         # them all" precisely so replications can proceed concurrently.
         return (int(link_level(target, gpu)), load.get(gpu.name, 0), gpu.name)
 
+    def make_transfer(source, target, t_gpu_bytes, t_cpu_bytes):
+        level = link_level(source, target)
+        return Transfer(
+            source=source,
+            target=target,
+            level=level,
+            transport=BEST_TRANSPORT[level],
+            resources=path_resources(source, target),
+            gpu_bytes=t_gpu_bytes,
+            cpu_bytes=t_cpu_bytes,
+        )
+
     for target in pending:
+        if fan_in > 1:
+            count = min(fan_in, len(originals))
+            sources = sorted(
+                originals, key=lambda gpu: selection_key(target, gpu)
+            )[:count]
+            base, extra = divmod(gpu_bytes, count)
+            group = []
+            for index, source in enumerate(sources):
+                load[source.name] = load.get(source.name, 0) + 1
+                group.append(make_transfer(
+                    source, target,
+                    base + (1 if index < extra else 0),
+                    cpu_bytes if index == 0 else 0,
+                ))
+            groups.append(group)
+            continue
         source = min(originals, key=lambda gpu: selection_key(target, gpu))
         if chained_sources:
             # A chained source only starts serving a round after it was
@@ -145,44 +187,44 @@ def plan_replication(
             ):
                 source = candidate
         load[source.name] = load.get(source.name, 0) + 1
-        level = link_level(source, target)
-        transfers.append(
-            Transfer(
-                source=source,
-                target=target,
-                level=level,
-                transport=BEST_TRANSPORT[level],
-                resources=path_resources(source, target),
-                gpu_bytes=gpu_bytes,
-                cpu_bytes=cpu_bytes,
-            )
-        )
+        groups.append([make_transfer(source, target, gpu_bytes, cpu_bytes)])
         if allow_chaining:
             chained_sources.append(target)
 
-    # Greedy list scheduling into contention-free rounds.  When chaining,
-    # a transfer sourced from a new worker must wait for the round after
-    # that worker received the state.
+    # Greedy list scheduling into contention-free rounds; a fan-in group
+    # is placed whole.  When chaining, a transfer sourced from a new
+    # worker must wait for the round after that worker received the state.
     rounds: typing.List[typing.List[Transfer]] = []
     earliest_source_round = {gpu.name: 0 for gpu in existing}
-    for transfer in sorted(transfers, key=lambda t: (int(t.level), t.target.name)):
-        claims = _transfer_claims(transfer)
-        start = earliest_source_round.get(transfer.source.name, 0)
+
+    def group_claims(group):
+        return frozenset().union(*(_transfer_claims(t) for t in group))
+
+    ordered = sorted(
+        groups,
+        key=lambda g: (min(int(t.level) for t in g), g[0].target.name),
+    )
+    for group in ordered:
+        claims = group_claims(group)
+        target_name = group[0].target.name
+        start = max(
+            earliest_source_round.get(t.source.name, 0) for t in group
+        )
         placed = False
         for index in range(start, len(rounds)):
             round_claims = frozenset().union(
                 *(_transfer_claims(t) for t in rounds[index])
             )
             if not claims & round_claims:
-                rounds[index].append(transfer)
-                earliest_source_round[transfer.target.name] = index + 1
+                rounds[index].extend(group)
+                earliest_source_round[target_name] = index + 1
                 placed = True
                 break
         if not placed:
-            rounds.append([transfer])
-            earliest_source_round[transfer.target.name] = len(rounds)
+            rounds.append(list(group))
+            earliest_source_round[target_name] = len(rounds)
     return ReplicationPlan(
-        transfers=tuple(transfers),
+        transfers=tuple(t for group in groups for t in group),
         rounds=tuple(tuple(r) for r in rounds),
     )
 

@@ -1,0 +1,700 @@
+"""Sharded state migration (ISSUE 10): stores, fan-in, delta, recovery.
+
+Four layers:
+
+* :class:`ShardStore` — owners freeze a bit-identical full blob and
+  serve digest-verified chunks of it over the peer plane, with TTL
+  eviction so a dead transfer cannot pin memory forever;
+* :class:`ChunkedFetcher` backoff — a queued joiner polls its round
+  gate with bounded exponential backoff instead of a tight loop;
+* :class:`ShardedFetcher` — multi-peer fan-in, delta rejoin, and
+  re-planning a shard whose owner died (or diverged) mid-fetch, driven
+  against in-memory fakes so every failure mode is deterministic;
+* end-to-end — a ring-enabled elastic job with ``replication_shards``
+  set scales out over the memory and TCP transports; the joiners pull
+  their shards from the owner peers (never through the AM link) and
+  every replica finishes bit-identical.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.coordination.messages import MessageType
+from repro.net import (
+    ChunkedFetcher,
+    ChunkStore,
+    JobSpec,
+    MemoryPeerHost,
+    NetworkedApplicationMaster,
+    StateBlob,
+    TcpPeerHost,
+    WorkerAgent,
+    memory_link,
+    tcp_link,
+)
+from repro.net.chunks import ShardedFetcher, ShardStore, TransferError
+from repro.observability import MetricRegistry
+
+
+def sample_state(floats=4096, seed=7):
+    rng = np.random.default_rng(seed)
+    return {
+        "params": {
+            "w": rng.random((floats // 2, 2)),
+            "b": rng.random(64, dtype=np.float32),
+        },
+        "optimizer": {"lr": 0.05, "velocity": {"w": rng.random(128)}},
+        "loader": {"cursor": 12, "epoch": 0},
+    }
+
+
+def assert_states_equal(a, b):
+    np.testing.assert_array_equal(a["params"]["w"], b["params"]["w"])
+    np.testing.assert_array_equal(a["params"]["b"], b["params"]["b"])
+    np.testing.assert_array_equal(
+        a["optimizer"]["velocity"]["w"], b["optimizer"]["velocity"]["w"]
+    )
+    assert a["loader"] == b["loader"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestShardStore:
+    def test_serves_digest_verified_chunks_of_the_frozen_blob(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store = ShardStore()
+        frozen = store.register("t1", blob)
+        assert frozen == blob.total_bytes
+        assert store.holds("t1")
+        joined = bytearray()
+        for seq in range(blob.total_chunks):
+            reply = store.handle_fetch("j", {"transfer_id": "t1", "seq": seq})
+            assert reply["ok"], reply
+            assert reply["digest"] == blob.chunk_digest(seq)
+            joined.extend(bytes(reply["data"]))
+        assert bytes(joined) == blob.tobytes()
+        assert store.served == blob.total_chunks
+
+    def test_unknown_transfer_and_bad_seq_are_refused(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store = ShardStore()
+        store.register("t1", blob)
+        assert not store.handle_fetch("j", {"transfer_id": "x", "seq": 0})["ok"]
+        for seq in (-1, blob.total_chunks, None, "0"):
+            reply = store.handle_fetch("j", {"transfer_id": "t1", "seq": seq})
+            assert not reply["ok"], (seq, reply)
+
+    def test_idle_entries_are_evicted_on_the_ttl(self):
+        clock = FakeClock()
+        metrics = MetricRegistry()
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store = ShardStore(metrics=metrics, ttl=10.0, clock=clock)
+        store.register("t1", blob)
+        clock.now += 9.0
+        assert store.handle_fetch("j", {"transfer_id": "t1", "seq": 0})["ok"]
+        clock.now += 10.1  # idle past the TTL since the last serve
+        reply = store.handle_fetch("j", {"transfer_id": "t1", "seq": 1})
+        assert not reply["ok"]
+        assert store.evicted == 1
+        assert metrics.snapshot()["net.shards.evicted"] == 1.0
+        assert not store.holds("t1")
+
+    def test_release_drops_the_frozen_copy(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store = ShardStore()
+        store.register("t1", blob)
+        store.release("t1")
+        assert not store.holds("t1")
+
+    def test_on_serve_hook_sees_the_running_count(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        counts = []
+        store = ShardStore(on_serve=counts.append)
+        store.register("t1", blob)
+        for seq in range(3):
+            store.handle_fetch("j", {"transfer_id": "t1", "seq": seq})
+        assert counts == [0, 1, 2]
+
+
+class TestChunkStoreTtl:
+    """Satellite: completed/abandoned assemblers die on a TTL, not at
+    the next plan mint."""
+
+    def _chunk_payload(self, blob, transfer_id, seq):
+        return {
+            "transfer_id": transfer_id,
+            "seq": seq,
+            "data": blob.chunk(seq),
+            "digest": blob.chunk_digest(seq),
+            "total_bytes": blob.total_bytes,
+            "total_chunks": blob.total_chunks,
+            "chunk_bytes": blob.chunk_bytes,
+            "codec": blob.codec,
+        }
+
+    def test_abandoned_upload_is_swept_inline(self):
+        clock = FakeClock()
+        metrics = MetricRegistry()
+        store = ChunkStore(metrics=metrics, ttl=10.0, clock=clock)
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store.handle_chunk("dead", self._chunk_payload(blob, "t1", 0))
+        clock.now += 11.0
+        # The next handled message (any sender) sweeps the idle one.
+        store.handle_chunk("live", self._chunk_payload(blob, "t2", 0))
+        assert store.assembler("dead") is None
+        assert store.assembler("live") is not None
+        assert store.evicted == 1
+        assert metrics.snapshot()["net.transfers.evicted"] == 1.0
+
+    def test_activity_refreshes_the_ttl(self):
+        clock = FakeClock()
+        store = ChunkStore(ttl=10.0, clock=clock)
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        for seq in range(min(3, blob.total_chunks)):
+            store.handle_chunk("up", self._chunk_payload(blob, "t1", seq))
+            clock.now += 8.0  # always within the TTL of the last chunk
+        assert store.assembler("up") is not None
+        assert store.evicted == 0
+
+    def test_ttl_none_disables_eviction(self):
+        clock = FakeClock()
+        store = ChunkStore(ttl=None, clock=clock)
+        blob = StateBlob.encode(sample_state(), chunk_bytes=512)
+        store.handle_chunk("up", self._chunk_payload(blob, "t1", 0))
+        clock.now += 1e6
+        assert store.evict_expired() == []
+        assert store.assembler("up") is not None
+
+
+class FakeLink:
+    """A ReliableLink stand-in: dispatches requests to a handler."""
+
+    def __init__(self, handler, node_id="joiner"):
+        self.handler = handler
+        self.node_id = node_id
+        self.requests = 0
+        self.closed = False
+
+    def request(self, msg_type, payload=None):
+        self.requests += 1
+        return self.handler(msg_type, dict(payload or {}))
+
+    def close(self):
+        self.closed = True
+
+
+class TestFetcherBackoff:
+    """Satellite: the pending wait is bounded exponential backoff."""
+
+    def test_backoff_delays_grow_and_cap(self):
+        link = FakeLink(lambda m, p: {"ok": True})
+        fetcher = ChunkedFetcher(
+            link, poll_interval=0.01, max_poll_interval=0.05
+        )
+        backoff = fetcher._backoff()
+        delays = [backoff.delay(attempt) for attempt in range(8)]
+        assert delays[0] == pytest.approx(0.01)
+        assert delays == sorted(delays)
+        assert delays[-1] == pytest.approx(0.05)
+        assert all(d <= 0.05 for d in delays)
+
+    def test_max_poll_interval_never_below_poll_interval(self):
+        link = FakeLink(lambda m, p: {"ok": True})
+        fetcher = ChunkedFetcher(
+            link, poll_interval=0.2, max_poll_interval=0.01
+        )
+        assert fetcher.max_poll_interval == 0.2
+
+    def test_pending_rounds_resolve_after_backoff(self):
+        blob = StateBlob.encode(sample_state(), chunk_bytes=2048)
+        pending_left = [3]
+
+        def handler(msg_type, payload):
+            assert msg_type is MessageType.STATE_FETCH
+            if pending_left[0] > 0:
+                pending_left[0] -= 1
+                return {"status": "pending"}
+            seq = payload["seq"]
+            return {
+                "ok": True, "seq": seq, "data": blob.chunk(seq),
+                "digest": blob.chunk_digest(seq),
+            }
+
+        fetcher = ChunkedFetcher(
+            FakeLink(handler), window=1,
+            poll_interval=0.001, max_poll_interval=0.004, timeout=5.0,
+        )
+        state = fetcher.fetch(blob.describe("t1"))
+        assert_states_equal(state, sample_state())
+        assert pending_left[0] == 0
+
+
+def make_sharded_world(owners=("w0", "w1"), chunk_bytes=1024,
+                       state=None, shard_count=None, am_blob=None):
+    """An AM-side descriptor plus per-owner ShardStores, all in-process.
+
+    Returns ``(descriptor, stores, am_handler)`` where ``descriptor``
+    is what a join offer would carry, ``stores[owner]`` holds that
+    owner's frozen blob, and ``am_handler`` answers probe/complete and
+    serves the AM's own full copy as the last-resort source.
+    """
+    state = state if state is not None else sample_state()
+    blob = StateBlob.encode(state, chunk_bytes=chunk_bytes)
+    am_blob = am_blob if am_blob is not None else blob
+    shards = blob.shard_plan(shard_count or len(owners))
+    for shard in shards:
+        shard["owner"] = owners[shard["index"] % len(owners)]
+        shard["addr"] = f"mem://{shard['owner']}"
+    stores = {}
+    for owner in owners:
+        store = ShardStore()
+        store.register("t1", blob)
+        stores[owner] = store
+
+    completions = []
+
+    def am_handler(msg_type, payload):
+        assert msg_type is MessageType.STATE_FETCH
+        if payload.get("probe"):
+            return {"ok": True, "open": True}
+        if payload.get("complete"):
+            completions.append(payload["transfer_id"])
+            return {"ok": True}
+        seq = payload["seq"]
+        return {
+            "ok": True, "seq": seq, "data": am_blob.chunk(seq),
+            "digest": am_blob.chunk_digest(seq),
+        }
+
+    descriptor = blob.describe("t1")
+    descriptor["shards"] = shards
+    am_handler.completions = completions
+    return descriptor, stores, am_handler
+
+
+def peer_connector(stores, dead=(), die_after=None):
+    """connect(addr) -> FakeLink onto the owner's ShardStore.
+
+    Owners in ``dead`` refuse the connection; ``die_after[owner]``
+    makes the owner's link raise after that many served chunks — the
+    in-process analogue of ``--shard-die-after``'s hard exit.
+    """
+    def connect(addr):
+        owner = addr.split("://", 1)[1]
+        if owner in dead:
+            raise ConnectionError(f"{owner} is dead")
+        store = stores[owner]
+        limit = (die_after or {}).get(owner)
+
+        def handler(msg_type, payload):
+            if limit is not None and store.served >= limit:
+                raise ConnectionError(f"{owner} died mid-fetch")
+            return store.handle_fetch("joiner", payload)
+
+        return FakeLink(handler, node_id=owner)
+
+    return connect
+
+
+class TestShardedFetcher:
+    def test_fan_in_from_all_owners_is_bit_identical(self):
+        state = sample_state()
+        descriptor, stores, am = make_sharded_world(state=state)
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=peer_connector(stores),
+            poll_interval=0.001, timeout=5.0,
+            metrics=MetricRegistry(),
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        # Every chunk came off the owner peers, none off the AM link.
+        assert stores["w0"].served > 0
+        assert stores["w1"].served > 0
+        assert sum(s.served for s in stores.values()) == (
+            descriptor["total_chunks"]
+        )
+        assert fetcher.stats["net.shards.fetched"] == len(
+            descriptor["shards"]
+        )
+        assert am.completions == ["t1"]
+
+    def test_owner_death_mid_fetch_replans_onto_the_survivor(self):
+        state = sample_state()
+        descriptor, stores, am = make_sharded_world(state=state)
+        # w0 serves exactly one chunk, then every request explodes.
+        connect = peer_connector(stores, die_after={"w0": 1})
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=connect,
+            window=1, poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        assert fetcher.stats.get("net.shards.replans", 0) >= 1
+        # The survivor holds the FULL frozen blob, so it covered the
+        # dead owner's shard too.
+        assert stores["w1"].served >= descriptor["total_chunks"] - 1
+
+    def test_all_owners_dead_falls_back_to_the_am_full_copy(self):
+        state = sample_state()
+        descriptor, stores, am = make_sharded_world(state=state)
+        connect = peer_connector(stores, dead=("w0", "w1"))
+        am_link = FakeLink(am)
+        fetcher = ShardedFetcher(
+            am_link, connect=connect, poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        assert sum(s.served for s in stores.values()) == 0
+        assert fetcher.stats["net.shards.replans"] == len(
+            descriptor["shards"]
+        )
+
+    def test_no_peer_route_fetches_everything_from_the_am(self):
+        state = sample_state()
+        descriptor, stores, am = make_sharded_world(state=state)
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=None, poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        assert sum(s.served for s in stores.values()) == 0
+
+    def test_divergent_owner_replica_fails_digest_and_replans(self):
+        """The plan digests come from the UPLOADED blob; an owner whose
+        frozen copy differs (a divergent replica) must be caught by the
+        per-shard digest and re-planned, never silently adopted."""
+        state = sample_state()
+        blob = StateBlob.encode(state, chunk_bytes=1024)
+        descriptor, stores, am = make_sharded_world(
+            state=state, am_blob=blob
+        )
+        # Corrupt w0's frozen copy in place: same geometry, wrong bytes.
+        entry = stores["w0"]._entries["t1"]
+        poisoned = bytearray(entry.data)
+        poisoned[0] ^= 0xFF
+        entry.data = bytes(poisoned)
+        entry._chunk_digests.clear()
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=peer_connector(stores),
+            window=1, poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        assert fetcher.stats.get("net.shards.replans", 0) >= 1
+
+    def test_delta_rejoin_ships_under_twenty_percent_when_stale(self):
+        """The delta acceptance criterion: with <= 20% of the parameters
+        changed since the stale snapshot, the rejoin fetches < 20% of
+        the full snapshot's bytes."""
+        rng = np.random.default_rng(11)
+        state = {
+            "params": {
+                f"p{i}": rng.random(2048) for i in range(10)
+            },
+            "optimizer": {"lr": 0.1, "velocity": {}},
+            "loader": {"cursor": 3},
+        }
+        stale = {
+            "params": {k: v.copy() for k, v in state["params"].items()},
+            "optimizer": {"lr": 0.1, "velocity": {}},
+            "loader": {"cursor": 3},
+        }
+        # Touch ~10% of the parameter space: one buffer of ten.
+        state["params"]["p4"] += 1.0
+        descriptor, stores, am = make_sharded_world(
+            owners=("w0", "w1"), state=state, chunk_bytes=2048,
+            shard_count=10,
+        )
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=peer_connector(stores),
+            poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor, stale_state=stale)
+        for name, value in state["params"].items():
+            np.testing.assert_array_equal(fetched["params"][name], value)
+        assert fetched["loader"] == state["loader"]
+        total = descriptor["total_bytes"]
+        shipped = fetcher.stats.get("net.shards.bytes_fetched", 0)
+        skipped = fetcher.stats.get("net.shards.delta_bytes_skipped", 0)
+        assert fetcher.stats["net.shards.delta_skipped"] >= 1
+        assert shipped + skipped == total
+        assert shipped < 0.2 * total, (shipped, total)
+
+    def test_stale_snapshot_with_different_geometry_is_ignored(self):
+        state = sample_state()
+        descriptor, stores, am = make_sharded_world(state=state)
+        other = sample_state(floats=128, seed=9)
+        fetcher = ShardedFetcher(
+            FakeLink(am), connect=peer_connector(stores),
+            poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor, stale_state=other)
+        assert_states_equal(fetched, state)
+        assert fetcher.stats.get("net.shards.delta_skipped", 0) == 0
+
+    def test_round_gate_pending_then_open(self):
+        state = sample_state()
+        descriptor, stores, inner_am = make_sharded_world(state=state)
+        gate = [2]
+
+        def am_handler(msg_type, payload):
+            if payload.get("probe") and gate[0] > 0:
+                gate[0] -= 1
+                return {"status": "pending"}
+            return inner_am(msg_type, payload)
+
+        fetcher = ShardedFetcher(
+            FakeLink(am_handler), connect=peer_connector(stores),
+            poll_interval=0.001, timeout=5.0,
+        )
+        fetched = fetcher.fetch(descriptor)
+        assert_states_equal(fetched, state)
+        assert gate[0] == 0
+
+    def test_round_gate_refusal_raises(self):
+        descriptor, stores, _ = make_sharded_world()
+
+        def am_handler(msg_type, payload):
+            return {"ok": False, "reason": "not a planned joiner"}
+
+        fetcher = ShardedFetcher(
+            FakeLink(am_handler), connect=peer_connector(stores),
+            poll_interval=0.001, timeout=1.0,
+        )
+        with pytest.raises(TransferError):
+            fetcher.fetch(descriptor)
+
+
+class ShardedHarness:
+    """Ring-enabled elastic job with sharded replication, both transports."""
+
+    def __init__(self, transport, spec, initial_workers):
+        self.transport = transport
+        self.spec = spec
+        self.master = NetworkedApplicationMaster(spec, initial_workers)
+        self.server = (
+            self.master.serve_tcp() if transport == "tcp" else None
+        )
+        self.mesh = (
+            TcpPeerHost() if transport == "tcp" else MemoryPeerHost()
+        )
+        self.results = {}
+        self.errors = {}
+        self.threads = {}
+        self.agents = {}
+
+    def link(self, node_id, ack_timeout=0.5):
+        if self.transport == "tcp":
+            link, _transport = tcp_link(
+                self.server.host, self.server.port, node_id,
+                ack_timeout=ack_timeout, heartbeat_interval=0.2,
+            )
+            return link
+        return memory_link(self.master.core, node_id, ack_timeout=ack_timeout)
+
+    def start_worker(self, worker_id, stale_state=None):
+        def run():
+            link = self.link(worker_id)
+            agent = WorkerAgent(
+                worker_id, link, poll_interval=0.02,
+                peer_host=self.mesh, stale_state=stale_state,
+            )
+            self.agents[worker_id] = agent
+            try:
+                self.results[worker_id] = agent.run()
+            except Exception as exc:  # surfaced by the test body
+                self.errors[worker_id] = exc
+            finally:
+                link.close()
+
+        thread = threading.Thread(target=run, daemon=True)
+        self.threads[worker_id] = thread
+        thread.start()
+
+    def join_all(self, timeout=90.0):
+        deadline = time.monotonic() + timeout
+        for thread in self.threads.values():
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        assert not self.errors, self.errors
+        assert all(not t.is_alive() for t in self.threads.values()), (
+            "workers still running"
+        )
+
+    def close(self):
+        self.master.close()
+        self.mesh.close()
+
+
+@pytest.fixture(params=["memory", "tcp"])
+def transport(request):
+    return request.param
+
+
+def wait_for_iteration(driver, iteration, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        status = driver.request(MessageType.STATUS)
+        if status["iteration"] >= iteration:
+            return status
+        assert time.monotonic() < deadline, status
+        time.sleep(0.02)
+
+
+class TestShardedElasticJob:
+    def test_sharded_scale_out_is_bit_identical(self, transport):
+        """The tentpole acceptance criterion: with ``replication_shards``
+        set, a scale-out's joiners fan in their shards from the owner
+        peers — the AM never serves a chunk — and every replica (old and
+        new, on both transports) finishes with the same digest."""
+        spec = JobSpec(
+            iterations=16, coordination_interval=4, iteration_sleep=0.01,
+            allreduce_timeout=10.0, sync_ack_timeout=1.0,
+            chunk_bytes=1024, replication_shards=2,
+        )
+        harness = ShardedHarness(transport, spec, ["w0", "w1"])
+        try:
+            harness.start_worker("w0")
+            harness.start_worker("w1")
+            driver = harness.link("driver", ack_timeout=2.0)
+            wait_for_iteration(driver, 4)
+            reply = driver.request(
+                MessageType.ADJUSTMENT_REQUEST,
+                {"kind": "scale_out", "add": ["w2", "w3"]},
+            )
+            assert reply["accepted"] is True
+            harness.start_worker("w2")
+            harness.start_worker("w3")
+            harness.join_all()
+
+            status = driver.request(MessageType.STATUS)
+            assert status["complete"]
+            digests = status["digests"]
+            assert len(digests) == 4
+            assert len(set(digests.values())) == 1, digests
+
+            snap = harness.master.metrics.snapshot()
+            assert snap.get("net.shards.planned", 0) >= 2
+            assert snap.get("net.shards.joins_completed", 0) == 2
+            # The owners served the chunks peer-side; the AM's own
+            # chunk-serving counter never moved.
+            assert snap.get("net.chunks.served", 0) == 0
+            served = sum(
+                harness.agents[w]._shard_store.served
+                for w in ("w0", "w1")
+                if harness.agents[w]._shard_store is not None
+            )
+            assert served > 0
+        finally:
+            harness.close()
+
+    def test_zero_optimizer_job_matches_and_halves_persisted_state(
+        self, transport
+    ):
+        """With the ZeRO axis on, replicas still finish bit-identical
+        (stepping uses the full velocity) while each worker's persisted
+        optimizer shard is ~1/world of the full buffers."""
+        spec = JobSpec(
+            iterations=12, coordination_interval=4, iteration_sleep=0.01,
+            allreduce_timeout=10.0, sync_ack_timeout=1.0,
+            chunk_bytes=1024, replication_shards=2, zero_optimizer=True,
+        )
+        harness = ShardedHarness(transport, spec, ["w0", "w1"])
+        try:
+            harness.start_worker("w0")
+            harness.start_worker("w1")
+            driver = harness.link("driver", ack_timeout=2.0)
+            wait_for_iteration(driver, 4)
+            reply = driver.request(
+                MessageType.ADJUSTMENT_REQUEST,
+                {"kind": "scale_out", "add": ["w2"]},
+            )
+            assert reply["accepted"] is True
+            harness.start_worker("w2")
+            harness.join_all()
+
+            status = driver.request(MessageType.STATUS)
+            assert status["complete"]
+            assert len(set(status["digests"].values())) == 1
+
+            shards = {
+                w: harness.agents[w].zero_shard
+                for w in ("w0", "w1", "w2")
+            }
+            assert all(s is not None for s in shards.values())
+            ranks = sorted(
+                (s["rank"], s["world"]) for s in shards.values()
+            )
+            assert ranks == [(0, 3), (1, 3), (2, 3)]
+            total_elems = shards["w0"]["total"]
+            for shard in shards.values():
+                assert shard["slice"].size <= total_elems // 3 + 1
+            # Together the shards tile the flat space exactly.
+            from repro.training.optim import ShardedMomentumSGD
+            merged = ShardedMomentumSGD.merge_shards(list(shards.values()))
+            covered = sum(s["slice"].size for s in shards.values())
+            assert covered == total_elems
+            assert sum(
+                v.size for v in merged["velocity"].values()
+            ) == total_elems
+        finally:
+            harness.close()
+
+    def test_delta_rejoin_skips_matching_shards_end_to_end(self):
+        """A joiner holding a fresh stale snapshot (captured from a
+        finished worker of an identical run) adopts every matching
+        shard and fetches only what changed."""
+        spec = JobSpec(
+            iterations=16, coordination_interval=4, iteration_sleep=0.01,
+            allreduce_timeout=10.0, sync_ack_timeout=1.0,
+            chunk_bytes=1024, replication_shards=2,
+        )
+
+        def run_once(stale_state=None):
+            harness = ShardedHarness("memory", spec, ["w0", "w1"])
+            try:
+                harness.start_worker("w0")
+                harness.start_worker("w1")
+                driver = harness.link("driver", ack_timeout=2.0)
+                wait_for_iteration(driver, 4)
+                driver.request(
+                    MessageType.ADJUSTMENT_REQUEST,
+                    {"kind": "scale_out", "add": ["w2", "w3"]},
+                )
+                harness.start_worker("w2", stale_state=stale_state)
+                harness.start_worker("w3")
+                harness.join_all()
+                status = driver.request(MessageType.STATUS)
+                assert len(set(status["digests"].values())) == 1
+                uploader = next(
+                    w for w in ("w0", "w1")
+                    if harness.agents[w].final_state is not None
+                )
+                return harness.agents[uploader].final_state, harness
+            finally:
+                harness.close()
+
+        # First run: capture a survivor's final state as the "stale"
+        # snapshot a rejoining worker would hold on disk.
+        final_state, _ = run_once()
+        stale = {
+            "params": {
+                k: np.array(v) for k, v in final_state["params"].items()
+            },
+            "optimizer": final_state["optimizer"],
+            "loader": dict(final_state["loader"]),
+        }
+        # Second run is deterministic up to the scale-out boundary, so
+        # the loader cursor matches and parts of the stale state (at
+        # minimum the identically-seeded early layers) may be adopted;
+        # the invariant under test is correctness, not the hit rate:
+        # digests must agree whatever mix of adopt/fetch happened.
+        _, _ = run_once(stale_state=stale)

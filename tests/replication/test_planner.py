@@ -169,3 +169,76 @@ class TestMigration:
         plan = plan_migration(old, new, GPU_BYTES, CPU_BYTES)
         assert plan.transfers[0].transport is Transport.NET
         assert plan.transfers[0].level is LinkLevel.L4
+
+
+class TestFanIn:
+    """The sharded-migration axis: one target pulls from several sources."""
+
+    def test_fan_in_splits_bytes_across_distinct_sources(self, cluster):
+        existing = gpus_of(cluster)[:4]
+        new = [gpus_of(cluster)[5]]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES, fan_in=4)
+        assert len(plan.transfers) == 4
+        assert len({t.source.name for t in plan.transfers}) == 4
+        assert all(t.target.name == new[0].name for t in plan.transfers)
+        assert sum(t.gpu_bytes for t in plan.transfers) == GPU_BYTES
+        # The small CPU state rides exactly one stream.
+        assert sum(1 for t in plan.transfers if t.cpu_bytes) == 1
+
+    def test_fan_in_clamps_to_available_sources(self, cluster):
+        existing = gpus_of(cluster)[:2]
+        new = [gpus_of(cluster)[5]]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES, fan_in=8)
+        assert len(plan.transfers) == 2
+        assert sum(t.gpu_bytes for t in plan.transfers) == GPU_BYTES
+
+    def test_fan_in_groups_schedule_as_units(self, cluster):
+        """Two same-round joiners must not share any owner link: each
+        joiner's whole fan-in group lands in one round, and the two
+        groups land in different rounds."""
+        existing = gpus_of(cluster)[:2]
+        new = [gpus_of(cluster)[5], gpus_of(cluster)[6]]
+        plan = plan_replication(existing, new, GPU_BYTES, CPU_BYTES, fan_in=2)
+        rounds_of = {}
+        for round_index, round_transfers in enumerate(plan.rounds):
+            for transfer in round_transfers:
+                rounds_of.setdefault(transfer.target.name, set()).add(
+                    round_index
+                )
+        for target, rounds in rounds_of.items():
+            assert len(rounds) == 1, (target, rounds)
+        assert rounds_of[new[0].name] != rounds_of[new[1].name]
+
+    def test_fan_in_one_is_the_legacy_plan(self, cluster):
+        existing = gpus_of(cluster)[:4]
+        new = gpus_of(cluster)[5:7]
+        legacy = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        explicit = plan_replication(
+            existing, new, GPU_BYTES, CPU_BYTES, fan_in=1
+        )
+        assert [
+            (t.source.name, t.target.name, t.gpu_bytes, t.cpu_bytes)
+            for t in legacy.transfers
+        ] == [
+            (t.source.name, t.target.name, t.gpu_bytes, t.cpu_bytes)
+            for t in explicit.transfers
+        ]
+
+    def test_fan_in_cuts_estimated_transfer_time(self, cluster):
+        """The point of the sharded axis: splitting one large snapshot
+        across 4 source links beats one serial stream."""
+        existing = gpus_of(cluster)[:4]
+        new = [gpus_of(cluster)[5]]
+        serial = plan_replication(existing, new, GPU_BYTES, CPU_BYTES)
+        fanned = plan_replication(
+            existing, new, GPU_BYTES, CPU_BYTES, fan_in=4
+        )
+        profile = BandwidthProfile()
+        assert fanned.estimated_time(profile) < serial.estimated_time(profile)
+
+    def test_fan_in_rejects_chaining(self, cluster):
+        with pytest.raises(ValueError):
+            plan_replication(
+                gpus_of(cluster)[:2], [gpus_of(cluster)[5]],
+                GPU_BYTES, CPU_BYTES, fan_in=2, allow_chaining=True,
+            )

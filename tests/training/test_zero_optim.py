@@ -1,0 +1,180 @@
+"""The ZeRO-style sharded optimizer axis (ISSUE 10).
+
+Stepping must stay bit-identical to :class:`MomentumSGD` — the shard is
+a *persistence* format, not a numerics change — while the persisted
+bytes drop to ~1/world and any complete shard set (even one written
+under a different world size) merges back into the full state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.training.nn import init_mlp
+from repro.training.optim import MomentumSGD, ShardedMomentumSGD
+from repro.training.state import RuntimeInfo, TrainingState
+
+
+def make_params(seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "w1": rng.standard_normal((13, 7)),
+        "b1": rng.standard_normal(7),
+        "w2": rng.standard_normal((7, 3)),
+    }
+
+
+def make_grads(seed=1):
+    return make_params(seed)
+
+
+class TestSteppingIsBitIdentical:
+    def test_matches_momentum_sgd_over_many_steps(self):
+        plain_params = make_params()
+        sharded_params = {k: v.copy() for k, v in plain_params.items()}
+        plain = MomentumSGD(lr=0.05, momentum=0.9, weight_decay=1e-4)
+        sharded = ShardedMomentumSGD(
+            lr=0.05, momentum=0.9, weight_decay=1e-4, rank=1, world=3
+        )
+        for step in range(8):
+            grads = make_grads(seed=step + 10)
+            plain.step(plain_params, grads)
+            sharded.step(sharded_params, grads)
+        for name in plain_params:
+            np.testing.assert_array_equal(
+                plain_params[name], sharded_params[name]
+            )
+        np.testing.assert_array_equal(
+            plain.state_dict()["velocity"]["w1"],
+            sharded.state_dict()["velocity"]["w1"],
+        )
+
+
+def stepped(rank=0, world=1, steps=3):
+    params = make_params()
+    opt = ShardedMomentumSGD(lr=0.1, rank=rank, world=world)
+    for step in range(steps):
+        opt.step(params, make_grads(seed=step))
+    return opt
+
+
+class TestShardRoundTrip:
+    def test_shards_tile_the_flat_space_and_merge_back(self):
+        opt = stepped(world=1)
+        full = opt.state_dict()
+        total = sum(v.size for v in full["velocity"].values())
+        shards = [opt.shard_state_dict(rank=r, world=4) for r in range(4)]
+        assert sum(s["slice"].size for s in shards) == total
+        merged = ShardedMomentumSGD.merge_shards(shards)
+        for name, velocity in full["velocity"].items():
+            np.testing.assert_array_equal(merged["velocity"][name], velocity)
+        assert merged["lr"] == full["lr"]
+        assert merged["momentum"] == full["momentum"]
+
+    def test_merge_accepts_shards_from_mixed_world_sizes(self):
+        """Reshaping along the worker-count axis: shards persisted under
+        world=2 and world=4 can cover the flat space together, as after
+        an adjustment changed the worker count mid-flight."""
+        opt = stepped()
+        full = opt.state_dict()
+        shards = [
+            opt.shard_state_dict(rank=0, world=2),      # first half
+            opt.shard_state_dict(rank=2, world=4),      # third quarter
+            opt.shard_state_dict(rank=3, world=4),      # fourth quarter
+        ]
+        merged = ShardedMomentumSGD.merge_shards(shards)
+        for name, velocity in full["velocity"].items():
+            np.testing.assert_array_equal(merged["velocity"][name], velocity)
+
+    def test_merge_rejects_incomplete_tilings(self):
+        opt = stepped()
+        with pytest.raises(ValueError):
+            ShardedMomentumSGD.merge_shards([
+                opt.shard_state_dict(rank=0, world=2),
+                opt.shard_state_dict(rank=3, world=4),  # gap: 3rd quarter
+            ])
+        with pytest.raises(ValueError):
+            ShardedMomentumSGD.merge_shards([])
+
+    def test_shard_bytes_drop_by_roughly_one_over_world(self):
+        opt = stepped(world=1)
+        full_bytes = opt.state_bytes()
+        for world in (2, 4, 8):
+            per_rank = [opt.shard_bytes(rank=r, world=world)
+                        for r in range(world)]
+            assert sum(per_rank) == full_bytes
+            assert max(per_rank) <= full_bytes // world + 16
+
+    def test_load_merged_state_restores_stepping(self):
+        donor = stepped(world=1, steps=4)
+        shards = [donor.shard_state_dict(rank=r, world=3) for r in range(3)]
+        restored = ShardedMomentumSGD(lr=0.1, rank=0, world=3)
+        restored.load_state_dict(ShardedMomentumSGD.merge_shards(shards))
+        a = {k: v.copy() for k, v in make_params(5).items()}
+        b = {k: v.copy() for k, v in make_params(5).items()}
+        donor.step(a, make_grads(seed=99))
+        restored.step(b, make_grads(seed=99))
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+
+class TestReshard:
+    def test_reshard_validates_and_reslices(self):
+        opt = stepped(rank=0, world=2)
+        opt.reshard(3, 4)
+        assert (opt.rank, opt.world) == (3, 4)
+        shard = opt.shard_state_dict()
+        assert shard["rank"] == 3 and shard["world"] == 4
+        with pytest.raises(ValueError):
+            opt.reshard(2, 2)
+        with pytest.raises(ValueError):
+            opt.reshard(0, 0)
+        with pytest.raises(ValueError):
+            ShardedMomentumSGD(lr=0.1, rank=1, world=1)
+
+    def test_empty_velocity_shards_cleanly(self):
+        opt = ShardedMomentumSGD(lr=0.1, rank=0, world=4)
+        shard = opt.shard_state_dict()
+        assert shard["total"] == 0
+        assert shard["slice"].size == 0
+        merged = ShardedMomentumSGD.merge_shards([shard])
+        assert merged["velocity"] == {}
+
+
+class TestStateAccounting:
+    def make_state(self):
+        params = init_mlp(8, 16, 4, seed=0)
+        opt = MomentumSGD(lr=0.1)
+        opt.step(params, {k: np.ones_like(v) for k, v in params.items()})
+        return TrainingState(
+            model=params,
+            optimizer=opt.state_dict(),
+            loader={"cursor": 0},
+            comm_group=["w0", "w1"],
+            runtime=RuntimeInfo(),
+        )
+
+    def test_zero_shard_bytes_sums_to_optimizer_bytes(self):
+        state = self.make_state()
+        full = state.optimizer_bytes()
+        assert full > 0
+        for world in (1, 2, 3, 8):
+            assert sum(
+                state.zero_shard_bytes(world, rank) for rank in range(world)
+            ) == full
+
+    def test_replicated_bytes_drop_under_zero(self):
+        state = self.make_state()
+        full = state.replicated_bytes()
+        assert full == state.total_bytes()
+        zero = state.replicated_bytes(world=4, zero_optimizer=True)
+        assert zero < full
+        assert full - zero == (
+            state.optimizer_bytes() - state.zero_shard_bytes(4, 0)
+        )
+
+    def test_zero_shard_bytes_validates(self):
+        state = self.make_state()
+        with pytest.raises(ValueError):
+            state.zero_shard_bytes(0)
+        with pytest.raises(ValueError):
+            state.zero_shard_bytes(2, rank=2)
